@@ -1,0 +1,199 @@
+//! Dewey order labeling \[15\] (§2: "The Dewey approach … achieves a good
+//! tradeoff between query performance and dynamic updates").
+
+use std::cmp::Ordering;
+use xp_labelkit::codec::{read_varint, write_varint, CodecError};
+use xp_labelkit::{LabelCodec, LabelOps, LabeledDoc, OrderedLabel, Scheme};
+use xp_xmltree::{NodeId, XmlTree};
+
+/// A Dewey label: the vector of 1-based sibling ordinals on the root path
+/// (the root's label is the empty vector).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeweyLabel(Vec<u32>);
+
+impl DeweyLabel {
+    /// The root label.
+    pub fn root() -> Self {
+        DeweyLabel(Vec::new())
+    }
+
+    /// Builds from explicit components.
+    pub fn from_components(c: Vec<u32>) -> Self {
+        DeweyLabel(c)
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Child label with the given 1-based ordinal.
+    pub fn child(&self, ordinal: u32) -> Self {
+        let mut c = self.0.clone();
+        c.push(ordinal);
+        DeweyLabel(c)
+    }
+}
+
+impl std::fmt::Display for DeweyLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        let parts: Vec<String> = self.0.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+impl LabelOps for DeweyLabel {
+    fn is_ancestor_of(&self, other: &Self) -> bool {
+        self.0.len() < other.0.len() && other.0.starts_with(&self.0)
+    }
+
+    fn is_parent_of(&self, other: &Self) -> bool {
+        other.0.len() == self.0.len() + 1 && other.0.starts_with(&self.0)
+    }
+
+    /// Components stored at their own width (the delimiter overhead the
+    /// paper notes for "2,11"-style labels is what the binary prefix
+    /// schemes avoid; we charge each component its bit width).
+    fn size_bits(&self) -> u64 {
+        self.0.iter().map(|&c| u64::from(32 - c.max(1).leading_zeros())).sum()
+    }
+
+    fn level_hint(&self) -> Option<usize> {
+        Some(self.0.len())
+    }
+}
+
+impl OrderedLabel for DeweyLabel {
+    /// Component-wise order with "prefix first" — preorder document order.
+    fn doc_cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl LabelCodec for DeweyLabel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.0.len() as u64);
+        for &c in &self.0 {
+            write_varint(out, u64::from(c));
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = read_varint(input)? as usize;
+        let mut components = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            let c = u32::try_from(read_varint(input)?)
+                .map_err(|_| CodecError::Corrupt("ordinal exceeds u32"))?;
+            components.push(c);
+        }
+        Ok(DeweyLabel(components))
+    }
+}
+
+/// The Dewey labeling scheme.
+#[derive(Debug, Clone, Default)]
+pub struct DeweyScheme;
+
+impl Scheme for DeweyScheme {
+    type Label = DeweyLabel;
+
+    fn name(&self) -> &'static str {
+        "Dewey"
+    }
+
+    fn label(&self, tree: &XmlTree) -> LabeledDoc<DeweyLabel> {
+        let mut doc = LabeledDoc::new(tree);
+        // Preorder walk carrying the label, so insertion order is document
+        // order (children pushed reversed).
+        let mut stack: Vec<(NodeId, DeweyLabel)> = vec![(tree.root(), DeweyLabel::root())];
+        while let Some((node, label)) = stack.pop() {
+            let kids: Vec<NodeId> = tree.element_children(node).collect();
+            for (i, child) in kids.iter().enumerate().rev() {
+                stack.push((*child, label.child(i as u32 + 1)));
+            }
+            doc.set(node, label);
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_xmltree::parse;
+
+    #[test]
+    fn labels_are_sibling_paths() {
+        let tree = parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        let doc = DeweyScheme.label(&tree);
+        let texts: Vec<String> = tree.elements().map(|n| doc.label(n).to_string()).collect();
+        assert_eq!(texts, ["ε", "1", "1.1", "1.2", "2"]);
+    }
+
+    #[test]
+    fn ancestor_and_parent_tests_are_exact() {
+        let tree = parse("<a><b><c/><d/></b><e><f><g/></f></e></a>").unwrap();
+        let doc = DeweyScheme.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(doc.label(x).is_ancestor_of(doc.label(y)), tree.is_ancestor(x, y));
+                assert_eq!(doc.label(x).is_parent_of(doc.label(y)), tree.parent(y) == Some(x));
+            }
+        }
+    }
+
+    #[test]
+    fn doc_cmp_is_document_order() {
+        let tree = parse("<a><b><c/><d/></b><e><f/></e></a>").unwrap();
+        let doc = DeweyScheme.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for w in nodes.windows(2) {
+            assert_eq!(doc.label(w[0]).doc_cmp(doc.label(w[1])), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn sizes_charge_component_widths() {
+        let l = DeweyLabel::from_components(vec![1, 11, 3]);
+        assert_eq!(l.size_bits(), 1 + 4 + 2);
+        assert_eq!(DeweyLabel::root().size_bits(), 0);
+    }
+
+    #[test]
+    fn display_matches_dewey_notation() {
+        assert_eq!(DeweyLabel::from_components(vec![2, 11]).to_string(), "2.11");
+        // The paper's §2 ambiguity: "2,11" vs "21,1" stay distinct as vectors.
+        let a = DeweyLabel::from_components(vec![2, 11]);
+        let b = DeweyLabel::from_components(vec![21, 1]);
+        assert_ne!(a, b);
+        assert!(!a.is_ancestor_of(&b));
+    }
+
+    #[test]
+    fn codec_round_trips_documents() {
+        use xp_labelkit::codec::{decode_doc, encode_doc};
+        let tree = parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        let doc = DeweyScheme.label(&tree);
+        let decoded = decode_doc::<DeweyLabel>(&tree, &encode_doc(&doc)).unwrap();
+        for node in tree.elements() {
+            assert_eq!(decoded.label(node), doc.label(node));
+        }
+    }
+
+    #[test]
+    fn ordered_insertion_shifts_following_siblings() {
+        let mut tree = parse("<a><b/><c/><d/></a>").unwrap();
+        let before = DeweyScheme.label(&tree);
+        let c = tree.element_children(tree.root()).nth(1).unwrap();
+        let n = tree.create_element("n");
+        tree.insert_before(c, n);
+        let after = DeweyScheme.label(&tree);
+        let diff = before.diff_count(&after);
+        assert_eq!(diff.changed, 2, "c and d shift ordinals");
+        assert_eq!(diff.new_count, 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! The floating-point interval scheme (QRS, the paper's \[2\]).
+//!
+//! §2: "\[2\] proposes to use floating point numbers to replace integers as
+//! the labels in interval-based labeling scheme. In theory, it solves the
+//! problem of updates because one can always insert a number between any
+//! two floating point numbers. Unfortunately, in practice, the
+//! representation of a floating point number is constrained by the number
+//! of bits in the mantissa. Once again, when the number of insertions
+//! exceeds certain limits, re-labeling is necessary."
+//!
+//! We implement it to reproduce precisely that failure: midpoint insertion
+//! between two order values exhausts an `f64` mantissa after ~50
+//! consecutive splits of the same gap, at which point the scheme must
+//! relabel.
+
+use std::cmp::Ordering;
+use xp_labelkit::{LabelOps, LabeledDoc, OrderedLabel, Scheme};
+use xp_xmltree::{NodeId, XmlTree};
+
+/// A float interval label: `(start, end)` with `start < end`, descendants
+/// strictly nested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatLabel {
+    /// Interval start.
+    pub start: f64,
+    /// Interval end (exclusive of siblings' starts).
+    pub end: f64,
+    /// Depth (root = 0), kept for the parent test like XISS.
+    pub level: u32,
+}
+
+// f64 labels are never NaN (they come from finite subdivision of [0, 1]).
+impl Eq for FloatLabel {}
+
+impl LabelOps for FloatLabel {
+    fn is_ancestor_of(&self, other: &Self) -> bool {
+        self.start < other.start && other.end <= self.end
+    }
+
+    /// Two f64 values: 128 bits, always.
+    fn size_bits(&self) -> u64 {
+        128
+    }
+
+    fn level_hint(&self) -> Option<usize> {
+        Some(self.level as usize)
+    }
+}
+
+impl OrderedLabel for FloatLabel {
+    fn doc_cmp(&self, other: &Self) -> Ordering {
+        self.start.partial_cmp(&other.start).expect("labels are never NaN")
+    }
+}
+
+/// The float interval scheme: children split their parent's interval.
+#[derive(Debug, Clone, Default)]
+pub struct FloatIntervalScheme;
+
+impl FloatIntervalScheme {
+    fn label_into(
+        tree: &XmlTree,
+        node: NodeId,
+        start: f64,
+        end: f64,
+        level: u32,
+        doc: &mut LabeledDoc<FloatLabel>,
+    ) {
+        doc.set(node, FloatLabel { start, end, level });
+        let kids: Vec<NodeId> = tree.element_children(node).collect();
+        if kids.is_empty() {
+            return;
+        }
+        // Shrink into the interior so children nest strictly, then split
+        // evenly among the children.
+        let inner_start = midpoint(start, end);
+        let width = (end - inner_start) / kids.len() as f64;
+        for (i, child) in kids.into_iter().enumerate() {
+            let s = inner_start + width * i as f64;
+            let e = inner_start + width * (i + 1) as f64;
+            Self::label_into(tree, child, s, e, level + 1, doc);
+        }
+    }
+}
+
+/// The midpoint of two floats — the insertion primitive whose repeated
+/// application exhausts the mantissa.
+pub fn midpoint(a: f64, b: f64) -> f64 {
+    a + (b - a) / 2.0
+}
+
+/// How many times a gap can be split before two adjacent labels become
+/// equal (mantissa exhaustion). Returns the number of successful midpoint
+/// insertions between `lo` and its original successor.
+pub fn splits_until_exhaustion(lo: f64, hi: f64) -> usize {
+    let mut hi = hi;
+    let mut count = 0;
+    loop {
+        let mid = midpoint(lo, hi);
+        if mid <= lo || mid >= hi {
+            return count;
+        }
+        hi = mid;
+        count += 1;
+    }
+}
+
+impl Scheme for FloatIntervalScheme {
+    type Label = FloatLabel;
+
+    fn name(&self) -> &'static str {
+        "Float-interval (QRS)"
+    }
+
+    fn label(&self, tree: &XmlTree) -> LabeledDoc<FloatLabel> {
+        let mut doc = LabeledDoc::new(tree);
+        Self::label_into(tree, tree.root(), 0.0, 1.0, 0, &mut doc);
+        // Rebuild in document order (recursion order already is, but keep
+        // the same contract as the other schemes).
+        let mut ordered = LabeledDoc::new(tree);
+        for node in tree.elements() {
+            ordered.set(node, *doc.label(node));
+        }
+        ordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_xmltree::parse;
+
+    #[test]
+    fn ancestor_test_is_exact() {
+        let tree = parse("<a><b><c/><d/></b><e><f><g/></f></e><h/></a>").unwrap();
+        let doc = FloatIntervalScheme.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    doc.label(x).is_ancestor_of(doc.label(y)),
+                    tree.is_ancestor(x, y),
+                    "ancestor({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn doc_cmp_is_document_order() {
+        let tree = parse("<a><b><c/></b><d><e/></d></a>").unwrap();
+        let doc = FloatIntervalScheme.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for w in nodes.windows(2) {
+            assert_eq!(doc.label(w[0]).doc_cmp(doc.label(w[1])), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn theory_says_insertions_are_free() {
+        // "In theory, it solves the problem of updates": a midpoint always
+        // exists between two sufficiently-distant labels.
+        let a = 0.25f64;
+        let b = 0.5f64;
+        let m = midpoint(a, b);
+        assert!(a < m && m < b);
+    }
+
+    #[test]
+    fn practice_says_the_mantissa_runs_out() {
+        // The paper's §2 criticism, quantified: ~52 splits of the same gap
+        // and the scheme is dead.
+        let splits = splits_until_exhaustion(0.25, 0.5);
+        assert!(
+            (45..=60).contains(&splits),
+            "f64 mantissa allows ~52 splits, measured {splits}"
+        );
+        // The prime scheme, under the identical insertion pattern, never
+        // runs out: every insertion just takes the next prime.
+        // (See tests/ordered_pipeline.rs for the prime-side property.)
+    }
+
+    #[test]
+    fn deep_documents_erode_the_budget_before_any_insertion() {
+        // Every level halves the available width: a depth-40 chain leaves
+        // almost no split budget at the leaf.
+        let mut src = String::new();
+        for i in 0..40 {
+            src.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..40).rev() {
+            src.push_str(&format!("</n{i}>"));
+        }
+        let tree = parse(&src).unwrap();
+        let doc = FloatIntervalScheme.label(&tree);
+        let deepest = tree.elements().last().unwrap();
+        let l = doc.label(deepest);
+        let remaining = splits_until_exhaustion(l.start, l.end);
+        assert!(remaining < 30, "deep leaf keeps only {remaining} splits");
+    }
+}

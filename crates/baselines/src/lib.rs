@@ -1,0 +1,38 @@
+//! # xp-baselines — the labeling schemes the paper compares against
+//!
+//! * [`interval::IntervalScheme`] — the XISS-style interval scheme \[11\]:
+//!   each node gets `(order, size)` from an extended preorder numbering;
+//!   `x` is an ancestor of `y` iff `order(x) < order(y) <= order(x)+size(x)`.
+//!   Static: insertions renumber everything after the insertion point.
+//! * [`prefix::Prefix1Scheme`] — the basic binary prefix scheme: the i-th
+//!   child's self-label is `1^(i-1) 0`; a node's label is its parent's label
+//!   concatenated with its self-label; ancestorship is the proper-prefix
+//!   test. Formula (1): `Lmax = D·F`.
+//! * [`prefix::Prefix2Scheme`] — the Cohen–Kaplan–Milo optimized prefix
+//!   scheme \[7\]: sibling self-labels follow the increment-and-double
+//!   sequence `0, 10, 1100, 1101, 1110, 11110000, …`.
+//!   Formula (2): `Lmax = D·4⌈log F⌉`.
+//! * [`dewey::DeweyScheme`] — Dewey order \[15\]: the vector of 1-based
+//!   sibling ordinals on the root path.
+//! * [`floatival::FloatIntervalScheme`] — the floating-point interval
+//!   scheme (QRS, \[2\]), including the mantissa-exhaustion failure §2
+//!   criticizes.
+//!
+//! All labels implement [`xp_labelkit::LabelOps`]; the interval, prefix, and
+//! Dewey labels also implement [`xp_labelkit::OrderedLabel`] because they
+//! encode document order directly — which is exactly why their
+//! order-sensitive updates are expensive (Figure 18) while the prime
+//! scheme's SC table keeps order out of the labels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dewey;
+pub mod floatival;
+pub mod interval;
+pub mod prefix;
+
+pub use dewey::{DeweyLabel, DeweyScheme};
+pub use floatival::{FloatIntervalScheme, FloatLabel};
+pub use interval::{IntervalLabel, IntervalScheme};
+pub use prefix::{Prefix1Scheme, Prefix2Scheme, PrefixLabel};

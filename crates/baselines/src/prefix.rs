@@ -1,0 +1,395 @@
+//! The binary prefix labeling schemes: Prefix-1 (basic) and Prefix-2
+//! (Cohen–Kaplan–Milo \[7\]), §2 / §3.1 of the paper.
+
+use std::cmp::Ordering;
+use xp_labelkit::codec::{read_bytes, read_varint, write_bytes, write_varint, CodecError};
+use xp_labelkit::{BitString, LabelCodec, LabelOps, LabeledDoc, OrderedLabel, Scheme};
+use xp_xmltree::{NodeId, XmlTree};
+
+/// A prefix label: the concatenation of sibling self-labels along the root
+/// path, plus the node's depth (number of self-labels concatenated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixLabel {
+    bits: BitString,
+    level: usize,
+}
+
+impl PrefixLabel {
+    /// The root's empty label.
+    pub fn root() -> Self {
+        PrefixLabel { bits: BitString::new(), level: 0 }
+    }
+
+    /// Child label: parent's bits ++ the child's self-label.
+    pub fn child_of(parent: &PrefixLabel, self_label: &BitString) -> Self {
+        PrefixLabel { bits: parent.bits.concat(self_label), level: parent.level + 1 }
+    }
+
+    /// The label's bits.
+    pub fn bits(&self) -> &BitString {
+        &self.bits
+    }
+
+    /// The node's depth (number of concatenated self-labels).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+}
+
+impl LabelCodec for PrefixLabel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let (len, bytes) = self.bits.to_raw_parts();
+        write_varint(out, len as u64);
+        write_bytes(out, bytes);
+        write_varint(out, self.level as u64);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = read_varint(input)? as usize;
+        let bytes = read_bytes(input)?;
+        if bytes.len() < len.div_ceil(8) {
+            return Err(CodecError::Corrupt("bit string shorter than its length"));
+        }
+        let bits = BitString::from_raw_parts(len, bytes);
+        let level = read_varint(input)? as usize;
+        Ok(PrefixLabel { bits, level })
+    }
+}
+
+impl LabelOps for PrefixLabel {
+    /// The prefix schemes' ancestor test: proper-prefix containment.
+    fn is_ancestor_of(&self, other: &Self) -> bool {
+        self.bits.is_proper_prefix_of(&other.bits)
+    }
+
+    fn is_parent_of(&self, other: &Self) -> bool {
+        self.is_ancestor_of(other) && other.level == self.level + 1
+    }
+
+    fn size_bits(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    fn level_hint(&self) -> Option<usize> {
+        Some(self.level)
+    }
+}
+
+impl OrderedLabel for PrefixLabel {
+    /// Prefix-respecting lexicographic order is preorder document order for
+    /// both sibling-code families (their sibling codes are assigned in
+    /// increasing binary order).
+    fn doc_cmp(&self, other: &Self) -> Ordering {
+        self.bits.cmp(&other.bits)
+    }
+}
+
+/// Yields the Prefix-1 sibling self-labels: `0`, `10`, `110`, `1110`, …
+/// (the i-th child is `1^(i-1) 0`).
+pub fn prefix1_self_label(position: usize) -> BitString {
+    assert!(position >= 1, "sibling positions are 1-indexed");
+    let mut b = BitString::new();
+    for _ in 0..position - 1 {
+        b.push(true);
+    }
+    b.push(false);
+    b
+}
+
+/// Iterator over the Prefix-2 (CKM) sibling codes:
+/// `0, 10, 1100, 1101, 1110, 11110000, …` — increment the binary value; on
+/// reaching all-ones, double the length by appending that many zeros (§2).
+///
+/// ```
+/// use xp_baselines::prefix::CkmCodes;
+/// let codes: Vec<String> = CkmCodes::new().take(4).map(|c| c.to_string()).collect();
+/// assert_eq!(codes, ["0", "10", "1100", "1101"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CkmCodes {
+    current: Option<BitString>,
+}
+
+impl CkmCodes {
+    /// Starts before the first code.
+    pub fn new() -> Self {
+        CkmCodes { current: None }
+    }
+}
+
+impl Default for CkmCodes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Iterator for CkmCodes {
+    type Item = BitString;
+
+    fn next(&mut self) -> Option<BitString> {
+        let next = match &self.current {
+            None => BitString::from_bits("0"),
+            Some(cur) => {
+                let mut bits: Vec<bool> = cur.iter().collect();
+                // Binary increment (cannot overflow: all-ones was doubled
+                // into `1…10…0` on the step that produced it).
+                for bit in bits.iter_mut().rev() {
+                    if *bit {
+                        *bit = false;
+                    } else {
+                        *bit = true;
+                        break;
+                    }
+                }
+                let mut out = BitString::new();
+                for &b in &bits {
+                    out.push(b);
+                }
+                if bits.iter().all(|&b| b) {
+                    // All ones: double the length with zeros.
+                    for _ in 0..bits.len() {
+                        out.push(false);
+                    }
+                }
+                out
+            }
+        };
+        self.current = Some(next.clone());
+        Some(next)
+    }
+}
+
+/// The basic prefix scheme (Prefix-1).
+#[derive(Debug, Clone, Default)]
+pub struct Prefix1Scheme;
+
+/// The CKM optimized prefix scheme (Prefix-2) — the configuration the
+/// paper's experiments use.
+#[derive(Debug, Clone, Default)]
+pub struct Prefix2Scheme;
+
+fn label_with<F>(tree: &XmlTree, mut codes_for: F) -> LabeledDoc<PrefixLabel>
+where
+    F: FnMut(usize) -> Vec<BitString>,
+{
+    let mut doc = LabeledDoc::new(tree);
+    doc.set(tree.root(), PrefixLabel::root());
+    let mut stack = vec![tree.root()];
+    while let Some(node) = stack.pop() {
+        let parent_label = doc.label(node).clone();
+        let kids: Vec<NodeId> = tree.element_children(node).collect();
+        let codes = codes_for(kids.len());
+        for (child, code) in kids.iter().zip(&codes) {
+            doc.set(*child, PrefixLabel::child_of(&parent_label, code));
+        }
+        // Push in reverse so preorder pops left to right (cosmetic: labels
+        // are position-determined either way).
+        for child in kids.into_iter().rev() {
+            stack.push(child);
+        }
+    }
+    // Rebuild in document order for consumers relying on iteration order.
+    let mut ordered = LabeledDoc::new(tree);
+    for node in tree.elements() {
+        ordered.set(node, doc.label(node).clone());
+    }
+    ordered
+}
+
+impl Scheme for Prefix1Scheme {
+    type Label = PrefixLabel;
+
+    fn name(&self) -> &'static str {
+        "Prefix-1"
+    }
+
+    fn label(&self, tree: &XmlTree) -> LabeledDoc<PrefixLabel> {
+        label_with(tree, |n| (1..=n).map(prefix1_self_label).collect())
+    }
+}
+
+impl Scheme for Prefix2Scheme {
+    type Label = PrefixLabel;
+
+    fn name(&self) -> &'static str {
+        "Prefix-2"
+    }
+
+    fn label(&self, tree: &XmlTree) -> LabeledDoc<PrefixLabel> {
+        label_with(tree, |n| CkmCodes::new().take(n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_xmltree::parse;
+
+    fn check_exhaustively<S: Scheme<Label = PrefixLabel>>(src: &str, scheme: &S) {
+        let tree = parse(src).unwrap();
+        let doc = scheme.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    doc.label(x).is_ancestor_of(doc.label(y)),
+                    tree.is_ancestor(x, y),
+                    "{}: ancestor({x},{y}) in {src}",
+                    scheme.name()
+                );
+                assert_eq!(
+                    doc.label(x).is_parent_of(doc.label(y)),
+                    tree.parent(y) == Some(x),
+                    "{}: parent({x},{y}) in {src}",
+                    scheme.name()
+                );
+            }
+        }
+        // Lexicographic order == document order.
+        for w in nodes.windows(2) {
+            assert_eq!(
+                doc.label(w[0]).doc_cmp(doc.label(w[1])),
+                Ordering::Less,
+                "{}: doc order", scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prefix1_self_labels() {
+        assert_eq!(prefix1_self_label(1).to_string(), "0");
+        assert_eq!(prefix1_self_label(2).to_string(), "10");
+        assert_eq!(prefix1_self_label(5).to_string(), "11110");
+    }
+
+    #[test]
+    fn ckm_sequence_matches_the_paper() {
+        // §2: "the labels for sibling nodes will be as follows: 0, 10,
+        // 1100, 1101, 1110, 11110000".
+        let codes: Vec<String> = CkmCodes::new().take(6).map(|b| b.to_string()).collect();
+        assert_eq!(codes, ["0", "10", "1100", "1101", "1110", "11110000"]);
+    }
+
+    #[test]
+    fn ckm_codes_are_prefix_free_and_ordered() {
+        let codes: Vec<BitString> = CkmCodes::new().take(64).collect();
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_proper_prefix_of(b), "{a} prefixes {b}");
+                }
+                if i < j {
+                    assert_eq!(a.cmp(b), Ordering::Less, "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ckm_code_length_obeys_formula2() {
+        // Max self-label size for F siblings is ≤ 4⌈log₂ F⌉ (for F ≥ 2).
+        let codes: Vec<BitString> = CkmCodes::new().take(1000).collect();
+        for f in [2usize, 4, 10, 16, 100, 1000] {
+            let max_len = codes[..f].iter().map(|c| c.len()).max().unwrap() as u64;
+            let bound = 4 * (f as f64).log2().ceil() as u64;
+            assert!(max_len <= bound, "F={f}: {max_len} > {bound}");
+        }
+    }
+
+    #[test]
+    fn both_schemes_are_exact_on_varied_shapes() {
+        for src in [
+            "<a/>",
+            "<a><b/></a>",
+            "<a><b><c/><d/></b><e><f><g/></f></e><h/></a>",
+            "<a><b/><c/><d/><e/><f/><g/><h/><i/><j/><k/><l/><m/></a>", // F = 12
+        ] {
+            check_exhaustively(src, &Prefix1Scheme);
+            check_exhaustively(src, &Prefix2Scheme);
+        }
+    }
+
+    #[test]
+    fn section2_ambiguity_example_is_resolved() {
+        // The paper's motivating bug: integer prefix labels "2"+"11" vs
+        // "21"+"1" collide as "211". Binary prefix-free codes cannot: build
+        // a node with 11 children under child 2, and 1 child under child 21
+        // of a wide root, and check all labels are distinct.
+        let mut src = String::from("<r>");
+        for i in 0..21 {
+            if i == 1 {
+                src.push_str("<c2>");
+                for _ in 0..11 {
+                    src.push_str("<x/>");
+                }
+                src.push_str("</c2>");
+            } else if i == 20 {
+                src.push_str("<c21><y/></c21>");
+            } else {
+                src.push_str("<c/>");
+            }
+        }
+        src.push_str("</r>");
+        let tree = parse(&src).unwrap();
+        for doc in [Prefix1Scheme.label(&tree), Prefix2Scheme.label(&tree)] {
+            let mut seen = std::collections::HashSet::new();
+            for (_, l) in doc.iter() {
+                assert!(seen.insert(l.bits().to_string()), "duplicate label {}", l.bits());
+            }
+        }
+    }
+
+    #[test]
+    fn prefix1_grows_linearly_with_fanout_prefix2_logarithmically() {
+        let mut src = String::from("<r>");
+        for _ in 0..50 {
+            src.push_str("<c/>");
+        }
+        src.push_str("</r>");
+        let tree = parse(&src).unwrap();
+        let p1 = Prefix1Scheme.label(&tree).size_stats().max_bits;
+        let p2 = Prefix2Scheme.label(&tree).size_stats().max_bits;
+        assert_eq!(p1, 50, "1^49 0");
+        assert!(p2 <= 24, "CKM stays near 4·log₂(50) ≈ 23, got {p2}");
+    }
+
+    #[test]
+    fn codec_round_trips_prefix_documents() {
+        use xp_labelkit::codec::{decode_doc, encode_doc};
+        let tree = parse("<a><b><c/><d/></b><e/><f/><g/><h/><i/><j/></a>").unwrap();
+        for doc in [Prefix1Scheme.label(&tree), Prefix2Scheme.label(&tree)] {
+            let decoded = decode_doc::<PrefixLabel>(&tree, &encode_doc(&doc)).unwrap();
+            for node in tree.elements() {
+                assert_eq!(decoded.label(node), doc.label(node), "{node}");
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_insertion_at_end_changes_nothing() {
+        let mut tree = parse("<a><b/><c/></a>").unwrap();
+        let before = Prefix2Scheme.label(&tree);
+        let c = tree.last_child(tree.root()).unwrap();
+        let z = tree.create_element("z");
+        tree.insert_after(c, z);
+        let after = Prefix2Scheme.label(&tree);
+        let diff = before.diff_count(&after);
+        assert_eq!(diff.changed, 0, "appending a sibling is free for prefix schemes");
+        assert_eq!(diff.new_count, 1);
+    }
+
+    #[test]
+    fn ordered_insertion_relabels_following_sibling_subtrees() {
+        // Fig 18's cost driver: inserting BETWEEN siblings shifts every
+        // following sibling's code, relabeling their whole subtrees.
+        let mut tree = parse("<a><b><x/><y/></b><c><z/></c></a>").unwrap();
+        let before = Prefix2Scheme.label(&tree);
+        let b = tree.first_child(tree.root()).unwrap();
+        let new = tree.create_element("n");
+        tree.insert_before(b, new);
+        let after = Prefix2Scheme.label(&tree);
+        let diff = before.diff_count(&after);
+        assert_eq!(diff.changed, 5, "b, x, y, c, z all shift");
+        assert_eq!(diff.new_count, 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Codec robustness: decoding arbitrary bytes must never panic, and every
+//! encode → decode round trip must be the identity.
+
+use proptest::prelude::*;
+use xp_baselines::dewey::DeweyLabel;
+use xp_baselines::interval::IntervalLabel;
+use xp_baselines::prefix::PrefixLabel;
+use xp_labelkit::codec::LabelCodec;
+use xp_labelkit::BitString;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = IntervalLabel::decode(&mut bytes.as_slice());
+        let _ = PrefixLabel::decode(&mut bytes.as_slice());
+        let _ = DeweyLabel::decode(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn interval_round_trips(order in 1u64..u64::MAX / 2, size in 0u64..u64::MAX / 2, level in 0u32..1000) {
+        let label = IntervalLabel { order, size, level };
+        let mut buf = Vec::new();
+        label.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        prop_assert_eq!(IntervalLabel::decode(&mut slice).unwrap(), label);
+        prop_assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn dewey_round_trips(components in prop::collection::vec(1u32..100_000, 0..12)) {
+        let label = DeweyLabel::from_components(components);
+        let mut buf = Vec::new();
+        label.encode(&mut buf);
+        prop_assert_eq!(DeweyLabel::decode(&mut buf.as_slice()).unwrap(), label);
+    }
+
+    #[test]
+    fn prefix_round_trips(bits in "[01]{0,80}", extra_level in 0usize..20) {
+        // Build a label through the public scheme API surface: concat codes.
+        let code = BitString::from_bits(&bits);
+        let mut label = xp_baselines::prefix::PrefixLabel::root();
+        label = xp_baselines::prefix::PrefixLabel::child_of(&label, &code);
+        for _ in 0..extra_level {
+            label = xp_baselines::prefix::PrefixLabel::child_of(&label, &BitString::from_bits("10"));
+        }
+        let mut buf = Vec::new();
+        label.encode(&mut buf);
+        prop_assert_eq!(PrefixLabel::decode(&mut buf.as_slice()).unwrap(), label);
+    }
+}
+
+#[test]
+fn truncated_streams_error_cleanly() {
+    let label = IntervalLabel { order: 300, size: 4, level: 2 };
+    let mut buf = Vec::new();
+    label.encode(&mut buf);
+    for cut in 0..buf.len() {
+        assert!(IntervalLabel::decode(&mut &buf[..cut]).is_err(), "cut at {cut}");
+    }
+}

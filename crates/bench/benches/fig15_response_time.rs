@@ -1,0 +1,30 @@
+//! Criterion timing for Figure 15: the nine Table 2 queries across the
+//! three labeling schemes on a replicated Shakespeare corpus.
+//!
+//! The harness binary `fig15_response_time` prints the paper's series from
+//! a single timed sweep; this bench gives statistically solid per-query
+//! numbers (smaller corpus + few samples keep the run tractable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xp_bench::experiments::timing::{corpus, evaluators};
+use xp_query::queries::TEST_QUERIES;
+
+fn bench_queries(c: &mut Criterion) {
+    let tree = corpus(2);
+    let evs = evaluators(&tree);
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    for q in &TEST_QUERIES {
+        for ev in &evs {
+            group.bench_with_input(
+                BenchmarkId::new(ev.name(), q.id),
+                &q.path,
+                |b, path| b.iter(|| ev.eval_str(path).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

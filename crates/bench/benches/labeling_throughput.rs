@@ -1,0 +1,44 @@
+//! Labeling throughput: how fast each scheme labels a mid-sized dataset
+//! (D6, 2686 nodes) and the big one (D9, 10052 nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xp_baselines::dewey::DeweyScheme;
+use xp_baselines::interval::IntervalScheme;
+use xp_baselines::prefix::{Prefix1Scheme, Prefix2Scheme};
+use xp_datagen::datasets::dataset;
+use xp_labelkit::Scheme;
+use xp_prime::bottomup::BottomUpPrime;
+use xp_prime::topdown::TopDownPrime;
+
+fn bench_labeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labeling");
+    group.sample_size(10);
+    for id in ["D6", "D9"] {
+        let tree = dataset(id).unwrap().generate(2004);
+        group.bench_with_input(BenchmarkId::new("interval", id), &tree, |b, t| {
+            b.iter(|| IntervalScheme::dense().label(t).len())
+        });
+        group.bench_with_input(BenchmarkId::new("prefix1", id), &tree, |b, t| {
+            b.iter(|| Prefix1Scheme.label(t).len())
+        });
+        group.bench_with_input(BenchmarkId::new("prefix2", id), &tree, |b, t| {
+            b.iter(|| Prefix2Scheme.label(t).len())
+        });
+        group.bench_with_input(BenchmarkId::new("dewey", id), &tree, |b, t| {
+            b.iter(|| DeweyScheme.label(t).len())
+        });
+        group.bench_with_input(BenchmarkId::new("prime_unopt", id), &tree, |b, t| {
+            b.iter(|| TopDownPrime::unoptimized().label(t).len())
+        });
+        group.bench_with_input(BenchmarkId::new("prime_optimized", id), &tree, |b, t| {
+            b.iter(|| TopDownPrime::optimized().label(t).len())
+        });
+        group.bench_with_input(BenchmarkId::new("prime_bottomup", id), &tree, |b, t| {
+            b.iter(|| BottomUpPrime.label(t).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_labeling);
+criterion_main!(benches);

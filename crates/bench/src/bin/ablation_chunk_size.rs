@@ -1,0 +1,4 @@
+//! Ablation (beyond the paper): SC chunk size vs ordered-update cost.
+fn main() {
+    xp_bench::experiments::updates::ablation_chunk_size().emit();
+}

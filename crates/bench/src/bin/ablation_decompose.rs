@@ -1,0 +1,4 @@
+//! Ablation (beyond the paper): tree decomposition vs maximum label size.
+fn main() {
+    xp_bench::experiments::sizes::ablation_decompose().emit();
+}

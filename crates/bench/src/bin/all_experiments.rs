@@ -1,0 +1,18 @@
+//! Runs every table/figure experiment in sequence (the full reproduction).
+fn main() {
+    use xp_bench::experiments::{sizes, timing, updates};
+    sizes::fig03(10_000, 250).emit();
+    sizes::fig04().emit();
+    sizes::fig05().emit();
+    sizes::tab01().emit();
+    sizes::fig13().emit();
+    sizes::fig14().emit();
+    timing::tab02(5).emit();
+    timing::fig15(5, 5).emit();
+    timing::fig15_predicate_traffic(5).emit();
+    updates::fig16().emit();
+    updates::fig17().emit();
+    updates::fig18(5).emit();
+    updates::ablation_chunk_size().emit();
+    sizes::ablation_decompose().emit();
+}

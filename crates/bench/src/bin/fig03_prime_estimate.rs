@@ -1,0 +1,4 @@
+//! Regenerates Figure 3: actual vs estimated prime-number bit lengths.
+fn main() {
+    xp_bench::experiments::sizes::fig03(10_000, 250).emit();
+}

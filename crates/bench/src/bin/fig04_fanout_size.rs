@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: effect of fan-out on self-label size (D = 2).
+fn main() {
+    xp_bench::experiments::sizes::fig04().emit();
+}

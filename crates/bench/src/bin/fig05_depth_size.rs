@@ -1,0 +1,4 @@
+//! Regenerates Figure 5: effect of depth on self-label size (F = 15).
+fn main() {
+    xp_bench::experiments::sizes::fig05().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 13: effect of Opt1/Opt2/Opt3 on label size.
+fn main() {
+    xp_bench::experiments::sizes::fig13().emit();
+}

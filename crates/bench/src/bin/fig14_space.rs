@@ -1,0 +1,4 @@
+//! Regenerates Figure 14: space requirements of the labeling schemes.
+fn main() {
+    xp_bench::experiments::sizes::fig14().emit();
+}

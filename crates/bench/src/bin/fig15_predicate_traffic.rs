@@ -1,0 +1,4 @@
+//! Companion to Figure 15: substrate-independent predicate traffic.
+fn main() {
+    xp_bench::experiments::timing::fig15_predicate_traffic(5).emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 15: query response times (median of 5 runs) on the
+//! Shakespeare corpus replicated 5 times. Run with --release.
+fn main() {
+    xp_bench::experiments::timing::fig15(5, 5).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 16: relabeling cost of leaf insertions.
+fn main() {
+    xp_bench::experiments::updates::fig16().emit();
+}

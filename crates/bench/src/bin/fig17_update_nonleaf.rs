@@ -1,0 +1,4 @@
+//! Regenerates Figure 17: relabeling cost of non-leaf (wrapping) insertions.
+fn main() {
+    xp_bench::experiments::updates::fig17().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 18: order-sensitive ACT insertions into Hamlet
+//! (SC chunk size 5, as in §5.4).
+fn main() {
+    xp_bench::experiments::updates::fig18(5).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: characteristics of the (synthesized) datasets.
+fn main() {
+    xp_bench::experiments::sizes::tab01().emit();
+}

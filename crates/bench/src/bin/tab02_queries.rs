@@ -1,0 +1,5 @@
+//! Regenerates Table 2: the nine test queries and their cardinalities
+//! on the Shakespeare corpus replicated 5 times.
+fn main() {
+    xp_bench::experiments::timing::tab02(5).emit();
+}

@@ -1,0 +1,8 @@
+//! All experiments, one function per table/figure.
+
+pub mod sizes;
+pub mod timing;
+pub mod updates;
+
+/// The seed every experiment uses, so figures regenerate bit-identically.
+pub const SEED: u64 = 2004;

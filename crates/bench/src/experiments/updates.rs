@@ -1,0 +1,267 @@
+//! Update experiments: Figure 16 (leaf insertion), Figure 17 (non-leaf
+//! insertion), Figure 18 (order-sensitive insertion), plus the SC
+//! chunk-size ablation.
+//!
+//! Relabel counts are *measured*, not modeled (DESIGN.md §4.3): static
+//! schemes are fully relabeled after the mutation and diffed against the
+//! pre-mutation table; the prime scheme applies its incremental update rule.
+
+use super::SEED;
+use crate::report::Report;
+use xp_baselines::interval::IntervalScheme;
+use xp_baselines::prefix::Prefix2Scheme;
+use xp_datagen::builders::update_experiment_docs;
+use xp_datagen::shakespeare::{generate_play, PlayParams};
+use xp_labelkit::Scheme;
+use xp_prime::ordered::OrderedPrimeDoc;
+use xp_prime::topdown::TopDownPrime;
+use xp_xmltree::{NodeId, XmlTree};
+
+/// Relabel count for a static scheme: label, mutate, relabel, diff.
+fn static_relabels<S: Scheme>(scheme: &S, tree: &XmlTree, mutate: impl Fn(&mut XmlTree)) -> usize {
+    let before = scheme.label(tree);
+    let mut mutated = tree.clone();
+    mutate(&mut mutated);
+    let after = scheme.label(&mutated);
+    before.diff_count(&after).total()
+}
+
+/// The deepest element (first in document order among the deepest).
+fn deepest_element(tree: &XmlTree) -> NodeId {
+    let mut best = tree.root();
+    let mut best_depth = 0;
+    for node in tree.elements() {
+        let d = tree.depth(node);
+        if d > best_depth {
+            best = node;
+            best_depth = d;
+        }
+    }
+    best
+}
+
+/// The first element at exactly `depth` in document order, if any.
+fn first_at_depth(tree: &XmlTree, depth: usize) -> Option<NodeId> {
+    tree.elements().find(|&n| tree.depth(n) == depth)
+}
+
+/// Figure 16: number of nodes relabeled when inserting a new node under the
+/// node on the deepest level, for documents of 1000..=10000 nodes.
+///
+/// The insertion makes a previous leaf internal, so the optimized prime
+/// scheme relabels 2 nodes (new + parent trading its `2^n` for a prime),
+/// the unoptimized prime scheme and the prefix scheme relabel 1, and the
+/// interval scheme renumbers everything after the insertion point.
+pub fn fig16() -> Report {
+    let mut r = Report::new(
+        "fig16_update_leaf",
+        "Figure 16: update on leaf nodes (nodes to relabel)",
+        &["doc_nodes", "interval", "prime_optimized", "prime_original", "prefix2"],
+    );
+    for tree in update_experiment_docs(SEED) {
+        let n = tree.elements().count();
+        let target = deepest_element(&tree);
+
+        let interval = static_relabels(&IntervalScheme::dense(), &tree, |t| {
+            t.append_element(target, "new");
+        });
+        let prefix2 = static_relabels(&Prefix2Scheme, &tree, |t| {
+            t.append_element(target, "new");
+        });
+
+        let mut t_opt = tree.clone();
+        let mut doc_opt = TopDownPrime::optimized().label_document(&t_opt);
+        let prime_opt = doc_opt.insert_child(&mut t_opt, target, "new").total_relabeled();
+
+        let mut t_plain = tree.clone();
+        let mut doc_plain = TopDownPrime::unoptimized().label_document(&t_plain);
+        let prime_plain = doc_plain.insert_child(&mut t_plain, target, "new").total_relabeled();
+
+        r.push(&[n, interval, prime_opt, prime_plain, prefix2]);
+    }
+    r
+}
+
+/// Figure 17: number of nodes relabeled when inserting a new node as the
+/// *parent* of the first level-4 node (wrapping its subtree).
+pub fn fig17() -> Report {
+    let mut r = Report::new(
+        "fig17_update_nonleaf",
+        "Figure 17: update on non-leaf nodes (nodes to relabel)",
+        &["doc_nodes", "subtree_size", "interval", "prime", "prefix2"],
+    );
+    for tree in update_experiment_docs(SEED) {
+        let n = tree.elements().count();
+        let target = first_at_depth(&tree, 4).expect("update docs reach depth 4");
+        let subtree = tree.element_descendants(target).count();
+
+        let interval = static_relabels(&IntervalScheme::dense(), &tree, |t| {
+            t.wrap_with_parent(target, "wrap");
+        });
+        let prefix2 = static_relabels(&Prefix2Scheme, &tree, |t| {
+            t.wrap_with_parent(target, "wrap");
+        });
+
+        let mut t_prime = tree.clone();
+        let mut doc = TopDownPrime::unoptimized().label_document(&t_prime);
+        let prime = doc.insert_parent(&mut t_prime, target, "wrap").total_relabeled();
+
+        r.push(&[n, subtree, interval, prime, prefix2]);
+    }
+    r
+}
+
+/// The acts of a play, in document order.
+fn acts(tree: &XmlTree) -> Vec<NodeId> {
+    tree.elements().filter(|&n| tree.tag(n) == Some("ACT")).collect()
+}
+
+/// Figure 18: order-sensitive updates on Hamlet — a new `ACT` inserted
+/// before act k, for k = 1..=5, each on a fresh document. The prime scheme
+/// pays 1 (the new label) + one per touched SC record (+ rare small-prime
+/// relabels); interval and prefix relabel everything whose label or order
+/// encoding shifts.
+pub fn fig18(chunk_capacity: usize) -> Report {
+    let mut r = Report::new(
+        "fig18_ordered_update",
+        "Figure 18: order-sensitive updates (nodes to relabel; SC chunk = 5)",
+        &["updated_act", "interval", "prefix2", "dewey", "prime", "prime_sc_records"],
+    );
+    let play = generate_play("Hamlet", SEED, &PlayParams::hamlet_like());
+    for k in 1..=5usize {
+        let act_k = acts(&play)[k - 1];
+        let insert_act = |t: &mut XmlTree| {
+            let new = t.create_element("ACT");
+            t.insert_before(acts(t)[k - 1], new);
+        };
+
+        let interval = static_relabels(&IntervalScheme::dense(), &play, insert_act);
+        let prefix2 = static_relabels(&Prefix2Scheme, &play, insert_act);
+        let dewey = static_relabels(&xp_baselines::dewey::DeweyScheme, &play, insert_act);
+
+        let mut t_prime = play.clone();
+        let mut ordered = OrderedPrimeDoc::build(&t_prime, chunk_capacity).expect("coprime");
+        let report = ordered
+            .insert_sibling_before(&mut t_prime, act_k, "ACT")
+            .expect("ordered insert");
+        let prime = report.total_relabeled();
+
+        r.push(&[
+            k,
+            interval,
+            prefix2,
+            dewey,
+            prime,
+            report.sc_records_updated,
+        ]);
+    }
+    r
+}
+
+/// Ablation: Figure 18's prime cost as a function of the SC chunk size.
+/// Larger chunks mean fewer records to touch but bigger CRT systems per
+/// touch — the paper fixes 5; this sweep shows the trade-off, including
+/// the SC table's own storage (which the paper never charges).
+pub fn ablation_chunk_size() -> Report {
+    let mut r = Report::new(
+        "ablation_chunk_size",
+        "Ablation: SC chunk size vs ordered-update cost (insert before act 3)",
+        &["chunk_size", "sc_records_total", "sc_records_updated", "prime_total", "sc_storage_bits"],
+    );
+    let play = generate_play("Hamlet", SEED, &PlayParams::hamlet_like());
+    for chunk in [1usize, 2, 5, 10, 25, 50, 100] {
+        let mut t = play.clone();
+        let act3 = acts(&t)[2];
+        let mut ordered = OrderedPrimeDoc::build(&t, chunk).expect("coprime");
+        let total_records = ordered.sc_table().record_count();
+        let storage = ordered.sc_table().storage_bits();
+        let report = ordered.insert_sibling_before(&mut t, act3, "ACT").expect("insert");
+        r.push(&[
+            chunk,
+            total_records,
+            report.sc_records_updated,
+            report.total_relabeled(),
+            storage as usize,
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(r: &Report, idx: usize) -> Vec<u64> {
+        r.rows().iter().map(|row| row[idx].parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn fig16_shape_dynamic_flat_static_grows() {
+        let r = fig16();
+        let interval = col(&r, 1);
+        let prime_opt = col(&r, 2);
+        let prime_plain = col(&r, 3);
+        let prefix2 = col(&r, 4);
+        // Paper: prefix relabels 1, optimized prime 2, original prime 1 —
+        // independent of document size.
+        assert!(prime_opt.iter().all(|&v| v == 2), "{prime_opt:?}");
+        assert!(prime_plain.iter().all(|&v| v == 1), "{prime_plain:?}");
+        assert!(prefix2.iter().all(|&v| v == 1), "{prefix2:?}");
+        // Interval grows with the document (hundreds to thousands).
+        assert!(interval[0] > 10);
+        assert!(interval.last().unwrap() > &interval[0]);
+    }
+
+    #[test]
+    fn fig17_shape_dynamic_pays_subtree_static_pays_suffix() {
+        let r = fig17();
+        for row in r.rows() {
+            let subtree: u64 = row[1].parse().unwrap();
+            let interval: u64 = row[2].parse().unwrap();
+            let prime: u64 = row[3].parse().unwrap();
+            let prefix2: u64 = row[4].parse().unwrap();
+            assert_eq!(prime, subtree + 1, "prime pays the wrapped subtree + new node");
+            assert_eq!(prefix2, subtree + 1, "prefix pays the same subtree");
+            assert!(interval >= prime, "interval relabels a superset");
+        }
+    }
+
+    #[test]
+    fn fig18_shape_prime_is_an_order_of_magnitude_cheaper() {
+        let r = fig18(5);
+        assert_eq!(r.rows().len(), 5);
+        for row in r.rows() {
+            let interval: f64 = row[1].parse().unwrap();
+            let prefix2: f64 = row[2].parse().unwrap();
+            let dewey: f64 = row[3].parse().unwrap();
+            let prime: f64 = row[4].parse().unwrap();
+            // Interval, prefix, and Dewey all relabel thousands; prime
+            // touches ~(nodes-after / 5) SC records.
+            assert!(interval > 1000.0, "interval {interval}");
+            assert!(prefix2 > 1000.0, "prefix {prefix2}");
+            assert!(dewey > 1000.0, "dewey {dewey}");
+            assert!(prime < interval / 3.0, "prime {prime} vs interval {interval}");
+            assert!(prime < prefix2 / 3.0, "prime {prime} vs prefix {prefix2}");
+        }
+    }
+
+    #[test]
+    fn fig18_cost_declines_for_later_acts() {
+        // Inserting before a later act shifts fewer following nodes.
+        let r = fig18(5);
+        let prime = col(&r, 4);
+        assert!(prime.first().unwrap() > prime.last().unwrap(), "{prime:?}");
+        let interval = col(&r, 1);
+        assert!(interval.first().unwrap() > interval.last().unwrap(), "{interval:?}");
+    }
+
+    #[test]
+    fn chunk_ablation_larger_chunks_touch_fewer_records() {
+        let r = ablation_chunk_size();
+        let updated = col(&r, 2);
+        assert!(
+            updated.first().unwrap() > updated.last().unwrap(),
+            "chunk=1 must touch more records than chunk=100: {updated:?}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # xp-bench — the experiment harness
+//!
+//! One regeneration target per table and figure of the paper's evaluation
+//! (see DESIGN.md §2 for the full index). Each experiment lives in
+//! [`experiments`] as a pure function returning rows, shared by:
+//!
+//! * the `src/bin/*` binaries (`cargo run -p xp-bench --release --bin
+//!   fig14_space`), which print an aligned table and write
+//!   `results/<name>.csv`;
+//! * the crate's tests, which assert the *shapes* the paper claims;
+//! * the Criterion benches (`benches/`), which time the Figure 15 queries
+//!   and the ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

@@ -1,0 +1,143 @@
+//! Tabular experiment output: aligned text to stdout, CSV to `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple experiment report: a header row plus data rows of equal arity.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report. `name` becomes the CSV file stem.
+    pub fn new(name: &str, title: &str, headers: &[&str]) -> Self {
+        Report {
+            name: name.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends one row of displayable cells.
+    pub fn push<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            let rendered: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            let _ = writeln!(out, "{}", rendered.join("  "));
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Prints the table and writes `results/<name>.csv` (best effort: the
+    /// CSV write is skipped silently on read-only checkouts).
+    pub fn emit(&self) {
+        print!("{}", self.to_text());
+        let dir = results_dir();
+        if fs::create_dir_all(&dir).is_ok() {
+            let _ = fs::write(dir.join(format!("{}.csv", self.name)), self.to_csv());
+            println!("\n[written results/{}.csv]", self.name);
+        }
+    }
+}
+
+/// `<workspace>/results`, anchored at this crate's manifest.
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("t", "A title", &["x", "value"]);
+        r.push(&[1, 10]);
+        r.push(&[2, 200]);
+        r
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("# A title"));
+        assert!(text.contains("x  value"));
+        assert!(text.lines().last().unwrap().ends_with("200"));
+    }
+
+    #[test]
+    fn csv_round_trips_simple_cells() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().next(), Some("x,value"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut r = Report::new("t", "t", &["a"]);
+        r.row(&["hello, \"world\"".to_string()]);
+        assert!(r.to_csv().contains("\"hello, \"\"world\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("t", "t", &["a", "b"]);
+        r.push(&[1]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Bit-level operations: shifts, bit length, trailing zeros, power-of-two
+//! tests. The paper's size analysis (§3.1) is entirely in terms of label bit
+//! lengths, and Opt2 needs fast `2^n` recognition for leaf labels.
+
+use crate::UBig;
+use std::ops::{Shl, ShlAssign, Shr, ShrAssign};
+
+impl UBig {
+    /// Number of bits in the binary representation; 0 for the value 0.
+    ///
+    /// This is the paper's label-size metric: a label `L` occupies
+    /// `bit_len(L)` bits.
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for the value 0.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return Some(i as u64 * 64 + limb.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// `true` iff the value is exactly `2^k` for some `k >= 0`.
+    ///
+    /// Under Opt2 the n-th leaf child carries self-label `2^n`; the
+    /// parent-child test recognizes leaf self-labels with this predicate.
+    pub fn is_power_of_two(&self) -> bool {
+        match self.limbs.split_last() {
+            None => false,
+            Some((&top, rest)) => top.is_power_of_two() && rest.iter().all(|&l| l == 0),
+        }
+    }
+
+    /// Returns `2^k`.
+    pub fn power_of_two(k: u64) -> UBig {
+        let limb_idx = (k / 64) as usize;
+        let mut limbs = vec![0u64; limb_idx + 1];
+        limbs[limb_idx] = 1u64 << (k % 64);
+        UBig { limbs }
+    }
+
+    /// Value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb_idx = (i / 64) as usize;
+        match self.limbs.get(limb_idx) {
+            None => false,
+            Some(&limb) => (limb >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    pub(crate) fn shl_bits_assign(&mut self, k: u64) {
+        if self.is_zero() || k == 0 {
+            return;
+        }
+        let limb_shift = (k / 64) as usize;
+        let bit_shift = (k % 64) as u32;
+        let old = std::mem::take(&mut self.limbs);
+        let mut limbs = vec![0u64; old.len() + limb_shift + 1];
+        for (i, &l) in old.iter().enumerate() {
+            limbs[i + limb_shift] |= l << bit_shift;
+            if bit_shift != 0 {
+                limbs[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        self.limbs = limbs;
+        self.normalize();
+    }
+
+    pub(crate) fn shr_bits_assign(&mut self, k: u64) {
+        if self.is_zero() || k == 0 {
+            return;
+        }
+        let limb_shift = (k / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            self.limbs.clear();
+            return;
+        }
+        let bit_shift = (k % 64) as u32;
+        let len = self.limbs.len() - limb_shift;
+        let mut limbs = vec![0u64; len];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let lo = self.limbs[i + limb_shift] >> bit_shift;
+            let hi = if bit_shift != 0 {
+                self.limbs.get(i + limb_shift + 1).copied().unwrap_or(0) << (64 - bit_shift)
+            } else {
+                0
+            };
+            *limb = lo | hi;
+        }
+        self.limbs = limbs;
+        self.normalize();
+    }
+}
+
+impl Shl<u64> for &UBig {
+    type Output = UBig;
+    fn shl(self, k: u64) -> UBig {
+        let mut out = self.clone();
+        out.shl_bits_assign(k);
+        out
+    }
+}
+
+impl Shl<u64> for UBig {
+    type Output = UBig;
+    fn shl(mut self, k: u64) -> UBig {
+        self.shl_bits_assign(k);
+        self
+    }
+}
+
+impl Shr<u64> for &UBig {
+    type Output = UBig;
+    fn shr(self, k: u64) -> UBig {
+        let mut out = self.clone();
+        out.shr_bits_assign(k);
+        out
+    }
+}
+
+impl Shr<u64> for UBig {
+    type Output = UBig;
+    fn shr(mut self, k: u64) -> UBig {
+        self.shr_bits_assign(k);
+        self
+    }
+}
+
+impl ShlAssign<u64> for UBig {
+    fn shl_assign(&mut self, k: u64) {
+        self.shl_bits_assign(k);
+    }
+}
+
+impl ShrAssign<u64> for UBig {
+    fn shr_assign(&mut self, k: u64) {
+        self.shr_bits_assign(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_len_basics() {
+        assert_eq!(UBig::zero().bit_len(), 0);
+        assert_eq!(UBig::one().bit_len(), 1);
+        assert_eq!(UBig::from(255u64).bit_len(), 8);
+        assert_eq!(UBig::from(256u64).bit_len(), 9);
+        assert_eq!(UBig::from(1u128 << 64).bit_len(), 65);
+    }
+
+    #[test]
+    fn power_of_two_construction_and_test() {
+        for k in [0u64, 1, 7, 63, 64, 65, 130] {
+            let p = UBig::power_of_two(k);
+            assert!(p.is_power_of_two(), "2^{k}");
+            assert_eq!(p.bit_len(), k + 1);
+            assert_eq!(p.trailing_zeros(), Some(k));
+        }
+        assert!(!UBig::zero().is_power_of_two());
+        assert!(!UBig::from(6u64).is_power_of_two());
+        assert!(!UBig::from((1u128 << 64) | 2).is_power_of_two());
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let v = UBig::from(0xdead_beef_cafe_f00du64);
+        for k in [1u64, 13, 64, 70, 129] {
+            let shifted = &v << k;
+            assert_eq!(&shifted >> k, v, "shift by {k}");
+        }
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        let v = UBig::from(5u64);
+        assert!((v >> 3).is_zero());
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = UBig::from(0b1010u64);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(64)); // beyond the limbs
+    }
+
+    #[test]
+    fn shl_matches_mul_by_power() {
+        let v = UBig::from(12345u64);
+        assert_eq!(&v << 20, &v * &UBig::power_of_two(20));
+    }
+}

@@ -1,0 +1,68 @@
+//! Byte-level (de)serialization of [`UBig`]: little-endian magnitude bytes
+//! with no leading-zero padding — the on-disk form label stores use.
+
+use crate::UBig;
+
+impl UBig {
+    /// Little-endian magnitude bytes, minimal length (empty for zero).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &limb in &self.limbs {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Parses little-endian magnitude bytes (inverse of
+    /// [`UBig::to_le_bytes`]; trailing zero bytes are tolerated).
+    pub fn from_le_bytes(bytes: &[u8]) -> UBig {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(buf));
+        }
+        UBig::from_limbs(limbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty() {
+        assert!(UBig::zero().to_le_bytes().is_empty());
+        assert_eq!(UBig::from_le_bytes(&[]), UBig::zero());
+        assert_eq!(UBig::from_le_bytes(&[0, 0, 0]), UBig::zero());
+    }
+
+    #[test]
+    fn round_trips_values_of_every_width() {
+        for v in [1u128, 255, 256, 0xdead_beef, u64::MAX as u128, u64::MAX as u128 + 1, u128::MAX]
+        {
+            let u = UBig::from(v);
+            assert_eq!(UBig::from_le_bytes(&u.to_le_bytes()), u, "{v}");
+        }
+        let big = UBig::from(3u64).pow(500);
+        assert_eq!(UBig::from_le_bytes(&big.to_le_bytes()), big);
+    }
+
+    #[test]
+    fn encoding_is_minimal() {
+        assert_eq!(UBig::from(1u64).to_le_bytes(), vec![1]);
+        assert_eq!(UBig::from(256u64).to_le_bytes(), vec![0, 1]);
+        assert_eq!(UBig::from(0x0102_0304u64).to_le_bytes(), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn byte_length_matches_bit_length() {
+        for v in [1u64, 127, 128, 65535, 65536] {
+            let u = UBig::from(v);
+            assert_eq!(u.to_le_bytes().len() as u64, u.bit_len().div_ceil(8));
+        }
+    }
+}

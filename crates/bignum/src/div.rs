@@ -1,0 +1,297 @@
+//! Division: single-limb fast path and Knuth's Algorithm D for the general
+//! case. The ancestor test of the labeling scheme is literally
+//! `label(y) mod label(x) == 0`, so `divrem` is the hottest primitive in the
+//! whole reproduction.
+
+use crate::UBig;
+use std::ops::{Div, DivAssign, Rem, RemAssign};
+
+const B: u128 = 1u128 << 64;
+
+impl UBig {
+    /// Divides by a machine word, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn divrem_u64(&self, d: u64) -> (UBig, u64) {
+        assert!(d != 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | limb as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (UBig::from_limbs(q), rem as u64)
+    }
+
+    /// Remainder of division by a machine word.
+    pub fn rem_u64(&self, d: u64) -> u64 {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u128;
+        for &limb in self.limbs.iter().rev() {
+            rem = ((rem << 64) | limb as u128) % d as u128;
+        }
+        rem as u64
+    }
+
+    /// Returns `(self / v, self % v)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is zero.
+    pub fn divrem(&self, v: &UBig) -> (UBig, UBig) {
+        assert!(!v.is_zero(), "division by zero");
+        if self < v {
+            return (UBig::zero(), self.clone());
+        }
+        if v.limbs.len() == 1 {
+            let (q, r) = self.divrem_u64(v.limbs[0]);
+            return (q, UBig::from(r));
+        }
+        let (q, r) = divrem_knuth(&self.limbs, &v.limbs);
+        (UBig::from_limbs(q), UBig::from_limbs(r))
+    }
+
+    /// `true` iff `self` is an exact multiple of `d` (zero divides only zero).
+    ///
+    /// This is Property 2 of the paper: `x` is an ancestor of `y` in a
+    /// bottom-up labeled tree iff `label(x).is_multiple_of(label(y))`, and in
+    /// the top-down scheme iff `label(y).is_multiple_of(label(x))`.
+    pub fn is_multiple_of(&self, d: &UBig) -> bool {
+        if d.is_zero() {
+            return self.is_zero();
+        }
+        if d.limbs.len() == 1 {
+            return self.rem_u64(d.limbs[0]) == 0;
+        }
+        self.divrem(d).1.is_zero()
+    }
+}
+
+/// Knuth TAOCP vol. 2, Algorithm 4.3.1 D, for `u / v` with `v` at least two
+/// limbs and `u >= v`. Returns `(quotient, remainder)` limb vectors.
+fn divrem_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = v.len();
+    let m = u.len() - n;
+    debug_assert!(n >= 2);
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let s = v[n - 1].leading_zeros();
+    let mut vn = vec![0u64; n];
+    let mut un = vec![0u64; u.len() + 1];
+    if s > 0 {
+        for i in (1..n).rev() {
+            vn[i] = (v[i] << s) | (v[i - 1] >> (64 - s));
+        }
+        vn[0] = v[0] << s;
+        un[u.len()] = u[u.len() - 1] >> (64 - s);
+        for i in (1..u.len()).rev() {
+            un[i] = (u[i] << s) | (u[i - 1] >> (64 - s));
+        }
+        un[0] = u[0] << s;
+    } else {
+        vn.copy_from_slice(v);
+        un[..u.len()].copy_from_slice(u);
+    }
+
+    let mut q = vec![0u64; m + 1];
+    // D2-D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two dividend limbs.
+        let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = num / vn[n - 1] as u128;
+        let mut rhat = num % vn[n - 1] as u128;
+        while qhat >= B || qhat * vn[n - 2] as u128 > (rhat << 64) + un[j + n - 2] as u128 {
+            qhat -= 1;
+            rhat += vn[n - 1] as u128;
+            if rhat >= B {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract qhat * vn from the dividend window.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let t = un[i + j] as i128 - (p as u64) as i128 - borrow;
+            un[i + j] = t as u64;
+            borrow = i128::from(t < 0);
+        }
+        let t = un[j + n] as i128 - carry as i128 - borrow;
+        un[j + n] = t as u64;
+
+        // D5-D6: qhat was one too large (probability ~2/B); add back.
+        if t < 0 {
+            qhat -= 1;
+            let mut c = 0u128;
+            for i in 0..n {
+                let sum = un[i + j] as u128 + vn[i] as u128 + c;
+                un[i + j] = sum as u64;
+                c = sum >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(c as u64);
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let mut r = vec![0u64; n];
+    if s > 0 {
+        for i in 0..n - 1 {
+            r[i] = (un[i] >> s) | (un[i + 1] << (64 - s));
+        }
+        r[n - 1] = un[n - 1] >> s;
+    } else {
+        r.copy_from_slice(&un[..n]);
+    }
+    (q, r)
+}
+
+macro_rules! forward_divrem {
+    ($trait:ident, $method:ident, $idx:tt) => {
+        impl $trait<&UBig> for &UBig {
+            type Output = UBig;
+            fn $method(self, rhs: &UBig) -> UBig {
+                self.divrem(rhs).$idx
+            }
+        }
+        impl $trait<UBig> for UBig {
+            type Output = UBig;
+            fn $method(self, rhs: UBig) -> UBig {
+                self.divrem(&rhs).$idx
+            }
+        }
+        impl $trait<&UBig> for UBig {
+            type Output = UBig;
+            fn $method(self, rhs: &UBig) -> UBig {
+                self.divrem(rhs).$idx
+            }
+        }
+        impl $trait<UBig> for &UBig {
+            type Output = UBig;
+            fn $method(self, rhs: UBig) -> UBig {
+                self.divrem(&rhs).$idx
+            }
+        }
+    };
+}
+
+forward_divrem!(Div, div, 0);
+forward_divrem!(Rem, rem, 1);
+
+impl DivAssign<&UBig> for UBig {
+    fn div_assign(&mut self, rhs: &UBig) {
+        *self = self.divrem(rhs).0;
+    }
+}
+
+impl RemAssign<&UBig> for UBig {
+    fn rem_assign(&mut self, rhs: &UBig) {
+        *self = self.divrem(rhs).1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_u128(a: u128, b: u128) {
+        let (q, r) = UBig::from(a).divrem(&UBig::from(b));
+        assert_eq!(q.to_u128(), Some(a / b), "{a} / {b}");
+        assert_eq!(r.to_u128(), Some(a % b), "{a} % {b}");
+    }
+
+    #[test]
+    fn single_limb_division() {
+        let (q, r) = UBig::from(1_000_003u64).divrem_u64(97);
+        assert_eq!(q.to_u64(), Some(1_000_003 / 97));
+        assert_eq!(r, 1_000_003 % 97);
+    }
+
+    #[test]
+    fn rem_u64_matches_divrem() {
+        let v = UBig::from(0xfedc_ba98_7654_3210_0123_4567_89ab_cdefu128);
+        assert_eq!(v.rem_u64(1_000_000_007), v.divrem_u64(1_000_000_007).1);
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = UBig::from(5u64).divrem(&UBig::from(1u128 << 100));
+        assert!(q.is_zero());
+        assert_eq!(r.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn knuth_two_limb_cases() {
+        check_u128(u128::MAX, (1u128 << 64) + 1);
+        check_u128(u128::MAX - 3, u64::MAX as u128 + 2);
+        check_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788, 0x1_0000_0000_0000_0001);
+    }
+
+    #[test]
+    fn add_back_branch_is_exercised() {
+        // Crafted so the initial qhat estimate is one too large: the divisor
+        // has maximal top limb and the dividend window nearly matches it.
+        let u = UBig::from_limbs(vec![0, 0, 0x8000_0000_0000_0000, 0x7fff_ffff_ffff_ffff]);
+        let v = UBig::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let (q, r) = u.divrem(&v);
+        assert_eq!(&q * &v + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn reconstruction_identity_many_limbs() {
+        let mut a = UBig::one();
+        for p in [3u64, 5, 7, 11, 13, 10007, 65537, 4294967311] {
+            a *= UBig::from(p);
+            a = a.square() + UBig::from(p);
+        }
+        let d = UBig::from_limbs(vec![0xdead_beef, 0xcafe_babe, 0x1234]);
+        let (q, r) = a.divrem(&d);
+        assert_eq!(&q * &d + &r, a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn is_multiple_of_prime_products() {
+        // label(y) = 2 * 5 * 11, label(x) = 2 * 5: x is an ancestor of y.
+        let y = UBig::from(110u64);
+        let x = UBig::from(10u64);
+        assert!(y.is_multiple_of(&x));
+        assert!(!x.is_multiple_of(&y));
+        assert!(!y.is_multiple_of(&UBig::from(3u64)));
+    }
+
+    #[test]
+    fn zero_dividend_and_divisor_edge_cases() {
+        assert!(UBig::zero().is_multiple_of(&UBig::from(7u64)));
+        assert!(UBig::zero().is_multiple_of(&UBig::zero()));
+        assert!(!UBig::from(7u64).is_multiple_of(&UBig::zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divide_by_zero_panics() {
+        let _ = UBig::from(1u64).divrem(&UBig::zero());
+    }
+
+    #[test]
+    fn exact_division_of_label_products() {
+        // Simulate a 6-level top-down label and peel ancestors off one at a time.
+        let path = [3u64, 7, 19, 53, 131, 311];
+        let mut label = UBig::one();
+        for p in path {
+            label *= UBig::from(p);
+        }
+        let mut anc = label.clone();
+        for p in path.iter().rev() {
+            assert!(label.is_multiple_of(&anc));
+            let (q, r) = anc.divrem(&UBig::from(*p));
+            assert!(r.is_zero());
+            anc = q;
+        }
+        assert!(anc.is_one());
+    }
+}

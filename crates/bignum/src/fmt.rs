@@ -1,0 +1,147 @@
+//! Decimal and hexadecimal I/O for [`UBig`].
+
+use crate::{ParseBigError, UBig};
+use std::fmt;
+use std::str::FromStr;
+
+/// Largest power of ten fitting in a `u64`: used to chunk decimal conversion.
+const DEC_CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+const DEC_CHUNK_DIGITS: usize = 19;
+
+impl UBig {
+    /// Formats the value in decimal.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_u64(DEC_CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = String::with_capacity(chunks.len() * DEC_CHUNK_DIGITS);
+        let mut iter = chunks.iter().rev();
+        // Most significant chunk prints without leading zeros.
+        out.push_str(&iter.next().expect("non-zero value has a chunk").to_string());
+        for chunk in iter {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        out
+    }
+
+    /// Parses a decimal string (ASCII digits only, `_` separators allowed).
+    pub fn from_decimal(s: &str) -> Result<UBig, ParseBigError> {
+        let mut acc = UBig::zero();
+        let mut seen = false;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10).ok_or(ParseBigError::InvalidDigit(c))?;
+            acc.mul_u64_assign(10);
+            acc.add_assign_ref(&UBig::from(d as u64));
+            seen = true;
+        }
+        if seen {
+            Ok(acc)
+        } else {
+            Err(ParseBigError::Empty)
+        }
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal())
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig({})", self.to_decimal())
+    }
+}
+
+impl fmt::LowerHex for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = String::new();
+        let mut iter = self.limbs.iter().rev();
+        s.push_str(&format!("{:x}", iter.next().expect("non-zero")));
+        for limb in iter {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl FromStr for UBig {
+    type Err = ParseBigError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        UBig::from_decimal(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_small() {
+        assert_eq!(UBig::zero().to_string(), "0");
+        assert_eq!(UBig::from(42u64).to_string(), "42");
+        assert_eq!("42".parse::<UBig>().unwrap(), UBig::from(42u64));
+    }
+
+    #[test]
+    fn multi_chunk_round_trip() {
+        let s = "123456789012345678901234567890123456789012345678901234567890";
+        let v: UBig = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+    }
+
+    #[test]
+    fn chunk_boundary_values() {
+        for s in ["9999999999999999999", "10000000000000000000", "10000000000000000001"] {
+            assert_eq!(s.parse::<UBig>().unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn interior_zero_chunks_are_padded() {
+        // 10^40 has a full zero middle chunk when split into 10^19 pieces.
+        let v = UBig::from(10u64).pow(40);
+        assert_eq!(v.to_string(), format!("1{}", "0".repeat(40)));
+    }
+
+    #[test]
+    fn underscore_separators() {
+        assert_eq!("1_000_000".parse::<UBig>().unwrap(), UBig::from(1_000_000u64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("".parse::<UBig>(), Err(ParseBigError::Empty));
+        assert_eq!("_".parse::<UBig>(), Err(ParseBigError::Empty));
+        assert_eq!("12a4".parse::<UBig>(), Err(ParseBigError::InvalidDigit('a')));
+        assert_eq!("-5".parse::<UBig>(), Err(ParseBigError::InvalidDigit('-')));
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", UBig::zero()), "0");
+        assert_eq!(format!("{:x}", UBig::from(0xdeadbeefu64)), "deadbeef");
+        let two_limb = UBig::from((1u128 << 64) + 0xf);
+        assert_eq!(format!("{:x}", two_limb), "1000000000000000f");
+        assert_eq!(format!("{:#x}", UBig::from(255u64)), "0xff");
+    }
+
+    #[test]
+    fn debug_contains_decimal() {
+        assert_eq!(format!("{:?}", UBig::from(7u64)), "UBig(7)");
+    }
+}

@@ -1,0 +1,276 @@
+//! [`IBig`]: a thin signed layer (sign + magnitude) over [`UBig`].
+//!
+//! Only the operations needed by the extended Euclidean algorithm and the CRT
+//! solvers are provided; the labeling schemes themselves never go negative.
+
+use crate::UBig;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of an [`IBig`]. Zero is canonically [`Sign::Positive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// `>= 0`.
+    Positive,
+    /// `< 0`.
+    Negative,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer (sign + magnitude).
+#[derive(Clone, PartialEq, Eq)]
+pub struct IBig {
+    sign: Sign,
+    mag: UBig,
+}
+
+impl IBig {
+    /// The value 0.
+    pub fn zero() -> Self {
+        IBig { sign: Sign::Positive, mag: UBig::zero() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        IBig { sign: Sign::Positive, mag: UBig::one() }
+    }
+
+    /// Builds from a sign and magnitude, canonicalizing `-0` to `+0`.
+    pub fn from_sign_magnitude(sign: Sign, mag: UBig) -> Self {
+        if mag.is_zero() {
+            IBig::zero()
+        } else {
+            IBig { sign, mag }
+        }
+    }
+
+    /// The sign (positive for zero).
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &UBig {
+        &self.mag
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    pub fn into_magnitude(self) -> UBig {
+        self.mag
+    }
+
+    /// `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative && !self.mag.is_zero()
+    }
+
+    /// Least non-negative residue of `self` modulo `m` (always in `[0, m)`).
+    ///
+    /// This is what the CRT solver needs: Bézout coefficients from the
+    /// extended Euclidean algorithm may be negative, but a congruence-system
+    /// solution must be reduced into the canonical range.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    pub fn rem_euclid(&self, m: &UBig) -> UBig {
+        assert!(!m.is_zero(), "modulo by zero");
+        let r = &self.mag % m;
+        if r.is_zero() || self.sign == Sign::Positive {
+            r
+        } else {
+            m - &r
+        }
+    }
+}
+
+impl From<UBig> for IBig {
+    fn from(mag: UBig) -> Self {
+        IBig::from_sign_magnitude(Sign::Positive, mag)
+    }
+}
+
+impl From<i64> for IBig {
+    fn from(v: i64) -> Self {
+        let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+        IBig::from_sign_magnitude(sign, UBig::from(v.unsigned_abs()))
+    }
+}
+
+impl Neg for IBig {
+    type Output = IBig;
+    fn neg(self) -> IBig {
+        IBig::from_sign_magnitude(self.sign.flip(), self.mag)
+    }
+}
+
+impl Neg for &IBig {
+    type Output = IBig;
+    fn neg(self) -> IBig {
+        IBig::from_sign_magnitude(self.sign.flip(), self.mag.clone())
+    }
+}
+
+impl Add<&IBig> for &IBig {
+    type Output = IBig;
+    fn add(self, rhs: &IBig) -> IBig {
+        if self.sign == rhs.sign {
+            return IBig::from_sign_magnitude(self.sign, &self.mag + &rhs.mag);
+        }
+        // Opposite signs: the result takes the sign of the larger magnitude.
+        match self.mag.cmp(&rhs.mag) {
+            Ordering::Equal => IBig::zero(),
+            Ordering::Greater => IBig::from_sign_magnitude(self.sign, &self.mag - &rhs.mag),
+            Ordering::Less => IBig::from_sign_magnitude(rhs.sign, &rhs.mag - &self.mag),
+        }
+    }
+}
+
+impl Sub<&IBig> for &IBig {
+    type Output = IBig;
+    fn sub(self, rhs: &IBig) -> IBig {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&IBig> for &IBig {
+    type Output = IBig;
+    fn mul(self, rhs: &IBig) -> IBig {
+        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        IBig::from_sign_magnitude(sign, &self.mag * &rhs.mag)
+    }
+}
+
+macro_rules! forward_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait<IBig> for IBig {
+            type Output = IBig;
+            fn $method(self, rhs: IBig) -> IBig {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&IBig> for IBig {
+            type Output = IBig;
+            fn $method(self, rhs: &IBig) -> IBig {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<IBig> for &IBig {
+            type Output = IBig;
+            fn $method(self, rhs: IBig) -> IBig {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned!(Add, add);
+forward_owned!(Sub, sub);
+forward_owned!(Mul, mul);
+
+impl PartialOrd for IBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.is_negative(), other.is_negative()) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.mag.cmp(&other.mag),
+            (true, true) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl fmt::Display for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(!self.is_negative(), "", &self.mag.to_decimal())
+    }
+}
+
+impl fmt::Debug for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IBig({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> IBig {
+        IBig::from(v)
+    }
+
+    #[test]
+    fn negative_zero_is_canonical() {
+        let z = IBig::from_sign_magnitude(Sign::Negative, UBig::zero());
+        assert_eq!(z, IBig::zero());
+        assert!(!z.is_negative());
+        assert_eq!(z.sign(), Sign::Positive);
+    }
+
+    #[test]
+    fn signed_addition_table() {
+        assert_eq!(i(5) + i(7), i(12));
+        assert_eq!(i(5) + i(-7), i(-2));
+        assert_eq!(i(-5) + i(7), i(2));
+        assert_eq!(i(-5) + i(-7), i(-12));
+        assert_eq!(i(5) + i(-5), IBig::zero());
+    }
+
+    #[test]
+    fn signed_subtraction_and_negation() {
+        assert_eq!(i(5) - i(9), i(-4));
+        assert_eq!(i(-5) - i(-9), i(4));
+        assert_eq!(-i(3), i(-3));
+        assert_eq!(-IBig::zero(), IBig::zero());
+    }
+
+    #[test]
+    fn signed_multiplication() {
+        assert_eq!(i(6) * i(-7), i(-42));
+        assert_eq!(i(-6) * i(-7), i(42));
+        assert_eq!(i(-6) * IBig::zero(), IBig::zero());
+    }
+
+    #[test]
+    fn ordering_spans_zero() {
+        let mut v = [i(3), i(-10), i(0), i(7), i(-2)];
+        v.sort();
+        let texts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        assert_eq!(texts, ["-10", "-2", "0", "3", "7"]);
+    }
+
+    #[test]
+    fn rem_euclid_is_always_in_range() {
+        let m = UBig::from(7u64);
+        assert_eq!(i(10).rem_euclid(&m), UBig::from(3u64));
+        assert_eq!(i(-10).rem_euclid(&m), UBig::from(4u64));
+        assert_eq!(i(-14).rem_euclid(&m), UBig::zero());
+        assert_eq!(i(0).rem_euclid(&m), UBig::zero());
+    }
+
+    #[test]
+    fn display_includes_sign() {
+        assert_eq!(i(-123).to_string(), "-123");
+        assert_eq!(i(123).to_string(), "123");
+        assert_eq!(IBig::zero().to_string(), "0");
+    }
+}

@@ -1,0 +1,64 @@
+//! # xp-bignum — arbitrary-precision integers, from scratch
+//!
+//! The prime-number labeling scheme of Wu, Lee & Hsu (ICDE 2004) assigns each
+//! XML node the *product* of the self-labels on its root-to-node path, and the
+//! ordered variant folds document order into simultaneous-congruence (SC)
+//! values that are solutions of a Chinese-Remainder system whose modulus is a
+//! product of many primes. Both quantities overflow machine integers almost
+//! immediately, so the whole reproduction rests on this crate.
+//!
+//! The crate provides:
+//!
+//! * [`UBig`] — an unsigned integer of unbounded size (little-endian `u64`
+//!   limbs) with schoolbook + Karatsuba multiplication, Knuth Algorithm D
+//!   division, bit operations, and decimal/hex I/O.
+//! * [`IBig`] — a signed wrapper (sign + magnitude) used by the extended
+//!   Euclidean algorithm.
+//! * [`modular`] — gcd, extended gcd, modular inverse, and modular
+//!   exponentiation, the building blocks of the CRT solvers in `xp-prime`.
+//!
+//! The implementation is written from scratch; `num-bigint` appears only as a
+//! dev-dependency acting as a differential-testing oracle.
+//!
+//! ```
+//! use xp_bignum::UBig;
+//!
+//! let a = UBig::from(3u64) * UBig::from(5u64) * UBig::from(7u64);
+//! assert_eq!(a.to_string(), "105");
+//! assert!( (&a % &UBig::from(15u64)).is_zero() ); // 15 | 105: ancestor test
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod bytes;
+mod div;
+mod fmt;
+mod ibig;
+pub mod modular;
+mod mul;
+mod ubig;
+
+pub use ibig::{IBig, Sign};
+pub use ubig::UBig;
+
+/// Errors produced when parsing a [`UBig`] or [`IBig`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBigError {
+    /// The input string was empty (or contained only a sign).
+    Empty,
+    /// The input contained a character that is not a digit of the radix.
+    InvalidDigit(char),
+}
+
+impl std::fmt::Display for ParseBigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseBigError::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseBigError::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigError {}

@@ -1,0 +1,253 @@
+//! Number-theoretic kernels: gcd, extended gcd, modular inverse, and modular
+//! exponentiation.
+//!
+//! These are the primitives behind §4 of the paper: the Chinese Remainder
+//! Theorem solver that folds document order into a simultaneous-congruence
+//! (SC) value needs modular inverses (or, in the paper's Euler-totient
+//! formulation, modular powers) of the cofactors `C / mᵢ`.
+
+use crate::{IBig, UBig};
+
+/// Greatest common divisor by the Euclidean algorithm.
+///
+/// `gcd(0, b) = b` and `gcd(a, 0) = a`.
+pub fn gcd(a: &UBig, b: &UBig) -> UBig {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple; `lcm(0, x) = 0`.
+pub fn lcm(a: &UBig, b: &UBig) -> UBig {
+    if a.is_zero() || b.is_zero() {
+        return UBig::zero();
+    }
+    let g = gcd(a, b);
+    a / &g * b
+}
+
+/// `true` iff `gcd(a, b) == 1`.
+///
+/// Theorem 1 of the paper requires the CRT moduli (the nodes' self-labels) to
+/// be pairwise relatively prime; [`crate::UBig`] self-labels are checked with
+/// this predicate before an SC value is formed.
+pub fn coprime(a: &UBig, b: &UBig) -> bool {
+    gcd(a, b).is_one()
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` with `a*x + b*y = g = gcd(a, b)`.
+pub fn extended_gcd(a: &UBig, b: &UBig) -> (UBig, IBig, IBig) {
+    // Invariants: old_r = a*old_s + b*old_t, r = a*s + b*t.
+    let mut old_r = IBig::from(a.clone());
+    let mut r = IBig::from(b.clone());
+    let mut old_s = IBig::one();
+    let mut s = IBig::zero();
+    let mut old_t = IBig::zero();
+    let mut t = IBig::one();
+
+    while !r.is_zero() {
+        let (q, rem) = old_r.magnitude().divrem(r.magnitude());
+        // Signs: both old_r and r stay non-negative throughout when inputs
+        // are non-negative, so plain magnitude division is exact here.
+        let q = IBig::from(q);
+        old_r = IBig::from(rem);
+        std::mem::swap(&mut old_r, &mut r);
+        // old_r (pre-swap r) stays; recompute coefficient rows.
+        let new_s = &old_s - &(&q * &s);
+        old_s = std::mem::replace(&mut s, new_s);
+        let new_t = &old_t - &(&q * &t);
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+    (old_r.into_magnitude(), old_s, old_t)
+}
+
+/// Modular inverse: the unique `x` in `[0, m)` with `a*x ≡ 1 (mod m)`, or
+/// `None` when `gcd(a, m) != 1`.
+pub fn mod_inverse(a: &UBig, m: &UBig) -> Option<UBig> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    let a_red = a % m;
+    let (g, x, _) = extended_gcd(&a_red, m);
+    if g.is_one() {
+        Some(x.rem_euclid(m))
+    } else {
+        None
+    }
+}
+
+/// Modular exponentiation `base^exp mod m` by square-and-multiply.
+///
+/// # Panics
+/// Panics if `m` is zero.
+pub fn mod_pow(base: &UBig, exp: &UBig, m: &UBig) -> UBig {
+    assert!(!m.is_zero(), "modulo by zero");
+    if m.is_one() {
+        return UBig::zero();
+    }
+    let mut result = UBig::one();
+    let mut base = base % m;
+    let bits = exp.bit_len();
+    for i in 0..bits {
+        if exp.bit(i) {
+            result = &result * &base % m;
+        }
+        if i + 1 < bits {
+            base = base.square() % m;
+        }
+    }
+    result
+}
+
+/// Euler's totient φ(n) by trial-division factorization.
+///
+/// Used by the paper's alternative CRT formulation
+/// `x = Σ (C/mᵢ)^φ(mᵢ) · nᵢ mod C` — exposed here so the ablation bench can
+/// compare it against the extended-gcd solver. Intended for machine-word
+/// sized inputs (self-labels are small primes); the cost is O(√n).
+pub fn euler_phi_u64(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut n = n;
+    let mut result = n;
+    let mut p = 2u64;
+    while p * p <= n {
+        if n % p == 0 {
+            while n % p == 0 {
+                n /= p;
+            }
+            result -= result / p;
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        result -= result / n;
+    }
+    result
+}
+
+/// Solves the two-congruence system `x ≡ r1 (mod m1)`, `x ≡ r2 (mod m2)` for
+/// coprime moduli; returns the unique solution in `[0, m1*m2)`, or `None` if
+/// the moduli are not coprime.
+pub fn crt_pair(r1: &UBig, m1: &UBig, r2: &UBig, m2: &UBig) -> Option<UBig> {
+    // Canonicalize residues, then x = r1 + m1*t with
+    // t ≡ (r2 - r1) · m1^{-1} (mod m2), giving x in [0, m1*m2).
+    let r1 = r1 % m1;
+    let r2 = r2 % m2;
+    let inv = mod_inverse(m1, m2)?;
+    let diff = (IBig::from(r2) - IBig::from(r1.clone())).rem_euclid(m2);
+    let t = &diff * &inv % m2;
+    Some(&r1 + &(m1 * &t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> UBig {
+        UBig::from(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(&u(12), &u(18)), u(6));
+        assert_eq!(gcd(&u(17), &u(13)), u(1));
+        assert_eq!(gcd(&u(0), &u(5)), u(5));
+        assert_eq!(gcd(&u(5), &u(0)), u(5));
+        assert_eq!(gcd(&u(0), &u(0)), u(0));
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(&u(4), &u(6)), u(12));
+        assert_eq!(lcm(&u(7), &u(13)), u(91));
+        assert_eq!(lcm(&u(0), &u(9)), u(0));
+    }
+
+    #[test]
+    fn coprime_primes() {
+        assert!(coprime(&u(35), &u(12)));
+        assert!(!coprime(&u(35), &u(15)));
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        for (a, b) in [(240u64, 46u64), (17, 13), (12, 18), (1, 1), (100, 0)] {
+            let (g, x, y) = extended_gcd(&u(a), &u(b));
+            let lhs = &(&IBig::from(u(a)) * &x) + &(&IBig::from(u(b)) * &y);
+            assert_eq!(lhs, IBig::from(g.clone()), "bezout for ({a},{b})");
+            assert_eq!(g, gcd(&u(a), &u(b)));
+        }
+    }
+
+    #[test]
+    fn mod_inverse_round_trips() {
+        for (a, m) in [(3u64, 7u64), (10, 17), (2, 1_000_003), (65537, 4294967311)] {
+            let inv = mod_inverse(&u(a), &u(m)).unwrap();
+            assert_eq!((&u(a) * &inv) % u(m), u(1), "inverse of {a} mod {m}");
+        }
+        assert_eq!(mod_inverse(&u(6), &u(9)), None); // gcd 3
+        assert_eq!(mod_inverse(&u(5), &u(1)), None); // trivial modulus
+        assert_eq!(mod_inverse(&u(5), &u(0)), None);
+    }
+
+    #[test]
+    fn mod_pow_matches_naive() {
+        for (b, e, m) in [(3u64, 13u64, 17u64), (7, 0, 11), (2, 64, 1_000_000_007), (10, 19, 19)] {
+            let mut naive = 1u128;
+            for _ in 0..e {
+                naive = naive * b as u128 % m as u128;
+            }
+            assert_eq!(mod_pow(&u(b), &u(e), &u(m)).to_u64(), Some(naive as u64), "{b}^{e} mod {m}");
+        }
+        assert_eq!(mod_pow(&u(5), &u(100), &u(1)), u(0));
+    }
+
+    #[test]
+    fn fermat_little_theorem_via_mod_pow() {
+        // a^(p-1) ≡ 1 mod p — also the heart of the Euler-totient CRT form.
+        for p in [7u64, 13, 101, 10007] {
+            assert_eq!(mod_pow(&u(3), &u(p - 1), &u(p)), u(1));
+        }
+    }
+
+    #[test]
+    fn euler_phi_values() {
+        assert_eq!(euler_phi_u64(1), 1);
+        assert_eq!(euler_phi_u64(2), 1);
+        assert_eq!(euler_phi_u64(9), 6);
+        assert_eq!(euler_phi_u64(10), 4);
+        assert_eq!(euler_phi_u64(97), 96); // prime
+        assert_eq!(euler_phi_u64(360), 96);
+        assert_eq!(euler_phi_u64(0), 0);
+    }
+
+    #[test]
+    fn crt_pair_paper_example() {
+        // §4.2: x ≡ 7 (mod 13), x ≡ 3 (mod 17) — the updated-SC example.
+        let x = crt_pair(&u(7), &u(13), &u(3), &u(17)).unwrap();
+        assert_eq!(&x % u(13), u(7));
+        assert_eq!(&x % u(17), u(3));
+        assert!(x < u(13 * 17));
+    }
+
+    #[test]
+    fn crt_pair_rejects_common_factor() {
+        assert_eq!(crt_pair(&u(1), &u(6), &u(2), &u(9)), None);
+    }
+
+    #[test]
+    fn crt_pair_handles_r1_larger_than_m1() {
+        let x = crt_pair(&u(58), &u(3), &u(2), &u(4)).unwrap();
+        assert_eq!(&x % u(3), u(1));
+        assert_eq!(&x % u(4), u(2));
+    }
+}

@@ -1,0 +1,259 @@
+//! Multiplication: schoolbook kernel with a Karatsuba layer above a limb
+//! threshold. Bottom-up prime labels of large documents are products of
+//! thousands of primes, so the subquadratic path genuinely matters.
+
+use crate::UBig;
+use std::ops::{Mul, MulAssign};
+
+/// Below this many limbs per operand, schoolbook beats Karatsuba's overhead.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+impl UBig {
+    /// Multiplies by a single machine word in place.
+    pub fn mul_u64_assign(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u128;
+        for limb in &mut self.limbs {
+            let prod = (*limb as u128) * (m as u128) + carry;
+            *limb = prod as u64;
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u64);
+        }
+    }
+
+    /// Returns `self * m` for a machine word.
+    pub fn mul_u64(&self, m: u64) -> UBig {
+        let mut out = self.clone();
+        out.mul_u64_assign(m);
+        out
+    }
+
+    /// `self * self`.
+    pub fn square(&self) -> UBig {
+        self * self
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, exp: u32) -> UBig {
+        if exp == 0 {
+            return UBig::one();
+        }
+        let mut base = self.clone();
+        let mut acc = UBig::one();
+        let mut e = exp;
+        while e > 1 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = base.square();
+            e >>= 1;
+        }
+        &acc * &base
+    }
+
+    fn mul_ref(a: &[u64], b: &[u64]) -> UBig {
+        if a.is_empty() || b.is_empty() {
+            return UBig::zero();
+        }
+        if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+            Self::mul_schoolbook(a, b)
+        } else {
+            Self::mul_karatsuba(a, b)
+        }
+    }
+
+    fn mul_schoolbook(a: &[u64], b: &[u64]) -> UBig {
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Karatsuba split at `m = max(len)/2`:
+    /// `a*b = hi*hi·B²ᵐ + ((a0+a1)(b0+b1) − hi·hi − lo·lo)·Bᵐ + lo·lo`.
+    fn mul_karatsuba(a: &[u64], b: &[u64]) -> UBig {
+        let m = a.len().max(b.len()) / 2;
+        let (a0, a1) = split_at_limb(a, m);
+        let (b0, b1) = split_at_limb(b, m);
+
+        let lo = Self::mul_ref(a0, b0);
+        let hi = Self::mul_ref(a1, b1);
+
+        let asum = UBig::from_limbs(a0.to_vec()) + UBig::from_limbs(a1.to_vec());
+        let bsum = UBig::from_limbs(b0.to_vec()) + UBig::from_limbs(b1.to_vec());
+        let mut mid = Self::mul_ref(&asum.limbs, &bsum.limbs);
+        mid.sub_assign_ref(&lo);
+        mid.sub_assign_ref(&hi);
+
+        let mut out = hi.shl_limbs(2 * m);
+        out.add_assign_ref(&mid.shl_limbs(m));
+        out.add_assign_ref(&lo);
+        out
+    }
+
+    /// Multiplies by `B^k` (shifts left by whole limbs).
+    pub(crate) fn shl_limbs(&self, k: usize) -> UBig {
+        if self.is_zero() {
+            return UBig::zero();
+        }
+        let mut limbs = vec![0u64; k + self.limbs.len()];
+        limbs[k..].copy_from_slice(&self.limbs);
+        UBig { limbs }
+    }
+}
+
+fn split_at_limb(x: &[u64], m: usize) -> (&[u64], &[u64]) {
+    if x.len() <= m {
+        (x, &[])
+    } else {
+        x.split_at(m)
+    }
+}
+
+impl Mul<&UBig> for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        UBig::mul_ref(&self.limbs, &rhs.limbs)
+    }
+}
+
+impl Mul<UBig> for UBig {
+    type Output = UBig;
+    fn mul(self, rhs: UBig) -> UBig {
+        &self * &rhs
+    }
+}
+
+impl Mul<&UBig> for UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        &self * rhs
+    }
+}
+
+impl Mul<UBig> for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: UBig) -> UBig {
+        self * &rhs
+    }
+}
+
+impl Mul<u64> for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: u64) -> UBig {
+        self.mul_u64(rhs)
+    }
+}
+
+impl Mul<u64> for UBig {
+    type Output = UBig;
+    fn mul(mut self, rhs: u64) -> UBig {
+        self.mul_u64_assign(rhs);
+        self
+    }
+}
+
+impl MulAssign<&UBig> for UBig {
+    fn mul_assign(&mut self, rhs: &UBig) {
+        *self = UBig::mul_ref(&self.limbs, &rhs.limbs);
+    }
+}
+
+impl MulAssign<UBig> for UBig {
+    fn mul_assign(&mut self, rhs: UBig) {
+        *self = UBig::mul_ref(&self.limbs, &rhs.limbs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = UBig::from(123456789u64);
+        assert!((&a * &UBig::zero()).is_zero());
+        assert_eq!(&a * &UBig::one(), a);
+        assert_eq!(a.mul_u64(0), UBig::zero());
+    }
+
+    #[test]
+    fn mul_u128_exact() {
+        let a = UBig::from(0xdead_beef_u64);
+        let b = UBig::from(0xcafe_babe_u64);
+        let want = 0xdead_beef_u128 * 0xcafe_babe_u128;
+        assert_eq!((&a * &b).to_u128(), Some(want));
+    }
+
+    #[test]
+    fn mul_crosses_limb_boundary() {
+        let a = UBig::from(u64::MAX);
+        assert_eq!((&a * &a).to_u128(), Some((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Two 80-limb numbers force the Karatsuba path.
+        let a_limbs: Vec<u64> = (0..80).map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1)).collect();
+        let b_limbs: Vec<u64> = (0..80).map(|i| 0xc2b2_ae3d_27d4_eb4fu64.wrapping_mul(i + 3)).collect();
+        let a = UBig::from_limbs(a_limbs.clone());
+        let b = UBig::from_limbs(b_limbs.clone());
+        let fast = &a * &b;
+        let slow = UBig::mul_schoolbook(&a_limbs, &b_limbs);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let three = UBig::from(3u64);
+        assert_eq!(three.pow(0), UBig::one());
+        assert_eq!(three.pow(1), three);
+        assert_eq!(three.pow(5), UBig::from(243u64));
+        assert_eq!(UBig::from(2u64).pow(100).to_string(), "1267650600228229401496703205376");
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let a = UBig::from(0x1234_5678_9abc_def0u64);
+        assert_eq!(a.square(), &a * &a);
+    }
+
+    #[test]
+    fn shl_limbs_shifts_by_word() {
+        let a = UBig::from(5u64);
+        assert_eq!(a.shl_limbs(2).limbs(), &[0, 0, 5]);
+        assert!(UBig::zero().shl_limbs(3).is_zero());
+    }
+
+    #[test]
+    fn product_of_first_primes() {
+        // 2·3·5·7·11·13·17·19·23·29 = 6469693230 (primorial #10)
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29];
+        let mut acc = UBig::one();
+        for p in primes {
+            acc.mul_u64_assign(p);
+        }
+        assert_eq!(acc.to_u64(), Some(6_469_693_230));
+    }
+}

@@ -1,0 +1,161 @@
+//! Differential property tests: every `UBig`/`IBig` operation is checked
+//! against `num-bigint` (the oracle, used only in tests) on random operands
+//! spanning one to many limbs.
+
+use num_bigint::BigUint;
+use proptest::prelude::*;
+use xp_bignum::{modular, UBig};
+
+/// Random operand as raw big-endian bytes; empty means zero.
+fn bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..64)
+}
+
+fn to_ubig(bytes: &[u8]) -> UBig {
+    let mut acc = UBig::zero();
+    for &b in bytes {
+        acc = (acc << 8) + UBig::from(b as u64);
+    }
+    acc
+}
+
+fn to_oracle(bytes: &[u8]) -> BigUint {
+    BigUint::from_bytes_be(bytes)
+}
+
+fn same(ours: &UBig, oracle: &BigUint) -> bool {
+    ours.to_decimal() == oracle.to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn construction_agrees(a in bytes()) {
+        prop_assert!(same(&to_ubig(&a), &to_oracle(&a)));
+    }
+
+    #[test]
+    fn addition_agrees(a in bytes(), b in bytes()) {
+        let ours = to_ubig(&a) + to_ubig(&b);
+        let oracle = to_oracle(&a) + to_oracle(&b);
+        prop_assert!(same(&ours, &oracle));
+    }
+
+    #[test]
+    fn subtraction_agrees(a in bytes(), b in bytes()) {
+        let (x, y) = (to_ubig(&a), to_ubig(&b));
+        let (ox, oy) = (to_oracle(&a), to_oracle(&b));
+        let (hi, lo, ohi, olo) = if x >= y { (x, y, ox, oy) } else { (y, x, oy, ox) };
+        prop_assert!(same(&(hi - lo), &(ohi - olo)));
+    }
+
+    #[test]
+    fn multiplication_agrees(a in bytes(), b in bytes()) {
+        let ours = to_ubig(&a) * to_ubig(&b);
+        let oracle = to_oracle(&a) * to_oracle(&b);
+        prop_assert!(same(&ours, &oracle));
+    }
+
+    #[test]
+    fn karatsuba_sized_multiplication_agrees(
+        a in prop::collection::vec(any::<u8>(), 300..600),
+        b in prop::collection::vec(any::<u8>(), 300..600),
+    ) {
+        let ours = to_ubig(&a) * to_ubig(&b);
+        let oracle = to_oracle(&a) * to_oracle(&b);
+        prop_assert!(same(&ours, &oracle));
+    }
+
+    #[test]
+    fn division_agrees(a in bytes(), b in bytes()) {
+        let v = to_ubig(&b);
+        prop_assume!(!v.is_zero());
+        let (q, r) = to_ubig(&a).divrem(&v);
+        let (ov, ou) = (to_oracle(&b), to_oracle(&a));
+        prop_assert!(same(&q, &(&ou / &ov)));
+        prop_assert!(same(&r, &(&ou % &ov)));
+    }
+
+    #[test]
+    fn division_reconstructs(a in bytes(), b in bytes()) {
+        let u = to_ubig(&a);
+        let v = to_ubig(&b);
+        prop_assume!(!v.is_zero());
+        let (q, r) = u.divrem(&v);
+        prop_assert!(r < v);
+        prop_assert_eq!(q * &v + r, u);
+    }
+
+    #[test]
+    fn shifts_agree(a in bytes(), k in 0u64..200) {
+        let ours_l = to_ubig(&a) << k;
+        let oracle_l = to_oracle(&a) << k as usize;
+        prop_assert!(same(&ours_l, &oracle_l));
+        let ours_r = to_ubig(&a) >> k;
+        let oracle_r = to_oracle(&a) >> k as usize;
+        prop_assert!(same(&ours_r, &oracle_r));
+    }
+
+    #[test]
+    fn bit_len_agrees(a in bytes()) {
+        prop_assert_eq!(to_ubig(&a).bit_len(), to_oracle(&a).bits());
+    }
+
+    #[test]
+    fn decimal_round_trip(a in bytes()) {
+        let v = to_ubig(&a);
+        let parsed: UBig = v.to_decimal().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn gcd_agrees_with_identities(a in bytes(), b in bytes()) {
+        let (x, y) = (to_ubig(&a), to_ubig(&b));
+        let g = modular::gcd(&x, &y);
+        if !g.is_zero() {
+            prop_assert!(x.is_multiple_of(&g));
+            prop_assert!(y.is_multiple_of(&g));
+        } else {
+            prop_assert!(x.is_zero() && y.is_zero());
+        }
+        // gcd * lcm == a * b
+        let l = modular::lcm(&x, &y);
+        prop_assert_eq!(&g * &l, &x * &y);
+    }
+
+    #[test]
+    fn mod_pow_agrees(b in bytes(), e in 0u64..500, m in 1u64..u64::MAX) {
+        let base = to_ubig(&b);
+        let modulus = UBig::from(m);
+        let ours = modular::mod_pow(&base, &UBig::from(e), &modulus);
+        let oracle = to_oracle(&b).modpow(&BigUint::from(e), &BigUint::from(m));
+        prop_assert!(same(&ours, &oracle));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in 1u64..u64::MAX, m in 2u64..u64::MAX) {
+        let (a, m) = (UBig::from(a), UBig::from(m));
+        match modular::mod_inverse(&a, &m) {
+            Some(inv) => {
+                prop_assert!(inv < m);
+                prop_assert!((&a * &inv % &m).is_one());
+            }
+            None => prop_assert!(!modular::gcd(&a, &m).is_one()),
+        }
+    }
+
+    #[test]
+    fn crt_pair_satisfies_both_congruences(
+        r1 in 0u64..10_000, p1 in prop::sample::select(&[3u64, 5, 7, 11, 13, 17, 19, 23][..]),
+        r2 in 0u64..10_000, p2 in prop::sample::select(&[29u64, 31, 37, 41, 43, 47, 53][..]),
+    ) {
+        let x = modular::crt_pair(
+            &UBig::from(r1), &UBig::from(p1),
+            &UBig::from(r2), &UBig::from(p2),
+        ).unwrap();
+        prop_assert_eq!(x.rem_u64(p1), r1 % p1);
+        prop_assert_eq!(x.rem_u64(p2), r2 % p2);
+        prop_assert!(x < UBig::from(p1 * p2));
+    }
+}

@@ -1,0 +1,167 @@
+//! The bottom-up prime labeling scheme (§3, Figure 1, Property 2).
+//!
+//! Leaf nodes get primes; each parent's label is the **product of its
+//! children's labels**, so `x` is an ancestor of `y` iff
+//! `label(x) mod label(y) = 0` (note the direction is reversed relative to
+//! the top-down scheme). The paper keeps this variant as motivation — labels
+//! explode toward the root and single-child nodes "require special handling"
+//! — and we implement it faithfully, including that special handling: a
+//! single-child parent multiplies in one fresh prime of its own, since
+//! otherwise its label would equal its child's.
+
+use std::collections::HashMap;
+use xp_bignum::UBig;
+use xp_labelkit::{LabelOps, LabeledDoc, Scheme};
+use xp_primes::PrimePool;
+use xp_xmltree::{NodeId, XmlTree};
+
+/// A bottom-up prime label: the product of the labels of all leaves in the
+/// node's subtree (times disambiguators for single-child chains).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BottomUpLabel(UBig);
+
+impl BottomUpLabel {
+    /// The label value.
+    pub fn value(&self) -> &UBig {
+        &self.0
+    }
+}
+
+impl LabelOps for BottomUpLabel {
+    /// Property 2 \[BottomUpMod\]: `x` is an ancestor of `y` iff
+    /// `label(x) mod label(y) = 0`.
+    fn is_ancestor_of(&self, other: &Self) -> bool {
+        self.0 != other.0 && self.0.is_multiple_of(&other.0)
+    }
+
+    fn size_bits(&self) -> u64 {
+        self.0.bit_len()
+    }
+}
+
+/// The bottom-up labeling scheme.
+#[derive(Debug, Clone, Default)]
+pub struct BottomUpPrime;
+
+impl Scheme for BottomUpPrime {
+    type Label = BottomUpLabel;
+
+    fn name(&self) -> &'static str {
+        "Prime (bottom-up)"
+    }
+
+    fn label(&self, tree: &XmlTree) -> LabeledDoc<BottomUpLabel> {
+        let mut pool = PrimePool::unreserved();
+        let mut values: HashMap<NodeId, UBig> = HashMap::new();
+
+        // Post-order accumulation (children before parents).
+        let order: Vec<NodeId> = tree.elements().collect();
+        for &node in order.iter().rev() {
+            let kids: Vec<NodeId> = tree.element_children(node).collect();
+            let value = if kids.is_empty() {
+                UBig::from(pool.general_prime())
+            } else {
+                let mut product = UBig::one();
+                for k in &kids {
+                    product *= &values[k];
+                }
+                if kids.len() == 1 {
+                    // Special handling: distinguish the chain parent from its
+                    // only child.
+                    product *= &UBig::from(pool.general_prime());
+                }
+                product
+            };
+            values.insert(node, value);
+        }
+
+        let mut doc = LabeledDoc::new(tree);
+        for node in tree.elements() {
+            doc.set(node, BottomUpLabel(values.remove(&node).expect("labeled above")));
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_xmltree::parse;
+
+    fn check_exhaustively(src: &str) {
+        let tree = parse(src).unwrap();
+        let doc = BottomUpPrime.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    doc.label(x).is_ancestor_of(doc.label(y)),
+                    tree.is_ancestor(x, y),
+                    "ancestor({x},{y}) in {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_shape() {
+        // Root label is the product of all leaf labels.
+        let tree = parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        let doc = BottomUpPrime.label(&tree);
+        let leaves: Vec<NodeId> = tree.elements().filter(|&n| tree.is_leaf_element(n)).collect();
+        let mut product = UBig::one();
+        for l in &leaves {
+            product *= doc.label(*l).value();
+        }
+        assert_eq!(doc.label(tree.root()).value(), &product);
+    }
+
+    #[test]
+    fn ancestor_test_is_exact_on_varied_shapes() {
+        check_exhaustively("<a><b><c/><d/></b><e/></a>");
+        check_exhaustively("<a><b/><c/><d/><e/></a>");
+        check_exhaustively("<a><b><c><d/></c></b></a>"); // chain: single children
+        check_exhaustively("<a/>");
+    }
+
+    #[test]
+    fn single_child_parents_differ_from_their_child() {
+        let tree = parse("<a><b><c/></b></a>").unwrap();
+        let doc = BottomUpPrime.label(&tree);
+        let b = tree.first_child(tree.root()).unwrap();
+        let c = tree.first_child(b).unwrap();
+        assert_ne!(doc.label(b), doc.label(c));
+        assert!(doc.label(b).is_ancestor_of(doc.label(c)));
+        assert!(!doc.label(c).is_ancestor_of(doc.label(b)));
+    }
+
+    #[test]
+    fn root_labels_grow_with_tree_size() {
+        // The paper's criticism: "the bottom-up approach can quickly result
+        // in relatively large numbers being assigned to nodes at the top".
+        let small = parse("<a><b/><c/></a>").unwrap();
+        let mut big_src = String::from("<a>");
+        for i in 0..40 {
+            big_src.push_str(&format!("<n{i}/>"));
+        }
+        big_src.push_str("</a>");
+        let big = parse(&big_src).unwrap();
+        let small_bits = BottomUpPrime.label(&small).label(small.root()).size_bits();
+        let big_bits = BottomUpPrime.label(&big).label(big.root()).size_bits();
+        assert!(big_bits > small_bits * 10, "{small_bits} vs {big_bits}");
+    }
+
+    #[test]
+    fn top_down_is_smaller_than_bottom_up_at_the_root() {
+        use crate::topdown::TopDownPrime;
+        let mut src = String::from("<a>");
+        for i in 0..30 {
+            src.push_str(&format!("<m{i}><x/><y/></m{i}>"));
+        }
+        src.push_str("</a>");
+        let tree = parse(&src).unwrap();
+        let bu = BottomUpPrime.label(&tree).size_stats().max_bits;
+        let td = TopDownPrime::unoptimized().label(&tree).size_stats().max_bits;
+        assert!(td < bu, "top-down {td} bits vs bottom-up {bu} bits");
+    }
+}

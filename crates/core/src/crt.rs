@@ -1,0 +1,209 @@
+//! Chinese-Remainder solvers (Theorem 1 of the paper).
+//!
+//! Given pairwise-coprime moduli `M = [m₁…m_k]` (the nodes' self-labels) and
+//! residues `N = [n₁…n_k]` (their order numbers), the simultaneous
+//! congruence `SC(M, N)` is the unique `x ∈ [0, Πmᵢ)` with `x ≡ nᵢ (mod mᵢ)`
+//! for every i.
+//!
+//! Two solvers are provided:
+//!
+//! * [`solve`] — incremental folding with extended-Euclid modular inverses,
+//!   the standard O(k) construction (also what the paper's worked update
+//!   example in §4.2 does pair by pair).
+//! * [`solve_euler`] — the paper's formulation via Euler's totient:
+//!   `x = Σᵢ (C/mᵢ)^φ(mᵢ) · nᵢ mod C`. Since `gcd(C/mᵢ, mᵢ) = 1`,
+//!   Euler's theorem gives `(C/mᵢ)^φ(mᵢ) ≡ 1 (mod mᵢ)`, while every other
+//!   `mⱼ` divides `C/mᵢ`; so each term contributes `nᵢ` at position i and 0
+//!   elsewhere. (The paper prints the formula with the totient as a factor
+//!   rather than an exponent — a typo; as printed it is not a CRT solution.)
+//!
+//! The ablation bench `ablation_crt` compares the two.
+
+use xp_bignum::{modular, UBig};
+
+/// Why a CRT system could not be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrtError {
+    /// Moduli and residue lists have different lengths.
+    LengthMismatch,
+    /// Two moduli share a factor; Theorem 1 requires pairwise coprimality.
+    NotCoprime {
+        /// First offending modulus.
+        a: u64,
+        /// Second offending modulus.
+        b: u64,
+    },
+    /// A modulus was 0 (1 is allowed but useless).
+    ZeroModulus,
+}
+
+impl std::fmt::Display for CrtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrtError::LengthMismatch => write!(f, "moduli and residues differ in length"),
+            CrtError::NotCoprime { a, b } => write!(f, "moduli {a} and {b} are not coprime"),
+            CrtError::ZeroModulus => write!(f, "zero modulus"),
+        }
+    }
+}
+
+impl std::error::Error for CrtError {}
+
+fn validate(moduli: &[u64], residues: &[u64]) -> Result<(), CrtError> {
+    if moduli.len() != residues.len() {
+        return Err(CrtError::LengthMismatch);
+    }
+    if moduli.contains(&0) {
+        return Err(CrtError::ZeroModulus);
+    }
+    for (i, &a) in moduli.iter().enumerate() {
+        for &b in &moduli[i + 1..] {
+            if !modular::coprime(&UBig::from(a), &UBig::from(b)) {
+                return Err(CrtError::NotCoprime { a, b });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves the system by incrementally folding one congruence at a time with
+/// extended-Euclid inverses. Returns `SC ∈ [0, Πmᵢ)`.
+pub fn solve(moduli: &[u64], residues: &[u64]) -> Result<UBig, CrtError> {
+    validate(moduli, residues)?;
+    let mut x = UBig::zero();
+    let mut m_acc = UBig::one();
+    for (&m, &r) in moduli.iter().zip(residues) {
+        x = modular::crt_pair(&x, &m_acc, &UBig::from(r), &UBig::from(m))
+            .expect("validated coprime");
+        m_acc = &m_acc * &UBig::from(m);
+    }
+    Ok(x)
+}
+
+/// Solves the system with the paper's Euler-totient construction:
+/// `x = Σ (C/mᵢ)^φ(mᵢ) · nᵢ mod C`.
+pub fn solve_euler(moduli: &[u64], residues: &[u64]) -> Result<UBig, CrtError> {
+    validate(moduli, residues)?;
+    let mut c = UBig::one();
+    for &m in moduli {
+        c *= UBig::from(m);
+    }
+    let mut x = UBig::zero();
+    for (&m, &r) in moduli.iter().zip(residues) {
+        let cofactor = &c / &UBig::from(m);
+        let phi = modular::euler_phi_u64(m);
+        // (C/mᵢ)^φ(mᵢ) mod C, then × nᵢ.
+        let term = modular::mod_pow(&cofactor, &UBig::from(phi), &c);
+        x = (x + term * UBig::from(r)) % &c;
+    }
+    Ok(x)
+}
+
+/// Extends an existing solution: given `x ≡ old (mod old_product)`, adds the
+/// congruence `x ≡ r (mod m)` — the paper's §4.2 update step
+/// (`x mod 13 = 7, x mod 17 = 3`).
+pub fn extend(old: &UBig, old_product: &UBig, m: u64, r: u64) -> Result<UBig, CrtError> {
+    modular::crt_pair(old, old_product, &UBig::from(r), &UBig::from(m))
+        .ok_or(CrtError::NotCoprime { a: 0, b: m })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section41_example() {
+        // §4.1: P = [3, 4, 5], I = [1, 2, 3] → x = 58.
+        let x = solve(&[3, 4, 5], &[1, 2, 3]).unwrap();
+        assert_eq!(x, UBig::from(58u64));
+        assert_eq!(solve_euler(&[3, 4, 5], &[1, 2, 3]).unwrap(), UBig::from(58u64));
+    }
+
+    #[test]
+    fn paper_figure9_sc_value() {
+        // Figure 9: self-labels [2,3,5,7,11,13] with orders [1,2,3,4,5,6]
+        // give SC = 29243; e.g. 29243 mod 5 = 3.
+        let x = solve(&[2, 3, 5, 7, 11, 13], &[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(x, UBig::from(29243u64));
+        assert_eq!(x.rem_u64(5), 3);
+        assert_eq!(x.rem_u64(13), 6);
+    }
+
+    #[test]
+    fn paper_figure10_split_sc_table() {
+        // Figure 10: first 5 nodes → SC 1523; the 6th alone → SC 6.
+        let first = solve(&[2, 3, 5, 7, 11], &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(first, UBig::from(1523u64));
+        let second = solve(&[13], &[6]).unwrap();
+        assert_eq!(second, UBig::from(6u64));
+    }
+
+    #[test]
+    fn paper_figure12_updated_table() {
+        // §4.2: after inserting the node with self-label 17 at order 3, the
+        // second record solves x ≡ 7 (mod 13), x ≡ 3 (mod 17), and the first
+        // record re-solves with shifted orders [1,2,4,5,6].
+        let second = solve(&[13, 17], &[7, 3]).unwrap();
+        assert_eq!(second.rem_u64(13), 7);
+        assert_eq!(second.rem_u64(17), 3);
+        let first = solve(&[2, 3, 5, 7, 11], &[1, 2, 4, 5, 6]).unwrap();
+        assert_eq!(first.rem_u64(5), 4);
+        assert_eq!(first.rem_u64(11), 6);
+    }
+
+    #[test]
+    fn both_solvers_agree() {
+        let moduli = [3u64, 5, 7, 11, 13, 17, 19, 23];
+        let residues = [2u64, 4, 0, 10, 12, 7, 18, 1];
+        assert_eq!(solve(&moduli, &residues).unwrap(), solve_euler(&moduli, &residues).unwrap());
+    }
+
+    #[test]
+    fn solution_is_canonical() {
+        let moduli = [5u64, 7];
+        let x = solve(&moduli, &[3, 3]).unwrap();
+        assert!(x < UBig::from(35u64));
+        assert_eq!(x, UBig::from(3u64)); // x ≡ 3 mod both → 3
+    }
+
+    #[test]
+    fn residues_larger_than_moduli_are_reduced() {
+        let x = solve(&[5, 7], &[8, 9]).unwrap(); // ≡ 3 mod 5, ≡ 2 mod 7
+        assert_eq!(x.rem_u64(5), 3);
+        assert_eq!(x.rem_u64(7), 2);
+    }
+
+    #[test]
+    fn errors_are_detected() {
+        assert_eq!(solve(&[4, 6], &[1, 2]).unwrap_err(), CrtError::NotCoprime { a: 4, b: 6 });
+        assert_eq!(solve(&[3], &[1, 2]).unwrap_err(), CrtError::LengthMismatch);
+        assert_eq!(solve(&[0], &[1]).unwrap_err(), CrtError::ZeroModulus);
+        assert_eq!(solve_euler(&[9, 6], &[1, 2]).unwrap_err(), CrtError::NotCoprime { a: 9, b: 6 });
+    }
+
+    #[test]
+    fn empty_system_solves_to_zero() {
+        assert_eq!(solve(&[], &[]).unwrap(), UBig::zero());
+    }
+
+    #[test]
+    fn extend_matches_full_resolve() {
+        let moduli = [3u64, 5, 7];
+        let residues = [1u64, 2, 3];
+        let partial = solve(&moduli[..2], &residues[..2]).unwrap();
+        let extended = extend(&partial, &UBig::from(15u64), 7, 3).unwrap();
+        assert_eq!(extended, solve(&moduli, &residues).unwrap());
+    }
+
+    #[test]
+    fn large_chunk_of_primes() {
+        // A realistic SC chunk: consecutive primes with arbitrary orders.
+        let moduli: Vec<u64> = xp_primes::first_primes(25);
+        let residues: Vec<u64> = (0..25).map(|i| (i * 37 + 5) % 100).collect();
+        let x = solve(&moduli, &residues).unwrap();
+        for (&m, &r) in moduli.iter().zip(&residues) {
+            assert_eq!(x.rem_u64(m), r % m, "mod {m}");
+        }
+        assert_eq!(x, solve_euler(&moduli, &residues).unwrap());
+    }
+}

@@ -1,0 +1,303 @@
+//! Tree decomposition (§3.2's final optimization, after \[10\]).
+//!
+//! "We can decompose an XML tree into several sub-trees. The nodes in each
+//! sub-tree are first labeled separately. A global tree that comprises of
+//! the root nodes of these sub-trees is constructed and labeled. \[10\]
+//! finds that this tree decomposition approach can effectively reduce the
+//! label size of dynamic labeling schemes for trees with great depths."
+//!
+//! Implementation: every node at a depth that is a multiple of `cut_depth`
+//! becomes a **subtree root**. Each subtree is labeled independently with
+//! the top-down prime scheme — so the small primes are *reused* in every
+//! subtree, which is exactly where the size saving comes from. The global
+//! tree over the subtree roots is prime-labeled too. A node is addressed by
+//! `(subtree id, local label)`; two extra per-subtree facts (the global
+//! label of its root, and the root's *anchor* — its local label inside the
+//! parent subtree) make the cross-subtree ancestor test label-only:
+//!
+//! * same subtree → local divisibility test;
+//! * different subtrees → `x` is an ancestor of `y` iff `x`'s subtree-root
+//!   globally precedes `y`'s (global divisibility) **and** `x` is a local
+//!   ancestor-or-self of the anchor of the first subtree on `y`'s root
+//!   chain that hangs inside `x`'s subtree.
+
+use crate::label::PrimeLabel;
+use crate::topdown::TopDownPrime;
+use std::collections::HashMap;
+use xp_labelkit::{LabelOps, Scheme};
+use xp_xmltree::{NodeId, XmlTree};
+
+/// Identifier of one subtree in a decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubtreeId(u32);
+
+/// A node's address under decomposition: which subtree, plus the local
+/// prime label inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecomposedLabel {
+    /// The subtree this node lives in.
+    pub subtree: SubtreeId,
+    /// The top-down prime label *within* that subtree.
+    pub local: PrimeLabel,
+}
+
+impl DecomposedLabel {
+    /// Storage size: the local label plus a subtree id (paid at the id's
+    /// own bit width, like the Dewey accounting).
+    pub fn size_bits(&self) -> u64 {
+        let id_bits = u64::from(32 - self.subtree.0.max(1).leading_zeros());
+        id_bits + self.local.size_bits()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SubtreeInfo {
+    /// Subtree holding this subtree's root's parent (None for the top).
+    parent_subtree: Option<SubtreeId>,
+    /// Local label of this subtree's root *inside the parent subtree* —
+    /// i.e. of the parent node it hangs under ("anchor").
+    anchor: Option<PrimeLabel>,
+    /// Label of this subtree's root in the global tree.
+    global: PrimeLabel,
+}
+
+/// A prime-labeled document under tree decomposition.
+#[derive(Debug, Clone)]
+pub struct DecomposedPrimeDoc {
+    labels: HashMap<NodeId, DecomposedLabel>,
+    subtrees: Vec<SubtreeInfo>,
+    cut_depth: usize,
+}
+
+impl DecomposedPrimeDoc {
+    /// Decomposes at every depth multiple of `cut_depth` (≥ 1) and labels
+    /// each subtree and the global tree with the unoptimized top-down
+    /// scheme.
+    pub fn build(tree: &XmlTree, cut_depth: usize) -> Self {
+        assert!(cut_depth >= 1, "cut depth must be positive");
+
+        // Pass 1: assign every node to a subtree; collect subtree roots in
+        // document order (their subtree ids are their discovery order).
+        let mut subtree_of: HashMap<NodeId, SubtreeId> = HashMap::new();
+        let mut roots: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+        let mut depth_of: HashMap<NodeId, usize> = HashMap::new();
+        while let Some((node, depth)) = stack.pop() {
+            depth_of.insert(node, depth);
+            let id = if depth % cut_depth == 0 {
+                let id = SubtreeId(roots.len() as u32);
+                roots.push(node);
+                id
+            } else {
+                subtree_of[&tree.parent(node).expect("non-root at depth > 0")]
+            };
+            subtree_of.insert(node, id);
+            for child in tree.element_children(node).collect::<Vec<_>>().into_iter().rev() {
+                stack.push((child, depth + 1));
+            }
+        }
+
+        // Pass 2: label each subtree locally. A subtree's membership is
+        // "descendants until the next cut"; we label by walking from each
+        // root with a fresh scheme, mirroring the top-down assignment but
+        // stopping at subtree boundaries. Easiest correct route: build a
+        // shadow XmlTree per subtree, then map labels back.
+        let mut labels: HashMap<NodeId, DecomposedLabel> = HashMap::new();
+        let mut anchors: Vec<Option<PrimeLabel>> = vec![None; roots.len()];
+        let mut parent_subtree: Vec<Option<SubtreeId>> = vec![None; roots.len()];
+        for (idx, &root) in roots.iter().enumerate() {
+            let id = SubtreeId(idx as u32);
+            // Collect this subtree's nodes (preorder) and build the shadow.
+            let mut shadow = XmlTree::new("s");
+            let mut map: Vec<(NodeId, NodeId)> = vec![(root, shadow.root())];
+            let mut walk: Vec<(NodeId, NodeId)> = vec![(root, shadow.root())];
+            while let Some((orig, copy)) = walk.pop() {
+                for child in tree.element_children(orig) {
+                    if subtree_of[&child] != id {
+                        continue; // next cut: child starts its own subtree
+                    }
+                    let c = shadow.append_element(copy, "s");
+                    map.push((child, c));
+                    walk.push((child, c));
+                }
+            }
+            let local = TopDownPrime::unoptimized().label(&shadow);
+            for (orig, copy) in map {
+                labels.insert(orig, DecomposedLabel { subtree: id, local: local.label(copy).clone() });
+            }
+        }
+
+        // Pass 3: anchors + the global tree.
+        let mut global_shadow = XmlTree::new("g");
+        let mut global_map: Vec<(usize, NodeId)> = Vec::new(); // subtree idx -> global node
+        let mut global_node_of: HashMap<SubtreeId, NodeId> = HashMap::new();
+        // Roots are in document order, so parents precede children.
+        for (idx, &root) in roots.iter().enumerate() {
+            let id = SubtreeId(idx as u32);
+            let gnode = if let Some(parent) = tree.parent(root) {
+                let pid = subtree_of[&parent];
+                parent_subtree[idx] = Some(pid);
+                anchors[idx] = Some(labels[&parent].local.clone());
+                let gparent = global_node_of[&pid];
+                global_shadow.append_element(gparent, "g")
+            } else {
+                global_shadow.root()
+            };
+            global_node_of.insert(id, gnode);
+            global_map.push((idx, gnode));
+        }
+        let global_labels = TopDownPrime::unoptimized().label(&global_shadow);
+        let subtrees: Vec<SubtreeInfo> = global_map
+            .into_iter()
+            .map(|(idx, gnode)| SubtreeInfo {
+                parent_subtree: parent_subtree[idx],
+                anchor: anchors[idx].clone(),
+                global: global_labels.label(gnode).clone(),
+            })
+            .collect();
+
+        DecomposedPrimeDoc { labels, subtrees, cut_depth }
+    }
+
+    /// The cut depth the decomposition was built with.
+    pub fn cut_depth(&self) -> usize {
+        self.cut_depth
+    }
+
+    /// Number of subtrees.
+    pub fn subtree_count(&self) -> usize {
+        self.subtrees.len()
+    }
+
+    /// A node's decomposed label.
+    pub fn label(&self, node: NodeId) -> &DecomposedLabel {
+        &self.labels[&node]
+    }
+
+    /// Maximum label size in bits over all nodes.
+    pub fn max_label_bits(&self) -> u64 {
+        self.labels.values().map(|l| l.size_bits()).max().unwrap_or(0)
+    }
+
+    fn info(&self, id: SubtreeId) -> &SubtreeInfo {
+        &self.subtrees[id.0 as usize]
+    }
+
+    /// Label-only ancestor test across the decomposition.
+    pub fn is_ancestor(&self, x: NodeId, y: NodeId) -> bool {
+        let lx = &self.labels[&x];
+        let ly = &self.labels[&y];
+        if lx.subtree == ly.subtree {
+            return lx.local.is_ancestor_of(&ly.local);
+        }
+        // x can only be an ancestor if its subtree's root globally precedes
+        // (or is) y's subtree root.
+        let gx = &self.info(lx.subtree).global;
+        let gy = &self.info(ly.subtree).global;
+        if !(gx == gy || gx.is_ancestor_of(gy)) {
+            return false;
+        }
+        // Climb y's subtree-root chain to the subtree hanging inside x's.
+        let mut at = ly.subtree;
+        loop {
+            let info = self.info(at);
+            match info.parent_subtree {
+                None => return false, // reached the top without crossing x
+                Some(p) if p == lx.subtree => {
+                    // x must be a local ancestor-or-self of the anchor.
+                    let anchor = info.anchor.as_ref().expect("non-top subtree has an anchor");
+                    return anchor == &lx.local || lx.local.is_ancestor_of(anchor);
+                }
+                Some(p) => at = p,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_datagen::builders::{chain, random_tree, RandomTreeParams};
+    use xp_xmltree::parse;
+
+    fn check_against_tree(tree: &XmlTree, cut: usize) {
+        let doc = DecomposedPrimeDoc::build(tree, cut);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    doc.is_ancestor(x, y),
+                    tree.is_ancestor(x, y),
+                    "cut={cut} ancestor({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_small_trees_for_all_cut_depths() {
+        let tree = parse("<a><b><c><d><e/><f/></d></c></b><g><h><i/></h></g></a>").unwrap();
+        for cut in 1..=6 {
+            check_against_tree(&tree, cut);
+        }
+    }
+
+    #[test]
+    fn exact_on_random_trees() {
+        for seed in 0..5 {
+            let tree = random_tree(
+                seed,
+                &RandomTreeParams { nodes: 120, max_depth: 10, max_fanout: 5, tag_variety: 3 },
+            );
+            for cut in [1, 2, 3, 5] {
+                check_against_tree(&tree, cut);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_one_makes_every_node_a_subtree_root() {
+        let tree = parse("<a><b/><c><d/></c></a>").unwrap();
+        let doc = DecomposedPrimeDoc::build(&tree, 1);
+        assert_eq!(doc.subtree_count(), 4);
+        check_against_tree(&tree, 1);
+    }
+
+    #[test]
+    fn deep_chains_get_dramatically_smaller_labels() {
+        // The paper's motivation: depth is the prime scheme's weakness;
+        // decomposition caps the product length at cut_depth factors.
+        let deep = chain(120);
+        let flat = TopDownPrime::unoptimized().label(&deep).size_stats().max_bits;
+        let doc = DecomposedPrimeDoc::build(&deep, 8);
+        let decomposed = doc.max_label_bits();
+        assert!(
+            decomposed * 4 < flat,
+            "decomposed {decomposed} bits vs flat {flat} bits"
+        );
+        check_against_tree(&deep, 8);
+    }
+
+    #[test]
+    fn shallow_documents_pay_almost_nothing() {
+        let tree = parse("<a><b><c/></b><d><e/></d></a>").unwrap();
+        let doc = DecomposedPrimeDoc::build(&tree, 10);
+        assert_eq!(doc.subtree_count(), 1, "no cut is ever reached");
+        check_against_tree(&tree, 10);
+    }
+
+    #[test]
+    fn subtree_ids_and_locals_are_consistent() {
+        let tree = parse("<a><b><c><d/></c></b></a>").unwrap();
+        let doc = DecomposedPrimeDoc::build(&tree, 2);
+        // Depths: a=0 b=1 c=2 d=3 → subtrees {a,b} and {c,d}.
+        assert_eq!(doc.subtree_count(), 2);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        assert_eq!(doc.label(nodes[0]).subtree, doc.label(nodes[1]).subtree);
+        assert_eq!(doc.label(nodes[2]).subtree, doc.label(nodes[3]).subtree);
+        assert_ne!(doc.label(nodes[0]).subtree, doc.label(nodes[2]).subtree);
+        // Local roots restart at label 1 in each subtree.
+        assert!(doc.label(nodes[0]).local.value().is_one());
+        assert!(doc.label(nodes[2]).local.value().is_one());
+    }
+}

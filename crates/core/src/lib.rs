@@ -1,0 +1,62 @@
+//! # xp-prime — the prime-number labeling scheme (the paper's contribution)
+//!
+//! Implements Wu, Lee & Hsu, *A Prime Number Labeling Scheme for Dynamic
+//! Ordered XML Trees* (ICDE 2004), in full:
+//!
+//! * [`topdown::TopDownPrime`] — the paper's default scheme (§3, Figure 2):
+//!   every non-leaf node gets a unique prime **self-label**; a node's label
+//!   is the product of its parent's label and its self-label; ancestorship
+//!   is divisibility (Property 2/3). Optimizations are configurable via
+//!   [`topdown::PrimeOptions`]:
+//!   **Opt1** reserves the smallest primes for the top tree levels,
+//!   **Opt2** labels the n-th leaf child `2^n` (with the odd-label ancestor
+//!   test of Property 3 and the threshold fallback of §3.2), and
+//!   **Opt3** collapses repeated sibling subtrees (Figure 6).
+//! * [`bottomup::BottomUpPrime`] — the bottom-up variant (Figure 1): leaves
+//!   get primes, parents the product of their children (Property 2).
+//! * [`size_model`] — the analytic maximum-label-size formulas (1)–(3) of
+//!   §3.1 behind Figures 4 and 5.
+//! * [`crt`] — Chinese-Remainder solvers (Theorem 1): the extended-Euclid
+//!   solver and the paper's Euler-totient formulation.
+//! * [`sc`] — the **SC table** (§4): simultaneous-congruence values that fold
+//!   document order into one number per chunk of nodes, plus the low-cost
+//!   order-sensitive update protocol of §4.2.
+//! * [`ordered::OrderedPrimeDoc`] — the full ordered document: top-down
+//!   labels + SC table + insertion/deletion with relabel accounting, the
+//!   object the query engine (`xp-query`) and Figure 18 run on.
+//! * [`decompose::DecomposedPrimeDoc`] — the tree-decomposition
+//!   optimization §3.2 adopts from \[10\] for trees "with great depths":
+//!   per-subtree labeling plus a labeled global tree, with a label-only
+//!   cross-subtree ancestor test.
+//!
+//! ```
+//! use xp_prime::topdown::TopDownPrime;
+//! use xp_labelkit::{Scheme, LabelOps};
+//! use xp_xmltree::parse;
+//!
+//! let tree = parse("<book><author/><author/></book>").unwrap();
+//! let doc = TopDownPrime::unoptimized().label(&tree);
+//! let book = tree.root();
+//! let author = tree.first_child(book).unwrap();
+//! assert!(doc.label(book).is_ancestor_of(doc.label(author)));
+//! assert!(!doc.label(author).is_ancestor_of(doc.label(book)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bottomup;
+pub mod crt;
+pub mod decompose;
+pub mod label;
+pub mod ordered;
+pub mod path;
+pub mod sc;
+pub mod size_model;
+pub mod stream;
+pub mod topdown;
+
+pub use label::PrimeLabel;
+pub use ordered::OrderedPrimeDoc;
+pub use sc::ScTable;
+pub use topdown::{PrimeOptions, TopDownPrime};

@@ -1,0 +1,133 @@
+//! Decoding labels back into ancestor paths.
+//!
+//! A top-down prime label is the *product of the self-labels on the
+//! root-to-node path* — so the label alone, factorized, recovers the whole
+//! ancestry. This module implements that decoding: given a label and the
+//! document's self-label → node directory, [`decode_path`] returns the
+//! root-to-node chain with no tree access whatsoever. It is the strongest
+//! form of the paper's "determine the relationships … simply by examining
+//! their labels": not just *whether* x is an ancestor of y, but the entire
+//! ordered ancestor chain, from one integer.
+
+use crate::label::PrimeLabel;
+use crate::ordered::OrderedPrimeDoc;
+use xp_bignum::UBig;
+use xp_primes::factor::factorize;
+use xp_xmltree::NodeId;
+
+/// Why a label could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The label exceeds `u64` (decoding uses machine-word factorization;
+    /// labels of documents up to millions of nodes fit when the path is
+    /// short, but deep paths overflow — walk the divisor chain instead).
+    TooLarge,
+    /// A prime factor is not a known self-label in this document.
+    UnknownSelfLabel(u64),
+    /// A self-label appears squared — top-down labels are squarefree.
+    NotSquarefree(u64),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooLarge => write!(f, "label exceeds u64; use the divisor chain"),
+            DecodeError::UnknownSelfLabel(p) => write!(f, "prime {p} is not a self-label here"),
+            DecodeError::NotSquarefree(p) => write!(f, "self-label {p} repeats in the label"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Factorizes `label` and maps every prime factor to its node, returning
+/// the root-to-node path (shallowest first). The root (label 1) is not part
+/// of the product and therefore not in the result.
+///
+/// Order within the chain is recovered from the labels themselves:
+/// ancestors divide descendants, so sorting by divisibility-chain depth —
+/// equivalently by label magnitude — orders the path.
+pub fn decode_path(doc: &OrderedPrimeDoc, label: &PrimeLabel) -> Result<Vec<NodeId>, DecodeError> {
+    let value = label.value().to_u64().ok_or(DecodeError::TooLarge)?;
+    let mut chain: Vec<(UBig, NodeId)> = Vec::new();
+    for (p, e) in factorize(value) {
+        if e > 1 {
+            return Err(DecodeError::NotSquarefree(p));
+        }
+        let node = doc.node_with_self_label(p).ok_or(DecodeError::UnknownSelfLabel(p))?;
+        chain.push((doc.labels().label(node).value().clone(), node));
+    }
+    // A node's label is the product of its ancestors' self-labels, so along
+    // one root path the label values strictly increase with depth.
+    chain.sort();
+    Ok(chain.into_iter().map(|(_, n)| n).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_labelkit::LabelOps;
+    use xp_xmltree::parse;
+
+    #[test]
+    fn decodes_a_full_root_path() {
+        let tree = parse("<a><b><c><d/></c></b><e/></a>").unwrap();
+        let doc = OrderedPrimeDoc::build(&tree, 5).unwrap();
+        let d = tree
+            .elements()
+            .find(|&n| tree.tag(n) == Some("d"))
+            .unwrap();
+        let path = decode_path(&doc, doc.labels().label(d)).unwrap();
+        // Path = b, c, d (the root's self-label 1 contributes no factor).
+        let tags: Vec<&str> = path.iter().map(|&n| tree.tag(n).unwrap()).collect();
+        assert_eq!(tags, ["b", "c", "d"]);
+        // Shallow-to-deep order.
+        for w in path.windows(2) {
+            assert!(tree.is_ancestor(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn decoding_agrees_with_the_tree_for_every_node() {
+        let tree = parse("<r><x><y><z/><w/></y></x><q><p/></q></r>").unwrap();
+        let doc = OrderedPrimeDoc::build(&tree, 3).unwrap();
+        for node in tree.elements() {
+            let path = decode_path(&doc, doc.labels().label(node)).unwrap();
+            let mut expected: Vec<NodeId> =
+                tree.ancestors(node).filter(|&a| a != tree.root()).collect();
+            expected.reverse();
+            expected.push(node);
+            let expected: Vec<NodeId> =
+                if node == tree.root() { Vec::new() } else { expected };
+            assert_eq!(path, expected, "node {node}");
+        }
+    }
+
+    #[test]
+    fn decoded_path_respects_label_divisibility() {
+        let tree = parse("<a><b><c/></b></a>").unwrap();
+        let doc = OrderedPrimeDoc::build(&tree, 5).unwrap();
+        let c = tree.elements().last().unwrap();
+        let label = doc.labels().label(c);
+        for anc in decode_path(&doc, label).unwrap() {
+            let anc_label = doc.labels().label(anc);
+            assert!(anc_label == label || anc_label.is_ancestor_of(label));
+        }
+    }
+
+    #[test]
+    fn unknown_prime_is_reported() {
+        let tree = parse("<a><b/></a>").unwrap();
+        let doc = OrderedPrimeDoc::build(&tree, 5).unwrap();
+        let fake = PrimeLabel::from_parts(UBig::from(9973u64), UBig::from(9973u64), false);
+        assert_eq!(decode_path(&doc, &fake), Err(DecodeError::UnknownSelfLabel(9973)));
+    }
+
+    #[test]
+    fn oversized_labels_are_rejected_not_mangled() {
+        let tree = parse("<a><b/></a>").unwrap();
+        let doc = OrderedPrimeDoc::build(&tree, 5).unwrap();
+        let huge = PrimeLabel::from_parts(UBig::from(3u64).pow(100), UBig::from(3u64), false);
+        assert_eq!(decode_path(&doc, &huge), Err(DecodeError::TooLarge));
+    }
+}

@@ -1,0 +1,660 @@
+//! The SC table (§4): simultaneous-congruence values that capture global
+//! document order, one value per chunk of nodes.
+//!
+//! Each record holds the CRT solution `SC` for the congruences
+//! `SC ≡ order(v) (mod self(v))` over its chunk's nodes, plus the chunk's
+//! maximum self-label (Figure 10's layout). A node's order number is
+//! recovered as `SC mod self(v)`; an order-sensitive insertion shifts the
+//! order numbers after the insertion point and re-solves exactly the records
+//! that cover shifted nodes — that is the paper's low-cost update claim
+//! (Figure 18 counts one "relabeling" per touched record).
+
+use crate::crt::{self, CrtError};
+use std::collections::HashMap;
+use xp_bignum::UBig;
+
+/// One SC record: a chunk of nodes folded into a single congruence value.
+#[derive(Debug, Clone)]
+pub struct ScRecord {
+    /// Self-labels (CRT moduli) of the chunk's members, in insertion order.
+    members: Vec<u64>,
+    /// Product of the members (the CRT modulus `C`).
+    product: UBig,
+    /// The simultaneous-congruence value.
+    sc: UBig,
+    /// Largest self-label in the chunk — the paper's per-record index key.
+    max_self: u64,
+}
+
+impl ScRecord {
+    /// The record's SC value.
+    pub fn sc(&self) -> &UBig {
+        &self.sc
+    }
+
+    /// The record's maximum self-label (Figure 10's "max prime" column).
+    pub fn max_self_label(&self) -> u64 {
+        self.max_self
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the record covers nothing (never persists).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    fn rebuild(&mut self, orders: &[u64]) -> Result<(), CrtError> {
+        self.sc = crt::solve(&self.members, orders)?;
+        Ok(())
+    }
+
+    fn order_of(&self, self_label: u64) -> u64 {
+        self.sc.rem_u64(self_label)
+    }
+}
+
+/// Report of one order-sensitive insertion into the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScInsertReport {
+    /// SC records whose value changed (re-solved CRT systems). The paper
+    /// counts each as one relabeling in Figure 18.
+    pub records_updated: usize,
+}
+
+/// Errors from SC-table maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScError {
+    /// The underlying congruence system was unsolvable.
+    Crt(CrtError),
+    /// A node's order number would reach its self-label, after which
+    /// `SC mod self` can no longer recover it (the residue is only defined
+    /// below the modulus — a constraint the paper leaves implicit). The
+    /// caller must relabel this node with a larger prime
+    /// ([`crate::OrderedPrimeDoc`] does so automatically).
+    OrderOverflow {
+        /// The too-small self-label.
+        self_label: u64,
+        /// The order number that no longer fits.
+        order: u64,
+    },
+}
+
+impl From<CrtError> for ScError {
+    fn from(e: CrtError) -> Self {
+        ScError::Crt(e)
+    }
+}
+
+impl std::fmt::Display for ScError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScError::Crt(e) => write!(f, "{e}"),
+            ScError::OrderOverflow { self_label, order } => {
+                write!(f, "order {order} no longer fits under self-label {self_label}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScError {}
+
+/// The SC table: global document order for a set of coprime self-labels.
+///
+/// ```
+/// use xp_prime::ScTable;
+///
+/// // Figure 9: self-labels 2,3,5,7,11,13 at orders 1..=6 fold into 29243.
+/// let items = [(2, 1), (3, 2), (5, 3), (7, 4), (11, 5), (13, 6)];
+/// let table = ScTable::build(10, &items).unwrap();
+/// assert_eq!(table.records()[0].sc().to_string(), "29243");
+/// assert_eq!(table.order_of(5), Some(3)); // 29243 mod 5
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScTable {
+    chunk_capacity: usize,
+    records: Vec<ScRecord>,
+    /// self-label → record index (the paper navigates by max-prime ranges;
+    /// an exact map is equivalent and stays correct after insertions).
+    locator: HashMap<u64, usize>,
+}
+
+impl ScTable {
+    /// Builds a table from `(self_label, order)` pairs, chunking every
+    /// `chunk_capacity` consecutive pairs into one SC record (the paper's
+    /// §5.4 experiment uses capacity 5).
+    ///
+    /// Self-labels must be pairwise coprime (Theorem 1), > 1, and each
+    /// strictly greater than its order number (so `SC mod self` recovers the
+    /// order — automatically true when primes are assigned in document
+    /// order, since the n-th prime exceeds n).
+    pub fn build(chunk_capacity: usize, items: &[(u64, u64)]) -> Result<Self, ScError> {
+        assert!(chunk_capacity >= 1, "chunks must hold at least one node");
+        for &(m, o) in items {
+            if o >= m {
+                return Err(ScError::OrderOverflow { self_label: m, order: o });
+            }
+        }
+        let mut table = ScTable {
+            chunk_capacity,
+            records: Vec::with_capacity(items.len().div_ceil(chunk_capacity)),
+            locator: HashMap::with_capacity(items.len()),
+        };
+        for chunk in items.chunks(chunk_capacity) {
+            let members: Vec<u64> = chunk.iter().map(|&(m, _)| m).collect();
+            let orders: Vec<u64> = chunk.iter().map(|&(_, o)| o).collect();
+            let sc = crt::solve(&members, &orders)?;
+            let mut product = UBig::one();
+            for &m in &members {
+                product *= UBig::from(m);
+            }
+            let idx = table.records.len();
+            for &m in &members {
+                table.locator.insert(m, idx);
+            }
+            table.records.push(ScRecord {
+                max_self: members.iter().copied().max().unwrap_or(0),
+                members,
+                product,
+                sc,
+            });
+        }
+        Ok(table)
+    }
+
+    /// Number of covered nodes.
+    pub fn len(&self) -> usize {
+        self.locator.len()
+    }
+
+    /// `true` iff no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.locator.is_empty()
+    }
+
+    /// Number of SC records.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The records, for display (Figures 10 and 12 print `(SC, max prime)`).
+    pub fn records(&self) -> &[ScRecord] {
+        &self.records
+    }
+
+    /// The order number of the node with this self-label, or `None` if the
+    /// label is not covered.
+    pub fn order_of(&self, self_label: u64) -> Option<u64> {
+        let &idx = self.locator.get(&self_label)?;
+        Some(self.records[idx].order_of(self_label))
+    }
+
+    /// All `(self_label, order)` pairs, unordered.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.records.iter().flat_map(|r| r.members.iter().map(move |&m| (m, r.order_of(m))))
+    }
+
+    /// Inserts a node with a fresh (unused, coprime) self-label at order
+    /// position `order`: every covered node whose order is `>= order` shifts
+    /// up by one, and exactly the records covering shifted nodes (plus the
+    /// record receiving the new member) are re-solved.
+    ///
+    /// Fails with [`ScError::OrderOverflow`] — before mutating anything — if
+    /// a shifted node's new order would reach its self-label; relabel that
+    /// node with a larger prime and retry.
+    pub fn insert(&mut self, self_label: u64, order: u64) -> Result<ScInsertReport, ScError> {
+        assert!(
+            !self.locator.contains_key(&self_label),
+            "self-label {self_label} already covered"
+        );
+        if order >= self_label {
+            return Err(ScError::OrderOverflow { self_label, order });
+        }
+        for record in &self.records {
+            for &m in &record.members {
+                let o = record.order_of(m);
+                if o >= order && o + 1 >= m {
+                    return Err(ScError::OrderOverflow { self_label: m, order: o + 1 });
+                }
+            }
+        }
+
+        // Pre-validate against the receiving record so a coprimality error
+        // cannot leave the table half-mutated.
+        if let Some(last) = self.records.last() {
+            if last.len() < self.chunk_capacity {
+                for &m in &last.members {
+                    if !xp_bignum::modular::coprime(&UBig::from(self_label), &UBig::from(m)) {
+                        return Err(CrtError::NotCoprime { a: self_label, b: m }.into());
+                    }
+                }
+            }
+        }
+
+        // Choose the receiving record: the paper appends to the record with
+        // the largest max prime (the newest), starting a fresh record when
+        // it is full.
+        let target = match self.records.last() {
+            Some(last) if last.len() < self.chunk_capacity => self.records.len() - 1,
+            _ => {
+                self.records.push(ScRecord {
+                    members: Vec::new(),
+                    product: UBig::one(),
+                    sc: UBig::zero(),
+                    max_self: 0,
+                });
+                self.records.len() - 1
+            }
+        };
+
+        let mut updated = 0usize;
+        for (idx, record) in self.records.iter_mut().enumerate() {
+            let mut orders: Vec<u64> =
+                record.members.iter().map(|&m| record.sc.rem_u64(m)).collect();
+            let mut dirty = false;
+            for o in &mut orders {
+                if *o >= order {
+                    *o += 1;
+                    dirty = true;
+                }
+            }
+            if idx == target {
+                record.members.push(self_label);
+                record.product = &record.product * &UBig::from(self_label);
+                record.max_self = record.max_self.max(self_label);
+                orders.push(order);
+                dirty = true;
+            }
+            if dirty {
+                record.rebuild(&orders)?;
+                updated += 1;
+            }
+        }
+        self.locator.insert(self_label, target);
+        Ok(ScInsertReport { records_updated: updated })
+    }
+
+    /// Swaps a member's self-label for a new one (same order number): the
+    /// escape hatch for [`ScError::OrderOverflow`]. Exactly one record is
+    /// re-solved. The new label must be coprime with the record's other
+    /// members and larger than the member's order.
+    pub fn replace_self_label(&mut self, old: u64, new: u64) -> Result<(), ScError> {
+        assert!(!self.locator.contains_key(&new), "self-label {new} already covered");
+        let idx = *self
+            .locator
+            .get(&old)
+            .unwrap_or_else(|| panic!("self-label {old} not covered"));
+        let record = &mut self.records[idx];
+        let order = record.order_of(old);
+        if order >= new {
+            return Err(ScError::OrderOverflow { self_label: new, order });
+        }
+        let orders: Vec<u64> = record
+            .members
+            .iter()
+            .map(|&m| if m == old { order } else { record.order_of(m) })
+            .collect();
+        for m in &mut record.members {
+            if *m == old {
+                *m = new;
+            }
+        }
+        record.max_self = record.members.iter().copied().max().unwrap_or(0);
+        record.product = record.members.iter().fold(UBig::one(), |acc, &m| acc * UBig::from(m));
+        record.rebuild(&orders)?;
+        self.locator.remove(&old);
+        self.locator.insert(new, idx);
+        Ok(())
+    }
+
+    /// Storage footprint of the table in bits: for each record, the SC
+    /// value plus the max-prime index key (Figure 10's two columns).
+    ///
+    /// The paper never charges this cost against the scheme; exposing it
+    /// lets the `ablation_sc_storage` experiment do the honest accounting:
+    /// a record over k self-labels stores ≈ Σ log(mᵢ) bits, so the whole
+    /// table costs about as much as one extra label per node, independent
+    /// of chunk size.
+    pub fn storage_bits(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| {
+                let sc_bits = r.sc.bit_len().max(1);
+                let key_bits = u64::from(64 - r.max_self.max(1).leading_zeros());
+                sc_bits + key_bits
+            })
+            .sum()
+    }
+
+    /// Serializes the table: chunk capacity, then per record the member
+    /// list and the SC value — the persistent form of Figure 10's table.
+    pub fn encode(&self) -> Vec<u8> {
+        use xp_labelkit::codec::{write_bytes, write_varint};
+        let mut out = Vec::new();
+        write_varint(&mut out, self.chunk_capacity as u64);
+        write_varint(&mut out, self.records.len() as u64);
+        for record in &self.records {
+            write_varint(&mut out, record.members.len() as u64);
+            for &m in &record.members {
+                write_varint(&mut out, m);
+            }
+            write_bytes(&mut out, &record.sc.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a table produced by [`ScTable::encode`]. The product
+    /// and index columns are recomputed; each record's SC value is checked
+    /// against its modulus.
+    pub fn decode(mut input: &[u8]) -> Result<Self, xp_labelkit::CodecError> {
+        use xp_labelkit::codec::{read_bytes, read_varint, CodecError};
+        let input = &mut input;
+        let chunk_capacity = read_varint(input)? as usize;
+        if chunk_capacity == 0 {
+            return Err(CodecError::Corrupt("zero chunk capacity"));
+        }
+        let record_count = read_varint(input)? as usize;
+        let mut records = Vec::with_capacity(record_count.min(1 << 16));
+        let mut locator = HashMap::new();
+        for idx in 0..record_count {
+            let len = read_varint(input)? as usize;
+            let mut members = Vec::with_capacity(len.min(1 << 12));
+            let mut product = UBig::one();
+            for _ in 0..len {
+                let m = read_varint(input)?;
+                if m < 2 {
+                    return Err(CodecError::Corrupt("self-label below 2"));
+                }
+                if locator.insert(m, idx).is_some() {
+                    return Err(CodecError::Corrupt("duplicate self-label"));
+                }
+                product *= UBig::from(m);
+                members.push(m);
+            }
+            let sc = UBig::from_le_bytes(read_bytes(input)?);
+            if !members.is_empty() && sc >= product {
+                return Err(CodecError::Corrupt("SC value outside its modulus"));
+            }
+            records.push(ScRecord {
+                max_self: members.iter().copied().max().unwrap_or(0),
+                members,
+                product,
+                sc,
+            });
+        }
+        if !input.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes"));
+        }
+        Ok(ScTable { chunk_capacity, records, locator })
+    }
+
+    /// Removes a node. Deletion shifts no order numbers (§4.2), so only the
+    /// record that held the member is re-solved. Returns `false` if the
+    /// label was not covered.
+    pub fn remove(&mut self, self_label: u64) -> Result<bool, ScError> {
+        let Some(idx) = self.locator.remove(&self_label) else {
+            return Ok(false);
+        };
+        let record = &mut self.records[idx];
+        let orders: Vec<u64> = record
+            .members
+            .iter()
+            .filter(|&&m| m != self_label)
+            .map(|&m| record.sc.rem_u64(m))
+            .collect();
+        record.members.retain(|&m| m != self_label);
+        record.max_self = record.members.iter().copied().max().unwrap_or(0);
+        record.product = record.members.iter().fold(UBig::one(), |acc, &m| acc * UBig::from(m));
+        record.rebuild(&orders)?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 9 tree's six nodes: self-labels 2..13, orders 1..6.
+    fn figure9_items() -> Vec<(u64, u64)> {
+        vec![(2, 1), (3, 2), (5, 3), (7, 4), (11, 5), (13, 6)]
+    }
+
+    #[test]
+    fn single_record_reproduces_figure9() {
+        let t = ScTable::build(10, &figure9_items()).unwrap();
+        assert_eq!(t.record_count(), 1);
+        assert_eq!(t.records()[0].sc(), &UBig::from(29243u64));
+        for (m, o) in figure9_items() {
+            assert_eq!(t.order_of(m), Some(o));
+        }
+        assert_eq!(t.order_of(17), None);
+    }
+
+    #[test]
+    fn chunked_table_reproduces_figure10() {
+        let t = ScTable::build(5, &figure9_items()).unwrap();
+        assert_eq!(t.record_count(), 2);
+        assert_eq!(t.records()[0].sc(), &UBig::from(1523u64));
+        assert_eq!(t.records()[0].max_self_label(), 11);
+        assert_eq!(t.records()[1].sc(), &UBig::from(6u64));
+        assert_eq!(t.records()[1].max_self_label(), 13);
+        for (m, o) in figure9_items() {
+            assert_eq!(t.order_of(m), Some(o), "self-label {m}");
+        }
+    }
+
+    #[test]
+    fn insertion_reproduces_figure11_and_12() {
+        // §4.2: insert self-label 17 at order 3; afterwards the second
+        // record satisfies x≡7 (13), x≡3 (17) and the first shifts orders
+        // [1,2,3,4,5] → [1,2,4,5,6].
+        let mut t = ScTable::build(5, &figure9_items()).unwrap();
+        let report = t.insert(17, 3).unwrap();
+        assert_eq!(report.records_updated, 2, "both records touched");
+        assert_eq!(t.order_of(17), Some(3));
+        assert_eq!(t.order_of(2), Some(1));
+        assert_eq!(t.order_of(3), Some(2));
+        assert_eq!(t.order_of(5), Some(4));
+        assert_eq!(t.order_of(7), Some(5));
+        assert_eq!(t.order_of(11), Some(6));
+        assert_eq!(t.order_of(13), Some(7));
+        let second = &t.records()[1];
+        assert_eq!(second.sc().rem_u64(13), 7);
+        assert_eq!(second.sc().rem_u64(17), 3);
+        assert_eq!(second.max_self_label(), 17);
+    }
+
+    #[test]
+    fn append_at_end_touches_one_record() {
+        let mut t = ScTable::build(5, &figure9_items()).unwrap();
+        // Order 7 is past every existing node: nothing shifts; only the
+        // receiving record re-solves.
+        let report = t.insert(17, 7).unwrap();
+        assert_eq!(report.records_updated, 1);
+        assert_eq!(t.order_of(17), Some(7));
+        assert_eq!(t.order_of(13), Some(6), "untouched");
+    }
+
+    #[test]
+    fn insert_into_full_last_record_opens_a_new_one() {
+        let items: Vec<(u64, u64)> = vec![(2, 1), (3, 2), (5, 3), (7, 4), (11, 5)];
+        let mut t = ScTable::build(5, &items).unwrap();
+        assert_eq!(t.record_count(), 1);
+        t.insert(13, 6).unwrap();
+        assert_eq!(t.record_count(), 2);
+        assert_eq!(t.order_of(13), Some(6));
+    }
+
+    /// Items with enough modulus headroom that front-insertions never hit
+    /// [`ScError::OrderOverflow`].
+    fn roomy_items() -> Vec<(u64, u64)> {
+        vec![(7, 1), (11, 2), (13, 3), (17, 4), (19, 5), (23, 6)]
+    }
+
+    #[test]
+    fn insert_at_front_touches_every_record() {
+        let mut t = ScTable::build(2, &roomy_items()).unwrap(); // 3 records
+        let before = t.record_count();
+        let report = t.insert(29, 1).unwrap();
+        // All 3 old records shift, plus the new one created for the member.
+        assert_eq!(report.records_updated, before + 1);
+        assert_eq!(t.order_of(29), Some(1));
+        assert_eq!(t.order_of(7), Some(2));
+        assert_eq!(t.order_of(23), Some(7));
+    }
+
+    #[test]
+    fn repeated_insertions_keep_a_consistent_permutation() {
+        let mut t = ScTable::build(3, &roomy_items()).unwrap();
+        for (label, order) in [(29u64, 2u64), (31, 2), (37, 9), (41, 1)] {
+            t.insert(label, order).unwrap();
+        }
+        let mut orders: Vec<u64> = t.entries().map(|(_, o)| o).collect();
+        orders.sort_unstable();
+        assert_eq!(orders, (1..=10).collect::<Vec<u64>>(), "orders form 1..=n");
+    }
+
+    #[test]
+    fn order_overflow_is_detected_before_any_mutation() {
+        // Figure 9's items: shifting the node with self-label 3 from order 2
+        // to 3 would make its order unrecoverable (3 mod 3 = 0).
+        let mut t = ScTable::build(5, &figure9_items()).unwrap();
+        let err = t.insert(17, 2).unwrap_err();
+        assert_eq!(err, ScError::OrderOverflow { self_label: 3, order: 3 });
+        // Nothing changed.
+        for (m, o) in figure9_items() {
+            assert_eq!(t.order_of(m), Some(o));
+        }
+        assert_eq!(t.order_of(17), None);
+    }
+
+    #[test]
+    fn overflow_of_the_new_member_itself_is_detected() {
+        let mut t = ScTable::build(5, &roomy_items()).unwrap();
+        let err = t.insert(5, 7).unwrap_err();
+        assert_eq!(err, ScError::OrderOverflow { self_label: 5, order: 7 });
+    }
+
+    #[test]
+    fn build_rejects_order_at_or_above_self_label() {
+        let err = ScTable::build(5, &[(3, 3)]).unwrap_err();
+        assert_eq!(err, ScError::OrderOverflow { self_label: 3, order: 3 });
+    }
+
+    #[test]
+    fn replace_self_label_unblocks_an_overflowing_insert() {
+        let mut t = ScTable::build(5, &figure9_items()).unwrap();
+        assert!(t.insert(17, 2).is_err());
+        // Relabel the offending node (self 3, order 2) with a roomier prime.
+        t.replace_self_label(3, 19).unwrap();
+        assert_eq!(t.order_of(19), Some(2));
+        assert_eq!(t.order_of(3), None);
+        let report = t.insert(17, 2).unwrap();
+        assert!(report.records_updated >= 1);
+        assert_eq!(t.order_of(17), Some(2));
+        assert_eq!(t.order_of(19), Some(3));
+        assert_eq!(t.order_of(2), Some(1), "unshifted");
+    }
+
+    #[test]
+    fn replace_self_label_touches_one_record() {
+        let mut t = ScTable::build(2, &roomy_items()).unwrap();
+        let before: Vec<UBig> = t.records().iter().map(|r| r.sc().clone()).collect();
+        t.replace_self_label(11, 43).unwrap();
+        let after: Vec<UBig> = t.records().iter().map(|r| r.sc().clone()).collect();
+        let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 1);
+        assert_eq!(t.order_of(43), Some(2));
+    }
+
+    #[test]
+    fn removal_touches_only_its_record_and_keeps_others() {
+        let mut t = ScTable::build(5, &figure9_items()).unwrap();
+        assert!(t.remove(3).unwrap());
+        assert_eq!(t.order_of(3), None);
+        // Gap remains: others keep their order numbers (§4.2).
+        assert_eq!(t.order_of(2), Some(1));
+        assert_eq!(t.order_of(5), Some(3));
+        assert_eq!(t.order_of(13), Some(6));
+        assert!(!t.remove(3).unwrap(), "double removal is a no-op");
+    }
+
+    #[test]
+    fn rejects_noncoprime_members() {
+        assert!(ScTable::build(5, &[(4, 1), (6, 2)]).is_err());
+        let mut t = ScTable::build(5, &[(4, 1), (9, 2)]).unwrap(); // 4 and 9 are coprime
+        assert!(t.insert(6, 3).is_err(), "6 shares factors with both");
+    }
+
+    #[test]
+    #[should_panic(expected = "already covered")]
+    fn duplicate_self_label_panics() {
+        let mut t = ScTable::build(5, &figure9_items()).unwrap();
+        let _ = t.insert(13, 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = ScTable::build(5, &[]).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.record_count(), 0);
+        assert_eq!(t.order_of(2), None);
+    }
+
+    #[test]
+    fn storage_bits_track_the_congruence_products() {
+        let t = ScTable::build(6, &figure9_items()).unwrap();
+        // One record: SC = 29243 (15 bits) + key 13 (4 bits).
+        assert_eq!(t.storage_bits(), 15 + 4);
+        // Splitting into more records adds keys but shrinks SC values; the
+        // total stays within a small factor.
+        let t5 = ScTable::build(5, &figure9_items()).unwrap();
+        assert!(t5.storage_bits() >= 15, "{}", t5.storage_bits());
+        let t1 = ScTable::build(1, &figure9_items()).unwrap();
+        assert!(t1.storage_bits() < 64, "{}", t1.storage_bits());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for capacity in [1usize, 3, 5, 10] {
+            let t = ScTable::build(capacity, &figure9_items()).unwrap();
+            let decoded = ScTable::decode(&t.encode()).unwrap();
+            assert_eq!(decoded.record_count(), t.record_count());
+            for (m, o) in figure9_items() {
+                assert_eq!(decoded.order_of(m), Some(o), "capacity {capacity}, label {m}");
+            }
+            // And the decoded table stays updatable.
+            let mut decoded = decoded;
+            decoded.insert(17, 7).unwrap();
+            assert_eq!(decoded.order_of(17), Some(7));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let t = ScTable::build(5, &figure9_items()).unwrap();
+        let bytes = t.encode();
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(9);
+        assert!(ScTable::decode(&long).is_err());
+        // Truncation at every prefix either errors or yields fewer nodes.
+        for cut in 0..bytes.len() {
+            if let Ok(table) = ScTable::decode(&bytes[..cut]) {
+                assert!(table.len() < 6, "cut {cut} silently kept everything");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_one_degenerates_to_per_node_records() {
+        let t = ScTable::build(1, &figure9_items()).unwrap();
+        assert_eq!(t.record_count(), 6);
+        for (m, o) in figure9_items() {
+            assert_eq!(t.order_of(m), Some(o));
+        }
+    }
+}

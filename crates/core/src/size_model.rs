@@ -1,0 +1,175 @@
+//! The analytic maximum-label-size model of §3.1: formulas (1)–(3) and the
+//! self-label sizes plotted in Figures 4 and 5.
+//!
+//! Conventions follow the paper: `log` is base 2; `D` is the maximal depth
+//! (root at level 0), `F` the maximal fan-out, and the worst case is the
+//! perfect tree with `N = Σ_{i=0..D} F^i` nodes.
+
+/// `Σ_{i=0..d} f^i` as `f64` (exact for the ranges the figures plot).
+fn perfect_tree_nodes(f: u64, d: u32) -> f64 {
+    let mut total = 0.0f64;
+    let mut level = 1.0f64;
+    for _ in 0..=d {
+        total += level;
+        level *= f as f64;
+    }
+    total
+}
+
+/// Prefix-1 maximum **self-label** size in bits: the i-th child's label is
+/// `1^(i-1) 0`, so the F-th child needs `F` bits.
+pub fn prefix1_self_bits(fanout: u64) -> u64 {
+    fanout.max(1)
+}
+
+/// Formula (1): `Lmax = D · F` for Prefix-1.
+pub fn prefix1_max_bits(depth: u32, fanout: u64) -> u64 {
+    u64::from(depth) * prefix1_self_bits(fanout)
+}
+
+/// Prefix-2 maximum **self-label** size in bits: `4·⌈log₂ F⌉` (from \[7\]).
+pub fn prefix2_self_bits(fanout: u64) -> u64 {
+    let log = (fanout.max(1) as f64).log2().ceil() as u64;
+    (4 * log).max(1)
+}
+
+/// Formula (2): `Lmax = D · 4⌈log₂ F⌉` for Prefix-2.
+pub fn prefix2_max_bits(depth: u32, fanout: u64) -> u64 {
+    u64::from(depth) * prefix2_self_bits(fanout)
+}
+
+/// Prime maximum **self-label** size in bits on a perfect tree: the largest
+/// self-label is ≈ the N-th prime ≈ `N·log₂N`, so its size is
+/// `log₂(N·log₂N)` with `N = Σ F^i` (§3.1's derivation).
+pub fn prime_self_bits(depth: u32, fanout: u64) -> u64 {
+    let n = perfect_tree_nodes(fanout, depth);
+    if n <= 2.0 {
+        return 2;
+    }
+    (n * n.log2()).log2().ceil() as u64
+}
+
+/// Formula (3): `Lmax = D · log₂((Σ Fⁱ)·log₂(Σ Fⁱ))` for the prime scheme —
+/// every level contributes one self-label-sized factor to the product.
+pub fn prime_max_bits(depth: u32, fanout: u64) -> u64 {
+    u64::from(depth) * prime_self_bits(depth, fanout)
+}
+
+/// Interval-scheme maximum label size: `2(1 + log₂ N)` bits (§3.1) — two
+/// endpoint numbers, each up to `N`.
+pub fn interval_max_bits(n_nodes: u64) -> u64 {
+    2 * (1 + (n_nodes.max(1) as f64).log2().floor() as u64)
+}
+
+/// One row of Figure 4 (self-label bits vs fan-out at fixed depth) or
+/// Figure 5 (vs depth at fixed fan-out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfLabelRow {
+    /// The swept parameter's value (fan-out for Fig 4, depth for Fig 5).
+    pub x: u64,
+    /// Prefix-1 self-label bits.
+    pub prefix1: u64,
+    /// Prefix-2 self-label bits.
+    pub prefix2: u64,
+    /// Prime self-label bits.
+    pub prime: u64,
+}
+
+/// Figure 4's series: self-label sizes for fan-out `1..=max_fanout` at fixed
+/// depth (the paper uses D = 2).
+pub fn figure4_series(depth: u32, max_fanout: u64) -> Vec<SelfLabelRow> {
+    (1..=max_fanout)
+        .map(|f| SelfLabelRow {
+            x: f,
+            prefix1: prefix1_self_bits(f),
+            prefix2: prefix2_self_bits(f),
+            prime: prime_self_bits(depth, f),
+        })
+        .collect()
+}
+
+/// Figure 5's series: self-label sizes for depth `0..=max_depth` at fixed
+/// fan-out (the paper uses F = 15).
+pub fn figure5_series(fanout: u64, max_depth: u32) -> Vec<SelfLabelRow> {
+    (0..=max_depth)
+        .map(|d| SelfLabelRow {
+            x: u64::from(d),
+            prefix1: prefix1_self_bits(fanout),
+            prefix2: prefix2_self_bits(fanout),
+            prime: prime_self_bits(d, fanout),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix1_is_linear_in_fanout() {
+        assert_eq!(prefix1_self_bits(1), 1);
+        assert_eq!(prefix1_self_bits(10), 10);
+        assert_eq!(prefix1_self_bits(50), 50);
+        assert_eq!(prefix1_max_bits(3, 10), 30);
+    }
+
+    #[test]
+    fn prefix2_is_logarithmic_in_fanout() {
+        assert_eq!(prefix2_self_bits(2), 4);
+        assert_eq!(prefix2_self_bits(16), 16);
+        assert_eq!(prefix2_self_bits(15), 16);
+        assert_eq!(prefix2_self_bits(17), 20);
+        assert_eq!(prefix2_max_bits(2, 16), 32);
+    }
+
+    #[test]
+    fn figure4_shape_prime_flat_prefix1_linear() {
+        // The paper's observation: "Prefix-1 increases linearly with the
+        // fan-out while the prime number labeling scheme is hardly affected".
+        let rows = figure4_series(2, 50);
+        let prime_growth = rows.last().unwrap().prime - rows[0].prime;
+        let prefix1_growth = rows.last().unwrap().prefix1 - rows[0].prefix1;
+        assert!(prime_growth <= 12, "prime grew {prime_growth} bits over F=1..50");
+        assert_eq!(prefix1_growth, 49, "prefix-1 grows one bit per unit fan-out");
+        // Beyond small fan-outs the prime self label is smaller than Prefix-1's.
+        for row in rows.iter().filter(|r| r.x >= 20) {
+            assert!(row.prime < row.prefix1, "at F={}", row.x);
+        }
+    }
+
+    #[test]
+    fn figure5_shape_prefixes_flat_prime_grows() {
+        // "both Prefix-1 and Prefix-2 are not affected by the change in
+        // depth, while the prime number labeling scheme increases".
+        let rows = figure5_series(15, 10);
+        assert!(rows.iter().all(|r| r.prefix1 == 15));
+        assert!(rows.iter().all(|r| r.prefix2 == 16));
+        let prime_bits: Vec<u64> = rows.iter().map(|r| r.prime).collect();
+        assert!(prime_bits.windows(2).all(|w| w[0] <= w[1]), "monotone: {prime_bits:?}");
+        assert!(prime_bits[10] > prime_bits[1] + 20, "self-label grows with N: {prime_bits:?}");
+    }
+
+    #[test]
+    fn interval_bits_track_log_n() {
+        assert_eq!(interval_max_bits(1), 2);
+        assert_eq!(interval_max_bits(1000), 2 * (1 + 9));
+        assert_eq!(interval_max_bits(10052), 2 * (1 + 13));
+    }
+
+    #[test]
+    fn prime_self_bits_matches_actual_primes_loosely() {
+        // For a perfect tree with F=3, D=2 (N=13), the 13th prime is 41
+        // (6 bits); the model may be off by a couple of bits, not more.
+        let model = prime_self_bits(2, 3);
+        let actual = 64 - xp_primes::nth_prime(13).leading_zeros() as u64;
+        assert!(model.abs_diff(actual) <= 2, "model {model} vs actual {actual}");
+    }
+
+    #[test]
+    fn degenerate_parameters() {
+        assert_eq!(prime_self_bits(0, 50), 2, "a root alone needs one small prime");
+        assert_eq!(prefix1_self_bits(0), 1);
+        assert_eq!(prefix2_self_bits(0), 1);
+        assert_eq!(prime_max_bits(0, 10), 0, "the root's label is 1");
+    }
+}

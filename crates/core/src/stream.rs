@@ -1,0 +1,162 @@
+//! One-pass streaming labeling: SAX events in, label rows out.
+//!
+//! The paper's deployment stores labels in a relational table; the XML tree
+//! itself never needs to be materialized. [`StreamingLabeler`] consumes
+//! [`xp_xmltree::sax::SaxEvent`]s and emits one [`LabelRow`] per element as
+//! soon as its start tag is seen — constant memory in the tree width (the
+//! open-element stack), regardless of document length.
+//!
+//! The streaming scheme is the unoptimized top-down assignment: Opt2 cannot
+//! stream (whether a node is a leaf is unknown at its start tag), which is
+//! itself a finding worth stating — the optimization trades streamability
+//! for label size.
+
+use crate::label::PrimeLabel;
+use xp_primes::PrimePool;
+use xp_xmltree::sax::{parse_sax, SaxEvent};
+use xp_xmltree::ParseError;
+
+/// One emitted row: everything a relational label table stores per element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelRow {
+    /// Element name.
+    pub tag: String,
+    /// Depth (root = 0).
+    pub depth: usize,
+    /// Document-order number (root = 0) — what the SC table would fold.
+    pub order: u64,
+    /// The top-down prime label.
+    pub label: PrimeLabel,
+}
+
+/// Incremental labeler over SAX events.
+#[derive(Debug)]
+pub struct StreamingLabeler {
+    pool: PrimePool,
+    /// Labels of the currently open elements (root at the bottom).
+    stack: Vec<PrimeLabel>,
+    next_order: u64,
+}
+
+impl StreamingLabeler {
+    /// A fresh labeler (plain top-down scheme, no reservation).
+    pub fn new() -> Self {
+        StreamingLabeler { pool: PrimePool::unreserved(), stack: Vec::new(), next_order: 0 }
+    }
+
+    /// Number of currently open elements.
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Feeds one event; returns the row for a start-element event.
+    pub fn feed(&mut self, event: &SaxEvent) -> Option<LabelRow> {
+        match event {
+            SaxEvent::StartElement { tag, .. } => {
+                let label = match self.stack.last() {
+                    None => PrimeLabel::root(false),
+                    Some(parent) => {
+                        PrimeLabel::child_of(parent, xp_bignum::UBig::from(self.pool.general_prime()))
+                    }
+                };
+                let row = LabelRow {
+                    tag: tag.clone(),
+                    depth: self.stack.len(),
+                    order: self.next_order,
+                    label: label.clone(),
+                };
+                self.next_order += 1;
+                self.stack.push(label);
+                Some(row)
+            }
+            SaxEvent::EndElement { .. } => {
+                self.stack.pop();
+                None
+            }
+            SaxEvent::Text(_) => None,
+        }
+    }
+}
+
+impl Default for StreamingLabeler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses and labels in a single pass, returning the label rows in document
+/// order — never building a tree.
+pub fn label_stream(input: &str) -> Result<Vec<LabelRow>, ParseError> {
+    let mut labeler = StreamingLabeler::new();
+    let mut rows = Vec::new();
+    parse_sax(input, |event| {
+        if let Some(row) = labeler.feed(&event) {
+            rows.push(row);
+        }
+    })?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topdown::TopDownPrime;
+    use xp_labelkit::{LabelOps, Scheme};
+    use xp_xmltree::parse;
+
+    const DOC: &str = "<a><b><c/><d/></b><e>text</e><f/></a>";
+
+    #[test]
+    fn streaming_labels_equal_tree_labels() {
+        let rows = label_stream(DOC).unwrap();
+        let tree = parse(DOC).unwrap();
+        let doc = TopDownPrime::unoptimized().label(&tree);
+        assert_eq!(rows.len(), tree.elements().count());
+        for (row, node) in rows.iter().zip(tree.elements()) {
+            assert_eq!(Some(row.tag.as_str()), tree.tag(node));
+            assert_eq!(row.depth, tree.depth(node));
+            assert_eq!(&row.label, doc.label(node), "node {node}");
+        }
+    }
+
+    #[test]
+    fn orders_are_preorder_positions() {
+        let rows = label_stream(DOC).unwrap();
+        let orders: Vec<u64> = rows.iter().map(|r| r.order).collect();
+        assert_eq!(orders, (0..rows.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ancestor_tests_work_on_streamed_rows() {
+        let rows = label_stream(DOC).unwrap();
+        // a(0) is an ancestor of everything; b(1) of c(2), d(3) only.
+        assert!(rows[0].label.is_ancestor_of(&rows[5].label));
+        assert!(rows[1].label.is_ancestor_of(&rows[2].label));
+        assert!(rows[1].label.is_ancestor_of(&rows[3].label));
+        assert!(!rows[1].label.is_ancestor_of(&rows[4].label));
+        assert!(!rows[2].label.is_ancestor_of(&rows[3].label));
+    }
+
+    #[test]
+    fn memory_is_bounded_by_depth_not_size() {
+        // A wide flat document: the open stack never exceeds 2.
+        let mut src = String::from("<r>");
+        for _ in 0..500 {
+            src.push_str("<x/>");
+        }
+        src.push_str("</r>");
+        let mut labeler = StreamingLabeler::new();
+        let mut max_depth = 0;
+        xp_xmltree::sax::parse_sax(&src, |e| {
+            labeler.feed(&e);
+            max_depth = max_depth.max(labeler.open_depth());
+        })
+        .unwrap();
+        assert_eq!(max_depth, 2);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(label_stream("<a><b></a>").is_err());
+    }
+}

@@ -1,0 +1,674 @@
+//! The top-down prime labeling scheme (§3, Figure 2, algorithm `PrimeLabel`
+//! of Figure 7) with optimizations Opt1–Opt3 (§3.2), plus the incremental
+//! update rules the paper's dynamicity claims rest on.
+
+use crate::label::PrimeLabel;
+use std::collections::HashMap;
+use xp_bignum::UBig;
+use xp_labelkit::{LabeledDoc, Scheme};
+use xp_primes::PrimePool;
+use xp_xmltree::{NodeId, XmlTree};
+
+/// Configuration of the top-down scheme's optimizations.
+#[derive(Debug, Clone)]
+pub struct PrimeOptions {
+    /// **Opt1**: how many of the smallest primes to reserve for the nodes
+    /// one level below the root ("top level nodes"). 0 disables.
+    pub reserved_top_primes: usize,
+    /// **Opt2**: label the n-th leaf child of a parent `2^n` and restrict
+    /// internal nodes to odd primes (Property 3 ancestor test).
+    pub leaf_powers_of_two: bool,
+    /// Opt2's fallback threshold (§3.2): once a parent has this many
+    /// power-of-two leaf children, further leaves draw primes instead
+    /// ("when the size of a label in a leaf node reaches some pre-determined
+    /// threshold, we can use other prime numbers"). Without it, a
+    /// huge-fan-out parent (the actor dataset's 1000+-movie filmography)
+    /// would mint `2^1000`-scale leaf labels. Default 12 — `2^12` is the
+    /// size of the primes a 10k-node document consumes anyway. Maximum 63
+    /// so self-labels stay within `u64`.
+    pub leaf_power_threshold: u32,
+    /// **Opt3**: collapse repeated sibling subtrees (Figure 6): structurally
+    /// identical consecutive siblings share one set of labels, with their
+    /// occurrence positions kept out-of-band.
+    pub combine_repeated_paths: bool,
+}
+
+impl Default for PrimeOptions {
+    fn default() -> Self {
+        PrimeOptions {
+            reserved_top_primes: 0,
+            leaf_powers_of_two: false,
+            leaf_power_threshold: 12,
+            combine_repeated_paths: false,
+        }
+    }
+}
+
+/// The top-down prime labeling scheme.
+#[derive(Debug, Clone, Default)]
+pub struct TopDownPrime {
+    opts: PrimeOptions,
+}
+
+impl TopDownPrime {
+    /// The original scheme: every node gets the next prime, no optimizations.
+    pub fn unoptimized() -> Self {
+        TopDownPrime { opts: PrimeOptions::default() }
+    }
+
+    /// Opt1 only: reserve `n` small primes for the top level.
+    pub fn with_reserved(n: usize) -> Self {
+        TopDownPrime { opts: PrimeOptions { reserved_top_primes: n, ..Default::default() } }
+    }
+
+    /// The paper's experimental configuration (§5): Opt1 + Opt2.
+    pub fn optimized() -> Self {
+        TopDownPrime {
+            opts: PrimeOptions {
+                reserved_top_primes: 16,
+                leaf_powers_of_two: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// All three optimizations (Opt3 is measured separately in Figure 13).
+    pub fn fully_optimized() -> Self {
+        TopDownPrime {
+            opts: PrimeOptions {
+                reserved_top_primes: 16,
+                leaf_powers_of_two: true,
+                combine_repeated_paths: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// A scheme with explicit options.
+    pub fn with_options(opts: PrimeOptions) -> Self {
+        assert!(opts.leaf_power_threshold <= 63, "2^n self-labels must fit u64");
+        TopDownPrime { opts }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &PrimeOptions {
+        &self.opts
+    }
+
+    /// Labels the tree and returns the full dynamic document (labels + the
+    /// allocator state needed for incremental updates).
+    pub fn label_document(&self, tree: &XmlTree) -> PrimeDoc {
+        let odd_mode = self.opts.leaf_powers_of_two;
+        // Opt1: reserving more primes than the root has children would only
+        // take small primes away from the rest of the tree, so clamp the
+        // reservation to the actual top level.
+        let reserve = self.opts.reserved_top_primes.min(tree.element_children(tree.root()).count());
+        let mut pool = PrimePool::new(reserve, odd_mode);
+        let mut labels = LabeledDoc::new(tree);
+        let mut leaf_counters: HashMap<NodeId, u32> = HashMap::new();
+
+        let signatures = if self.opts.combine_repeated_paths {
+            Some(subtree_signatures(tree))
+        } else {
+            None
+        };
+
+        let root_label = PrimeLabel::root(odd_mode);
+        labels.set(tree.root(), root_label.clone());
+        self.label_children(
+            tree,
+            tree.root(),
+            &root_label,
+            1,
+            &mut pool,
+            &mut labels,
+            &mut leaf_counters,
+            signatures.as_ref(),
+        );
+        PrimeDoc { labels, pool, opts: self.opts.clone(), leaf_counters, odd_mode }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn label_children(
+        &self,
+        tree: &XmlTree,
+        node: NodeId,
+        node_label: &PrimeLabel,
+        depth: usize,
+        pool: &mut PrimePool,
+        labels: &mut LabeledDoc<PrimeLabel>,
+        leaf_counters: &mut HashMap<NodeId, u32>,
+        signatures: Option<&HashMap<NodeId, String>>,
+    ) {
+        // Opt3: map subtree signature -> representative sibling.
+        let mut reps: HashMap<&str, NodeId> = HashMap::new();
+        for child in tree.element_children(node).collect::<Vec<_>>() {
+            if let Some(sigs) = signatures {
+                let sig = sigs[&child].as_str();
+                if let Some(&rep) = reps.get(sig) {
+                    copy_subtree_labels(tree, rep, child, labels);
+                    continue;
+                }
+                reps.insert(sig, child);
+            }
+            let self_label = self.pick_self_label(tree, node, child, depth, pool, leaf_counters);
+            let child_label = PrimeLabel::child_of(node_label, self_label);
+            labels.set(child, child_label.clone());
+            self.label_children(
+                tree,
+                child,
+                &child_label,
+                depth + 1,
+                pool,
+                labels,
+                leaf_counters,
+                signatures,
+            );
+        }
+    }
+
+    /// Figure 7's decision: reserved prime for top-level nodes (Opt1),
+    /// `getPower2(childNum)` for leaf nodes (Opt2), next prime otherwise.
+    fn pick_self_label(
+        &self,
+        tree: &XmlTree,
+        parent: NodeId,
+        child: NodeId,
+        child_depth: usize,
+        pool: &mut PrimePool,
+        leaf_counters: &mut HashMap<NodeId, u32>,
+    ) -> UBig {
+        if self.opts.leaf_powers_of_two && tree.is_leaf_element(child) {
+            let counter = leaf_counters.entry(parent).or_insert(0);
+            if *counter < self.opts.leaf_power_threshold {
+                *counter += 1;
+                return UBig::power_of_two(u64::from(*counter));
+            }
+            // §3.2: beyond the threshold, "use other prime numbers instead".
+            return UBig::from(pool.general_prime());
+        }
+        if child_depth == 1 && self.opts.reserved_top_primes > 0 {
+            return UBig::from(pool.reserved());
+        }
+        UBig::from(pool.general_prime())
+    }
+}
+
+impl Scheme for TopDownPrime {
+    type Label = PrimeLabel;
+
+    fn name(&self) -> &'static str {
+        "Prime"
+    }
+
+    fn label(&self, tree: &XmlTree) -> LabeledDoc<PrimeLabel> {
+        self.label_document(tree).labels
+    }
+}
+
+/// Canonical structural signatures (tag structure, recursively) for Opt3.
+fn subtree_signatures(tree: &XmlTree) -> HashMap<NodeId, String> {
+    let mut sigs = HashMap::new();
+    fill_signature(tree, tree.root(), &mut sigs);
+    sigs
+}
+
+fn fill_signature(tree: &XmlTree, node: NodeId, sigs: &mut HashMap<NodeId, String>) -> String {
+    let mut sig = String::new();
+    sig.push_str(tree.tag(node).unwrap_or(""));
+    sig.push('(');
+    for child in tree.element_children(node) {
+        let child_sig = fill_signature(tree, child, sigs);
+        sig.push_str(&child_sig);
+        sig.push(',');
+    }
+    sig.push(')');
+    sigs.insert(node, sig.clone());
+    sig
+}
+
+/// Copies the representative subtree's labels onto a structurally identical
+/// duplicate (Opt3): node k of the duplicate (in preorder) gets the label of
+/// node k of the representative.
+fn copy_subtree_labels(
+    tree: &XmlTree,
+    rep: NodeId,
+    dup: NodeId,
+    labels: &mut LabeledDoc<PrimeLabel>,
+) {
+    let rep_nodes: Vec<NodeId> = tree.element_descendants(rep).collect();
+    let dup_nodes: Vec<NodeId> = tree.element_descendants(dup).collect();
+    debug_assert_eq!(rep_nodes.len(), dup_nodes.len(), "identical signatures imply equal size");
+    for (r, d) in rep_nodes.into_iter().zip(dup_nodes) {
+        let label = labels.label(r).clone();
+        labels.set(d, label);
+    }
+}
+
+/// A labeled document that supports the paper's *dynamic updates*: new nodes
+/// are labeled with previously unused primes and existing labels are touched
+/// only when the update itself forces it.
+#[derive(Debug, Clone)]
+pub struct PrimeDoc {
+    /// The per-node labels.
+    pub labels: LabeledDoc<PrimeLabel>,
+    pool: PrimePool,
+    opts: PrimeOptions,
+    leaf_counters: HashMap<NodeId, u32>,
+    odd_mode: bool,
+}
+
+/// What an incremental insertion did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The newly created node.
+    pub node: NodeId,
+    /// Pre-existing nodes whose labels had to change. The paper's Figures
+    /// 16–17 report `relabeled_existing + 1` (the new node counts as one).
+    pub relabeled_existing: usize,
+}
+
+impl InsertOutcome {
+    /// Total relabelings under the paper's accounting.
+    pub fn total_relabeled(&self) -> usize {
+        self.relabeled_existing + 1
+    }
+}
+
+impl PrimeDoc {
+    /// `true` iff this document was labeled with Opt2 (odd-internal mode).
+    pub fn odd_internal_mode(&self) -> bool {
+        self.odd_mode
+    }
+
+    fn assert_updatable(&self) {
+        assert!(
+            !self.opts.combine_repeated_paths,
+            "incremental updates are not defined for Opt3-combined documents; \
+             relabel the document instead"
+        );
+    }
+
+    /// Inserts a new element as the **last child** of `parent` (§5.3's leaf
+    /// update, interpreted as the paper's own accounting requires: the
+    /// parent of the new node was previously a leaf, so under Opt2 it must
+    /// trade its `2^n` self-label for a prime — 2 relabelings; the
+    /// unoptimized scheme relabels only the new node).
+    pub fn insert_child(&mut self, tree: &mut XmlTree, parent: NodeId, tag: &str) -> InsertOutcome {
+        self.assert_updatable();
+        let mut relabeled = 0usize;
+
+        // If Opt2 gave the parent a power-of-two self-label while it was a
+        // leaf, it is about to become internal: relabel it with a prime.
+        if self.opts.leaf_powers_of_two
+            && tree.is_leaf_element(parent)
+            && self.labels.label(parent).self_label().is_power_of_two()
+        {
+            let parent_part = self.labels.label(parent).parent_part();
+            let new_self = UBig::from(self.pool.general_prime());
+            let new_label =
+                PrimeLabel::from_parts(&parent_part * &new_self, new_self, self.odd_mode);
+            self.labels.set(parent, new_label);
+            relabeled += 1;
+        }
+
+        let node = tree.append_element(parent, tag);
+        let self_label = self.fresh_self_label_for(tree, parent, node);
+        let label = PrimeLabel::child_of(self.labels.label(parent), self_label);
+        self.labels.set(node, label);
+        InsertOutcome { node, relabeled_existing: relabeled }
+    }
+
+    /// Inserts a new element immediately **before** `anchor` among its
+    /// siblings. No existing label changes (this is the paper's headline
+    /// dynamicity claim); the global *order* maintenance lives in the SC
+    /// table ([`crate::ordered::OrderedPrimeDoc`] wires the two together).
+    pub fn insert_sibling_before(
+        &mut self,
+        tree: &mut XmlTree,
+        anchor: NodeId,
+        tag: &str,
+    ) -> InsertOutcome {
+        self.assert_updatable();
+        let parent = tree.parent(anchor).expect("anchor must not be the root");
+        let node = tree.create_element(tag);
+        tree.insert_before(anchor, node);
+        let self_label = self.fresh_self_label_for(tree, parent, node);
+        let label = PrimeLabel::child_of(self.labels.label(parent), self_label);
+        self.labels.set(node, label);
+        InsertOutcome { node, relabeled_existing: 0 }
+    }
+
+    /// Wraps `target` in a new parent element (§5.3's non-leaf update,
+    /// Figure 17). The wrapper takes a fresh prime; every element in the
+    /// wrapped subtree inherits the new factor, so the whole subtree is
+    /// relabeled — and nothing else.
+    pub fn insert_parent(&mut self, tree: &mut XmlTree, target: NodeId, tag: &str) -> InsertOutcome {
+        self.assert_updatable();
+        let old_parent = tree.parent(target).expect("cannot wrap the root");
+        let wrapper = tree.wrap_with_parent(target, tag);
+        let wrapper_self = UBig::from(self.pool.general_prime());
+        let wrapper_label = PrimeLabel::child_of(self.labels.label(old_parent), wrapper_self);
+        self.labels.set(wrapper, wrapper_label.clone());
+
+        // Recompute the wrapped subtree's products, keeping self-labels.
+        let mut relabeled = 0usize;
+        let mut stack = vec![(target, wrapper_label)];
+        while let Some((node, parent_label)) = stack.pop() {
+            let self_label = self.labels.label(node).self_label().clone();
+            let new_label = PrimeLabel::child_of(&parent_label, self_label);
+            self.labels.set(node, new_label.clone());
+            relabeled += 1;
+            for child in tree.element_children(node) {
+                stack.push((child, new_label.clone()));
+            }
+        }
+        InsertOutcome { node: wrapper, relabeled_existing: relabeled }
+    }
+
+    /// Deletes a node (with its subtree). Deletion never relabels anything
+    /// (§4.2: "the deletion of nodes from an XML tree does not affect any
+    /// node ordering"), so this returns the number of labels *dropped*.
+    pub fn delete(&mut self, tree: &mut XmlTree, target: NodeId) -> usize {
+        self.assert_updatable();
+        let dropped = tree.element_descendants(target).count();
+        tree.detach(target);
+        dropped
+    }
+
+    /// Draws the next unused prime from the document's pool (used by the
+    /// ordered layer when it constructs labels itself).
+    pub(crate) fn next_prime(&mut self) -> u64 {
+        self.pool.general_prime()
+    }
+
+    fn fresh_self_label_for(&mut self, tree: &XmlTree, parent: NodeId, node: NodeId) -> UBig {
+        if self.opts.leaf_powers_of_two && tree.is_leaf_element(node) {
+            let counter = self.leaf_counters.entry(parent).or_insert(0);
+            if *counter < self.opts.leaf_power_threshold {
+                *counter += 1;
+                return UBig::power_of_two(u64::from(*counter));
+            }
+            return UBig::from(self.pool.general_prime());
+        }
+        UBig::from(self.pool.general_prime())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_labelkit::LabelOps;
+    use xp_xmltree::parse;
+
+    fn exhaustive_ancestor_check(tree: &XmlTree, labels: &LabeledDoc<PrimeLabel>) {
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    labels.label(x).is_ancestor_of(labels.label(y)),
+                    tree.is_ancestor(x, y),
+                    "ancestor({x},{y})"
+                );
+                assert_eq!(
+                    labels.label(x).is_parent_of(labels.label(y)),
+                    tree.parent(y) == Some(x),
+                    "parent({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unoptimized_labels_satisfy_property2_exhaustively() {
+        let tree = parse("<a><b><c/><d/></b><e><f><g/></f></e><h/></a>").unwrap();
+        let doc = TopDownPrime::unoptimized().label(&tree);
+        exhaustive_ancestor_check(&tree, &doc);
+    }
+
+    #[test]
+    fn optimized_labels_satisfy_property3_exhaustively() {
+        let tree = parse("<a><b><c/><d/><x/></b><e><f><g/><g2/></f></e><h/></a>").unwrap();
+        let doc = TopDownPrime::optimized().label(&tree);
+        exhaustive_ancestor_check(&tree, &doc);
+    }
+
+    #[test]
+    fn root_label_is_one() {
+        let tree = parse("<a><b/></a>").unwrap();
+        let doc = TopDownPrime::unoptimized().label(&tree);
+        assert!(doc.label(tree.root()).value().is_one());
+    }
+
+    #[test]
+    fn opt2_leaves_get_powers_of_two_in_sibling_order() {
+        let tree = parse("<a><l1/><l2/><l3/></a>").unwrap();
+        let doc = TopDownPrime::optimized().label(&tree);
+        let leaves: Vec<NodeId> = tree.element_children(tree.root()).collect();
+        let selfs: Vec<u64> = leaves
+            .iter()
+            .map(|&l| doc.label(l).self_label().to_u64().unwrap())
+            .collect();
+        assert_eq!(selfs, [2, 4, 8]);
+    }
+
+    #[test]
+    fn opt2_threshold_falls_back_to_primes() {
+        let mut src = String::from("<a>");
+        for i in 0..6 {
+            src.push_str(&format!("<l{i}/>"));
+        }
+        src.push_str("</a>");
+        let tree = parse(&src).unwrap();
+        let scheme = TopDownPrime::with_options(PrimeOptions {
+            leaf_powers_of_two: true,
+            leaf_power_threshold: 4,
+            ..Default::default()
+        });
+        let doc = scheme.label(&tree);
+        let selfs: Vec<u64> = tree
+            .element_children(tree.root())
+            .map(|l| doc.label(l).self_label().to_u64().unwrap())
+            .collect();
+        assert_eq!(&selfs[..4], &[2, 4, 8, 16]);
+        assert!(xp_primes::is_prime(selfs[4]), "beyond threshold: prime");
+        assert!(xp_primes::is_prime(selfs[5]));
+        exhaustive_ancestor_check(&tree, &doc);
+    }
+
+    #[test]
+    fn opt1_top_level_gets_smallest_primes() {
+        let tree = parse("<a><b><c/></b><d><e/></d></a>").unwrap();
+        let doc = TopDownPrime::with_reserved(8).label(&tree);
+        let tops: Vec<u64> = tree
+            .element_children(tree.root())
+            .map(|n| doc.label(n).self_label().to_u64().unwrap())
+            .collect();
+        assert_eq!(tops, [2, 3]);
+        // The reservation clamps to the actual top level (2 nodes), so the
+        // deeper nodes draw the very next primes — nothing is wasted.
+        let b = tree.first_child(tree.root()).unwrap();
+        let c = tree.first_child(b).unwrap();
+        assert_eq!(doc.label(c).self_label().to_u64(), Some(5));
+    }
+
+    #[test]
+    fn opt1_reduces_max_label_size_on_wide_trees() {
+        // Many top-level internal nodes: without Opt1 the *last* top-level
+        // node gets a large prime that its subtree inherits.
+        let mut src = String::from("<r>");
+        for i in 0..60 {
+            src.push_str(&format!("<s{i}><t/></s{i}>"));
+        }
+        src.push_str("</r>");
+        let tree = parse(&src).unwrap();
+        let plain = TopDownPrime::unoptimized().label(&tree).size_stats().max_bits;
+        let opt1 = TopDownPrime::with_reserved(64).label(&tree).size_stats().max_bits;
+        assert!(opt1 <= plain, "opt1 {opt1} vs plain {plain}");
+    }
+
+    #[test]
+    fn opt2_shrinks_labels_on_leafy_trees() {
+        // A flat record structure: most nodes are leaves.
+        let tree = parse("<r><a><x/><y/><z/></a><b><x/><y/><z/></b></r>").unwrap();
+        let plain = TopDownPrime::unoptimized().label(&tree).size_stats().max_bits;
+        let opt2 = TopDownPrime::optimized().label(&tree).size_stats().max_bits;
+        assert!(opt2 < plain, "opt2 {opt2} vs plain {plain}");
+    }
+
+    #[test]
+    fn opt3_duplicate_siblings_share_labels() {
+        // Figure 6: book with 3 identical author paths.
+        let tree = parse("<book><author/><author/><author/><title/></book>").unwrap();
+        let doc = TopDownPrime::with_options(PrimeOptions {
+            combine_repeated_paths: true,
+            ..Default::default()
+        })
+        .label(&tree);
+        let authors: Vec<NodeId> = tree
+            .element_children(tree.root())
+            .filter(|&n| tree.tag(n) == Some("author"))
+            .collect();
+        assert_eq!(doc.label(authors[0]), doc.label(authors[1]));
+        assert_eq!(doc.label(authors[0]), doc.label(authors[2]));
+        // The non-duplicate sibling keeps its own label.
+        let title = tree.element_children(tree.root()).find(|&n| tree.tag(n) == Some("title")).unwrap();
+        assert_ne!(doc.label(title), doc.label(authors[0]));
+        // Ancestor tests against the shared label still work.
+        assert!(doc.label(tree.root()).is_ancestor_of(doc.label(authors[2])));
+    }
+
+    #[test]
+    fn opt3_distinguishes_structurally_different_siblings() {
+        let tree = parse("<r><a><x/></a><a><y/></a></r>").unwrap();
+        let doc = TopDownPrime::with_options(PrimeOptions {
+            combine_repeated_paths: true,
+            ..Default::default()
+        })
+        .label(&tree);
+        let kids: Vec<NodeId> = tree.element_children(tree.root()).collect();
+        assert_ne!(doc.label(kids[0]), doc.label(kids[1]), "different shapes, different labels");
+    }
+
+    #[test]
+    fn opt3_reduces_size_on_repetitive_documents() {
+        let mut src = String::from("<lib>");
+        for _ in 0..50 {
+            src.push_str("<book><author/><title/><year/></book>");
+        }
+        src.push_str("</lib>");
+        let tree = parse(&src).unwrap();
+        let plain = TopDownPrime::unoptimized().label(&tree).size_stats().max_bits;
+        let opt3 = TopDownPrime::with_options(PrimeOptions {
+            combine_repeated_paths: true,
+            ..Default::default()
+        })
+        .label(&tree)
+        .size_stats()
+        .max_bits;
+        assert!(opt3 < plain / 2, "opt3 {opt3} vs plain {plain}");
+    }
+
+    #[test]
+    fn insert_child_unoptimized_relabels_only_new_node() {
+        let mut tree = parse("<a><b><c/></b></a>").unwrap();
+        let mut doc = TopDownPrime::unoptimized().label_document(&tree);
+        let before = doc.labels.clone();
+        let b = tree.first_child(tree.root()).unwrap();
+        let c = tree.first_child(b).unwrap();
+        let out = doc.insert_child(&mut tree, c, "new");
+        assert_eq!(out.relabeled_existing, 0);
+        assert_eq!(out.total_relabeled(), 1);
+        let diff = before.diff_count(&doc.labels);
+        assert_eq!(diff.changed, 0);
+        assert_eq!(diff.new_count, 1);
+        // The new label is consistent with the whole document.
+        exhaustive_ancestor_check(&tree, &doc.labels);
+    }
+
+    #[test]
+    fn insert_child_optimized_relabels_former_leaf_parent() {
+        let mut tree = parse("<a><b><c/></b></a>").unwrap();
+        let mut doc = TopDownPrime::optimized().label_document(&tree);
+        let before = doc.labels.clone();
+        let b = tree.first_child(tree.root()).unwrap();
+        let c = tree.first_child(b).unwrap();
+        assert!(doc.labels.label(c).self_label().is_power_of_two());
+        let out = doc.insert_child(&mut tree, c, "new");
+        // Paper: "the optimized prime number labeling scheme needs to
+        // re-label 2 nodes ... the newly inserted node and its parent".
+        assert_eq!(out.total_relabeled(), 2);
+        let diff = before.diff_count(&doc.labels);
+        assert_eq!(diff.changed, 1, "the parent traded 2^n for a prime");
+        assert_eq!(diff.new_count, 1);
+        assert!(doc.labels.label(c).self_label().is_odd());
+        exhaustive_ancestor_check(&tree, &doc.labels);
+    }
+
+    #[test]
+    fn insert_sibling_changes_no_existing_labels() {
+        let mut tree = parse("<book><author/><author/><author/></book>").unwrap();
+        let mut doc = TopDownPrime::unoptimized().label_document(&tree);
+        let before = doc.labels.clone();
+        let second = tree.element_children(tree.root()).nth(1).unwrap();
+        let out = doc.insert_sibling_before(&mut tree, second, "author");
+        assert_eq!(out.relabeled_existing, 0);
+        assert_eq!(before.diff_count(&doc.labels).changed, 0);
+        exhaustive_ancestor_check(&tree, &doc.labels);
+    }
+
+    #[test]
+    fn insert_parent_relabels_exactly_the_subtree() {
+        let mut tree = parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        let mut doc = TopDownPrime::unoptimized().label_document(&tree);
+        let before = doc.labels.clone();
+        let b = tree.first_child(tree.root()).unwrap();
+        let out = doc.insert_parent(&mut tree, b, "wrap");
+        // b, c, d relabeled; e and the root untouched.
+        assert_eq!(out.relabeled_existing, 3);
+        let diff = before.diff_count(&doc.labels);
+        assert_eq!(diff.changed, 3);
+        assert_eq!(diff.new_count, 1);
+        exhaustive_ancestor_check(&tree, &doc.labels);
+    }
+
+    #[test]
+    fn delete_relabels_nothing() {
+        let mut tree = parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        let mut doc = TopDownPrime::unoptimized().label_document(&tree);
+        let before = doc.labels.clone();
+        let b = tree.first_child(tree.root()).unwrap();
+        let dropped = doc.delete(&mut tree, b);
+        assert_eq!(dropped, 3);
+        // Remaining nodes keep their labels bit for bit.
+        for node in tree.elements() {
+            assert_eq!(before.label(node), doc.labels.label(node));
+        }
+    }
+
+    #[test]
+    fn repeated_insertions_never_reuse_primes() {
+        let mut tree = parse("<a><b/></a>").unwrap();
+        let mut doc = TopDownPrime::unoptimized().label_document(&tree);
+        let b = tree.first_child(tree.root()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for node in tree.elements() {
+            seen.insert(doc.labels.label(node).self_label().clone());
+        }
+        for _ in 0..50 {
+            let out = doc.insert_child(&mut tree, b, "x");
+            let s = doc.labels.label(out.node).self_label().clone();
+            assert!(seen.insert(s), "self-label reused");
+        }
+        exhaustive_ancestor_check(&tree, &doc.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined for Opt3")]
+    fn opt3_documents_reject_incremental_updates() {
+        let mut tree = parse("<a><b/><b/></a>").unwrap();
+        let mut doc = TopDownPrime::fully_optimized().label_document(&tree);
+        let b = tree.first_child(tree.root()).unwrap();
+        doc.insert_child(&mut tree, b, "x");
+    }
+}

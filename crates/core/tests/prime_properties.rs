@@ -1,0 +1,102 @@
+//! Property tests on the prime scheme's core invariants, across random
+//! trees and random update sequences, plus codec robustness.
+
+use proptest::prelude::*;
+use xp_labelkit::codec::LabelCodec;
+use xp_labelkit::{LabelOps, Scheme};
+use xp_prime::topdown::TopDownPrime;
+use xp_prime::PrimeLabel;
+use xp_xmltree::{NodeId, XmlTree};
+
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
+    prop::collection::vec(any::<prop::sample::Index>(), 0..max_nodes).prop_map(|attach| {
+        let mut tree = XmlTree::new("r");
+        let mut nodes = vec![tree.root()];
+        for (i, idx) in attach.into_iter().enumerate() {
+            let parent = nodes[idx.index(nodes.len())];
+            nodes.push(tree.append_element(parent, format!("n{}", i % 3)));
+        }
+        tree
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let _ = PrimeLabel::decode(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn every_label_round_trips_through_the_codec(tree in tree_strategy(40)) {
+        for scheme in [TopDownPrime::unoptimized(), TopDownPrime::optimized()] {
+            let doc = scheme.label(&tree);
+            for (_, label) in doc.iter() {
+                let mut buf = Vec::new();
+                label.encode(&mut buf);
+                prop_assert_eq!(&PrimeLabel::decode(&mut buf.as_slice()).unwrap(), label);
+            }
+        }
+    }
+
+    #[test]
+    fn divisibility_transitivity_holds(tree in tree_strategy(40)) {
+        // If x | y and y | z as labels, then x | z: the label algebra must
+        // be transitively consistent like the ancestor relation it encodes.
+        let doc = TopDownPrime::unoptimized().label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                if !doc.label(x).is_ancestor_of(doc.label(y)) {
+                    continue;
+                }
+                for &z in &nodes {
+                    if doc.label(y).is_ancestor_of(doc.label(z)) {
+                        prop_assert!(doc.label(x).is_ancestor_of(doc.label(z)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_bit_length_is_sum_of_path_self_lengths_within_rounding(tree in tree_strategy(40)) {
+        // §3.1's additive size assumption: "the bit length of the product of
+        // two numbers is the sum of the bit lengths of the two numbers" —
+        // true within one bit per factor.
+        let doc = TopDownPrime::unoptimized().label(&tree);
+        for node in tree.elements() {
+            let label_bits = doc.label(node).size_bits();
+            let mut sum = 0u64;
+            let mut at = Some(node);
+            let mut factors = 0u64;
+            while let Some(n) = at {
+                sum += doc.label(n).self_label().bit_len();
+                factors += 1;
+                at = tree.parent(n);
+            }
+            prop_assert!(label_bits <= sum, "{label_bits} > {sum}");
+            prop_assert!(label_bits + factors >= sum, "{label_bits} + {factors} < {sum}");
+        }
+    }
+
+    #[test]
+    fn insertion_sequences_keep_labels_unique(ops in prop::collection::vec(any::<prop::sample::Index>(), 1..20)) {
+        let mut tree = XmlTree::new("r");
+        let mut doc = TopDownPrime::unoptimized().label_document(&tree);
+        let root = tree.root();
+        tree.append_element(root, "seed"); // ensure a non-root target exists
+        let mut doc2 = TopDownPrime::unoptimized().label_document(&tree);
+        for idx in ops {
+            let nodes: Vec<NodeId> = tree.elements().collect();
+            let target = nodes[idx.index(nodes.len())];
+            doc2.insert_child(&mut tree, target, "x");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for node in tree.elements() {
+            prop_assert!(seen.insert(doc2.labels.label(node).value().clone()));
+        }
+        let _ = &mut doc;
+    }
+}

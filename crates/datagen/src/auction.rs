@@ -1,0 +1,186 @@
+//! An XMark-flavored auction-site generator.
+//!
+//! XMark ("site" documents with regions, categories, people, and auctions)
+//! is the other workload XML-labeling papers of the era benchmarked
+//! against; we generate a structurally faithful miniature so examples and
+//! stress tests have a second realistic corpus beside the Shakespeare
+//! plays: mixed depth (to 6), mixed fan-out, cross-referencing attributes
+//! (`person` / `itemref`), and a long flat `people` list.
+
+use crate::CountingBuilder;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xp_xmltree::XmlTree;
+
+/// Scale knobs for one site document.
+#[derive(Debug, Clone)]
+pub struct AuctionParams {
+    /// Registered people (flat list; XMark's biggest fan-out).
+    pub people: usize,
+    /// Items per region (two regions are generated).
+    pub items_per_region: usize,
+    /// Open auctions (each with a small bidder history).
+    pub open_auctions: usize,
+    /// Closed auctions.
+    pub closed_auctions: usize,
+}
+
+impl AuctionParams {
+    /// Roughly 1 000 elements.
+    pub fn small() -> Self {
+        AuctionParams { people: 40, items_per_region: 20, open_auctions: 30, closed_auctions: 15 }
+    }
+
+    /// Roughly 10 000 elements.
+    pub fn medium() -> Self {
+        AuctionParams {
+            people: 400,
+            items_per_region: 200,
+            open_auctions: 300,
+            closed_auctions: 150,
+        }
+    }
+}
+
+const CITIES: &[&str] = &["Singapore", "Boston", "Kyoto", "Berlin", "Lagos", "Quito"];
+const WORDS: &[&str] = &["vintage", "rare", "mint", "boxed", "signed", "restored", "original"];
+
+/// Generates one `site` document.
+pub fn generate_site(seed: u64, params: &AuctionParams) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("site");
+    let site = b.tree.root();
+
+    // regions/(africa|asia)/item*/(location, name, description/text)
+    let regions = b.child(site, "regions");
+    for region in ["africa", "asia"] {
+        let r = b.child(regions, region);
+        for i in 0..params.items_per_region {
+            let item = b.tree.create_element_with_attrs(
+                "item",
+                vec![("id".into(), format!("item{region}{i}"))],
+            );
+            b.elements += 1;
+            b.tree.append_child(r, item);
+            b.leaf_with_text(item, "location", CITIES[rng.random_range(0..CITIES.len())]);
+            b.leaf_with_text(item, "name", WORDS[rng.random_range(0..WORDS.len())]);
+            let descr = b.child(item, "description");
+            b.leaf_with_text(descr, "text", "as described");
+        }
+    }
+
+    // categories/category*/(name)
+    let categories = b.child(site, "categories");
+    for i in 0..8 {
+        let cat = b.child(categories, "category");
+        b.leaf_with_text(cat, "name", &format!("category {i}"));
+    }
+
+    // people/person*/(name, emailaddress, address/(city, country))
+    let people = b.child(site, "people");
+    for i in 0..params.people {
+        let person = b
+            .tree
+            .create_element_with_attrs("person", vec![("id".into(), format!("person{i}"))]);
+        b.elements += 1;
+        b.tree.append_child(people, person);
+        b.leaf_with_text(person, "name", &format!("Person {i}"));
+        b.leaf_with_text(person, "emailaddress", &format!("p{i}@example.org"));
+        if rng.random_range(0..3) > 0 {
+            let addr = b.child(person, "address");
+            b.leaf_with_text(addr, "city", CITIES[rng.random_range(0..CITIES.len())]);
+            b.leaf_with_text(addr, "country", "XK");
+        }
+    }
+
+    // open_auctions/open_auction*/(initial, bidder*/(date, increase), itemref)
+    let opens = b.child(site, "open_auctions");
+    for i in 0..params.open_auctions {
+        let auction = b
+            .tree
+            .create_element_with_attrs("open_auction", vec![("id".into(), format!("open{i}"))]);
+        b.elements += 1;
+        b.tree.append_child(opens, auction);
+        b.leaf_with_text(auction, "initial", &format!("{}", rng.random_range(5..500)));
+        for _ in 0..rng.random_range(0..4) {
+            let bidder = b.child(auction, "bidder");
+            b.leaf_with_text(bidder, "date", "07/06/2026");
+            b.leaf_with_text(bidder, "increase", &format!("{}", rng.random_range(1..50)));
+        }
+        let itemref = b.tree.create_element_with_attrs(
+            "itemref",
+            vec![("item".into(), format!("itemasia{}", rng.random_range(0..params.items_per_region.max(1))))],
+        );
+        b.elements += 1;
+        b.tree.append_child(auction, itemref);
+    }
+
+    // closed_auctions/closed_auction*/(price, buyer)
+    let closeds = b.child(site, "closed_auctions");
+    for _ in 0..params.closed_auctions {
+        let auction = b.child(closeds, "closed_auction");
+        b.leaf_with_text(auction, "price", &format!("{}", rng.random_range(10..900)));
+        let buyer = b.tree.create_element_with_attrs(
+            "buyer",
+            vec![("person".into(), format!("person{}", rng.random_range(0..params.people.max(1))))],
+        );
+        b.elements += 1;
+        b.tree.append_child(auction, buyer);
+    }
+
+    b.tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_xmltree::TreeStats;
+
+    #[test]
+    fn structure_has_the_xmark_sections() {
+        let t = generate_site(1, &AuctionParams::small());
+        let s = TreeStats::compute(&t);
+        for tag in [
+            "site", "regions", "africa", "asia", "item", "categories", "people", "person",
+            "open_auctions", "open_auction", "closed_auctions", "closed_auction", "bidder",
+        ] {
+            assert!(s.tag_histogram.contains_key(tag), "missing {tag}");
+        }
+        assert_eq!(s.tag_histogram["item"], 40);
+        assert_eq!(s.tag_histogram["person"], 40);
+    }
+
+    #[test]
+    fn scales_roughly_as_advertised() {
+        let small = TreeStats::compute(&generate_site(2, &AuctionParams::small())).node_count;
+        let medium = TreeStats::compute(&generate_site(2, &AuctionParams::medium())).node_count;
+        assert!((500..2500).contains(&small), "small = {small}");
+        assert!((5000..25000).contains(&medium), "medium = {medium}");
+        assert!(medium > small * 5);
+    }
+
+    #[test]
+    fn cross_references_point_at_real_ids() {
+        let t = generate_site(3, &AuctionParams::small());
+        let ids: std::collections::HashSet<&str> =
+            t.elements().filter_map(|n| t.attr(n, "id")).collect();
+        for n in t.elements() {
+            if let Some(target) = t.attr(n, "person").or_else(|| t.attr(n, "item")) {
+                assert!(ids.contains(target), "dangling reference {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_xmark_like() {
+        let s = TreeStats::compute(&generate_site(4, &AuctionParams::small()));
+        assert!((4..=6).contains(&s.max_depth), "depth {}", s.max_depth);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = xp_xmltree::serialize::to_string(&generate_site(9, &AuctionParams::small()));
+        let b = xp_xmltree::serialize::to_string(&generate_site(9, &AuctionParams::small()));
+        assert_eq!(a, b);
+    }
+}

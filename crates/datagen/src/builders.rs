@@ -1,0 +1,189 @@
+//! Parametric tree builders: perfect trees for the analytic size model
+//! (Figures 4–5), chains, and seeded random trees for property tests and the
+//! update experiments (Figures 16–17 use "10 XML files whose size ranges from
+//! 1000 to 10,000 nodes").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xp_xmltree::{NodeId, XmlTree};
+
+/// A perfect tree with fan-out `fanout` and depth `depth` (root at level 0):
+/// exactly `Σ_{i=0..depth} fanout^i` element nodes — the worst case of the
+/// paper's size formula (3).
+///
+/// # Panics
+/// Panics if `fanout == 0` and `depth > 0`.
+pub fn perfect_tree(fanout: usize, depth: usize) -> XmlTree {
+    assert!(fanout > 0 || depth == 0, "a perfect tree of positive depth needs fan-out >= 1");
+    let mut tree = XmlTree::new("n0");
+    let mut frontier = vec![tree.root()];
+    for level in 1..=depth {
+        let tag = format!("n{level}");
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for parent in frontier {
+            for _ in 0..fanout {
+                next.push(tree.append_element(parent, tag.as_str()));
+            }
+        }
+        frontier = next;
+    }
+    tree
+}
+
+/// Number of nodes in a perfect tree: `Σ_{i=0..depth} fanout^i`, saturating.
+pub fn perfect_tree_size(fanout: u64, depth: u32) -> u64 {
+    let mut total: u64 = 0;
+    let mut level = 1u64;
+    for _ in 0..=depth {
+        total = total.saturating_add(level);
+        level = level.saturating_mul(fanout);
+    }
+    total
+}
+
+/// A single root-to-leaf chain of `depth + 1` elements.
+pub fn chain(depth: usize) -> XmlTree {
+    let mut tree = XmlTree::new("c0");
+    let mut at = tree.root();
+    for level in 1..=depth {
+        at = tree.append_element(at, format!("c{level}"));
+    }
+    tree
+}
+
+/// Parameters for [`random_tree`].
+#[derive(Debug, Clone)]
+pub struct RandomTreeParams {
+    /// Total element count (including the root).
+    pub nodes: usize,
+    /// Hard ceiling on depth; new nodes at the ceiling are retargeted upward.
+    pub max_depth: usize,
+    /// Upper bound (inclusive) on children per node.
+    pub max_fanout: usize,
+    /// Number of distinct tag names to draw from.
+    pub tag_variety: usize,
+}
+
+impl Default for RandomTreeParams {
+    fn default() -> Self {
+        RandomTreeParams { nodes: 1000, max_depth: 8, max_fanout: 40, tag_variety: 12 }
+    }
+}
+
+/// A seeded random ordered tree with `params.nodes` elements.
+///
+/// Shape model: each new node picks an attachment point uniformly among the
+/// nodes that still have fan-out and depth budget, which yields the
+/// wide-and-shallow profile real XML exhibits (the paper cites \[13\]: 99 % of
+/// 200 000 web documents have fewer than 8 levels, with fan-out up to 10 000).
+pub fn random_tree(seed: u64, params: &RandomTreeParams) -> XmlTree {
+    assert!(params.nodes >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = XmlTree::new("t0");
+    // (node, depth, children_so_far) for nodes that can still take children.
+    let mut open: Vec<(NodeId, usize, usize)> = vec![(tree.root(), 0, 0)];
+    let mut made = 1usize;
+    while made < params.nodes && !open.is_empty() {
+        let slot = rng.random_range(0..open.len());
+        let (parent, depth, _) = open[slot];
+        let tag = format!("t{}", rng.random_range(0..params.tag_variety.max(1)));
+        let child = tree.append_element(parent, tag);
+        made += 1;
+        open[slot].2 += 1;
+        if open[slot].2 >= params.max_fanout {
+            open.swap_remove(slot);
+        }
+        if depth + 1 < params.max_depth {
+            open.push((child, depth + 1, 0));
+        }
+    }
+    tree
+}
+
+/// The ten update-experiment documents of §5.3: sizes 1000, 2000, …, 10000.
+pub fn update_experiment_docs(seed: u64) -> Vec<XmlTree> {
+    (1..=10)
+        .map(|k| {
+            random_tree(
+                seed.wrapping_add(k as u64),
+                &RandomTreeParams { nodes: 1000 * k, max_depth: 8, max_fanout: 25, tag_variety: 10 },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_xmltree::TreeStats;
+
+    #[test]
+    fn perfect_tree_shape() {
+        let t = perfect_tree(3, 2);
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.node_count, 13);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.max_fanout, 3);
+        assert_eq!(s.leaf_count, 9);
+    }
+
+    #[test]
+    fn perfect_tree_degenerate() {
+        let t = perfect_tree(5, 0);
+        assert_eq!(TreeStats::compute(&t).node_count, 1);
+        let t1 = perfect_tree(1, 4);
+        let s1 = TreeStats::compute(&t1);
+        assert_eq!(s1.node_count, 5);
+        assert_eq!(s1.max_depth, 4);
+    }
+
+    #[test]
+    fn perfect_tree_size_formula_matches_construction() {
+        for (f, d) in [(2u64, 3u32), (3, 2), (15, 2), (1, 10)] {
+            let t = perfect_tree(f as usize, d as usize);
+            assert_eq!(
+                TreeStats::compute(&t).node_count as u64,
+                perfect_tree_size(f, d),
+                "F={f} D={d}"
+            );
+        }
+        // Saturation instead of overflow for the analytic plots.
+        assert_eq!(perfect_tree_size(10_000, 50), u64::MAX);
+    }
+
+    #[test]
+    fn chain_is_a_path() {
+        let s = TreeStats::compute(&chain(9));
+        assert_eq!(s.node_count, 10);
+        assert_eq!(s.max_depth, 9);
+        assert_eq!(s.max_fanout, 1);
+        assert_eq!(s.leaf_count, 1);
+    }
+
+    #[test]
+    fn random_tree_hits_node_count_and_respects_limits() {
+        let params = RandomTreeParams { nodes: 2000, max_depth: 6, max_fanout: 30, tag_variety: 8 };
+        let t = random_tree(42, &params);
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.node_count, 2000);
+        assert!(s.max_depth <= 6);
+        assert!(s.max_fanout <= 30);
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let params = RandomTreeParams::default();
+        let a = xp_xmltree::serialize::to_string(&random_tree(7, &params));
+        let b = xp_xmltree::serialize::to_string(&random_tree(7, &params));
+        let c = xp_xmltree::serialize::to_string(&random_tree(8, &params));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn update_docs_have_the_experiment_sizes() {
+        let docs = update_experiment_docs(1);
+        let sizes: Vec<usize> = docs.iter().map(|d| TreeStats::compute(d).node_count).collect();
+        assert_eq!(sizes, (1..=10).map(|k| k * 1000).collect::<Vec<_>>());
+    }
+}

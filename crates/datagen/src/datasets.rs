@@ -1,0 +1,337 @@
+//! The nine Table 1 datasets, synthesized.
+//!
+//! Table 1 of the paper characterizes each Niagara dataset by topic and by
+//! the maximum node count over its files. §5.1.2 additionally describes the
+//! shapes that drive the space results: "the movie dataset D4 contains a
+//! list of movies for an actor. This dataset has a huge fan-out. … dataset
+//! D7 is the NASA document that has a high depth with low fan-out."
+//! Each generator below reproduces its dataset's topic vocabulary, *exact*
+//! maximum node count, and shape profile.
+
+use crate::shakespeare::{generate_play, PlayParams};
+use crate::CountingBuilder;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xp_xmltree::{NodeId, XmlTree};
+
+/// One synthesized dataset: identity, Table 1 characteristics, and generator.
+#[derive(Clone, Copy)]
+pub struct Dataset {
+    /// Paper identifier: "D1" … "D9".
+    pub id: &'static str,
+    /// Table 1 topic.
+    pub topic: &'static str,
+    /// Table 1 "Max. # of nodes": the generated document's element count.
+    pub max_nodes: usize,
+    generator: fn(u64, usize) -> XmlTree,
+}
+
+impl Dataset {
+    /// Generates the dataset's largest document, deterministically per seed.
+    pub fn generate(&self, seed: u64) -> XmlTree {
+        (self.generator)(seed, self.max_nodes)
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("id", &self.id)
+            .field("topic", &self.topic)
+            .field("max_nodes", &self.max_nodes)
+            .finish()
+    }
+}
+
+/// All nine datasets, in Table 1 order.
+pub const DATASETS: [Dataset; 9] = [
+    Dataset { id: "D1", topic: "Sigmod record", max_nodes: 41, generator: gen_sigmod },
+    Dataset { id: "D2", topic: "Movie", max_nodes: 125, generator: gen_movie },
+    Dataset { id: "D3", topic: "Club", max_nodes: 340, generator: gen_club },
+    Dataset { id: "D4", topic: "Actor", max_nodes: 1110, generator: gen_actor },
+    Dataset { id: "D5", topic: "Car", max_nodes: 2495, generator: gen_car },
+    Dataset { id: "D6", topic: "Department", max_nodes: 2686, generator: gen_department },
+    Dataset { id: "D7", topic: "NASA", max_nodes: 4834, generator: gen_nasa },
+    Dataset { id: "D8", topic: "Shakespears' Plays", max_nodes: 6636, generator: gen_shakespeare },
+    Dataset { id: "D9", topic: "Company", max_nodes: 10052, generator: gen_company },
+];
+
+/// Looks a dataset up by id ("D1" … "D9").
+pub fn dataset(id: &str) -> Option<&'static Dataset> {
+    DATASETS.iter().find(|d| d.id == id)
+}
+
+/// Appends leaf elements under `parent` until the document holds exactly
+/// `target` elements. Keeps generated counts exact without distorting shape:
+/// the padding tags are natural leaf children of the given parent.
+fn pad_to(b: &mut CountingBuilder, parent: NodeId, tag: &str, target: usize) {
+    while b.elements < target {
+        b.child(parent, tag);
+    }
+    debug_assert_eq!(b.elements, target);
+}
+
+/// D1 — Sigmod record (41 nodes): issue metadata plus a handful of articles.
+fn gen_sigmod(seed: u64, target: usize) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("SigmodRecord");
+    let root = b.tree.root();
+    let issue = b.child(root, "issue");
+    b.leaf_with_text(issue, "volume", "33");
+    b.leaf_with_text(issue, "number", "2");
+    let articles = b.child(issue, "articles");
+    // Each article block is 7 elements; fill, then pad with authors.
+    let mut last_authors = articles;
+    while b.elements + 7 <= target {
+        let article = b.child(articles, "article");
+        b.leaf_with_text(article, "title", "A Study");
+        b.leaf_with_text(article, "initPage", &rng.random_range(1..400).to_string());
+        b.leaf_with_text(article, "endPage", &rng.random_range(400..500).to_string());
+        let authors = b.child(article, "authors");
+        b.leaf_with_text(authors, "author", "A. Writer");
+        b.leaf_with_text(authors, "author", "B. Scholar");
+        last_authors = authors;
+    }
+    pad_to(&mut b, last_authors, "author", target);
+    b.tree
+}
+
+/// D2 — Movie (125 nodes): a film list with casts of a few actors.
+fn gen_movie(seed: u64, target: usize) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("movies");
+    let root = b.tree.root();
+    let mut last_cast = root;
+    while b.elements + 8 <= target {
+        let movie = b.child(root, "movie");
+        b.leaf_with_text(movie, "title", "A Film");
+        b.leaf_with_text(movie, "year", &rng.random_range(1950..2004).to_string());
+        b.leaf_with_text(movie, "genre", ["drama", "comedy", "noir"][rng.random_range(0..3)]);
+        let cast = b.child(movie, "cast");
+        b.leaf_with_text(cast, "actor", "Lead Actor");
+        b.leaf_with_text(cast, "actor", "Supporting Actor");
+        last_cast = cast;
+    }
+    pad_to(&mut b, last_cast, "actor", target);
+    b.tree
+}
+
+/// D3 — Club (340 nodes): a member roster.
+fn gen_club(seed: u64, target: usize) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("club");
+    let root = b.tree.root();
+    b.leaf_with_text(root, "name", "XML Appreciation Society");
+    let members = b.child(root, "members");
+    while b.elements + 5 <= target {
+        let m = b.child(members, "member");
+        b.leaf_with_text(m, "name", "Member Name");
+        b.leaf_with_text(m, "age", &rng.random_range(18..80).to_string());
+        b.leaf_with_text(m, "email", "member@example.org");
+        b.leaf_with_text(m, "since", &rng.random_range(1990..2004).to_string());
+    }
+    pad_to(&mut b, members, "member", target);
+    b.tree
+}
+
+/// D4 — Actor (1110 nodes): one actor with a *huge fan-out* filmography —
+/// the dataset §5.1.2 singles out as breaking the prefix schemes.
+fn gen_actor(seed: u64, target: usize) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("actor");
+    let root = b.tree.root();
+    b.leaf_with_text(root, "name", "Prolific Thespian");
+    b.leaf_with_text(root, "born", &rng.random_range(1920..1970).to_string());
+    let filmography = b.child(root, "filmography");
+    // Every movie is a single leaf under one parent: fan-out ≈ N.
+    pad_to(&mut b, filmography, "movie", target);
+    b.tree
+}
+
+/// D5 — Car (2495 nodes): a flat listing of cars with fixed fields.
+fn gen_car(seed: u64, target: usize) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("cars");
+    let root = b.tree.root();
+    while b.elements + 5 <= target {
+        let car = b.child(root, "car");
+        b.leaf_with_text(car, "make", ["Ford", "Toyota", "BMW"][rng.random_range(0..3)]);
+        b.leaf_with_text(car, "model", "Model X");
+        b.leaf_with_text(car, "year", &rng.random_range(1995..2004).to_string());
+        b.leaf_with_text(car, "price", &rng.random_range(5000..60000).to_string());
+    }
+    pad_to(&mut b, root, "car", target);
+    b.tree
+}
+
+/// D6 — Department (2686 nodes): faculties with courses and staff.
+fn gen_department(seed: u64, target: usize) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("department");
+    let root = b.tree.root();
+    b.leaf_with_text(root, "name", "School of Computing");
+    let mut last_course_list = root;
+    while b.elements + 12 <= target {
+        let faculty = b.child(root, "faculty");
+        b.leaf_with_text(faculty, "name", "Prof. Example");
+        b.leaf_with_text(faculty, "office", &format!("COM{}", rng.random_range(1..3)));
+        let courses = b.child(faculty, "courses");
+        for _ in 0..2 {
+            let course = b.child(courses, "course");
+            b.leaf_with_text(course, "code", &format!("CS{}", rng.random_range(1000..6000)));
+            b.leaf_with_text(course, "title", "Database Systems");
+            b.leaf_with_text(course, "credits", &rng.random_range(2..6).to_string());
+        }
+        last_course_list = courses;
+    }
+    pad_to(&mut b, last_course_list, "course", target);
+    b.tree
+}
+
+/// D7 — NASA (4834 nodes): *high depth with low fan-out* (§5.1.2), the
+/// structure that favors the prefix scheme. Eight levels of nesting.
+fn gen_nasa(seed: u64, target: usize) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("datasets");
+    let root = b.tree.root();
+    let mut last_deep = root;
+    // dataset/reference/source/other/title/... : each block is a depth-8
+    // chain with small fan-out at each level (14 elements per block).
+    while b.elements + 14 <= target {
+        let dataset = b.child(root, "dataset"); // depth 1
+        b.leaf_with_text(dataset, "title", "Survey");
+        let reference = b.child(dataset, "reference"); // 2
+        let source = b.child(reference, "source"); // 3
+        let other = b.child(source, "other"); // 4
+        b.leaf_with_text(other, "date", &rng.random_range(1970..2004).to_string());
+        let journal = b.child(other, "journal"); // 5
+        let volume = b.child(journal, "volume"); // 6
+        let issue = b.child(volume, "issue"); // 7
+        let pages = b.child(issue, "pages"); // 8 — the deep chain
+        b.leaf_with_text(pages, "first", &rng.random_range(1..100).to_string());
+        b.leaf_with_text(pages, "last", &rng.random_range(100..200).to_string());
+        b.leaf_with_text(dataset, "altname", "alt");
+        last_deep = pages;
+    }
+    pad_to(&mut b, last_deep, "note", target);
+    b.tree
+}
+
+/// D8 — Shakespeare's plays (6636 nodes): the Hamlet-sized play, trimmed or
+/// padded to the exact Table 1 count.
+fn gen_shakespeare(seed: u64, target: usize) -> XmlTree {
+    // Generate slightly small, then pad with LINE leaves in the last speech.
+    let params = PlayParams {
+        acts: 5,
+        scenes_per_act: (3, 4),
+        speeches_per_scene: (20, 30),
+        lines_per_speech: (2, 4),
+        personae: 26,
+    };
+    let play = generate_play("Hamlet", seed, &params);
+    let mut b = CountingBuilder { elements: play.elements().count(), tree: play };
+    // If overshot, regenerate smaller; the miniature profile always fits.
+    if b.elements > target {
+        let small = generate_play("Hamlet", seed, &PlayParams::miniature());
+        b = CountingBuilder { elements: small.elements().count(), tree: small };
+    }
+    let last_speech = b
+        .tree
+        .elements()
+        .filter(|&n| b.tree.tag(n) == Some("SPEECH"))
+        .last()
+        .expect("plays have speeches");
+    pad_to(&mut b, last_speech, "LINE", target);
+    b.tree
+}
+
+/// D9 — Company (10052 nodes): offices with employees, the largest dataset.
+fn gen_company(seed: u64, target: usize) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("company");
+    let root = b.tree.root();
+    b.leaf_with_text(root, "name", "Example Corp");
+    let offices = b.child(root, "offices");
+    let mut last_office = offices;
+    while b.elements + 26 <= target {
+        let office = b.child(offices, "office");
+        b.leaf_with_text(office, "city", ["Singapore", "Boston", "Kyoto"][rng.random_range(0..3)]);
+        for _ in 0..4 {
+            let employee = b.child(office, "employee");
+            b.leaf_with_text(employee, "name", "Employee");
+            b.leaf_with_text(employee, "title", "Engineer");
+            b.leaf_with_text(employee, "salary", &rng.random_range(40_000..140_000).to_string());
+            b.leaf_with_text(employee, "ext", &rng.random_range(1000..9999).to_string());
+        }
+        last_office = office;
+    }
+    pad_to(&mut b, last_office, "employee", target);
+    b.tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_xmltree::TreeStats;
+
+    #[test]
+    fn every_dataset_hits_its_table1_node_count_exactly() {
+        for d in &DATASETS {
+            let tree = d.generate(2004);
+            let n = TreeStats::compute(&tree).node_count;
+            assert_eq!(n, d.max_nodes, "{} ({})", d.id, d.topic);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for d in &DATASETS {
+            let a = xp_xmltree::serialize::to_string(&d.generate(7));
+            let b = xp_xmltree::serialize::to_string(&d.generate(7));
+            assert_eq!(a, b, "{}", d.id);
+        }
+    }
+
+    #[test]
+    fn actor_has_huge_fanout() {
+        let d = dataset("D4").unwrap();
+        let s = TreeStats::compute(&d.generate(1));
+        // §5.1.2: "This dataset has a huge fan-out" — nearly every node is a
+        // leaf under one filmography parent.
+        assert!(s.max_fanout > 1000, "fan-out {}", s.max_fanout);
+        assert!(s.max_depth <= 3);
+    }
+
+    #[test]
+    fn nasa_is_deep_and_narrow() {
+        let d = dataset("D7").unwrap();
+        let s = TreeStats::compute(&d.generate(1));
+        assert!(s.max_depth >= 8, "depth {}", s.max_depth);
+        // Fan-out stays far below the actor dataset's.
+        assert!(s.max_fanout < s.node_count / 4, "fan-out {}", s.max_fanout);
+    }
+
+    #[test]
+    fn shakespeare_has_play_structure() {
+        let d = dataset("D8").unwrap();
+        let s = TreeStats::compute(&d.generate(3));
+        assert_eq!(s.tag_histogram["ACT"], 5);
+        assert!(s.tag_histogram.contains_key("LINE"));
+        assert_eq!(s.max_depth, 4);
+    }
+
+    #[test]
+    fn dataset_lookup() {
+        assert_eq!(dataset("D5").unwrap().topic, "Car");
+        assert!(dataset("D10").is_none());
+    }
+
+    #[test]
+    fn sizes_are_increasing_like_table1() {
+        let sizes: Vec<usize> = DATASETS.iter().map(|d| d.max_nodes).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+        assert_eq!(sizes, vec![41, 125, 340, 1110, 2495, 2686, 4834, 6636, 10052]);
+    }
+}

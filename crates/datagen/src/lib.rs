@@ -1,0 +1,62 @@
+//! # xp-datagen — synthetic XML corpora for the paper's experiments
+//!
+//! The paper labels "the 6224 real-world XML files available in \[14\]" (the
+//! Niagara project collection) and runs its query/update experiments on the
+//! Shakespeare plays. Those files are no longer retrievable, so this crate
+//! synthesizes documents with the same *structural shape* — the only property
+//! the experiments depend on (node count `N`, depth `D`, fan-out `F`, leaf
+//! share, repeated paths).
+//!
+//! * [`datasets`] — one seeded generator per Table 1 dataset (D1–D9), each
+//!   reproducing the topic vocabulary, target node count, and shape profile
+//!   the paper describes (movie/actor = huge fan-out, NASA = deep & narrow,
+//!   Shakespeare = play/act/scene/speech/line).
+//! * [`shakespeare`] — a parametric play generator: Hamlet-like documents for
+//!   the order-sensitive update experiment (Figure 18) and the ×5 replicated
+//!   corpus for the query experiments (Table 2, Figure 15).
+//! * [`builders`] — parametric perfect/random/chain trees for analytic
+//!   figures and property tests.
+//!
+//! Everything is deterministic given a seed, so every figure regenerates
+//! bit-identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod builders;
+pub mod datasets;
+pub mod shakespeare;
+
+pub use datasets::{Dataset, DATASETS};
+pub use shakespeare::{PlayParams, ShakespeareCorpus};
+
+/// Internal helper: an [`xp_xmltree::XmlTree`] under construction together
+/// with a running element count, so generators can hit a node-count target
+/// without repeatedly re-counting.
+pub(crate) struct CountingBuilder {
+    pub tree: xp_xmltree::XmlTree,
+    pub elements: usize,
+}
+
+impl CountingBuilder {
+    pub fn new(root_tag: &str) -> Self {
+        CountingBuilder { tree: xp_xmltree::XmlTree::new(root_tag), elements: 1 }
+    }
+
+    pub fn child(&mut self, parent: xp_xmltree::NodeId, tag: &str) -> xp_xmltree::NodeId {
+        self.elements += 1;
+        self.tree.append_element(parent, tag)
+    }
+
+    pub fn leaf_with_text(
+        &mut self,
+        parent: xp_xmltree::NodeId,
+        tag: &str,
+        text: &str,
+    ) -> xp_xmltree::NodeId {
+        let id = self.child(parent, tag);
+        self.tree.append_text(id, text);
+        id
+    }
+}

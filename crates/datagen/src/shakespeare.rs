@@ -1,0 +1,233 @@
+//! A parametric Shakespeare-play generator.
+//!
+//! The paper's query experiments (§5.2) run nine XPath queries over the
+//! Shakespeare plays "replicated 5 times", and the order-sensitive update
+//! experiment (§5.4) inserts new `ACT` elements between the acts of Hamlet.
+//! The queries only touch the element structure
+//! `PLAY / ACT / SCENE / SPEECH / LINE` plus `PERSONA` (see Table 2), so a
+//! generator reproducing that structure with realistic cardinalities stands
+//! in faithfully for the Bosak corpus.
+
+use crate::CountingBuilder;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xp_xmltree::XmlTree;
+
+/// Cardinality knobs for one generated play.
+#[derive(Debug, Clone)]
+pub struct PlayParams {
+    /// Number of `ACT` children (Hamlet has 5).
+    pub acts: usize,
+    /// Scenes per act, inclusive range.
+    pub scenes_per_act: (usize, usize),
+    /// Speeches per scene, inclusive range.
+    pub speeches_per_scene: (usize, usize),
+    /// Lines per speech, inclusive range.
+    pub lines_per_speech: (usize, usize),
+    /// Entries in the dramatis personae.
+    pub personae: usize,
+}
+
+impl PlayParams {
+    /// Cardinalities that land a single play near Hamlet's size
+    /// (≈ 6000 element nodes, the largest play in the corpus; Table 1 lists
+    /// the Shakespeare dataset max at 6636 nodes).
+    pub fn hamlet_like() -> Self {
+        PlayParams {
+            acts: 5,
+            scenes_per_act: (4, 6),
+            speeches_per_scene: (25, 45),
+            lines_per_speech: (3, 6),
+            personae: 26,
+        }
+    }
+
+    /// A small play for fast tests.
+    pub fn miniature() -> Self {
+        PlayParams {
+            acts: 3,
+            scenes_per_act: (1, 2),
+            speeches_per_scene: (2, 4),
+            lines_per_speech: (1, 2),
+            personae: 4,
+        }
+    }
+}
+
+const SPEAKERS: &[&str] = &[
+    "HAMLET", "CLAUDIUS", "GERTRUDE", "POLONIUS", "OPHELIA", "LAERTES", "HORATIO", "GHOST",
+    "ROSENCRANTZ", "GUILDENSTERN", "FORTINBRAS", "OSRIC", "MARCELLUS", "BERNARDO", "FRANCISCO",
+    "REYNALDO", "VOLTIMAND", "CORNELIUS", "PLAYER KING", "PLAYER QUEEN", "LUCIANUS",
+    "FIRST CLOWN", "SECOND CLOWN", "PRIEST", "CAPTAIN", "MESSENGER",
+];
+
+const LINE_WORDS: &[&str] = &[
+    "the", "and", "to", "of", "that", "is", "my", "in", "you", "it", "his", "not", "this", "with",
+    "but", "for", "your", "me", "lord", "as", "be", "he", "what", "king", "him", "so", "have",
+    "will", "do", "no", "we", "are", "on", "all", "our", "shall", "if", "good", "come", "thou",
+];
+
+fn pick(rng: &mut StdRng, range: (usize, usize)) -> usize {
+    rng.random_range(range.0..=range.1)
+}
+
+fn fake_line(rng: &mut StdRng) -> String {
+    let words = rng.random_range(4..=9);
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(LINE_WORDS[rng.random_range(0..LINE_WORDS.len())]);
+    }
+    out
+}
+
+/// Generates one play. Structure (upper-case tags, as in the Bosak corpus):
+///
+/// ```text
+/// PLAY
+/// ├── TITLE
+/// ├── PERSONAE ── TITLE, PERSONA*
+/// └── ACT*  ── TITLE, SCENE* ── TITLE, SPEECH* ── SPEAKER, LINE*
+/// ```
+pub fn generate_play(title: &str, seed: u64, params: &PlayParams) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CountingBuilder::new("PLAY");
+    let play = b.tree.root();
+    b.leaf_with_text(play, "TITLE", title);
+
+    let personae = b.child(play, "PERSONAE");
+    b.leaf_with_text(personae, "TITLE", "Dramatis Personae");
+    for i in 0..params.personae {
+        let name = SPEAKERS[i % SPEAKERS.len()];
+        b.leaf_with_text(personae, "PERSONA", name);
+    }
+
+    for act_no in 1..=params.acts {
+        let act = b.child(play, "ACT");
+        b.leaf_with_text(act, "TITLE", &format!("ACT {act_no}"));
+        for scene_no in 1..=pick(&mut rng, params.scenes_per_act) {
+            let scene = b.child(act, "SCENE");
+            b.leaf_with_text(scene, "TITLE", &format!("SCENE {scene_no}"));
+            for _ in 0..pick(&mut rng, params.speeches_per_scene) {
+                let speech = b.child(scene, "SPEECH");
+                let who = SPEAKERS[rng.random_range(0..SPEAKERS.len())];
+                b.leaf_with_text(speech, "SPEAKER", who);
+                for _ in 0..pick(&mut rng, params.lines_per_speech) {
+                    let line = fake_line(&mut rng);
+                    b.leaf_with_text(speech, "LINE", &line);
+                }
+            }
+        }
+    }
+    b.tree
+}
+
+/// A corpus of generated plays under one root — the "replicate the
+/// Shakespeare dataset 5 times" workload of §5.2.
+#[derive(Debug)]
+pub struct ShakespeareCorpus {
+    /// One document holding every replica under a `CORPUS` root.
+    pub tree: XmlTree,
+    /// Number of plays generated.
+    pub plays: usize,
+}
+
+impl ShakespeareCorpus {
+    /// Generates `replicas` Hamlet-sized plays under a single root.
+    pub fn generate(replicas: usize, seed: u64) -> Self {
+        Self::generate_with(replicas, seed, &PlayParams::hamlet_like())
+    }
+
+    /// Generates `replicas` plays with explicit cardinalities.
+    pub fn generate_with(replicas: usize, seed: u64, params: &PlayParams) -> Self {
+        let mut corpus = XmlTree::new("CORPUS");
+        let root = corpus.root();
+        for i in 0..replicas {
+            let play = generate_play(&format!("Hamlet (copy {})", i + 1), seed.wrapping_add(i as u64), params);
+            graft(&mut corpus, root, &play, play.root());
+        }
+        ShakespeareCorpus { tree: corpus, plays: replicas }
+    }
+}
+
+/// Deep-copies the subtree of `src` rooted at `src_node` under `dst_parent`.
+pub fn graft(
+    dst: &mut XmlTree,
+    dst_parent: xp_xmltree::NodeId,
+    src: &XmlTree,
+    src_node: xp_xmltree::NodeId,
+) -> xp_xmltree::NodeId {
+    let copy = match src.kind(src_node) {
+        xp_xmltree::NodeKind::Element { tag, attrs } => {
+            dst.create_element_with_attrs(tag.clone(), attrs.clone())
+        }
+        xp_xmltree::NodeKind::Text(t) => dst.create_text(t.clone()),
+    };
+    dst.append_child(dst_parent, copy);
+    for child in src.children(src_node).collect::<Vec<_>>() {
+        graft(dst, copy, src, child);
+    }
+    copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_xmltree::TreeStats;
+
+    #[test]
+    fn play_structure_has_the_query_tags() {
+        let t = generate_play("Hamlet", 11, &PlayParams::hamlet_like());
+        let s = TreeStats::compute(&t);
+        for tag in ["PLAY", "ACT", "SCENE", "SPEECH", "LINE", "PERSONA", "SPEAKER", "TITLE"] {
+            assert!(s.tag_histogram.contains_key(tag), "missing {tag}");
+        }
+        assert_eq!(s.tag_histogram["ACT"], 5);
+        assert_eq!(s.tag_histogram["PERSONA"], 26);
+    }
+
+    #[test]
+    fn hamlet_like_lands_near_hamlet_size() {
+        let t = generate_play("Hamlet", 11, &PlayParams::hamlet_like());
+        let n = TreeStats::compute(&t).node_count;
+        assert!((3500..=9000).contains(&n), "play has {n} elements");
+    }
+
+    #[test]
+    fn depth_matches_the_real_corpus() {
+        // PLAY(0)/ACT(1)/SCENE(2)/SPEECH(3)/LINE(4).
+        let t = generate_play("x", 3, &PlayParams::miniature());
+        assert_eq!(TreeStats::compute(&t).max_depth, 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_play("x", 5, &PlayParams::miniature());
+        let b = generate_play("x", 5, &PlayParams::miniature());
+        assert_eq!(xp_xmltree::serialize::to_string(&a), xp_xmltree::serialize::to_string(&b));
+    }
+
+    #[test]
+    fn corpus_replicates_plays() {
+        let c = ShakespeareCorpus::generate_with(5, 1, &PlayParams::miniature());
+        let root = c.tree.root();
+        assert_eq!(c.tree.element_children(root).count(), 5);
+        let s = TreeStats::compute(&c.tree);
+        assert_eq!(s.tag_histogram["PLAY"], 5);
+        assert_eq!(s.tag_histogram["ACT"], 15);
+    }
+
+    #[test]
+    fn graft_copies_attributes_and_text() {
+        let src = xp_xmltree::parse::parse(r#"<a x="1"><b>hi</b></a>"#).unwrap();
+        let mut dst = XmlTree::new("root");
+        let root = dst.root();
+        let copied = graft(&mut dst, root, &src, src.root());
+        assert_eq!(dst.attr(copied, "x"), Some("1"));
+        let b = dst.first_child(copied).unwrap();
+        let txt = dst.first_child(b).unwrap();
+        assert_eq!(dst.text(txt), Some("hi"));
+    }
+}

@@ -1,0 +1,248 @@
+//! [`LabeledDoc`]: the per-node label table a [`crate::Scheme`] produces.
+
+use crate::scheme::LabelOps;
+use xp_xmltree::{NodeId, XmlTree};
+
+/// Labels for the element nodes of one document.
+///
+/// Keyed by the tree's arena indices, so it stays valid (for the nodes that
+/// existed) across structural mutations — which is exactly what the update
+/// experiments need: mutate the tree, let the scheme react, then
+/// [`diff`](LabeledDoc::diff_count) old vs new tables to count relabelings.
+#[derive(Debug, Clone)]
+pub struct LabeledDoc<L> {
+    labels: Vec<Option<L>>,
+    /// Element nodes in document order at labeling time.
+    order: Vec<NodeId>,
+}
+
+impl<L: LabelOps> LabeledDoc<L> {
+    /// Creates an empty table sized for `tree`'s arena.
+    pub fn new(tree: &XmlTree) -> Self {
+        LabeledDoc { labels: vec![None; tree.arena_len()], order: Vec::new() }
+    }
+
+    /// Inserts (or replaces) the label of `node`, recording document order on
+    /// first insertion.
+    pub fn set(&mut self, node: NodeId, label: L) {
+        if node.index() >= self.labels.len() {
+            self.labels.resize(node.index() + 1, None);
+        }
+        if self.labels[node.index()].is_none() {
+            self.order.push(node);
+        }
+        self.labels[node.index()] = Some(label);
+    }
+
+    /// The label of `node`, if it was labeled.
+    pub fn get(&self, node: NodeId) -> Option<&L> {
+        self.labels.get(node.index()).and_then(|slot| slot.as_ref())
+    }
+
+    /// The label of `node`.
+    ///
+    /// # Panics
+    /// Panics if the node was never labeled.
+    pub fn label(&self, node: NodeId) -> &L {
+        self.get(node).unwrap_or_else(|| panic!("node {node} has no label"))
+    }
+
+    /// Labeled nodes in the document order they were labeled in.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of labeled nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` iff nothing is labeled.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates `(node, label)` in document order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &L)> + '_ {
+        self.order.iter().map(move |&n| (n, self.label(n)))
+    }
+
+    /// Label-size statistics (bits) over all labeled nodes — Figure 13/14's
+    /// metric is [`LabelSizeStats::max_bits`]: "the length of label is
+    /// determined by the maximal length of labels in the data set".
+    pub fn size_stats(&self) -> LabelSizeStats {
+        let mut max_bits = 0u64;
+        let mut total_bits = 0u64;
+        for (_, l) in self.iter() {
+            let b = l.size_bits();
+            max_bits = max_bits.max(b);
+            total_bits += b;
+        }
+        LabelSizeStats {
+            max_bits,
+            total_bits,
+            count: self.len(),
+        }
+    }
+
+    /// Counts nodes whose label differs between `self` (before) and `after`,
+    /// plus nodes that only exist in `after` (`new_count`).
+    ///
+    /// This is the measurement of §5.3: "count the number of nodes whose
+    /// labels need to be re-labeled after the insertion". The paper counts
+    /// the inserted node itself as one relabeling, so callers typically
+    /// report `changed + new_count`.
+    pub fn diff_count(&self, after: &LabeledDoc<L>) -> DiffReport {
+        let mut changed = 0usize;
+        let mut new_count = 0usize;
+        for (node, new_label) in after.iter() {
+            match self.get(node) {
+                Some(old) if old == new_label => {}
+                Some(_) => changed += 1,
+                None => new_count += 1,
+            }
+        }
+        DiffReport { changed, new_count }
+    }
+}
+
+/// Result of [`LabeledDoc::diff_count`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffReport {
+    /// Pre-existing nodes whose labels changed.
+    pub changed: usize,
+    /// Nodes labeled only in the "after" table (the insertions).
+    pub new_count: usize,
+}
+
+impl DiffReport {
+    /// Total relabelings under the paper's accounting (changed + inserted).
+    pub fn total(&self) -> usize {
+        self.changed + self.new_count
+    }
+}
+
+/// Aggregate label sizes in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelSizeStats {
+    /// Largest single label — the fixed-length storage requirement.
+    pub max_bits: u64,
+    /// Sum over all labels.
+    pub total_bits: u64,
+    /// Number of labels.
+    pub count: usize,
+}
+
+impl LabelSizeStats {
+    /// Mean label size in bits.
+    pub fn avg_bits(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::LabelOps;
+    use xp_xmltree::parse;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct N(u64);
+
+    impl LabelOps for N {
+        fn is_ancestor_of(&self, other: &Self) -> bool {
+            other.0 % self.0 == 0 && other.0 != self.0
+        }
+        fn size_bits(&self) -> u64 {
+            64 - self.0.leading_zeros() as u64
+        }
+    }
+
+    fn doc_with(tree: &XmlTree, labels: &[(NodeId, u64)]) -> LabeledDoc<N> {
+        let mut d = LabeledDoc::new(tree);
+        for &(n, v) in labels {
+            d.set(n, N(v));
+        }
+        d
+    }
+
+    use xp_xmltree::XmlTree;
+
+    #[test]
+    fn set_get_and_order() {
+        let tree = parse("<a><b/><c/></a>").unwrap();
+        let ids: Vec<NodeId> = tree.elements().collect();
+        let d = doc_with(&tree, &[(ids[0], 1), (ids[1], 2), (ids[2], 3)]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.label(ids[1]), &N(2));
+        assert_eq!(d.nodes(), ids.as_slice());
+    }
+
+    #[test]
+    fn replacing_a_label_keeps_one_order_entry() {
+        let tree = parse("<a/>").unwrap();
+        let root = tree.root();
+        let mut d = doc_with(&tree, &[(root, 1)]);
+        d.set(root, N(5));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.label(root), &N(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no label")]
+    fn label_of_unlabeled_node_panics() {
+        let tree = parse("<a><b/></a>").unwrap();
+        let b = tree.first_child(tree.root()).unwrap();
+        let d = doc_with(&tree, &[]);
+        let _ = d.label(b);
+    }
+
+    #[test]
+    fn size_stats() {
+        let tree = parse("<a><b/><c/></a>").unwrap();
+        let ids: Vec<NodeId> = tree.elements().collect();
+        let d = doc_with(&tree, &[(ids[0], 1), (ids[1], 255), (ids[2], 256)]);
+        let s = d.size_stats();
+        assert_eq!(s.max_bits, 9);
+        assert_eq!(s.total_bits, 1 + 8 + 9);
+        assert_eq!(s.count, 3);
+        assert!((s.avg_bits() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_counts_changes_and_insertions() {
+        let mut tree = parse("<a><b/></a>").unwrap();
+        let a = tree.root();
+        let b = tree.first_child(a).unwrap();
+        let before = doc_with(&tree, &[(a, 1), (b, 2)]);
+        // Insert a node, keep a's label, change b's, label the new one.
+        let c = tree.append_element(a, "c");
+        let after = doc_with(&tree, &[(a, 1), (b, 7), (c, 3)]);
+        let diff = before.diff_count(&after);
+        assert_eq!(diff.changed, 1);
+        assert_eq!(diff.new_count, 1);
+        assert_eq!(diff.total(), 2);
+    }
+
+    #[test]
+    fn diff_of_identical_docs_is_zero() {
+        let tree = parse("<a><b/></a>").unwrap();
+        let ids: Vec<NodeId> = tree.elements().collect();
+        let d1 = doc_with(&tree, &[(ids[0], 1), (ids[1], 2)]);
+        let d2 = d1.clone();
+        assert_eq!(d1.diff_count(&d2), DiffReport { changed: 0, new_count: 0 });
+    }
+
+    #[test]
+    fn set_grows_for_nodes_created_after_construction() {
+        let mut tree = parse("<a/>").unwrap();
+        let mut d: LabeledDoc<N> = LabeledDoc::new(&tree);
+        let b = tree.append_element(tree.root(), "b"); // beyond initial arena
+        d.set(b, N(2));
+        assert_eq!(d.label(b), &N(2));
+    }
+}

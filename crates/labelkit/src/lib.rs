@@ -1,0 +1,30 @@
+//! # xp-labelkit — the shared labeling framework
+//!
+//! Every labeling scheme in this reproduction — the paper's prime scheme
+//! (`xp-prime`) and the baselines it compares against (`xp-baselines`) —
+//! speaks the vocabulary defined here:
+//!
+//! * [`LabelOps`] — what a label can do *by itself*: answer the
+//!   ancestor/parent tests and report its size in bits (the paper's storage
+//!   metric). Schemes whose labels also encode document order additionally
+//!   implement [`OrderedLabel`].
+//! * [`Scheme`] — a labeling algorithm: assigns a label to every element of
+//!   an [`xp_xmltree::XmlTree`].
+//! * [`LabeledDoc`] — the result: a per-node label table over the tree's
+//!   arena, with size statistics and the label-diff accounting the update
+//!   experiments (Figures 16–18) are measured in.
+//! * [`BitString`] — bit-packed variable-length labels for the prefix
+//!   schemes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitstring;
+pub mod codec;
+pub mod doc;
+pub mod scheme;
+
+pub use bitstring::BitString;
+pub use codec::{CodecError, LabelCodec};
+pub use doc::{LabelSizeStats, LabeledDoc};
+pub use scheme::{LabelOps, OrderedLabel, Scheme};

@@ -1,0 +1,94 @@
+//! The [`LabelOps`] / [`OrderedLabel`] / [`Scheme`] traits.
+
+use crate::doc::LabeledDoc;
+use std::cmp::Ordering;
+use xp_xmltree::XmlTree;
+
+/// Operations every node label supports, *using only the labels themselves* —
+/// the defining property of a labeling scheme (§1: "the relationships between
+/// two nodes can be uniquely and quickly determined simply by examining their
+/// labels").
+pub trait LabelOps: Clone + Eq + std::fmt::Debug {
+    /// `true` iff the node labeled `self` is a **proper ancestor** of the
+    /// node labeled `other`.
+    fn is_ancestor_of(&self, other: &Self) -> bool;
+
+    /// `true` iff the node labeled `self` is the **parent** of the node
+    /// labeled `other`.
+    ///
+    /// The default refines the ancestor test via [`LabelOps::level_hint`];
+    /// schemes with a cheaper direct test override it.
+    fn is_parent_of(&self, other: &Self) -> bool {
+        self.is_ancestor_of(other)
+            && match (self.level_hint(), other.level_hint()) {
+                (Some(a), Some(b)) => b == a + 1,
+                _ => false,
+            }
+    }
+
+    /// Storage size of this label in bits — the metric of Figures 13–14.
+    fn size_bits(&self) -> u64;
+
+    /// The node's depth if the label encodes it (prefix/Dewey labels do;
+    /// interval labels don't).
+    fn level_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Labels that additionally encode **document order**, so `preceding` /
+/// `following` queries can be answered by comparison alone. The prime scheme
+/// deliberately does *not* implement this — its order lives in the external
+/// SC table (§4), which is what makes its order-sensitive updates cheap.
+pub trait OrderedLabel: LabelOps {
+    /// Total document order: `Less` means `self`'s node precedes `other`'s.
+    fn doc_cmp(&self, other: &Self) -> Ordering;
+}
+
+/// A labeling algorithm.
+pub trait Scheme {
+    /// The label type this scheme produces.
+    type Label: LabelOps;
+
+    /// Human-readable name used in experiment output ("Prime", "Interval", …).
+    fn name(&self) -> &'static str;
+
+    /// Labels every element node of `tree`.
+    fn label(&self, tree: &XmlTree) -> LabeledDoc<Self::Label>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy label: the node's preorder interval, for exercising defaults.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Toy {
+        start: u64,
+        end: u64,
+        level: usize,
+    }
+
+    impl LabelOps for Toy {
+        fn is_ancestor_of(&self, other: &Self) -> bool {
+            self.start < other.start && other.end <= self.end
+        }
+        fn size_bits(&self) -> u64 {
+            64 - self.end.leading_zeros() as u64
+        }
+        fn level_hint(&self) -> Option<usize> {
+            Some(self.level)
+        }
+    }
+
+    #[test]
+    fn default_parent_test_uses_level_hint() {
+        let root = Toy { start: 1, end: 10, level: 0 };
+        let child = Toy { start: 2, end: 9, level: 1 };
+        let grandchild = Toy { start: 3, end: 4, level: 2 };
+        assert!(root.is_parent_of(&child));
+        assert!(!root.is_parent_of(&grandchild), "ancestor but not parent");
+        assert!(child.is_parent_of(&grandchild));
+        assert!(!grandchild.is_parent_of(&child));
+    }
+}

@@ -1,0 +1,100 @@
+//! Analytic estimates used by the paper's size model (§3.1, Figure 3).
+//!
+//! The paper approximates the n-th prime as `n·log₂(n)` (its `log` is base 2
+//! throughout) and the bit length of the n-th prime as `log₂(n·log₂(n))`.
+//! These estimates drive the maximum-label-size formula (3) that Figures 4
+//! and 5 plot, and Figure 3 compares them against the actual primes.
+
+/// The paper's estimate of the n-th prime: `n · log₂(n)` (1-indexed).
+///
+/// For n = 1 the estimate degenerates to 0; we clamp to 2 (the first prime)
+/// so downstream bit-length math stays meaningful.
+pub fn nth_prime_estimate(n: u64) -> f64 {
+    if n <= 1 {
+        return 2.0;
+    }
+    let nf = n as f64;
+    nf * nf.log2()
+}
+
+/// Bit length of the paper's n-th prime estimate: `log₂(n·log₂(n))`,
+/// rounded up to a whole number of bits (minimum 2, the bits of "2").
+pub fn nth_prime_estimate_bits(n: u64) -> u64 {
+    (nth_prime_estimate(n).log2().ceil() as u64).max(2)
+}
+
+/// Bit length of an actual value (`⌊log₂ v⌋ + 1`).
+pub fn bits_of(v: u64) -> u64 {
+    64 - v.leading_zeros() as u64
+}
+
+/// Prime-counting estimate from the paper: `π(n) ≈ n / log₂(n)`.
+pub fn prime_count_estimate(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    nf / nf.log2()
+}
+
+/// A rigorous upper bound on the n-th prime (Rosser–Schoenfeld):
+/// `p_n < n (ln n + ln ln n)` for `n >= 6`. Used to size bounded sieves
+/// that must contain at least `n` primes.
+pub fn nth_prime_upper_bound(n: u64) -> u64 {
+    if n < 6 {
+        return 13; // covers p_1..p_5 = 2,3,5,7,11
+    }
+    let nf = n as f64;
+    let ln = nf.ln();
+    (nf * (ln + ln.ln())).ceil() as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nth_prime;
+
+    #[test]
+    fn estimate_is_clamped_for_small_n() {
+        assert_eq!(nth_prime_estimate(0), 2.0);
+        assert_eq!(nth_prime_estimate(1), 2.0);
+        assert!(nth_prime_estimate(2) > 1.9);
+    }
+
+    #[test]
+    fn bits_of_known_values() {
+        assert_eq!(bits_of(1), 1);
+        assert_eq!(bits_of(2), 2);
+        assert_eq!(bits_of(255), 8);
+        assert_eq!(bits_of(256), 9);
+        assert_eq!(bits_of(104_729), 17);
+    }
+
+    #[test]
+    fn estimate_bits_track_actual_bits_closely() {
+        // Figure 3's claim: the error ratio of the *bit length* is small.
+        for n in [10u64, 100, 1000, 5000, 10_000] {
+            let actual = bits_of(nth_prime(n));
+            let est = nth_prime_estimate_bits(n);
+            assert!(
+                est.abs_diff(actual) <= 2,
+                "n={n}: actual {actual} bits vs estimate {est} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn upper_bound_really_bounds() {
+        for n in [1u64, 5, 6, 10, 100, 1000, 10_000] {
+            assert!(nth_prime_upper_bound(n) >= nth_prime(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn prime_count_estimate_magnitude() {
+        // π(10^5) = 9592; n/log2(n) ≈ 6020 — same order, paper's coarse bound.
+        let est = prime_count_estimate(100_000);
+        assert!(est > 3000.0 && est < 9592.0);
+        assert_eq!(prime_count_estimate(1), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Integer factorization for `u64`: trial division for small factors plus
+//! Brent's variant of Pollard's rho for the rest.
+//!
+//! A top-down prime label *is* its ancestor path — the multiset of
+//! self-labels along the root chain. Factorization makes that decodable:
+//! `xp-prime::path` peels a label back into the self-labels it was built
+//! from, which is how a labeled node's ancestry can be reconstructed with
+//! no tree access at all.
+
+use crate::miller_rabin::is_prime;
+
+/// `a * b mod m` without overflow.
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// One non-trivial factor of composite `n` (Brent's cycle-finding variant
+/// of Pollard's rho). Returns `None` when this seed's polynomial fails;
+/// callers retry with another seed.
+fn pollard_brent(n: u64, seed: u64) -> Option<u64> {
+    let c = 1 + seed % (n - 1);
+    let f = |x: u64| (mul_mod(x, x, n) + c) % n;
+    let mut anchor = seed % n;
+    let mut y = anchor;
+    let mut window = 1u64;
+    let mut total = 0u64;
+    loop {
+        // Walk one doubling window from the anchor.
+        for _ in 0..window {
+            y = f(y);
+            total += 1;
+            let d = gcd(anchor.abs_diff(y), n);
+            if d == n {
+                return None; // degenerate polynomial for this n
+            }
+            if d > 1 {
+                return Some(d);
+            }
+            if total > 1 << 24 {
+                return None; // give up; the caller tries another seed
+            }
+        }
+        anchor = y;
+        window *= 2;
+    }
+}
+
+/// Prime factorization of `n` as `(prime, exponent)` pairs in increasing
+/// prime order. `factorize(0)` and `factorize(1)` return empty.
+///
+/// ```
+/// assert_eq!(xp_primes::factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+/// ```
+pub fn factorize(n: u64) -> Vec<(u64, u32)> {
+    let mut factors: Vec<u64> = Vec::new();
+    let mut n = n;
+    if n < 2 {
+        return Vec::new();
+    }
+    // Strip small primes by trial division (covers most label factors).
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+        while n % p == 0 {
+            factors.push(p);
+            n /= p;
+        }
+    }
+    // Recurse on the remainder with rho.
+    let mut pending = vec![n];
+    while let Some(m) = pending.pop() {
+        if m == 1 {
+            continue;
+        }
+        if is_prime(m) {
+            factors.push(m);
+            continue;
+        }
+        // Try successive seeds: rho can fail for unlucky polynomials.
+        let mut split = None;
+        for seed in 2..64 {
+            if let Some(d) = pollard_brent(m, seed) {
+                split = Some(d);
+                break;
+            }
+        }
+        let d = split.expect("some seed splits every 64-bit composite in practice");
+        pending.push(d);
+        pending.push(m / d);
+    }
+    factors.sort_unstable();
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    for f in factors {
+        match out.last_mut() {
+            Some((p, e)) if *p == f => *e += 1,
+            _ => out.push((f, 1)),
+        }
+    }
+    out
+}
+
+/// The distinct prime factors of `n`, increasing.
+pub fn prime_factors(n: u64) -> Vec<u64> {
+    factorize(n).into_iter().map(|(p, _)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recompose(factors: &[(u64, u32)]) -> u64 {
+        factors.iter().fold(1u64, |acc, &(p, e)| acc * p.pow(e))
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert!(factorize(0).is_empty());
+        assert!(factorize(1).is_empty());
+        assert_eq!(factorize(2), vec![(2, 1)]);
+        assert_eq!(factorize(97), vec![(97, 1)]);
+    }
+
+    #[test]
+    fn small_composites() {
+        assert_eq!(factorize(12), vec![(2, 2), (3, 1)]);
+        assert_eq!(factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+        assert_eq!(factorize(1 << 40), vec![(2, 40)]);
+        assert_eq!(factorize(3 * 5 * 7 * 11 * 13), vec![(3, 1), (5, 1), (7, 1), (11, 1), (13, 1)]);
+    }
+
+    #[test]
+    fn large_semiprimes_split() {
+        // Products of two large primes — the case trial division can't do.
+        let p = 2_147_483_647u64; // 2^31 - 1
+        let q = 2_147_483_629u64;
+        assert_eq!(factorize(p * q), vec![(q, 1), (p, 1)]);
+        let a = 1_000_000_007u64;
+        let b = 1_000_000_009u64;
+        assert_eq!(factorize(a * b), vec![(a, 1), (b, 1)]);
+    }
+
+    #[test]
+    fn prime_squares_and_powers() {
+        let p = 65_537u64;
+        assert_eq!(factorize(p * p), vec![(p, 2)]);
+        assert_eq!(factorize(p * p * p), vec![(p, 3)]);
+    }
+
+    #[test]
+    fn round_trips_against_recomposition() {
+        for n in (1u64..2000).chain([
+            u32::MAX as u64,
+            u32::MAX as u64 + 2,
+            999_999_999_999_999_989, // prime
+            614_889_782_588_491_410, // primorial(15): product of first 15 primes
+        ]) {
+            let f = factorize(n);
+            if n >= 2 {
+                assert_eq!(recompose(&f), n, "n={n}");
+                for &(p, _) in &f {
+                    assert!(is_prime(p), "{p} not prime (n={n})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_like_products() {
+        // A realistic top-down label: product of distinct path primes.
+        let path = [3u64, 59, 227, 1499, 7919];
+        let label: u64 = path.iter().product();
+        assert_eq!(prime_factors(label), path.to_vec());
+    }
+}

@@ -1,0 +1,99 @@
+//! [`PrimeIterator`]: an unbounded, allocation-amortized stream of primes —
+//! the paper's `getPrime()` function.
+
+use crate::sieve::SegmentedSieve;
+
+/// Unbounded iterator over the primes 2, 3, 5, 7, …
+///
+/// Internally pulls windows from a [`SegmentedSieve`], so iterating far into
+/// the sequence stays O(window) in memory.
+#[derive(Debug, Clone)]
+pub struct PrimeIterator {
+    sieve: SegmentedSieve,
+    buf: std::vec::IntoIter<u64>,
+}
+
+impl PrimeIterator {
+    /// Starts the stream at 2.
+    pub fn new() -> Self {
+        PrimeIterator { sieve: SegmentedSieve::new(), buf: Vec::new().into_iter() }
+    }
+
+    /// Starts the stream at the first prime `>= from`.
+    pub fn starting_at(from: u64) -> Self {
+        let mut it = Self::new();
+        // Fast-forward whole segments: cheap because segments are sieved lazily.
+        while let Some(&last) = {
+            it.refill_if_empty();
+            it.buf.as_slice().last()
+        } {
+            if last >= from {
+                break;
+            }
+            it.buf = Vec::new().into_iter();
+        }
+        let remaining: Vec<u64> = it.buf.as_slice().iter().copied().filter(|&p| p >= from).collect();
+        it.buf = remaining.into_iter();
+        it
+    }
+
+    fn refill_if_empty(&mut self) {
+        while self.buf.as_slice().is_empty() {
+            self.buf = self.sieve.next_segment().into_iter();
+        }
+    }
+}
+
+impl Default for PrimeIterator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Iterator for PrimeIterator {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.refill_if_empty();
+        self.buf.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miller_rabin::is_prime;
+
+    #[test]
+    fn first_primes_are_correct() {
+        let got: Vec<u64> = PrimeIterator::new().take(10).collect();
+        assert_eq!(got, [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn stream_is_strictly_increasing_and_prime() {
+        let mut prev = 0;
+        for p in PrimeIterator::new().take(5_000) {
+            assert!(p > prev);
+            assert!(is_prime(p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn crosses_segment_boundaries() {
+        // Enough primes to consume several 2^16-wide segments.
+        let nth_20000 = PrimeIterator::new().nth(19_999).unwrap();
+        assert_eq!(nth_20000, 224_737);
+    }
+
+    #[test]
+    fn starting_at_lands_on_first_prime_geq() {
+        assert_eq!(PrimeIterator::starting_at(0).next(), Some(2));
+        assert_eq!(PrimeIterator::starting_at(14).next(), Some(17));
+        assert_eq!(PrimeIterator::starting_at(17).next(), Some(17));
+        let mut it = PrimeIterator::starting_at(100_000);
+        assert_eq!(it.next(), Some(100_003));
+        assert_eq!(it.next(), Some(100_019));
+    }
+}

@@ -1,0 +1,87 @@
+//! # xp-primes — prime generation and testing
+//!
+//! The prime-number labeling scheme consumes primes in bulk: every non-leaf
+//! node of an XML tree receives a globally unique prime self-label, assigned
+//! in increasing order during a depth-first traversal (Figure 7 of the
+//! paper), and a reserved pool of the *smallest* primes is set aside for the
+//! top tree levels (optimization Opt1).
+//!
+//! This crate provides the machinery:
+//!
+//! * [`sieve::Sieve`] — classic sieve of Eratosthenes over a fixed bound.
+//! * [`sieve::SegmentedSieve`] — windowed sieving for unbounded streams.
+//! * [`iter::PrimeIterator`] — an unbounded iterator over primes, the
+//!   `getPrime()` of the paper's `PrimeLabel` algorithm.
+//! * [`miller_rabin::is_prime`] — deterministic Miller–Rabin for all `u64`.
+//! * [`estimate`] — π(n) bounds and the paper's `n·log₂(n)` n-th-prime
+//!   estimate used in Figure 3.
+//! * [`pool::PrimePool`] — a stateful allocator that hands out each prime at
+//!   most once, with a reserved low-prime pool (`getReservedPrime()`), a
+//!   general pool (`getPrime()`), and an odd-only mode for Opt2.
+//!
+//! ```
+//! use xp_primes::iter::PrimeIterator;
+//!
+//! let first: Vec<u64> = PrimeIterator::new().take(6).collect();
+//! assert_eq!(first, [2, 3, 5, 7, 11, 13]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod factor;
+pub mod iter;
+pub mod miller_rabin;
+pub mod pool;
+pub mod sieve;
+
+pub use factor::{factorize, prime_factors};
+pub use iter::PrimeIterator;
+pub use miller_rabin::is_prime;
+pub use pool::PrimePool;
+pub use sieve::Sieve;
+
+/// Returns the n-th prime (1-indexed: `nth_prime(1) == 2`).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn nth_prime(n: u64) -> u64 {
+    assert!(n > 0, "primes are 1-indexed");
+    PrimeIterator::new()
+        .nth(n as usize - 1)
+        .expect("prime iterator is unbounded")
+}
+
+/// Returns the first `n` primes.
+pub fn first_primes(n: usize) -> Vec<u64> {
+    PrimeIterator::new().take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_prime_known_values() {
+        assert_eq!(nth_prime(1), 2);
+        assert_eq!(nth_prime(2), 3);
+        assert_eq!(nth_prime(25), 97);
+        assert_eq!(nth_prime(100), 541);
+        assert_eq!(nth_prime(1000), 7919);
+        // The 10000th prime closes Figure 3's x-axis.
+        assert_eq!(nth_prime(10_000), 104_729);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn nth_prime_zero_panics() {
+        nth_prime(0);
+    }
+
+    #[test]
+    fn first_primes_prefix() {
+        assert_eq!(first_primes(0), Vec::<u64>::new());
+        assert_eq!(first_primes(8), [2, 3, 5, 7, 11, 13, 17, 19]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Deterministic Miller–Rabin primality testing for `u64`.
+//!
+//! With the witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} the test
+//! is *deterministic* for every `n < 3.3 × 10²⁴`, which covers all of `u64`
+//! (Sorenson & Webster 2015). Used to validate incoming self-labels when a
+//! labeled document is loaded from an untrusted source, and by the ablation
+//! bench comparing sieve-fed and test-fed label allocation.
+
+/// The 12 witnesses that make Miller–Rabin deterministic for all `u64`.
+const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// `a * b mod m` without overflow.
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `a^e mod m` by square-and-multiply.
+#[inline]
+fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Deterministic primality test for any `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r with d odd.
+    let r = (n - 1).trailing_zeros();
+    let d = (n - 1) >> r;
+    'witness: for &a in &WITNESSES {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The smallest prime strictly greater than `n`, or `None` on `u64` overflow.
+pub fn next_prime(n: u64) -> Option<u64> {
+    let mut candidate = match n {
+        0 | 1 => return Some(2),
+        2 => return Some(3),
+        n => n.checked_add(1 + (n % 2))?, // next odd number after n
+    };
+    loop {
+        if is_prime(candidate) {
+            return Some(candidate);
+        }
+        candidate = candidate.checked_add(2)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sieve::Sieve;
+
+    #[test]
+    fn agrees_with_sieve_up_to_100k() {
+        let sieve = Sieve::new(100_000);
+        for n in 0..=100_000u64 {
+            assert_eq!(is_prime(n), sieve.is_prime(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1 (Mersenne)
+        assert!(is_prime(4_294_967_311)); // smallest prime > 2^32
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(18_446_744_073_709_551_615)); // u64::MAX = 3·5·17·257·641·65537·6700417
+    }
+
+    #[test]
+    fn strong_pseudoprimes_are_rejected() {
+        // Carmichael numbers and classic base-2 strong pseudoprimes.
+        for n in [561u64, 1105, 1729, 2047, 3215031751, 3825123056546413051] {
+            assert!(!is_prime(n), "n={n} is composite");
+        }
+    }
+
+    #[test]
+    fn perfect_squares_of_primes_are_composite() {
+        for p in [3u64, 5, 101, 65537, 2_147_483_647] {
+            assert!(!is_prime(p * p));
+        }
+    }
+
+    #[test]
+    fn next_prime_walks_the_sequence() {
+        assert_eq!(next_prime(0), Some(2));
+        assert_eq!(next_prime(2), Some(3));
+        assert_eq!(next_prime(3), Some(5));
+        assert_eq!(next_prime(7919), Some(7927));
+        assert_eq!(next_prime(2_147_483_646), Some(2_147_483_647));
+        assert_eq!(next_prime(18_446_744_073_709_551_557), None);
+    }
+}

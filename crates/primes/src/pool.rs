@@ -1,0 +1,168 @@
+//! [`PrimePool`]: the stateful prime allocator behind algorithm `PrimeLabel`
+//! (Figure 7 of the paper).
+//!
+//! The algorithm calls three functions:
+//!
+//! * `getReservedPrime()` — a prime from a reserved set of the *smallest*
+//!   primes, kept for the top levels of the tree (Opt1): labels near the
+//!   root are inherited by every descendant, so small factors there shrink
+//!   the whole document's labels.
+//! * `getPrime()` — the next smallest prime not yet handed out.
+//! * `getPower2(n)` — `2^n` for the n-th leaf child (Opt2), which is why the
+//!   general pool can be asked to skip the prime 2 (odd-only mode): under
+//!   Opt2, oddness of a label identifies internal nodes (Property 3).
+//!
+//! Each prime is handed out **at most once** across both pools — that is the
+//! invariant that makes top-down labels collision-free.
+
+use crate::PrimeIterator;
+
+/// Stateful allocator of unique primes with an optional reserved low pool.
+#[derive(Debug, Clone)]
+pub struct PrimePool {
+    /// Reserved smallest primes, consumed front to back by `reserved()`.
+    reserved: Vec<u64>,
+    /// Position of the next unconsumed reserved prime.
+    reserved_next: usize,
+    /// Stream for the general pool, positioned after the reserved primes.
+    general: PrimeIterator,
+    /// Skip the prime 2 entirely (Opt2 keeps internal labels odd).
+    odd_only: bool,
+    handed_out: u64,
+}
+
+impl PrimePool {
+    /// A pool with `reserve` small primes set aside and, when `odd_only` is
+    /// set, the prime 2 excluded from both pools.
+    pub fn new(reserve: usize, odd_only: bool) -> Self {
+        let mut stream = PrimeIterator::new();
+        if odd_only {
+            stream.next(); // discard 2
+        }
+        let reserved: Vec<u64> = stream.by_ref().take(reserve).collect();
+        PrimePool { reserved, reserved_next: 0, general: stream, odd_only, handed_out: 0 }
+    }
+
+    /// A pool with no reservation and 2 included — the unoptimized scheme.
+    pub fn unreserved() -> Self {
+        Self::new(0, false)
+    }
+
+    /// `true` iff the prime 2 is excluded (Opt2 mode).
+    pub fn is_odd_only(&self) -> bool {
+        self.odd_only
+    }
+
+    /// Number of primes handed out so far (both pools).
+    pub fn handed_out(&self) -> u64 {
+        self.handed_out
+    }
+
+    /// `getReservedPrime()`: the next reserved small prime, falling back to
+    /// the general pool when the reservation is exhausted.
+    pub fn reserved(&mut self) -> u64 {
+        if self.reserved_next < self.reserved.len() {
+            let p = self.reserved[self.reserved_next];
+            self.reserved_next += 1;
+            self.handed_out += 1;
+            p
+        } else {
+            self.general_prime()
+        }
+    }
+
+    /// `getPrime()`: the next smallest prime not yet handed out from the
+    /// general pool (never touches the unconsumed reservation).
+    pub fn general_prime(&mut self) -> u64 {
+        self.handed_out += 1;
+        self.general.next().expect("prime stream is unbounded")
+    }
+
+    /// Remaining reserved primes (for diagnostics and tests).
+    pub fn reserved_remaining(&self) -> &[u64] {
+        &self.reserved[self.reserved_next..]
+    }
+}
+
+/// `getPower2(n)`: the self-label of the n-th leaf child under Opt2.
+///
+/// # Panics
+/// Panics if `n == 0` (leaf positions are 1-indexed) or `n > 63`; the
+/// labeling layer switches leaves beyond a threshold back to primes, exactly
+/// as §3.2 prescribes ("when the size of a label in a leaf node reaches some
+/// pre-determined threshold, we can use other prime numbers instead").
+pub fn power_of_two_label(n: u32) -> u64 {
+    assert!(n >= 1, "leaf positions are 1-indexed");
+    assert!(n <= 63, "2^{n} exceeds the leaf-label threshold; use a prime");
+    1u64 << n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_then_general_are_disjoint_and_increasing() {
+        let mut pool = PrimePool::new(4, false);
+        let r: Vec<u64> = (0..4).map(|_| pool.reserved()).collect();
+        assert_eq!(r, [2, 3, 5, 7]);
+        let g: Vec<u64> = (0..4).map(|_| pool.general_prime()).collect();
+        assert_eq!(g, [11, 13, 17, 19]);
+        assert_eq!(pool.handed_out(), 8);
+    }
+
+    #[test]
+    fn odd_only_skips_two() {
+        let mut pool = PrimePool::new(3, true);
+        assert_eq!(pool.reserved(), 3);
+        assert_eq!(pool.reserved(), 5);
+        assert_eq!(pool.general_prime(), 11); // 7 still sits in the reservation
+        assert_eq!(pool.reserved(), 7);
+    }
+
+    #[test]
+    fn exhausted_reservation_falls_back() {
+        let mut pool = PrimePool::new(1, false);
+        assert_eq!(pool.reserved(), 2);
+        assert_eq!(pool.reserved(), 3); // falls through to the general pool
+        assert_eq!(pool.general_prime(), 5);
+    }
+
+    #[test]
+    fn general_never_consumes_reservation() {
+        let mut pool = PrimePool::new(2, false);
+        assert_eq!(pool.general_prime(), 5);
+        assert_eq!(pool.reserved_remaining(), &[2, 3]);
+        assert_eq!(pool.reserved(), 2);
+    }
+
+    #[test]
+    fn no_prime_is_ever_repeated() {
+        let mut pool = PrimePool::new(5, true);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            let p = if i % 3 == 0 { pool.reserved() } else { pool.general_prime() };
+            assert!(seen.insert(p), "prime {p} handed out twice");
+        }
+    }
+
+    #[test]
+    fn power_of_two_labels() {
+        assert_eq!(power_of_two_label(1), 2);
+        assert_eq!(power_of_two_label(2), 4);
+        assert_eq!(power_of_two_label(10), 1024);
+        assert_eq!(power_of_two_label(63), 1 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn power_of_two_zero_panics() {
+        power_of_two_label(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn power_of_two_overflow_panics() {
+        power_of_two_label(64);
+    }
+}

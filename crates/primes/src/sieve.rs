@@ -1,0 +1,213 @@
+//! Sieve of Eratosthenes (bounded) and a segmented variant for streaming.
+
+/// A bounded sieve of Eratosthenes over `[0, limit]`.
+///
+/// Memory: one bit per odd number. Construction is O(n log log n).
+#[derive(Debug, Clone)]
+pub struct Sieve {
+    limit: u64,
+    /// `odd_composite[i]` covers the odd number `2i + 1`; index 0 (the number
+    /// 1) is marked composite by construction.
+    odd_composite: Vec<bool>,
+}
+
+impl Sieve {
+    /// Sieves all primes up to and including `limit`.
+    pub fn new(limit: u64) -> Self {
+        let half = (limit / 2 + 1) as usize;
+        let mut odd_composite = vec![false; half];
+        if !odd_composite.is_empty() {
+            odd_composite[0] = true; // the number 1
+        }
+        let mut i = 1usize; // the odd number 3
+        while (2 * i + 1) * (2 * i + 1) <= limit as usize {
+            if !odd_composite[i] {
+                let p = 2 * i + 1;
+                // Start at p², stepping 2p through odd multiples only.
+                let mut m = (p * p - 1) / 2;
+                while m < half {
+                    odd_composite[m] = true;
+                    m += p;
+                }
+            }
+            i += 1;
+        }
+        Sieve { limit, odd_composite }
+    }
+
+    /// The sieving bound.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// `true` iff `n` is prime. `n` must be within the sieved bound.
+    ///
+    /// # Panics
+    /// Panics if `n > limit`.
+    pub fn is_prime(&self, n: u64) -> bool {
+        assert!(n <= self.limit, "{n} exceeds sieve limit {}", self.limit);
+        match n {
+            0 | 1 => false,
+            2 => true,
+            n if n % 2 == 0 => false,
+            n => !self.odd_composite[(n / 2) as usize],
+        }
+    }
+
+    /// Iterates over all sieved primes in increasing order.
+    pub fn primes(&self) -> impl Iterator<Item = u64> + '_ {
+        let two = if self.limit >= 2 { Some(2u64) } else { None };
+        two.into_iter().chain(
+            self.odd_composite
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| !c)
+                .map(|(i, _)| 2 * i as u64 + 1)
+                .filter(move |&p| p <= self.limit),
+        )
+    }
+
+    /// π(n) restricted to the sieve: the number of primes `<= n`.
+    ///
+    /// # Panics
+    /// Panics if `n > limit`.
+    pub fn prime_count(&self, n: u64) -> usize {
+        assert!(n <= self.limit, "{n} exceeds sieve limit {}", self.limit);
+        self.primes().take_while(|&p| p <= n).count()
+    }
+}
+
+/// A segmented sieve: produces primes window by window without materializing
+/// a bit per integer up to the high-water mark. Backs [`crate::PrimeIterator`].
+#[derive(Debug, Clone)]
+pub struct SegmentedSieve {
+    /// Primes up to the square root of the current frontier.
+    base: Vec<u64>,
+    /// Next unsieved number (inclusive).
+    frontier: u64,
+    segment_len: u64,
+}
+
+impl SegmentedSieve {
+    /// Default window width: fits in L1/L2 comfortably.
+    pub const DEFAULT_SEGMENT: u64 = 1 << 16;
+
+    /// Creates a segmented sieve starting at 2.
+    pub fn new() -> Self {
+        SegmentedSieve { base: Vec::new(), frontier: 2, segment_len: Self::DEFAULT_SEGMENT }
+    }
+
+    /// Creates a segmented sieve with a custom window width (min 2).
+    pub fn with_segment_len(segment_len: u64) -> Self {
+        SegmentedSieve { base: Vec::new(), frontier: 2, segment_len: segment_len.max(2) }
+    }
+
+    /// Sieves the next window and returns its primes in increasing order.
+    pub fn next_segment(&mut self) -> Vec<u64> {
+        let lo = self.frontier;
+        let hi = lo.saturating_add(self.segment_len); // exclusive
+        self.frontier = hi;
+
+        // Extend the base primes to cover sqrt(hi).
+        let need = hi.isqrt() + 1;
+        if self.base.last().copied().unwrap_or(0) < need {
+            let sieve = Sieve::new(need);
+            self.base = sieve.primes().collect();
+        }
+
+        let mut composite = vec![false; (hi - lo) as usize];
+        for &p in &self.base {
+            if p * p >= hi {
+                break;
+            }
+            let mut start = p * p;
+            if start < lo {
+                start = lo.div_ceil(p) * p;
+            }
+            let mut m = start;
+            while m < hi {
+                composite[(m - lo) as usize] = true;
+                m += p;
+            }
+        }
+        composite
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| !c)
+            .map(|(i, _)| lo + i as u64)
+            .filter(|&n| n >= 2)
+            .collect()
+    }
+}
+
+impl Default for SegmentedSieve {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let s = Sieve::new(50);
+        let primes: Vec<u64> = s.primes().collect();
+        assert_eq!(primes, [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]);
+    }
+
+    #[test]
+    fn degenerate_limits() {
+        assert_eq!(Sieve::new(0).primes().count(), 0);
+        assert_eq!(Sieve::new(1).primes().count(), 0);
+        assert_eq!(Sieve::new(2).primes().collect::<Vec<_>>(), [2]);
+        assert_eq!(Sieve::new(3).primes().collect::<Vec<_>>(), [2, 3]);
+    }
+
+    #[test]
+    fn is_prime_agrees_with_enumeration() {
+        let s = Sieve::new(1000);
+        let set: std::collections::HashSet<u64> = s.primes().collect();
+        for n in 0..=1000 {
+            assert_eq!(s.is_prime(n), set.contains(&n), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds sieve limit")]
+    fn out_of_range_is_prime_panics() {
+        Sieve::new(10).is_prime(11);
+    }
+
+    #[test]
+    fn prime_count_pi_values() {
+        let s = Sieve::new(100_000);
+        assert_eq!(s.prime_count(10), 4);
+        assert_eq!(s.prime_count(100), 25);
+        assert_eq!(s.prime_count(1000), 168);
+        assert_eq!(s.prime_count(10_000), 1229);
+        assert_eq!(s.prime_count(100_000), 9592);
+    }
+
+    #[test]
+    fn segmented_matches_bounded() {
+        let bounded: Vec<u64> = Sieve::new(300_000).primes().collect();
+        let mut seg = SegmentedSieve::with_segment_len(10_000);
+        let mut streamed = Vec::new();
+        while streamed.len() < bounded.len() {
+            streamed.extend(seg.next_segment());
+        }
+        assert_eq!(&streamed[..bounded.len()], &bounded[..]);
+    }
+
+    #[test]
+    fn segmented_tiny_window() {
+        let mut seg = SegmentedSieve::with_segment_len(2);
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.extend(seg.next_segment());
+        }
+        assert_eq!(&got[..8], &[2, 3, 5, 7, 11, 13, 17, 19]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Predicate-cost instrumentation.
+//!
+//! Figure 15's timing argument rests on what each scheme's structural
+//! predicate *costs*: native integer comparisons for interval, a multi-word
+//! `mod` for prime, a byte-string UDF over long labels for prefix. Wall
+//! clock on any one substrate hides that; this module measures the
+//! substrate-independent quantities instead — how many ancestor tests a
+//! query performs and how many label bits those tests touch — by wrapping
+//! labels in a counting adapter and re-running the ordinary engine.
+
+use crate::engine::{eval_path, OrderOracle, Path};
+use crate::relstore::LabelTable;
+use std::cell::Cell;
+use std::collections::HashMap;
+use xp_labelkit::LabelOps;
+use xp_xmltree::NodeId;
+
+thread_local! {
+    static ANCESTOR_TESTS: Cell<u64> = const { Cell::new(0) };
+    static BITS_TOUCHED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// What a query's structural predicates cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredicateStats {
+    /// Number of ancestor-test evaluations.
+    pub ancestor_tests: u64,
+    /// Total label bits fed into those tests (both operands) — the paper's
+    /// "node labels in the prefix labeling schemes are relatively large,
+    /// and may incur additional disk I/Os" made measurable.
+    pub label_bits_touched: u64,
+}
+
+/// A label wrapper that counts every ancestor test through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountingLabel<L>(pub L);
+
+impl<L: LabelOps> LabelOps for CountingLabel<L> {
+    fn is_ancestor_of(&self, other: &Self) -> bool {
+        ANCESTOR_TESTS.with(|c| c.set(c.get() + 1));
+        BITS_TOUCHED.with(|c| c.set(c.get() + self.0.size_bits() + other.0.size_bits()));
+        self.0.is_ancestor_of(&other.0)
+    }
+
+    fn is_parent_of(&self, other: &Self) -> bool {
+        ANCESTOR_TESTS.with(|c| c.set(c.get() + 1));
+        BITS_TOUCHED.with(|c| c.set(c.get() + self.0.size_bits() + other.0.size_bits()));
+        self.0.is_parent_of(&other.0)
+    }
+
+    fn size_bits(&self) -> u64 {
+        self.0.size_bits()
+    }
+
+    fn level_hint(&self) -> Option<usize> {
+        self.0.level_hint()
+    }
+}
+
+struct MapOracle(HashMap<NodeId, u64>);
+
+impl OrderOracle for MapOracle {
+    fn rank(&self, node: NodeId) -> u64 {
+        self.0[&node]
+    }
+}
+
+/// Evaluates `path` while counting predicate work. Returns the (identical)
+/// result set plus the stats. Ranks are materialized up front so the order
+/// oracle's own cost does not pollute the predicate counters.
+pub fn measure_predicates<L: LabelOps>(
+    table: &LabelTable<L>,
+    oracle: &dyn OrderOracle,
+    path: &Path,
+) -> (Vec<NodeId>, PredicateStats) {
+    let counting = table.map_labels(|l| CountingLabel(l.clone()));
+    let ranks: HashMap<NodeId, u64> =
+        table.rows().iter().map(|r| (r.node, oracle.rank(r.node))).collect();
+    ANCESTOR_TESTS.with(|c| c.set(0));
+    BITS_TOUCHED.with(|c| c.set(0));
+    let result = eval_path(&counting, &MapOracle(ranks), path);
+    let stats = PredicateStats {
+        ancestor_tests: ANCESTOR_TESTS.with(Cell::get),
+        label_bits_touched: BITS_TOUCHED.with(Cell::get),
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluators::{Evaluator, IntervalEvaluator, Prefix2Evaluator, PrimeEvaluator};
+    use xp_xmltree::parse;
+
+    fn play() -> xp_xmltree::XmlTree {
+        parse(
+            "<play><act><scene><speech><line/><line/></speech></scene></act>\
+             <act><scene><speech><line/></speech></scene></act></play>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn results_are_unchanged_by_instrumentation() {
+        let tree = play();
+        let ev = IntervalEvaluator::build(&tree);
+        for q in ["//act//line", "//act/following::line", "//play//scene"] {
+            let path = Path::parse(q).unwrap();
+            let plain = ev.eval(&path);
+            let ranks: HashMap<NodeId, u64> =
+                ev.table().rows().iter().map(|r| (r.node, r.label.order)).collect();
+            let (counted, stats) = measure_predicates(ev.table(), &MapOracle(ranks), &path);
+            assert_eq!(plain, counted, "{q}");
+            assert!(stats.ancestor_tests > 0, "{q} did structural work");
+        }
+    }
+
+    #[test]
+    fn predicate_bit_traffic_orders_the_schemes() {
+        // Same query, same plan, same result — the only difference between
+        // schemes is how many label bits their predicates chew through.
+        // Prime labels are whole path products, so they are the widest;
+        // interval labels are two fixed log₂(N) numbers. (Average CKM
+        // prefix labels land between the two on this corpus — the paper's
+        // prefix penalty came from its DBMS UDF, not raw bit traffic; see
+        // EXPERIMENTS.md.)
+        let tree = xp_datagen::shakespeare::generate_play(
+            "x",
+            3,
+            &xp_datagen::shakespeare::PlayParams::hamlet_like(),
+        );
+        let path = Path::parse("//SCENE//LINE").unwrap();
+
+        let interval = IntervalEvaluator::build(&tree);
+        let iv_ranks: HashMap<NodeId, u64> =
+            interval.table().rows().iter().map(|r| (r.node, r.label.order)).collect();
+        let (r1, s_interval) = measure_predicates(interval.table(), &MapOracle(iv_ranks), &path);
+
+        let prefix = Prefix2Evaluator::build(&tree);
+        let px_ranks: HashMap<NodeId, u64> = {
+            let mut nodes: Vec<NodeId> = prefix.table().rows().iter().map(|r| r.node).collect();
+            nodes.sort_by(|&a, &b| prefix.table().label(a).bits().cmp(prefix.table().label(b).bits()));
+            nodes.into_iter().enumerate().map(|(i, n)| (n, i as u64)).collect()
+        };
+        let (r2, s_prefix) = measure_predicates(prefix.table(), &MapOracle(px_ranks), &path);
+
+        let prime = PrimeEvaluator::build(&tree, 5);
+        let pr_ranks: HashMap<NodeId, u64> = prime
+            .table()
+            .rows()
+            .iter()
+            .map(|r| (r.node, prime.ordered().order_of(r.node)))
+            .collect();
+        let (r3, s_prime) = measure_predicates(prime.table(), &MapOracle(pr_ranks), &path);
+
+        assert_eq!(r1.len(), r2.len());
+        assert_eq!(r1.len(), r3.len());
+        assert_eq!(s_interval.ancestor_tests, s_prefix.ancestor_tests, "same plan");
+        assert_eq!(s_interval.ancestor_tests, s_prime.ancestor_tests, "same plan");
+        assert!(
+            s_prime.label_bits_touched > s_interval.label_bits_touched,
+            "prime {} vs interval {}",
+            s_prime.label_bits_touched,
+            s_interval.label_bits_touched
+        );
+        assert!(
+            s_prime.label_bits_touched > s_prefix.label_bits_touched,
+            "prime {} vs prefix {}",
+            s_prime.label_bits_touched,
+            s_prefix.label_bits_touched
+        );
+    }
+
+    #[test]
+    fn prime_ordered_table_is_wide() {
+        let tree = play();
+        let prime = PrimeEvaluator::build(&tree, 5);
+        let ranks: HashMap<NodeId, u64> = prime
+            .table()
+            .rows()
+            .iter()
+            .map(|r| (r.node, prime.ordered().order_of(r.node)))
+            .collect();
+        let path = Path::parse("//act//line").unwrap();
+        let (_, stats) = measure_predicates(prime.table(), &MapOracle(ranks), &path);
+        assert!(stats.label_bits_touched > 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Stack-based structural joins.
+//!
+//! The paper's §1 frames query evaluation around "containment joins and
+//! structural joins whereby the pattern tree is composed by matching
+//! ancestor and descendant pairs". The naive way to match an ancestor set
+//! `A` against a candidate set `D` is the O(|A|·|D|) nested loop; the
+//! classic stack-tree join does it in one merged pass over both sets in
+//! document order, exploiting two facts:
+//!
+//! * an ancestor always precedes its descendants in document order, and
+//! * the `A`-elements that are ancestors of the current node form a nested
+//!   chain — a stack.
+//!
+//! [`ancestor_descendant_counts`] is the single primitive: one pass that
+//! reports, for every target, how many `A`-elements are its proper
+//! ancestors, and for every `A`-element, how many targets lie in its
+//! subtree. Every position-free axis of the engine reduces to it.
+
+use xp_labelkit::LabelOps;
+
+/// One element of a join input: `(document-order rank, label)`.
+pub type Ranked<'a, L> = (u64, &'a L);
+
+/// Output of [`ancestor_descendant_counts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCounts {
+    /// For each target (in the order given): the number of `ancestors`
+    /// elements that are proper ancestors of it.
+    pub ancestors_of_target: Vec<usize>,
+    /// For each ancestor (in the order given): the number of targets that
+    /// are proper descendants of it.
+    pub targets_under_ancestor: Vec<usize>,
+}
+
+/// The stack-tree join. Both inputs must be sorted by rank (strictly
+/// increasing); ranks must come from one common document order, and a rank
+/// may appear in both lists (a node joined with itself is never its own
+/// ancestor).
+///
+/// Runs in `O(|A| + Σ_t chain-depth(t))` after the inputs are sorted.
+///
+/// # Panics
+/// Panics (debug assertion) if an input is not strictly increasing in rank.
+pub fn ancestor_descendant_counts<L: LabelOps>(
+    ancestors: &[Ranked<'_, L>],
+    targets: &[Ranked<'_, L>],
+) -> JoinCounts {
+    debug_assert!(ancestors.windows(2).all(|w| w[0].0 < w[1].0), "ancestors unsorted");
+    debug_assert!(targets.windows(2).all(|w| w[0].0 < w[1].0), "targets unsorted");
+
+    let mut ancestors_of_target = vec![0usize; targets.len()];
+    let mut targets_under_ancestor = vec![0usize; ancestors.len()];
+    // Stack of indices into `ancestors`, always a nested ancestor chain.
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_a = 0usize;
+
+    for (t_idx, &(t_rank, t_label)) in targets.iter().enumerate() {
+        // Consume every ancestor that starts before this target.
+        while next_a < ancestors.len() && ancestors[next_a].0 < t_rank {
+            let (_, a_label) = ancestors[next_a];
+            // Maintain the chain invariant: pop everything that does not
+            // enclose the incoming element.
+            while let Some(&top) = stack.last() {
+                if ancestors[top].1.is_ancestor_of(a_label) {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(next_a);
+            next_a += 1;
+        }
+        // Pop chain elements whose subtrees ended before this target.
+        while let Some(&top) = stack.last() {
+            if ancestors[top].1.is_ancestor_of(t_label) {
+                break;
+            }
+            stack.pop();
+        }
+        // Everything remaining on the stack is an ancestor of the target.
+        ancestors_of_target[t_idx] = stack.len();
+        for &a_idx in &stack {
+            targets_under_ancestor[a_idx] += 1;
+        }
+    }
+    JoinCounts { ancestors_of_target, targets_under_ancestor }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_baselines::interval::{IntervalLabel, IntervalScheme};
+    use xp_labelkit::Scheme;
+    use xp_xmltree::{parse, NodeId, XmlTree};
+
+    fn ranked<'a>(
+        tree: &XmlTree,
+        doc: &'a xp_labelkit::LabeledDoc<IntervalLabel>,
+        nodes: &[NodeId],
+    ) -> Vec<(u64, &'a IntervalLabel)> {
+        let mut v: Vec<(u64, &IntervalLabel)> =
+            nodes.iter().map(|&n| (doc.label(n).order, doc.label(n))).collect();
+        let _ = tree;
+        v.sort_by_key(|&(r, _)| r);
+        v
+    }
+
+    /// Brute-force reference.
+    fn naive<L: LabelOps>(ancestors: &[Ranked<'_, L>], targets: &[Ranked<'_, L>]) -> JoinCounts {
+        let ancestors_of_target = targets
+            .iter()
+            .map(|(_, t)| ancestors.iter().filter(|(_, a)| a.is_ancestor_of(t)).count())
+            .collect();
+        let targets_under_ancestor = ancestors
+            .iter()
+            .map(|(_, a)| targets.iter().filter(|(_, t)| a.is_ancestor_of(t)).count())
+            .collect();
+        JoinCounts { ancestors_of_target, targets_under_ancestor }
+    }
+
+    fn check(tree: &XmlTree, a_nodes: &[NodeId], t_nodes: &[NodeId]) {
+        let doc = IntervalScheme::dense().label(tree);
+        let a = ranked(tree, &doc, a_nodes);
+        let t = ranked(tree, &doc, t_nodes);
+        assert_eq!(ancestor_descendant_counts(&a, &t), naive(&a, &t));
+    }
+
+    #[test]
+    fn matches_naive_on_a_small_tree() {
+        let tree = parse("<a><b><c/><d/></b><e><f><g/></f></e><h/></a>").unwrap();
+        let all: Vec<NodeId> = tree.elements().collect();
+        check(&tree, &all, &all);
+        check(&tree, &all[..3], &all[3..]);
+        check(&tree, &all[4..], &all[..4]);
+        check(&tree, &[], &all);
+        check(&tree, &all, &[]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        for seed in 0..8 {
+            let tree = xp_datagen::builders::random_tree(
+                seed,
+                &xp_datagen::builders::RandomTreeParams {
+                    nodes: 150,
+                    max_depth: 8,
+                    max_fanout: 6,
+                    tag_variety: 4,
+                },
+            );
+            let all: Vec<NodeId> = tree.elements().collect();
+            let evens: Vec<NodeId> = all.iter().copied().step_by(2).collect();
+            let thirds: Vec<NodeId> = all.iter().copied().step_by(3).collect();
+            check(&tree, &evens, &thirds);
+            check(&tree, &thirds, &evens);
+            check(&tree, &all, &evens);
+        }
+    }
+
+    #[test]
+    fn self_pairs_are_not_ancestors() {
+        let tree = parse("<a><b/></a>").unwrap();
+        let all: Vec<NodeId> = tree.elements().collect();
+        let doc = IntervalScheme::dense().label(&tree);
+        let both = ranked(&tree, &doc, &all);
+        let counts = ancestor_descendant_counts(&both, &both);
+        // a has no ancestors in the set; b has one (a). a covers b only.
+        assert_eq!(counts.ancestors_of_target, vec![0, 1]);
+        assert_eq!(counts.targets_under_ancestor, vec![1, 0]);
+    }
+
+    #[test]
+    fn deep_chain_counts_full_depth() {
+        let tree = xp_datagen::builders::chain(30);
+        let all: Vec<NodeId> = tree.elements().collect();
+        let doc = IntervalScheme::dense().label(&tree);
+        let both = ranked(&tree, &doc, &all);
+        let counts = ancestor_descendant_counts(&both, &both);
+        // The i-th node (0-based) has exactly i ancestors above it.
+        assert_eq!(counts.ancestors_of_target, (0..=30).collect::<Vec<_>>());
+        // And covers the 30 - i nodes below.
+        assert_eq!(counts.targets_under_ancestor, (0..=30).rev().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,39 @@
+//! # xp-query — a label-predicate query engine
+//!
+//! The paper evaluates XPath queries by translating them "into SQL using an
+//! approach similar to \[15\]" and running them over a label table in an
+//! RDBMS (§5.2): ancestor/descendant steps become label predicates (`mod`
+//! for the prime scheme, interval containment for XISS, a prefix-test
+//! user-defined function for the prefix schemes), and ordered axes compare
+//! document-order numbers — for the prime scheme, derived on the fly from
+//! the SC table.
+//!
+//! This crate is the equivalent substrate:
+//!
+//! * [`relstore::LabelTable`] — an in-memory columnar label table: one row
+//!   per element with `(node, tag, parent, label)`, plus a tag index. The
+//!   `parent` column mirrors the parent-label column such relational
+//!   encodings carry for child-axis joins.
+//! * [`engine`] — a small XPath subset (child/descendant axes, positional
+//!   predicates, `following`, `preceding`, `following-sibling`,
+//!   `preceding-sibling`) parsed into [`engine::Path`] and evaluated purely
+//!   against labels + an order oracle.
+//! * [`evaluators`] — one evaluator per scheme: Interval, Prefix-2, and
+//!   Prime (whose order oracle *is* the SC table).
+//! * [`queries`] — the nine test queries of Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod evaluators;
+pub mod instrument;
+pub mod join;
+pub mod plan;
+pub mod queries;
+pub mod relstore;
+pub mod sql;
+
+pub use engine::Path;
+pub use evaluators::{Evaluator, IntervalEvaluator, Prefix2Evaluator, PrimeEvaluator};
+pub use relstore::LabelTable;

@@ -1,0 +1,108 @@
+//! The nine test queries of Table 2.
+//!
+//! Two of the paper's printed paths cannot return rows on the standard
+//! play structure (`PERSONA` lives under `PERSONAE`, not under `ACT`; an
+//! `ACT`'s following *siblings* are `ACT`s, not `SPEECH`es), so Q3 and Q7
+//! are normalized to the evidently intended targets; the deviations are
+//! recorded here and in EXPERIMENTS.md. Leading context steps (`/act[5]`,
+//! `/speech[4]`) are anchored under `/PLAY` the way the corpus is rooted.
+
+use crate::evaluators::Evaluator;
+
+/// One Table 2 query.
+#[derive(Debug, Clone, Copy)]
+pub struct TestQuery {
+    /// "Q1" … "Q9".
+    pub id: &'static str,
+    /// The paper's printed path.
+    pub paper_path: &'static str,
+    /// The path we execute (uppercase tags, normalized; see module docs).
+    pub path: &'static str,
+}
+
+/// All nine queries, in Table 2 order.
+pub const TEST_QUERIES: [TestQuery; 9] = [
+    TestQuery { id: "Q1", paper_path: "/play//act[4]", path: "//PLAY//ACT[4]" },
+    TestQuery {
+        id: "Q2",
+        paper_path: "/play//act[3]//Following::act",
+        path: "//PLAY//ACT[3]/following::ACT",
+    },
+    TestQuery { id: "Q3", paper_path: "/play//act//persona", path: "//PLAY//PERSONA" },
+    TestQuery {
+        id: "Q4",
+        paper_path: "/act[5]//Following::speech",
+        path: "//PLAY//ACT[5]/following::SPEECH",
+    },
+    TestQuery {
+        id: "Q5",
+        paper_path: "/speech[4]//Preceding::line",
+        path: "//PLAY//SCENE//SPEECH[4]/preceding::LINE",
+    },
+    TestQuery { id: "Q6", paper_path: "/play//act[3]//line", path: "//PLAY//ACT[3]//LINE" },
+    TestQuery {
+        id: "Q7",
+        paper_path: "/act//Following-Sibling::speech[3]",
+        path: "//PLAY//SPEECH/following-sibling::SPEECH[3]",
+    },
+    TestQuery { id: "Q8", paper_path: "/play//speech", path: "//PLAY//SPEECH" },
+    TestQuery { id: "Q9", paper_path: "/play//line", path: "//PLAY//LINE" },
+];
+
+/// Runs all nine queries on one evaluator, returning `(id, result count)`.
+pub fn run_all(ev: &dyn Evaluator) -> Vec<(&'static str, usize)> {
+    TEST_QUERIES.iter().map(|q| (q.id, ev.eval_str(q.path).len())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluators::{IntervalEvaluator, Prefix2Evaluator, PrimeEvaluator};
+    use xp_datagen::shakespeare::{PlayParams, ShakespeareCorpus};
+
+    fn small_corpus() -> xp_xmltree::XmlTree {
+        ShakespeareCorpus::generate_with(2, 7, &PlayParams::miniature()).tree
+    }
+
+    #[test]
+    fn queries_parse() {
+        for q in &TEST_QUERIES {
+            crate::engine::Path::parse(q.path).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        }
+    }
+
+    #[test]
+    fn all_schemes_return_identical_counts() {
+        let tree = small_corpus();
+        let interval = run_all(&IntervalEvaluator::build(&tree));
+        let prefix = run_all(&Prefix2Evaluator::build(&tree));
+        let prime = run_all(&PrimeEvaluator::build(&tree, 5));
+        assert_eq!(interval, prefix);
+        assert_eq!(interval, prime);
+    }
+
+    #[test]
+    fn cardinalities_are_ordered_like_table2() {
+        // Table 2's counts grow from Q1 (hundreds) to Q9 (the full line
+        // set); on any play corpus Q8 < Q9 and Q1 <= Q8 must hold.
+        let tree = small_corpus();
+        let counts: std::collections::HashMap<&str, usize> =
+            run_all(&PrimeEvaluator::build(&tree, 5)).into_iter().collect();
+        assert!(counts["Q9"] > counts["Q8"], "lines outnumber speeches");
+        assert!(counts["Q8"] > counts["Q1"], "speeches outnumber 4th acts");
+        assert!(counts["Q3"] > 0, "personae exist");
+        assert!(counts["Q6"] > 0, "act 3 has lines");
+    }
+
+    #[test]
+    fn q2_and_q4_only_see_later_material() {
+        let tree = small_corpus();
+        let ev = PrimeEvaluator::build(&tree, 5);
+        // A 3-act play: following an act[3] context there are no ACTs within
+        // the same play, but the second replica's acts follow the first
+        // replica's context (document order is global) — so the count equals
+        // the acts of later plays.
+        let q2 = ev.eval_str(TEST_QUERIES[1].path).len();
+        assert_eq!(q2, 3, "acts of the later replica");
+    }
+}

@@ -1,0 +1,208 @@
+//! [`LabelTable`]: the columnar label table queries run against.
+
+use std::collections::HashMap;
+use xp_labelkit::{LabelOps, LabeledDoc};
+use xp_xmltree::{NodeId, XmlTree};
+
+/// One row of the label table.
+#[derive(Debug, Clone)]
+pub struct Row<L> {
+    /// The element this row describes.
+    pub node: NodeId,
+    /// Interned tag id (see [`LabelTable::tag_name`]).
+    pub tag: u32,
+    /// The parent element — the relational encoding's parent-label column.
+    pub parent: Option<NodeId>,
+    /// Concatenated *direct* text children — the value column relational
+    /// XML encodings carry, used by `[="…"]` predicates (the paper's
+    /// `book/author[2]/"John"` query shape).
+    pub text: Option<String>,
+    /// The scheme's label.
+    pub label: L,
+}
+
+/// An in-memory columnar label table with a tag index.
+#[derive(Debug, Clone)]
+pub struct LabelTable<L> {
+    rows: Vec<Row<L>>,
+    tag_names: Vec<String>,
+    tag_ids: HashMap<String, u32>,
+    by_tag: Vec<Vec<usize>>,
+    row_of_node: HashMap<NodeId, usize>,
+    root: NodeId,
+}
+
+impl<L: LabelOps> LabelTable<L> {
+    /// Builds the table from a tree and its labels, rows in document order.
+    pub fn build(tree: &XmlTree, labels: &LabeledDoc<L>) -> Self {
+        let mut table = LabelTable {
+            rows: Vec::new(),
+            tag_names: Vec::new(),
+            tag_ids: HashMap::new(),
+            by_tag: Vec::new(),
+            row_of_node: HashMap::new(),
+            root: tree.root(),
+        };
+        for node in tree.elements() {
+            let tag = tree.tag(node).expect("elements have tags");
+            let tag_id = table.intern(tag);
+            let idx = table.rows.len();
+            let text: String = tree
+                .children(node)
+                .filter_map(|c| tree.text(c))
+                .collect::<Vec<_>>()
+                .join("");
+            table.rows.push(Row {
+                node,
+                tag: tag_id,
+                parent: tree.parent(node),
+                text: if text.is_empty() { None } else { Some(text) },
+                label: labels.label(node).clone(),
+            });
+            table.by_tag[tag_id as usize].push(idx);
+            table.row_of_node.insert(node, idx);
+        }
+        table
+    }
+
+    fn intern(&mut self, tag: &str) -> u32 {
+        if let Some(&id) = self.tag_ids.get(tag) {
+            return id;
+        }
+        let id = self.tag_names.len() as u32;
+        self.tag_names.push(tag.to_string());
+        self.tag_ids.insert(tag.to_string(), id);
+        self.by_tag.push(Vec::new());
+        id
+    }
+
+    /// The document root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The interned name of a tag id.
+    pub fn tag_name(&self, id: u32) -> &str {
+        &self.tag_names[id as usize]
+    }
+
+    /// All rows, document order.
+    pub fn rows(&self) -> &[Row<L>] {
+        &self.rows
+    }
+
+    /// Row indices of elements with this tag, document order at build time.
+    /// Unknown tags yield an empty scan.
+    pub fn scan_tag(&self, tag: &str) -> &[usize] {
+        match self.tag_ids.get(tag) {
+            Some(&id) => &self.by_tag[id as usize],
+            None => &[],
+        }
+    }
+
+    /// The row describing `node`.
+    pub fn row_of(&self, node: NodeId) -> &Row<L> {
+        &self.rows[self.row_of_node[&node]]
+    }
+
+    /// The label of `node`.
+    pub fn label(&self, node: NodeId) -> &L {
+        &self.row_of(node).label
+    }
+
+    /// Rebuilds the table with every label transformed — used by the
+    /// instrumentation layer to wrap labels in counting adapters.
+    pub fn map_labels<M: LabelOps>(&self, f: impl Fn(&L) -> M) -> LabelTable<M> {
+        LabelTable {
+            rows: self
+                .rows
+                .iter()
+                .map(|r| Row {
+                    node: r.node,
+                    tag: r.tag,
+                    parent: r.parent,
+                    text: r.text.clone(),
+                    label: f(&r.label),
+                })
+                .collect(),
+            tag_names: self.tag_names.clone(),
+            tag_ids: self.tag_ids.clone(),
+            by_tag: self.by_tag.clone(),
+            row_of_node: self.row_of_node.clone(),
+            root: self.root,
+        }
+    }
+
+    /// Total fixed-width storage footprint in bits: rows × the widest label
+    /// (§5.1.2 compares "the size of fixed length labels").
+    pub fn fixed_width_bits(&self) -> u64 {
+        let widest = self.rows.iter().map(|r| r.label.size_bits()).max().unwrap_or(0);
+        widest * self.rows.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_baselines::interval::IntervalScheme;
+    use xp_labelkit::Scheme;
+    use xp_xmltree::parse;
+
+    fn table() -> (XmlTree, LabelTable<xp_baselines::IntervalLabel>) {
+        let tree = parse("<play><act><scene/></act><act/></play>").unwrap();
+        let doc = IntervalScheme::dense().label(&tree);
+        let t = LabelTable::build(&tree, &doc);
+        (tree, t)
+    }
+
+    #[test]
+    fn rows_are_in_document_order() {
+        let (tree, t) = table();
+        assert_eq!(t.len(), 4);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        let row_nodes: Vec<NodeId> = t.rows().iter().map(|r| r.node).collect();
+        assert_eq!(nodes, row_nodes);
+    }
+
+    #[test]
+    fn tag_scan_finds_all_occurrences() {
+        let (_, t) = table();
+        assert_eq!(t.scan_tag("act").len(), 2);
+        assert_eq!(t.scan_tag("scene").len(), 1);
+        assert_eq!(t.scan_tag("play").len(), 1);
+        assert!(t.scan_tag("nothing").is_empty());
+    }
+
+    #[test]
+    fn parent_column_matches_tree() {
+        let (tree, t) = table();
+        for row in t.rows() {
+            assert_eq!(row.parent, tree.parent(row.node));
+        }
+    }
+
+    #[test]
+    fn row_lookup_by_node() {
+        let (tree, t) = table();
+        let act = tree.first_child(tree.root()).unwrap();
+        assert_eq!(t.row_of(act).node, act);
+        assert_eq!(t.tag_name(t.row_of(act).tag), "act");
+    }
+
+    #[test]
+    fn fixed_width_footprint() {
+        let (_, t) = table();
+        let widest = t.rows().iter().map(|r| r.label.size_bits()).max().unwrap();
+        assert_eq!(t.fixed_width_bits(), widest * 4);
+    }
+}

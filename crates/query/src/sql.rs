@@ -1,0 +1,235 @@
+//! XPath → SQL translation, per scheme.
+//!
+//! §5.2: "All these queries are first transformed into SQL using an
+//! approach similar to \[15\]. Operations that are used by interval-based
+//! labeling scheme e.g. '>', '<', and the prime number labeling scheme e.g.
+//! 'mod', '>', '<', '=' are directly supported by the DBMS. The operation
+//! 'check prefix' used in the prefix labeling scheme is defined as a
+//! user-defined function."
+//!
+//! [`to_sql`] reproduces that translation over a relational schema
+//! `label_table(node_id, tag, parent_id, text, label…)`, one self-join per
+//! path step. The structural predicate is the only thing that differs
+//! between schemes — which is the paper's entire point:
+//!
+//! | scheme   | ancestor predicate                                  |
+//! |----------|-----------------------------------------------------|
+//! | Interval | `a.ord < d.ord AND d.ord <= a.ord + a.size`         |
+//! | Prime    | `MOD(d.label, a.label) = 0 AND d.label <> a.label`  |
+//! | Prefix   | `check_prefix(a.label, d.label)` (UDF)              |
+//!
+//! The generated SQL is text only — the in-memory engine (`crate::engine`)
+//! is the executor — but it is the exact statement a DBMS deployment would
+//! run, and the tests pin its shape.
+
+use crate::engine::{Axis, Path, Step};
+use std::fmt::Write;
+
+/// The scheme whose predicates the SQL should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlScheme {
+    /// XISS `(ord, size)` columns.
+    Interval,
+    /// A single numeric `label` column; divisibility via `MOD`.
+    Prime,
+    /// A byte-string `label` column; containment via a `check_prefix` UDF.
+    Prefix,
+}
+
+impl SqlScheme {
+    fn table(self) -> &'static str {
+        match self {
+            SqlScheme::Interval => "interval_labels",
+            SqlScheme::Prime => "prime_labels",
+            SqlScheme::Prefix => "prefix_labels",
+        }
+    }
+
+    /// `a` is a proper ancestor of `d`.
+    fn ancestor(self, a: &str, d: &str) -> String {
+        match self {
+            SqlScheme::Interval => {
+                format!("{a}.ord < {d}.ord AND {d}.ord <= {a}.ord + {a}.size")
+            }
+            SqlScheme::Prime => {
+                format!("MOD({d}.label, {a}.label) = 0 AND {d}.label <> {a}.label")
+            }
+            SqlScheme::Prefix => format!("check_prefix({a}.label, {d}.label) = 1"),
+        }
+    }
+
+    /// `x` precedes `y` in document order.
+    fn before(self, x: &str, y: &str) -> String {
+        match self {
+            SqlScheme::Interval => format!("{x}.ord < {y}.ord"),
+            // The prime scheme derives order numbers from the SC table:
+            // sc_order(self_label) = SC mod self_label (§4.1).
+            SqlScheme::Prime => format!("sc_order({x}.self_label) < sc_order({y}.self_label)"),
+            SqlScheme::Prefix => format!("{x}.label < {y}.label"),
+        }
+    }
+}
+
+/// Renders the SQL for a parsed path under a scheme.
+///
+/// Positional predicates translate to the paper's strategy — sort by the
+/// order number and index — expressed as a window function.
+pub fn to_sql(path: &Path, scheme: SqlScheme) -> String {
+    let table = scheme.table();
+    let mut from = Vec::new();
+    let mut wheres = Vec::new();
+    let mut windowed: Vec<(String, usize)> = Vec::new();
+
+    for (i, step) in path.steps.iter().enumerate() {
+        let alias = format!("t{i}");
+        from.push(format!("{table} {alias}"));
+        if step.tag != "*" {
+            wheres.push(format!("{alias}.tag = '{}'", step.tag));
+        }
+        if let Some(v) = &step.value {
+            wheres.push(format!("{alias}.text = '{}'", v.replace('\'', "''")));
+        }
+        if let Some(child_tag) = &step.has_child {
+            wheres.push(format!(
+                "EXISTS (SELECT 1 FROM {table} c WHERE c.parent_id = {alias}.node_id AND c.tag = '{child_tag}')"
+            ));
+        }
+        if i == 0 {
+            if step.axis == Axis::Child {
+                wheres.push(format!("{alias}.parent_id IS NULL"));
+            }
+        } else {
+            let prev = format!("t{}", i - 1);
+            wheres.push(step_predicate(scheme, step, &prev, &alias));
+        }
+        if let Some(n) = step.position {
+            windowed.push((alias.clone(), n));
+        }
+    }
+
+    let last = format!("t{}", path.steps.len() - 1);
+    let mut sql = String::new();
+    let _ = write!(sql, "SELECT DISTINCT {last}.node_id\nFROM {}\n", from.join(", "));
+    if !wheres.is_empty() {
+        let _ = write!(sql, "WHERE {}", wheres.join("\n  AND "));
+    }
+    for (alias, n) in windowed {
+        let _ = write!(
+            sql,
+            "\n  AND {n} = ROW_NUMBER() OVER (PARTITION BY context({alias}) ORDER BY doc_order({alias}))"
+        );
+    }
+    sql.push(';');
+    sql
+}
+
+fn step_predicate(scheme: SqlScheme, step: &Step, prev: &str, cur: &str) -> String {
+    match step.axis {
+        Axis::Child => format!("{cur}.parent_id = {prev}.node_id"),
+        Axis::Descendant => scheme.ancestor(prev, cur),
+        Axis::Following => format!(
+            "{} AND NOT ({})",
+            scheme.before(prev, cur),
+            scheme.ancestor(prev, cur)
+        ),
+        Axis::Preceding => format!(
+            "{} AND NOT ({})",
+            scheme.before(cur, prev),
+            scheme.ancestor(cur, prev)
+        ),
+        Axis::FollowingSibling => format!(
+            "{cur}.parent_id = {prev}.parent_id AND {}",
+            scheme.before(prev, cur)
+        ),
+        Axis::PrecedingSibling => format!(
+            "{cur}.parent_id = {prev}.parent_id AND {}",
+            scheme.before(cur, prev)
+        ),
+        Axis::Parent => format!("{prev}.parent_id = {cur}.node_id"),
+        Axis::Ancestor => scheme.ancestor(cur, prev),
+        Axis::AncestorOrSelf => format!(
+            "({} OR {cur}.node_id = {prev}.node_id)",
+            scheme.ancestor(cur, prev)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sql(path: &str, scheme: SqlScheme) -> String {
+        to_sql(&Path::parse(path).unwrap(), scheme)
+    }
+
+    #[test]
+    fn prime_descendant_uses_mod() {
+        let q = sql("/play//act", SqlScheme::Prime);
+        assert!(q.contains("MOD(t1.label, t0.label) = 0"), "{q}");
+        assert!(q.contains("t0.tag = 'play'"), "{q}");
+        assert!(q.contains("t1.tag = 'act'"), "{q}");
+        assert!(q.contains("t0.parent_id IS NULL"), "{q}");
+    }
+
+    #[test]
+    fn interval_descendant_uses_containment() {
+        let q = sql("/play//act", SqlScheme::Interval);
+        assert!(q.contains("t0.ord < t1.ord AND t1.ord <= t0.ord + t0.size"), "{q}");
+        assert!(!q.contains("MOD"), "{q}");
+    }
+
+    #[test]
+    fn prefix_descendant_uses_the_udf() {
+        let q = sql("/play//act", SqlScheme::Prefix);
+        assert!(q.contains("check_prefix(t0.label, t1.label) = 1"), "{q}");
+    }
+
+    #[test]
+    fn following_excludes_descendants_in_every_scheme() {
+        for scheme in [SqlScheme::Interval, SqlScheme::Prime, SqlScheme::Prefix] {
+            let q = sql("//act/following::speech", scheme);
+            assert!(q.contains("AND NOT ("), "{scheme:?}: {q}");
+        }
+    }
+
+    #[test]
+    fn prime_order_goes_through_the_sc_table() {
+        let q = sql("//act/following::speech", SqlScheme::Prime);
+        assert!(q.contains("sc_order(t0.self_label) < sc_order(t1.self_label)"), "{q}");
+    }
+
+    #[test]
+    fn positions_become_window_functions() {
+        let q = sql("/play//act[3]", SqlScheme::Interval);
+        assert!(q.contains("3 = ROW_NUMBER() OVER"), "{q}");
+    }
+
+    #[test]
+    fn value_predicates_are_escaped() {
+        let path = Path {
+            steps: vec![crate::engine::Step {
+                axis: Axis::Descendant,
+                tag: "author".into(),
+                position: None,
+                value: Some("O'Brien".into()),
+                has_child: None,
+            }],
+        };
+        let q = to_sql(&path, SqlScheme::Prime);
+        assert!(q.contains("t0.text = 'O''Brien'"), "{q}");
+    }
+
+    #[test]
+    fn existence_predicates_become_exists_subqueries() {
+        let q = sql("//act[scene]", SqlScheme::Interval);
+        assert!(q.contains("EXISTS (SELECT 1 FROM interval_labels c"), "{q}");
+        assert!(q.contains("c.tag = 'scene'"), "{q}");
+    }
+
+    #[test]
+    fn one_join_per_step() {
+        let q = sql("/a//b//c/d", SqlScheme::Prime);
+        assert_eq!(q.matches("prime_labels t").count(), 4, "{q}");
+        assert!(q.contains("SELECT DISTINCT t3.node_id"), "{q}");
+    }
+}

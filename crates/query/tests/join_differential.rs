@@ -1,0 +1,81 @@
+//! Differential property test: the stack-join batch evaluator must return
+//! exactly what the naive per-context evaluator returns, on arbitrary trees
+//! and every axis.
+
+use proptest::prelude::*;
+use xp_baselines::interval::IntervalScheme;
+use xp_labelkit::Scheme;
+use xp_query::engine::{eval_path_with, OrderOracle, Path};
+use xp_query::relstore::LabelTable;
+use xp_xmltree::{NodeId, XmlTree};
+
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
+    prop::collection::vec(any::<prop::sample::Index>(), 0..max_nodes).prop_map(|attach| {
+        let mut tree = XmlTree::new("t0");
+        let mut nodes = vec![tree.root()];
+        for (i, idx) in attach.into_iter().enumerate() {
+            let parent = nodes[idx.index(nodes.len())];
+            let child = tree.append_element(parent, format!("t{}", i % 4));
+            nodes.push(child);
+        }
+        tree
+    })
+}
+
+struct IntervalOracle<'a>(&'a LabelTable<xp_baselines::IntervalLabel>);
+
+impl OrderOracle for IntervalOracle<'_> {
+    fn rank(&self, node: NodeId) -> u64 {
+        self.0.label(node).order
+    }
+}
+
+const PATHS: &[&str] = &[
+    "//t0",
+    "//t1",
+    "/t0//t2",
+    "//t1/t2",
+    "//t0/following::t1",
+    "//t2/preceding::t0",
+    "//t1/following-sibling::t2",
+    "//t2/preceding-sibling::t1",
+    "//t3/parent::*",
+    "//t3/ancestor::t0",
+    "//t1/ancestor-or-self::*",
+    "//*/t1",
+    "//t0//t1//t2",
+    "//t2/following::*",
+    "//t0/preceding::*",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn batch_join_equals_naive_per_context(tree in tree_strategy(70)) {
+        let doc = IntervalScheme::dense().label(&tree);
+        let table = LabelTable::build(&tree, &doc);
+        let oracle = IntervalOracle(&table);
+        for path_str in PATHS {
+            let path = Path::parse(path_str).unwrap();
+            let fast = eval_path_with(&table, &oracle, &path, true);
+            let slow = eval_path_with(&table, &oracle, &path, false);
+            prop_assert_eq!(&fast, &slow, "{}", path_str);
+        }
+    }
+
+    #[test]
+    fn batch_join_equals_naive_with_positions_mixed_in(tree in tree_strategy(50)) {
+        // Positional steps force the per-context fallback mid-path; the
+        // batch steps around them must still agree.
+        let doc = IntervalScheme::dense().label(&tree);
+        let table = LabelTable::build(&tree, &doc);
+        let oracle = IntervalOracle(&table);
+        for path_str in ["//t0[2]/t1", "//t1/t2[1]/following::t3", "//t0[1]//t1//t2"] {
+            let path = Path::parse(path_str).unwrap();
+            let fast = eval_path_with(&table, &oracle, &path, true);
+            let slow = eval_path_with(&table, &oracle, &path, false);
+            prop_assert_eq!(&fast, &slow, "{}", path_str);
+        }
+    }
+}

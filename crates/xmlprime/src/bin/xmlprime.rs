@@ -1,0 +1,300 @@
+//! `xmlprime` — a command-line front end to the labeling library.
+//!
+//! ```text
+//! xmlprime stats  <file.xml>
+//! xmlprime label  <file.xml> [--scheme S] [--limit N]
+//! xmlprime query  <file.xml> <path> [--scheme S]
+//! xmlprime order  <file.xml> [--chunk N]
+//! ```
+//!
+//! `<file.xml>` may be `-` for stdin. Schemes: `prime` (default),
+//! `prime-opt`, `interval`, `prefix1`, `prefix2`, `dewey`, `float`.
+
+use std::io::Read;
+use std::process::ExitCode;
+use xmlprime::prelude::*;
+
+const USAGE: &str = "\
+xmlprime — prime-number labeling for dynamic ordered XML trees
+
+USAGE:
+    xmlprime stats  <file.xml>
+    xmlprime label  <file.xml> [--scheme S] [--limit N]
+    xmlprime query  <file.xml> <path> [--scheme prime|interval|prefix2]
+                    [--explain]  print the evaluation plan first
+                    [--sql]      print the paper's SQL translation instead
+    xmlprime order  <file.xml> [--chunk N]
+
+    <file.xml> may be '-' to read from stdin.
+
+SCHEMES (for `label`):
+    prime       top-down prime scheme, no optimizations (default)
+    prime-opt   with Opt1 (reserved primes) + Opt2 (2^n leaves)
+    interval    XISS-style (order, size) intervals
+    prefix1     basic binary prefix labels
+    prefix2     Cohen-Kaplan-Milo optimized prefix labels
+    dewey       Dewey sibling-ordinal vectors
+    float       QRS floating-point intervals
+
+EXAMPLES:
+    xmlprime stats corpus.xml
+    xmlprime label corpus.xml --scheme prime-opt --limit 20
+    xmlprime query corpus.xml '//PLAY//ACT[3]//LINE' --scheme interval
+    echo '<a><b/><c/></a>' | xmlprime order - --chunk 5
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "stats" => cmd_stats(&args[1..]),
+        "label" => cmd_label(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "order" => cmd_order(&args[1..]),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Reads the document argument (`-` = stdin) and parses it.
+fn load(path: &str) -> Result<XmlTree, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    parse(&text).map_err(|e| format!("{path}: parse error at {e}"))
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["--explain", "--sql"];
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = !BOOL_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [file] = pos[..] else {
+        return Err("stats takes exactly one file".into());
+    };
+    let tree = load(file)?;
+    let s = TreeStats::compute(&tree);
+    println!("elements:    {}", s.node_count);
+    println!("max depth:   {}", s.max_depth);
+    println!("max fan-out: {}", s.max_fanout);
+    println!("leaves:      {} ({:.0}%)", s.leaf_count, 100.0 * s.leaf_fraction());
+    println!("avg depth:   {:.2}", s.avg_depth);
+    println!("levels:      {:?}", s.level_counts);
+    println!("tags:");
+    for (tag, count) in &s.tag_histogram {
+        println!("  {tag:20} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_label(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [file] = pos[..] else {
+        return Err("label takes exactly one file".into());
+    };
+    let tree = load(file)?;
+    let scheme = flag_value(args, "--scheme").unwrap_or("prime");
+    let limit: usize = match flag_value(args, "--limit") {
+        Some(v) => v.parse().map_err(|_| format!("bad --limit {v:?}"))?,
+        None => usize::MAX,
+    };
+
+    fn show<L: LabelOps + std::fmt::Debug>(
+        tree: &XmlTree,
+        doc: &LabeledDoc<L>,
+        limit: usize,
+        render: impl Fn(&L) -> String,
+    ) {
+        for (node, label) in doc.iter().take(limit) {
+            let depth = tree.depth(node);
+            println!(
+                "{:indent$}{:12} {:>4} bits  {}",
+                "",
+                tree.tag(node).unwrap_or("?"),
+                label.size_bits(),
+                render(label),
+                indent = depth * 2,
+            );
+        }
+        let stats = doc.size_stats();
+        println!(
+            "\n{} labels; max {} bits, avg {:.1} bits",
+            stats.count, stats.max_bits, stats.avg_bits()
+        );
+    }
+
+    match scheme {
+        "prime" => show(&tree, &TopDownPrime::unoptimized().label(&tree), limit, |l| {
+            format!("{} (self {})", l.value(), l.self_label())
+        }),
+        "prime-opt" => show(&tree, &TopDownPrime::optimized().label(&tree), limit, |l| {
+            format!("{} (self {})", l.value(), l.self_label())
+        }),
+        "interval" => show(&tree, &IntervalScheme::dense().label(&tree), limit, |l| {
+            format!("[{}, {}]", l.order, l.order + l.size)
+        }),
+        "prefix1" => {
+            show(&tree, &Prefix1Scheme.label(&tree), limit, |l| l.bits().to_string())
+        }
+        "prefix2" => {
+            show(&tree, &Prefix2Scheme.label(&tree), limit, |l| l.bits().to_string())
+        }
+        "dewey" => show(&tree, &DeweyScheme.label(&tree), limit, |l| l.to_string()),
+        "float" => show(
+            &tree,
+            &xmlprime::baselines::FloatIntervalScheme.label(&tree),
+            limit,
+            |l| format!("[{:.6}, {:.6})", l.start, l.end),
+        ),
+        other => return Err(format!("unknown scheme {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [file, path] = pos[..] else {
+        return Err("query takes a file and a path".into());
+    };
+    let tree = load(file)?;
+    let parsed = Path::parse(path).map_err(|e| format!("{path:?}: {e}"))?;
+    let scheme = flag_value(args, "--scheme").unwrap_or("prime");
+
+    if args.iter().any(|a| a == "--sql") {
+        use xmlprime::query::sql::{to_sql, SqlScheme};
+        let s = match scheme {
+            "prime" => SqlScheme::Prime,
+            "interval" => SqlScheme::Interval,
+            "prefix2" => SqlScheme::Prefix,
+            other => return Err(format!("unknown scheme {other:?}")),
+        };
+        println!("-- {scheme} translation of {path}\n{}", to_sql(&parsed, s));
+        return Ok(());
+    }
+
+    let explain = args.iter().any(|a| a == "--explain");
+    let result = match scheme {
+        "prime" => {
+            let ev = PrimeEvaluator::build(&tree, 5);
+            if explain {
+                print!("{}", xmlprime::query::plan::Plan::of(ev.table(), &parsed).render());
+            }
+            ev.eval(&parsed)
+        }
+        "interval" => {
+            let ev = IntervalEvaluator::build(&tree);
+            if explain {
+                print!("{}", xmlprime::query::plan::Plan::of(ev.table(), &parsed).render());
+            }
+            ev.eval(&parsed)
+        }
+        "prefix2" => {
+            let ev = Prefix2Evaluator::build(&tree);
+            if explain {
+                print!("{}", xmlprime::query::plan::Plan::of(ev.table(), &parsed).render());
+            }
+            ev.eval(&parsed)
+        }
+        other => return Err(format!("unknown scheme {other:?} (query supports prime|interval|prefix2)")),
+    };
+    if explain {
+        println!();
+    }
+    for &node in &result {
+        let ancestry: Vec<&str> = {
+            let mut chain: Vec<&str> =
+                tree.ancestors(node).filter_map(|a| tree.tag(a)).collect();
+            chain.reverse();
+            chain
+        };
+        println!(
+            "{}{}{}",
+            ancestry.join("/"),
+            if ancestry.is_empty() { "" } else { "/" },
+            tree.tag(node).unwrap_or("?"),
+        );
+    }
+    println!("\n{} node(s) matched", result.len());
+    Ok(())
+}
+
+fn cmd_order(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [file] = pos[..] else {
+        return Err("order takes exactly one file".into());
+    };
+    let tree = load(file)?;
+    let chunk: usize = match flag_value(args, "--chunk") {
+        Some(v) => v.parse().map_err(|_| format!("bad --chunk {v:?}"))?,
+        None => 5,
+    };
+    let doc = OrderedPrimeDoc::build(&tree, chunk).map_err(|e| e.to_string())?;
+    println!(
+        "SC table: {} record(s) covering {} node(s), chunk capacity {chunk}",
+        doc.sc_table().record_count(),
+        doc.sc_table().len(),
+    );
+    for (i, rec) in doc.sc_table().records().iter().enumerate() {
+        println!(
+            "  record {i}: {} member(s), max self-label {}, SC = {}",
+            rec.len(),
+            rec.max_self_label(),
+            rec.sc(),
+        );
+    }
+    println!("\nnode orders (SC mod self-label):");
+    for node in tree.elements().take(30) {
+        println!(
+            "  {:3}  {:12} self {}",
+            doc.order_of(node),
+            tree.tag(node).unwrap_or("?"),
+            doc.labels().label(node).self_label(),
+        );
+    }
+    if tree.elements().count() > 30 {
+        println!("  … ({} more)", tree.elements().count() - 30);
+    }
+    Ok(())
+}

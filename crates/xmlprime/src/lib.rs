@@ -1,0 +1,63 @@
+//! # xmlprime — prime-number labeling for dynamic ordered XML trees
+//!
+//! A from-scratch Rust reproduction of Wu, Lee & Hsu,
+//! *A Prime Number Labeling Scheme for Dynamic Ordered XML Trees*
+//! (ICDE 2004), packaged as one facade crate.
+//!
+//! ## The 60-second tour
+//!
+//! ```
+//! use xmlprime::prelude::*;
+//!
+//! // Parse an ordered XML document (from-scratch parser).
+//! let mut tree = parse("<book><author/><author/><author/></book>").unwrap();
+//!
+//! // Label it with the prime scheme + SC order table (chunk size 5).
+//! let mut doc = OrderedPrimeDoc::build(&tree, 5).unwrap();
+//!
+//! // Ancestor tests are pure label arithmetic: label(y) mod label(x) == 0.
+//! let book = tree.root();
+//! let first_author = tree.first_child(book).unwrap();
+//! assert!(doc.labels().label(book).is_ancestor_of(doc.labels().label(first_author)));
+//!
+//! // Order-sensitive insertion: a new SECOND author. No cascade of
+//! // relabeling — the SC table shifts order numbers instead.
+//! let second = tree.element_children(book).nth(1).unwrap();
+//! let report = doc.insert_sibling_before(&mut tree, second, "author").unwrap();
+//! assert_eq!(doc.order_of(report.node), 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`bignum`] | `xp-bignum` | arbitrary-precision integers (from scratch) |
+//! | [`primes`] | `xp-primes` | sieves, Miller–Rabin, prime pools |
+//! | [`xmltree`] | `xp-xmltree` | ordered tree store + XML parser |
+//! | [`datagen`] | `xp-datagen` | synthetic corpora (Table 1, Shakespeare) |
+//! | [`labelkit`] | `xp-labelkit` | `Scheme`/`LabelOps` traits, bit strings |
+//! | [`prime`] | `xp-prime` | **the paper's scheme**: top-down/bottom-up, Opt1–3, CRT, SC table |
+//! | [`baselines`] | `xp-baselines` | Interval/XISS, Prefix-1, Prefix-2, Dewey |
+//! | [`query`] | `xp-query` | label-predicate XPath-subset engine |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use xp_baselines as baselines;
+pub use xp_bignum as bignum;
+pub use xp_datagen as datagen;
+pub use xp_labelkit as labelkit;
+pub use xp_prime as prime;
+pub use xp_primes as primes;
+pub use xp_query as query;
+pub use xp_xmltree as xmltree;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use xp_baselines::{DeweyScheme, IntervalScheme, Prefix1Scheme, Prefix2Scheme};
+    pub use xp_bignum::UBig;
+    pub use xp_labelkit::{LabelOps, LabeledDoc, OrderedLabel, Scheme};
+    pub use xp_prime::{OrderedPrimeDoc, PrimeLabel, PrimeOptions, ScTable, TopDownPrime};
+    pub use xp_query::{Evaluator, IntervalEvaluator, Path, Prefix2Evaluator, PrimeEvaluator};
+    pub use xp_xmltree::{parse, NodeId, TreeStats, XmlTree};
+}

@@ -1,0 +1,40 @@
+//! # xp-xmltree — an ordered XML tree store, built from scratch
+//!
+//! The labeling schemes of the paper operate on *ordered* XML trees: the
+//! relative order of siblings is semantically meaningful (§4, "The elements
+//! in XML are intrinsically ordered"), and the update experiments (§5.3–5.4)
+//! insert nodes as siblings, as children, and as *parents* of existing nodes.
+//!
+//! This crate provides:
+//!
+//! * [`XmlTree`] — an arena-based ordered tree with O(1) structural
+//!   mutation (append, insert-before/after, wrap-with-parent, detach) and
+//!   cheap preorder traversal.
+//! * [`parse::parse`] — a from-scratch, non-validating XML parser
+//!   (elements, attributes, text, comments, CDATA, processing instructions,
+//!   character/entity references) with positioned errors.
+//! * [`serialize`] — escaping serializer, compact or indented.
+//! * [`stats::TreeStats`] — the structural statistics the paper's size model
+//!   is written in: node count N, maximum depth D, maximum fan-out F.
+//!
+//! ```
+//! use xp_xmltree::parse::parse;
+//!
+//! let tree = parse("<book><author>John</author><author>Jane</author></book>").unwrap();
+//! let root = tree.root();
+//! assert_eq!(tree.tag(root), Some("book"));
+//! assert_eq!(tree.children(root).count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parse;
+pub mod sax;
+pub mod serialize;
+pub mod stats;
+mod tree;
+
+pub use parse::{parse, ParseError};
+pub use stats::TreeStats;
+pub use tree::{NodeId, NodeKind, XmlTree};

@@ -1,0 +1,542 @@
+//! A from-scratch, non-validating XML parser.
+//!
+//! Supports the subset needed for real-world document corpora like the ones
+//! the paper labels: elements, attributes (single- or double-quoted), text
+//! with entity and character references, comments, CDATA sections,
+//! processing instructions, the XML declaration, and a DOCTYPE declaration
+//! (skipped, including an internal subset). Namespaces are carried through
+//! as plain prefixed names; DTD content models are not interpreted.
+
+use crate::tree::{NodeId, XmlTree};
+
+/// A parse failure, with the byte offset and 1-indexed line/column at which
+/// it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-indexed line.
+    pub line: usize,
+    /// 1-indexed column (in bytes).
+    pub column: usize,
+}
+
+/// The category of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof(&'static str),
+    /// A character that cannot start/continue the current construct.
+    Unexpected(char, &'static str),
+    /// `</b>` closed `<a>`.
+    MismatchedClose {
+        /// Tag that was open.
+        expected: String,
+        /// Tag that tried to close it.
+        found: String,
+    },
+    /// Content after the document element, or no element at all.
+    NotSingleRoot,
+    /// `&name;` with an unknown entity name.
+    UnknownEntity(String),
+    /// `&#...;` that is not a valid character.
+    BadCharRef,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof(ctx) => write!(f, "unexpected end of input in {ctx}"),
+            ParseErrorKind::Unexpected(c, ctx) => write!(f, "unexpected {c:?} in {ctx}"),
+            ParseErrorKind::MismatchedClose { expected, found } => {
+                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+            }
+            ParseErrorKind::NotSingleRoot => write!(f, "document must have exactly one root element"),
+            ParseErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            ParseErrorKind::BadCharRef => write!(f, "invalid character reference"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An opened start tag: `(name, attributes, self_closing)`.
+pub(crate) type OpenTag = (String, Vec<(String, String)>, bool);
+
+/// Parsing options.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Drop text nodes that contain only whitespace (the default): the
+    /// labeling experiments are about element structure, and the corpora are
+    /// pretty-printed.
+    pub skip_whitespace_text: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { skip_whitespace_text: true }
+    }
+}
+
+/// Parses a complete XML document with default options.
+pub fn parse(input: &str) -> Result<XmlTree, ParseError> {
+    parse_with(input, &ParseOptions::default())
+}
+
+/// Parses a complete XML document.
+pub fn parse_with(input: &str, opts: &ParseOptions) -> Result<XmlTree, ParseError> {
+    Parser { input: input.as_bytes(), pos: 0, opts }.document()
+}
+
+pub(crate) struct Parser<'a> {
+    pub(crate) input: &'a [u8],
+    pub(crate) pos: usize,
+    pub(crate) opts: &'a ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn err(&self, kind: ParseErrorKind) -> ParseError {
+        self.err_at(self.pos, kind)
+    }
+
+    pub(crate) fn err_at(&self, offset: usize, kind: ParseErrorKind) -> ParseError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.input[..offset.min(self.input.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError { kind, offset, line, column: col }
+    }
+
+    pub(crate) fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    pub(crate) fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    pub(crate) fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    pub(crate) fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    pub(crate) fn expect(&mut self, c: u8, ctx: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(b) if b == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(self.err(ParseErrorKind::Unexpected(b as char, ctx))),
+            None => Err(self.err(ParseErrorKind::UnexpectedEof(ctx))),
+        }
+    }
+
+    /// Consumes until the delimiter string, returning the consumed slice.
+    pub(crate) fn until(&mut self, delim: &str, ctx: &'static str) -> Result<&'a str, ParseError> {
+        let hay = &self.input[self.pos..];
+        let needle = delim.as_bytes();
+        let found = hay.windows(needle.len()).position(|w| w == needle);
+        match found {
+            Some(i) => {
+                let s = std::str::from_utf8(&hay[..i]).map_err(|_| self.err(ParseErrorKind::BadCharRef))?;
+                self.pos += i + needle.len();
+                Ok(s)
+            }
+            None => Err(self.err(ParseErrorKind::UnexpectedEof(ctx))),
+        }
+    }
+
+    pub(crate) fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    pub(crate) fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    pub(crate) fn name(&mut self, ctx: &'static str) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => self.pos += 1,
+            Some(b) => return Err(self.err(ParseErrorKind::Unexpected(b as char, ctx))),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof(ctx))),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.pos += 1;
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// Decodes `&...;` starting just past the ampersand.
+    pub(crate) fn reference(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let start = self.pos;
+        if self.eat("#") {
+            let hex = self.eat("x") || self.eat("X");
+            let digits_start = self.pos;
+            while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            let digits = std::str::from_utf8(&self.input[digits_start..self.pos]).expect("ascii");
+            self.expect(b';', "character reference")?;
+            let code = u32::from_str_radix(digits, if hex { 16 } else { 10 })
+                .map_err(|_| self.err_at(start, ParseErrorKind::BadCharRef))?;
+            let c = char::from_u32(code).ok_or_else(|| self.err_at(start, ParseErrorKind::BadCharRef))?;
+            out.push(c);
+            return Ok(());
+        }
+        let name = self.name("entity reference")?;
+        self.expect(b';', "entity reference")?;
+        match name.as_str() {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ => return Err(self.err_at(start, ParseErrorKind::UnknownEntity(name))),
+        }
+        Ok(())
+    }
+
+    pub(crate) fn attribute_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(b) => return Err(self.err(ParseErrorKind::Unexpected(b as char, "attribute value"))),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof("attribute value"))),
+        };
+        let mut out = String::new();
+        loop {
+            let run_start = self.pos;
+            while !matches!(self.peek(), None | Some(b'&')) && self.peek() != Some(quote) {
+                self.pos += 1;
+            }
+            out.push_str(self.str_slice(run_start, self.pos)?);
+            match self.bump() {
+                Some(b) if b == quote => return Ok(out),
+                Some(b'&') => self.reference(&mut out)?,
+                _ => return Err(self.err(ParseErrorKind::UnexpectedEof("attribute value"))),
+            }
+        }
+    }
+
+    /// UTF-8 validated slice of the input.
+    pub(crate) fn str_slice(&self, start: usize, end: usize) -> Result<&'a str, ParseError> {
+        std::str::from_utf8(&self.input[start..end])
+            .map_err(|e| self.err_at(start + e.valid_up_to(), ParseErrorKind::BadCharRef))
+    }
+
+    /// Skips `<!DOCTYPE ...>` including a bracketed internal subset.
+    pub(crate) fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        let mut depth = 0usize;
+        loop {
+            match self.bump() {
+                Some(b'[') => depth += 1,
+                Some(b']') => depth = depth.saturating_sub(1),
+                Some(b'>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof("DOCTYPE"))),
+            }
+        }
+    }
+
+    /// Skips misc content allowed outside the root: whitespace, comments,
+    /// PIs, the XML declaration, and DOCTYPE.
+    pub(crate) fn skip_prolog_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.eat("<?") {
+                self.until("?>", "processing instruction")?;
+            } else if self.eat("<!--") {
+                self.until("-->", "comment")?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.pos += "<!DOCTYPE".len();
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    pub(crate) fn document(mut self) -> Result<XmlTree, ParseError> {
+        self.skip_prolog_misc()?;
+        if self.peek() != Some(b'<') {
+            return Err(self.err(ParseErrorKind::NotSingleRoot));
+        }
+        self.pos += 1; // consume '<'
+        let (tag, attrs, self_closing) = self.open_tag()?;
+        let mut tree = XmlTree::new_with_attrs(tag.clone(), attrs);
+        if !self_closing {
+            let root = tree.root();
+            self.content(&mut tree, root, &tag)?;
+        }
+        self.skip_prolog_misc()?;
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.err(ParseErrorKind::NotSingleRoot));
+        }
+        Ok(tree)
+    }
+
+    /// Parses the remainder of an open tag after `<` and the name position:
+    /// returns `(name, attributes, self_closing)` with the closing `>` eaten.
+    pub(crate) fn open_tag(&mut self) -> Result<OpenTag, ParseError> {
+        let tag = self.name("open tag")?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((tag, attrs, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>', "self-closing tag")?;
+                    return Ok((tag, attrs, true));
+                }
+                Some(b) if Parser::is_name_start(b) => {
+                    let key = self.name("attribute name")?;
+                    self.skip_ws();
+                    self.expect(b'=', "attribute")?;
+                    self.skip_ws();
+                    let value = self.attribute_value()?;
+                    attrs.push((key, value));
+                }
+                Some(b) => return Err(self.err(ParseErrorKind::Unexpected(b as char, "open tag"))),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof("open tag"))),
+            }
+        }
+    }
+
+    /// Parses element content up to and including `</parent_tag>`.
+    pub(crate) fn content(&mut self, tree: &mut XmlTree, parent: NodeId, parent_tag: &str) -> Result<(), ParseError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof("element content"))),
+                Some(b'<') => {
+                    if self.eat("<!--") {
+                        self.until("-->", "comment")?;
+                        continue;
+                    }
+                    if self.eat("<![CDATA[") {
+                        text.push_str(self.until("]]>", "CDATA section")?);
+                        continue;
+                    }
+                    if self.eat("<?") {
+                        self.until("?>", "processing instruction")?;
+                        continue;
+                    }
+                    self.flush_text(tree, parent, &mut text);
+                    if self.eat("</") {
+                        let close_at = self.pos;
+                        let tag = self.name("close tag")?;
+                        self.skip_ws();
+                        self.expect(b'>', "close tag")?;
+                        if tag != parent_tag {
+                            return Err(self.err_at(
+                                close_at,
+                                ParseErrorKind::MismatchedClose {
+                                    expected: parent_tag.to_string(),
+                                    found: tag,
+                                },
+                            ));
+                        }
+                        return Ok(());
+                    }
+                    self.pos += 1; // consume '<'
+                    let (tag, attrs, self_closing) = self.open_tag()?;
+                    let child = tree.create_element_with_attrs(tag.clone(), attrs);
+                    tree.append_child(parent, child);
+                    if !self_closing {
+                        self.content(tree, child, &tag)?;
+                    }
+                }
+                Some(b'&') => {
+                    self.pos += 1;
+                    self.reference(&mut text)?;
+                }
+                Some(_) => {
+                    let run_start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'<') | Some(b'&')) {
+                        self.pos += 1;
+                    }
+                    text.push_str(self.str_slice(run_start, self.pos)?);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn flush_text(&self, tree: &mut XmlTree, parent: NodeId, text: &mut String) {
+        if text.is_empty() {
+            return;
+        }
+        let keep = !self.opts.skip_whitespace_text || !text.chars().all(char::is_whitespace);
+        if keep {
+            tree.append_text(parent, std::mem::take(text));
+        } else {
+            text.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+
+    #[test]
+    pub(crate) fn minimal_document() {
+        let t = parse("<a/>").unwrap();
+        assert_eq!(t.tag(t.root()), Some("a"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    pub(crate) fn nested_elements_preserve_order() {
+        let t = parse("<play><act/><act/><act/></play>").unwrap();
+        let tags: Vec<&str> = t.children(t.root()).filter_map(|c| t.tag(c)).collect();
+        assert_eq!(tags, ["act", "act", "act"]);
+    }
+
+    #[test]
+    pub(crate) fn attributes_single_and_double_quoted() {
+        let t = parse(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(t.attr(t.root(), "x"), Some("1"));
+        assert_eq!(t.attr(t.root(), "y"), Some("two"));
+    }
+
+    #[test]
+    pub(crate) fn text_with_entities() {
+        let t = parse("<a>Tom &amp; Jerry &lt;3 &#65;&#x42;</a>").unwrap();
+        let txt = t.first_child(t.root()).unwrap();
+        assert_eq!(t.text(txt), Some("Tom & Jerry <3 AB"));
+    }
+
+    #[test]
+    pub(crate) fn entities_in_attribute_values() {
+        let t = parse(r#"<a title="a &quot;b&quot; &amp; c"/>"#).unwrap();
+        assert_eq!(t.attr(t.root(), "title"), Some("a \"b\" & c"));
+    }
+
+    #[test]
+    pub(crate) fn cdata_is_literal() {
+        let t = parse("<a><![CDATA[<not> &parsed;]]></a>").unwrap();
+        let txt = t.first_child(t.root()).unwrap();
+        assert_eq!(t.text(txt), Some("<not> &parsed;"));
+    }
+
+    #[test]
+    pub(crate) fn comments_and_pis_are_skipped() {
+        let t = parse("<?xml version=\"1.0\"?><!-- header --><a><!-- inner --><b/><?pi data?></a><!-- trailer -->")
+            .unwrap();
+        assert_eq!(t.elements().count(), 2);
+    }
+
+    #[test]
+    pub(crate) fn doctype_with_internal_subset_is_skipped() {
+        let doc = r#"<!DOCTYPE play [ <!ELEMENT play (act+)> <!ENTITY x "y"> ]><play><act/></play>"#;
+        let t = parse(doc).unwrap();
+        assert_eq!(t.tag(t.root()), Some("play"));
+    }
+
+    #[test]
+    pub(crate) fn whitespace_text_skipped_by_default_but_kept_on_request() {
+        let doc = "<a>\n  <b/>\n</a>";
+        let t = parse(doc).unwrap();
+        assert_eq!(t.children(t.root()).count(), 1);
+        let opts = ParseOptions { skip_whitespace_text: false };
+        let t2 = parse_with(doc, &opts).unwrap();
+        assert_eq!(t2.children(t2.root()).count(), 3);
+        assert!(matches!(t2.kind(t2.first_child(t2.root()).unwrap()), NodeKind::Text(_)));
+    }
+
+    #[test]
+    pub(crate) fn mismatched_close_is_reported_with_position() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        match err.kind {
+            ParseErrorKind::MismatchedClose { expected, found } => {
+                assert_eq!(expected, "b");
+                assert_eq!(found, "a");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(err.line, 1);
+        assert!(err.column > 1);
+    }
+
+    #[test]
+    pub(crate) fn eof_inside_element_is_an_error() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    pub(crate) fn trailing_garbage_is_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::NotSingleRoot));
+        assert!(parse("<a/> \n ").is_ok(), "trailing whitespace is fine");
+    }
+
+    #[test]
+    pub(crate) fn unknown_entity_is_rejected() {
+        let err = parse("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnknownEntity(name) if name == "nope"));
+    }
+
+    #[test]
+    pub(crate) fn bad_char_ref_is_rejected() {
+        assert!(matches!(parse("<a>&#xD800;</a>").unwrap_err().kind, ParseErrorKind::BadCharRef));
+        assert!(matches!(parse("<a>&#;</a>").unwrap_err().kind, ParseErrorKind::BadCharRef));
+    }
+
+    #[test]
+    pub(crate) fn error_positions_count_lines() {
+        let err = parse("<a>\n\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    pub(crate) fn deeply_nested_document() {
+        let depth = 200;
+        let mut doc = String::new();
+        for i in 0..depth {
+            doc.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..depth).rev() {
+            doc.push_str(&format!("</n{i}>"));
+        }
+        let t = parse(&doc).unwrap();
+        assert_eq!(t.elements().count(), depth);
+    }
+
+    #[test]
+    pub(crate) fn root_attributes_survive() {
+        let t = parse(r#"<play title="Hamlet"><act/></play>"#).unwrap();
+        assert_eq!(t.attr(t.root(), "title"), Some("Hamlet"));
+    }
+}

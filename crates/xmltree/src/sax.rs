@@ -1,0 +1,231 @@
+//! Streaming (SAX-style) parsing: events instead of a tree.
+//!
+//! The paper's deployment model stores *labels* in a database — the XML
+//! tree itself need not be materialized. A streaming parser makes that
+//! pipeline real: [`parse_sax`] pushes start/text/end events to a handler,
+//! and `xp-prime::stream` labels them on the fly in a single pass.
+//!
+//! Differences from the tree parser: text is delivered verbatim (including
+//! whitespace-only runs) and adjacent runs separated by comments/PIs arrive
+//! as separate [`SaxEvent::Text`] events.
+
+use crate::parse::{ParseError, ParseErrorKind, ParseOptions, Parser};
+
+/// One parsing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SaxEvent {
+    /// `<tag attr="…">` (also emitted for self-closing elements, followed
+    /// immediately by the matching [`SaxEvent::EndElement`]).
+    StartElement {
+        /// The element name.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// `</tag>`.
+    EndElement {
+        /// The element name.
+        tag: String,
+    },
+    /// A run of character data (entity-decoded; CDATA delivered verbatim).
+    Text(
+        /// The decoded text.
+        String,
+    ),
+}
+
+/// Parses a complete document, pushing events to `handler`.
+pub fn parse_sax<F: FnMut(SaxEvent)>(input: &str, mut handler: F) -> Result<(), ParseError> {
+    let opts = ParseOptions::default();
+    let mut p = Parser { input: input.as_bytes(), pos: 0, opts: &opts };
+    p.skip_prolog_misc()?;
+    if p.peek() != Some(b'<') {
+        return Err(p.err(ParseErrorKind::NotSingleRoot));
+    }
+    p.pos += 1;
+    let (tag, attrs, self_closing) = p.open_tag()?;
+    handler(SaxEvent::StartElement { tag: tag.clone(), attrs });
+    let mut stack: Vec<String> = Vec::new();
+    if self_closing {
+        handler(SaxEvent::EndElement { tag });
+    } else {
+        stack.push(tag);
+    }
+
+    let mut text = String::new();
+    let flush = |text: &mut String, handler: &mut F| {
+        if !text.is_empty() {
+            handler(SaxEvent::Text(std::mem::take(text)));
+        }
+    };
+
+    while !stack.is_empty() {
+        match p.peek() {
+            None => return Err(p.err(ParseErrorKind::UnexpectedEof("element content"))),
+            Some(b'<') => {
+                if p.eat("<![CDATA[") {
+                    let cdata = p.until("]]>", "CDATA section")?;
+                    text.push_str(cdata);
+                    continue;
+                }
+                // Any other markup ends the current text run.
+                flush(&mut text, &mut handler);
+                if p.eat("<!--") {
+                    p.until("-->", "comment")?;
+                    continue;
+                }
+                if p.eat("<?") {
+                    p.until("?>", "processing instruction")?;
+                    continue;
+                }
+                if p.eat("</") {
+                    let close_at = p.pos;
+                    let tag = p.name("close tag")?;
+                    p.skip_ws();
+                    p.expect(b'>', "close tag")?;
+                    let expected = stack.pop().expect("loop invariant: stack non-empty");
+                    if tag != expected {
+                        return Err(p.err_at(
+                            close_at,
+                            ParseErrorKind::MismatchedClose { expected, found: tag },
+                        ));
+                    }
+                    handler(SaxEvent::EndElement { tag });
+                    continue;
+                }
+                p.pos += 1; // consume '<'
+                let (tag, attrs, self_closing) = p.open_tag()?;
+                handler(SaxEvent::StartElement { tag: tag.clone(), attrs });
+                if self_closing {
+                    handler(SaxEvent::EndElement { tag });
+                } else {
+                    stack.push(tag);
+                }
+            }
+            Some(b'&') => {
+                p.pos += 1;
+                p.reference(&mut text)?;
+            }
+            Some(_) => {
+                let run_start = p.pos;
+                while !matches!(p.peek(), None | Some(b'<') | Some(b'&')) {
+                    p.pos += 1;
+                }
+                let run = p.str_slice(run_start, p.pos)?;
+                text.push_str(run);
+            }
+        }
+    }
+
+    p.skip_prolog_misc()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err(ParseErrorKind::NotSingleRoot));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<SaxEvent> {
+        let mut out = Vec::new();
+        parse_sax(src, |e| out.push(e)).unwrap();
+        out
+    }
+
+    fn start(tag: &str) -> SaxEvent {
+        SaxEvent::StartElement { tag: tag.into(), attrs: Vec::new() }
+    }
+
+    fn end(tag: &str) -> SaxEvent {
+        SaxEvent::EndElement { tag: tag.into() }
+    }
+
+    #[test]
+    fn emits_balanced_events() {
+        assert_eq!(
+            events("<a><b/><c>x</c></a>"),
+            vec![
+                start("a"),
+                start("b"),
+                end("b"),
+                start("c"),
+                SaxEvent::Text("x".into()),
+                end("c"),
+                end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_and_entities() {
+        let evs = events(r#"<a x="1">T&amp;C</a>"#);
+        assert_eq!(
+            evs[0],
+            SaxEvent::StartElement { tag: "a".into(), attrs: vec![("x".into(), "1".into())] }
+        );
+        assert_eq!(evs[1], SaxEvent::Text("T&C".into()));
+    }
+
+    #[test]
+    fn whitespace_text_is_delivered() {
+        let evs = events("<a> <b/> </a>");
+        assert_eq!(evs[1], SaxEvent::Text(" ".into()));
+        assert_eq!(evs[4], SaxEvent::Text(" ".into()));
+    }
+
+    #[test]
+    fn comments_split_text_runs() {
+        let evs = events("<a>one<!-- c -->two</a>");
+        assert_eq!(evs[1], SaxEvent::Text("one".into()));
+        assert_eq!(evs[2], SaxEvent::Text("two".into()));
+    }
+
+    #[test]
+    fn mismatched_close_still_reported() {
+        let err = parse_sax("<a><b></a></b>", |_| {}).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedClose { .. }));
+    }
+
+    #[test]
+    fn events_rebuild_the_same_tree() {
+        // Cross-validate the two parsers: SAX events replayed into a tree
+        // must equal the tree parser's output (modulo whitespace policy).
+        let src = r#"<play t="h"><act><scene>line one</scene></act><act/></play>"#;
+        let direct = crate::parse::parse(src).unwrap();
+        let mut rebuilt: Option<crate::XmlTree> = None;
+        let mut stack: Vec<crate::NodeId> = Vec::new();
+        parse_sax(src, |e| match e {
+            SaxEvent::StartElement { tag, attrs } => match &mut rebuilt {
+                None => {
+                    let t = crate::XmlTree::new_with_attrs(tag, attrs);
+                    stack.push(t.root());
+                    rebuilt = Some(t);
+                }
+                Some(t) => {
+                    let node = t.create_element_with_attrs(tag, attrs);
+                    t.append_child(*stack.last().unwrap(), node);
+                    stack.push(node);
+                }
+            },
+            SaxEvent::EndElement { .. } => {
+                stack.pop();
+            }
+            SaxEvent::Text(s) => {
+                if let Some(t) = &mut rebuilt {
+                    if !s.trim().is_empty() {
+                        t.append_text(*stack.last().unwrap(), s);
+                    }
+                }
+            }
+        })
+        .unwrap();
+        let rebuilt = rebuilt.unwrap();
+        assert_eq!(
+            crate::serialize::to_string(&direct),
+            crate::serialize::to_string(&rebuilt)
+        );
+    }
+}

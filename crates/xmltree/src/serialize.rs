@@ -1,0 +1,138 @@
+//! Serializer: turns an [`XmlTree`] back into markup, compact or indented.
+
+use crate::tree::{NodeId, NodeKind, XmlTree};
+use std::fmt::Write;
+
+/// Serializes the whole document compactly (no added whitespace).
+pub fn to_string(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out, None, 0);
+    out
+}
+
+/// Serializes with `indent` spaces per nesting level and newlines between
+/// elements. Text nodes inhibit indentation inside their parent so mixed
+/// content round-trips without gaining whitespace.
+pub fn to_string_pretty(tree: &XmlTree, indent: usize) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out, Some(indent), 0);
+    out.push('\n');
+    out
+}
+
+fn write_node(tree: &XmlTree, id: NodeId, out: &mut String, indent: Option<usize>, level: usize) {
+    match tree.kind(id) {
+        NodeKind::Text(t) => escape_text(t, out),
+        NodeKind::Element { tag, attrs } => {
+            out.push('<');
+            out.push_str(tag);
+            for (k, v) in attrs {
+                write!(out, " {k}=\"").expect("write to String");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            let mut children = tree.children(id).peekable();
+            if children.peek().is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let mixed = tree.children(id).any(|c| !tree.is_element(c));
+            let pretty = indent.filter(|_| !mixed);
+            for child in children {
+                if let Some(step) = pretty {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(step * (level + 1)));
+                }
+                write_node(tree, child, out, indent, level + 1);
+            }
+            if let Some(step) = pretty {
+                out.push('\n');
+                out.push_str(&" ".repeat(step * level));
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"<play title="Hamlet"><act><speech speaker="HAMLET">To be</speech></act><act/></play>"#;
+        let tree = parse(src).unwrap();
+        assert_eq!(to_string(&tree), src);
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut t = XmlTree::new("a");
+        t.append_text(t.root(), "x < y & z > w");
+        assert_eq!(to_string(&t), "<a>x &lt; y &amp; z &gt; w</a>");
+    }
+
+    #[test]
+    fn attr_is_escaped() {
+        let t = XmlTree::new_with_attrs("a", vec![("q".into(), "say \"hi\" & <go>".into())]);
+        assert_eq!(to_string(&t), r#"<a q="say &quot;hi&quot; &amp; &lt;go>"/>"#);
+    }
+
+    #[test]
+    fn escape_then_parse_is_identity() {
+        let mut t = XmlTree::new("a");
+        t.append_text(t.root(), "<&>\"'");
+        let reparsed = parse(&to_string(&t)).unwrap();
+        let txt = reparsed.first_child(reparsed.root()).unwrap();
+        assert_eq!(reparsed.text(txt), Some("<&>\"'"));
+    }
+
+    #[test]
+    fn pretty_printing_indents_elements() {
+        let tree = parse("<a><b><c/></b><d/></a>").unwrap();
+        let pretty = to_string_pretty(&tree, 2);
+        assert_eq!(pretty, "<a>\n  <b>\n    <c/>\n  </b>\n  <d/>\n</a>\n");
+    }
+
+    #[test]
+    fn pretty_printing_leaves_mixed_content_alone() {
+        let src = "<p>hello <b>world</b>!</p>";
+        let tree = parse(src).unwrap();
+        assert_eq!(to_string_pretty(&tree, 2), format!("{src}\n"));
+    }
+
+    #[test]
+    fn pretty_round_trips_through_parse() {
+        let src = "<play><act><scene><line/></scene></act><act/></play>";
+        let tree = parse(src).unwrap();
+        let pretty = to_string_pretty(&tree, 4);
+        let reparsed = parse(&pretty).unwrap();
+        assert_eq!(to_string(&reparsed), src);
+    }
+}

@@ -1,0 +1,145 @@
+//! Structural statistics: the `N`, `D`, `F` of the paper's size model.
+//!
+//! §3.1 writes every label-size formula in terms of the maximal depth `D`,
+//! maximal fan-out `F`, and node count `N` of the XML tree; §5.1 reports the
+//! datasets' characteristics in the same terms (Table 1).
+
+use crate::tree::{NodeId, XmlTree};
+use std::collections::BTreeMap;
+
+/// Structural statistics of an XML tree (element nodes only, matching the
+/// paper's convention: labeling targets element structure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of element nodes, the paper's `N`.
+    pub node_count: usize,
+    /// Maximum depth (root = 0), the paper's `D`.
+    pub max_depth: usize,
+    /// Maximum number of element children under one parent, the paper's `F`.
+    pub max_fanout: usize,
+    /// Number of leaf elements (no element children).
+    pub leaf_count: usize,
+    /// Mean depth over all element nodes.
+    pub avg_depth: f64,
+    /// Element count per depth level, level 0 first.
+    pub level_counts: Vec<usize>,
+    /// Distinct tag names with their frequencies.
+    pub tag_histogram: BTreeMap<String, usize>,
+}
+
+impl TreeStats {
+    /// Computes statistics over the element structure of `tree`.
+    pub fn compute(tree: &XmlTree) -> TreeStats {
+        let mut node_count = 0usize;
+        let mut leaf_count = 0usize;
+        let mut max_fanout = 0usize;
+        let mut depth_sum = 0usize;
+        let mut level_counts: Vec<usize> = Vec::new();
+        let mut tag_histogram = BTreeMap::new();
+
+        // Single pass carrying depth explicitly: cheaper than per-node
+        // ancestor walks on large documents.
+        let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+        while let Some((node, depth)) = stack.pop() {
+            node_count += 1;
+            depth_sum += depth;
+            if level_counts.len() <= depth {
+                level_counts.resize(depth + 1, 0);
+            }
+            level_counts[depth] += 1;
+            if let Some(tag) = tree.tag(node) {
+                *tag_histogram.entry(tag.to_string()).or_insert(0) += 1;
+            }
+            let kids: Vec<NodeId> = tree.element_children(node).collect();
+            max_fanout = max_fanout.max(kids.len());
+            if kids.is_empty() {
+                leaf_count += 1;
+            }
+            for k in kids.into_iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+
+        TreeStats {
+            node_count,
+            max_depth: level_counts.len() - 1,
+            max_fanout,
+            leaf_count,
+            avg_depth: depth_sum as f64 / node_count as f64,
+            level_counts,
+            tag_histogram,
+        }
+    }
+
+    /// Fraction of elements that are leaves — the paper attributes Opt2's
+    /// large win to "the majority of the nodes ... are leaf nodes".
+    pub fn leaf_fraction(&self) -> f64 {
+        self.leaf_count as f64 / self.node_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn single_root() {
+        let t = parse("<a/>").unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.node_count, 1);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.max_fanout, 0);
+        assert_eq!(s.leaf_count, 1);
+        assert_eq!(s.level_counts, vec![1]);
+        assert_eq!(s.avg_depth, 0.0);
+    }
+
+    #[test]
+    fn mixed_tree() {
+        // a(b(c,c,c), b) → N=6, D=2, F=3.
+        let t = parse("<a><b><c/><c/><c/></b><b/></a>").unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.node_count, 6);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.max_fanout, 3);
+        assert_eq!(s.leaf_count, 4); // 3×c + trailing b
+        assert_eq!(s.level_counts, vec![1, 2, 3]);
+        assert_eq!(s.tag_histogram["c"], 3);
+        assert_eq!(s.tag_histogram["b"], 2);
+    }
+
+    #[test]
+    fn text_nodes_do_not_count() {
+        let t = parse("<a>hi<b>there</b></a>").unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.node_count, 2);
+        assert_eq!(s.max_fanout, 1);
+        assert_eq!(s.leaf_count, 1);
+    }
+
+    #[test]
+    fn perfect_tree_counts() {
+        // Perfect tree F=3, D=2: N = 1 + 3 + 9 = 13.
+        let mut doc = String::from("<r>");
+        for _ in 0..3 {
+            doc.push_str("<m><l/><l/><l/></m>");
+        }
+        doc.push_str("</r>");
+        let s = TreeStats::compute(&parse(&doc).unwrap());
+        assert_eq!(s.node_count, 13);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.max_fanout, 3);
+        assert_eq!(s.leaf_count, 9);
+        assert!((s.leaf_fraction() - 9.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_chain() {
+        let t = parse("<a><b><c><d><e/></d></c></b></a>").unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.max_depth, 4);
+        assert_eq!(s.max_fanout, 1);
+        assert_eq!(s.avg_depth, (1 + 2 + 3 + 4) as f64 / 5.0);
+    }
+}

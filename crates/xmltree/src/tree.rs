@@ -1,0 +1,679 @@
+//! The arena-based ordered tree: [`XmlTree`], [`NodeId`], [`NodeKind`].
+
+use std::fmt;
+
+/// Handle to a node inside an [`XmlTree`] arena.
+///
+/// Small, `Copy`, and only meaningful for the tree that produced it. Detached
+/// or removed nodes keep their ids (slots are not reused) but are no longer
+/// reachable from the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The arena slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element like `<speech>`, with a tag name and attributes.
+    Element {
+        /// Tag name.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// Character data between tags.
+    Text(
+        /// The (entity-decoded) text content.
+        String,
+    ),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    first_child: Option<NodeId>,
+    last_child: Option<NodeId>,
+    prev_sibling: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+}
+
+/// An ordered XML tree backed by an arena of nodes.
+///
+/// Exactly one root element exists at all times. All structural mutations are
+/// O(1); traversals are allocation-free iterators.
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl XmlTree {
+    /// Creates a tree containing a single root element.
+    pub fn new(root_tag: impl Into<String>) -> Self {
+        let root_node = Node {
+            kind: NodeKind::Element { tag: root_tag.into(), attrs: Vec::new() },
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+        };
+        XmlTree { nodes: vec![root_node], root: NodeId(0) }
+    }
+
+    /// Creates a tree whose root element carries attributes.
+    pub fn new_with_attrs(root_tag: impl Into<String>, attrs: Vec<(String, String)>) -> Self {
+        let mut tree = Self::new(root_tag);
+        if let NodeKind::Element { attrs: slot, .. } = &mut tree.nodes[0].kind {
+            *slot = attrs;
+        }
+        tree
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of arena slots ever allocated (including detached nodes).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn len(&self) -> usize {
+        self.descendants(self.root).count()
+    }
+
+    /// `true` iff only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes[self.root.index()].first_child.is_none()
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.node(id).kind
+    }
+
+    /// Element tag name, or `None` for text nodes.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { tag, .. } => Some(tag),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Text content, or `None` for elements.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Attributes of an element (empty slice for text nodes).
+    pub fn attrs(&self, id: NodeId) -> &[(String, String)] {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Value of attribute `name`, if present.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attrs(id).iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// `true` iff the node is an element.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Element { .. })
+    }
+
+    /// `true` iff the node has no element children.
+    ///
+    /// The paper's leaf/non-leaf split (Opt2 labels *leaves* with powers of
+    /// two) is about element structure, so text children do not count.
+    pub fn is_leaf_element(&self, id: NodeId) -> bool {
+        self.is_element(id) && !self.children(id).any(|c| self.is_element(c))
+    }
+
+    /// Parent node, `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// First child, if any.
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).first_child
+    }
+
+    /// Last child, if any.
+    pub fn last_child(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).last_child
+    }
+
+    /// Next sibling, if any.
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).next_sibling
+    }
+
+    /// Previous sibling, if any.
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).prev_sibling
+    }
+
+    /// Depth of a node: the root is at depth 0.
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// 1-indexed position among *element* siblings (text nodes skipped);
+    /// `None` for text nodes. This is the `[n]` of XPath position predicates.
+    pub fn element_sibling_position(&self, id: NodeId) -> Option<usize> {
+        if !self.is_element(id) {
+            return None;
+        }
+        let parent = self.parent(id)?;
+        let mut pos = 0;
+        for c in self.children(parent) {
+            if self.is_element(c) {
+                pos += 1;
+            }
+            if c == id {
+                return Some(pos);
+            }
+        }
+        unreachable!("node not found among its parent's children");
+    }
+
+    // ------------------------------------------------------------------
+    // Construction & mutation
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+        self.nodes.push(Node {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+        });
+        id
+    }
+
+    /// Creates a detached element node.
+    pub fn create_element(&mut self, tag: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Element { tag: tag.into(), attrs: Vec::new() })
+    }
+
+    /// Creates a detached element node with attributes.
+    pub fn create_element_with_attrs(
+        &mut self,
+        tag: impl Into<String>,
+        attrs: Vec<(String, String)>,
+    ) -> NodeId {
+        self.alloc(NodeKind::Element { tag: tag.into(), attrs })
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Text(text.into()))
+    }
+
+    /// Appends a detached node as the last child of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `child` is already attached somewhere.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        self.assert_detached(child);
+        let old_last = self.node(parent).last_child;
+        self.node_mut(child).parent = Some(parent);
+        self.node_mut(child).prev_sibling = old_last;
+        match old_last {
+            Some(last) => self.node_mut(last).next_sibling = Some(child),
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+        self.node_mut(parent).last_child = Some(child);
+    }
+
+    /// Convenience: creates an element and appends it in one step.
+    pub fn append_element(&mut self, parent: NodeId, tag: impl Into<String>) -> NodeId {
+        let id = self.create_element(tag);
+        self.append_child(parent, id);
+        id
+    }
+
+    /// Convenience: creates a text node and appends it in one step.
+    pub fn append_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = self.create_text(text);
+        self.append_child(parent, id);
+        id
+    }
+
+    /// Inserts a detached node immediately before `anchor` among its siblings.
+    ///
+    /// # Panics
+    /// Panics if `anchor` is the root or `node` is attached.
+    pub fn insert_before(&mut self, anchor: NodeId, node: NodeId) {
+        self.assert_detached(node);
+        let parent = self.parent(anchor).expect("cannot insert a sibling of the root");
+        let prev = self.node(anchor).prev_sibling;
+        self.node_mut(node).parent = Some(parent);
+        self.node_mut(node).prev_sibling = prev;
+        self.node_mut(node).next_sibling = Some(anchor);
+        self.node_mut(anchor).prev_sibling = Some(node);
+        match prev {
+            Some(p) => self.node_mut(p).next_sibling = Some(node),
+            None => self.node_mut(parent).first_child = Some(node),
+        }
+    }
+
+    /// Inserts a detached node immediately after `anchor` among its siblings.
+    ///
+    /// # Panics
+    /// Panics if `anchor` is the root or `node` is attached.
+    pub fn insert_after(&mut self, anchor: NodeId, node: NodeId) {
+        self.assert_detached(node);
+        let parent = self.parent(anchor).expect("cannot insert a sibling of the root");
+        let next = self.node(anchor).next_sibling;
+        self.node_mut(node).parent = Some(parent);
+        self.node_mut(node).prev_sibling = Some(anchor);
+        self.node_mut(node).next_sibling = next;
+        self.node_mut(anchor).next_sibling = Some(node);
+        match next {
+            Some(n) => self.node_mut(n).prev_sibling = Some(node),
+            None => self.node_mut(parent).last_child = Some(node),
+        }
+    }
+
+    /// Wraps `target` in a new element: the new node takes `target`'s place
+    /// among its siblings and `target` becomes its only child.
+    ///
+    /// This is the mutation of the paper's Figure 17 experiment ("insert a
+    /// node as a parent of the first level 4 node").
+    ///
+    /// # Panics
+    /// Panics if `target` is the root.
+    pub fn wrap_with_parent(&mut self, target: NodeId, tag: impl Into<String>) -> NodeId {
+        assert!(self.parent(target).is_some(), "cannot wrap the root");
+        let wrapper = self.create_element(tag);
+        // Splice the wrapper into target's place.
+        let parent = self.node(target).parent;
+        let prev = self.node(target).prev_sibling;
+        let next = self.node(target).next_sibling;
+        {
+            let w = self.node_mut(wrapper);
+            w.parent = parent;
+            w.prev_sibling = prev;
+            w.next_sibling = next;
+            w.first_child = Some(target);
+            w.last_child = Some(target);
+        }
+        let parent = parent.expect("checked above");
+        match prev {
+            Some(p) => self.node_mut(p).next_sibling = Some(wrapper),
+            None => self.node_mut(parent).first_child = Some(wrapper),
+        }
+        match next {
+            Some(n) => self.node_mut(n).prev_sibling = Some(wrapper),
+            None => self.node_mut(parent).last_child = Some(wrapper),
+        }
+        {
+            let t = self.node_mut(target);
+            t.parent = Some(wrapper);
+            t.prev_sibling = None;
+            t.next_sibling = None;
+        }
+        wrapper
+    }
+
+    /// Detaches a node (and its whole subtree) from the tree. The subtree
+    /// stays intact and can be re-attached.
+    ///
+    /// # Panics
+    /// Panics if `id` is the root.
+    pub fn detach(&mut self, id: NodeId) {
+        assert!(id != self.root, "cannot detach the root");
+        let (parent, prev, next) = {
+            let n = self.node(id);
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        let Some(parent) = parent else { return }; // already detached
+        match prev {
+            Some(p) => self.node_mut(p).next_sibling = next,
+            None => self.node_mut(parent).first_child = next,
+        }
+        match next {
+            Some(n) => self.node_mut(n).prev_sibling = prev,
+            None => self.node_mut(parent).last_child = prev,
+        }
+        let n = self.node_mut(id);
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+    }
+
+    fn assert_detached(&self, id: NodeId) {
+        let n = self.node(id);
+        assert!(
+            n.parent.is_none() && n.prev_sibling.is_none() && n.next_sibling.is_none() && id != self.root,
+            "node {id} is already attached"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    /// Iterates over the children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children { tree: self, next: self.node(id).first_child }
+    }
+
+    /// Iterates over element children only.
+    pub fn element_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).filter(|&c| self.is_element(c))
+    }
+
+    /// Iterates over ancestors from the parent up to the root.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { tree: self, next: self.node(id).parent }
+    }
+
+    /// Preorder (document-order) traversal of the subtree rooted at `id`,
+    /// including `id` itself.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { tree: self, root: id, next: Some(id) }
+    }
+
+    /// Preorder traversal restricted to element nodes.
+    pub fn element_descendants(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.descendants(id).filter(|&n| self.is_element(n))
+    }
+
+    /// All element nodes of the document in document order.
+    pub fn elements(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.element_descendants(self.root)
+    }
+
+    /// `true` iff `anc` is a proper ancestor of `desc` (ground truth used to
+    /// validate every labeling scheme's ancestor test).
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        self.ancestors(desc).any(|a| a == anc)
+    }
+
+    /// Elements at exactly `level` (root = level 0), in document order.
+    pub fn elements_at_depth(&self, level: usize) -> Vec<NodeId> {
+        self.elements().filter(|&n| self.depth(n) == level).collect()
+    }
+}
+
+/// Iterator over a node's children. See [`XmlTree::children`].
+pub struct Children<'a> {
+    tree: &'a XmlTree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.node(cur).next_sibling;
+        Some(cur)
+    }
+}
+
+/// Iterator over a node's ancestors. See [`XmlTree::ancestors`].
+pub struct Ancestors<'a> {
+    tree: &'a XmlTree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.node(cur).parent;
+        Some(cur)
+    }
+}
+
+/// Preorder iterator over a subtree. See [`XmlTree::descendants`].
+pub struct Descendants<'a> {
+    tree: &'a XmlTree,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        // Preorder successor: first child, else next sibling of the nearest
+        // ancestor (within the subtree) that has one.
+        let node = self.tree.node(cur);
+        self.next = if let Some(c) = node.first_child {
+            Some(c)
+        } else {
+            let mut at = cur;
+            loop {
+                if at == self.root {
+                    break None;
+                }
+                if let Some(sib) = self.tree.node(at).next_sibling {
+                    break Some(sib);
+                }
+                match self.tree.node(at).parent {
+                    Some(p) => at = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// book ── author(Mary) ── author(Tom) ── author(John): the Figure 8 tree.
+    fn figure8() -> (XmlTree, Vec<NodeId>) {
+        let mut t = XmlTree::new("book");
+        let root = t.root();
+        let authors: Vec<NodeId> = (0..3).map(|_| t.append_element(root, "author")).collect();
+        for (a, name) in authors.iter().zip(["Mary", "Tom", "John"]) {
+            t.append_text(*a, name);
+        }
+        (t, authors)
+    }
+
+    #[test]
+    fn construction_links_are_consistent() {
+        let (t, authors) = figure8();
+        let root = t.root();
+        assert_eq!(t.first_child(root), Some(authors[0]));
+        assert_eq!(t.last_child(root), Some(authors[2]));
+        assert_eq!(t.next_sibling(authors[0]), Some(authors[1]));
+        assert_eq!(t.prev_sibling(authors[2]), Some(authors[1]));
+        assert_eq!(t.parent(authors[1]), Some(root));
+        assert_eq!(t.parent(root), None);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let (t, authors) = figure8();
+        let order: Vec<NodeId> = t.descendants(t.root()).collect();
+        assert_eq!(order.len(), 7); // book + 3 authors + 3 texts
+        assert_eq!(order[0], t.root());
+        assert_eq!(order[1], authors[0]);
+        assert_eq!(order[3], authors[1]);
+        assert_eq!(order[5], authors[2]);
+    }
+
+    #[test]
+    fn elements_skip_text() {
+        let (t, _) = figure8();
+        assert_eq!(t.elements().count(), 4);
+        assert!(t.elements().all(|n| t.is_element(n)));
+    }
+
+    #[test]
+    fn depth_and_ancestors() {
+        let mut t = XmlTree::new("a");
+        let b = t.append_element(t.root(), "b");
+        let c = t.append_element(b, "c");
+        let d = t.append_element(c, "d");
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.depth(d), 3);
+        let ancs: Vec<NodeId> = t.ancestors(d).collect();
+        assert_eq!(ancs, vec![c, b, t.root()]);
+        assert!(t.is_ancestor(t.root(), d));
+        assert!(t.is_ancestor(b, d));
+        assert!(!t.is_ancestor(d, b));
+        assert!(!t.is_ancestor(d, d), "a node is not its own ancestor");
+    }
+
+    #[test]
+    fn insert_before_and_after_keep_order() {
+        let (mut t, authors) = figure8();
+        // §4's running example: insert a new author as the SECOND author.
+        let new = t.create_element("author");
+        t.insert_before(authors[1], new);
+        let kids: Vec<NodeId> = t.children(t.root()).collect();
+        assert_eq!(kids, vec![authors[0], new, authors[1], authors[2]]);
+
+        let last = t.create_element("author");
+        t.insert_after(authors[2], last);
+        let kids: Vec<NodeId> = t.children(t.root()).collect();
+        assert_eq!(kids.last(), Some(&last));
+    }
+
+    #[test]
+    fn insert_before_first_child_updates_parent_link() {
+        let (mut t, authors) = figure8();
+        let new = t.create_element("preface");
+        t.insert_before(authors[0], new);
+        assert_eq!(t.first_child(t.root()), Some(new));
+        assert_eq!(t.prev_sibling(new), None);
+    }
+
+    #[test]
+    fn wrap_with_parent_splices_correctly() {
+        let (mut t, authors) = figure8();
+        let wrapper = t.wrap_with_parent(authors[1], "editors");
+        let kids: Vec<NodeId> = t.children(t.root()).collect();
+        assert_eq!(kids, vec![authors[0], wrapper, authors[2]]);
+        assert_eq!(t.parent(authors[1]), Some(wrapper));
+        assert_eq!(t.children(wrapper).collect::<Vec<_>>(), vec![authors[1]]);
+        assert_eq!(t.depth(authors[1]), 2);
+        assert!(t.is_ancestor(wrapper, authors[1]));
+    }
+
+    #[test]
+    fn wrap_first_and_last_children() {
+        let (mut t, authors) = figure8();
+        let w0 = t.wrap_with_parent(authors[0], "w0");
+        assert_eq!(t.first_child(t.root()), Some(w0));
+        let w2 = t.wrap_with_parent(authors[2], "w2");
+        assert_eq!(t.last_child(t.root()), Some(w2));
+    }
+
+    #[test]
+    fn detach_and_reattach() {
+        let (mut t, authors) = figure8();
+        t.detach(authors[1]);
+        assert_eq!(t.children(t.root()).count(), 2);
+        assert_eq!(t.parent(authors[1]), None);
+        // Subtree stays intact.
+        assert_eq!(t.children(authors[1]).count(), 1);
+        t.append_child(t.root(), authors[1]);
+        let kids: Vec<NodeId> = t.children(t.root()).collect();
+        assert_eq!(kids, vec![authors[0], authors[2], authors[1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let (mut t, authors) = figure8();
+        t.append_child(t.root(), authors[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot detach the root")]
+    fn detach_root_panics() {
+        let (mut t, _) = figure8();
+        let root = t.root();
+        t.detach(root);
+    }
+
+    #[test]
+    fn element_sibling_position_skips_text() {
+        let mut t = XmlTree::new("p");
+        let root = t.root();
+        t.append_text(root, "hello ");
+        let a = t.append_element(root, "a");
+        t.append_text(root, " world ");
+        let b = t.append_element(root, "b");
+        assert_eq!(t.element_sibling_position(a), Some(1));
+        assert_eq!(t.element_sibling_position(b), Some(2));
+        let txt = t.first_child(root).unwrap();
+        assert_eq!(t.element_sibling_position(txt), None);
+    }
+
+    #[test]
+    fn leaf_element_ignores_text_children() {
+        let (t, authors) = figure8();
+        assert!(t.is_leaf_element(authors[0]), "author with only text is a leaf element");
+        assert!(!t.is_leaf_element(t.root()));
+    }
+
+    #[test]
+    fn attributes_are_queryable() {
+        let mut t = XmlTree::new("root");
+        let e = t.create_element_with_attrs(
+            "speech",
+            vec![("speaker".into(), "HAMLET".into()), ("act".into(), "3".into())],
+        );
+        t.append_child(t.root(), e);
+        assert_eq!(t.attr(e, "speaker"), Some("HAMLET"));
+        assert_eq!(t.attr(e, "act"), Some("3"));
+        assert_eq!(t.attr(e, "scene"), None);
+        assert_eq!(t.attrs(e).len(), 2);
+    }
+
+    #[test]
+    fn elements_at_depth_levels() {
+        let mut t = XmlTree::new("a");
+        let b1 = t.append_element(t.root(), "b");
+        let b2 = t.append_element(t.root(), "b");
+        let c = t.append_element(b1, "c");
+        assert_eq!(t.elements_at_depth(0), vec![t.root()]);
+        assert_eq!(t.elements_at_depth(1), vec![b1, b2]);
+        assert_eq!(t.elements_at_depth(2), vec![c]);
+        assert!(t.elements_at_depth(3).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Robustness: the parser must never panic — arbitrary input yields either
+//! a tree or a positioned error.
+
+use proptest::prelude::*;
+use xp_xmltree::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn xmlish_strings_never_panic(
+        input in "[<>/a-c \"'=&;!\\[\\]#x0-9-]{0,120}"
+    ) {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn mangled_valid_documents_never_panic(
+        cut in any::<prop::sample::Index>(),
+        insert in any::<prop::sample::Index>(),
+        junk in "[<>&;\"']{1,4}",
+    ) {
+        let doc = r#"<play t="x"><!--c--><act><speech>line &amp; more</speech><![CDATA[raw]]></act></play>"#;
+        // Truncate somewhere.
+        let cut_at = cut.index(doc.len() + 1);
+        let truncated = &doc[..floor_char(doc, cut_at)];
+        let _ = parse(truncated);
+        // Splice junk somewhere.
+        let at = floor_char(doc, insert.index(doc.len() + 1));
+        let spliced = format!("{}{}{}", &doc[..at], junk, &doc[at..]);
+        let _ = parse(&spliced);
+    }
+}
+
+/// Largest char boundary `<= i`.
+fn floor_char(s: &str, mut i: usize) -> usize {
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+#[test]
+fn error_positions_are_always_in_range() {
+    for bad in ["<", "<a", "<a><b>", "</a>", "<a></b>", "<a>&bad;</a>", "<a x=>", "<a>&#xZZ;</a>"] {
+        if let Err(e) = parse(bad) {
+            assert!(e.offset <= bad.len(), "{bad:?}: offset {} out of range", e.offset);
+            assert!(e.line >= 1 && e.column >= 1, "{bad:?}");
+        }
+    }
+}

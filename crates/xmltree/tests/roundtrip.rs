@@ -1,0 +1,131 @@
+//! Property tests: serialize → parse is the identity on arbitrary trees,
+//! including hostile text content; mutation preserves structural
+//! invariants.
+
+use proptest::prelude::*;
+use xp_xmltree::{parse, serialize, NodeKind, XmlTree};
+
+/// An arbitrary tree with arbitrary (printable) text content sprinkled in.
+fn tree_strategy() -> impl Strategy<Value = XmlTree> {
+    let text = prop::string::string_regex("[ -~]{0,12}").expect("valid regex");
+    (
+        prop::collection::vec(any::<prop::sample::Index>(), 0..30),
+        prop::collection::vec(text, 0..10),
+    )
+        .prop_map(|(attach, texts)| {
+            let mut tree = XmlTree::new("root");
+            let mut elements = vec![tree.root()];
+            for (i, idx) in attach.iter().enumerate() {
+                let parent = elements[idx.index(elements.len())];
+                let child = tree.append_element(parent, format!("e{}", i % 5));
+                elements.push(child);
+            }
+            for (i, t) in texts.into_iter().enumerate() {
+                // Whitespace-only text is dropped by the default parser
+                // options; keep the round trip honest by skipping those.
+                if t.trim().is_empty() {
+                    continue;
+                }
+                let parent = elements[i % elements.len()];
+                tree.append_text(parent, t);
+            }
+            tree
+        })
+}
+
+/// Canonical structure with adjacent text siblings merged — XML cannot
+/// distinguish `"a" + "b"` from `"ab"`, so neither should the comparison.
+fn structure(tree: &XmlTree) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for n in tree.descendants(tree.root()) {
+        let depth = tree.depth(n);
+        match tree.kind(n) {
+            NodeKind::Element { tag, .. } => out.push((depth, format!("<{tag}>"))),
+            NodeKind::Text(t) => {
+                match out.last_mut() {
+                    Some((d, last)) if *d == depth && last.starts_with('#') => {
+                        last.push_str(t);
+                    }
+                    _ => out.push((depth, format!("#{t}"))),
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_parse_is_identity(tree in tree_strategy()) {
+        let xml = serialize::to_string(&tree);
+        let reparsed = parse(&xml).unwrap();
+        prop_assert_eq!(structure(&tree), structure(&reparsed));
+        // And the serialization is a fixpoint.
+        prop_assert_eq!(serialize::to_string(&reparsed), xml);
+    }
+
+    #[test]
+    fn pretty_parse_preserves_element_structure(tree in tree_strategy()) {
+        let xml = serialize::to_string_pretty(&tree, 2);
+        let reparsed = parse(&xml).unwrap();
+        // Pretty-printing adds whitespace text which default parsing drops,
+        // so compare element structure only.
+        let elements = |t: &XmlTree| -> Vec<(usize, String)> {
+            t.elements().map(|n| (t.depth(n), t.tag(n).unwrap().to_string())).collect()
+        };
+        prop_assert_eq!(elements(&tree), elements(&reparsed));
+    }
+
+    #[test]
+    fn attributes_round_trip(values in prop::collection::vec("[ -~]{0,10}", 0..6)) {
+        let attrs: Vec<(String, String)> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (format!("a{i}"), v))
+            .collect();
+        let tree = XmlTree::new_with_attrs("x", attrs.clone());
+        let xml = serialize::to_string(&tree);
+        let reparsed = parse(&xml).unwrap();
+        prop_assert_eq!(reparsed.attrs(reparsed.root()), &attrs[..]);
+    }
+
+    #[test]
+    fn detach_preserves_the_remaining_structure(
+        tree in tree_strategy(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut tree = tree;
+        let nodes: Vec<_> = tree.elements().collect();
+        prop_assume!(nodes.len() > 1);
+        let victim = nodes[1 + pick.index(nodes.len() - 1)]; // never the root
+        let removed = tree.descendants(victim).count();
+        let before = tree.descendants(tree.root()).count();
+        tree.detach(victim);
+        let after = tree.descendants(tree.root()).count();
+        prop_assert_eq!(before - removed, after);
+        // Links stay consistent: every reachable node's children point back.
+        for n in tree.descendants(tree.root()).collect::<Vec<_>>() {
+            for c in tree.children(n) {
+                prop_assert_eq!(tree.parent(c), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_preserves_preorder_of_other_nodes(
+        tree in tree_strategy(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut tree = tree;
+        let nodes: Vec<_> = tree.elements().collect();
+        prop_assume!(nodes.len() > 1);
+        let target = nodes[1 + pick.index(nodes.len() - 1)];
+        let before: Vec<_> = tree.elements().collect();
+        let wrapper = tree.wrap_with_parent(target, "w");
+        let after: Vec<_> = tree.elements().filter(|&n| n != wrapper).collect();
+        prop_assert_eq!(before, after, "wrapping must not reorder the others");
+        prop_assert_eq!(tree.parent(target), Some(wrapper));
+    }
+}

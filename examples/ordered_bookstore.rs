@@ -1,0 +1,55 @@
+//! Ordered updates on a bookstore: the §4 scenario end to end.
+//!
+//! A storefront keeps books whose author lists are *ordered* (first author
+//! matters!). Editors keep inserting authors in the middle. With interval
+//! or prefix labels every insertion cascades; with the prime scheme + SC
+//! table only the congruence records covering shifted nodes are touched.
+//!
+//! ```text
+//! cargo run -p xmlprime --example ordered_bookstore
+//! ```
+
+use xmlprime::prelude::*;
+
+fn main() {
+    let mut tree = parse(
+        "<store>\
+           <book><author/><author/><author/></book>\
+           <book><author/><author/></book>\
+           <book><author/></book>\
+         </store>",
+    )
+    .unwrap();
+
+    let mut doc = OrderedPrimeDoc::build(&tree, 5).unwrap();
+    println!("initial SC table: {} records covering {} nodes", doc.sc_table().record_count(), doc.sc_table().len());
+
+    // Editorial churn: always insert a new SECOND author into book 1.
+    let store = tree.root();
+    for round in 1..=6 {
+        let book1 = tree.first_child(store).unwrap();
+        let second_author = tree.element_children(book1).nth(1).unwrap();
+        let report = doc.insert_sibling_before(&mut tree, second_author, "author").unwrap();
+        println!(
+            "round {round}: inserted author at order {}, touched {} SC record(s), {} label(s) relabeled",
+            doc.order_of(report.node),
+            report.sc_records_updated,
+            report.relabeled_existing,
+        );
+        doc.verify_order_consistency(&tree);
+    }
+
+    // Order-sensitive queries answer from labels + SC table alone.
+    let book1 = tree.first_child(store).unwrap();
+    let authors: Vec<NodeId> = tree.element_children(book1).collect();
+    println!("\nbook 1 now has {} authors; their global order numbers:", authors.len());
+    for (i, a) in authors.iter().enumerate() {
+        println!("  author[{}] -> order {}", i + 1, doc.order_of(*a));
+    }
+
+    // Deleting never shifts order numbers.
+    let victim = authors[4];
+    let touched = doc.delete(&mut tree, victim).unwrap();
+    println!("\ndeleted author[5]: {} SC record(s) re-solved, everyone else untouched", touched);
+    doc.verify_order_consistency(&tree);
+}

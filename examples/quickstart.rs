@@ -1,0 +1,49 @@
+//! Quickstart: parse a document, label it three ways, compare the labels.
+//!
+//! ```text
+//! cargo run -p xmlprime --example quickstart
+//! ```
+
+use xmlprime::prelude::*;
+
+fn main() {
+    // Figure 2's tree, as XML.
+    let doc_src = "<library>\
+        <book><title/><author/><author/></book>\
+        <book><title/><author/></book>\
+    </library>";
+    let tree = parse(doc_src).unwrap();
+    println!("document: {doc_src}\n");
+
+    // --- the paper's scheme -------------------------------------------
+    let prime = TopDownPrime::optimized().label(&tree);
+    println!("top-down prime labels (Opt1 + Opt2):");
+    for (node, label) in prime.iter() {
+        println!(
+            "  {:8} {:>10}  (self {}, {} bits)",
+            tree.tag(node).unwrap_or("?"),
+            label.value().to_string(),
+            label.self_label(),
+            label.size_bits(),
+        );
+    }
+
+    // Ancestor tests are divisibility (Property 3).
+    let library = tree.root();
+    let first_book = tree.first_child(library).unwrap();
+    let first_title = tree.first_child(first_book).unwrap();
+    assert!(prime.label(library).is_ancestor_of(prime.label(first_title)));
+    assert!(prime.label(first_book).is_parent_of(prime.label(first_title)));
+    assert!(!prime.label(first_title).is_ancestor_of(prime.label(first_book)));
+    println!("\nancestor/parent tests: OK (pure label arithmetic)");
+
+    // --- the baselines -------------------------------------------------
+    for (name, max_bits) in [
+        ("Interval", IntervalScheme::dense().label(&tree).size_stats().max_bits),
+        ("Prime", prime.size_stats().max_bits),
+        ("Prefix-2", Prefix2Scheme.label(&tree).size_stats().max_bits),
+        ("Dewey", DeweyScheme.label(&tree).size_stats().max_bits),
+    ] {
+        println!("{name:>9}: max label {max_bits} bits");
+    }
+}

@@ -1,0 +1,55 @@
+//! Scheme shootout on a generated Shakespeare play: storage footprint and
+//! the nine Table 2 queries, side by side across Interval, Prime, Prefix-2.
+//!
+//! ```text
+//! cargo run -p xmlprime --release --example scheme_shootout
+//! ```
+
+use std::time::Instant;
+use xmlprime::datagen::shakespeare::{PlayParams, ShakespeareCorpus};
+use xmlprime::prelude::*;
+use xmlprime::query::queries::TEST_QUERIES;
+
+fn main() {
+    let corpus = ShakespeareCorpus::generate_with(2, 42, &PlayParams::hamlet_like());
+    let tree = corpus.tree;
+    let n = tree.elements().count();
+    println!("corpus: {} plays, {n} element nodes\n", corpus.plays);
+
+    let t = Instant::now();
+    let interval = IntervalEvaluator::build(&tree);
+    println!("built Interval  in {:>7.1?}", t.elapsed());
+    let t = Instant::now();
+    let prime = PrimeEvaluator::build(&tree, 5);
+    println!("built Prime     in {:>7.1?} (includes the SC table)", t.elapsed());
+    let t = Instant::now();
+    let prefix2 = Prefix2Evaluator::build(&tree);
+    println!("built Prefix-2  in {:>7.1?}\n", t.elapsed());
+
+    println!("fixed-width storage (bits × rows):");
+    for (name, bits) in [
+        ("Interval", interval.fixed_width_bits()),
+        ("Prime", prime.fixed_width_bits()),
+        ("Prefix-2", prefix2.fixed_width_bits()),
+    ] {
+        println!("  {name:>9}: {:>10} bits ({:.1} bits/node)", bits, bits as f64 / n as f64);
+    }
+
+    println!("\nquery results (all schemes must agree):");
+    println!("{:>3}  {:>8} {:>10} {:>10} {:>10}", "id", "rows", "interval", "prime", "prefix2");
+    for q in &TEST_QUERIES {
+        let mut cells: Vec<String> = Vec::new();
+        let mut rows = 0usize;
+        for ev in [&interval as &dyn Evaluator, &prime, &prefix2] {
+            let t = Instant::now();
+            let result = ev.eval_str(q.path);
+            cells.push(format!("{:>8.2}ms", t.elapsed().as_secs_f64() * 1e3));
+            if rows != 0 {
+                assert_eq!(rows, result.len(), "{}: schemes disagree!", q.id);
+            }
+            rows = result.len();
+        }
+        println!("{:>3}  {rows:>8} {}", q.id, cells.join(" "));
+    }
+    println!("\nall three schemes returned identical result sets");
+}

@@ -1,0 +1,126 @@
+//! Property-based cross-scheme tests: on arbitrary ordered trees, every
+//! labeling scheme must agree with the tree (and therefore with each other)
+//! on ancestorship, parenthood, and document order.
+
+use proptest::prelude::*;
+use xmlprime::prelude::*;
+
+/// Strategy: an arbitrary ordered tree described as a parent vector —
+/// node i (1-indexed) attaches under a previously created node.
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
+    prop::collection::vec(any::<prop::sample::Index>(), 0..max_nodes).prop_map(|attach| {
+        let mut tree = XmlTree::new("r");
+        let mut nodes = vec![tree.root()];
+        for (i, idx) in attach.into_iter().enumerate() {
+            let parent = nodes[idx.index(nodes.len())];
+            let child = tree.append_element(parent, format!("t{}", i % 7));
+            nodes.push(child);
+        }
+        tree
+    })
+}
+
+fn doc_order_ranks<F: Fn(NodeId, NodeId) -> std::cmp::Ordering>(
+    tree: &XmlTree,
+    cmp: F,
+) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = tree.elements().collect();
+    nodes.sort_by(|&a, &b| cmp(a, b));
+    nodes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_schemes_match_ground_truth(tree in tree_strategy(60)) {
+        let prime_plain = TopDownPrime::unoptimized().label(&tree);
+        let prime_opt = TopDownPrime::optimized().label(&tree);
+        let interval = IntervalScheme::dense().label(&tree);
+        let prefix1 = Prefix1Scheme.label(&tree);
+        let prefix2 = Prefix2Scheme.label(&tree);
+        let dewey = DeweyScheme.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                let truth = tree.is_ancestor(x, y);
+                prop_assert_eq!(prime_plain.label(x).is_ancestor_of(prime_plain.label(y)), truth);
+                prop_assert_eq!(prime_opt.label(x).is_ancestor_of(prime_opt.label(y)), truth);
+                prop_assert_eq!(interval.label(x).is_ancestor_of(interval.label(y)), truth);
+                prop_assert_eq!(prefix1.label(x).is_ancestor_of(prefix1.label(y)), truth);
+                prop_assert_eq!(prefix2.label(x).is_ancestor_of(prefix2.label(y)), truth);
+                prop_assert_eq!(dewey.label(x).is_ancestor_of(dewey.label(y)), truth);
+
+                let is_parent = tree.parent(y) == Some(x);
+                prop_assert_eq!(prime_plain.label(x).is_parent_of(prime_plain.label(y)), is_parent);
+                prop_assert_eq!(prime_opt.label(x).is_parent_of(prime_opt.label(y)), is_parent);
+                prop_assert_eq!(prefix2.label(x).is_parent_of(prefix2.label(y)), is_parent);
+                prop_assert_eq!(dewey.label(x).is_parent_of(dewey.label(y)), is_parent);
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_labels_sort_in_document_order(tree in tree_strategy(60)) {
+        let truth: Vec<NodeId> = tree.elements().collect();
+
+        let interval = IntervalScheme::dense().label(&tree);
+        let by_interval = doc_order_ranks(&tree, |a, b| {
+            interval.label(a).doc_cmp(interval.label(b))
+        });
+        prop_assert_eq!(&by_interval, &truth);
+
+        let prefix2 = Prefix2Scheme.label(&tree);
+        let by_prefix = doc_order_ranks(&tree, |a, b| {
+            prefix2.label(a).doc_cmp(prefix2.label(b))
+        });
+        prop_assert_eq!(&by_prefix, &truth);
+
+        let dewey = DeweyScheme.label(&tree);
+        let by_dewey = doc_order_ranks(&tree, |a, b| {
+            dewey.label(a).doc_cmp(dewey.label(b))
+        });
+        prop_assert_eq!(&by_dewey, &truth);
+    }
+
+    #[test]
+    fn sc_table_orders_match_preorder(tree in tree_strategy(40)) {
+        for chunk in [1usize, 3, 7] {
+            let doc = OrderedPrimeDoc::build(&tree, chunk).unwrap();
+            doc.verify_order_consistency(&tree);
+            // Order numbers are exactly 0..n in preorder.
+            for (i, node) in tree.elements().enumerate() {
+                prop_assert_eq!(doc.order_of(node), i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn prime_labels_are_unique_and_divisor_closed(tree in tree_strategy(50)) {
+        let doc = TopDownPrime::unoptimized().label(&tree);
+        let mut seen = std::collections::HashSet::new();
+        for (node, label) in doc.iter() {
+            prop_assert!(seen.insert(label.value().clone()), "duplicate label at {node}");
+            // Every label is the product of its self-label and its parent's
+            // label (the defining recurrence).
+            if let Some(parent) = tree.parent(node) {
+                let expected = doc.label(parent).value() * label.self_label();
+                prop_assert_eq!(label.value(), &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_agree_across_schemes_on_random_trees(tree in tree_strategy(40)) {
+        let interval = IntervalEvaluator::build(&tree);
+        let prime = PrimeEvaluator::build(&tree, 5);
+        let prefix = Prefix2Evaluator::build(&tree);
+        for path in ["//t0", "//t1//t2", "/r//t3[1]", "//t4/following::t5", "//t6/preceding::t0"] {
+            let a = interval.eval_str(path);
+            let b = prime.eval_str(path);
+            let c = prefix.eval_str(path);
+            prop_assert_eq!(&a, &b, "{}", path);
+            prop_assert_eq!(&a, &c, "{}", path);
+        }
+    }
+}

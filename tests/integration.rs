@@ -1,0 +1,119 @@
+//! End-to-end integration: parse → label → query → mutate, across crates.
+
+use xmlprime::datagen::datasets::DATASETS;
+use xmlprime::prelude::*;
+use xmlprime::query::queries::{run_all, TEST_QUERIES};
+
+#[test]
+fn every_dataset_labels_cleanly_under_every_scheme() {
+    for d in &DATASETS {
+        let tree = d.generate(99);
+        let n = tree.elements().count();
+        assert_eq!(TopDownPrime::unoptimized().label(&tree).len(), n, "{}", d.id);
+        assert_eq!(TopDownPrime::optimized().label(&tree).len(), n, "{}", d.id);
+        assert_eq!(IntervalScheme::dense().label(&tree).len(), n, "{}", d.id);
+        assert_eq!(Prefix1Scheme.label(&tree).len(), n, "{}", d.id);
+        assert_eq!(Prefix2Scheme.label(&tree).len(), n, "{}", d.id);
+        assert_eq!(DeweyScheme.label(&tree).len(), n, "{}", d.id);
+    }
+}
+
+#[test]
+fn ancestor_tests_agree_with_ground_truth_on_a_real_dataset() {
+    // D6 (department) has internal structure at several depths; sample node
+    // pairs and check all schemes against the tree.
+    let tree = xmlprime::datagen::datasets::dataset("D6").unwrap().generate(7);
+    let prime = TopDownPrime::optimized().label(&tree);
+    let interval = IntervalScheme::dense().label(&tree);
+    let prefix = Prefix2Scheme.label(&tree);
+    let dewey = DeweyScheme.label(&tree);
+    let nodes: Vec<NodeId> = tree.elements().collect();
+    for (i, &x) in nodes.iter().enumerate().step_by(37) {
+        for &y in nodes.iter().skip(i % 11).step_by(23) {
+            let truth = tree.is_ancestor(x, y);
+            assert_eq!(prime.label(x).is_ancestor_of(prime.label(y)), truth);
+            assert_eq!(interval.label(x).is_ancestor_of(interval.label(y)), truth);
+            assert_eq!(prefix.label(x).is_ancestor_of(prefix.label(y)), truth);
+            assert_eq!(dewey.label(x).is_ancestor_of(dewey.label(y)), truth);
+        }
+    }
+}
+
+#[test]
+fn parse_serialize_label_round_trip() {
+    let d8 = xmlprime::datagen::datasets::dataset("D8").unwrap().generate(3);
+    let serialized = xmlprime::xmltree::serialize::to_string(&d8);
+    let reparsed = parse(&serialized).unwrap();
+    assert_eq!(d8.elements().count(), reparsed.elements().count());
+    // Labeling the reparsed document gives identical label sizes (same
+    // structure ⇒ same assignment).
+    let a = TopDownPrime::optimized().label(&d8).size_stats();
+    let b = TopDownPrime::optimized().label(&reparsed).size_stats();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn table2_queries_run_and_agree_on_the_generated_corpus() {
+    use xmlprime::datagen::shakespeare::{PlayParams, ShakespeareCorpus};
+    let tree = ShakespeareCorpus::generate_with(3, 5, &PlayParams::miniature()).tree;
+    let interval = IntervalEvaluator::build(&tree);
+    let prime = PrimeEvaluator::build(&tree, 5);
+    let prefix = Prefix2Evaluator::build(&tree);
+    let a = run_all(&interval);
+    let b = run_all(&prime);
+    let c = run_all(&prefix);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+    // And results are plausible: Q9 (all lines) dominates.
+    let q9 = a.iter().find(|(id, _)| *id == "Q9").unwrap().1;
+    assert!(q9 > 0);
+    for (_, count) in &a {
+        assert!(*count <= q9 * 3, "no count dwarfs the line scan");
+    }
+}
+
+#[test]
+fn query_engine_handles_each_table2_query_after_updates() {
+    let mut tree = parse(
+        "<PLAY><TITLE/><ACT><SCENE><SPEECH><LINE/></SPEECH></SCENE></ACT>\
+         <ACT><SCENE><SPEECH><LINE/><LINE/></SPEECH></SCENE></ACT></PLAY>",
+    )
+    .unwrap();
+    // Insert a new ACT between the two, then rebuild evaluators and check
+    // the queries still run and agree.
+    let second_act = tree.elements().filter(|&n| tree.tag(n) == Some("ACT")).nth(1).unwrap();
+    let new_act = tree.create_element("ACT");
+    tree.insert_before(second_act, new_act);
+
+    let prime = PrimeEvaluator::build(&tree, 5);
+    let interval = IntervalEvaluator::build(&tree);
+    for q in &TEST_QUERIES {
+        assert_eq!(prime.eval_str(q.path), interval.eval_str(q.path), "{} after update", q.id);
+    }
+}
+
+#[test]
+fn bottom_up_and_top_down_agree_on_ancestorship() {
+    use xmlprime::prime::bottomup::BottomUpPrime;
+    let tree = xmlprime::datagen::builders::random_tree(
+        3,
+        &xmlprime::datagen::builders::RandomTreeParams {
+            nodes: 300,
+            max_depth: 6,
+            max_fanout: 8,
+            tag_variety: 5,
+        },
+    );
+    let td = TopDownPrime::unoptimized().label(&tree);
+    let bu = BottomUpPrime.label(&tree);
+    let nodes: Vec<NodeId> = tree.elements().collect();
+    for &x in nodes.iter().step_by(7) {
+        for &y in nodes.iter().step_by(11) {
+            assert_eq!(
+                td.label(x).is_ancestor_of(td.label(y)),
+                bu.label(x).is_ancestor_of(bu.label(y)),
+                "({x},{y})"
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the *dynamic ordered* pipeline: arbitrary
+//! sequences of order-sensitive insertions and deletions must keep the
+//! SC-derived order a perfect preorder ranking, without ever invalidating
+//! the ancestor property of the labels.
+
+use proptest::prelude::*;
+use xmlprime::prelude::*;
+
+/// One random mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert before the element at (index % live elements).
+    InsertBefore(usize),
+    /// Insert after it.
+    InsertAfter(usize),
+    /// Append a child under it.
+    AppendChild(usize),
+    /// Delete it (skipped when it is the root).
+    Delete(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..1000).prop_map(Op::InsertBefore),
+        (0usize..1000).prop_map(Op::InsertAfter),
+        (0usize..1000).prop_map(Op::AppendChild),
+        (0usize..1000).prop_map(Op::Delete),
+    ]
+}
+
+fn nth_live(tree: &XmlTree, i: usize) -> NodeId {
+    let nodes: Vec<NodeId> = tree.elements().collect();
+    nodes[i % nodes.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_mutation_sequences_preserve_order_and_ancestry(
+        ops in prop::collection::vec(op_strategy(), 1..25)
+    ) {
+        let mut tree = parse("<r><a><b/><c/></a><d/><e><f/></e></r>").unwrap();
+        let mut doc = OrderedPrimeDoc::build(&tree, 3).unwrap();
+        for op in ops {
+            match op {
+                Op::InsertBefore(i) => {
+                    let anchor = nth_live(&tree, i);
+                    if tree.parent(anchor).is_some() {
+                        doc.insert_sibling_before(&mut tree, anchor, "n").unwrap();
+                    }
+                }
+                Op::InsertAfter(i) => {
+                    let anchor = nth_live(&tree, i);
+                    if tree.parent(anchor).is_some() {
+                        doc.insert_sibling_after(&mut tree, anchor, "n").unwrap();
+                    }
+                }
+                Op::AppendChild(i) => {
+                    let parent = nth_live(&tree, i);
+                    doc.append_child(&mut tree, parent, "n").unwrap();
+                }
+                Op::Delete(i) => {
+                    let target = nth_live(&tree, i);
+                    if tree.parent(target).is_some() {
+                        doc.delete(&mut tree, target).unwrap();
+                    }
+                }
+            }
+            doc.verify_order_consistency(&tree);
+        }
+
+        // After the dust settles: labels still decide ancestry exactly.
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                prop_assert_eq!(
+                    doc.labels().label(x).is_ancestor_of(doc.labels().label(y)),
+                    tree.is_ancestor(x, y),
+                    "ancestor({}, {})", x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_reports_account_for_every_label_change(
+        positions in prop::collection::vec(0usize..1000, 1..12)
+    ) {
+        let mut tree = parse("<r><a/><b/><c/><d/><e/><f/><g/><h/></r>").unwrap();
+        let mut doc = OrderedPrimeDoc::build(&tree, 4).unwrap();
+        for pos in positions {
+            let anchor = nth_live(&tree, pos.max(1));
+            if tree.parent(anchor).is_none() {
+                continue;
+            }
+            let before = doc.labels().clone();
+            let report = doc.insert_sibling_before(&mut tree, anchor, "x").unwrap();
+            let diff = before.diff_count(doc.labels());
+            // The report's relabel count is exactly the measured label diff.
+            prop_assert_eq!(diff.changed, report.relabeled_existing);
+            prop_assert_eq!(diff.new_count, 1);
+        }
+    }
+
+    #[test]
+    fn chunk_capacity_never_changes_query_results(
+        seed in 0u64..1000
+    ) {
+        let tree = xmlprime::datagen::builders::random_tree(
+            seed,
+            &xmlprime::datagen::builders::RandomTreeParams {
+                nodes: 120, max_depth: 5, max_fanout: 6, tag_variety: 4,
+            },
+        );
+        let e1 = PrimeEvaluator::build(&tree, 1);
+        let e5 = PrimeEvaluator::build(&tree, 5);
+        let e50 = PrimeEvaluator::build(&tree, 50);
+        for path in ["//t0", "//t1/following::t2", "//t3[2]", "//t0/following-sibling::t1"] {
+            let a = e1.eval_str(path);
+            prop_assert_eq!(&a, &e5.eval_str(path), "{}", path);
+            prop_assert_eq!(&a, &e50.eval_str(path), "{}", path);
+        }
+    }
+}
