@@ -1,25 +1,30 @@
 //! Codec robustness: decoding arbitrary bytes must never panic, and every
 //! encode → decode round trip must be the identity.
 
-use proptest::prelude::*;
 use xp_baselines::dewey::DeweyLabel;
 use xp_baselines::interval::IntervalLabel;
 use xp_baselines::prefix::PrefixLabel;
 use xp_labelkit::codec::LabelCodec;
 use xp_labelkit::BitString;
+use xp_testkit::propcheck::{string_from, u32s, u64s, u8s, usizes, vec_of};
+use xp_testkit::{prop_assert, prop_assert_eq, propcheck};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+propcheck! {
+    #![config(cases = 256)]
 
     #[test]
-    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+    fn arbitrary_bytes_never_panic(bytes in vec_of(u8s(0..=255), 0..64)) {
         let _ = IntervalLabel::decode(&mut bytes.as_slice());
         let _ = PrefixLabel::decode(&mut bytes.as_slice());
         let _ = DeweyLabel::decode(&mut bytes.as_slice());
     }
 
     #[test]
-    fn interval_round_trips(order in 1u64..u64::MAX / 2, size in 0u64..u64::MAX / 2, level in 0u32..1000) {
+    fn interval_round_trips(
+        order in u64s(1..u64::MAX / 2),
+        size in u64s(0..u64::MAX / 2),
+        level in u32s(0..1000),
+    ) {
         let label = IntervalLabel { order, size, level };
         let mut buf = Vec::new();
         label.encode(&mut buf);
@@ -29,7 +34,7 @@ proptest! {
     }
 
     #[test]
-    fn dewey_round_trips(components in prop::collection::vec(1u32..100_000, 0..12)) {
+    fn dewey_round_trips(components in vec_of(u32s(1..100_000), 0..12)) {
         let label = DeweyLabel::from_components(components);
         let mut buf = Vec::new();
         label.encode(&mut buf);
@@ -37,7 +42,7 @@ proptest! {
     }
 
     #[test]
-    fn prefix_round_trips(bits in "[01]{0,80}", extra_level in 0usize..20) {
+    fn prefix_round_trips(bits in string_from("01", 0..=80), extra_level in usizes(0..20)) {
         // Build a label through the public scheme API surface: concat codes.
         let code = BitString::from_bits(&bits);
         let mut label = xp_baselines::prefix::PrefixLabel::root();

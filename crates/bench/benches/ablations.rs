@@ -3,54 +3,48 @@
 //! * CRT solver: extended-Euclid folding vs the paper's Euler-totient form.
 //! * SC table construction and update cost across chunk sizes.
 //! * Query join strategy: stack-tree structural join vs nested loops.
+//!
+//! Results land in `results/bench_<group>.json`, one group per ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xp_prime::crt;
 use xp_prime::sc::ScTable;
 use xp_primes::first_primes;
+use xp_testkit::bench::Harness;
 
-fn bench_crt_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crt_solver");
+fn bench_crt_solvers() {
+    let mut group = Harness::new("crt_solver");
     for k in [5usize, 15, 40] {
         let moduli: Vec<u64> = first_primes(k + 1)[1..].to_vec(); // odd primes
         let residues: Vec<u64> = moduli.iter().map(|&m| m / 2).collect();
-        group.bench_with_input(BenchmarkId::new("egcd", k), &k, |b, _| {
-            b.iter(|| crt::solve(&moduli, &residues).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("euler_totient", k), &k, |b, _| {
-            b.iter(|| crt::solve_euler(&moduli, &residues).unwrap())
-        });
+        group.bench(&format!("egcd/{k}"), || crt::solve(&moduli, &residues).unwrap());
+        group.bench(&format!("euler_totient/{k}"), || crt::solve_euler(&moduli, &residues).unwrap());
     }
     group.finish();
 }
 
-fn bench_sc_chunk_sizes(c: &mut Criterion) {
+fn bench_sc_chunk_sizes() {
     let n = 2000usize;
     let items: Vec<(u64, u64)> = first_primes(n + 1)[1..]
         .iter()
         .enumerate()
         .map(|(i, &p)| (p, i as u64 + 1))
         .collect();
-    let mut group = c.benchmark_group("sc_table");
+    let mut group = Harness::new("sc_table");
     group.sample_size(10);
     for chunk in [1usize, 5, 25, 100] {
-        group.bench_with_input(BenchmarkId::new("build", chunk), &chunk, |b, &chunk| {
-            b.iter(|| ScTable::build(chunk, &items).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("front_insert", chunk), &chunk, |b, &chunk| {
-            let table = ScTable::build(chunk, &items).unwrap();
-            let fresh = xp_primes::nth_prime(n as u64 + 10);
-            b.iter_batched(
-                || table.clone(),
-                |mut t| t.insert(fresh, 500).unwrap(),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench(&format!("build/{chunk}"), || ScTable::build(chunk, &items).unwrap());
+        let table = ScTable::build(chunk, &items).unwrap();
+        let fresh = xp_primes::nth_prime(n as u64 + 10);
+        group.bench_batched(
+            &format!("front_insert/{chunk}"),
+            || table.clone(),
+            |mut t| t.insert(fresh, 500).unwrap(),
+        );
     }
     group.finish();
 }
 
-fn bench_join_strategies(c: &mut Criterion) {
+fn bench_join_strategies() {
     use xp_bench::experiments::timing::corpus;
     use xp_query::engine::{eval_path_with, Path};
     use xp_query::evaluators::{Evaluator, IntervalEvaluator};
@@ -71,18 +65,14 @@ fn bench_join_strategies(c: &mut Criterion) {
     }
     let oracle = Oracle(ev.table());
 
-    let mut group = c.benchmark_group("join_strategy");
+    let mut group = Harness::new("join_strategy");
     group.sample_size(10);
-    group.bench_function("stack_tree", |b| {
-        b.iter(|| eval_path_with(ev.table(), &oracle, &path, true).len())
-    });
-    group.bench_function("nested_loop", |b| {
-        b.iter(|| eval_path_with(ev.table(), &oracle, &path, false).len())
-    });
+    group.bench("stack_tree", || eval_path_with(ev.table(), &oracle, &path, true).len());
+    group.bench("nested_loop", || eval_path_with(ev.table(), &oracle, &path, false).len());
     group.finish();
 }
 
-fn bench_ordered_update_throughput(c: &mut Criterion) {
+fn bench_ordered_update_throughput() {
     use xp_baselines::interval::IntervalScheme;
     use xp_datagen::shakespeare::{generate_play, PlayParams};
     use xp_labelkit::Scheme;
@@ -95,42 +85,36 @@ fn bench_ordered_update_throughput(c: &mut Criterion) {
         t.elements().filter(|&n| t.tag(n) == Some("ACT")).collect()
     };
 
-    let mut group = c.benchmark_group("ordered_update");
+    let mut group = Harness::new("ordered_update");
     group.sample_size(10);
-    group.bench_function("prime_sc_incremental", |b| {
-        b.iter_batched(
-            || {
-                let t = play.clone();
-                let doc = OrderedPrimeDoc::build(&t, 5).unwrap();
-                (t, doc)
-            },
-            |(mut t, mut doc)| {
-                let act3 = acts(&t)[2];
-                doc.insert_sibling_before(&mut t, act3, "ACT").unwrap()
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("interval_full_relabel", |b| {
-        b.iter_batched(
-            || play.clone(),
-            |mut t| {
-                let act3 = acts(&t)[2];
-                let new = t.create_element("ACT");
-                t.insert_before(act3, new);
-                IntervalScheme::dense().label(&t).len()
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    group.bench_batched(
+        "prime_sc_incremental",
+        || {
+            let t = play.clone();
+            let doc = OrderedPrimeDoc::build(&t, 5).unwrap();
+            (t, doc)
+        },
+        |(mut t, mut doc)| {
+            let act3 = acts(&t)[2];
+            doc.insert_sibling_before(&mut t, act3, "ACT").unwrap()
+        },
+    );
+    group.bench_batched(
+        "interval_full_relabel",
+        || play.clone(),
+        |mut t| {
+            let act3 = acts(&t)[2];
+            let new = t.create_element("ACT");
+            t.insert_before(act3, new);
+            IntervalScheme::dense().label(&t).len()
+        },
+    );
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_crt_solvers,
-    bench_sc_chunk_sizes,
-    bench_join_strategies,
-    bench_ordered_update_throughput
-);
-criterion_main!(benches);
+fn main() {
+    bench_crt_solvers();
+    bench_sc_chunk_sizes();
+    bench_join_strategies();
+    bench_ordered_update_throughput();
+}

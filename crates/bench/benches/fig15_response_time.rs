@@ -1,30 +1,24 @@
-//! Criterion timing for Figure 15: the nine Table 2 queries across the
+//! Per-query timing for Figure 15: the nine Table 2 queries across the
 //! three labeling schemes on a replicated Shakespeare corpus.
 //!
 //! The harness binary `fig15_response_time` prints the paper's series from
 //! a single timed sweep; this bench gives statistically solid per-query
-//! numbers (smaller corpus + few samples keep the run tractable).
+//! numbers (smaller corpus + few samples keep the run tractable). Results
+//! land in `results/bench_fig15.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xp_bench::experiments::timing::{corpus, evaluators};
 use xp_query::queries::TEST_QUERIES;
+use xp_testkit::bench::Harness;
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let tree = corpus(2);
     let evs = evaluators(&tree);
-    let mut group = c.benchmark_group("fig15");
+    let mut group = Harness::new("fig15");
     group.sample_size(10);
     for q in &TEST_QUERIES {
         for ev in &evs {
-            group.bench_with_input(
-                BenchmarkId::new(ev.name(), q.id),
-                &q.path,
-                |b, path| b.iter(|| ev.eval_str(path).len()),
-            );
+            group.bench(&format!("{}/{}", ev.name(), q.id), || ev.eval_str(&q.path).len());
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Labeling throughput: how fast each scheme labels a mid-sized dataset
 //! (D6, 2686 nodes) and the big one (D9, 10052 nodes).
+//!
+//! Run with `cargo bench --bench labeling_throughput`; per-iteration
+//! min/median/p95 go to stdout and `results/bench_labeling.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xp_baselines::dewey::DeweyScheme;
 use xp_baselines::interval::IntervalScheme;
 use xp_baselines::prefix::{Prefix1Scheme, Prefix2Scheme};
@@ -9,36 +11,20 @@ use xp_datagen::datasets::dataset;
 use xp_labelkit::Scheme;
 use xp_prime::bottomup::BottomUpPrime;
 use xp_prime::topdown::TopDownPrime;
+use xp_testkit::bench::Harness;
 
-fn bench_labeling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("labeling");
+fn main() {
+    let mut group = Harness::new("labeling");
     group.sample_size(10);
     for id in ["D6", "D9"] {
         let tree = dataset(id).unwrap().generate(2004);
-        group.bench_with_input(BenchmarkId::new("interval", id), &tree, |b, t| {
-            b.iter(|| IntervalScheme::dense().label(t).len())
-        });
-        group.bench_with_input(BenchmarkId::new("prefix1", id), &tree, |b, t| {
-            b.iter(|| Prefix1Scheme.label(t).len())
-        });
-        group.bench_with_input(BenchmarkId::new("prefix2", id), &tree, |b, t| {
-            b.iter(|| Prefix2Scheme.label(t).len())
-        });
-        group.bench_with_input(BenchmarkId::new("dewey", id), &tree, |b, t| {
-            b.iter(|| DeweyScheme.label(t).len())
-        });
-        group.bench_with_input(BenchmarkId::new("prime_unopt", id), &tree, |b, t| {
-            b.iter(|| TopDownPrime::unoptimized().label(t).len())
-        });
-        group.bench_with_input(BenchmarkId::new("prime_optimized", id), &tree, |b, t| {
-            b.iter(|| TopDownPrime::optimized().label(t).len())
-        });
-        group.bench_with_input(BenchmarkId::new("prime_bottomup", id), &tree, |b, t| {
-            b.iter(|| BottomUpPrime.label(t).len())
-        });
+        group.bench(&format!("interval/{id}"), || IntervalScheme::dense().label(&tree).len());
+        group.bench(&format!("prefix1/{id}"), || Prefix1Scheme.label(&tree).len());
+        group.bench(&format!("prefix2/{id}"), || Prefix2Scheme.label(&tree).len());
+        group.bench(&format!("dewey/{id}"), || DeweyScheme.label(&tree).len());
+        group.bench(&format!("prime_unopt/{id}"), || TopDownPrime::unoptimized().label(&tree).len());
+        group.bench(&format!("prime_optimized/{id}"), || TopDownPrime::optimized().label(&tree).len());
+        group.bench(&format!("prime_bottomup/{id}"), || BottomUpPrime.label(&tree).len());
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_labeling);
-criterion_main!(benches);

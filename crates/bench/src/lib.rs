@@ -8,8 +8,9 @@
 //!   fig14_space`), which print an aligned table and write
 //!   `results/<name>.csv`;
 //! * the crate's tests, which assert the *shapes* the paper claims;
-//! * the Criterion benches (`benches/`), which time the Figure 15 queries
-//!   and the ablations.
+//! * the wall-clock benches (`benches/`, via `xp_testkit::bench`), which
+//!   time the Figure 15 queries and the ablations and write JSON summaries
+//!   into `results/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -17,8 +17,9 @@
 //! * [`modular`] — gcd, extended gcd, modular inverse, and modular
 //!   exponentiation, the building blocks of the CRT solvers in `xp-prime`.
 //!
-//! The implementation is written from scratch; `num-bigint` appears only as a
-//! dev-dependency acting as a differential-testing oracle.
+//! The implementation is written from scratch and differentially tested
+//! against `xp_testkit::refint::RefUint`, a deliberately naive schoolbook
+//! oracle that shares no algorithmic structure with this crate.
 //!
 //! ```
 //! use xp_bignum::UBig;

@@ -1,14 +1,21 @@
 //! Differential property tests: every `UBig`/`IBig` operation is checked
-//! against `num-bigint` (the oracle, used only in tests) on random operands
-//! spanning one to many limbs.
+//! against `xp_testkit::RefUint` (a deliberately naive schoolbook big
+//! integer, used only in tests) on random operands spanning one to many
+//! limbs.
 
-use num_bigint::BigUint;
-use proptest::prelude::*;
 use xp_bignum::{modular, UBig};
+use xp_testkit::propcheck::{constant, one_of, u64s, u8s, vec_of, Gen};
+use xp_testkit::refint::RefUint;
+use xp_testkit::{prop_assert, prop_assert_eq, prop_assume, propcheck};
 
 /// Random operand as raw big-endian bytes; empty means zero.
-fn bytes() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(any::<u8>(), 0..64)
+fn bytes() -> Gen<Vec<u8>> {
+    vec_of(u8s(0..=255), 0..64)
+}
+
+/// Karatsuba-sized operands (several hundred limbs).
+fn big_bytes() -> Gen<Vec<u8>> {
+    vec_of(u8s(0..=255), 300..600)
 }
 
 fn to_ubig(bytes: &[u8]) -> UBig {
@@ -19,16 +26,16 @@ fn to_ubig(bytes: &[u8]) -> UBig {
     acc
 }
 
-fn to_oracle(bytes: &[u8]) -> BigUint {
-    BigUint::from_bytes_be(bytes)
+fn to_oracle(bytes: &[u8]) -> RefUint {
+    RefUint::from_bytes_be(bytes)
 }
 
-fn same(ours: &UBig, oracle: &BigUint) -> bool {
+fn same(ours: &UBig, oracle: &RefUint) -> bool {
     ours.to_decimal() == oracle.to_string()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+propcheck! {
+    #![config(cases = 256)]
 
     #[test]
     fn construction_agrees(a in bytes()) {
@@ -58,10 +65,7 @@ proptest! {
     }
 
     #[test]
-    fn karatsuba_sized_multiplication_agrees(
-        a in prop::collection::vec(any::<u8>(), 300..600),
-        b in prop::collection::vec(any::<u8>(), 300..600),
-    ) {
+    fn karatsuba_sized_multiplication_agrees(a in big_bytes(), b in big_bytes()) {
         let ours = to_ubig(&a) * to_ubig(&b);
         let oracle = to_oracle(&a) * to_oracle(&b);
         prop_assert!(same(&ours, &oracle));
@@ -88,12 +92,12 @@ proptest! {
     }
 
     #[test]
-    fn shifts_agree(a in bytes(), k in 0u64..200) {
+    fn shifts_agree(a in bytes(), k in u64s(0..200)) {
         let ours_l = to_ubig(&a) << k;
-        let oracle_l = to_oracle(&a) << k as usize;
+        let oracle_l = to_oracle(&a) << k;
         prop_assert!(same(&ours_l, &oracle_l));
         let ours_r = to_ubig(&a) >> k;
-        let oracle_r = to_oracle(&a) >> k as usize;
+        let oracle_r = to_oracle(&a) >> k;
         prop_assert!(same(&ours_r, &oracle_r));
     }
 
@@ -125,16 +129,16 @@ proptest! {
     }
 
     #[test]
-    fn mod_pow_agrees(b in bytes(), e in 0u64..500, m in 1u64..u64::MAX) {
+    fn mod_pow_agrees(b in bytes(), e in u64s(0..500), m in u64s(1..u64::MAX)) {
         let base = to_ubig(&b);
         let modulus = UBig::from(m);
         let ours = modular::mod_pow(&base, &UBig::from(e), &modulus);
-        let oracle = to_oracle(&b).modpow(&BigUint::from(e), &BigUint::from(m));
+        let oracle = to_oracle(&b).modpow(&RefUint::from(e), &RefUint::from(m));
         prop_assert!(same(&ours, &oracle));
     }
 
     #[test]
-    fn mod_inverse_is_inverse(a in 1u64..u64::MAX, m in 2u64..u64::MAX) {
+    fn mod_inverse_is_inverse(a in u64s(1..u64::MAX), m in u64s(2..u64::MAX)) {
         let (a, m) = (UBig::from(a), UBig::from(m));
         match modular::mod_inverse(&a, &m) {
             Some(inv) => {
@@ -147,8 +151,8 @@ proptest! {
 
     #[test]
     fn crt_pair_satisfies_both_congruences(
-        r1 in 0u64..10_000, p1 in prop::sample::select(&[3u64, 5, 7, 11, 13, 17, 19, 23][..]),
-        r2 in 0u64..10_000, p2 in prop::sample::select(&[29u64, 31, 37, 41, 43, 47, 53][..]),
+        r1 in u64s(0..10_000), p1 in one_of([3u64, 5, 7, 11, 13, 17, 19, 23].map(constant).to_vec()),
+        r2 in u64s(0..10_000), p2 in one_of([29u64, 31, 37, 41, 43, 47, 53].map(constant).to_vec()),
     ) {
         let x = modular::crt_pair(
             &UBig::from(r1), &UBig::from(p1),

@@ -1,15 +1,16 @@
 //! Property tests on the prime scheme's core invariants, across random
 //! trees and random update sequences, plus codec robustness.
 
-use proptest::prelude::*;
 use xp_labelkit::codec::LabelCodec;
 use xp_labelkit::{LabelOps, Scheme};
 use xp_prime::topdown::TopDownPrime;
 use xp_prime::PrimeLabel;
+use xp_testkit::propcheck::{index, u8s, vec_of, Gen};
+use xp_testkit::{prop_assert, prop_assert_eq, propcheck};
 use xp_xmltree::{NodeId, XmlTree};
 
-fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
-    prop::collection::vec(any::<prop::sample::Index>(), 0..max_nodes).prop_map(|attach| {
+fn tree_strategy(max_nodes: usize) -> Gen<XmlTree> {
+    vec_of(index(), 0..max_nodes).map(|attach| {
         let mut tree = XmlTree::new("r");
         let mut nodes = vec![tree.root()];
         for (i, idx) in attach.into_iter().enumerate() {
@@ -20,11 +21,11 @@ fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+propcheck! {
+    #![config(cases = 256)]
 
     #[test]
-    fn decode_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+    fn decode_arbitrary_bytes_never_panics(bytes in vec_of(u8s(0..=255), 0..96)) {
         let _ = PrimeLabel::decode(&mut bytes.as_slice());
     }
 
@@ -41,7 +42,7 @@ proptest! {
     }
 
     #[test]
-    fn divisibility_transitivity_holds(tree in tree_strategy(40)) {
+    fn divisibility_transitivity_holds(tree in tree_strategy(25)) {
         // If x | y and y | z as labels, then x | z: the label algebra must
         // be transitively consistent like the ancestor relation it encodes.
         let doc = TopDownPrime::unoptimized().label(&tree);
@@ -82,7 +83,7 @@ proptest! {
     }
 
     #[test]
-    fn insertion_sequences_keep_labels_unique(ops in prop::collection::vec(any::<prop::sample::Index>(), 1..20)) {
+    fn insertion_sequences_keep_labels_unique(ops in vec_of(index(), 1..20)) {
         let mut tree = XmlTree::new("r");
         let mut doc = TopDownPrime::unoptimized().label_document(&tree);
         let root = tree.root();

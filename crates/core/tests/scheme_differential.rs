@@ -1,0 +1,101 @@
+//! Differential test: on 100 seeded random trees, the prime scheme must give
+//! the same ancestor / descendant / sibling-order answers as the interval
+//! and Dewey baselines. The baselines implement completely different label
+//! algebras (containment arithmetic vs path components vs divisibility), so
+//! agreement across all three on the same trees is strong evidence each one
+//! matches the tree's ground truth — and any disagreement pinpoints which
+//! axis (ancestry or order) broke.
+
+use xp_baselines::dewey::DeweyScheme;
+use xp_baselines::interval::IntervalScheme;
+use xp_datagen::builders::{random_tree, RandomTreeParams};
+use xp_labelkit::{LabelOps, OrderedLabel, Scheme};
+use xp_prime::ordered::OrderedPrimeDoc;
+use xp_prime::topdown::TopDownPrime;
+use xp_xmltree::{NodeId, XmlTree};
+
+const TREES: u64 = 100;
+
+fn trees() -> impl Iterator<Item = (u64, XmlTree)> {
+    (0..TREES).map(|seed| {
+        let params = RandomTreeParams {
+            nodes: 40,
+            max_depth: 6,
+            max_fanout: 8,
+            tag_variety: 5,
+        };
+        (seed, random_tree(seed, &params))
+    })
+}
+
+#[test]
+fn ancestor_and_descendant_answers_agree_across_schemes() {
+    for (seed, tree) in trees() {
+        let prime = TopDownPrime::unoptimized().label(&tree);
+        let prime_opt = TopDownPrime::optimized().label(&tree);
+        let interval = IntervalScheme::dense().label(&tree);
+        let dewey = DeweyScheme.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                let by_interval = interval.label(x).is_ancestor_of(interval.label(y));
+                let by_dewey = dewey.label(x).is_ancestor_of(dewey.label(y));
+                let by_prime = prime.label(x).is_ancestor_of(prime.label(y));
+                let by_prime_opt = prime_opt.label(x).is_ancestor_of(prime_opt.label(y));
+                assert_eq!(by_prime, by_interval, "seed {seed}: ancestor({x}, {y})");
+                assert_eq!(by_prime, by_dewey, "seed {seed}: ancestor({x}, {y})");
+                assert_eq!(by_prime, by_prime_opt, "seed {seed}: ancestor({x}, {y})");
+                // Descendant is the transpose; check it explicitly so a bug
+                // that breaks the symmetry cannot hide.
+                let desc_interval = interval.label(y).is_ancestor_of(interval.label(x));
+                let desc_prime = prime.label(y).is_ancestor_of(prime.label(x));
+                assert_eq!(desc_prime, desc_interval, "seed {seed}: descendant({x}, {y})");
+            }
+        }
+    }
+}
+
+#[test]
+fn sibling_order_answers_agree_across_schemes() {
+    for (seed, tree) in trees() {
+        // The prime scheme's document order comes from the SC table.
+        let ordered = OrderedPrimeDoc::build(&tree, 5).unwrap();
+        let interval = IntervalScheme::dense().label(&tree);
+        let dewey = DeweyScheme.label(&tree);
+        let nodes: Vec<NodeId> = tree.elements().collect();
+        for &parent in &nodes {
+            let siblings: Vec<NodeId> = tree.element_children(parent).collect();
+            for &a in &siblings {
+                for &b in &siblings {
+                    if a == b {
+                        continue;
+                    }
+                    let by_prime = ordered.order_of(a).cmp(&ordered.order_of(b));
+                    let by_interval = interval.label(a).doc_cmp(interval.label(b));
+                    let by_dewey = dewey.label(a).doc_cmp(dewey.label(b));
+                    assert_eq!(by_prime, by_interval, "seed {seed}: order({a}, {b})");
+                    assert_eq!(by_prime, by_dewey, "seed {seed}: order({a}, {b})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn document_order_agrees_across_schemes_beyond_siblings() {
+    // Full preorder, not just siblings: sorting all elements by each
+    // scheme's order must give the same permutation.
+    for (seed, tree) in trees().take(25) {
+        let ordered = OrderedPrimeDoc::build(&tree, 3).unwrap();
+        let interval = IntervalScheme::dense().label(&tree);
+        let dewey = DeweyScheme.label(&tree);
+        let mut by_prime: Vec<NodeId> = tree.elements().collect();
+        by_prime.sort_by_key(|&n| ordered.order_of(n));
+        let mut by_interval: Vec<NodeId> = tree.elements().collect();
+        by_interval.sort_by(|&a, &b| interval.label(a).doc_cmp(interval.label(b)));
+        let mut by_dewey: Vec<NodeId> = tree.elements().collect();
+        by_dewey.sort_by(|&a, &b| dewey.label(a).doc_cmp(dewey.label(b)));
+        assert_eq!(by_prime, by_interval, "seed {seed}");
+        assert_eq!(by_prime, by_dewey, "seed {seed}");
+    }
+}

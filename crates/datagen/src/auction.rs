@@ -8,8 +8,8 @@
 //! (`person` / `itemref`), and a long flat `people` list.
 
 use crate::CountingBuilder;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xp_testkit::rng::StdRng;
+use xp_testkit::rng::{RngExt, SeedableRng};
 use xp_xmltree::XmlTree;
 
 /// Scale knobs for one site document.

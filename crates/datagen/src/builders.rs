@@ -3,8 +3,8 @@
 //! update experiments (Figures 16–17 use "10 XML files whose size ranges from
 //! 1000 to 10,000 nodes").
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xp_testkit::rng::StdRng;
+use xp_testkit::rng::{RngExt, SeedableRng};
 use xp_xmltree::{NodeId, XmlTree};
 
 /// A perfect tree with fan-out `fanout` and depth `depth` (root at level 0):

@@ -10,8 +10,8 @@
 
 use crate::shakespeare::{generate_play, PlayParams};
 use crate::CountingBuilder;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xp_testkit::rng::StdRng;
+use xp_testkit::rng::{RngExt, SeedableRng};
 use xp_xmltree::{NodeId, XmlTree};
 
 /// One synthesized dataset: identity, Table 1 characteristics, and generator.

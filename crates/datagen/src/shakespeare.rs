@@ -9,8 +9,8 @@
 //! in faithfully for the Bosak corpus.
 
 use crate::CountingBuilder;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xp_testkit::rng::StdRng;
+use xp_testkit::rng::{RngExt, SeedableRng};
 use xp_xmltree::XmlTree;
 
 /// Cardinality knobs for one generated play.

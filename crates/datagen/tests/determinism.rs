@@ -1,0 +1,82 @@
+//! Determinism smoke tests: every generator in this crate must produce an
+//! identical document for the same seed — the hermetic-build guarantee that
+//! lets every paper figure regenerate bit-identically on any machine.
+
+use xp_datagen::auction::{generate_site, AuctionParams};
+use xp_datagen::builders::{random_tree, update_experiment_docs, RandomTreeParams};
+use xp_datagen::shakespeare::{generate_play, PlayParams, ShakespeareCorpus};
+use xp_datagen::DATASETS;
+use xp_xmltree::{serialize, TreeStats, XmlTree};
+
+/// The structural fingerprint the experiments depend on.
+fn fingerprint(tree: &XmlTree) -> (usize, usize, usize, usize, Vec<usize>) {
+    let s = TreeStats::compute(tree);
+    (s.node_count, s.max_depth, s.max_fanout, s.leaf_count, s.level_counts)
+}
+
+#[test]
+fn every_table1_dataset_is_deterministic_per_seed() {
+    for ds in &DATASETS {
+        let a = ds.generate(2004);
+        let b = ds.generate(2004);
+        let other = ds.generate(2005);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{}: same seed must give identical tree statistics",
+            ds.id
+        );
+        // Determinism must be byte-level, not just statistical.
+        assert_eq!(
+            serialize::to_string(&a),
+            serialize::to_string(&b),
+            "{}: same seed must give identical serialization",
+            ds.id
+        );
+        assert_ne!(
+            serialize::to_string(&a),
+            serialize::to_string(&other),
+            "{}: different seeds should differ",
+            ds.id
+        );
+    }
+}
+
+#[test]
+fn shakespeare_generators_are_deterministic_per_seed() {
+    let a = generate_play("Hamlet", 7, &PlayParams::hamlet_like());
+    let b = generate_play("Hamlet", 7, &PlayParams::hamlet_like());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(serialize::to_string(&a), serialize::to_string(&b));
+
+    let c1 = ShakespeareCorpus::generate_with(3, 9, &PlayParams::miniature());
+    let c2 = ShakespeareCorpus::generate_with(3, 9, &PlayParams::miniature());
+    assert_eq!(fingerprint(&c1.tree), fingerprint(&c2.tree));
+    assert_eq!(serialize::to_string(&c1.tree), serialize::to_string(&c2.tree));
+}
+
+#[test]
+fn auction_generator_is_deterministic_per_seed() {
+    let a = generate_site(3, &AuctionParams::small());
+    let b = generate_site(3, &AuctionParams::small());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(serialize::to_string(&a), serialize::to_string(&b));
+    assert_ne!(
+        serialize::to_string(&a),
+        serialize::to_string(&generate_site(4, &AuctionParams::small()))
+    );
+}
+
+#[test]
+fn builder_generators_are_deterministic_per_seed() {
+    let params = RandomTreeParams { nodes: 500, max_depth: 7, max_fanout: 12, tag_variety: 5 };
+    assert_eq!(
+        serialize::to_string(&random_tree(11, &params)),
+        serialize::to_string(&random_tree(11, &params))
+    );
+    let docs1 = update_experiment_docs(5);
+    let docs2 = update_experiment_docs(5);
+    for (d1, d2) in docs1.iter().zip(&docs2) {
+        assert_eq!(fingerprint(d1), fingerprint(d2));
+    }
+}

@@ -2,15 +2,16 @@
 //! exactly what the naive per-context evaluator returns, on arbitrary trees
 //! and every axis.
 
-use proptest::prelude::*;
 use xp_baselines::interval::IntervalScheme;
 use xp_labelkit::Scheme;
 use xp_query::engine::{eval_path_with, OrderOracle, Path};
 use xp_query::relstore::LabelTable;
+use xp_testkit::propcheck::{index, vec_of, Gen};
+use xp_testkit::{prop_assert_eq, propcheck};
 use xp_xmltree::{NodeId, XmlTree};
 
-fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
-    prop::collection::vec(any::<prop::sample::Index>(), 0..max_nodes).prop_map(|attach| {
+fn tree_strategy(max_nodes: usize) -> Gen<XmlTree> {
+    vec_of(index(), 0..max_nodes).map(|attach| {
         let mut tree = XmlTree::new("t0");
         let mut nodes = vec![tree.root()];
         for (i, idx) in attach.into_iter().enumerate() {
@@ -48,8 +49,8 @@ const PATHS: &[&str] = &[
     "//t0/preceding::*",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+propcheck! {
+    #![config(cases = 256)]
 
     #[test]
     fn batch_join_equals_naive_per_context(tree in tree_strategy(70)) {

@@ -1,0 +1,282 @@
+//! A lightweight wall-clock benchmark harness (the workspace's in-tree
+//! `criterion` replacement).
+//!
+//! Each benchmark is measured as `samples` timed runs after a warmup; a run
+//! executes the routine enough times to fill a minimum measurement window so
+//! sub-microsecond routines are still resolvable. The harness prints an
+//! aligned table (min / median / p95 / mean per iteration) and writes
+//! `results/bench_<group>.json` next to the CSV files the figure binaries
+//! emit.
+//!
+//! Environment overrides: `XP_BENCH_SAMPLES` (sample count),
+//! `XP_BENCH_MIN_WINDOW_MS` (per-sample measurement window).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark id, e.g. `"interval/D6"`.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Routine invocations per sample.
+    pub iters_per_sample: u64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+}
+
+/// A named group of benchmarks; mirrors the `criterion` group idiom.
+pub struct Harness {
+    group: String,
+    samples: usize,
+    min_window: Duration,
+    results: Vec<BenchStats>,
+}
+
+fn env_usize(var: &str) -> Option<usize> {
+    std::env::var(var).ok()?.trim().parse().ok()
+}
+
+impl Harness {
+    /// Creates a group. `group` becomes the JSON file stem
+    /// (`results/bench_<group>.json`).
+    pub fn new(group: &str) -> Self {
+        Harness {
+            group: group.to_string(),
+            samples: env_usize("XP_BENCH_SAMPLES").unwrap_or(20),
+            min_window: Duration::from_millis(
+                env_usize("XP_BENCH_MIN_WINDOW_MS").unwrap_or(20) as u64,
+            ),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the sample count (`XP_BENCH_SAMPLES` still wins).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if env_usize("XP_BENCH_SAMPLES").is_none() {
+            self.samples = n.max(2);
+        }
+        self
+    }
+
+    /// Benchmarks `routine` (its return value is black-boxed so the work
+    /// cannot be optimized away).
+    pub fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
+        // Warmup + calibration: how many iterations fill the window?
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.min_window || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            // Aim directly for the window with 2x headroom.
+            let needed = self.min_window.as_nanos() as f64
+                / (elapsed.as_nanos().max(1) as f64 / iters as f64);
+            iters = (needed as u64 * 2).clamp(iters * 2, 1 << 30);
+        };
+        let _ = per_iter;
+
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.push_stats(name, iters, per_iter_ns);
+    }
+
+    /// Benchmarks `routine` on a fresh `setup()` input per invocation; only
+    /// the routine is timed (the `criterion::iter_batched` idiom, for
+    /// routines that consume or mutate their input).
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        // Untimed warmup.
+        for _ in 0..2 {
+            black_box(routine(setup()));
+        }
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        self.push_stats(name, 1, per_iter_ns);
+    }
+
+    fn push_stats(&mut self, name: &str, iters: u64, mut per_iter_ns: Vec<f64>) {
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = per_iter_ns.len();
+        let stats = BenchStats {
+            name: name.to_string(),
+            samples: n,
+            iters_per_sample: iters,
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[n / 2],
+            p95_ns: per_iter_ns[(n * 95 / 100).min(n - 1)],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
+        };
+        println!(
+            "{:<40} min {:>12}  median {:>12}  p95 {:>12}  ({} samples × {} iters)",
+            format!("{}/{}", self.group, stats.name),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        self.results.push(stats);
+    }
+
+    /// Results collected so far.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
+    /// Renders the group as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"group\": {},", json_string(&self.group));
+        let _ = writeln!(out, "  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"mean_ns\": {:.1}}}{comma}",
+                json_string(&r.name),
+                r.samples,
+                r.iters_per_sample,
+                r.min_ns,
+                r.median_ns,
+                r.p95_ns,
+                r.mean_ns,
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+
+    /// Writes `results/bench_<group>.json` (best effort, like the CSV
+    /// reports) and prints where it went.
+    pub fn finish(&mut self) {
+        let dir = results_dir();
+        if fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("bench_{}.json", self.group));
+            if fs::write(&path, self.to_json()).is_ok() {
+                println!("[written results/bench_{}.json]", self.group);
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// `<workspace>/results`, anchored at this crate's manifest.
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Harness {
+        let mut h = Harness::new("selftest");
+        h.samples = 3;
+        h.min_window = Duration::from_micros(200);
+        h
+    }
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut h = tiny();
+        h.bench("sum", || (0..100u64).sum::<u64>());
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn bench_batched_times_routine_only() {
+        let mut h = tiny();
+        h.bench_batched(
+            "consume_vec",
+            || vec![1u64; 1000],
+            |v| v.into_iter().sum::<u64>(),
+        );
+        assert_eq!(h.results()[0].iters_per_sample, 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut h = tiny();
+        h.bench("a\"quoted\"", || 1u64 + 1);
+        let json = h.to_json();
+        assert!(json.contains("\"group\": \"selftest\""));
+        assert!(json.contains("a\\\"quoted\\\""));
+        assert!(json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_controls() {
+        assert_eq!(json_string("x\n\t\u{1}"), "\"x\\n\\t\\u0001\"");
+    }
+}

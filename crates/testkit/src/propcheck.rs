@@ -1,0 +1,706 @@
+//! `propcheck` — a minimal property-testing framework (the workspace's
+//! in-tree `proptest` replacement).
+//!
+//! # Model
+//!
+//! A [`Gen<T>`] draws a value from a [`Source`] — a stream of `u64`s. While
+//! exploring, the stream comes from the seeded workspace PRNG and every draw
+//! is *recorded*. When a case fails, shrinking operates on the recorded draw
+//! buffer (truncate to a prefix, zero entries, halve entries) and *replays*
+//! generation from the mutated buffer; a mutated buffer always regenerates
+//! *some* valid value (an exhausted buffer yields zeros), so shrinking works
+//! through every combinator — including [`Gen::map`] — for free.
+//!
+//! # Environment variables
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `PROPCHECK_CASES` | overrides the per-test case count |
+//! | `PROPCHECK_SEED`  | overrides the base seed (decimal or `0x…` hex) |
+//!
+//! Runs are deterministic: the default seed is derived from the test's name,
+//! so CI failures reproduce locally with no extra flags. On failure the
+//! report prints the seed, the case index, and the shrunk arguments.
+//!
+//! # Writing tests
+//!
+//! ```ignore
+//! propcheck! {
+//!     #![config(cases = 256)]
+//!     #[test]
+//!     fn addition_commutes(a in u64s(0..1000), b in u64s(0..1000)) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+use crate::rng::{SeedableRng, StdRng};
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Source: the recorded / replayed draw stream
+// ---------------------------------------------------------------------------
+
+/// The draw stream generators consume. Either records fresh randomness or
+/// replays a (possibly mutated, possibly truncated) earlier recording.
+pub struct Source {
+    rng: Option<StdRng>,
+    draws: Vec<u64>,
+    pos: usize,
+}
+
+impl Source {
+    /// A recording source backed by a fresh PRNG.
+    pub fn recording(rng: StdRng) -> Self {
+        Source { rng: Some(rng), draws: Vec::new(), pos: 0 }
+    }
+
+    /// A replaying source over a fixed buffer; reads past the end yield 0.
+    pub fn replaying(draws: Vec<u64>) -> Self {
+        Source { rng: None, draws, pos: 0 }
+    }
+
+    /// Next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
+        if self.pos < self.draws.len() {
+            let v = self.draws[self.pos];
+            self.pos += 1;
+            return v;
+        }
+        match &mut self.rng {
+            Some(rng) => {
+                let v = rng.next_u64();
+                self.draws.push(v);
+                self.pos += 1;
+                v
+            }
+            None => 0, // exhausted replay: degenerate to the simplest value
+        }
+    }
+
+    /// A draw mapped into `[0, span)` (`span > 0`). Plain modulo: the slight
+    /// bias is irrelevant for test-case generation and keeps replay total.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        self.next_u64() % span
+    }
+
+    fn recorded(&self) -> &[u64] {
+        &self.draws[..self.pos.min(self.draws.len())]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A reusable value generator: a pure function of the draw stream.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Source) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a draw function.
+    pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Draws one value.
+    pub fn generate(&self, source: &mut Source) -> T {
+        (self.f)(source)
+    }
+
+    /// Applies `f` to every generated value. Shrinking passes through
+    /// unchanged because it operates on the underlying draw stream.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |s| f(self.generate(s)))
+    }
+}
+
+/// A constant generator.
+pub fn constant<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| value.clone())
+}
+
+macro_rules! int_gens {
+    ($($fname:ident => $t:ty),* $(,)?) => {$(
+        /// Uniform draws from the given range (`lo..hi` or `lo..=hi`).
+        pub fn $fname(range: impl crate::rng::SampleRange<$t> + Clone + 'static) -> Gen<$t> {
+            Gen::new(move |s| {
+                use crate::rng::SampleUniform;
+                let (lo, hi) = range.clone().inclusive_bounds();
+                let (lo_w, hi_w) = (lo.to_i128(), hi.to_i128());
+                let span = (hi_w - lo_w + 1) as u128;
+                let draw = if span > u64::MAX as u128 {
+                    s.next_u64()
+                } else {
+                    s.below(span as u64)
+                };
+                <$t as SampleUniform>::from_i128(lo_w + draw as i128)
+            })
+        }
+    )*};
+}
+
+int_gens! {
+    u8s => u8,
+    u16s => u16,
+    u32s => u32,
+    u64s => u64,
+    usizes => usize,
+    i32s => i32,
+    i64s => i64,
+}
+
+/// Uniform booleans.
+pub fn bools() -> Gen<bool> {
+    Gen::new(|s| s.below(2) == 1)
+}
+
+/// A deferred index into a collection whose length is only known inside the
+/// test body (the `proptest` `sample::Index` idiom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(pub u64);
+
+impl Index {
+    /// Maps the index into `[0, len)`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// Generates deferred indices.
+pub fn index() -> Gen<Index> {
+    Gen::new(|s| Index(s.next_u64()))
+}
+
+/// Vectors of `elem` with a length drawn from `len` (`lo..hi`).
+pub fn vec_of<T: 'static>(
+    elem: Gen<T>,
+    len: impl crate::rng::SampleRange<usize> + Clone + 'static,
+) -> Gen<Vec<T>> {
+    let len_gen = usizes(len);
+    Gen::new(move |s| {
+        let n = len_gen.generate(s);
+        (0..n).map(|_| elem.generate(s)).collect()
+    })
+}
+
+/// Picks one of the given generators uniformly per case (the `prop_oneof!`
+/// idiom).
+pub fn one_of<T: 'static>(choices: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!choices.is_empty(), "one_of needs at least one generator");
+    Gen::new(move |s| {
+        let pick = s.below(choices.len() as u64) as usize;
+        choices[pick].generate(s)
+    })
+}
+
+/// Strings built from the characters of `charset`, with length in `len`.
+pub fn string_from(
+    charset: &str,
+    len: impl crate::rng::SampleRange<usize> + Clone + 'static,
+) -> Gen<String> {
+    let chars: Vec<char> = charset.chars().collect();
+    assert!(!chars.is_empty(), "string_from needs a non-empty charset");
+    let len_gen = usizes(len);
+    Gen::new(move |s| {
+        let n = len_gen.generate(s);
+        (0..n).map(|_| chars[s.below(chars.len() as u64) as usize]).collect()
+    })
+}
+
+/// Printable-ASCII strings (`[ -~]`), length in `len`.
+pub fn ascii_printable(
+    len: impl crate::rng::SampleRange<usize> + Clone + 'static,
+) -> Gen<String> {
+    let len_gen = usizes(len);
+    Gen::new(move |s| {
+        let n = len_gen.generate(s);
+        (0..n).map(|_| (0x20 + s.below(0x5F) as u8) as char).collect()
+    })
+}
+
+/// Arbitrary strings mixing ASCII, multi-byte, and control characters —
+/// the stand-in for `proptest`'s `.{0,n}` regex strategy.
+pub fn any_string(
+    len: impl crate::rng::SampleRange<usize> + Clone + 'static,
+) -> Gen<String> {
+    let len_gen = usizes(len);
+    Gen::new(move |s| {
+        let n = len_gen.generate(s);
+        (0..n)
+            .map(|_| match s.below(8) {
+                // Weight toward printable ASCII; sprinkle the rest.
+                0..=4 => (0x20 + s.below(0x5F) as u8) as char,
+                5 => char::from_u32(s.below(0x20) as u32).unwrap(), // controls
+                6 => char::from_u32(0xA0 + s.below(0x500) as u32).unwrap_or('¤'),
+                _ => char::from_u32(0x1F300 + s.below(0x100) as u32).unwrap_or('🌀'),
+            })
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// `prop_assume!` failed: the inputs were invalid, not the code.
+    Reject,
+    /// `prop_assert!` (or a panic) failed.
+    Fail(String),
+}
+
+impl CaseError {
+    /// Constructs a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseError::Fail(msg.into())
+    }
+}
+
+/// Per-test configuration; see the module docs for the env overrides.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Give up after this many consecutive `prop_assume!` rejections.
+    pub max_rejects: u32,
+    /// Cap on shrink replays after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_rejects: 4096, max_shrink_iters: 4096 }
+    }
+}
+
+impl Config {
+    /// Sets the case count (still overridable via `PROPCHECK_CASES`).
+    pub fn with_cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPCHECK_CASES") {
+            Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+                panic!("PROPCHECK_CASES={v:?} is not a number")
+            }),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test default seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+thread_local! {
+    static IN_PROPCHECK: Cell<bool> = const { Cell::new(false) };
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+    static LAST_ARGS: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Records the rendered arguments of the case in flight so they survive a
+/// panicking body (used by the `propcheck!` macro; not part of the API).
+#[doc(hidden)]
+pub fn note_args(desc: &str) {
+    LAST_ARGS.with(|slot| *slot.borrow_mut() = Some(desc.to_string()));
+}
+
+/// Installs (once per process) a panic hook that stays quiet while propcheck
+/// is exercising a case on this thread, so shrinking does not spam stderr.
+/// Panics from anything else pass through to the previous hook.
+fn install_quiet_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_PROPCHECK.with(|f| f.get()) {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic (non-string payload)".to_string());
+                let located = match info.location() {
+                    Some(loc) => format!("{msg} (at {}:{})", loc.file(), loc.line()),
+                    None => msg,
+                };
+                LAST_PANIC.with(|slot| *slot.borrow_mut() = Some(located));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// One executed case: the rendered argument values plus the body's outcome.
+pub struct CaseRun {
+    /// `name = value` rendering of the generated arguments.
+    pub desc: String,
+    /// Outcome of the body.
+    pub result: Result<(), CaseError>,
+}
+
+fn run_one(case: &dyn Fn(&mut Source) -> CaseRun, source: &mut Source) -> CaseRun {
+    install_quiet_hook();
+    IN_PROPCHECK.with(|f| f.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| case(source)));
+    IN_PROPCHECK.with(|f| f.set(false));
+    match outcome {
+        Ok(run) => run,
+        Err(_) => {
+            let msg = LAST_PANIC
+                .with(|slot| slot.borrow_mut().take())
+                .unwrap_or_else(|| "panicked".to_string());
+            let desc = LAST_ARGS
+                .with(|slot| slot.borrow_mut().take())
+                .unwrap_or_else(|| "<args unavailable: generation itself panicked>".into());
+            CaseRun { desc, result: Err(CaseError::fail(msg)) }
+        }
+    }
+}
+
+/// Shrink the recorded draw buffer: each candidate is replayed through the
+/// same generators; candidates that still fail become the new witness.
+fn shrink(
+    case: &dyn Fn(&mut Source) -> CaseRun,
+    mut draws: Vec<u64>,
+    budget: u32,
+) -> (Vec<u64>, u32) {
+    let mut spent = 0u32;
+    let still_fails = |candidate: &[u64], spent: &mut u32| -> bool {
+        *spent += 1;
+        let mut src = Source::replaying(candidate.to_vec());
+        matches!(run_one(case, &mut src).result, Err(CaseError::Fail(_)))
+    };
+    'outer: loop {
+        if spent >= budget {
+            break;
+        }
+        // Pass 1: drop whole suffixes (halving the length).
+        let mut len = draws.len() / 2;
+        while len < draws.len() {
+            if still_fails(&draws[..len], &mut spent) {
+                draws.truncate(len);
+                continue 'outer;
+            }
+            if spent >= budget {
+                break 'outer;
+            }
+            len += (draws.len() - len + 1) / 2;
+        }
+        // Pass 2: simplify single draws (zero, then halve).
+        for i in 0..draws.len() {
+            let original = draws[i];
+            for replacement in [0, original / 2] {
+                if replacement == original {
+                    continue;
+                }
+                draws[i] = replacement;
+                if still_fails(&draws, &mut spent) {
+                    continue 'outer;
+                }
+                draws[i] = original;
+                if spent >= budget {
+                    break 'outer;
+                }
+            }
+        }
+        break; // fixpoint: nothing simpler still fails
+    }
+    (draws, spent)
+}
+
+/// Runs `case` under the config. Panics with a full report on failure.
+/// `test_name` should be `concat!(module_path!(), "::", stringify!(name))`.
+pub fn run(test_name: &str, config: Config, case: impl Fn(&mut Source) -> CaseRun) {
+    let cases = config.effective_cases();
+    let base_seed = match std::env::var("PROPCHECK_SEED") {
+        Ok(v) => parse_seed(&v)
+            .unwrap_or_else(|| panic!("PROPCHECK_SEED={v:?} is not a decimal or 0x-hex u64")),
+        Err(_) => fnv1a(test_name.as_bytes()),
+    };
+
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut attempt = 0u64;
+    while passed < cases {
+        let case_seed = base_seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let mut source = Source::recording(StdRng::seed_from_u64(case_seed));
+        let run = run_one(&case, &mut source);
+        match run.result {
+            Ok(()) => {
+                passed += 1;
+                rejects = 0;
+            }
+            Err(CaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_rejects {
+                    panic!(
+                        "propcheck: test `{test_name}` rejected {rejects} cases in a row \
+                         (prop_assume! too strict?) after {passed} passes"
+                    );
+                }
+            }
+            Err(CaseError::Fail(first_msg)) => {
+                let recorded = source.recorded().to_vec();
+                let (minimal, shrink_runs) = shrink(&case, recorded, config.max_shrink_iters);
+                let mut replay = Source::replaying(minimal.clone());
+                let final_run = run_one(&case, &mut replay);
+                let (final_desc, final_msg) = match final_run.result {
+                    Err(CaseError::Fail(m)) => (final_run.desc, m),
+                    // Shrinking only keeps failing candidates, so the last
+                    // replay must fail; fall back to the original witness.
+                    _ => (run.desc, first_msg),
+                };
+                panic!(
+                    "propcheck: test `{test_name}` failed after {passed} passing case(s)\n\
+                     seed: {base_seed:#018X} (case seed {case_seed:#018X}); \
+                     rerun with PROPCHECK_SEED={base_seed:#X}\n\
+                     minimal failing input (after {shrink_runs} shrink runs):\n  {final_desc}\n\
+                     assertion: {final_msg}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts inside a `propcheck!` body; failures are shrunk and reported with
+/// the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::propcheck::CaseError::fail(
+                concat!("prop_assert!(", stringify!($cond), ") failed"),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::propcheck::CaseError::fail(format!(
+                concat!("prop_assert!(", stringify!($cond), ") failed: {}"),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a `propcheck!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::propcheck::CaseError::fail(format!(
+                "prop_assert_eq! failed\n  left:  {l:?}\n  right: {r:?}",
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::propcheck::CaseError::fail(format!(
+                "prop_assert_eq! failed ({})\n  left:  {l:?}\n  right: {r:?}",
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `propcheck!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::propcheck::CaseError::fail(format!(
+                "prop_assert_ne! failed: both sides are {l:?}",
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its inputs are invalid (does not count
+/// toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::propcheck::CaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Mirrors the `proptest!` surface the workspace
+/// used: an optional `#![config(cases = N)]` header, then `#[test]` functions
+/// whose arguments are drawn from generators with `name in gen`.
+#[macro_export]
+macro_rules! propcheck {
+    ( @cfg ($cases:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $gen:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $crate::propcheck::Config::default().with_cases($cases);
+                $crate::propcheck::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config,
+                    |__propcheck_source| {
+                        $(let $arg = ($gen).generate(__propcheck_source);)+
+                        let desc = [
+                            $(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+
+                        ].join("\n  ");
+                        $crate::propcheck::note_args(&desc);
+                        let result = (|| -> ::std::result::Result<(), $crate::propcheck::CaseError> {
+                            $body
+                            Ok(())
+                        })();
+                        $crate::propcheck::CaseRun { desc, result }
+                    },
+                );
+            }
+        )*
+    };
+    ( #![config(cases = $cases:expr)] $($rest:tt)* ) => {
+        $crate::propcheck! { @cfg ($cases) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::propcheck! { @cfg (256u32) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    propcheck! {
+        #![config(cases = 64)]
+        #[test]
+        fn addition_commutes(a in u64s(0..1000), b in u64s(0..1000)) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in vec_of(u8s(0..=255), 0..10)) {
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn assume_discards_invalid_inputs(d in u64s(0..100)) {
+            prop_assume!(d != 0);
+            prop_assert!(100 % d == 100 % d);
+        }
+
+        #[test]
+        fn strings_honor_charsets(s in string_from("ab", 0..20)) {
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn failures_shrink_and_report_seed() {
+        let result = std::panic::catch_unwind(|| {
+            run("propcheck::selftest::shrinks", Config::default().with_cases(200), |src| {
+                let v = vec_of(u64s(0..1000), 0..50).generate(src);
+                let desc = format!("v = {v:?}");
+                let failed = v.iter().sum::<u64>() > 500;
+                let result = if failed {
+                    Err(CaseError::fail("sum too large"))
+                } else {
+                    Ok(())
+                };
+                CaseRun { desc, result }
+            });
+        });
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+            Ok(()) => panic!("expected the property to fail"),
+        };
+        assert!(msg.contains("PROPCHECK_SEED="), "missing seed hint: {msg}");
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        // The shrunk witness should be near the boundary: a handful of
+        // values, not the original ~25-element vector.
+        let witness_line = msg.lines().find(|l| l.trim_start().starts_with("v = ")).unwrap();
+        let elems = witness_line.matches(',').count() + 1;
+        assert!(elems <= 6, "poorly shrunk witness: {witness_line}");
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let gen = vec_of(u64s(0..100), 0..20);
+        let mut rec = Source::recording(StdRng::seed_from_u64(99));
+        let first = gen.generate(&mut rec);
+        let draws = rec.recorded().to_vec();
+        let mut rep = Source::replaying(draws);
+        assert_eq!(first, gen.generate(&mut rep));
+    }
+
+    #[test]
+    fn panics_in_bodies_are_reported_not_propagated() {
+        let result = std::panic::catch_unwind(|| {
+            run("propcheck::selftest::panics", Config::default().with_cases(10), |src| {
+                let v = u64s(0..10).generate(src);
+                let desc = format!("v = {v}");
+                if v >= 1 {
+                    panic!("boom {v}");
+                }
+                CaseRun { desc, result: Ok(()) }
+            });
+        });
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+            Ok(()) => panic!("expected failure"),
+        };
+        assert!(msg.contains("boom"), "panic message lost: {msg}");
+    }
+
+    #[test]
+    fn index_defers_to_runtime_length() {
+        let mut src = Source::recording(StdRng::seed_from_u64(4));
+        for _ in 0..100 {
+            let i = index().generate(&mut src);
+            assert!(i.index(7) < 7);
+            assert_eq!(i.index(1), 0);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! A deliberately naive schoolbook big unsigned integer — the differential
+//! oracle that replaced `num-bigint` in `crates/bignum/tests/differential.rs`.
+//!
+//! Everything here is the obvious O(n²) textbook algorithm over base-2³²
+//! limbs: no Karatsuba, no Barrett, no clever normalization. That is the
+//! point — `xp-bignum` is the optimized implementation under test, and an
+//! oracle only earns trust by being too simple to share its bugs.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Schoolbook arbitrary-precision unsigned integer.
+///
+/// Invariant: little-endian base-2³² limbs with no trailing zero limb
+/// (so zero is the empty vector).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RefUint {
+    limbs: Vec<u32>,
+}
+
+impl RefUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        RefUint { limbs: Vec::new() }
+    }
+
+    /// Parses big-endian bytes (the `num-bigint` constructor the
+    /// differential tests used).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut v = RefUint::zero();
+        for &b in bytes {
+            v = v.shl_bits(8).add(&RefUint::from(b as u64));
+        }
+        v
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Bit length (0 for zero) — mirrors `num-bigint`'s `bits()`.
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 32 + (32 - top.leading_zeros() as u64),
+        }
+    }
+
+    fn trim(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        RefUint { limbs }
+    }
+
+    fn cmp_mag(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            if a != b {
+                return a.cmp(b);
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Schoolbook addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        RefUint::trim(out)
+    }
+
+    /// Schoolbook subtraction; panics on underflow (like `num-bigint`).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self.cmp_mag(other) != Ordering::Less, "RefUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        RefUint::trim(out)
+    }
+
+    /// Schoolbook O(n·m) multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return RefUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u64 * b as u64 + out[i + j] as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        RefUint::trim(out)
+    }
+
+    fn shl_bits(&self, k: u64) -> Self {
+        if self.is_zero() {
+            return RefUint::zero();
+        }
+        let limb_shift = (k / 32) as usize;
+        let bit_shift = (k % 32) as u32;
+        let mut out = vec![0u32; limb_shift];
+        let mut carry = 0u32;
+        for &l in &self.limbs {
+            if bit_shift == 0 {
+                out.push(l);
+            } else {
+                out.push((l << bit_shift) | carry);
+                carry = (l >> (32 - bit_shift)) as u32;
+            }
+        }
+        if bit_shift != 0 && carry != 0 {
+            out.push(carry);
+        }
+        RefUint::trim(out)
+    }
+
+    fn shr_bits(&self, k: u64) -> Self {
+        let limb_shift = (k / 32) as usize;
+        if limb_shift >= self.limbs.len() {
+            return RefUint::zero();
+        }
+        let bit_shift = (k % 32) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let mut v = src[i] >> bit_shift;
+            if bit_shift != 0 {
+                if let Some(&next) = src.get(i + 1) {
+                    v |= next << (32 - bit_shift);
+                }
+            }
+            out.push(v);
+        }
+        RefUint::trim(out)
+    }
+
+    /// Binary long division: shift-and-subtract, one quotient bit at a time.
+    /// Panics on division by zero.
+    pub fn divrem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "RefUint division by zero");
+        if self.cmp_mag(divisor) == Ordering::Less {
+            return (RefUint::zero(), self.clone());
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut remainder = self.clone();
+        let mut quotient = RefUint::zero();
+        for k in (0..=shift).rev() {
+            let candidate = divisor.shl_bits(k);
+            if remainder.cmp_mag(&candidate) != Ordering::Less {
+                remainder = remainder.sub(&candidate);
+                quotient = quotient.add(&RefUint::from(1u64).shl_bits(k));
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Modular exponentiation by square-and-multiply with full reductions.
+    pub fn modpow(&self, exponent: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "RefUint modpow with zero modulus");
+        let one = RefUint::from(1u64);
+        if modulus == &one {
+            return RefUint::zero();
+        }
+        let mut result = one;
+        let mut base = self.divrem(modulus).1;
+        for bit in 0..exponent.bits() {
+            if exponent.shr_bits(bit).limbs.first().map_or(0, |&l| l & 1) == 1 {
+                result = result.mul(&base).divrem(modulus).1;
+            }
+            base = base.mul(&base).divrem(modulus).1;
+        }
+        result
+    }
+}
+
+impl From<u64> for RefUint {
+    fn from(v: u64) -> Self {
+        RefUint::trim(vec![v as u32, (v >> 32) as u32])
+    }
+}
+
+impl PartialOrd for RefUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RefUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_mag(other)
+    }
+}
+
+impl fmt::Display for RefUint {
+    /// Decimal rendering by repeated division by 10⁹ (naive but exact).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        const CHUNK: u64 = 1_000_000_000;
+        let mut chunks = Vec::new();
+        let mut limbs = self.limbs.clone();
+        while !limbs.is_empty() {
+            // Divide the limb vector by 10⁹ in place, collecting the remainder.
+            let mut rem = 0u64;
+            for l in limbs.iter_mut().rev() {
+                let cur = (rem << 32) | *l as u64;
+                *l = (cur / CHUNK) as u32;
+                rem = cur % CHUNK;
+            }
+            while limbs.last() == Some(&0) {
+                limbs.pop();
+            }
+            chunks.push(rem);
+        }
+        let mut out = chunks.pop().unwrap().to_string();
+        for c in chunks.iter().rev() {
+            out.push_str(&format!("{c:09}"));
+        }
+        f.write_str(&out)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait_:ident, $method:ident, $imp:ident) => {
+        impl std::ops::$trait_ for RefUint {
+            type Output = RefUint;
+            fn $method(self, rhs: RefUint) -> RefUint {
+                RefUint::$imp(&self, &rhs)
+            }
+        }
+        impl std::ops::$trait_ for &RefUint {
+            type Output = RefUint;
+            fn $method(self, rhs: &RefUint) -> RefUint {
+                RefUint::$imp(self, rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add);
+forward_binop!(Sub, sub, sub);
+forward_binop!(Mul, mul, mul);
+
+impl std::ops::Div for &RefUint {
+    type Output = RefUint;
+    fn div(self, rhs: &RefUint) -> RefUint {
+        self.divrem(rhs).0
+    }
+}
+
+impl std::ops::Rem for &RefUint {
+    type Output = RefUint;
+    fn rem(self, rhs: &RefUint) -> RefUint {
+        self.divrem(rhs).1
+    }
+}
+
+impl std::ops::Shl<u64> for RefUint {
+    type Output = RefUint;
+    fn shl(self, k: u64) -> RefUint {
+        self.shl_bits(k)
+    }
+}
+
+impl std::ops::Shr<u64> for RefUint {
+    type Output = RefUint;
+    fn shr(self, k: u64) -> RefUint {
+        self.shr_bits(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: u64) -> RefUint {
+        RefUint::from(v)
+    }
+
+    #[test]
+    fn u64_round_trip_and_display() {
+        for v in [0u64, 1, 9, 10, 999_999_999, 1_000_000_000, u64::MAX] {
+            assert_eq!(r(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn bytes_be_matches_u64() {
+        assert_eq!(RefUint::from_bytes_be(&[0x01, 0x00]), r(256));
+        assert_eq!(RefUint::from_bytes_be(&[]), RefUint::zero());
+        assert_eq!(RefUint::from_bytes_be(&[0, 0, 0, 7]), r(7));
+        let big = RefUint::from_bytes_be(&[0xFF; 8]);
+        assert_eq!(big, r(u64::MAX));
+    }
+
+    #[test]
+    fn arithmetic_matches_u128() {
+        let cases = [
+            (0u128, 0u128),
+            (1, 1),
+            (u64::MAX as u128, 2),
+            (u64::MAX as u128, u64::MAX as u128),
+            (123_456_789_012_345, 987_654_321),
+        ];
+        let from128 = |v: u128| {
+            RefUint::from((v >> 64) as u64)
+                .shl_bits(64)
+                .add(&RefUint::from(v as u64))
+        };
+        for (a, b) in cases {
+            assert_eq!(from128(a).add(&from128(b)).to_string(), (a + b).to_string());
+            assert_eq!(from128(a).mul(&from128(b)).to_string(), (a * b).to_string());
+            if a >= b {
+                assert_eq!(from128(a).sub(&from128(b)).to_string(), (a - b).to_string());
+            }
+            if b != 0 {
+                let (q, rem) = from128(a).divrem(&from128(b));
+                assert_eq!(q.to_string(), (a / b).to_string());
+                assert_eq!(rem.to_string(), (a % b).to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn division_reconstructs() {
+        let a = RefUint::from_bytes_be(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89]);
+        let b = RefUint::from_bytes_be(&[0x0F, 0xFF, 0x07]);
+        let (q, rem) = a.divrem(&b);
+        assert!(rem < b);
+        assert_eq!(q.mul(&b).add(&rem), a);
+    }
+
+    #[test]
+    fn shifts_match_u128() {
+        let v = 0x0123_4567_89AB_CDEFu64;
+        for k in [0u64, 1, 7, 31, 32, 33, 63] {
+            assert_eq!(r(v).shl_bits(k).to_string(), ((v as u128) << k).to_string());
+            assert_eq!(r(v).shr_bits(k).to_string(), (v >> k).to_string());
+        }
+        assert_eq!(r(5).shr_bits(100), RefUint::zero());
+    }
+
+    #[test]
+    fn bits_counts_correctly() {
+        assert_eq!(RefUint::zero().bits(), 0);
+        assert_eq!(r(1).bits(), 1);
+        assert_eq!(r(255).bits(), 8);
+        assert_eq!(r(256).bits(), 9);
+        assert_eq!(r(1).shl_bits(100).bits(), 101);
+    }
+
+    #[test]
+    fn modpow_matches_naive() {
+        let naive = |b: u64, e: u64, m: u64| -> u64 {
+            let mut acc = 1u128;
+            for _ in 0..e {
+                acc = acc * b as u128 % m as u128;
+            }
+            acc as u64
+        };
+        for (b, e, m) in [(2u64, 10u64, 1000u64), (7, 128, 13), (0, 5, 9), (5, 0, 9), (123, 77, 4_294_967_291)] {
+            assert_eq!(
+                r(b).modpow(&r(e), &r(m)).to_string(),
+                naive(b, e, m).to_string(),
+                "{b}^{e} mod {m}"
+            );
+        }
+    }
+}

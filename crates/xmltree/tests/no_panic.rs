@@ -1,29 +1,30 @@
 //! Robustness: the parser must never panic — arbitrary input yields either
 //! a tree or a positioned error.
 
-use proptest::prelude::*;
+use xp_testkit::propcheck::{any_string, index, string_from};
+use xp_testkit::propcheck;
 use xp_xmltree::parse;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+propcheck! {
+    #![config(cases = 512)]
 
     #[test]
-    fn arbitrary_strings_never_panic(input in ".{0,200}") {
+    fn arbitrary_strings_never_panic(input in any_string(0..=200)) {
         let _ = parse(&input);
     }
 
     #[test]
     fn xmlish_strings_never_panic(
-        input in "[<>/a-c \"'=&;!\\[\\]#x0-9-]{0,120}"
+        input in string_from("<>/abc \"'=&;![]#x0123456789-", 0..=120)
     ) {
         let _ = parse(&input);
     }
 
     #[test]
     fn mangled_valid_documents_never_panic(
-        cut in any::<prop::sample::Index>(),
-        insert in any::<prop::sample::Index>(),
-        junk in "[<>&;\"']{1,4}",
+        cut in index(),
+        insert in index(),
+        junk in string_from("<>&;\"'", 1..=4),
     ) {
         let doc = r#"<play t="x"><!--c--><act><speech>line &amp; more</speech><![CDATA[raw]]></act></play>"#;
         // Truncate somewhere.

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetic edition.
+#
+# The workspace must build and test fully offline with an empty cargo
+# registry cache: every dependency is an in-tree `xp-*` crate (see DESIGN.md,
+# "Hermetic builds"). This script is the gate every PR must pass; the final
+# check fails if anyone reintroduces a crates.io dependency.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> dependency hermeticity check (cargo tree)"
+# Every line of `cargo tree` must be a workspace crate: xp-* or the xmlprime
+# facade. Anything else means an external dependency crept back in.
+violations=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \
+    | sed 's/ (\*)$//' \
+    | awk '{print $1}' \
+    | sort -u \
+    | grep -v -E '^(xp-[a-z0-9-]+|xmlprime)$' || true)
+if [ -n "$violations" ]; then
+    echo "ERROR: non-workspace dependencies found in the graph:" >&2
+    echo "$violations" >&2
+    echo "The build must stay hermetic — implement it in-tree (see crates/testkit)." >&2
+    exit 1
+fi
+echo "OK: dependency graph contains only workspace crates."

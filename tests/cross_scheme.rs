@@ -2,13 +2,14 @@
 //! labeling scheme must agree with the tree (and therefore with each other)
 //! on ancestorship, parenthood, and document order.
 
-use proptest::prelude::*;
 use xmlprime::prelude::*;
+use xp_testkit::propcheck::{index, vec_of, Gen};
+use xp_testkit::{prop_assert, prop_assert_eq, propcheck};
 
-/// Strategy: an arbitrary ordered tree described as a parent vector —
-/// node i (1-indexed) attaches under a previously created node.
-fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
-    prop::collection::vec(any::<prop::sample::Index>(), 0..max_nodes).prop_map(|attach| {
+/// An arbitrary ordered tree described as a parent vector — node i
+/// (1-indexed) attaches under a previously created node.
+fn tree_strategy(max_nodes: usize) -> Gen<XmlTree> {
+    vec_of(index(), 0..max_nodes).map(|attach| {
         let mut tree = XmlTree::new("r");
         let mut nodes = vec![tree.root()];
         for (i, idx) in attach.into_iter().enumerate() {
@@ -29,8 +30,8 @@ fn doc_order_ranks<F: Fn(NodeId, NodeId) -> std::cmp::Ordering>(
     nodes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+propcheck! {
+    #![config(cases = 64)]
 
     #[test]
     fn all_schemes_match_ground_truth(tree in tree_strategy(60)) {

@@ -3,8 +3,9 @@
 //! SC-derived order a perfect preorder ranking, without ever invalidating
 //! the ancestor property of the labels.
 
-use proptest::prelude::*;
 use xmlprime::prelude::*;
+use xp_testkit::propcheck::{one_of, u64s, usizes, vec_of, Gen};
+use xp_testkit::{prop_assert_eq, propcheck};
 
 /// One random mutation.
 #[derive(Debug, Clone)]
@@ -19,13 +20,13 @@ enum Op {
     Delete(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..1000).prop_map(Op::InsertBefore),
-        (0usize..1000).prop_map(Op::InsertAfter),
-        (0usize..1000).prop_map(Op::AppendChild),
-        (0usize..1000).prop_map(Op::Delete),
-    ]
+fn op_strategy() -> Gen<Op> {
+    one_of(vec![
+        usizes(0..1000).map(Op::InsertBefore),
+        usizes(0..1000).map(Op::InsertAfter),
+        usizes(0..1000).map(Op::AppendChild),
+        usizes(0..1000).map(Op::Delete),
+    ])
 }
 
 fn nth_live(tree: &XmlTree, i: usize) -> NodeId {
@@ -33,12 +34,12 @@ fn nth_live(tree: &XmlTree, i: usize) -> NodeId {
     nodes[i % nodes.len()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+propcheck! {
+    #![config(cases = 48)]
 
     #[test]
     fn random_mutation_sequences_preserve_order_and_ancestry(
-        ops in prop::collection::vec(op_strategy(), 1..25)
+        ops in vec_of(op_strategy(), 1..25)
     ) {
         let mut tree = parse("<r><a><b/><c/></a><d/><e><f/></e></r>").unwrap();
         let mut doc = OrderedPrimeDoc::build(&tree, 3).unwrap();
@@ -85,7 +86,7 @@ proptest! {
 
     #[test]
     fn insertion_reports_account_for_every_label_change(
-        positions in prop::collection::vec(0usize..1000, 1..12)
+        positions in vec_of(usizes(0..1000), 1..12)
     ) {
         let mut tree = parse("<r><a/><b/><c/><d/><e/><f/><g/><h/></r>").unwrap();
         let mut doc = OrderedPrimeDoc::build(&tree, 4).unwrap();
@@ -105,7 +106,7 @@ proptest! {
 
     #[test]
     fn chunk_capacity_never_changes_query_results(
-        seed in 0u64..1000
+        seed in u64s(0..1000)
     ) {
         let tree = xmlprime::datagen::builders::random_tree(
             seed,
