@@ -67,8 +67,8 @@ fn bench_join_strategies() {
 
     let mut group = Harness::new("join_strategy");
     group.sample_size(10);
-    group.bench("stack_tree", || eval_path_with(ev.table(), &oracle, &path, true).len());
-    group.bench("nested_loop", || eval_path_with(ev.table(), &oracle, &path, false).len());
+    group.bench("stack_tree", || eval_path_with(ev.table(), &oracle, &path, true).expect("static query").len());
+    group.bench("nested_loop", || eval_path_with(ev.table(), &oracle, &path, false).expect("static query").len());
     group.finish();
 }
 

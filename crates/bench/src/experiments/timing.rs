@@ -113,9 +113,9 @@ pub fn fig15_predicate_traffic(replicas: usize) -> Report {
     );
     for q in &TEST_QUERIES {
         let path = Path::parse(q.path).expect("valid");
-        let (_, si) = measure_predicates(interval.table(), &MapOracle(iv_ranks.clone()), &path);
-        let (_, sp) = measure_predicates(prime.table(), &MapOracle(pr_ranks.clone()), &path);
-        let (_, sx) = measure_predicates(prefix.table(), &MapOracle(px_ranks.clone()), &path);
+        let (_, si) = measure_predicates(interval.table(), &MapOracle(iv_ranks.clone()), &path).expect("static experiment query");
+        let (_, sp) = measure_predicates(prime.table(), &MapOracle(pr_ranks.clone()), &path).expect("static experiment query");
+        let (_, sx) = measure_predicates(prefix.table(), &MapOracle(px_ranks.clone()), &path).expect("static experiment query");
         r.row(&[
             q.id.to_string(),
             si.ancestor_tests.to_string(),

@@ -71,11 +71,11 @@ pub fn fig16() -> Report {
 
         let mut t_opt = tree.clone();
         let mut doc_opt = TopDownPrime::optimized().label_document(&t_opt);
-        let prime_opt = doc_opt.insert_child(&mut t_opt, target, "new").total_relabeled();
+        let prime_opt = doc_opt.insert_child(&mut t_opt, target, "new").expect("updatable doc").total_relabeled();
 
         let mut t_plain = tree.clone();
         let mut doc_plain = TopDownPrime::unoptimized().label_document(&t_plain);
-        let prime_plain = doc_plain.insert_child(&mut t_plain, target, "new").total_relabeled();
+        let prime_plain = doc_plain.insert_child(&mut t_plain, target, "new").expect("updatable doc").total_relabeled();
 
         r.push(&[n, interval, prime_opt, prime_plain, prefix2]);
     }
@@ -104,7 +104,7 @@ pub fn fig17() -> Report {
 
         let mut t_prime = tree.clone();
         let mut doc = TopDownPrime::unoptimized().label_document(&t_prime);
-        let prime = doc.insert_parent(&mut t_prime, target, "wrap").total_relabeled();
+        let prime = doc.insert_parent(&mut t_prime, target, "wrap").expect("updatable doc").total_relabeled();
 
         r.push(&[n, subtree, interval, prime, prefix2]);
     }

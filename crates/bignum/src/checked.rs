@@ -1,0 +1,101 @@
+//! Budgeted arithmetic: multiplication with a hard bit-length ceiling.
+//!
+//! Prime labels and SC products grow as products of many primes; a labeling
+//! bug (or hostile input shaped to maximize path length) turns that growth
+//! into unbounded allocation. [`mul_within`] is the guarded entry point the
+//! labeling pipeline uses wherever a product is accumulated: it refuses —
+//! with a typed error, before allocating the result — to produce a value
+//! wider than the caller's budget. It also hosts the `bignum.mul` fault
+//! point, so fault tests can simulate allocation failure here.
+
+use crate::UBig;
+use std::fmt;
+use xp_testkit::fault::Injected;
+
+/// A product exceeded its bit-length budget (or the `bignum.mul` fault point
+/// fired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The result would have `bits` bits, more than the allowed `max_bits`.
+    BitsExceeded {
+        /// Upper bound on the width of the refused product.
+        bits: u64,
+        /// The caller's budget.
+        max_bits: u64,
+    },
+    /// An armed fault point simulated an allocation failure.
+    FaultInjected(&'static str),
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::BitsExceeded { bits, max_bits } => {
+                write!(f, "product of {bits} bits exceeds the {max_bits}-bit budget")
+            }
+            BudgetError::FaultInjected(site) => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+impl From<Injected> for BudgetError {
+    fn from(e: Injected) -> Self {
+        BudgetError::FaultInjected(e.site)
+    }
+}
+
+/// Multiplies `a * b` iff the result fits in `max_bits` bits.
+///
+/// The check uses `bit_len(a) + bit_len(b)`, an upper bound that overshoots
+/// the true width by at most one bit — a budget is a ceiling, not an exact
+/// accounting, so the cheap conservative test is the right one (and it runs
+/// *before* the multiplication allocates anything).
+pub fn mul_within(a: &UBig, b: &UBig, max_bits: u64) -> Result<UBig, BudgetError> {
+    xp_testkit::faultpoint!("bignum.mul")?;
+    let bits = a.bit_len() + b.bit_len();
+    if bits > max_bits {
+        return Err(BudgetError::BitsExceeded { bits, max_bits });
+    }
+    Ok(a * b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_testkit::fault;
+
+    #[test]
+    fn within_budget_multiplies() {
+        let a = UBig::from(1u64 << 40);
+        let b = UBig::from(1u64 << 20);
+        assert_eq!(mul_within(&a, &b, 128).unwrap(), &a * &b);
+    }
+
+    #[test]
+    fn over_budget_is_refused() {
+        let a = UBig::from(u64::MAX);
+        let b = UBig::from(u64::MAX);
+        let err = mul_within(&a, &b, 64).unwrap_err();
+        assert_eq!(err, BudgetError::BitsExceeded { bits: 128, max_bits: 64 });
+    }
+
+    #[test]
+    fn bound_overshoots_by_at_most_one_bit() {
+        // 2 * 2 = 4: true width 3, bound 4 — still inside a 4-bit budget.
+        let two = UBig::from(2u64);
+        assert!(mul_within(&two, &two, 4).is_ok());
+        assert!(mul_within(&two, &two, 3).is_err(), "conservative refusal");
+    }
+
+    #[test]
+    fn fault_point_fires() {
+        fault::arm("bignum.mul:1");
+        let one = UBig::one();
+        let err = mul_within(&one, &one, 64).unwrap_err();
+        assert_eq!(err, BudgetError::FaultInjected("bignum.mul"));
+        assert!(mul_within(&one, &one, 64).is_ok(), "nth fault fires once");
+        fault::reset();
+    }
+}

@@ -23,8 +23,10 @@ impl UBig {
         }
         let mut out = String::with_capacity(chunks.len() * DEC_CHUNK_DIGITS);
         let mut iter = chunks.iter().rev();
-        // Most significant chunk prints without leading zeros.
-        out.push_str(&iter.next().expect("non-zero value has a chunk").to_string());
+        // Most significant chunk prints without leading zeros (the zero
+        // case returned above, so a chunk always exists).
+        let Some(first) = iter.next() else { return "0".to_string() };
+        out.push_str(&first.to_string());
         for chunk in iter {
             out.push_str(&format!("{chunk:019}"));
         }
@@ -71,7 +73,9 @@ impl fmt::LowerHex for UBig {
         }
         let mut s = String::new();
         let mut iter = self.limbs.iter().rev();
-        s.push_str(&format!("{:x}", iter.next().expect("non-zero")));
+        // The zero case returned above, so a limb always exists.
+        let Some(first) = iter.next() else { return f.pad_integral(true, "0x", "0") };
+        s.push_str(&format!("{first:x}"));
         for limb in iter {
             s.push_str(&format!("{limb:016x}"));
         }

@@ -31,9 +31,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Runtime failures surface as typed errors; remaining panics are
+// documented contracts built on `panic!`, not `unwrap`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod bits;
 mod bytes;
+pub mod checked;
 mod div;
 mod fmt;
 mod ibig;

@@ -77,6 +77,8 @@ impl Scheme for BottomUpPrime {
 
         let mut doc = LabeledDoc::new(tree);
         for node in tree.elements() {
+            // Invariant: the pass above labeled every element.
+            #[allow(clippy::expect_used)]
             doc.set(node, BottomUpLabel(values.remove(&node).expect("labeled above")));
         }
         doc

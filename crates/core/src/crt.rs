@@ -73,8 +73,11 @@ pub fn solve(moduli: &[u64], residues: &[u64]) -> Result<UBig, CrtError> {
     let mut x = UBig::zero();
     let mut m_acc = UBig::one();
     for (&m, &r) in moduli.iter().zip(residues) {
+        // `validate` proved pairwise coprimality, so `crt_pair` cannot fail
+        // here — but surface it as an error rather than aborting if the two
+        // ever fall out of sync.
         x = modular::crt_pair(&x, &m_acc, &UBig::from(r), &UBig::from(m))
-            .expect("validated coprime");
+            .ok_or(CrtError::NotCoprime { a: 0, b: m })?;
         m_acc = &m_acc * &UBig::from(m);
     }
     Ok(x)

@@ -89,7 +89,11 @@ impl DecomposedPrimeDoc {
                 roots.push(node);
                 id
             } else {
-                subtree_of[&tree.parent(node).expect("non-root at depth > 0")]
+                // Invariant: depth % cut_depth != 0 implies depth > 0.
+                #[allow(clippy::expect_used)]
+                {
+                    subtree_of[&tree.parent(node).expect("non-root at depth > 0")]
+                }
             };
             subtree_of.insert(node, id);
             for child in tree.element_children(node).collect::<Vec<_>>().into_iter().rev() {
@@ -205,6 +209,9 @@ impl DecomposedPrimeDoc {
                 None => return false, // reached the top without crossing x
                 Some(p) if p == lx.subtree => {
                     // x must be a local ancestor-or-self of the anchor.
+                    // Invariant: parent_subtree is Some, so this subtree
+                    // hangs off an anchor by construction.
+                    #[allow(clippy::expect_used)]
                     let anchor = info.anchor.as_ref().expect("non-top subtree has an anchor");
                     return anchor == &lx.local || lx.local.is_ancestor_of(anchor);
                 }

@@ -1,0 +1,137 @@
+//! The crate-wide error taxonomy.
+//!
+//! Every labeling or mutation entry point that can fail on untrusted input
+//! or at runtime returns a typed error instead of panicking; [`Error`] is
+//! the union the facade (and the `xmlprime` CLI's exit-code mapping) works
+//! with. The narrower enums ([`ScError`], [`CrtError`], [`DecodeError`])
+//! stay on the APIs where only that failure class is possible, and convert
+//! into [`Error`] via `From`.
+
+use crate::crt::CrtError;
+use crate::path::DecodeError;
+use crate::sc::ScError;
+use std::fmt;
+use xp_bignum::checked::BudgetError;
+use xp_testkit::fault::Injected;
+use xp_xmltree::NodeId;
+
+/// Any failure of the prime-labeling pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// SC-table maintenance failed (order overflow, duplicate or unknown
+    /// self-label, unsolvable congruences, …).
+    Sc(ScError),
+    /// A congruence system was unsolvable on its own.
+    Crt(CrtError),
+    /// A label would not decode back into a root path.
+    Decode(DecodeError),
+    /// `PrimeOptions::leaf_power_threshold` exceeds 63: Opt2 leaf labels are
+    /// `2^n` and must fit a `u64` self-label.
+    LeafPowerThresholdTooLarge {
+        /// The rejected threshold.
+        threshold: u32,
+    },
+    /// Incremental updates are not defined for Opt3-combined documents
+    /// (shared labels cannot be relabeled independently); relabel instead.
+    NotUpdatable,
+    /// The mutation's anchor was the document root, which has no parent or
+    /// siblings.
+    RootAnchor(NodeId),
+    /// A node id that this document does not cover.
+    UnknownNode(NodeId),
+    /// A bignum product exceeded its bit-length budget.
+    Budget(BudgetError),
+    /// An armed [`xp_testkit::fault`] point fired.
+    FaultInjected(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sc(e) => write!(f, "SC table: {e}"),
+            Error::Crt(e) => write!(f, "CRT: {e}"),
+            Error::Decode(e) => write!(f, "label decode: {e}"),
+            Error::LeafPowerThresholdTooLarge { threshold } => {
+                write!(f, "leaf power threshold {threshold} exceeds 63 (2^n must fit u64)")
+            }
+            Error::NotUpdatable => write!(
+                f,
+                "incremental updates are not defined for Opt3-combined documents; \
+                 relabel the document instead"
+            ),
+            Error::RootAnchor(node) => {
+                write!(f, "node {node} is the document root, which cannot anchor this mutation")
+            }
+            Error::UnknownNode(node) => write!(f, "node {node} is not covered by this document"),
+            Error::Budget(e) => write!(f, "{e}"),
+            Error::FaultInjected(site) => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Sc(e) => Some(e),
+            Error::Crt(e) => Some(e),
+            Error::Decode(e) => Some(e),
+            Error::Budget(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScError> for Error {
+    fn from(e: ScError) -> Self {
+        Error::Sc(e)
+    }
+}
+
+impl From<CrtError> for Error {
+    fn from(e: CrtError) -> Self {
+        Error::Crt(e)
+    }
+}
+
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Self {
+        Error::Decode(e)
+    }
+}
+
+impl From<BudgetError> for Error {
+    fn from(e: BudgetError) -> Self {
+        Error::Budget(e)
+    }
+}
+
+impl From<Injected> for Error {
+    fn from(e: Injected) -> Self {
+        Error::FaultInjected(e.site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = ScError::OrderOverflow { self_label: 3, order: 3 }.into();
+        assert!(e.to_string().contains("order 3"));
+        let e: Error = CrtError::ZeroModulus.into();
+        assert_eq!(e, Error::Crt(CrtError::ZeroModulus));
+        let e: Error = Injected { site: "x" }.into();
+        assert_eq!(e, Error::FaultInjected("x"));
+        assert!(Error::NotUpdatable.to_string().contains("Opt3"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let e: Error = CrtError::ZeroModulus.into();
+        assert!(e.source().is_some());
+        assert!(Error::NotUpdatable.source().is_none());
+    }
+}

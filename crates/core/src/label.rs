@@ -56,6 +56,8 @@ impl PrimeLabel {
     /// # Panics
     /// Panics if the self-label exceeds `u64`.
     pub fn self_label_u64(&self) -> u64 {
+        // Documented panic contract (see `# Panics` above).
+        #[allow(clippy::expect_used)]
         self.self_label.to_u64().expect("self-label fits in u64")
     }
 

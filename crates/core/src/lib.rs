@@ -44,10 +44,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Failures reachable from untrusted input or runtime mutation surface as
+// typed errors (see `error`); the panicking accessors that remain are
+// documented indexing-style invariants, individually allow-listed.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod bottomup;
 pub mod crt;
 pub mod decompose;
+pub mod error;
 pub mod label;
 pub mod ordered;
 pub mod path;
@@ -56,6 +61,7 @@ pub mod size_model;
 pub mod stream;
 pub mod topdown;
 
+pub use error::Error;
 pub use label::PrimeLabel;
 pub use ordered::OrderedPrimeDoc;
 pub use sc::ScTable;

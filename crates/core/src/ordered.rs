@@ -7,6 +7,7 @@
 //! order-sensitive update protocol of §4.2 with the relabel accounting that
 //! Figure 18 reports.
 
+use crate::error::Error;
 use crate::sc::{ScError, ScTable};
 use crate::topdown::{PrimeDoc, PrimeOptions, TopDownPrime};
 use std::collections::HashMap;
@@ -60,12 +61,12 @@ impl OrderedPrimeDoc {
     ///
     /// The root keeps order number 0 (§4.1) and is not entered into the
     /// table (its self-label 1 carries no congruence information).
-    pub fn build(tree: &XmlTree, chunk_capacity: usize) -> Result<Self, ScError> {
+    pub fn build(tree: &XmlTree, chunk_capacity: usize) -> Result<Self, Error> {
         let scheme = TopDownPrime::with_options(PrimeOptions {
             reserved_top_primes: 0,
             leaf_powers_of_two: false,
             ..Default::default()
-        });
+        })?;
         let doc = scheme.label_document(tree);
 
         let mut items = Vec::new();
@@ -96,15 +97,28 @@ impl OrderedPrimeDoc {
 
     /// Global order number of a node (root = 0), derived as
     /// `SC mod self-label` (§4.1).
+    ///
+    /// Panics if the node is not covered — this is the indexing-style read
+    /// accessor ([`crate::ordered::OrderedPrimeDoc::try_order_of`] is the
+    /// fallible form every mutation path uses internally).
     pub fn order_of(&self, node: NodeId) -> u64 {
-        let label = self.doc.labels.label(node);
+        match self.try_order_of(node) {
+            Ok(o) => o,
+            Err(e) => panic!("order_of({node}): {e}"),
+        }
+    }
+
+    /// Global order number of a node (root = 0), or a typed error when the
+    /// node carries no label or its self-label left the SC table.
+    pub fn try_order_of(&self, node: NodeId) -> Result<u64, Error> {
+        let label = self.doc.labels.get(node).ok_or(Error::UnknownNode(node))?;
         let self_label = label.self_label_u64();
         if self_label == 1 {
-            return 0; // the root
+            return Ok(0); // the root
         }
         self.sc
             .order_of(self_label)
-            .unwrap_or_else(|| panic!("node {node} not covered by the SC table"))
+            .ok_or(Error::Sc(ScError::UnknownSelfLabel(self_label)))
     }
 
     /// The node carrying a given self-label.
@@ -122,11 +136,11 @@ impl OrderedPrimeDoc {
         tree: &mut XmlTree,
         anchor: NodeId,
         tag: &str,
-    ) -> Result<OrderedInsertReport, ScError> {
+    ) -> Result<OrderedInsertReport, Error> {
         // Preorder: the anchor is the first node of its subtree, so the new
         // node (inserted just before it) takes the anchor's order number.
-        let order = self.order_of(anchor);
-        let outcome = self.doc.insert_sibling_before(tree, anchor, tag);
+        let order = self.try_order_of(anchor)?;
+        let outcome = self.doc.insert_sibling_before(tree, anchor, tag)?;
         self.finish_ordered_insert(tree, outcome.node, order, outcome.relabeled_existing)
     }
 
@@ -137,20 +151,26 @@ impl OrderedPrimeDoc {
         tree: &mut XmlTree,
         anchor: NodeId,
         tag: &str,
-    ) -> Result<OrderedInsertReport, ScError> {
+    ) -> Result<OrderedInsertReport, Error> {
         // Document order position: one past the anchor subtree's last node.
-        let subtree_max = tree
-            .element_descendants(anchor)
-            .map(|n| self.order_of(n))
-            .max()
-            .expect("subtree contains the anchor");
-        let parent = tree.parent(anchor).expect("anchor must not be the root");
+        let subtree_max = self.subtree_max_order(tree, anchor)?;
+        let parent = tree.parent(anchor).ok_or(Error::RootAnchor(anchor))?;
+        let parent_label = self.doc.labels.get(parent).ok_or(Error::UnknownNode(parent))?.clone();
         let node = tree.create_element(tag);
         tree.insert_after(anchor, node);
         let self_label = UBig::from(self.doc.next_prime());
-        let label = PrimeLabel::child_of(self.doc.labels.label(parent), self_label);
+        let label = PrimeLabel::child_of(&parent_label, self_label);
         self.doc.labels.set(node, label);
         self.finish_ordered_insert(tree, node, subtree_max + 1, 0)
+    }
+
+    /// Largest order number inside `node`'s subtree (including `node`).
+    fn subtree_max_order(&self, tree: &XmlTree, node: NodeId) -> Result<u64, Error> {
+        let mut max = self.try_order_of(node)?;
+        for n in tree.element_descendants(node) {
+            max = max.max(self.try_order_of(n)?);
+        }
+        Ok(max)
     }
 
     /// Appends a new element as the last child of `parent`.
@@ -159,13 +179,9 @@ impl OrderedPrimeDoc {
         tree: &mut XmlTree,
         parent: NodeId,
         tag: &str,
-    ) -> Result<OrderedInsertReport, ScError> {
-        let subtree_max = tree
-            .element_descendants(parent)
-            .map(|n| self.order_of(n))
-            .max()
-            .expect("subtree contains the parent");
-        let outcome = self.doc.insert_child(tree, parent, tag);
+    ) -> Result<OrderedInsertReport, Error> {
+        let subtree_max = self.subtree_max_order(tree, parent)?;
+        let outcome = self.doc.insert_child(tree, parent, tag)?;
         debug_assert_eq!(outcome.relabeled_existing, 0, "plain scheme never relabels on append");
         self.finish_ordered_insert(tree, outcome.node, subtree_max + 1, outcome.relabeled_existing)
     }
@@ -173,16 +189,25 @@ impl OrderedPrimeDoc {
     /// Deletes a leaf-or-subtree node: labels are dropped and each covered
     /// self-label leaves its SC record (orders of other nodes are untouched,
     /// §4.2). Returns the number of SC records re-solved.
-    pub fn delete(&mut self, tree: &mut XmlTree, target: NodeId) -> Result<usize, ScError> {
-        let selfs: Vec<u64> = tree
-            .element_descendants(target)
-            .map(|n| self.doc.labels.label(n).self_label_u64())
-            .collect();
-        self.doc.delete(tree, target);
+    pub fn delete(&mut self, tree: &mut XmlTree, target: NodeId) -> Result<usize, Error> {
+        let mut selfs = Vec::new();
+        for n in tree.element_descendants(target) {
+            let label = self.doc.labels.get(n).ok_or(Error::UnknownNode(n))?;
+            selfs.push(label.self_label_u64());
+        }
+        self.doc.delete(tree, target)?;
         let mut touched = 0usize;
         for s in selfs {
-            if self.sc.remove(s)? {
-                touched += 1;
+            match self.sc.remove(s) {
+                Ok(true) => touched += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    // Roll the half-applied record change back so the
+                    // remaining covered nodes stay queryable.
+                    self.sc.recover();
+                    self.node_of_self.remove(&s);
+                    return Err(e.into());
+                }
             }
             self.node_of_self.remove(&s);
         }
@@ -194,9 +219,29 @@ impl OrderedPrimeDoc {
         tree: &XmlTree,
         node: NodeId,
         order: u64,
+        relabeled_existing: usize,
+    ) -> Result<OrderedInsertReport, Error> {
+        let result = self.finish_ordered_insert_inner(tree, node, order, relabeled_existing);
+        if result.is_err() {
+            // A mid-mutation failure (injected fault, budget overrun) can
+            // leave the SC table's journal open: roll it back so every
+            // pre-existing node stays queryable. The new tree node keeps its
+            // label but has no order yet; retrying the insert through the SC
+            // table is the caller's move.
+            self.sc.recover();
+        }
+        result
+    }
+
+    fn finish_ordered_insert_inner(
+        &mut self,
+        tree: &XmlTree,
+        node: NodeId,
+        order: u64,
         mut relabeled_existing: usize,
-    ) -> Result<OrderedInsertReport, ScError> {
-        let self_label = self.doc.labels.label(node).self_label_u64();
+    ) -> Result<OrderedInsertReport, Error> {
+        let self_label =
+            self.doc.labels.get(node).ok_or(Error::UnknownNode(node))?.self_label_u64();
         let report = loop {
             match self.sc.insert(self_label, order) {
                 Ok(r) => break r,
@@ -206,7 +251,7 @@ impl OrderedPrimeDoc {
                     // subtree) a fresh larger prime and retry.
                     relabeled_existing += self.relabel_with_fresh_prime(tree, victim)?;
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.into()),
             }
         };
         self.node_of_self.insert(self_label, node);
@@ -220,13 +265,14 @@ impl OrderedPrimeDoc {
     /// Swaps the self-label of the node currently carrying `old_self` for a
     /// fresh prime and recomputes the label products of its subtree.
     /// Returns the number of existing labels that changed.
-    fn relabel_with_fresh_prime(&mut self, tree: &XmlTree, old_self: u64) -> Result<usize, ScError> {
-        let node = self
+    fn relabel_with_fresh_prime(&mut self, tree: &XmlTree, old_self: u64) -> Result<usize, Error> {
+        let node = *self
             .node_of_self
-            .remove(&old_self)
-            .unwrap_or_else(|| panic!("no node carries self-label {old_self}"));
+            .get(&old_self)
+            .ok_or(Error::Sc(ScError::UnknownSelfLabel(old_self)))?;
         let fresh = self.doc.next_prime();
         self.sc.replace_self_label(old_self, fresh)?;
+        self.node_of_self.remove(&old_self);
         self.node_of_self.insert(fresh, node);
 
         let parent_value = match tree.parent(node) {

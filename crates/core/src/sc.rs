@@ -11,7 +11,10 @@
 
 use crate::crt::{self, CrtError};
 use std::collections::HashMap;
+use xp_bignum::checked::{mul_within, BudgetError};
 use xp_bignum::UBig;
+use xp_testkit::fault::Injected;
+use xp_testkit::faultpoint;
 
 /// One SC record: a chunk of nodes folded into a single congruence value.
 #[derive(Debug, Clone)]
@@ -81,11 +84,40 @@ pub enum ScError {
         /// The order number that no longer fits.
         order: u64,
     },
+    /// The self-label is already covered by the table (self-labels are CRT
+    /// moduli and must be unique).
+    DuplicateSelfLabel(u64),
+    /// The self-label is not covered by the table.
+    UnknownSelfLabel(u64),
+    /// `chunk_capacity` was 0: a record must hold at least one node.
+    InvalidChunkCapacity,
+    /// A record's modulus product exceeded the table's bit-length budget
+    /// (see [`ScTable::set_product_bit_budget`]).
+    Budget(BudgetError),
+    /// An armed [`xp_testkit::fault`] point fired. If it fired mid-mutation,
+    /// [`ScTable::needs_recovery`] is `true` and [`ScTable::recover`] rolls
+    /// the table back.
+    FaultInjected(&'static str),
 }
 
 impl From<CrtError> for ScError {
     fn from(e: CrtError) -> Self {
         ScError::Crt(e)
+    }
+}
+
+impl From<BudgetError> for ScError {
+    fn from(e: BudgetError) -> Self {
+        match e {
+            BudgetError::FaultInjected(site) => ScError::FaultInjected(site),
+            e => ScError::Budget(e),
+        }
+    }
+}
+
+impl From<Injected> for ScError {
+    fn from(e: Injected) -> Self {
+        ScError::FaultInjected(e.site)
     }
 }
 
@@ -96,6 +128,11 @@ impl std::fmt::Display for ScError {
             ScError::OrderOverflow { self_label, order } => {
                 write!(f, "order {order} no longer fits under self-label {self_label}")
             }
+            ScError::DuplicateSelfLabel(m) => write!(f, "self-label {m} already covered"),
+            ScError::UnknownSelfLabel(m) => write!(f, "self-label {m} not covered"),
+            ScError::InvalidChunkCapacity => write!(f, "chunks must hold at least one node"),
+            ScError::Budget(e) => write!(f, "{e}"),
+            ScError::FaultInjected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
@@ -120,6 +157,35 @@ pub struct ScTable {
     /// self-label → record index (the paper navigates by max-prime ranges;
     /// an exact map is equivalent and stays correct after insertions).
     locator: HashMap<u64, usize>,
+    /// Ceiling on any record's modulus product, in bits.
+    product_bit_budget: u64,
+    /// In-memory write-ahead journal for the in-flight mutation.
+    journal: Journal,
+}
+
+/// Default ceiling on a record's modulus product: 1 Mibit. A chunk of k
+/// self-labels costs ≈ Σ log₂(mᵢ) bits, so this allows tens of thousands of
+/// 64-bit members per record — far past any sane chunk capacity — while
+/// stopping runaway growth long before it exhausts memory.
+pub const DEFAULT_PRODUCT_BIT_BUDGET: u64 = 1 << 20;
+
+/// Pre-images of everything an in-flight mutation touches, captured before
+/// the first write. A mutation that fails partway (an injected fault, an
+/// unsolvable system) leaves the journal open; [`ScTable::recover`] replays
+/// it backwards to restore the pre-mutation table.
+#[derive(Debug, Clone, Default)]
+struct Journal {
+    /// `true` while a mutation is in flight (set by `begin`, cleared by
+    /// `commit` — or left standing by a failure).
+    active: bool,
+    /// Number of records before the mutation; appended records are dropped
+    /// on recovery by truncating to this length.
+    record_count: usize,
+    /// `(index, pre-image)` of each pre-existing record touched.
+    records: Vec<(usize, ScRecord)>,
+    /// `(self-label, pre-image)` of each locator entry touched; `None`
+    /// means the key was absent.
+    locator: Vec<(u64, Option<usize>)>,
 }
 
 impl ScTable {
@@ -132,7 +198,9 @@ impl ScTable {
     /// order — automatically true when primes are assigned in document
     /// order, since the n-th prime exceeds n).
     pub fn build(chunk_capacity: usize, items: &[(u64, u64)]) -> Result<Self, ScError> {
-        assert!(chunk_capacity >= 1, "chunks must hold at least one node");
+        if chunk_capacity == 0 {
+            return Err(ScError::InvalidChunkCapacity);
+        }
         for &(m, o) in items {
             if o >= m {
                 return Err(ScError::OrderOverflow { self_label: m, order: o });
@@ -142,6 +210,8 @@ impl ScTable {
             chunk_capacity,
             records: Vec::with_capacity(items.len().div_ceil(chunk_capacity)),
             locator: HashMap::with_capacity(items.len()),
+            product_bit_budget: DEFAULT_PRODUCT_BIT_BUDGET,
+            journal: Journal::default(),
         };
         for chunk in items.chunks(chunk_capacity) {
             let members: Vec<u64> = chunk.iter().map(|&(m, _)| m).collect();
@@ -149,11 +219,13 @@ impl ScTable {
             let sc = crt::solve(&members, &orders)?;
             let mut product = UBig::one();
             for &m in &members {
-                product *= UBig::from(m);
+                product = mul_within(&product, &UBig::from(m), table.product_bit_budget)?;
             }
             let idx = table.records.len();
             for &m in &members {
-                table.locator.insert(m, idx);
+                if table.locator.insert(m, idx).is_some() {
+                    return Err(ScError::DuplicateSelfLabel(m));
+                }
             }
             table.records.push(ScRecord {
                 max_self: members.iter().copied().max().unwrap_or(0),
@@ -163,6 +235,71 @@ impl ScTable {
             });
         }
         Ok(table)
+    }
+
+    /// Replaces the ceiling (in bits) on any record's modulus product;
+    /// mutations that would exceed it fail with [`ScError::Budget`] instead
+    /// of allocating without bound. Default:
+    /// [`DEFAULT_PRODUCT_BIT_BUDGET`].
+    pub fn set_product_bit_budget(&mut self, bits: u64) {
+        self.product_bit_budget = bits;
+    }
+
+    /// `true` iff a mutation failed partway and its journal is still open;
+    /// reads are undefined until [`ScTable::recover`] runs (the next
+    /// mutation also recovers automatically).
+    pub fn needs_recovery(&self) -> bool {
+        self.journal.active
+    }
+
+    /// Rolls back the in-flight mutation recorded in the journal, restoring
+    /// the table to its pre-mutation state. Returns `true` if there was
+    /// anything to roll back.
+    pub fn recover(&mut self) -> bool {
+        if !self.journal.active {
+            return false;
+        }
+        let journal = std::mem::take(&mut self.journal);
+        self.records.truncate(journal.record_count);
+        for (idx, pre) in journal.records {
+            // `journal_record` only captures pre-existing records, so the
+            // index survives the truncation above.
+            self.records[idx] = pre;
+        }
+        for (key, pre) in journal.locator {
+            match pre {
+                Some(idx) => self.locator.insert(key, idx),
+                None => self.locator.remove(&key),
+            };
+        }
+        true
+    }
+
+    fn begin_journal(&mut self) {
+        self.journal.active = true;
+        self.journal.record_count = self.records.len();
+        self.journal.records.clear();
+        self.journal.locator.clear();
+    }
+
+    fn commit_journal(&mut self) {
+        self.journal = Journal::default();
+    }
+
+    /// Captures the pre-image of record `idx` (first touch only; appended
+    /// records are handled by truncation).
+    fn journal_record(&mut self, idx: usize) {
+        if idx < self.journal.record_count && !self.journal.records.iter().any(|&(i, _)| i == idx) {
+            self.journal.records.push((idx, self.records[idx].clone()));
+        }
+    }
+
+    /// Captures the pre-image of the locator entry for `key` (first touch
+    /// only).
+    fn journal_locator(&mut self, key: u64) {
+        if !self.journal.locator.iter().any(|&(k, _)| k == key) {
+            self.journal.locator.push((key, self.locator.get(&key).copied()));
+        }
     }
 
     /// Number of covered nodes.
@@ -204,12 +341,16 @@ impl ScTable {
     ///
     /// Fails with [`ScError::OrderOverflow`] — before mutating anything — if
     /// a shifted node's new order would reach its self-label; relabel that
-    /// node with a larger prime and retry.
+    /// node with a larger prime and retry. A failure *during* the mutation
+    /// (an injected fault, a budget overrun) leaves the journal open:
+    /// [`ScTable::needs_recovery`] turns `true` and [`ScTable::recover`]
+    /// restores the pre-insert table.
     pub fn insert(&mut self, self_label: u64, order: u64) -> Result<ScInsertReport, ScError> {
-        assert!(
-            !self.locator.contains_key(&self_label),
-            "self-label {self_label} already covered"
-        );
+        self.recover();
+        faultpoint!("sc.insert")?;
+        if self.locator.contains_key(&self_label) {
+            return Err(ScError::DuplicateSelfLabel(self_label));
+        }
         if order >= self_label {
             return Err(ScError::OrderOverflow { self_label, order });
         }
@@ -234,6 +375,8 @@ impl ScTable {
             }
         }
 
+        self.begin_journal();
+
         // Choose the receiving record: the paper appends to the record with
         // the largest max prime (the newest), starting a fresh record when
         // it is full.
@@ -251,7 +394,8 @@ impl ScTable {
         };
 
         let mut updated = 0usize;
-        for (idx, record) in self.records.iter_mut().enumerate() {
+        for idx in 0..self.records.len() {
+            let record = &self.records[idx];
             let mut orders: Vec<u64> =
                 record.members.iter().map(|&m| record.sc.rem_u64(m)).collect();
             let mut dirty = false;
@@ -261,19 +405,29 @@ impl ScTable {
                     dirty = true;
                 }
             }
-            if idx == target {
-                record.members.push(self_label);
-                record.product = &record.product * &UBig::from(self_label);
-                record.max_self = record.max_self.max(self_label);
+            let receiving = idx == target;
+            if receiving {
                 orders.push(order);
                 dirty = true;
             }
-            if dirty {
-                record.rebuild(&orders)?;
-                updated += 1;
+            if !dirty {
+                continue;
             }
+            self.journal_record(idx);
+            let budget = self.product_bit_budget;
+            let record = &mut self.records[idx];
+            if receiving {
+                record.members.push(self_label);
+                record.product = mul_within(&record.product, &UBig::from(self_label), budget)?;
+                record.max_self = record.max_self.max(self_label);
+            }
+            faultpoint!("sc.insert.record")?;
+            record.rebuild(&orders)?;
+            updated += 1;
         }
+        self.journal_locator(self_label);
         self.locator.insert(self_label, target);
+        self.commit_journal();
         Ok(ScInsertReport { records_updated: updated })
     }
 
@@ -282,16 +436,25 @@ impl ScTable {
     /// re-solved. The new label must be coprime with the record's other
     /// members and larger than the member's order.
     pub fn replace_self_label(&mut self, old: u64, new: u64) -> Result<(), ScError> {
-        assert!(!self.locator.contains_key(&new), "self-label {new} already covered");
-        let idx = *self
-            .locator
-            .get(&old)
-            .unwrap_or_else(|| panic!("self-label {old} not covered"));
-        let record = &mut self.records[idx];
-        let order = record.order_of(old);
+        self.recover();
+        if self.locator.contains_key(&new) {
+            return Err(ScError::DuplicateSelfLabel(new));
+        }
+        let idx = *self.locator.get(&old).ok_or(ScError::UnknownSelfLabel(old))?;
+        let order = self.records[idx].order_of(old);
         if order >= new {
             return Err(ScError::OrderOverflow { self_label: new, order });
         }
+        for &m in &self.records[idx].members {
+            if m != old && !xp_bignum::modular::coprime(&UBig::from(new), &UBig::from(m)) {
+                return Err(CrtError::NotCoprime { a: new, b: m }.into());
+            }
+        }
+
+        self.begin_journal();
+        self.journal_record(idx);
+        let budget = self.product_bit_budget;
+        let record = &mut self.records[idx];
         let orders: Vec<u64> = record
             .members
             .iter()
@@ -303,10 +466,20 @@ impl ScTable {
             }
         }
         record.max_self = record.members.iter().copied().max().unwrap_or(0);
-        record.product = record.members.iter().fold(UBig::one(), |acc, &m| acc * UBig::from(m));
+        faultpoint!("sc.relabel")?;
+        let mut product = UBig::one();
+        for i in 0..self.records[idx].members.len() {
+            let m = self.records[idx].members[i];
+            product = mul_within(&product, &UBig::from(m), budget)?;
+        }
+        let record = &mut self.records[idx];
+        record.product = product;
         record.rebuild(&orders)?;
+        self.journal_locator(old);
+        self.journal_locator(new);
         self.locator.remove(&old);
         self.locator.insert(new, idx);
+        self.commit_journal();
         Ok(())
     }
 
@@ -388,16 +561,28 @@ impl ScTable {
         if !input.is_empty() {
             return Err(CodecError::Corrupt("trailing bytes"));
         }
-        Ok(ScTable { chunk_capacity, records, locator })
+        Ok(ScTable {
+            chunk_capacity,
+            records,
+            locator,
+            product_bit_budget: DEFAULT_PRODUCT_BIT_BUDGET,
+            journal: Journal::default(),
+        })
     }
 
     /// Removes a node. Deletion shifts no order numbers (§4.2), so only the
     /// record that held the member is re-solved. Returns `false` if the
     /// label was not covered.
     pub fn remove(&mut self, self_label: u64) -> Result<bool, ScError> {
-        let Some(idx) = self.locator.remove(&self_label) else {
+        self.recover();
+        let Some(&idx) = self.locator.get(&self_label) else {
             return Ok(false);
         };
+        self.begin_journal();
+        self.journal_record(idx);
+        self.journal_locator(self_label);
+        self.locator.remove(&self_label);
+        let budget = self.product_bit_budget;
         let record = &mut self.records[idx];
         let orders: Vec<u64> = record
             .members
@@ -407,8 +592,16 @@ impl ScTable {
             .collect();
         record.members.retain(|&m| m != self_label);
         record.max_self = record.members.iter().copied().max().unwrap_or(0);
-        record.product = record.members.iter().fold(UBig::one(), |acc, &m| acc * UBig::from(m));
+        faultpoint!("sc.remove")?;
+        let mut product = UBig::one();
+        for i in 0..self.records[idx].members.len() {
+            let m = self.records[idx].members[i];
+            product = mul_within(&product, &UBig::from(m), budget)?;
+        }
+        let record = &mut self.records[idx];
+        record.product = product;
         record.rebuild(&orders)?;
+        self.commit_journal();
         Ok(true)
     }
 }
@@ -590,10 +783,113 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already covered")]
-    fn duplicate_self_label_panics() {
+    fn duplicate_self_label_is_a_typed_error() {
         let mut t = ScTable::build(5, &figure9_items()).unwrap();
-        let _ = t.insert(13, 1);
+        assert_eq!(t.insert(13, 1).unwrap_err(), ScError::DuplicateSelfLabel(13));
+        // Nothing changed and no recovery is pending.
+        assert!(!t.needs_recovery());
+        for (m, o) in figure9_items() {
+            assert_eq!(t.order_of(m), Some(o));
+        }
+    }
+
+    #[test]
+    fn replace_errors_are_typed() {
+        let mut t = ScTable::build(5, &figure9_items()).unwrap();
+        assert_eq!(t.replace_self_label(99, 101).unwrap_err(), ScError::UnknownSelfLabel(99));
+        assert_eq!(t.replace_self_label(3, 13).unwrap_err(), ScError::DuplicateSelfLabel(13));
+        for (m, o) in figure9_items() {
+            assert_eq!(t.order_of(m), Some(o), "failed replace mutated nothing");
+        }
+    }
+
+    #[test]
+    fn zero_chunk_capacity_is_a_typed_error() {
+        assert_eq!(ScTable::build(0, &[]).unwrap_err(), ScError::InvalidChunkCapacity);
+    }
+
+    #[test]
+    fn duplicate_items_in_build_are_rejected() {
+        // Across chunks, duplicates evade the per-chunk coprimality check;
+        // the locator catches them.
+        let items = [(7u64, 1u64), (11, 2), (7, 3)];
+        assert_eq!(ScTable::build(2, &items).unwrap_err(), ScError::DuplicateSelfLabel(7));
+    }
+
+    #[test]
+    fn product_budget_refuses_runaway_growth() {
+        let mut t = ScTable::build(10, &figure9_items()).unwrap();
+        t.set_product_bit_budget(16); // current product 30030 ≈ 15 bits
+        let err = t.insert(17, 7).unwrap_err();
+        assert!(matches!(err, ScError::Budget(_)), "{err:?}");
+        // The budget refusal struck mid-mutation: recover and verify.
+        t.recover();
+        assert!(!t.needs_recovery());
+        for (m, o) in figure9_items() {
+            assert_eq!(t.order_of(m), Some(o));
+        }
+        assert_eq!(t.order_of(17), None);
+    }
+
+    #[test]
+    fn mid_relabel_fault_rolls_back_via_recover() {
+        use xp_testkit::fault;
+        let mut t = ScTable::build(2, &roomy_items()).unwrap(); // 3 records
+        let pristine = t.clone();
+        // Fire on the second record re-solve of a front insertion, which
+        // dirties every record — a genuinely half-applied mutation.
+        fault::arm("sc.insert.record:2");
+        let err = t.insert(29, 1).unwrap_err();
+        fault::reset();
+        assert_eq!(err, ScError::FaultInjected("sc.insert.record"));
+        assert!(t.needs_recovery());
+        assert!(t.recover());
+        assert!(!t.needs_recovery());
+        for (m, o) in pristine.entries() {
+            assert_eq!(t.order_of(m), Some(o), "rolled-back order of {m}");
+        }
+        assert_eq!(t.order_of(29), None);
+        // And the recovered table accepts the same insert cleanly.
+        t.insert(29, 1).unwrap();
+        assert_eq!(t.order_of(29), Some(1));
+        assert_eq!(t.order_of(7), Some(2));
+    }
+
+    #[test]
+    fn next_mutation_auto_recovers_a_faulted_table() {
+        use xp_testkit::fault;
+        let mut t = ScTable::build(2, &roomy_items()).unwrap();
+        fault::arm("sc.insert.record:2");
+        assert!(t.insert(29, 1).is_err());
+        fault::reset();
+        assert!(t.needs_recovery());
+        // No explicit recover(): the next insert rolls back first.
+        t.insert(29, 1).unwrap();
+        assert!(!t.needs_recovery());
+        assert_eq!(t.order_of(29), Some(1));
+        assert_eq!(t.order_of(23), Some(7));
+    }
+
+    #[test]
+    fn faulted_remove_and_relabel_recover() {
+        use xp_testkit::fault;
+        let mut t = ScTable::build(3, &roomy_items()).unwrap();
+        fault::arm("sc.remove:1");
+        assert_eq!(t.remove(11).unwrap_err(), ScError::FaultInjected("sc.remove"));
+        fault::reset();
+        assert!(t.recover());
+        assert_eq!(t.order_of(11), Some(2), "remove rolled back");
+
+        fault::arm("sc.relabel:1");
+        let err = t.replace_self_label(11, 43).unwrap_err();
+        fault::reset();
+        assert_eq!(err, ScError::FaultInjected("sc.relabel"));
+        assert!(t.recover());
+        assert_eq!(t.order_of(11), Some(2), "relabel rolled back");
+        assert_eq!(t.order_of(43), None);
+        // Both mutations succeed after recovery.
+        t.replace_self_label(11, 43).unwrap();
+        assert!(t.remove(43).unwrap());
     }
 
     #[test]

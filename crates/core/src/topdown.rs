@@ -2,6 +2,7 @@
 //! of Figure 7) with optimizations Opt1–Opt3 (§3.2), plus the incremental
 //! update rules the paper's dynamicity claims rest on.
 
+use crate::error::Error;
 use crate::label::PrimeLabel;
 use std::collections::HashMap;
 use xp_bignum::UBig;
@@ -84,10 +85,16 @@ impl TopDownPrime {
         }
     }
 
-    /// A scheme with explicit options.
-    pub fn with_options(opts: PrimeOptions) -> Self {
-        assert!(opts.leaf_power_threshold <= 63, "2^n self-labels must fit u64");
-        TopDownPrime { opts }
+    /// A scheme with explicit options. Fails with
+    /// [`Error::LeafPowerThresholdTooLarge`] when `leaf_power_threshold`
+    /// exceeds 63 (Opt2's `2^n` self-labels must fit a `u64`), so a bad
+    /// configuration is rejected up front instead of aborting a batch job
+    /// mid-labeling.
+    pub fn with_options(opts: PrimeOptions) -> Result<Self, Error> {
+        if opts.leaf_power_threshold > 63 {
+            return Err(Error::LeafPowerThresholdTooLarge { threshold: opts.leaf_power_threshold });
+        }
+        Ok(TopDownPrime { opts })
     }
 
     /// The active options.
@@ -281,12 +288,11 @@ impl PrimeDoc {
         self.odd_mode
     }
 
-    fn assert_updatable(&self) {
-        assert!(
-            !self.opts.combine_repeated_paths,
-            "incremental updates are not defined for Opt3-combined documents; \
-             relabel the document instead"
-        );
+    fn ensure_updatable(&self) -> Result<(), Error> {
+        if self.opts.combine_repeated_paths {
+            return Err(Error::NotUpdatable);
+        }
+        Ok(())
     }
 
     /// Inserts a new element as the **last child** of `parent` (§5.3's leaf
@@ -294,8 +300,20 @@ impl PrimeDoc {
     /// parent of the new node was previously a leaf, so under Opt2 it must
     /// trade its `2^n` self-label for a prime — 2 relabelings; the
     /// unoptimized scheme relabels only the new node).
-    pub fn insert_child(&mut self, tree: &mut XmlTree, parent: NodeId, tag: &str) -> InsertOutcome {
-        self.assert_updatable();
+    ///
+    /// Fails — mutating nothing — on Opt3 documents ([`Error::NotUpdatable`])
+    /// and on a `parent` this document does not label
+    /// ([`Error::UnknownNode`]).
+    pub fn insert_child(
+        &mut self,
+        tree: &mut XmlTree,
+        parent: NodeId,
+        tag: &str,
+    ) -> Result<InsertOutcome, Error> {
+        self.ensure_updatable()?;
+        if self.labels.get(parent).is_none() {
+            return Err(Error::UnknownNode(parent));
+        }
         let mut relabeled = 0usize;
 
         // If Opt2 gave the parent a power-of-two self-label while it was a
@@ -316,36 +334,54 @@ impl PrimeDoc {
         let self_label = self.fresh_self_label_for(tree, parent, node);
         let label = PrimeLabel::child_of(self.labels.label(parent), self_label);
         self.labels.set(node, label);
-        InsertOutcome { node, relabeled_existing: relabeled }
+        Ok(InsertOutcome { node, relabeled_existing: relabeled })
     }
 
     /// Inserts a new element immediately **before** `anchor` among its
     /// siblings. No existing label changes (this is the paper's headline
     /// dynamicity claim); the global *order* maintenance lives in the SC
     /// table ([`crate::ordered::OrderedPrimeDoc`] wires the two together).
+    ///
+    /// Fails — mutating nothing — on Opt3 documents, on an unlabeled
+    /// `anchor`, and on the root ([`Error::RootAnchor`]: it has no siblings).
     pub fn insert_sibling_before(
         &mut self,
         tree: &mut XmlTree,
         anchor: NodeId,
         tag: &str,
-    ) -> InsertOutcome {
-        self.assert_updatable();
-        let parent = tree.parent(anchor).expect("anchor must not be the root");
+    ) -> Result<InsertOutcome, Error> {
+        self.ensure_updatable()?;
+        if self.labels.get(anchor).is_none() {
+            return Err(Error::UnknownNode(anchor));
+        }
+        let parent = tree.parent(anchor).ok_or(Error::RootAnchor(anchor))?;
         let node = tree.create_element(tag);
         tree.insert_before(anchor, node);
         let self_label = self.fresh_self_label_for(tree, parent, node);
         let label = PrimeLabel::child_of(self.labels.label(parent), self_label);
         self.labels.set(node, label);
-        InsertOutcome { node, relabeled_existing: 0 }
+        Ok(InsertOutcome { node, relabeled_existing: 0 })
     }
 
     /// Wraps `target` in a new parent element (§5.3's non-leaf update,
     /// Figure 17). The wrapper takes a fresh prime; every element in the
     /// wrapped subtree inherits the new factor, so the whole subtree is
     /// relabeled — and nothing else.
-    pub fn insert_parent(&mut self, tree: &mut XmlTree, target: NodeId, tag: &str) -> InsertOutcome {
-        self.assert_updatable();
-        let old_parent = tree.parent(target).expect("cannot wrap the root");
+    ///
+    /// Fails — mutating nothing — on Opt3 documents, on an unlabeled
+    /// `target`, and on the root ([`Error::RootAnchor`]: it has no parent to
+    /// hang the wrapper from).
+    pub fn insert_parent(
+        &mut self,
+        tree: &mut XmlTree,
+        target: NodeId,
+        tag: &str,
+    ) -> Result<InsertOutcome, Error> {
+        self.ensure_updatable()?;
+        if self.labels.get(target).is_none() {
+            return Err(Error::UnknownNode(target));
+        }
+        let old_parent = tree.parent(target).ok_or(Error::RootAnchor(target))?;
         let wrapper = tree.wrap_with_parent(target, tag);
         let wrapper_self = UBig::from(self.pool.general_prime());
         let wrapper_label = PrimeLabel::child_of(self.labels.label(old_parent), wrapper_self);
@@ -363,17 +399,23 @@ impl PrimeDoc {
                 stack.push((child, new_label.clone()));
             }
         }
-        InsertOutcome { node: wrapper, relabeled_existing: relabeled }
+        Ok(InsertOutcome { node: wrapper, relabeled_existing: relabeled })
     }
 
     /// Deletes a node (with its subtree). Deletion never relabels anything
     /// (§4.2: "the deletion of nodes from an XML tree does not affect any
     /// node ordering"), so this returns the number of labels *dropped*.
-    pub fn delete(&mut self, tree: &mut XmlTree, target: NodeId) -> usize {
-        self.assert_updatable();
+    ///
+    /// Fails — mutating nothing — on Opt3 documents and on an unlabeled
+    /// `target`.
+    pub fn delete(&mut self, tree: &mut XmlTree, target: NodeId) -> Result<usize, Error> {
+        self.ensure_updatable()?;
+        if self.labels.get(target).is_none() {
+            return Err(Error::UnknownNode(target));
+        }
         let dropped = tree.element_descendants(target).count();
         tree.detach(target);
-        dropped
+        Ok(dropped)
     }
 
     /// Draws the next unused prime from the document's pool (used by the
@@ -464,7 +506,8 @@ mod tests {
             leaf_powers_of_two: true,
             leaf_power_threshold: 4,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let doc = scheme.label(&tree);
         let selfs: Vec<u64> = tree
             .element_children(tree.root())
@@ -524,6 +567,7 @@ mod tests {
             combine_repeated_paths: true,
             ..Default::default()
         })
+        .unwrap()
         .label(&tree);
         let authors: Vec<NodeId> = tree
             .element_children(tree.root())
@@ -545,6 +589,7 @@ mod tests {
             combine_repeated_paths: true,
             ..Default::default()
         })
+        .unwrap()
         .label(&tree);
         let kids: Vec<NodeId> = tree.element_children(tree.root()).collect();
         assert_ne!(doc.label(kids[0]), doc.label(kids[1]), "different shapes, different labels");
@@ -563,6 +608,7 @@ mod tests {
             combine_repeated_paths: true,
             ..Default::default()
         })
+        .unwrap()
         .label(&tree)
         .size_stats()
         .max_bits;
@@ -576,7 +622,7 @@ mod tests {
         let before = doc.labels.clone();
         let b = tree.first_child(tree.root()).unwrap();
         let c = tree.first_child(b).unwrap();
-        let out = doc.insert_child(&mut tree, c, "new");
+        let out = doc.insert_child(&mut tree, c, "new").unwrap();
         assert_eq!(out.relabeled_existing, 0);
         assert_eq!(out.total_relabeled(), 1);
         let diff = before.diff_count(&doc.labels);
@@ -594,7 +640,7 @@ mod tests {
         let b = tree.first_child(tree.root()).unwrap();
         let c = tree.first_child(b).unwrap();
         assert!(doc.labels.label(c).self_label().is_power_of_two());
-        let out = doc.insert_child(&mut tree, c, "new");
+        let out = doc.insert_child(&mut tree, c, "new").unwrap();
         // Paper: "the optimized prime number labeling scheme needs to
         // re-label 2 nodes ... the newly inserted node and its parent".
         assert_eq!(out.total_relabeled(), 2);
@@ -611,7 +657,7 @@ mod tests {
         let mut doc = TopDownPrime::unoptimized().label_document(&tree);
         let before = doc.labels.clone();
         let second = tree.element_children(tree.root()).nth(1).unwrap();
-        let out = doc.insert_sibling_before(&mut tree, second, "author");
+        let out = doc.insert_sibling_before(&mut tree, second, "author").unwrap();
         assert_eq!(out.relabeled_existing, 0);
         assert_eq!(before.diff_count(&doc.labels).changed, 0);
         exhaustive_ancestor_check(&tree, &doc.labels);
@@ -623,7 +669,7 @@ mod tests {
         let mut doc = TopDownPrime::unoptimized().label_document(&tree);
         let before = doc.labels.clone();
         let b = tree.first_child(tree.root()).unwrap();
-        let out = doc.insert_parent(&mut tree, b, "wrap");
+        let out = doc.insert_parent(&mut tree, b, "wrap").unwrap();
         // b, c, d relabeled; e and the root untouched.
         assert_eq!(out.relabeled_existing, 3);
         let diff = before.diff_count(&doc.labels);
@@ -638,7 +684,7 @@ mod tests {
         let mut doc = TopDownPrime::unoptimized().label_document(&tree);
         let before = doc.labels.clone();
         let b = tree.first_child(tree.root()).unwrap();
-        let dropped = doc.delete(&mut tree, b);
+        let dropped = doc.delete(&mut tree, b).unwrap();
         assert_eq!(dropped, 3);
         // Remaining nodes keep their labels bit for bit.
         for node in tree.elements() {
@@ -656,7 +702,7 @@ mod tests {
             seen.insert(doc.labels.label(node).self_label().clone());
         }
         for _ in 0..50 {
-            let out = doc.insert_child(&mut tree, b, "x");
+            let out = doc.insert_child(&mut tree, b, "x").unwrap();
             let s = doc.labels.label(out.node).self_label().clone();
             assert!(seen.insert(s), "self-label reused");
         }
@@ -664,11 +710,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not defined for Opt3")]
     fn opt3_documents_reject_incremental_updates() {
         let mut tree = parse("<a><b/><b/></a>").unwrap();
         let mut doc = TopDownPrime::fully_optimized().label_document(&tree);
         let b = tree.first_child(tree.root()).unwrap();
-        doc.insert_child(&mut tree, b, "x");
+        assert_eq!(doc.insert_child(&mut tree, b, "x").unwrap_err(), Error::NotUpdatable);
+        assert_eq!(doc.delete(&mut tree, b).unwrap_err(), Error::NotUpdatable);
+    }
+
+    #[test]
+    fn with_options_rejects_oversized_leaf_threshold() {
+        let err = TopDownPrime::with_options(PrimeOptions {
+            leaf_power_threshold: 64,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, Error::LeafPowerThresholdTooLarge { threshold: 64 });
+        assert!(TopDownPrime::with_options(PrimeOptions {
+            leaf_power_threshold: 63,
+            ..Default::default()
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn mutations_reject_the_root_and_unknown_nodes() {
+        let mut tree = parse("<a><b/></a>").unwrap();
+        let mut doc = TopDownPrime::unoptimized().label_document(&tree);
+        let root = tree.root();
+        assert_eq!(
+            doc.insert_sibling_before(&mut tree, root, "x").unwrap_err(),
+            Error::RootAnchor(root)
+        );
+        assert_eq!(doc.insert_parent(&mut tree, root, "x").unwrap_err(), Error::RootAnchor(root));
+        // A node from a different tree is not covered by this document.
+        let other = parse("<z><y/><w/><v/></z>").unwrap();
+        let stranger = other.last_child(other.root()).unwrap();
+        assert_eq!(
+            doc.insert_child(&mut tree, stranger, "x").unwrap_err(),
+            Error::UnknownNode(stranger)
+        );
     }
 }

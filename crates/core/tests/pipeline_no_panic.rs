@@ -1,0 +1,91 @@
+//! End-to-end robustness: arbitrary bytes fed through the parser and the
+//! full prime-labeling pipeline (top-down labels, optimized labels, ordered
+//! document with SC table) must never panic — every failure is a typed
+//! error. Each case runs under `catch_unwind` so a panic anywhere in the
+//! pipeline fails the property with the offending input shrunk and printed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use xp_labelkit::Scheme;
+use xp_prime::ordered::OrderedPrimeDoc;
+use xp_prime::topdown::TopDownPrime;
+use xp_testkit::propcheck::{any_string, index, string_from, u8s, vec_of};
+use xp_testkit::{prop_assert, propcheck};
+use xp_xmltree::{parse_with, ParseOptions, XmlTree};
+
+/// Tight limits so hostile inputs fail fast instead of chewing memory.
+fn fuzz_options() -> ParseOptions {
+    ParseOptions {
+        max_depth: 64,
+        max_input_bytes: 4096,
+        max_attrs: 16,
+        max_entity_expansions: 256,
+        ..ParseOptions::default()
+    }
+}
+
+/// Parses and, when the input happens to be well-formed, runs every
+/// labeling configuration over the resulting tree. Returns whether any
+/// stage panicked.
+fn pipeline_panics(input: &str) -> bool {
+    catch_unwind(AssertUnwindSafe(|| {
+        let Ok(tree) = parse_with(input, &fuzz_options()) else {
+            return;
+        };
+        exercise_labeling(&tree);
+    }))
+    .is_err()
+}
+
+fn exercise_labeling(tree: &XmlTree) {
+    let _ = TopDownPrime::unoptimized().label(tree);
+    let _ = TopDownPrime::optimized().label(tree);
+    if let Ok(doc) = OrderedPrimeDoc::build(tree, 5) {
+        for node in tree.elements() {
+            let _ = doc.try_order_of(node);
+        }
+    }
+}
+
+propcheck! {
+    #![config(cases = 512)]
+
+    #[test]
+    fn byte_soup_never_panics(bytes in vec_of(u8s(0..=255), 0..160)) {
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(!pipeline_panics(&input), "panicked on {input:?}");
+    }
+
+    #[test]
+    fn unicode_soup_never_panics(input in any_string(0..=160)) {
+        prop_assert!(!pipeline_panics(&input), "panicked on {input:?}");
+    }
+
+    #[test]
+    fn xmlish_soup_never_panics(
+        input in string_from("<>/abc \"'=&;![]#x0123456789-", 0..=120)
+    ) {
+        prop_assert!(!pipeline_panics(&input), "panicked on {input:?}");
+    }
+
+    #[test]
+    fn deep_and_truncated_documents_never_panic(
+        depth in index(),
+        cut in index(),
+    ) {
+        // Nest around (and past) the configured depth limit, then truncate
+        // at an arbitrary byte so close tags go missing.
+        let depth = 1 + depth.index(96);
+        let mut doc = String::new();
+        for _ in 0..depth {
+            doc.push_str("<n a=\"1\">");
+        }
+        doc.push_str("x&amp;y");
+        for _ in 0..depth {
+            doc.push_str("</n>");
+        }
+        prop_assert!(!pipeline_panics(&doc), "panicked at depth {depth}");
+        let cut_at = cut.index(doc.len() + 1);
+        let truncated = &doc[..cut_at]; // ASCII, every index is a char boundary
+        prop_assert!(!pipeline_panics(truncated), "panicked on {truncated:?}");
+    }
+}

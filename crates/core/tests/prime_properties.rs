@@ -92,7 +92,7 @@ propcheck! {
         for idx in ops {
             let nodes: Vec<NodeId> = tree.elements().collect();
             let target = nodes[idx.index(nodes.len())];
-            doc2.insert_child(&mut tree, target, "x");
+            doc2.insert_child(&mut tree, target, "x").unwrap();
         }
         let mut seen = std::collections::HashSet::new();
         for node in tree.elements() {

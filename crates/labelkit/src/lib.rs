@@ -18,6 +18,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Runtime failures surface as typed errors; remaining panics are
+// documented contracts built on `panic!`, not `unwrap`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod bitstring;
 pub mod codec;

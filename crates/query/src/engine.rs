@@ -24,6 +24,7 @@
 
 use crate::relstore::LabelTable;
 use xp_labelkit::LabelOps;
+use xp_testkit::faultpoint;
 use xp_xmltree::NodeId;
 
 /// Axes the engine evaluates.
@@ -100,6 +101,87 @@ impl std::fmt::Display for PathError {
 }
 
 impl std::error::Error for PathError {}
+
+/// Evaluation-time resource budgets.
+///
+/// The engine charges every intermediate result row and every path step
+/// against these budgets and returns a typed
+/// [`QueryError::LimitExceeded`] when a query would blow through them, so
+/// a hostile or runaway path cannot exhaust memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Maximum size of any intermediate or final result set (default 2^24).
+    pub max_rows: usize,
+    /// Maximum number of path steps (default 256).
+    pub max_steps: usize,
+}
+
+impl Default for QueryLimits {
+    fn default() -> Self {
+        QueryLimits { max_rows: 1 << 24, max_steps: 256 }
+    }
+}
+
+/// Which [`QueryLimits`] budget a query exceeded (payload = the budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLimit {
+    /// An intermediate result grew past `max_rows`.
+    Rows(usize),
+    /// The path has more than `max_steps` steps.
+    Steps(usize),
+}
+
+/// Evaluation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The path could not be parsed.
+    Path(PathError),
+    /// The path had no steps (a hand-built [`Path`] can be empty even
+    /// though [`Path::parse`] rejects it).
+    EmptyPath,
+    /// A [`QueryLimits`] budget was exceeded.
+    LimitExceeded(QueryLimit),
+    /// An armed [`xp_testkit::fault`] point fired in the engine.
+    FaultInjected(&'static str),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Path(e) => write!(f, "path: {e}"),
+            QueryError::EmptyPath => write!(f, "path has no steps"),
+            QueryError::LimitExceeded(QueryLimit::Rows(max)) => {
+                write!(f, "intermediate result exceeds max_rows={max}")
+            }
+            QueryError::LimitExceeded(QueryLimit::Steps(max)) => {
+                write!(f, "path exceeds max_steps={max}")
+            }
+            QueryError::FaultInjected(site) => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Path(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PathError> for QueryError {
+    fn from(e: PathError) -> Self {
+        QueryError::Path(e)
+    }
+}
+
+impl From<xp_testkit::Injected> for QueryError {
+    fn from(e: xp_testkit::Injected) -> Self {
+        QueryError::FaultInjected(e.site)
+    }
+}
 
 impl Path {
     /// Parses a path like `/play//act[3]/following::act`.
@@ -231,7 +313,7 @@ pub fn eval_path<L: LabelOps>(
     table: &LabelTable<L>,
     oracle: &dyn OrderOracle,
     path: &Path,
-) -> Vec<NodeId> {
+) -> Result<Vec<NodeId>, QueryError> {
     eval_path_with(table, oracle, path, true)
 }
 
@@ -243,11 +325,27 @@ pub fn eval_path_with<L: LabelOps>(
     oracle: &dyn OrderOracle,
     path: &Path,
     batch: bool,
-) -> Vec<NodeId> {
+) -> Result<Vec<NodeId>, QueryError> {
+    eval_path_limited(table, oracle, path, batch, &QueryLimits::default())
+}
+
+/// [`eval_path_with`] with explicit [`QueryLimits`] budgets.
+pub fn eval_path_limited<L: LabelOps>(
+    table: &LabelTable<L>,
+    oracle: &dyn OrderOracle,
+    path: &Path,
+    batch: bool,
+    limits: &QueryLimits,
+) -> Result<Vec<NodeId>, QueryError> {
+    if path.steps.len() > limits.max_steps {
+        return Err(QueryError::LimitExceeded(QueryLimit::Steps(limits.max_steps)));
+    }
     // The initial context is the *document node*: `/play` selects the root
     // element itself when it is named `play`, and `//tag` selects every
     // element with that tag, the root included.
-    let first = &path.steps[0];
+    let Some(first) = path.steps.first() else {
+        return Err(QueryError::EmptyPath);
+    };
     let mut ctx: Vec<NodeId> = match first.axis {
         Axis::Child => {
             let root = table.root();
@@ -280,31 +378,37 @@ pub fn eval_path_with<L: LabelOps>(
             None => Vec::new(),
         };
     }
+    if ctx.len() > limits.max_rows {
+        return Err(QueryError::LimitExceeded(QueryLimit::Rows(limits.max_rows)));
+    }
     for step in &path.steps[1..] {
         if ctx.is_empty() {
             break;
         }
         if batch && step.position.is_none() {
-            ctx = select_batch(table, oracle, &ctx, step);
-            continue;
-        }
-        let mut next: Vec<NodeId> = Vec::new();
-        for &c in &ctx {
-            let mut matches = select(table, oracle, c, step);
-            if let Some(n) = step.position {
-                matches = match matches.get(n - 1) {
-                    Some(&m) => vec![m],
-                    None => Vec::new(),
-                };
+            ctx = select_batch(table, oracle, &ctx, step)?;
+        } else {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &c in &ctx {
+                let mut matches = select(table, oracle, c, step);
+                if let Some(n) = step.position {
+                    matches = match matches.get(n - 1) {
+                        Some(&m) => vec![m],
+                        None => Vec::new(),
+                    };
+                }
+                next.extend(matches);
             }
-            next.extend(matches);
+            // Union semantics: document order, duplicates removed.
+            next.sort_by_key(|&n| oracle.rank(n));
+            next.dedup();
+            ctx = next;
         }
-        // Union semantics: document order, duplicates removed.
-        next.sort_by_key(|&n| oracle.rank(n));
-        next.dedup();
-        ctx = next;
+        if ctx.len() > limits.max_rows {
+            return Err(QueryError::LimitExceeded(QueryLimit::Rows(limits.max_rows)));
+        }
     }
-    ctx
+    Ok(ctx)
 }
 
 /// Evaluates one position-free step for the whole context set at once,
@@ -314,8 +418,10 @@ fn select_batch<L: LabelOps>(
     oracle: &dyn OrderOracle,
     ctx: &[NodeId],
     step: &Step,
-) -> Vec<NodeId> {
+) -> Result<Vec<NodeId>, QueryError> {
     use std::collections::HashSet;
+
+    faultpoint!("query.join")?;
 
     // Candidate rows (tag + value filtered), sorted by document order.
     let mut cands: Vec<(u64, NodeId, &L)> = Vec::new();
@@ -461,13 +567,13 @@ fn select_batch<L: LabelOps>(
                 .collect()
         }
     };
-    match &step.has_child {
+    Ok(match &step.has_child {
         None => keep,
         Some(child_tag) => {
             let parents = parents_with_child(table, child_tag);
             keep.into_iter().filter(|n| parents.contains(n)).collect()
         }
-    }
+    })
 }
 
 /// All nodes matching one step for a single context node, document order.

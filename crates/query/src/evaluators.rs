@@ -7,7 +7,7 @@
 //! order numbers from the SC table (`SC mod self-label`) at query time —
 //! preserving the cost profile the paper measures in Figure 15.
 
-use crate::engine::{eval_path, OrderOracle, Path};
+use crate::engine::{eval_path, OrderOracle, Path, QueryError};
 use crate::relstore::LabelTable;
 use std::collections::HashMap;
 use xp_baselines::interval::{IntervalLabel, IntervalScheme};
@@ -22,15 +22,34 @@ pub trait Evaluator {
     /// Scheme name for experiment output.
     fn name(&self) -> &'static str;
 
-    /// Evaluates a parsed path, returning matching nodes in document order.
-    fn eval(&self, path: &Path) -> Vec<NodeId>;
+    /// Evaluates a parsed path, returning matching nodes in document order,
+    /// or a typed error when a resource budget is exceeded (or an armed
+    /// fault point fires).
+    fn try_eval(&self, path: &Path) -> Result<Vec<NodeId>, QueryError>;
+
+    /// Evaluates a parsed path.
+    ///
+    /// # Panics
+    /// Panics on evaluation failure (exceeded budgets, injected faults) —
+    /// the experiment harnesses run trusted static queries. Untrusted
+    /// callers (the CLI) use [`Evaluator::try_eval`].
+    fn eval(&self, path: &Path) -> Vec<NodeId> {
+        match self.try_eval(path) {
+            Ok(nodes) => nodes,
+            Err(e) => panic!("query evaluation failed: {e}"),
+        }
+    }
 
     /// Evaluates a path given as text.
     ///
     /// # Panics
-    /// Panics on syntax errors (experiment queries are static).
+    /// Panics on syntax errors and evaluation failures (experiment queries
+    /// are static).
     fn eval_str(&self, path: &str) -> Vec<NodeId> {
-        self.eval(&Path::parse(path).expect("valid path"))
+        match Path::parse(path) {
+            Ok(parsed) => self.eval(&parsed),
+            Err(e) => panic!("invalid path {path:?}: {e}"),
+        }
     }
 
     /// The fixed-width storage footprint of this evaluator's label table.
@@ -70,7 +89,7 @@ impl Evaluator for IntervalEvaluator {
         "Interval"
     }
 
-    fn eval(&self, path: &Path) -> Vec<NodeId> {
+    fn try_eval(&self, path: &Path) -> Result<Vec<NodeId>, QueryError> {
         eval_path(&self.table, &IntervalOracle(&self.table), path)
     }
 
@@ -118,7 +137,7 @@ impl Evaluator for Prefix2Evaluator {
         "Prefix-2"
     }
 
-    fn eval(&self, path: &Path) -> Vec<NodeId> {
+    fn try_eval(&self, path: &Path) -> Result<Vec<NodeId>, QueryError> {
         eval_path(&self.table, &PrefixOracle(&self.ranks), path)
     }
 
@@ -138,10 +157,22 @@ pub struct PrimeEvaluator {
 impl PrimeEvaluator {
     /// Labels `tree`, builds the SC table with the given chunk capacity
     /// (the paper's §5.4 uses 5), and builds the label table.
+    ///
+    /// # Panics
+    /// Panics if the SC table cannot be built (see
+    /// [`PrimeEvaluator::try_build`] for the fallible form).
     pub fn build(tree: &XmlTree, chunk_capacity: usize) -> Self {
-        let ordered = OrderedPrimeDoc::build(tree, chunk_capacity).expect("coprime self-labels");
+        match Self::try_build(tree, chunk_capacity) {
+            Ok(ev) => ev,
+            Err(e) => panic!("prime labeling failed: {e}"),
+        }
+    }
+
+    /// Fallible [`PrimeEvaluator::build`].
+    pub fn try_build(tree: &XmlTree, chunk_capacity: usize) -> Result<Self, xp_prime::Error> {
+        let ordered = OrderedPrimeDoc::build(tree, chunk_capacity)?;
         let table = LabelTable::build(tree, ordered.labels());
-        PrimeEvaluator { table, ordered }
+        Ok(PrimeEvaluator { table, ordered })
     }
 
     /// The underlying table.
@@ -168,7 +199,7 @@ impl Evaluator for PrimeEvaluator {
         "Prime"
     }
 
-    fn eval(&self, path: &Path) -> Vec<NodeId> {
+    fn try_eval(&self, path: &Path) -> Result<Vec<NodeId>, QueryError> {
         eval_path(&self.table, &ScOracle(&self.ordered), path)
     }
 

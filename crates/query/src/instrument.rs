@@ -8,7 +8,7 @@
 //! query performs and how many label bits those tests touch — by wrapping
 //! labels in a counting adapter and re-running the ordinary engine.
 
-use crate::engine::{eval_path, OrderOracle, Path};
+use crate::engine::{eval_path, OrderOracle, Path, QueryError};
 use crate::relstore::LabelTable;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -72,18 +72,18 @@ pub fn measure_predicates<L: LabelOps>(
     table: &LabelTable<L>,
     oracle: &dyn OrderOracle,
     path: &Path,
-) -> (Vec<NodeId>, PredicateStats) {
+) -> Result<(Vec<NodeId>, PredicateStats), QueryError> {
     let counting = table.map_labels(|l| CountingLabel(l.clone()));
     let ranks: HashMap<NodeId, u64> =
         table.rows().iter().map(|r| (r.node, oracle.rank(r.node))).collect();
     ANCESTOR_TESTS.with(|c| c.set(0));
     BITS_TOUCHED.with(|c| c.set(0));
-    let result = eval_path(&counting, &MapOracle(ranks), path);
+    let result = eval_path(&counting, &MapOracle(ranks), path)?;
     let stats = PredicateStats {
         ancestor_tests: ANCESTOR_TESTS.with(Cell::get),
         label_bits_touched: BITS_TOUCHED.with(Cell::get),
     };
-    (result, stats)
+    Ok((result, stats))
 }
 
 #[cfg(test)]
@@ -109,7 +109,7 @@ mod tests {
             let plain = ev.eval(&path);
             let ranks: HashMap<NodeId, u64> =
                 ev.table().rows().iter().map(|r| (r.node, r.label.order)).collect();
-            let (counted, stats) = measure_predicates(ev.table(), &MapOracle(ranks), &path);
+            let (counted, stats) = measure_predicates(ev.table(), &MapOracle(ranks), &path).unwrap();
             assert_eq!(plain, counted, "{q}");
             assert!(stats.ancestor_tests > 0, "{q} did structural work");
         }
@@ -134,7 +134,7 @@ mod tests {
         let interval = IntervalEvaluator::build(&tree);
         let iv_ranks: HashMap<NodeId, u64> =
             interval.table().rows().iter().map(|r| (r.node, r.label.order)).collect();
-        let (r1, s_interval) = measure_predicates(interval.table(), &MapOracle(iv_ranks), &path);
+        let (r1, s_interval) = measure_predicates(interval.table(), &MapOracle(iv_ranks), &path).unwrap();
 
         let prefix = Prefix2Evaluator::build(&tree);
         let px_ranks: HashMap<NodeId, u64> = {
@@ -142,7 +142,7 @@ mod tests {
             nodes.sort_by(|&a, &b| prefix.table().label(a).bits().cmp(prefix.table().label(b).bits()));
             nodes.into_iter().enumerate().map(|(i, n)| (n, i as u64)).collect()
         };
-        let (r2, s_prefix) = measure_predicates(prefix.table(), &MapOracle(px_ranks), &path);
+        let (r2, s_prefix) = measure_predicates(prefix.table(), &MapOracle(px_ranks), &path).unwrap();
 
         let prime = PrimeEvaluator::build(&tree, 5);
         let pr_ranks: HashMap<NodeId, u64> = prime
@@ -151,7 +151,7 @@ mod tests {
             .iter()
             .map(|r| (r.node, prime.ordered().order_of(r.node)))
             .collect();
-        let (r3, s_prime) = measure_predicates(prime.table(), &MapOracle(pr_ranks), &path);
+        let (r3, s_prime) = measure_predicates(prime.table(), &MapOracle(pr_ranks), &path).unwrap();
 
         assert_eq!(r1.len(), r2.len());
         assert_eq!(r1.len(), r3.len());
@@ -182,7 +182,7 @@ mod tests {
             .map(|r| (r.node, prime.ordered().order_of(r.node)))
             .collect();
         let path = Path::parse("//act//line").unwrap();
-        let (_, stats) = measure_predicates(prime.table(), &MapOracle(ranks), &path);
+        let (_, stats) = measure_predicates(prime.table(), &MapOracle(ranks), &path).unwrap();
         assert!(stats.label_bits_touched > 0);
     }
 }

@@ -24,6 +24,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Failures reachable from untrusted paths or runaway evaluation surface as
+// typed `QueryError`s; the panicking conveniences that remain (`eval`,
+// `eval_str`, `build`) are documented experiment-harness contracts built on
+// `panic!`, not `unwrap`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod engine;
 pub mod evaluators;
@@ -34,6 +39,6 @@ pub mod queries;
 pub mod relstore;
 pub mod sql;
 
-pub use engine::Path;
+pub use engine::{Path, QueryError, QueryLimits};
 pub use evaluators::{Evaluator, IntervalEvaluator, Prefix2Evaluator, PrimeEvaluator};
 pub use relstore::LabelTable;

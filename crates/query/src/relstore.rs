@@ -44,7 +44,9 @@ impl<L: LabelOps> LabelTable<L> {
             root: tree.root(),
         };
         for node in tree.elements() {
-            let tag = tree.tag(node).expect("elements have tags");
+            // Only element nodes reach this point, and elements always
+            // carry a tag; skip (rather than panic on) anything else.
+            let Some(tag) = tree.tag(node) else { continue };
             let tag_id = table.intern(tag);
             let idx = table.rows.len();
             let text: String = tree

@@ -1,0 +1,237 @@
+//! Per-site fault-injection regressions: every `faultpoint!` compiled into
+//! the pipeline is armed with an nth-hit trigger, the failure must surface
+//! as the crate's typed error (never a panic), and the store must stay
+//! queryable afterwards — rolled back or recovered, with answers matching a
+//! never-faulted oracle.
+//!
+//! The final `env_matrix` test is the CI hook: `scripts/ci.sh` runs it once
+//! per site with `XP_FAULT=<site>:1`, driving the whole pipeline under
+//! `catch_unwind` to prove no armed site can panic it.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use xp_prime::ordered::OrderedPrimeDoc;
+use xp_prime::sc::{ScError, ScTable};
+use xp_prime::Error;
+use xp_query::engine::{eval_path, OrderOracle, Path, QueryError};
+use xp_query::evaluators::{Evaluator, PrimeEvaluator};
+use xp_query::relstore::LabelTable;
+use xp_testkit::fault;
+use xp_xmltree::{parse, NodeId, ParseErrorKind, XmlTree};
+
+/// A flat 20-item list: with `chunk_capacity = 5` the SC table has four
+/// records, so a single insertion can touch several records — room for a
+/// fault to land mid-update, after some records changed but not all.
+fn list_src() -> String {
+    let mut s = String::from("<list>");
+    for _ in 0..20 {
+        s.push_str("<item/>");
+    }
+    s.push_str("</list>");
+    s
+}
+
+fn build(src: &str) -> (XmlTree, OrderedPrimeDoc) {
+    let tree = parse(src).unwrap();
+    let doc = OrderedPrimeDoc::build(&tree, 5).unwrap();
+    (tree, doc)
+}
+
+/// Order oracle backed by the document's own SC table.
+struct DocOracle<'a>(&'a OrderedPrimeDoc);
+
+impl OrderOracle for DocOracle<'_> {
+    fn rank(&self, node: NodeId) -> u64 {
+        self.0.order_of(node)
+    }
+}
+
+/// A query answer normalized for cross-document comparison: node ids differ
+/// between a faulted document (whose arena also allocated the aborted
+/// node) and the oracle, so results are compared as `(tag, order)` sets.
+fn answer_keys(tree: &XmlTree, doc: &OrderedPrimeDoc, query: &str) -> BTreeSet<(String, u64)> {
+    let table = LabelTable::build(tree, doc.labels());
+    let path = Path::parse(query).unwrap();
+    let nodes = eval_path(&table, &DocOracle(doc), &path).unwrap();
+    nodes
+        .into_iter()
+        .map(|n| (tree.tag(n).unwrap().to_string(), doc.order_of(n)))
+        .collect()
+}
+
+#[test]
+fn parse_read_fault_surfaces_as_typed_parse_error() {
+    fault::arm("parse.read:3");
+    let err = parse(&list_src()).unwrap_err();
+    fault::reset();
+    assert!(
+        matches!(err.kind, ParseErrorKind::FaultInjected("parse.read")),
+        "got {err}"
+    );
+    assert!(parse(&list_src()).is_ok(), "disarmed parse succeeds");
+}
+
+#[test]
+fn bignum_mul_fault_fails_the_build_with_a_typed_error() {
+    let tree = parse(&list_src()).unwrap();
+    fault::arm("bignum.mul:4");
+    let err = OrderedPrimeDoc::build(&tree, 5).unwrap_err();
+    fault::reset();
+    assert_eq!(err, Error::Sc(ScError::FaultInjected("bignum.mul")), "got {err}");
+    assert!(OrderedPrimeDoc::build(&tree, 5).is_ok(), "disarmed build succeeds");
+}
+
+#[test]
+fn sc_insert_fault_leaves_every_existing_order_intact() {
+    let (mut tree, mut doc) = build(&list_src());
+    let originals: Vec<NodeId> = tree.elements().collect();
+    let before: Vec<u64> = originals.iter().map(|&n| doc.order_of(n)).collect();
+
+    let anchor = tree.last_child(tree.root()).unwrap();
+    fault::arm("sc.insert:1");
+    let err = doc.insert_sibling_before(&mut tree, anchor, "item").unwrap_err();
+    fault::reset();
+
+    assert_eq!(err, Error::Sc(ScError::FaultInjected("sc.insert")), "got {err}");
+    assert!(!doc.sc_table().needs_recovery(), "fault fired before any record changed");
+    for (&n, &o) in originals.iter().zip(&before) {
+        assert_eq!(doc.order_of(n), o, "order of {n} drifted");
+    }
+
+    // The aborted insert left a labeled-but-orderless node in the tree;
+    // delete it and retry — the store was never corrupted.
+    let orphan = tree.elements().find(|n| !originals.contains(n)).unwrap();
+    doc.delete(&mut tree, orphan).unwrap();
+    doc.insert_sibling_before(&mut tree, anchor, "item").unwrap();
+    doc.verify_order_consistency(&tree);
+}
+
+#[test]
+fn sc_insert_record_fault_mid_update_rolls_back_and_matches_oracle() {
+    // Two identical documents: arena node ids are deterministic, so the
+    // faulted document and the never-faulted oracle agree node-for-node.
+    let src = list_src();
+    let (mut tree, mut doc) = build(&src);
+    let (mut otree, mut oracle) = build(&src);
+    let originals: Vec<NodeId> = tree.elements().collect();
+    assert_eq!(originals, otree.elements().collect::<Vec<_>>());
+
+    // Insert near the front so the update must re-solve several records,
+    // and fault the SECOND record re-solve: the first record's change is
+    // journaled and must be rolled back.
+    let anchor = tree.element_children(tree.root()).nth(1).unwrap();
+    fault::arm("sc.insert.record:2");
+    let err = doc.insert_sibling_before(&mut tree, anchor, "item").unwrap_err();
+    fault::reset();
+    assert_eq!(err, Error::Sc(ScError::FaultInjected("sc.insert.record")), "got {err}");
+    assert!(!doc.sc_table().needs_recovery(), "mutation entry already rolled back");
+
+    // Differential check #1: every pre-existing node answers exactly as the
+    // untouched oracle does.
+    for &n in &originals {
+        assert_eq!(doc.try_order_of(n).unwrap(), oracle.order_of(n), "order of {n} diverged");
+    }
+
+    // Drop the aborted node, then replay the identical insertion on both
+    // documents — recovery must leave the store able to continue.
+    let orphan = tree.elements().find(|n| !originals.contains(n)).unwrap();
+    doc.delete(&mut tree, orphan).unwrap();
+    let report = doc.insert_sibling_before(&mut tree, anchor, "item").unwrap();
+    let oreport = oracle.insert_sibling_before(&mut otree, anchor, "item").unwrap();
+    assert_eq!(doc.order_of(report.node), oracle.order_of(oreport.node));
+    for &n in &originals {
+        assert_eq!(doc.order_of(n), oracle.order_of(n), "post-replay order of {n} diverged");
+    }
+    doc.verify_order_consistency(&tree);
+
+    // Differential check #2: query answers through the relational engine
+    // match the oracle's for both structural and order-sensitive paths.
+    for query in ["//item", "/list/item", "//item/following-sibling::item"] {
+        assert_eq!(
+            answer_keys(&tree, &doc, query),
+            answer_keys(&otree, &oracle, query),
+            "{query} diverged after recovery"
+        );
+    }
+}
+
+#[test]
+fn sc_remove_fault_keeps_the_remaining_nodes_queryable() {
+    let (mut tree, mut doc) = build(&list_src());
+    let originals: Vec<NodeId> = tree.elements().collect();
+    let victim = tree.element_children(tree.root()).nth(3).unwrap();
+    let survivors: Vec<(NodeId, u64)> = originals
+        .iter()
+        .filter(|&&n| n != victim)
+        .map(|&n| (n, doc.order_of(n)))
+        .collect();
+
+    fault::arm("sc.remove:1");
+    let err = doc.delete(&mut tree, victim).unwrap_err();
+    fault::reset();
+    assert_eq!(err, Error::Sc(ScError::FaultInjected("sc.remove")), "got {err}");
+    assert!(!doc.sc_table().needs_recovery(), "delete's error path recovers the table");
+    for &(n, o) in &survivors {
+        assert_eq!(doc.try_order_of(n).unwrap(), o, "order of {n} drifted");
+    }
+}
+
+#[test]
+fn sc_relabel_fault_rolls_the_table_back() {
+    let items: Vec<(u64, u64)> = [2u64, 3, 5, 7, 11, 13]
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u64 + 1))
+        .collect();
+    let mut table = ScTable::build(3, &items).unwrap();
+
+    fault::arm("sc.relabel:1");
+    let err = table.replace_self_label(5, 17).unwrap_err();
+    fault::reset();
+    assert_eq!(err, ScError::FaultInjected("sc.relabel"), "got {err}");
+    table.recover();
+    for &(m, o) in &items {
+        assert_eq!(table.order_of(m), Some(o), "member {m} lost its order");
+    }
+    assert_eq!(table.order_of(17), None, "aborted relabel left no trace");
+}
+
+#[test]
+fn query_join_fault_surfaces_as_a_typed_query_error() {
+    let tree = parse(&list_src()).unwrap();
+    let ev = PrimeEvaluator::try_build(&tree, 5).unwrap();
+    // Two steps so evaluation reaches the structural join (a single-step
+    // path is answered by the tag scan alone).
+    let path = Path::parse("//list/item").unwrap();
+
+    fault::arm("query.join:1");
+    let err = ev.try_eval(&path).unwrap_err();
+    fault::reset();
+    assert_eq!(err, QueryError::FaultInjected("query.join"), "got {err}");
+    assert_eq!(ev.try_eval(&path).unwrap().len(), 20, "disarmed query succeeds");
+}
+
+/// CI matrix entry point: with `XP_FAULT=<site>:<trigger>` in the
+/// environment, drives parse → label → ordered build → insert → delete →
+/// query and asserts nothing panics — injected failures must surface as
+/// typed errors at whatever stage they land. Without `XP_FAULT` the test is
+/// a no-op (the per-site tests above cover the unarmed behavior).
+#[test]
+fn env_matrix() {
+    if std::env::var("XP_FAULT").is_err() {
+        return;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let src = list_src();
+        let Ok(mut tree) = parse(&src) else { return };
+        let Ok(mut doc) = OrderedPrimeDoc::build(&tree, 5) else { return };
+        let anchor = tree.element_children(tree.root()).nth(1).unwrap();
+        let _ = doc.insert_sibling_before(&mut tree, anchor, "item");
+        let victim = tree.last_child(tree.root()).unwrap();
+        let _ = doc.delete(&mut tree, victim);
+        if let Ok(ev) = PrimeEvaluator::try_build(&tree, 5) {
+            let _ = ev.try_eval(&Path::parse("//list/item").unwrap());
+        }
+    }));
+    assert!(outcome.is_ok(), "pipeline panicked under XP_FAULT");
+}

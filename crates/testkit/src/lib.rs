@@ -14,15 +14,23 @@
 //!   warmup + calibrated samples, min/median/p95, JSON into `results/`.
 //! * [`refint`] — a schoolbook reference big-integer (replaced `num-bigint`
 //!   as the differential-test oracle for `xp-bignum`).
+//!
+//! It also hosts the workspace's fault-injection facility:
+//!
+//! * [`fault`] — named [`faultpoint!`] sites compiled into the pipeline
+//!   crates, armed deterministically via `XP_FAULT=<site>:<nth|p=prob>` or
+//!   programmatically per thread (see DESIGN.md, "Robustness").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod propcheck;
 pub mod refint;
 pub mod rng;
 
+pub use fault::Injected;
 pub use propcheck::{Config, Gen, Index, Source};
 pub use refint::RefUint;
 pub use rng::{RngExt, SeedableRng, StdRng};

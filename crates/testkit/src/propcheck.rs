@@ -417,7 +417,7 @@ fn shrink(
             if spent >= budget {
                 break 'outer;
             }
-            len += (draws.len() - len + 1) / 2;
+            len += (draws.len() - len).div_ceil(2);
         }
         // Pass 2: simplify single draws (zero, then halve).
         for i in 0..draws.len() {

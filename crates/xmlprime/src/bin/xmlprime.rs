@@ -13,6 +13,8 @@
 use std::io::Read;
 use std::process::ExitCode;
 use xmlprime::prelude::*;
+use xmlprime::query::engine::QueryError;
+use xmlprime::xmltree::{ParseError, ParseErrorKind};
 
 const USAGE: &str = "\
 xmlprime — prime-number labeling for dynamic ordered XML trees
@@ -43,21 +45,93 @@ EXAMPLES:
     echo '<a><b/><c/></a>' | xmlprime order - --chunk 5
 ";
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("\n{USAGE}");
-            ExitCode::FAILURE
+/// A classified CLI failure: each class maps to a distinct exit code so
+/// scripts can tell bad invocations, bad input, exceeded resource budgets,
+/// labeling failures, and query failures apart.
+enum CliError {
+    /// Exit 1: bad command line.
+    Usage(String),
+    /// Exit 2: input could not be read or parsed.
+    Input(String),
+    /// Exit 3: a resource limit was exceeded (parser limits, bignum
+    /// bit budget, query row/step budget).
+    Limit(String),
+    /// Exit 4: labeling or SC-table maintenance failed.
+    Label(String),
+    /// Exit 5: query evaluation failed.
+    Query(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Usage(_) => 1,
+            CliError::Input(_) => 2,
+            CliError::Limit(_) => 3,
+            CliError::Label(_) => 4,
+            CliError::Query(_) => 5,
+        })
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Input(m)
+            | CliError::Limit(m)
+            | CliError::Label(m)
+            | CliError::Query(m) => m,
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Parser failures: limit violations get the limit exit code, everything
+/// else is an input error.
+fn classify_parse(file: &str, e: ParseError) -> CliError {
+    match e.kind {
+        ParseErrorKind::LimitExceeded(_) => CliError::Limit(format!("{file}: {e}")),
+        _ => CliError::Input(format!("{file}: parse error at {e}")),
+    }
+}
+
+/// Labeling failures: budget violations get the limit exit code.
+fn classify_label(e: xmlprime::prime::Error) -> CliError {
+    use xmlprime::prime::sc::ScError;
+    match &e {
+        xmlprime::prime::Error::Budget(_)
+        | xmlprime::prime::Error::Sc(ScError::Budget(_)) => CliError::Limit(e.to_string()),
+        _ => CliError::Label(e.to_string()),
+    }
+}
+
+/// Query failures: budget violations get the limit exit code.
+fn classify_query(e: QueryError) -> CliError {
+    match &e {
+        QueryError::LimitExceeded(_) => CliError::Limit(e.to_string()),
+        _ => CliError::Query(e.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            e.exit_code()
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err("missing command".into());
+        return Err(usage("missing command"));
     };
     match command.as_str() {
         "stats" => cmd_stats(&args[1..]),
@@ -68,20 +142,22 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
 
 /// Reads the document argument (`-` = stdin) and parses it.
-fn load(path: &str) -> Result<XmlTree, String> {
+fn load(path: &str) -> Result<XmlTree, CliError> {
     let text = if path == "-" {
         let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("stdin: {e}"))?;
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| CliError::Input(format!("stdin: {e}")))?;
         buf
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?
     };
-    parse(&text).map_err(|e| format!("{path}: parse error at {e}"))
+    parse(&text).map_err(|e| classify_parse(path, e))
 }
 
 /// Pulls `--flag value` out of an argument list.
@@ -109,10 +185,10 @@ fn positional(args: &[String]) -> Vec<&str> {
     out
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let pos = positional(args);
     let [file] = pos[..] else {
-        return Err("stats takes exactly one file".into());
+        return Err(usage("stats takes exactly one file"));
     };
     let tree = load(file)?;
     let s = TreeStats::compute(&tree);
@@ -129,15 +205,15 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_label(args: &[String]) -> Result<(), String> {
+fn cmd_label(args: &[String]) -> Result<(), CliError> {
     let pos = positional(args);
     let [file] = pos[..] else {
-        return Err("label takes exactly one file".into());
+        return Err(usage("label takes exactly one file"));
     };
     let tree = load(file)?;
     let scheme = flag_value(args, "--scheme").unwrap_or("prime");
     let limit: usize = match flag_value(args, "--limit") {
-        Some(v) => v.parse().map_err(|_| format!("bad --limit {v:?}"))?,
+        Some(v) => v.parse().map_err(|_| usage(format!("bad --limit {v:?}")))?,
         None => usize::MAX,
     };
 
@@ -188,18 +264,18 @@ fn cmd_label(args: &[String]) -> Result<(), String> {
             limit,
             |l| format!("[{:.6}, {:.6})", l.start, l.end),
         ),
-        other => return Err(format!("unknown scheme {other:?}")),
+        other => return Err(usage(format!("unknown scheme {other:?}"))),
     }
     Ok(())
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let pos = positional(args);
     let [file, path] = pos[..] else {
-        return Err("query takes a file and a path".into());
+        return Err(usage("query takes a file and a path"));
     };
     let tree = load(file)?;
-    let parsed = Path::parse(path).map_err(|e| format!("{path:?}: {e}"))?;
+    let parsed = Path::parse(path).map_err(|e| usage(format!("{path:?}: {e}")))?;
     let scheme = flag_value(args, "--scheme").unwrap_or("prime");
 
     if args.iter().any(|a| a == "--sql") {
@@ -208,7 +284,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "prime" => SqlScheme::Prime,
             "interval" => SqlScheme::Interval,
             "prefix2" => SqlScheme::Prefix,
-            other => return Err(format!("unknown scheme {other:?}")),
+            other => return Err(usage(format!("unknown scheme {other:?}"))),
         };
         println!("-- {scheme} translation of {path}\n{}", to_sql(&parsed, s));
         return Ok(());
@@ -217,27 +293,31 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let explain = args.iter().any(|a| a == "--explain");
     let result = match scheme {
         "prime" => {
-            let ev = PrimeEvaluator::build(&tree, 5);
+            let ev = PrimeEvaluator::try_build(&tree, 5).map_err(classify_label)?;
             if explain {
                 print!("{}", xmlprime::query::plan::Plan::of(ev.table(), &parsed).render());
             }
-            ev.eval(&parsed)
+            ev.try_eval(&parsed).map_err(classify_query)?
         }
         "interval" => {
             let ev = IntervalEvaluator::build(&tree);
             if explain {
                 print!("{}", xmlprime::query::plan::Plan::of(ev.table(), &parsed).render());
             }
-            ev.eval(&parsed)
+            ev.try_eval(&parsed).map_err(classify_query)?
         }
         "prefix2" => {
             let ev = Prefix2Evaluator::build(&tree);
             if explain {
                 print!("{}", xmlprime::query::plan::Plan::of(ev.table(), &parsed).render());
             }
-            ev.eval(&parsed)
+            ev.try_eval(&parsed).map_err(classify_query)?
         }
-        other => return Err(format!("unknown scheme {other:?} (query supports prime|interval|prefix2)")),
+        other => {
+            return Err(usage(format!(
+                "unknown scheme {other:?} (query supports prime|interval|prefix2)"
+            )))
+        }
     };
     if explain {
         println!();
@@ -260,17 +340,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_order(args: &[String]) -> Result<(), String> {
+fn cmd_order(args: &[String]) -> Result<(), CliError> {
     let pos = positional(args);
     let [file] = pos[..] else {
-        return Err("order takes exactly one file".into());
+        return Err(usage("order takes exactly one file"));
     };
     let tree = load(file)?;
     let chunk: usize = match flag_value(args, "--chunk") {
-        Some(v) => v.parse().map_err(|_| format!("bad --chunk {v:?}"))?,
+        Some(v) => v.parse().map_err(|_| usage(format!("bad --chunk {v:?}")))?,
         None => 5,
     };
-    let doc = OrderedPrimeDoc::build(&tree, chunk).map_err(|e| e.to_string())?;
+    let doc = OrderedPrimeDoc::build(&tree, chunk).map_err(classify_label)?;
     println!(
         "SC table: {} record(s) covering {} node(s), chunk capacity {chunk}",
         doc.sc_table().record_count(),

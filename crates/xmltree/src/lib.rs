@@ -28,6 +28,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Failures reachable from untrusted input surface as positioned
+// `ParseError`s; the panicking mutators that remain are documented
+// API contracts, individually allow-listed.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod parse;
 pub mod sax;
@@ -35,6 +39,6 @@ pub mod serialize;
 pub mod stats;
 mod tree;
 
-pub use parse::{parse, ParseError};
+pub use parse::{parse, parse_with, ParseError, ParseErrorKind, ParseLimit, ParseOptions};
 pub use stats::TreeStats;
 pub use tree::{NodeId, NodeKind, XmlTree};

@@ -8,6 +8,7 @@
 //! as plain prefixed names; DTD content models are not interpreted.
 
 use crate::tree::{NodeId, XmlTree};
+use xp_testkit::faultpoint;
 
 /// A parse failure, with the byte offset and 1-indexed line/column at which
 /// it was detected.
@@ -43,6 +44,38 @@ pub enum ParseErrorKind {
     UnknownEntity(String),
     /// `&#...;` that is not a valid character.
     BadCharRef,
+    /// A [`ParseOptions`] resource limit was exceeded.
+    LimitExceeded(ParseLimit),
+    /// An armed [`xp_testkit::fault`] point fired in the parser.
+    FaultInjected(&'static str),
+}
+
+/// Which [`ParseOptions`] resource limit a document blew through. The
+/// payload is the configured maximum that was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseLimit {
+    /// Element nesting deeper than [`ParseOptions::max_depth`].
+    Depth(usize),
+    /// Input longer than [`ParseOptions::max_input_bytes`].
+    InputBytes(usize),
+    /// One element with more attributes than [`ParseOptions::max_attrs`].
+    Attrs(usize),
+    /// More entity/character references than
+    /// [`ParseOptions::max_entity_expansions`].
+    EntityExpansions(u64),
+}
+
+impl std::fmt::Display for ParseLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseLimit::Depth(max) => write!(f, "element nesting exceeds max_depth={max}"),
+            ParseLimit::InputBytes(max) => write!(f, "input exceeds max_input_bytes={max}"),
+            ParseLimit::Attrs(max) => write!(f, "element exceeds max_attrs={max}"),
+            ParseLimit::EntityExpansions(max) => {
+                write!(f, "references exceed max_entity_expansions={max}")
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -57,6 +90,8 @@ impl std::fmt::Display for ParseError {
             ParseErrorKind::NotSingleRoot => write!(f, "document must have exactly one root element"),
             ParseErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
             ParseErrorKind::BadCharRef => write!(f, "invalid character reference"),
+            ParseErrorKind::LimitExceeded(limit) => write!(f, "limit exceeded: {limit}"),
+            ParseErrorKind::FaultInjected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
@@ -66,18 +101,41 @@ impl std::error::Error for ParseError {}
 /// An opened start tag: `(name, attributes, self_closing)`.
 pub(crate) type OpenTag = (String, Vec<(String, String)>, bool);
 
-/// Parsing options.
+/// Parsing options: whitespace policy plus hard resource limits.
+///
+/// The limits turn pathological inputs (bombs, deep nesting that would
+/// overflow the recursive tree builder's stack, attribute floods, entity
+/// floods) into typed [`ParseErrorKind::LimitExceeded`] errors instead of
+/// unbounded memory/stack consumption. The defaults are generous for the
+/// paper's corpora; tighten them when parsing untrusted input.
 #[derive(Debug, Clone)]
 pub struct ParseOptions {
     /// Drop text nodes that contain only whitespace (the default): the
     /// labeling experiments are about element structure, and the corpora are
     /// pretty-printed.
     pub skip_whitespace_text: bool,
+    /// Maximum element nesting depth (default 1024). This also bounds the
+    /// tree builder's recursion, so deeply nested documents error out
+    /// instead of overflowing the stack.
+    pub max_depth: usize,
+    /// Maximum input size in bytes (default 1 GiB).
+    pub max_input_bytes: usize,
+    /// Maximum number of attributes on a single element (default 1024).
+    pub max_attrs: usize,
+    /// Maximum total number of entity and character references decoded over
+    /// the whole document (default 2^20).
+    pub max_entity_expansions: u64,
 }
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { skip_whitespace_text: true }
+        ParseOptions {
+            skip_whitespace_text: true,
+            max_depth: 1024,
+            max_input_bytes: 1 << 30,
+            max_attrs: 1024,
+            max_entity_expansions: 1 << 20,
+        }
     }
 }
 
@@ -88,16 +146,34 @@ pub fn parse(input: &str) -> Result<XmlTree, ParseError> {
 
 /// Parses a complete XML document.
 pub fn parse_with(input: &str, opts: &ParseOptions) -> Result<XmlTree, ParseError> {
-    Parser { input: input.as_bytes(), pos: 0, opts }.document()
+    let p = Parser::new(input, opts);
+    p.check_input_size()?;
+    p.document()
 }
 
 pub(crate) struct Parser<'a> {
     pub(crate) input: &'a [u8],
     pub(crate) pos: usize,
     pub(crate) opts: &'a ParseOptions,
+    /// Entity/character references decoded so far (bounded by
+    /// `opts.max_entity_expansions`).
+    pub(crate) expansions: u64,
 }
 
 impl<'a> Parser<'a> {
+    pub(crate) fn new(input: &'a str, opts: &'a ParseOptions) -> Self {
+        Parser { input: input.as_bytes(), pos: 0, opts, expansions: 0 }
+    }
+
+    /// Rejects inputs larger than `max_input_bytes` up front.
+    pub(crate) fn check_input_size(&self) -> Result<(), ParseError> {
+        if self.input.len() > self.opts.max_input_bytes {
+            return Err(self
+                .err(ParseErrorKind::LimitExceeded(ParseLimit::InputBytes(self.opts.max_input_bytes))));
+        }
+        Ok(())
+    }
+
     pub(crate) fn err(&self, kind: ParseErrorKind) -> ParseError {
         self.err_at(self.pos, kind)
     }
@@ -195,13 +271,22 @@ impl<'a> Parser<'a> {
     /// Decodes `&...;` starting just past the ampersand.
     pub(crate) fn reference(&mut self, out: &mut String) -> Result<(), ParseError> {
         let start = self.pos;
+        self.expansions += 1;
+        if self.expansions > self.opts.max_entity_expansions {
+            return Err(self.err_at(
+                start,
+                ParseErrorKind::LimitExceeded(ParseLimit::EntityExpansions(
+                    self.opts.max_entity_expansions,
+                )),
+            ));
+        }
         if self.eat("#") {
             let hex = self.eat("x") || self.eat("X");
             let digits_start = self.pos;
             while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
                 self.pos += 1;
             }
-            let digits = std::str::from_utf8(&self.input[digits_start..self.pos]).expect("ascii");
+            let digits = self.str_slice(digits_start, self.pos)?;
             self.expect(b';', "character reference")?;
             let code = u32::from_str_radix(digits, if hex { 16 } else { 10 })
                 .map_err(|_| self.err_at(start, ParseErrorKind::BadCharRef))?;
@@ -304,6 +389,7 @@ impl<'a> Parser<'a> {
     /// Parses the remainder of an open tag after `<` and the name position:
     /// returns `(name, attributes, self_closing)` with the closing `>` eaten.
     pub(crate) fn open_tag(&mut self) -> Result<OpenTag, ParseError> {
+        faultpoint!("parse.read").map_err(|i| self.err(ParseErrorKind::FaultInjected(i.site)))?;
         let tag = self.name("open tag")?;
         let mut attrs = Vec::new();
         loop {
@@ -325,6 +411,11 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let value = self.attribute_value()?;
                     attrs.push((key, value));
+                    if attrs.len() > self.opts.max_attrs {
+                        return Err(self.err(ParseErrorKind::LimitExceeded(ParseLimit::Attrs(
+                            self.opts.max_attrs,
+                        ))));
+                    }
                 }
                 Some(b) => return Err(self.err(ParseErrorKind::Unexpected(b as char, "open tag"))),
                 None => return Err(self.err(ParseErrorKind::UnexpectedEof("open tag"))),
@@ -333,9 +424,18 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses element content up to and including `</parent_tag>`.
+    ///
+    /// Iterative with an explicit stack: nesting depth is bounded by
+    /// `max_depth` and costs heap, not call stack, so even documents at the
+    /// depth limit cannot overflow the thread stack.
     pub(crate) fn content(&mut self, tree: &mut XmlTree, parent: NodeId, parent_tag: &str) -> Result<(), ParseError> {
+        let mut stack: Vec<(NodeId, String)> = vec![(parent, parent_tag.to_string())];
         let mut text = String::new();
-        loop {
+        // Text never spans an element boundary: it is flushed to the node on
+        // top of the stack before every open/close tag.
+        while !stack.is_empty() {
+            let top = stack.len() - 1;
+            let parent = stack[top].0;
             match self.peek() {
                 None => return Err(self.err(ParseErrorKind::UnexpectedEof("element content"))),
                 Some(b'<') => {
@@ -357,23 +457,29 @@ impl<'a> Parser<'a> {
                         let tag = self.name("close tag")?;
                         self.skip_ws();
                         self.expect(b'>', "close tag")?;
-                        if tag != parent_tag {
+                        if tag != stack[top].1 {
                             return Err(self.err_at(
                                 close_at,
                                 ParseErrorKind::MismatchedClose {
-                                    expected: parent_tag.to_string(),
+                                    expected: stack[top].1.clone(),
                                     found: tag,
                                 },
                             ));
                         }
-                        return Ok(());
+                        stack.pop();
+                        continue;
                     }
                     self.pos += 1; // consume '<'
                     let (tag, attrs, self_closing) = self.open_tag()?;
                     let child = tree.create_element_with_attrs(tag.clone(), attrs);
                     tree.append_child(parent, child);
                     if !self_closing {
-                        self.content(tree, child, &tag)?;
+                        stack.push((child, tag));
+                        if stack.len() > self.opts.max_depth {
+                            return Err(self.err(ParseErrorKind::LimitExceeded(
+                                ParseLimit::Depth(self.opts.max_depth),
+                            )));
+                        }
                     }
                 }
                 Some(b'&') => {
@@ -389,6 +495,7 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     pub(crate) fn flush_text(&self, tree: &mut XmlTree, parent: NodeId, text: &mut String) {
@@ -469,7 +576,7 @@ mod tests {
         let doc = "<a>\n  <b/>\n</a>";
         let t = parse(doc).unwrap();
         assert_eq!(t.children(t.root()).count(), 1);
-        let opts = ParseOptions { skip_whitespace_text: false };
+        let opts = ParseOptions { skip_whitespace_text: false, ..ParseOptions::default() };
         let t2 = parse_with(doc, &opts).unwrap();
         assert_eq!(t2.children(t2.root()).count(), 3);
         assert!(matches!(t2.kind(t2.first_child(t2.root()).unwrap()), NodeKind::Text(_)));
@@ -532,6 +639,64 @@ mod tests {
         }
         let t = parse(&doc).unwrap();
         assert_eq!(t.elements().count(), depth);
+    }
+
+    fn nested(depth: usize) -> String {
+        let mut doc = String::new();
+        for _ in 0..depth {
+            doc.push_str("<n>");
+        }
+        for _ in 0..depth {
+            doc.push_str("</n>");
+        }
+        doc
+    }
+
+    #[test]
+    pub(crate) fn depth_limit_is_a_typed_error_not_a_stack_overflow() {
+        // A million levels would overflow the recursive builder's stack
+        // without the guard; with it, parsing fails fast and typed.
+        let doc = nested(1_000_000);
+        let err = parse(&doc).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::LimitExceeded(ParseLimit::Depth(1024)));
+        // A custom, tighter limit kicks in where configured.
+        let opts = ParseOptions { max_depth: 8, ..ParseOptions::default() };
+        assert!(parse_with(&nested(8), &opts).is_ok());
+        let err = parse_with(&nested(9), &opts).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::LimitExceeded(ParseLimit::Depth(8)));
+    }
+
+    #[test]
+    pub(crate) fn input_size_limit_rejects_oversized_documents() {
+        let opts = ParseOptions { max_input_bytes: 16, ..ParseOptions::default() };
+        assert!(parse_with("<a><b/></a>", &opts).is_ok());
+        let err = parse_with("<a><b/><c/><d/></a>", &opts).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::LimitExceeded(ParseLimit::InputBytes(16)));
+    }
+
+    #[test]
+    pub(crate) fn attribute_count_limit_rejects_floods() {
+        let opts = ParseOptions { max_attrs: 3, ..ParseOptions::default() };
+        assert!(parse_with(r#"<a x="1" y="2" z="3"/>"#, &opts).is_ok());
+        let err = parse_with(r#"<a x="1" y="2" z="3" w="4"/>"#, &opts).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::LimitExceeded(ParseLimit::Attrs(3)));
+    }
+
+    #[test]
+    pub(crate) fn entity_expansion_budget_rejects_floods() {
+        let opts = ParseOptions { max_entity_expansions: 4, ..ParseOptions::default() };
+        assert!(parse_with("<a>&amp;&lt;&gt;&#65;</a>", &opts).is_ok());
+        let err = parse_with("<a>&amp;&lt;&gt;&#65;&amp;</a>", &opts).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::LimitExceeded(ParseLimit::EntityExpansions(4)));
+    }
+
+    #[test]
+    pub(crate) fn parse_read_fault_surfaces_as_a_parse_error() {
+        xp_testkit::fault::arm("parse.read:2");
+        let err = parse("<a><b/></a>").unwrap_err();
+        xp_testkit::fault::reset();
+        assert_eq!(err.kind, ParseErrorKind::FaultInjected("parse.read"));
+        assert!(parse("<a><b/></a>").is_ok(), "disarmed parser is unaffected");
     }
 
     #[test]

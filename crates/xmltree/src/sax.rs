@@ -9,7 +9,7 @@
 //! whitespace-only runs) and adjacent runs separated by comments/PIs arrive
 //! as separate [`SaxEvent::Text`] events.
 
-use crate::parse::{ParseError, ParseErrorKind, ParseOptions, Parser};
+use crate::parse::{ParseError, ParseErrorKind, ParseLimit, ParseOptions, Parser};
 
 /// One parsing event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,9 +35,20 @@ pub enum SaxEvent {
 }
 
 /// Parses a complete document, pushing events to `handler`.
-pub fn parse_sax<F: FnMut(SaxEvent)>(input: &str, mut handler: F) -> Result<(), ParseError> {
-    let opts = ParseOptions::default();
-    let mut p = Parser { input: input.as_bytes(), pos: 0, opts: &opts };
+pub fn parse_sax<F: FnMut(SaxEvent)>(input: &str, handler: F) -> Result<(), ParseError> {
+    parse_sax_with(input, &ParseOptions::default(), handler)
+}
+
+/// Parses a complete document with explicit options, pushing events to
+/// `handler`. The [`ParseOptions`] resource limits apply here too (depth is
+/// tracked through the open-element stack rather than recursion).
+pub fn parse_sax_with<F: FnMut(SaxEvent)>(
+    input: &str,
+    opts: &ParseOptions,
+    mut handler: F,
+) -> Result<(), ParseError> {
+    let mut p = Parser::new(input, opts);
+    p.check_input_size()?;
     p.skip_prolog_misc()?;
     if p.peek() != Some(b'<') {
         return Err(p.err(ParseErrorKind::NotSingleRoot));
@@ -50,6 +61,9 @@ pub fn parse_sax<F: FnMut(SaxEvent)>(input: &str, mut handler: F) -> Result<(), 
         handler(SaxEvent::EndElement { tag });
     } else {
         stack.push(tag);
+    }
+    if stack.len() > opts.max_depth {
+        return Err(p.err(ParseErrorKind::LimitExceeded(ParseLimit::Depth(opts.max_depth))));
     }
 
     let mut text = String::new();
@@ -83,7 +97,12 @@ pub fn parse_sax<F: FnMut(SaxEvent)>(input: &str, mut handler: F) -> Result<(), 
                     let tag = p.name("close tag")?;
                     p.skip_ws();
                     p.expect(b'>', "close tag")?;
-                    let expected = stack.pop().expect("loop invariant: stack non-empty");
+                    // The `while !stack.is_empty()` condition guarantees a
+                    // frame; fall back to an EOF-flavored error rather than
+                    // panicking if that ever changes.
+                    let Some(expected) = stack.pop() else {
+                        return Err(p.err(ParseErrorKind::UnexpectedEof("element content")));
+                    };
                     if tag != expected {
                         return Err(p.err_at(
                             close_at,
@@ -100,6 +119,11 @@ pub fn parse_sax<F: FnMut(SaxEvent)>(input: &str, mut handler: F) -> Result<(), 
                     handler(SaxEvent::EndElement { tag });
                 } else {
                     stack.push(tag);
+                    if stack.len() > opts.max_depth {
+                        return Err(p.err(ParseErrorKind::LimitExceeded(ParseLimit::Depth(
+                            opts.max_depth,
+                        ))));
+                    }
                 }
             }
             Some(b'&') => {
@@ -181,6 +205,15 @@ mod tests {
         let evs = events("<a>one<!-- c -->two</a>");
         assert_eq!(evs[1], SaxEvent::Text("one".into()));
         assert_eq!(evs[2], SaxEvent::Text("two".into()));
+    }
+
+    #[test]
+    fn depth_limit_applies_to_the_stream_parser_too() {
+        let opts = ParseOptions { max_depth: 4, ..ParseOptions::default() };
+        assert!(parse_sax_with("<a><b><c><d>x</d></c></b></a>", &opts, |_| {}).is_ok());
+        let err =
+            parse_sax_with("<a><b><c><d><e>x</e></d></c></b></a>", &opts, |_| {}).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::LimitExceeded(ParseLimit::Depth(4)));
     }
 
     #[test]

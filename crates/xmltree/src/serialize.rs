@@ -1,7 +1,6 @@
 //! Serializer: turns an [`XmlTree`] back into markup, compact or indented.
 
 use crate::tree::{NodeId, NodeKind, XmlTree};
-use std::fmt::Write;
 
 /// Serializes the whole document compactly (no added whitespace).
 pub fn to_string(tree: &XmlTree) -> String {
@@ -27,7 +26,9 @@ fn write_node(tree: &XmlTree, id: NodeId, out: &mut String, indent: Option<usize
             out.push('<');
             out.push_str(tag);
             for (k, v) in attrs {
-                write!(out, " {k}=\"").expect("write to String");
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
                 escape_attr(v, out);
                 out.push('"');
             }

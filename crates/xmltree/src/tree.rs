@@ -212,6 +212,9 @@ impl XmlTree {
     // ------------------------------------------------------------------
 
     fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        // Invariant: a u32 arena holds 4G nodes; exhausting it is a
+        // capacity bug, not recoverable state.
+        #[allow(clippy::expect_used)]
         let id = NodeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
         self.nodes.push(Node {
             kind,
@@ -279,6 +282,8 @@ impl XmlTree {
     /// Panics if `anchor` is the root or `node` is attached.
     pub fn insert_before(&mut self, anchor: NodeId, node: NodeId) {
         self.assert_detached(node);
+        // Documented panic contract (see `# Panics` above).
+        #[allow(clippy::expect_used)]
         let parent = self.parent(anchor).expect("cannot insert a sibling of the root");
         let prev = self.node(anchor).prev_sibling;
         self.node_mut(node).parent = Some(parent);
@@ -297,6 +302,8 @@ impl XmlTree {
     /// Panics if `anchor` is the root or `node` is attached.
     pub fn insert_after(&mut self, anchor: NodeId, node: NodeId) {
         self.assert_detached(node);
+        // Documented panic contract (see `# Panics` above).
+        #[allow(clippy::expect_used)]
         let parent = self.parent(anchor).expect("cannot insert a sibling of the root");
         let next = self.node(anchor).next_sibling;
         self.node_mut(node).parent = Some(parent);
@@ -332,6 +339,7 @@ impl XmlTree {
             w.first_child = Some(target);
             w.last_child = Some(target);
         }
+        #[allow(clippy::expect_used)] // asserted non-root at entry
         let parent = parent.expect("checked above");
         match prev {
             Some(p) => self.node_mut(p).next_sibling = Some(wrapper),

@@ -30,3 +30,29 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 echo "OK: dependency graph contains only workspace crates."
+
+echo "==> clippy panic-policy gate (deny unwrap/expect in library crates)"
+# The library crates carry #![deny(clippy::unwrap_used, clippy::expect_used)],
+# so a plain clippy pass over the lib targets hard-errors on any unwrap or
+# expect that sneaks back in. Skipped (with a warning) only if the toolchain
+# has no clippy component.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy -q --offline --lib \
+        -p xp-prime -p xp-query -p xp-xmltree -p xp-bignum -p xp-labelkit
+    echo "OK: library crates are clippy-clean under the panic policy."
+else
+    echo "WARNING: clippy not installed; skipping panic-policy gate." >&2
+fi
+
+echo "==> fault-injection matrix (XP_FAULT, one armed site per run)"
+# Drive the full pipeline (parse -> label -> ordered build -> insert ->
+# delete -> query) with each compiled-in fault site armed; the env_matrix
+# test asserts nothing panics — injected failures must surface as typed
+# errors. See crates/query/tests/fault_injection.rs and DESIGN.md §6.2.
+for site in sc.insert sc.insert.record sc.relabel sc.remove \
+            bignum.mul parse.read query.join; do
+    XP_FAULT="$site:1" \
+        cargo test -q --offline -p xp-query --test fault_injection env_matrix \
+        > /dev/null
+    echo "OK: pipeline survives injected fault at $site"
+done
