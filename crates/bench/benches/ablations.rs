@@ -7,7 +7,6 @@
 //! Results land in `results/bench_<group>.json`, one group per ablation.
 
 use xp_prime::crt;
-use xp_prime::sc::ScTable;
 use xp_primes::first_primes;
 use xp_testkit::bench::Harness;
 
@@ -23,25 +22,12 @@ fn bench_crt_solvers() {
 }
 
 fn bench_sc_chunk_sizes() {
-    let n = 2000usize;
-    let items: Vec<(u64, u64)> = first_primes(n + 1)[1..]
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, i as u64 + 1))
-        .collect();
-    let mut group = Harness::new("sc_table");
-    group.sample_size(10);
-    for chunk in [1usize, 5, 25, 100] {
-        group.bench(&format!("build/{chunk}"), || ScTable::build(chunk, &items).unwrap());
-        let table = ScTable::build(chunk, &items).unwrap();
-        let fresh = xp_primes::nth_prime(n as u64 + 10);
-        group.bench_batched(
-            &format!("front_insert/{chunk}"),
-            || table.clone(),
-            |mut t| t.insert(fresh, 500).unwrap(),
-        );
-    }
-    group.finish();
+    // Shared with the `sc_maintenance` binary: chunk-size sweep at 2000
+    // nodes plus the append-vs-rebuild size sweep, written to
+    // results/bench_sc_table.json.
+    let stats =
+        xp_bench::experiments::updates::sc_maintenance(2000, &[250, 500, 1000, 2000, 4000], true);
+    assert!(stats.incremental_beats_rebuild(), "append slower than rebuild: {stats:?}");
 }
 
 fn bench_join_strategies() {

@@ -1,0 +1,46 @@
+//! Before/after experiment for the incremental SC maintenance path.
+//!
+//! Default mode regenerates `results/bench_sc_table.json` with the full
+//! sweep (chunk-size family at 2000 nodes, append-vs-rebuild family at
+//! 250..=4000 nodes) and asserts the two claims the incremental algebra
+//! makes: a tail append never costs more than rebuilding the table from
+//! scratch, and per-insert cost grows at most linearly in the table's bit
+//! size — not quadratically, as the old order-recomputing pre-scan did.
+//!
+//! `--smoke` runs the same checks on small sizes without touching the
+//! checked-in JSON — the `scripts/ci.sh` bench gate. Exits nonzero when a
+//! check fails either way.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (fixed_n, sizes, linear_factor): (usize, &[usize], f64) = if smoke {
+        // Keep the smoke gate quick but preserve an 8x size spread so a
+        // reintroduced quadratic append path cannot hide in noise.
+        (400, &[100, 800], 2.0)
+    } else {
+        (2000, &[250, 500, 1000, 2000, 4000], 2.0)
+    };
+    let stats = xp_bench::experiments::updates::sc_maintenance(fixed_n, sizes, !smoke);
+
+    println!();
+    for (&(n, append), &(_, rebuild)) in stats.append_ns.iter().zip(&stats.rebuild_ns) {
+        println!(
+            "n={n:>5}: append {append:>12.0} ns  vs rebuild {rebuild:>14.0} ns  ({:.0}x)",
+            rebuild / append.max(1.0)
+        );
+    }
+
+    let mut failed = false;
+    if !stats.incremental_beats_rebuild() {
+        eprintln!("FAIL: incremental per-insert median exceeds rebuild-from-scratch median");
+        failed = true;
+    }
+    if !stats.append_cost_scales_at_most_linearly(linear_factor) {
+        eprintln!("FAIL: per-insert append cost grows superlinearly in table size");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("sc-maintenance checks passed: appends beat rebuilds and scale at most linearly");
+}

@@ -16,6 +16,8 @@
 //!   Euclidean algorithm.
 //! * [`modular`] — gcd, extended gcd, modular inverse, and modular
 //!   exponentiation, the building blocks of the CRT solvers in `xp-prime`.
+//! * [`prodtree`] — balanced product trees for batch products of machine
+//!   words (SC chunk moduli, label denominators).
 //!
 //! The implementation is written from scratch and differentially tested
 //! against `xp_testkit::refint::RefUint`, a deliberately naive schoolbook
@@ -43,6 +45,7 @@ mod fmt;
 mod ibig;
 pub mod modular;
 mod mul;
+pub mod prodtree;
 mod ubig;
 
 pub use ibig::{IBig, Sign};

@@ -83,6 +83,31 @@ pub fn mod_inverse(a: &UBig, m: &UBig) -> Option<UBig> {
     }
 }
 
+/// Machine-word modular inverse: the unique `x` in `[0, m)` with
+/// `a*x ≡ 1 (mod m)`, or `None` when `gcd(a, m) != 1`.
+///
+/// The SC basis constructor inverts cofactor residues modulo word-sized
+/// self-labels on every record rebuild; doing the extended Euclid in `i128`
+/// avoids round-tripping through heap-allocated [`UBig`]s.
+pub fn mod_inverse_u64(a: u64, m: u64) -> Option<u64> {
+    if m <= 1 {
+        return None;
+    }
+    let (mut old_r, mut r) = ((a % m) as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        old_r -= q * r;
+        std::mem::swap(&mut old_r, &mut r);
+        old_s -= q * s;
+        std::mem::swap(&mut old_s, &mut s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(m as i128) as u64)
+}
+
 /// Modular exponentiation `base^exp mod m` by square-and-multiply.
 ///
 /// # Panics
@@ -197,6 +222,20 @@ mod tests {
         assert_eq!(mod_inverse(&u(6), &u(9)), None); // gcd 3
         assert_eq!(mod_inverse(&u(5), &u(1)), None); // trivial modulus
         assert_eq!(mod_inverse(&u(5), &u(0)), None);
+    }
+
+    #[test]
+    fn mod_inverse_u64_agrees_with_bignum_inverse() {
+        for (a, m) in [(3u64, 7u64), (10, 17), (2, 1_000_003), (65537, 4294967311), (0, 5), (6, 9)] {
+            let fast = mod_inverse_u64(a, m);
+            let slow = mod_inverse(&u(a), &u(m)).map(|x| x.to_u64().unwrap());
+            assert_eq!(fast, slow, "inverse of {a} mod {m}");
+            if let Some(x) = fast {
+                assert_eq!((a as u128 * x as u128 % m as u128) as u64, 1);
+            }
+        }
+        assert_eq!(mod_inverse_u64(5, 1), None);
+        assert_eq!(mod_inverse_u64(5, 0), None);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Balanced product trees: the batch kernel for `Π fᵢ` over many machine
+//! words.
+//!
+//! Sequentially folding `k` word-sized factors into an accumulator costs
+//! `O(k)` multiplications *by the full-width accumulator* — `O(k²)` limb
+//! operations once the product outgrows a word. A balanced tree multiplies
+//! operands of equal size at every level, so the total is `O(M(B) log k)`
+//! for a `B`-bit result, and the big multiplications near the root go
+//! through the Karatsuba layer that a skewed accumulator never reaches.
+//! `ScTable::build` and the SC basis constructor batch their chunk products
+//! through here.
+
+use crate::checked::{mul_within, BudgetError};
+use crate::UBig;
+
+/// Product of `factors` by balanced pairwise multiplication.
+///
+/// An empty slice yields 1 (the multiplicative identity), matching the
+/// accumulator idiom it replaces.
+pub fn product(factors: &[u64]) -> UBig {
+    match factors.len() {
+        0 => UBig::one(),
+        1 => UBig::from(factors[0]),
+        2 => UBig::from(factors[0] as u128 * factors[1] as u128),
+        n => {
+            let (lo, hi) = factors.split_at(n / 2);
+            product(lo) * product(hi)
+        }
+    }
+}
+
+/// Budgeted [`product`]: refuses — before multiplying anything — if the
+/// result could exceed `max_bits` bits, using the conservative bound
+/// `Σ bit_len(fᵢ)` (an overshoot of at most `k-1` bits). Each internal
+/// multiplication then runs through [`mul_within`], so the `bignum.mul`
+/// fault point and the per-step ceiling apply exactly as they do on the
+/// sequential path this replaces.
+pub fn product_within(factors: &[u64], max_bits: u64) -> Result<UBig, BudgetError> {
+    let bits: u64 = factors.iter().map(|&f| UBig::from(f).bit_len().max(1)).sum();
+    if bits > max_bits {
+        return Err(BudgetError::BitsExceeded { bits, max_bits });
+    }
+    product_within_unchecked(factors, max_bits)
+}
+
+fn product_within_unchecked(factors: &[u64], max_bits: u64) -> Result<UBig, BudgetError> {
+    match factors.len() {
+        0 => Ok(UBig::one()),
+        1 => Ok(UBig::from(factors[0])),
+        n => {
+            let (lo, hi) = factors.split_at(n / 2);
+            let lo = product_within_unchecked(lo, max_bits)?;
+            let hi = product_within_unchecked(hi, max_bits)?;
+            mul_within(&lo, &hi, max_bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sequential(factors: &[u64]) -> UBig {
+        let mut acc = UBig::one();
+        for &f in factors {
+            acc = acc * UBig::from(f);
+        }
+        acc
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(product(&[]), UBig::one());
+        assert_eq!(product(&[42]), UBig::from(42u64));
+    }
+
+    #[test]
+    fn matches_sequential_fold() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+        for k in 0..=primes.len() {
+            assert_eq!(product(&primes[..k]), sequential(&primes[..k]), "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_factor_zeroes_the_product() {
+        assert!(product(&[3, 0, 7]).is_zero());
+    }
+
+    #[test]
+    fn large_batch_matches_sequential() {
+        let factors: Vec<u64> = (0..500).map(|i| 0x9e37_79b9u64.wrapping_mul(i + 1) | 1).collect();
+        assert_eq!(product(&factors), sequential(&factors));
+    }
+
+    #[test]
+    fn budgeted_matches_unbudgeted() {
+        let primes = [101u64, 103, 107, 109, 113];
+        assert_eq!(product_within(&primes, 64).unwrap(), product(&primes));
+    }
+
+    #[test]
+    fn budget_refuses_upfront() {
+        // Five 7-bit factors: the Σ-bits bound is 35.
+        let primes = [101u64, 103, 107, 109, 113];
+        let err = product_within(&primes, 30).unwrap_err();
+        assert!(matches!(err, BudgetError::BitsExceeded { max_bits: 30, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fault_point_propagates() {
+        use xp_testkit::fault;
+        fault::arm("bignum.mul:1");
+        let err = product_within(&[3, 5, 7], 64).unwrap_err();
+        fault::reset();
+        assert_eq!(err, BudgetError::FaultInjected("bignum.mul"));
+    }
+}

@@ -35,6 +35,14 @@ pub enum CrtError {
     },
     /// A modulus was 0 (1 is allowed but useless).
     ZeroModulus,
+    /// A congruence could not be folded into an already-accumulated system:
+    /// the caller's cached product shares a factor with `modulus`, so the two
+    /// fell out of sync (the pairwise check, which would name the offending
+    /// pair, was bypassed or its inputs drifted).
+    Inconsistent {
+        /// The modulus that failed to fold into the accumulated product.
+        modulus: u64,
+    },
 }
 
 impl std::fmt::Display for CrtError {
@@ -43,6 +51,9 @@ impl std::fmt::Display for CrtError {
             CrtError::LengthMismatch => write!(f, "moduli and residues differ in length"),
             CrtError::NotCoprime { a, b } => write!(f, "moduli {a} and {b} are not coprime"),
             CrtError::ZeroModulus => write!(f, "zero modulus"),
+            CrtError::Inconsistent { modulus } => {
+                write!(f, "modulus {modulus} conflicts with the accumulated congruence system")
+            }
         }
     }
 }
@@ -72,15 +83,26 @@ pub fn solve(moduli: &[u64], residues: &[u64]) -> Result<UBig, CrtError> {
     validate(moduli, residues)?;
     let mut x = UBig::zero();
     let mut m_acc = UBig::one();
-    for (&m, &r) in moduli.iter().zip(residues) {
+    for (i, (&m, &r)) in moduli.iter().zip(residues).enumerate() {
         // `validate` proved pairwise coprimality, so `crt_pair` cannot fail
         // here — but surface it as an error rather than aborting if the two
-        // ever fall out of sync.
+        // ever fall out of sync, naming the earlier modulus that actually
+        // conflicts so the diagnostic points at the real pair.
         x = modular::crt_pair(&x, &m_acc, &UBig::from(r), &UBig::from(m))
-            .ok_or(CrtError::NotCoprime { a: 0, b: m })?;
+            .ok_or_else(|| conflict_with_earlier(&moduli[..i], m))?;
         m_acc = &m_acc * &UBig::from(m);
     }
     Ok(x)
+}
+
+/// Names the error for a modulus `m` that failed to fold into the product of
+/// `earlier`: the first earlier modulus sharing a factor with `m` if one
+/// exists, otherwise the system is inconsistent in a way no pair explains.
+fn conflict_with_earlier(earlier: &[u64], m: u64) -> CrtError {
+    match earlier.iter().find(|&&a| !modular::coprime(&UBig::from(a), &UBig::from(m))) {
+        Some(&a) => CrtError::NotCoprime { a, b: m },
+        None => CrtError::Inconsistent { modulus: m },
+    }
 }
 
 /// Solves the system with the paper's Euler-totient construction:
@@ -106,8 +128,11 @@ pub fn solve_euler(moduli: &[u64], residues: &[u64]) -> Result<UBig, CrtError> {
 /// congruence `x ≡ r (mod m)` — the paper's §4.2 update step
 /// (`x mod 13 = 7, x mod 17 = 3`).
 pub fn extend(old: &UBig, old_product: &UBig, m: u64, r: u64) -> Result<UBig, CrtError> {
+    // The caller holds only the accumulated product, not the member list, so
+    // no conflicting *pair* can be named here: report the one modulus that
+    // failed to fold instead of inventing a placeholder pair.
     modular::crt_pair(old, old_product, &UBig::from(r), &UBig::from(m))
-        .ok_or(CrtError::NotCoprime { a: 0, b: m })
+        .ok_or(CrtError::Inconsistent { modulus: m })
 }
 
 #[cfg(test)]
@@ -182,6 +207,24 @@ mod tests {
         assert_eq!(solve(&[3], &[1, 2]).unwrap_err(), CrtError::LengthMismatch);
         assert_eq!(solve(&[0], &[1]).unwrap_err(), CrtError::ZeroModulus);
         assert_eq!(solve_euler(&[9, 6], &[1, 2]).unwrap_err(), CrtError::NotCoprime { a: 9, b: 6 });
+    }
+
+    #[test]
+    fn fold_failures_name_the_real_pair() {
+        // Bypassing `validate`, a fold failure must still name the earlier
+        // modulus that genuinely conflicts — never a placeholder.
+        assert_eq!(conflict_with_earlier(&[5, 6, 7], 9), CrtError::NotCoprime { a: 6, b: 9 });
+        // No earlier modulus explains the failure: the system is inconsistent.
+        assert_eq!(conflict_with_earlier(&[5, 7], 9), CrtError::Inconsistent { modulus: 9 });
+    }
+
+    #[test]
+    fn extend_with_conflicting_modulus_is_inconsistent() {
+        // old_product = 6 shares a factor with m = 9: no pair is nameable
+        // from here, so the error carries the modulus that failed to fold.
+        let err = extend(&UBig::from(1u64), &UBig::from(6u64), 9, 2).unwrap_err();
+        assert_eq!(err, CrtError::Inconsistent { modulus: 9 });
+        assert_eq!(err.to_string(), "modulus 9 conflicts with the accumulated congruence system");
     }
 
     #[test]

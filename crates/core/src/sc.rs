@@ -8,11 +8,19 @@
 //! order numbers after the insertion point and re-solves exactly the records
 //! that cover shifted nodes — that is the paper's low-cost update claim
 //! (Figure 18 counts one "relabeling" per touched record).
+//!
+//! Maintenance is **incremental** (DESIGN.md §7). Each record caches its
+//! order column (so scans over clean records are pure `u64` passes — no
+//! bignum residue recomputation) and a precomputed CRT basis of idempotents
+//! `eᵢ ≡ 1 (mod mᵢ)`, `eᵢ ≡ 0 (mod mⱼ≠ᵢ)`. An order shift then updates the
+//! SC value by delta arithmetic — `SC += Σ Δrᵢ·eᵢ (mod C)` — instead of
+//! re-solving the whole system, and appending a member folds one congruence
+//! in via [`crt::extend`] against the cached product.
 
 use crate::crt::{self, CrtError};
 use std::collections::HashMap;
 use xp_bignum::checked::{mul_within, BudgetError};
-use xp_bignum::UBig;
+use xp_bignum::{modular, prodtree, UBig};
 use xp_testkit::fault::Injected;
 use xp_testkit::faultpoint;
 
@@ -21,12 +29,70 @@ use xp_testkit::faultpoint;
 pub struct ScRecord {
     /// Self-labels (CRT moduli) of the chunk's members, in insertion order.
     members: Vec<u64>,
+    /// Cached order column: `orders[i] == sc mod members[i]`, maintained
+    /// incrementally so reads and the insert pre-scan never divide.
+    orders: Vec<u64>,
     /// Product of the members (the CRT modulus `C`).
     product: UBig,
     /// The simultaneous-congruence value.
     sc: UBig,
     /// Largest self-label in the chunk — the paper's per-record index key.
     max_self: u64,
+    /// CRT basis: `basis[i] = Mᵢ·(Mᵢ⁻¹ mod mᵢ) mod C` with `Mᵢ = C/mᵢ` —
+    /// the idempotent that is 1 modulo `members[i]` and 0 modulo every other
+    /// member. Built once per member and journaled with the record.
+    basis: Vec<UBig>,
+}
+
+/// Builds the CRT basis for a member set with the given product: for each
+/// `mᵢ`, the cofactor `Mᵢ = C/mᵢ` times its inverse modulo `mᵢ`. A
+/// non-invertible cofactor means `mᵢ` shares a factor with another member;
+/// the error names the real conflicting pair.
+fn build_basis(members: &[u64], product: &UBig) -> Result<Vec<UBig>, CrtError> {
+    members
+        .iter()
+        .map(|&m| {
+            if m == 0 {
+                return Err(CrtError::ZeroModulus);
+            }
+            if m == 1 {
+                // Everything is ≡ 0 (mod 1): the zero element satisfies both
+                // basis congruences vacuously (1 is in-contract for CRT,
+                // though useless as a self-label).
+                return Ok(UBig::zero());
+            }
+            let (cofactor, _) = product.divrem_u64(m);
+            let inv = modular::mod_inverse_u64(cofactor.rem_u64(m), m)
+                .ok_or_else(|| basis_conflict(members, m))?;
+            Ok(cofactor.mul_u64(inv) % product)
+        })
+        .collect()
+}
+
+/// Names the pair that keeps `m`'s cofactor from being invertible: the first
+/// other member sharing a factor with `m` (a duplicate of `m` counts), or —
+/// if no pair explains it — an inconsistent system.
+fn basis_conflict(members: &[u64], m: u64) -> CrtError {
+    let mut skipped_self = false;
+    for &a in members {
+        if a == m && !skipped_self {
+            skipped_self = true;
+            continue;
+        }
+        if !modular::coprime(&UBig::from(a), &UBig::from(m)) {
+            return CrtError::NotCoprime { a, b: m };
+        }
+    }
+    CrtError::Inconsistent { modulus: m }
+}
+
+/// The canonical CRT solution as a basis combination: `Σ eᵢ·rᵢ mod C`.
+fn sc_from_basis(basis: &[UBig], orders: &[u64], product: &UBig) -> UBig {
+    let mut sc = UBig::zero();
+    for (e, &r) in basis.iter().zip(orders) {
+        sc += e.mul_u64(r);
+    }
+    sc % product
 }
 
 impl ScRecord {
@@ -50,13 +116,98 @@ impl ScRecord {
         self.members.is_empty()
     }
 
-    fn rebuild(&mut self, orders: &[u64]) -> Result<(), CrtError> {
-        self.sc = crt::solve(&self.members, orders)?;
+    /// The chunk's member self-labels (CRT moduli), in insertion order.
+    pub fn members(&self) -> &[u64] {
+        &self.members
+    }
+
+    /// The cached order column (`sc mod memberᵢ`, maintained incrementally).
+    pub fn cached_orders(&self) -> &[u64] {
+        &self.orders
+    }
+
+    /// The chunk's modulus product `C = Π members`.
+    pub fn product(&self) -> &UBig {
+        &self.product
+    }
+
+    /// The precomputed CRT basis (see [`ScRecord`] field docs).
+    pub fn basis(&self) -> &[UBig] {
+        &self.basis
+    }
+
+    /// Rebuilds every derived column — product (via the balanced product
+    /// tree), SC, basis, max key — from `members` and the given order
+    /// column: the slow path for member-set changes (relabel, removal).
+    /// Pure order shifts use [`ScRecord::shift_from`] instead.
+    fn rebuild(&mut self, orders: Vec<u64>, budget: u64) -> Result<(), ScError> {
+        if orders.len() != self.members.len() {
+            return Err(CrtError::LengthMismatch.into());
+        }
+        self.product = prodtree::product_within(&self.members, budget)?;
+        self.basis = build_basis(&self.members, &self.product)?;
+        self.sc = sc_from_basis(&self.basis, &orders, &self.product);
+        self.orders = orders;
+        self.max_self = self.members.iter().copied().max().unwrap_or(0);
         Ok(())
     }
 
-    fn order_of(&self, self_label: u64) -> u64 {
-        self.sc.rem_u64(self_label)
+    /// Shifts every cached order `>= threshold` up by one, updating SC by
+    /// delta arithmetic over the precomputed basis: `SC += Σ eᵢ (mod C)` for
+    /// the shifted members. No division, no re-solve.
+    fn shift_from(&mut self, threshold: u64) {
+        let mut delta = UBig::zero();
+        for (o, e) in self.orders.iter_mut().zip(&self.basis) {
+            if *o >= threshold {
+                *o += 1;
+                delta += e;
+            }
+        }
+        if !delta.is_zero() {
+            self.sc = (&self.sc + &delta) % &self.product;
+        }
+    }
+
+    /// Appends a member by folding one congruence into the cached solution
+    /// ([`crt::extend`] against the cached product) and re-targeting the
+    /// basis to the widened modulus: each existing element picks up the
+    /// factor `m·(m⁻¹ mod mᵢ)`, which preserves `≡1 (mod mᵢ)` and zeroes it
+    /// modulo the newcomer; the newcomer's own element is
+    /// `C·(C⁻¹ mod m)`, already canonical below `C·m`.
+    fn append_member(&mut self, m: u64, order: u64, budget: u64) -> Result<(), ScError> {
+        let new_product = mul_within(&self.product, &UBig::from(m), budget)?;
+        for (e, &mi) in self.basis.iter_mut().zip(&self.members) {
+            // mi == 1 keeps its zero element; any factor works, so skip the
+            // (undefined) inverse.
+            let inv = if mi == 1 {
+                1
+            } else {
+                modular::mod_inverse_u64(m % mi, mi)
+                    .ok_or(CrtError::NotCoprime { a: mi, b: m })?
+            };
+            let mut widened = e.mul_u64(m);
+            widened.mul_u64_assign(inv);
+            *e = widened % &new_product;
+        }
+        if m == 1 {
+            // ≡ 0 (mod 1) holds for any SC: zero element, solution unchanged.
+            self.basis.push(UBig::zero());
+        } else {
+            let inv = modular::mod_inverse_u64(self.product.rem_u64(m), m)
+                .ok_or_else(|| basis_conflict(&self.members, m))?;
+            self.basis.push(self.product.mul_u64(inv));
+            self.sc = crt::extend(&self.sc, &self.product, m, order)?;
+        }
+        self.product = new_product;
+        self.members.push(m);
+        self.orders.push(order);
+        self.max_self = self.max_self.max(m);
+        Ok(())
+    }
+
+    fn order_of(&self, self_label: u64) -> Option<u64> {
+        let i = self.members.iter().position(|&m| m == self_label)?;
+        Some(self.orders[i])
     }
 }
 
@@ -157,6 +308,10 @@ pub struct ScTable {
     /// self-label → record index (the paper navigates by max-prime ranges;
     /// an exact map is equivalent and stays correct after insertions).
     locator: HashMap<u64, usize>,
+    /// Upper bound on any covered order number (exact after build/insert,
+    /// conservative after removals, which never shift orders). Lets an
+    /// insertion past every covered order skip the shift scan entirely.
+    max_order: u64,
     /// Ceiling on any record's modulus product, in bits.
     product_bit_budget: u64,
     /// In-memory write-ahead journal for the in-flight mutation.
@@ -210,17 +365,16 @@ impl ScTable {
             chunk_capacity,
             records: Vec::with_capacity(items.len().div_ceil(chunk_capacity)),
             locator: HashMap::with_capacity(items.len()),
+            max_order: items.iter().map(|&(_, o)| o).max().unwrap_or(0),
             product_bit_budget: DEFAULT_PRODUCT_BIT_BUDGET,
             journal: Journal::default(),
         };
         for chunk in items.chunks(chunk_capacity) {
             let members: Vec<u64> = chunk.iter().map(|&(m, _)| m).collect();
             let orders: Vec<u64> = chunk.iter().map(|&(_, o)| o).collect();
-            let sc = crt::solve(&members, &orders)?;
-            let mut product = UBig::one();
-            for &m in &members {
-                product = mul_within(&product, &UBig::from(m), table.product_bit_budget)?;
-            }
+            let product = prodtree::product_within(&members, table.product_bit_budget)?;
+            let basis = build_basis(&members, &product)?;
+            let sc = sc_from_basis(&basis, &orders, &product);
             let idx = table.records.len();
             for &m in &members {
                 if table.locator.insert(m, idx).is_some() {
@@ -230,8 +384,10 @@ impl ScTable {
             table.records.push(ScRecord {
                 max_self: members.iter().copied().max().unwrap_or(0),
                 members,
+                orders,
                 product,
                 sc,
+                basis,
             });
         }
         Ok(table)
@@ -323,15 +479,70 @@ impl ScTable {
     }
 
     /// The order number of the node with this self-label, or `None` if the
-    /// label is not covered.
+    /// label is not covered. A pure `u64` read off the cached order column.
     pub fn order_of(&self, self_label: u64) -> Option<u64> {
         let &idx = self.locator.get(&self_label)?;
-        Some(self.records[idx].order_of(self_label))
+        self.records[idx].order_of(self_label)
+    }
+
+    /// The index of the record covering this self-label, if any.
+    pub fn locate(&self, self_label: u64) -> Option<usize> {
+        self.locator.get(&self_label).copied()
     }
 
     /// All `(self_label, order)` pairs, unordered.
     pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.records.iter().flat_map(|r| r.members.iter().map(move |&m| (m, r.order_of(m))))
+        self.records
+            .iter()
+            .flat_map(|r| r.members.iter().copied().zip(r.orders.iter().copied()))
+    }
+
+    /// Verifies every record's cached columns against their definitions —
+    /// `orders[i] == SC mod mᵢ`, `product == Π mᵢ`, `basis[i] ≡ 1 (mod mᵢ)`
+    /// and `≡ 0` modulo every other member, `SC < product` — plus the
+    /// locator and the `max_order` bound. The incremental maintenance paths
+    /// must preserve these exactly; the differential tests call this after
+    /// every mutation and recovery. Costs O(n) bignum divisions.
+    pub fn check_cached_columns(&self) -> Result<(), String> {
+        for (idx, r) in self.records.iter().enumerate() {
+            if r.orders.len() != r.members.len() || r.basis.len() != r.members.len() {
+                return Err(format!("record {idx}: ragged cached columns"));
+            }
+            if prodtree::product(&r.members) != r.product {
+                return Err(format!("record {idx}: cached product is not Π members"));
+            }
+            if !r.members.is_empty() && r.sc >= r.product {
+                return Err(format!("record {idx}: SC outside its modulus"));
+            }
+            if r.max_self != r.members.iter().copied().max().unwrap_or(0) {
+                return Err(format!("record {idx}: stale max_self key"));
+            }
+            for (i, (&m, &o)) in r.members.iter().zip(&r.orders).enumerate() {
+                if r.sc.rem_u64(m) != o {
+                    return Err(format!("record {idx}: cached order of member {m} is {o}, SC says {}", r.sc.rem_u64(m)));
+                }
+                if o > self.max_order {
+                    return Err(format!("member {m}: order {o} above the max_order bound {}", self.max_order));
+                }
+                if self.locator.get(&m) != Some(&idx) {
+                    return Err(format!("locator does not map member {m} to record {idx}"));
+                }
+                for (j, &mj) in r.members.iter().enumerate() {
+                    let want = u64::from(i == j);
+                    if r.basis[i].rem_u64(mj) != want % mj {
+                        return Err(format!("record {idx}: basis[{i}] mod {mj} != {want}"));
+                    }
+                }
+                if r.basis[i] >= r.product {
+                    return Err(format!("record {idx}: basis[{i}] outside the modulus"));
+                }
+            }
+        }
+        let covered: usize = self.records.iter().map(|r| r.members.len()).sum();
+        if covered != self.locator.len() {
+            return Err(format!("locator holds {} labels, records cover {covered}", self.locator.len()));
+        }
+        Ok(())
     }
 
     /// Inserts a node with a fresh (unused, coprime) self-label at order
@@ -354,11 +565,17 @@ impl ScTable {
         if order >= self_label {
             return Err(ScError::OrderOverflow { self_label, order });
         }
-        for record in &self.records {
-            for &m in &record.members {
-                let o = record.order_of(m);
-                if o >= order && o + 1 >= m {
-                    return Err(ScError::OrderOverflow { self_label: m, order: o + 1 });
+        // Existing orders shift only when the new one lands at or below the
+        // current maximum; a tail append skips this scan outright. When it
+        // does run, it is a pure u64 pass over the cached order columns — no
+        // bignum residue is recomputed for clean records.
+        let shifts_orders = order <= self.max_order && !self.is_empty();
+        if shifts_orders {
+            for record in &self.records {
+                for (&m, &o) in record.members.iter().zip(&record.orders) {
+                    if o >= order && o + 1 >= m {
+                        return Err(ScError::OrderOverflow { self_label: m, order: o + 1 });
+                    }
                 }
             }
         }
@@ -385,48 +602,43 @@ impl ScTable {
             _ => {
                 self.records.push(ScRecord {
                     members: Vec::new(),
+                    orders: Vec::new(),
                     product: UBig::one(),
                     sc: UBig::zero(),
                     max_self: 0,
+                    basis: Vec::new(),
                 });
                 self.records.len() - 1
             }
         };
 
         let mut updated = 0usize;
+        let budget = self.product_bit_budget;
         for idx in 0..self.records.len() {
-            let record = &self.records[idx];
-            let mut orders: Vec<u64> =
-                record.members.iter().map(|&m| record.sc.rem_u64(m)).collect();
-            let mut dirty = false;
-            for o in &mut orders {
-                if *o >= order {
-                    *o += 1;
-                    dirty = true;
-                }
-            }
             let receiving = idx == target;
-            if receiving {
-                orders.push(order);
-                dirty = true;
-            }
-            if !dirty {
+            let shifts_here =
+                shifts_orders && self.records[idx].orders.iter().any(|&o| o >= order);
+            if !receiving && !shifts_here {
                 continue;
             }
             self.journal_record(idx);
-            let budget = self.product_bit_budget;
-            let record = &mut self.records[idx];
-            if receiving {
-                record.members.push(self_label);
-                record.product = mul_within(&record.product, &UBig::from(self_label), budget)?;
-                record.max_self = record.max_self.max(self_label);
-            }
             faultpoint!("sc.insert.record")?;
-            record.rebuild(&orders)?;
+            let record = &mut self.records[idx];
+            if shifts_here {
+                record.shift_from(order);
+            }
+            if receiving {
+                record.append_member(self_label, order, budget)?;
+            }
             updated += 1;
         }
         self.journal_locator(self_label);
         self.locator.insert(self_label, target);
+        // A shift pushes the previous maximum up by one; a tail append sets
+        // it. Updated only here, after the last fallible step, so rollback
+        // never needs to restore it.
+        self.max_order =
+            if shifts_orders { self.max_order + 1 } else { self.max_order.max(order) };
         self.commit_journal();
         Ok(ScInsertReport { records_updated: updated })
     }
@@ -441,12 +653,12 @@ impl ScTable {
             return Err(ScError::DuplicateSelfLabel(new));
         }
         let idx = *self.locator.get(&old).ok_or(ScError::UnknownSelfLabel(old))?;
-        let order = self.records[idx].order_of(old);
+        let order = self.records[idx].order_of(old).ok_or(ScError::UnknownSelfLabel(old))?;
         if order >= new {
             return Err(ScError::OrderOverflow { self_label: new, order });
         }
         for &m in &self.records[idx].members {
-            if m != old && !xp_bignum::modular::coprime(&UBig::from(new), &UBig::from(m)) {
+            if m != old && !modular::coprime(&UBig::from(new), &UBig::from(m)) {
                 return Err(CrtError::NotCoprime { a: new, b: m }.into());
             }
         }
@@ -455,26 +667,15 @@ impl ScTable {
         self.journal_record(idx);
         let budget = self.product_bit_budget;
         let record = &mut self.records[idx];
-        let orders: Vec<u64> = record
-            .members
-            .iter()
-            .map(|&m| if m == old { order } else { record.order_of(m) })
-            .collect();
+        let orders = record.orders.clone();
         for m in &mut record.members {
             if *m == old {
                 *m = new;
             }
         }
-        record.max_self = record.members.iter().copied().max().unwrap_or(0);
         faultpoint!("sc.relabel")?;
-        let mut product = UBig::one();
-        for i in 0..self.records[idx].members.len() {
-            let m = self.records[idx].members[i];
-            product = mul_within(&product, &UBig::from(m), budget)?;
-        }
         let record = &mut self.records[idx];
-        record.product = product;
-        record.rebuild(&orders)?;
+        record.rebuild(orders, budget)?;
         self.journal_locator(old);
         self.journal_locator(new);
         self.locator.remove(&old);
@@ -535,7 +736,6 @@ impl ScTable {
         for idx in 0..record_count {
             let len = read_varint(input)? as usize;
             let mut members = Vec::with_capacity(len.min(1 << 12));
-            let mut product = UBig::one();
             for _ in 0..len {
                 let m = read_varint(input)?;
                 if m < 2 {
@@ -544,27 +744,35 @@ impl ScTable {
                 if locator.insert(m, idx).is_some() {
                     return Err(CodecError::Corrupt("duplicate self-label"));
                 }
-                product *= UBig::from(m);
                 members.push(m);
             }
+            let product = prodtree::product(&members);
             let sc = UBig::from_le_bytes(read_bytes(input)?);
             if !members.is_empty() && sc >= product {
                 return Err(CodecError::Corrupt("SC value outside its modulus"));
             }
+            let orders: Vec<u64> = members.iter().map(|&m| sc.rem_u64(m)).collect();
+            let basis = build_basis(&members, &product)
+                .map_err(|_| CodecError::Corrupt("members are not pairwise coprime"))?;
             records.push(ScRecord {
                 max_self: members.iter().copied().max().unwrap_or(0),
                 members,
+                orders,
                 product,
                 sc,
+                basis,
             });
         }
         if !input.is_empty() {
             return Err(CodecError::Corrupt("trailing bytes"));
         }
+        let max_order =
+            records.iter().flat_map(|r| r.orders.iter().copied()).max().unwrap_or(0);
         Ok(ScTable {
             chunk_capacity,
             records,
             locator,
+            max_order,
             product_bit_budget: DEFAULT_PRODUCT_BIT_BUDGET,
             journal: Journal::default(),
         })
@@ -584,23 +792,18 @@ impl ScTable {
         self.locator.remove(&self_label);
         let budget = self.product_bit_budget;
         let record = &mut self.records[idx];
-        let orders: Vec<u64> = record
-            .members
-            .iter()
-            .filter(|&&m| m != self_label)
-            .map(|&m| record.sc.rem_u64(m))
-            .collect();
-        record.members.retain(|&m| m != self_label);
-        record.max_self = record.members.iter().copied().max().unwrap_or(0);
-        faultpoint!("sc.remove")?;
-        let mut product = UBig::one();
-        for i in 0..self.records[idx].members.len() {
-            let m = self.records[idx].members[i];
-            product = mul_within(&product, &UBig::from(m), budget)?;
+        let mut orders = Vec::with_capacity(record.members.len().saturating_sub(1));
+        let mut members = Vec::with_capacity(record.members.len().saturating_sub(1));
+        for (&m, &o) in record.members.iter().zip(&record.orders) {
+            if m != self_label {
+                members.push(m);
+                orders.push(o);
+            }
         }
+        record.members = members;
+        faultpoint!("sc.remove")?;
         let record = &mut self.records[idx];
-        record.product = product;
-        record.rebuild(&orders)?;
+        record.rebuild(orders, budget)?;
         self.commit_journal();
         Ok(true)
     }
@@ -952,5 +1155,85 @@ mod tests {
         for (m, o) in figure9_items() {
             assert_eq!(t.order_of(m), Some(o));
         }
+    }
+
+    #[test]
+    fn basis_solution_matches_crt_solver() {
+        // The basis combination Σ eᵢrᵢ mod C must reproduce the canonical
+        // CRT solution for every prefix of a realistic chunk.
+        let moduli = xp_primes::first_primes(12);
+        let residues: Vec<u64> = moduli.iter().enumerate().map(|(i, _)| i as u64 + 1).collect();
+        for k in 0..=moduli.len() {
+            let product = prodtree::product(&moduli[..k]);
+            let basis = build_basis(&moduli[..k], &product).unwrap();
+            let via_basis = sc_from_basis(&basis, &residues[..k], &product);
+            let via_solve = crt::solve(&moduli[..k], &residues[..k]).unwrap();
+            assert_eq!(via_basis, via_solve, "k={k}");
+        }
+    }
+
+    #[test]
+    fn delta_shift_matches_full_resolve() {
+        // shift_from must land on exactly the SC value a fresh solve of the
+        // shifted system produces, for every threshold.
+        let items = roomy_items();
+        for threshold in 0..=7u64 {
+            let mut shifted = ScTable::build(6, &items).unwrap();
+            shifted.records[0].shift_from(threshold);
+            let resolved: Vec<(u64, u64)> = items
+                .iter()
+                .map(|&(m, o)| (m, if o >= threshold { o + 1 } else { o }))
+                .collect();
+            let want = ScTable::build(6, &resolved).unwrap();
+            assert_eq!(shifted.records[0].sc, want.records[0].sc, "threshold {threshold}");
+            assert_eq!(shifted.records[0].orders, want.records[0].orders);
+        }
+    }
+
+    #[test]
+    fn append_member_matches_build() {
+        // Folding one congruence in (basis re-target + crt::extend) must be
+        // indistinguishable from building the widened chunk from scratch.
+        let mut t = ScTable::build(10, &figure9_items()).unwrap();
+        t.insert(17, 7).unwrap();
+        t.insert(19, 8).unwrap();
+        let mut items = figure9_items();
+        items.push((17, 7));
+        items.push((19, 8));
+        let built = ScTable::build(10, &items).unwrap();
+        assert_eq!(t.records[0].sc, built.records[0].sc);
+        assert_eq!(t.records[0].orders, built.records[0].orders);
+        assert_eq!(t.records[0].product, built.records[0].product);
+        assert_eq!(t.records[0].basis, built.records[0].basis);
+    }
+
+    #[test]
+    fn cached_columns_stay_consistent_through_mutations() {
+        let mut t = ScTable::build(3, &roomy_items()).unwrap();
+        t.check_cached_columns().unwrap();
+        t.insert(71, 1).unwrap(); // front insert: shifts every record
+        t.check_cached_columns().unwrap();
+        t.insert(73, 9).unwrap(); // tail append: touches one record
+        t.check_cached_columns().unwrap();
+        t.replace_self_label(23, 79).unwrap();
+        t.check_cached_columns().unwrap();
+        assert!(t.remove(13).unwrap());
+        t.check_cached_columns().unwrap();
+        t.insert(83, 2).unwrap(); // shift again after the removal
+        t.check_cached_columns().unwrap();
+        let decoded = ScTable::decode(&t.encode()).unwrap();
+        decoded.check_cached_columns().unwrap();
+    }
+
+    #[test]
+    fn tail_append_skips_the_shift_scan() {
+        // Appending past every covered order must touch only the receiving
+        // record, even when many records exist.
+        let items: Vec<(u64, u64)> =
+            xp_primes::first_primes(40).into_iter().zip(1..).map(|(m, o)| (m, o)).collect();
+        let mut t = ScTable::build(5, &items).unwrap();
+        let report = t.insert(409, 41).unwrap();
+        assert_eq!(report.records_updated, 1);
+        t.check_cached_columns().unwrap();
     }
 }

@@ -17,15 +17,26 @@ pub fn nth_prime_estimate(n: u64) -> f64 {
     nf * nf.log2()
 }
 
-/// Bit length of the paper's n-th prime estimate: `log₂(n·log₂(n))`,
-/// rounded up to a whole number of bits (minimum 2, the bits of "2").
+/// Bit length of the paper's n-th prime estimate — `⌊log₂(n·log₂(n))⌋ + 1`,
+/// the number of bits the estimated value actually occupies (minimum 2, the
+/// bits of "2").
+///
+/// `⌈log₂ x⌉` is **not** a bit count: it under-counts by one whenever `x` is
+/// an exact power of two (`⌈log₂ 8⌉ = 3`, but 8 = `1000₂` takes 4 bits), and
+/// only coincides with `⌊log₂ x⌋ + 1` elsewhere. The floor-plus-one form
+/// matches [`bits_of`] on actual primes, so Figure 3's estimate-vs-actual
+/// comparison is apples to apples.
 pub fn nth_prime_estimate_bits(n: u64) -> u64 {
-    (nth_prime_estimate(n).log2().ceil() as u64).max(2)
+    ((nth_prime_estimate(n).log2().floor() as u64) + 1).max(2)
 }
 
-/// Bit length of an actual value (`⌊log₂ v⌋ + 1`).
+/// Bit length of an actual value (`⌊log₂ v⌋ + 1`); by convention
+/// `bits_of(0) = 1`, the one bit needed to write "0".
 pub fn bits_of(v: u64) -> u64 {
-    64 - v.leading_zeros() as u64
+    match v {
+        0 => 1,
+        _ => 64 - v.leading_zeros() as u64,
+    }
 }
 
 /// Prime-counting estimate from the paper: `π(n) ≈ n / log₂(n)`.
@@ -63,11 +74,26 @@ mod tests {
 
     #[test]
     fn bits_of_known_values() {
+        assert_eq!(bits_of(0), 1);
         assert_eq!(bits_of(1), 1);
         assert_eq!(bits_of(2), 2);
         assert_eq!(bits_of(255), 8);
         assert_eq!(bits_of(256), 9);
         assert_eq!(bits_of(104_729), 17);
+    }
+
+    #[test]
+    fn estimate_bits_is_a_true_bit_count() {
+        // The estimate's bit length must equal bits_of(round(estimate)) —
+        // in particular at power-of-two estimates, where ceil(log2) lies.
+        for n in [1u64, 2, 3, 4, 10, 64, 100, 1000, 4096, 10_000] {
+            let est = nth_prime_estimate(n);
+            assert_eq!(
+                nth_prime_estimate_bits(n),
+                bits_of(est as u64).max(2),
+                "n={n}, estimate {est}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@ use xp_query::engine::{eval_path, OrderOracle, Path, QueryError};
 use xp_query::evaluators::{Evaluator, PrimeEvaluator};
 use xp_query::relstore::LabelTable;
 use xp_testkit::fault;
+use xp_testkit::propcheck::{u64s, usizes, vec_of};
+use xp_testkit::{prop_assert, propcheck};
 use xp_xmltree::{parse, NodeId, ParseErrorKind, XmlTree};
 
 /// A flat 20-item list: with `chunk_capacity = 5` the SC table has four
@@ -209,6 +211,149 @@ fn query_join_fault_surfaces_as_a_typed_query_error() {
     fault::reset();
     assert_eq!(err, QueryError::FaultInjected("query.join"), "got {err}");
     assert_eq!(ev.try_eval(&path).unwrap().len(), 20, "disarmed query succeeds");
+}
+
+/// First point of divergence between two SC tables, or `None` when they are
+/// indistinguishable record-for-record: same members, cached order columns,
+/// SC values, modulus products, CRT bases, and locator assignments. This is
+/// deliberately stronger than answer equality — the incremental maintenance
+/// paths (delta shifts, basis re-targeting) must land on byte-identical
+/// state, not merely equivalent answers.
+fn table_mismatch(a: &ScTable, b: &ScTable) -> Option<String> {
+    if a.record_count() != b.record_count() {
+        return Some(format!("{} records vs {}", a.record_count(), b.record_count()));
+    }
+    for (i, (ra, rb)) in a.records().iter().zip(b.records()).enumerate() {
+        if ra.members() != rb.members() {
+            return Some(format!("record {i}: members {:?} vs {:?}", ra.members(), rb.members()));
+        }
+        if ra.cached_orders() != rb.cached_orders() {
+            return Some(format!(
+                "record {i}: orders {:?} vs {:?}",
+                ra.cached_orders(),
+                rb.cached_orders()
+            ));
+        }
+        if ra.sc() != rb.sc() {
+            return Some(format!("record {i}: SC {} vs {}", ra.sc(), rb.sc()));
+        }
+        if ra.product() != rb.product() {
+            return Some(format!("record {i}: product {} vs {}", ra.product(), rb.product()));
+        }
+        if ra.basis() != rb.basis() {
+            return Some(format!("record {i}: CRT bases differ"));
+        }
+        if ra.max_self_label() != rb.max_self_label() {
+            return Some(format!("record {i}: max keys differ"));
+        }
+    }
+    for r in a.records() {
+        for &m in r.members() {
+            if a.locate(m) != b.locate(m) {
+                return Some(format!("locator for {m}: {:?} vs {:?}", a.locate(m), b.locate(m)));
+            }
+        }
+    }
+    None
+}
+
+propcheck! {
+    #![config(cases = 64)]
+
+    /// A table grown one `insert` at a time must be record-for-record equal
+    /// to `ScTable::build` over the final item set: the incremental path
+    /// (cached orders, delta SC updates, basis re-targeting, `crt::extend`)
+    /// may not drift from batch construction in any column.
+    #[test]
+    fn grown_table_equals_batch_built_table(
+        cap in usizes(1..8),
+        base in usizes(0..24),
+        insert_seeds in vec_of(u64s(0..1_000_000), 1..12),
+    ) {
+        // Primes from the 21st on: every label exceeds 73, far above any
+        // order this scenario can reach (≤ 35), so no insert can overflow.
+        let pool = xp_primes::first_primes(60);
+        let labels = &pool[20..];
+        let base_items: Vec<(u64, u64)> =
+            labels[..base].iter().enumerate().map(|(i, &p)| (p, i as u64 + 1)).collect();
+        let mut grown = ScTable::build(cap, &base_items).unwrap();
+
+        // doc_order holds labels by document position; an insert at
+        // position p gives the new node order p+1 and shifts the rest.
+        let mut doc_order: Vec<u64> = labels[..base].to_vec();
+        let mut arrival: Vec<u64> = doc_order.clone();
+        for (k, &seed) in insert_seeds.iter().enumerate() {
+            let label = labels[base + k];
+            let pos = (seed as usize) % (doc_order.len() + 1);
+            grown.insert(label, pos as u64 + 1).unwrap();
+            doc_order.insert(pos, label);
+            arrival.push(label);
+        }
+
+        // Batch oracle: same arrival order (insert always appends to the
+        // newest record, mirroring build's chunking), final shifted orders.
+        let built_items: Vec<(u64, u64)> = arrival
+            .iter()
+            .map(|&l| {
+                let pos = doc_order.iter().position(|&x| x == l).unwrap();
+                (l, pos as u64 + 1)
+            })
+            .collect();
+        let built = ScTable::build(cap, &built_items).unwrap();
+
+        let mismatch = table_mismatch(&grown, &built);
+        prop_assert!(mismatch.is_none(), "grown vs built: {}", mismatch.unwrap_or_default());
+        let columns = grown.check_cached_columns();
+        prop_assert!(columns.is_ok(), "{}", columns.err().unwrap_or_default());
+    }
+
+    /// A fault injected mid-insert must roll the table back to a state
+    /// indistinguishable from the pre-insert snapshot — including the
+    /// cached order columns and CRT bases the journal carries — and leave
+    /// the table able to replay the identical insert.
+    #[test]
+    fn recovery_restores_cached_columns_and_bases(
+        cap in usizes(1..6),
+        base in usizes(4..20),
+        seed in u64s(0..1_000_000),
+        trigger in usizes(1..4),
+    ) {
+        let pool = xp_primes::first_primes(40);
+        let labels = &pool[12..];
+        let base_items: Vec<(u64, u64)> =
+            labels[..base].iter().enumerate().map(|(i, &p)| (p, i as u64 + 1)).collect();
+        let mut table = ScTable::build(cap, &base_items).unwrap();
+        let snapshot = table.clone();
+
+        let label = labels[base];
+        let pos = (seed as usize) % (base + 1);
+        let order = pos as u64 + 1;
+        fault::arm(&format!("sc.insert.record:{trigger}"));
+        let outcome = table.insert(label, order);
+        fault::reset();
+        match outcome {
+            Err(ScError::FaultInjected("sc.insert.record")) => {
+                prop_assert!(table.needs_recovery(), "failed insert leaves the journal open");
+                prop_assert!(table.recover());
+                let mismatch = table_mismatch(&table, &snapshot);
+                prop_assert!(
+                    mismatch.is_none(),
+                    "rollback drifted from the snapshot: {}",
+                    mismatch.unwrap_or_default()
+                );
+            }
+            // The insert touched fewer records than the trigger count, so
+            // the fault never fired and the mutation simply succeeded.
+            Ok(_) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+        // Either way the table must be consistent and accept the insert.
+        if table.order_of(label).is_none() {
+            table.insert(label, order).unwrap();
+        }
+        let columns = table.check_cached_columns();
+        prop_assert!(columns.is_ok(), "{}", columns.err().unwrap_or_default());
+    }
 }
 
 /// CI matrix entry point: with `XP_FAULT=<site>:<trigger>` in the

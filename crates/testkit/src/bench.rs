@@ -133,7 +133,7 @@ impl Harness {
             samples: n,
             iters_per_sample: iters,
             min_ns: per_iter_ns[0],
-            median_ns: per_iter_ns[n / 2],
+            median_ns: median_of_sorted(&per_iter_ns),
             p95_ns: per_iter_ns[(n * 95 / 100).min(n - 1)],
             mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
         };
@@ -190,6 +190,18 @@ impl Harness {
                 println!("[written results/bench_{}.json]", self.group);
             }
         }
+    }
+}
+
+/// Median of an ascending-sorted sample: the middle element for odd `n`, the
+/// average of the two middle elements for even `n`. Taking `sorted[n/2]`
+/// alone would bias even-sized samples toward the slower half.
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
     }
 }
 
@@ -278,5 +290,15 @@ mod tests {
     #[test]
     fn json_escapes_controls() {
         assert_eq!(json_string("x\n\t\u{1}"), "\"x\\n\\t\\u0001\"");
+    }
+
+    #[test]
+    fn median_averages_the_middle_pair_for_even_n() {
+        assert_eq!(median_of_sorted(&[1.0]), 1.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 10.0]), 2.0);
+        // Even n: [1, 2, 4, 100] → (2 + 4) / 2, not the upper element 4.
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 4.0, 100.0]), 3.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]), 3.5);
     }
 }
