@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod dewey;
+pub mod dynamic;
 pub mod floatival;
 pub mod interval;
 pub mod prefix;

@@ -1,0 +1,41 @@
+//! Bench gate for the dynamic-update pipeline: a leaf insert's
+//! [`RelabelReport`] patches the query engine's `LabelTable` in `O(report)`
+//! rows, and patching never costs more than rebuilding the table.
+//!
+//! Default mode regenerates `results/bench_dynamic_api.json` over the full
+//! update-experiment family (1000..=10000 nodes). `--smoke` runs the same
+//! checks on the two ends of the family without touching the checked-in
+//! JSON — the `scripts/ci.sh` bench gate. Exits nonzero when a check fails
+//! either way.
+//!
+//! [`RelabelReport`]: xp_labelkit::RelabelReport
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let doc_indices: &[usize] = if smoke { &[0, 4] } else { &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9] };
+    let stats = xp_bench::experiments::dynamic_api::dynamic_api(doc_indices, !smoke);
+
+    println!();
+    for ((&(n, patch), &(_, rebuild)), &(_, rows)) in
+        stats.patch_ns.iter().zip(&stats.rebuild_ns).zip(&stats.patch_rows)
+    {
+        println!(
+            "n={n:>5}: patch {patch:>10.0} ns ({rows} rows)  vs rebuild {rebuild:>12.0} ns  ({:.0}x)",
+            rebuild / patch.max(1.0)
+        );
+    }
+
+    let mut failed = false;
+    if !stats.patch_beats_rebuild() {
+        eprintln!("FAIL: incremental table patch median exceeds full-rebuild median");
+        failed = true;
+    }
+    if !stats.patch_rows_independent_of_doc_size() {
+        eprintln!("FAIL: leaf-insert patch touches a row count that grows with the document");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("dynamic-api checks passed: patches beat rebuilds and stay O(report)");
+}

@@ -1,0 +1,150 @@
+//! Wall-clock experiment for the dynamic-update pipeline: a mutation runs
+//! through [`LabeledStore`], and its [`RelabelReport`] patches the query
+//! engine's [`LabelTable`] via `apply_report` — the claim under test is
+//! that patching touches `O(report)` rows and never costs more than
+//! rebuilding the table from scratch.
+
+use super::SEED;
+use xp_datagen::builders::update_experiment_docs;
+use xp_labelkit::{InsertPos, LabeledStore, RelabelReport};
+use xp_prime::dynamic::DynamicPrime;
+use xp_query::relstore::LabelTable;
+use xp_testkit::bench::Harness;
+use xp_xmltree::{parse, NodeId, XmlTree};
+
+/// The deepest element (first in document order among the deepest).
+fn deepest_element(tree: &XmlTree) -> NodeId {
+    let mut best = tree.root();
+    let mut best_depth = 0;
+    for node in tree.elements() {
+        let d = tree.depth(node);
+        if d > best_depth {
+            best = node;
+            best_depth = d;
+        }
+    }
+    best
+}
+
+/// Medians and patch sizes from [`dynamic_api`].
+#[derive(Debug, Clone)]
+pub struct DynamicApiStats {
+    /// `(doc_nodes, median ns)` for patching the pre-mutation table with a
+    /// leaf-insert report.
+    pub patch_ns: Vec<(usize, f64)>,
+    /// `(doc_nodes, median ns)` for rebuilding the post-mutation table
+    /// from scratch.
+    pub rebuild_ns: Vec<(usize, f64)>,
+    /// `(doc_nodes, rows touched)` by the leaf-insert patch.
+    pub patch_rows: Vec<(usize, usize)>,
+}
+
+impl DynamicApiStats {
+    /// `true` iff, at every size, the incremental patch median is at or
+    /// below the full-rebuild median. A patch that loses to a rebuild
+    /// makes the incremental path worthless at that size.
+    pub fn patch_beats_rebuild(&self) -> bool {
+        !self.patch_ns.is_empty()
+            && self
+                .patch_ns
+                .iter()
+                .zip(&self.rebuild_ns)
+                .all(|(&(_, patch), &(_, rebuild))| patch <= rebuild)
+    }
+
+    /// `true` iff the leaf-insert patch touches the same small number of
+    /// rows at every size — `O(changed labels)`, not `O(document)`. For
+    /// the prime scheme a leaf insert is one new label (plus rare
+    /// small-prime victims), so the row count must not grow with `n`.
+    pub fn patch_rows_independent_of_doc_size(&self) -> bool {
+        match self.patch_rows.first() {
+            Some(&(_, first)) => self.patch_rows.iter().all(|&(_, rows)| rows == first),
+            None => false,
+        }
+    }
+}
+
+/// One prepared measurement point: the pre-mutation table, the report a
+/// leaf insert produced, and the post-mutation tree + labels.
+struct Point {
+    n: usize,
+    before: LabelTable<xp_prime::PrimeLabel>,
+    report: RelabelReport,
+    store: LabeledStore<DynamicPrime>,
+}
+
+fn prepare(tree: &XmlTree) -> Point {
+    let n = tree.elements().count();
+    let mut store =
+        LabeledStore::build(DynamicPrime::new(5), tree.clone()).expect("labelable doc");
+    let before = LabelTable::build(store.tree(), store.doc());
+    let target = deepest_element(store.tree());
+    let leaf = parse("<new/>").expect("fragment");
+    let report =
+        store.insert_subtree(InsertPos::LastChildOf(target), &leaf).expect("updatable doc");
+    Point { n, before, report, store }
+}
+
+/// The `dynamic_api` bench group: `patch_leaf_insert/{n}` vs
+/// `rebuild/{n}` for each document in the update-experiment family whose
+/// index is in `doc_indices`. Writes `results/bench_dynamic_api.json`
+/// only when `write_json` is set (the CI smoke run measures without
+/// clobbering the checked-in numbers).
+pub fn dynamic_api(doc_indices: &[usize], write_json: bool) -> DynamicApiStats {
+    let docs: Vec<XmlTree> = update_experiment_docs(SEED);
+    let mut group = Harness::new("dynamic_api");
+    group.sample_size(10);
+
+    let mut stats = DynamicApiStats {
+        patch_ns: Vec::new(),
+        rebuild_ns: Vec::new(),
+        patch_rows: Vec::new(),
+    };
+    for &i in doc_indices {
+        let point = prepare(&docs[i]);
+        let Point { n, before, report, store } = &point;
+        group.bench_batched(
+            &format!("patch_leaf_insert/{n}"),
+            || before.clone(),
+            |mut table| table.apply_report(store.tree(), store.doc(), report),
+        );
+        group.bench(&format!("rebuild/{n}"), || LabelTable::build(store.tree(), store.doc()));
+
+        let mut table = before.clone();
+        let patch = table.apply_report(store.tree(), store.doc(), report);
+        stats.patch_rows.push((*n, patch.rows_touched()));
+    }
+
+    let median = |name: &str| {
+        group.results().iter().find(|r| r.name == name).map(|r| r.median_ns).unwrap_or(f64::NAN)
+    };
+    for &(n, _) in &stats.patch_rows.clone() {
+        stats.patch_ns.push((n, median(&format!("patch_leaf_insert/{n}"))));
+        stats.rebuild_ns.push((n, median(&format!("rebuild/{n}"))));
+    }
+    if write_json {
+        group.finish();
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_insert_patch_is_constant_size() {
+        let docs = update_experiment_docs(SEED);
+        let mut rows = Vec::new();
+        for tree in &docs[..3] {
+            let point = prepare(tree);
+            let mut table = point.before.clone();
+            let patch = table.apply_report(point.store.tree(), point.store.doc(), &point.report);
+            assert_eq!(patch.rows_added, point.report.inserted.len());
+            assert_eq!(patch.rows_updated, point.report.relabeled.len());
+            rows.push(patch.rows_touched());
+        }
+        assert!(rows.windows(2).all(|w| w[0] == w[1]), "patch size grew with doc: {rows:?}");
+        assert!(rows[0] <= 3, "leaf insert must touch O(1) rows, got {}", rows[0]);
+    }
+}

@@ -1,5 +1,6 @@
 //! All experiments, one function per table/figure.
 
+pub mod dynamic_api;
 pub mod sizes;
 pub mod timing;
 pub mod updates;

@@ -52,6 +52,7 @@
 pub mod bottomup;
 pub mod crt;
 pub mod decompose;
+pub mod dynamic;
 pub mod error;
 pub mod label;
 pub mod ordered;
@@ -61,6 +62,7 @@ pub mod size_model;
 pub mod stream;
 pub mod topdown;
 
+pub use dynamic::DynamicPrime;
 pub use error::Error;
 pub use label::PrimeLabel;
 pub use ordered::OrderedPrimeDoc;

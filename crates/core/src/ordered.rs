@@ -26,15 +26,20 @@ pub struct OrderedPrimeDoc {
 }
 
 /// Accounting for one order-sensitive insertion (Figure 18's metric).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OrderedInsertReport {
     /// The new node.
     pub node: NodeId,
     /// Existing node labels that changed. Normally 0 for sibling insertion;
     /// becomes positive only when an order number would have outgrown a
     /// small self-label (see [`ScError::OrderOverflow`]) and the node had to
-    /// take a larger prime.
+    /// take a larger prime. Always `relabeled_nodes.len()`.
     pub relabeled_existing: usize,
+    /// Exactly which pre-existing nodes were relabeled (overflow victims and
+    /// their subtrees; the wrapped subtree for
+    /// [`OrderedPrimeDoc::insert_parent`]) — what incremental consumers of
+    /// the labels (the query layer's table patching) need to know.
+    pub relabeled_nodes: Vec<NodeId>,
     /// SC records re-solved. The paper: "We consider a record update in the
     /// SC table as a node that requires re-labeling."
     pub sc_records_updated: usize,
@@ -141,7 +146,8 @@ impl OrderedPrimeDoc {
         // node (inserted just before it) takes the anchor's order number.
         let order = self.try_order_of(anchor)?;
         let outcome = self.doc.insert_sibling_before(tree, anchor, tag)?;
-        self.finish_ordered_insert(tree, outcome.node, order, outcome.relabeled_existing)
+        debug_assert_eq!(outcome.relabeled_existing, 0, "sibling insert never relabels");
+        self.finish_ordered_insert(tree, outcome.node, order, Vec::new())
     }
 
     /// Inserts a new element immediately after `anchor`'s subtree in
@@ -161,7 +167,7 @@ impl OrderedPrimeDoc {
         let self_label = UBig::from(self.doc.next_prime());
         let label = PrimeLabel::child_of(&parent_label, self_label);
         self.doc.labels.set(node, label);
-        self.finish_ordered_insert(tree, node, subtree_max + 1, 0)
+        self.finish_ordered_insert(tree, node, subtree_max + 1, Vec::new())
     }
 
     /// Largest order number inside `node`'s subtree (including `node`).
@@ -183,21 +189,41 @@ impl OrderedPrimeDoc {
         let subtree_max = self.subtree_max_order(tree, parent)?;
         let outcome = self.doc.insert_child(tree, parent, tag)?;
         debug_assert_eq!(outcome.relabeled_existing, 0, "plain scheme never relabels on append");
-        self.finish_ordered_insert(tree, outcome.node, subtree_max + 1, outcome.relabeled_existing)
+        self.finish_ordered_insert(tree, outcome.node, subtree_max + 1, Vec::new())
+    }
+
+    /// Wraps `target` in a new parent element (§5.3's non-leaf update,
+    /// Figure 17, on the *ordered* document). The wrapper takes `target`'s
+    /// old order number — preorder puts a parent immediately before its
+    /// subtree — so the SC shift moves the wrapped subtree (and everything
+    /// after it) one position down. The subtree's labels are recomputed with
+    /// the wrapper's fresh prime as a new factor; self-labels stay put, so
+    /// no SC record beyond the shift is touched for them.
+    pub fn insert_parent(
+        &mut self,
+        tree: &mut XmlTree,
+        target: NodeId,
+        tag: &str,
+    ) -> Result<OrderedInsertReport, Error> {
+        let order = self.try_order_of(target)?;
+        let subtree: Vec<NodeId> = tree.element_descendants(target).collect();
+        let outcome = self.doc.insert_parent(tree, target, tag)?;
+        debug_assert_eq!(outcome.relabeled_existing, subtree.len());
+        self.finish_ordered_insert(tree, outcome.node, order, subtree)
     }
 
     /// Deletes a leaf-or-subtree node: labels are dropped and each covered
     /// self-label leaves its SC record (orders of other nodes are untouched,
     /// §4.2). Returns the number of SC records re-solved.
     pub fn delete(&mut self, tree: &mut XmlTree, target: NodeId) -> Result<usize, Error> {
-        let mut selfs = Vec::new();
+        let mut items = Vec::new();
         for n in tree.element_descendants(target) {
             let label = self.doc.labels.get(n).ok_or(Error::UnknownNode(n))?;
-            selfs.push(label.self_label_u64());
+            items.push((n, label.self_label_u64()));
         }
         self.doc.delete(tree, target)?;
         let mut touched = 0usize;
-        for s in selfs {
+        for (n, s) in items {
             match self.sc.remove(s) {
                 Ok(true) => touched += 1,
                 Ok(false) => {}
@@ -206,12 +232,52 @@ impl OrderedPrimeDoc {
                     // remaining covered nodes stay queryable.
                     self.sc.recover();
                     self.node_of_self.remove(&s);
+                    self.doc.labels.remove(n);
                     return Err(e.into());
                 }
             }
             self.node_of_self.remove(&s);
+            self.doc.labels.remove(n);
         }
         Ok(touched)
+    }
+
+    /// Crate-internal recovery hook for the dynamic-store layer: drops every
+    /// trace of `node` (label, self-label mapping, SC entry). Best-effort on
+    /// the SC side — the entry may legitimately be absent for a node whose
+    /// insertion aborted before reaching the table.
+    pub(crate) fn forget_node(&mut self, node: NodeId) {
+        if let Some(label) = self.doc.labels.remove(node) {
+            let s = label.self_label_u64();
+            self.node_of_self.remove(&s);
+            if self.sc.remove(s).is_err() {
+                self.sc.recover();
+            }
+        }
+    }
+
+    /// Crate-internal recovery hook: recomputes the label products of
+    /// `target`'s subtree from its *current* parent, keeping every
+    /// self-label (so the SC table needs no changes). Used to unwind a
+    /// half-applied `insert_parent` after the wrapper is detached again.
+    pub(crate) fn recompute_subtree_products(
+        &mut self,
+        tree: &XmlTree,
+        target: NodeId,
+    ) -> Result<(), Error> {
+        let parent = tree.parent(target).ok_or(Error::RootAnchor(target))?;
+        let parent_label = self.doc.labels.get(parent).ok_or(Error::UnknownNode(parent))?.clone();
+        let mut stack = vec![(target, parent_label)];
+        while let Some((n, parent_label)) = stack.pop() {
+            let self_label =
+                self.doc.labels.get(n).ok_or(Error::UnknownNode(n))?.self_label().clone();
+            let updated = PrimeLabel::child_of(&parent_label, self_label);
+            self.doc.labels.set(n, updated.clone());
+            for c in tree.element_children(n) {
+                stack.push((c, updated.clone()));
+            }
+        }
+        Ok(())
     }
 
     fn finish_ordered_insert(
@@ -219,9 +285,9 @@ impl OrderedPrimeDoc {
         tree: &XmlTree,
         node: NodeId,
         order: u64,
-        relabeled_existing: usize,
+        relabeled: Vec<NodeId>,
     ) -> Result<OrderedInsertReport, Error> {
-        let result = self.finish_ordered_insert_inner(tree, node, order, relabeled_existing);
+        let result = self.finish_ordered_insert_inner(tree, node, order, relabeled);
         if result.is_err() {
             // A mid-mutation failure (injected fault, budget overrun) can
             // leave the SC table's journal open: roll it back so every
@@ -238,7 +304,7 @@ impl OrderedPrimeDoc {
         tree: &XmlTree,
         node: NodeId,
         order: u64,
-        mut relabeled_existing: usize,
+        mut relabeled: Vec<NodeId>,
     ) -> Result<OrderedInsertReport, Error> {
         let self_label =
             self.doc.labels.get(node).ok_or(Error::UnknownNode(node))?.self_label_u64();
@@ -248,8 +314,15 @@ impl OrderedPrimeDoc {
                 Err(ScError::OrderOverflow { self_label: victim, .. }) if victim != self_label => {
                     // A small-prime node's order number outgrew its modulus:
                     // give it (and, through the inherited product, its
-                    // subtree) a fresh larger prime and retry.
-                    relabeled_existing += self.relabel_with_fresh_prime(tree, victim)?;
+                    // subtree) a fresh larger prime and retry. A victim's
+                    // subtree can overlap nodes already relabeled by this
+                    // mutation (e.g. the wrapped subtree of insert_parent):
+                    // each node counts once.
+                    for n in self.relabel_with_fresh_prime(tree, victim)? {
+                        if !relabeled.contains(&n) {
+                            relabeled.push(n);
+                        }
+                    }
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -257,15 +330,21 @@ impl OrderedPrimeDoc {
         self.node_of_self.insert(self_label, node);
         Ok(OrderedInsertReport {
             node,
-            relabeled_existing,
+            relabeled_existing: relabeled.len(),
+            relabeled_nodes: relabeled,
             sc_records_updated: report.records_updated,
         })
     }
 
     /// Swaps the self-label of the node currently carrying `old_self` for a
     /// fresh prime and recomputes the label products of its subtree.
-    /// Returns the number of existing labels that changed.
-    fn relabel_with_fresh_prime(&mut self, tree: &XmlTree, old_self: u64) -> Result<usize, Error> {
+    /// Returns the existing nodes whose labels changed (the victim first,
+    /// then its subtree).
+    fn relabel_with_fresh_prime(
+        &mut self,
+        tree: &XmlTree,
+        old_self: u64,
+    ) -> Result<Vec<NodeId>, Error> {
         let node = *self
             .node_of_self
             .get(&old_self)
@@ -283,7 +362,7 @@ impl OrderedPrimeDoc {
         let new_label =
             PrimeLabel::from_parts(&parent_value * &UBig::from(fresh), UBig::from(fresh), odd_mode);
         self.doc.labels.set(node, new_label.clone());
-        let mut relabeled = 1usize;
+        let mut relabeled = vec![node];
         // Descendants inherit the new factor; self-labels stay put, so the
         // SC table needs no further changes.
         let mut stack: Vec<(NodeId, PrimeLabel)> = tree
@@ -294,7 +373,7 @@ impl OrderedPrimeDoc {
             let self_label = self.doc.labels.label(n).self_label().clone();
             let updated = PrimeLabel::child_of(&parent_label, self_label);
             self.doc.labels.set(n, updated.clone());
-            relabeled += 1;
+            relabeled.push(n);
             for c in tree.element_children(n) {
                 stack.push((c, updated.clone()));
             }

@@ -39,6 +39,17 @@ impl<L: LabelOps> LabeledDoc<L> {
         self.labels.get(node.index()).and_then(|slot| slot.as_ref())
     }
 
+    /// Drops `node`'s label, returning it if one was set. O(n) in the number
+    /// of labeled nodes (the document-order list is compacted) — fine for
+    /// mutation-sized batches, which is the only caller.
+    pub fn remove(&mut self, node: NodeId) -> Option<L> {
+        let taken = self.labels.get_mut(node.index()).and_then(|slot| slot.take());
+        if taken.is_some() {
+            self.order.retain(|&n| n != node);
+        }
+        taken
+    }
+
     /// The label of `node`.
     ///
     /// # Panics
@@ -235,6 +246,18 @@ mod tests {
         let d1 = doc_with(&tree, &[(ids[0], 1), (ids[1], 2)]);
         let d2 = d1.clone();
         assert_eq!(d1.diff_count(&d2), DiffReport { changed: 0, new_count: 0 });
+    }
+
+    #[test]
+    fn remove_drops_label_and_order_entry() {
+        let tree = parse("<a><b/><c/></a>").unwrap();
+        let ids: Vec<NodeId> = tree.elements().collect();
+        let mut d = doc_with(&tree, &[(ids[0], 1), (ids[1], 2), (ids[2], 3)]);
+        assert_eq!(d.remove(ids[1]), Some(N(2)));
+        assert_eq!(d.remove(ids[1]), None, "second remove is a no-op");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.nodes(), &[ids[0], ids[2]]);
+        assert!(d.get(ids[1]).is_none());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   experiments (Figures 16–18) are measured in.
 //! * [`BitString`] — bit-packed variable-length labels for the prefix
 //!   schemes.
+//! * [`DynamicScheme`] / [`LabeledStore`] — the mutation protocol: typed
+//!   insert/delete/move operations with per-mutation [`RelabelReport`]s, so
+//!   every scheme's update cost is measured by the same harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +28,14 @@
 pub mod bitstring;
 pub mod codec;
 pub mod doc;
+pub mod dynamic;
 pub mod scheme;
 
 pub use bitstring::BitString;
 pub use codec::{CodecError, LabelCodec};
 pub use doc::{LabelSizeStats, LabeledDoc};
-pub use scheme::{LabelOps, OrderedLabel, Scheme};
+pub use dynamic::{
+    copy_fragment, full_relabel, graft_fragment, DynamicError, DynamicScheme, InsertPos,
+    LabeledStore, Mutation, RelabelReport,
+};
+pub use scheme::{assert_parent_contract, LabelOps, OrderedLabel, Scheme};

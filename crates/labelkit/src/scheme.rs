@@ -16,8 +16,27 @@ pub trait LabelOps: Clone + Eq + std::fmt::Debug {
     /// `true` iff the node labeled `self` is the **parent** of the node
     /// labeled `other`.
     ///
-    /// The default refines the ancestor test via [`LabelOps::level_hint`];
-    /// schemes with a cheaper direct test override it.
+    /// # Contract
+    ///
+    /// The default refines the ancestor test via [`LabelOps::level_hint`]:
+    /// it returns `true` only when **both** labels report a level and they
+    /// differ by exactly one. A label type without `level_hint` therefore
+    /// gets a default that **silently answers `false` even for true
+    /// parents** — it degrades, it does not panic. Such schemes MUST
+    /// override this method with a direct test or the parent axis is
+    /// unusable. In this workspace:
+    ///
+    /// * prime overrides it (`parent.value * child.self_label ==
+    ///   child.value`, no levels involved),
+    /// * the prefix and Dewey labels override it (ancestor + one extra
+    ///   component, cheaper than the two-level comparison),
+    /// * interval and floatival labels carry levels and rely on the default.
+    ///
+    /// Overrides must agree with the default's semantics: `is_parent_of`
+    /// implies `is_ancestor_of`, and when both labels do expose levels, a
+    /// parent's level is exactly one less than its child's.
+    /// [`assert_parent_contract`] checks this coherence under
+    /// `debug_assertions`; scheme test suites run it over whole documents.
     fn is_parent_of(&self, other: &Self) -> bool {
         self.is_ancestor_of(other)
             && match (self.level_hint(), other.level_hint()) {
@@ -33,6 +52,38 @@ pub trait LabelOps: Clone + Eq + std::fmt::Debug {
     /// interval labels don't).
     fn level_hint(&self) -> Option<usize> {
         None
+    }
+}
+
+/// Debug-checks the [`LabelOps::is_parent_of`] contract on one label pair:
+///
+/// * parent ⇒ ancestor (an override must never claim parenthood over a
+///   non-descendant);
+/// * ancestor + both levels present + levels adjacent ⇒ parent (an override
+///   must not be *stricter* than the level-refined ancestor test);
+/// * parent + both levels present ⇒ levels adjacent.
+///
+/// Compiles to nothing in release builds. Call it from scheme tests over
+/// every (or a sampled) label pair of a labeled document; it panics with a
+/// description of the violated clause.
+pub fn assert_parent_contract<L: LabelOps>(a: &L, b: &L) {
+    if cfg!(debug_assertions) {
+        let parent = a.is_parent_of(b);
+        let ancestor = a.is_ancestor_of(b);
+        debug_assert!(
+            !parent || ancestor,
+            "is_parent_of claims {a:?} is parent of {b:?} but is_ancestor_of denies it"
+        );
+        if let (Some(la), Some(lb)) = (a.level_hint(), b.level_hint()) {
+            debug_assert!(
+                !(ancestor && lb == la + 1) || parent,
+                "{a:?} is an ancestor of {b:?} one level up, but is_parent_of denies it"
+            );
+            debug_assert!(
+                !parent || lb == la + 1,
+                "is_parent_of claims {a:?} (level {la}) is parent of {b:?} (level {lb})"
+            );
+        }
     }
 }
 
@@ -90,5 +141,37 @@ mod tests {
         assert!(!root.is_parent_of(&grandchild), "ancestor but not parent");
         assert!(child.is_parent_of(&grandchild));
         assert!(!grandchild.is_parent_of(&child));
+        for x in [&root, &child, &grandchild] {
+            for y in [&root, &child, &grandchild] {
+                assert_parent_contract(x, y);
+            }
+        }
+    }
+
+    /// A label with no level information: the default parent test degrades
+    /// to constant `false` — the documented contract, checked explicitly.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Levelless {
+        start: u64,
+        end: u64,
+    }
+
+    impl LabelOps for Levelless {
+        fn is_ancestor_of(&self, other: &Self) -> bool {
+            self.start < other.start && other.end <= self.end
+        }
+        fn size_bits(&self) -> u64 {
+            128
+        }
+    }
+
+    #[test]
+    fn default_parent_test_degrades_to_false_without_level_hint() {
+        let parent = Levelless { start: 1, end: 10 };
+        let child = Levelless { start: 2, end: 9 };
+        assert!(parent.is_ancestor_of(&child));
+        assert!(!parent.is_parent_of(&child), "true parent, but no levels to refine with");
+        // The degraded answer still satisfies the coherence contract.
+        assert_parent_contract(&parent, &child);
     }
 }

@@ -5,10 +5,15 @@
 //! xmlprime label  <file.xml> [--scheme S] [--limit N]
 //! xmlprime query  <file.xml> <path> [--scheme S]
 //! xmlprime order  <file.xml> [--chunk N]
+//! xmlprime update <file.xml> <node#> (--tag T | --xml F) [--scheme S]
+//! xmlprime delete <file.xml> <node#> [--scheme S]
+//! xmlprime move   <file.xml> <node#> (before|child-of) <node#> [--scheme S]
 //! ```
 //!
 //! `<file.xml>` may be `-` for stdin. Schemes: `prime` (default),
 //! `prime-opt`, `interval`, `prefix1`, `prefix2`, `dewey`, `float`.
+//! The mutation commands run through the unified [`LabeledStore`] dynamic
+//! API and print the relabel cost the scheme actually paid.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -26,8 +31,30 @@ USAGE:
                     [--explain]  print the evaluation plan first
                     [--sql]      print the paper's SQL translation instead
     xmlprime order  <file.xml> [--chunk N]
+    xmlprime update <file.xml> <node#> [--scheme S] [--chunk N] [--gap G]
+                    --tag T [--before | --child | --parent]
+                    --xml '<frag/>' [--before | --child]
+    xmlprime delete <file.xml> <node#> [--scheme S] [--chunk N] [--gap G]
+    xmlprime move   <file.xml> <node#> (before|child-of) <node#>
+                    [--scheme S] [--chunk N] [--gap G]
 
     <file.xml> may be '-' to read from stdin.
+    <node#> is the 1-based document-order element index (see `label`).
+
+MUTATIONS:
+    update --tag T --before    new element T before node (default)
+    update --tag T --child     new element T as node's last child
+    update --tag T --parent    wrap node's subtree in a new element T
+    update --xml F             parse fragment F and insert it at the position
+    delete                     remove the node's subtree
+    move   before <n>          move the subtree before element n
+    move   child-of <n>        move the subtree to be element n's last child
+
+    `--scheme` picks the dynamic scheme (prime|interval|prefix1|prefix2|
+    dewey|float); `--chunk N` sets the prime SC chunk (default 5); `--gap G`
+    labels the interval scheme with spare room between ranks (default dense).
+    The exit report shows inserted/relabeled/removed label counts plus SC
+    side updates — the scheme's true update cost.
 
 SCHEMES (for `label`):
     prime       top-down prime scheme, no optimizations (default)
@@ -138,6 +165,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "label" => cmd_label(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "order" => cmd_order(&args[1..]),
+        "update" => cmd_update(&args[1..]),
+        "delete" => cmd_delete(&args[1..]),
+        "move" => cmd_move(&args[1..]),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -166,7 +196,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--explain", "--sql"];
+const BOOL_FLAGS: &[&str] = &["--explain", "--sql", "--before", "--child", "--parent"];
 
 fn positional(args: &[String]) -> Vec<&str> {
     let mut out = Vec::new();
@@ -377,4 +407,160 @@ fn cmd_order(args: &[String]) -> Result<(), CliError> {
         println!("  … ({} more)", tree.elements().count() - 30);
     }
     Ok(())
+}
+
+/// Dynamic-mutation failures: bad node references are usage errors (the
+/// numbers came from the command line), fragment problems are input
+/// errors, and scheme-side failures reuse the labeling classification.
+fn classify_dynamic(e: DynamicError) -> CliError {
+    match e {
+        DynamicError::UnknownNode(_)
+        | DynamicError::RootTarget(_)
+        | DynamicError::MoveIntoSelf { .. } => CliError::Usage(e.to_string()),
+        DynamicError::Fragment(m) => CliError::Input(format!("fragment: {m}")),
+        DynamicError::Scheme(inner) => match inner.downcast::<xmlprime::prime::Error>() {
+            Ok(prime_err) => classify_label(*prime_err),
+            Err(other) => CliError::Label(other.to_string()),
+        },
+    }
+}
+
+/// Resolves a 1-based document-order element index from the CLI.
+fn nth_element(tree: &XmlTree, spec: &str) -> Result<NodeId, CliError> {
+    let n: usize = spec
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| usage(format!("bad node number {spec:?} (1-based integer)")))?;
+    tree.elements().nth(n - 1).ok_or_else(|| {
+        usage(format!("node {n} out of range: document has {} elements", tree.elements().count()))
+    })
+}
+
+/// Shared flags of the mutation commands.
+struct MutationOpts {
+    scheme: String,
+    chunk: usize,
+    gap: Option<u64>,
+}
+
+fn mutation_opts(args: &[String]) -> Result<MutationOpts, CliError> {
+    let scheme = flag_value(args, "--scheme").unwrap_or("prime").to_string();
+    let chunk = match flag_value(args, "--chunk") {
+        Some(v) => v.parse().map_err(|_| usage(format!("bad --chunk {v:?}")))?,
+        None => 5,
+    };
+    let gap = match flag_value(args, "--gap") {
+        Some(v) => Some(v.parse().map_err(|_| usage(format!("bad --gap {v:?}")))?),
+        None => None,
+    };
+    Ok(MutationOpts { scheme, chunk, gap })
+}
+
+/// Builds a store for one dynamic scheme, applies the mutation, and
+/// reports `(report, labels now in the store)`.
+fn apply_mutation<S: DynamicScheme>(
+    scheme: S,
+    tree: XmlTree,
+    mutation: &Mutation,
+) -> Result<(RelabelReport, usize), CliError> {
+    let mut store = LabeledStore::build(scheme, tree).map_err(classify_dynamic)?;
+    let report = store.apply(mutation).map_err(classify_dynamic)?;
+    let labels = store.doc().len();
+    Ok((report, labels))
+}
+
+fn dispatch_mutation(
+    opts: &MutationOpts,
+    tree: XmlTree,
+    mutation: &Mutation,
+) -> Result<(), CliError> {
+    let (report, labels) = match opts.scheme.as_str() {
+        "prime" => apply_mutation(DynamicPrime::new(opts.chunk), tree, mutation)?,
+        "interval" => match opts.gap {
+            Some(g) if g >= 1 => apply_mutation(IntervalScheme::with_gap(g), tree, mutation)?,
+            Some(g) => return Err(usage(format!("--gap must be >= 1, got {g}"))),
+            None => apply_mutation(IntervalScheme::dense(), tree, mutation)?,
+        },
+        "prefix1" => apply_mutation(Prefix1Scheme, tree, mutation)?,
+        "prefix2" => apply_mutation(Prefix2Scheme, tree, mutation)?,
+        "dewey" => apply_mutation(DeweyScheme, tree, mutation)?,
+        "float" => apply_mutation(FloatIntervalScheme, tree, mutation)?,
+        other => {
+            return Err(usage(format!(
+                "unknown scheme {other:?} (mutations support prime|interval|prefix1|prefix2|dewey|float)"
+            )))
+        }
+    };
+    println!("inserted:     {}", report.inserted.len());
+    println!("relabeled:    {}", report.relabeled.len());
+    println!("removed:      {}", report.removed.len());
+    println!("side updates: {} (SC records)", report.side_updates);
+    println!("total cost:   {}", report.total_cost());
+    println!("labels now:   {labels}");
+    Ok(())
+}
+
+fn cmd_update(args: &[String]) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [file, node] = pos[..] else {
+        return Err(usage("update takes a file and a node number"));
+    };
+    let tree = load(file)?;
+    let target = nth_element(&tree, node)?;
+    let opts = mutation_opts(args)?;
+    let as_parent = args.iter().any(|a| a == "--parent");
+    let as_child = args.iter().any(|a| a == "--child");
+    let mutation = match (flag_value(args, "--tag"), flag_value(args, "--xml")) {
+        (Some(tag), None) => {
+            if as_parent {
+                Mutation::InsertParent { target, tag: tag.to_string() }
+            } else if as_child {
+                Mutation::InsertSubtree {
+                    pos: InsertPos::LastChildOf(target),
+                    xml: format!("<{tag}/>"),
+                }
+            } else {
+                Mutation::InsertBefore { anchor: target, tag: tag.to_string() }
+            }
+        }
+        (None, Some(xml)) => {
+            if as_parent {
+                return Err(usage("--parent requires --tag, not --xml"));
+            }
+            let pos =
+                if as_child { InsertPos::LastChildOf(target) } else { InsertPos::Before(target) };
+            Mutation::InsertSubtree { pos, xml: xml.to_string() }
+        }
+        _ => return Err(usage("update needs exactly one of --tag or --xml")),
+    };
+    dispatch_mutation(&opts, tree, &mutation)
+}
+
+fn cmd_delete(args: &[String]) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [file, node] = pos[..] else {
+        return Err(usage("delete takes a file and a node number"));
+    };
+    let tree = load(file)?;
+    let target = nth_element(&tree, node)?;
+    let opts = mutation_opts(args)?;
+    dispatch_mutation(&opts, tree, &Mutation::Delete { target })
+}
+
+fn cmd_move(args: &[String]) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [file, node, mode, dest] = pos[..] else {
+        return Err(usage("move takes a file, a node number, 'before' or 'child-of', and a destination node number"));
+    };
+    let tree = load(file)?;
+    let target = nth_element(&tree, node)?;
+    let dest = nth_element(&tree, dest)?;
+    let insert_pos = match mode {
+        "before" => InsertPos::Before(dest),
+        "child-of" => InsertPos::LastChildOf(dest),
+        other => return Err(usage(format!("bad move mode {other:?} (before|child-of)"))),
+    };
+    let opts = mutation_opts(args)?;
+    dispatch_mutation(&opts, tree, &Mutation::MoveSubtree { target, pos: insert_pos })
 }

@@ -54,10 +54,17 @@ pub use xp_xmltree as xmltree;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use xp_baselines::{DeweyScheme, IntervalScheme, Prefix1Scheme, Prefix2Scheme};
+    pub use xp_baselines::{
+        DeweyScheme, FloatIntervalScheme, IntervalScheme, Prefix1Scheme, Prefix2Scheme,
+    };
     pub use xp_bignum::UBig;
-    pub use xp_labelkit::{LabelOps, LabeledDoc, OrderedLabel, Scheme};
-    pub use xp_prime::{OrderedPrimeDoc, PrimeLabel, PrimeOptions, ScTable, TopDownPrime};
+    pub use xp_labelkit::{
+        DynamicError, DynamicScheme, InsertPos, LabelOps, LabeledDoc, LabeledStore, Mutation,
+        OrderedLabel, RelabelReport, Scheme,
+    };
+    pub use xp_prime::{
+        DynamicPrime, OrderedPrimeDoc, PrimeLabel, PrimeOptions, ScTable, TopDownPrime,
+    };
     pub use xp_query::{Evaluator, IntervalEvaluator, Path, Prefix2Evaluator, PrimeEvaluator};
     pub use xp_xmltree::{parse, NodeId, TreeStats, XmlTree};
 }

@@ -54,8 +54,28 @@ for site in sc.insert sc.insert.record sc.relabel sc.remove \
     XP_FAULT="$site:1" \
         cargo test -q --offline -p xp-query --test fault_injection env_matrix \
         > /dev/null
+    XP_FAULT="$site:1" \
+        cargo test -q --offline -p xp-query --test dynamic_differential dynamic_env_matrix \
+        > /dev/null
     echo "OK: pipeline survives injected fault at $site"
 done
+
+echo "==> dynamic-differential gate (every scheme vs relabel-from-scratch oracle)"
+# Random mutation sequences through LabeledStore for all six schemes; after
+# each step the incrementally patched LabelTable must answer queries on all
+# nine axes exactly like a table rebuilt from a from-scratch relabeling.
+# See crates/query/tests/dynamic_differential.rs and DESIGN.md §8.
+cargo test -q --offline -p xp-query --test dynamic_differential > /dev/null
+echo "OK: dynamic stores agree with the relabel oracle on every axis."
+
+echo "==> dynamic-API bench smoke (incremental table patch vs rebuild)"
+# Wall-clock gate for RelabelReport -> LabelTable patching: fails if the
+# leaf-insert patch median exceeds a full table rebuild at any size, or if
+# the patched row count grows with the document (it must stay O(report)).
+# Does not touch the checked-in results/bench_dynamic_api.json.
+XP_BENCH_SAMPLES=8 XP_BENCH_MIN_WINDOW_MS=5 \
+    cargo run -q --release --offline -p xp-bench --bin dynamic_api -- --smoke
+echo "OK: incremental LabelTable patching beats rebuild and stays O(report)."
 
 echo "==> SC-maintenance bench smoke (incremental insert vs rebuild)"
 # Small-size wall-clock gate for the incremental SC update path: fails if a
