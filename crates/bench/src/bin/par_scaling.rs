@@ -1,0 +1,54 @@
+//! Thread-scaling sweep for the `xp-par` execution layer.
+//!
+//! Default mode regenerates `results/bench_par_scaling.json`: the product
+//! tree, segmented sieving, and the prodtree-backed ordered document build
+//! (labeling + `ScTable::build` + `LabelTable::build`) at 1/2/4/8 worker
+//! threads, asserting along the way that every workload's output is
+//! byte-identical to the sequential run.
+//!
+//! `--smoke` is the `scripts/ci.sh` gate: small sizes, no JSON. Output
+//! identity is asserted unconditionally; the "parallel must not lose"
+//! timing check only runs when the host actually has ≥ 4 hardware threads,
+//! because on a single core the pooled run measures pure overhead.
+
+use xp_bench::experiments::par_scaling::{par_scaling, ParScalingConfig, THREAD_COUNTS};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke { ParScalingConfig::smoke() } else { ParScalingConfig::full() };
+    let stats = par_scaling(&cfg, !smoke);
+
+    println!();
+    println!("hardware threads: {}", stats.hardware_threads);
+    for workload in ["prodtree", "sieve", "sc_build"] {
+        for &t in &THREAD_COUNTS {
+            println!(
+                "{workload:>9}/t{t}: {:>12.0} ns (speedup {:.2}x)",
+                stats.median(workload, t),
+                stats.speedup(workload, t),
+            );
+        }
+    }
+
+    let mut failed = false;
+    if !stats.outputs_identical {
+        eprintln!("FAIL: parallel outputs differ from sequential");
+        failed = true;
+    }
+    if stats.hardware_threads >= 4 {
+        let speedup = stats.speedup("prodtree", 4);
+        if !(speedup >= 1.0) {
+            eprintln!("FAIL: parallel product tree at 4 threads is slower than sequential ({speedup:.2}x)");
+            failed = true;
+        }
+    } else {
+        println!(
+            "note: {} hardware thread(s) — timing gate skipped, determinism checked",
+            stats.hardware_threads
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("par-scaling checks passed: outputs byte-identical at every thread count");
+}

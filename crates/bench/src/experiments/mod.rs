@@ -1,6 +1,7 @@
 //! All experiments, one function per table/figure.
 
 pub mod dynamic_api;
+pub mod par_scaling;
 pub mod sizes;
 pub mod timing;
 pub mod updates;

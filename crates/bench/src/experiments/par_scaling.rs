@@ -1,0 +1,209 @@
+//! Thread-scaling experiment for the `xp-par` execution layer.
+//!
+//! Measures the four parallelized hot paths — the product tree, segmented
+//! sieving, top-down labeling, and the SC-table-backed ordered build plus
+//! its label table — at 1/2/4/8 worker threads, and checks the layer's
+//! core contract while it measures: every workload's output must be
+//! byte-identical at every thread count. Timing claims are only meaningful
+//! on multi-core hardware; output identity is meaningful everywhere, so
+//! [`ParScalingStats::outputs_identical`] is asserted unconditionally by
+//! the smoke gate while speedups are gated on
+//! `std::thread::available_parallelism()`.
+
+use crate::experiments::SEED;
+use xp_bignum::{prodtree, UBig};
+use xp_prime::OrderedPrimeDoc;
+use xp_primes::sieve::SegmentedSieve;
+use xp_query::LabelTable;
+use xp_testkit::bench::Harness;
+use xp_xmltree::XmlTree;
+
+/// Thread counts every workload is measured at.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Sizes for one run of the experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ParScalingConfig {
+    /// Factors fed to the product tree.
+    pub prodtree_factors: usize,
+    /// Segments sieved per call, and their length.
+    pub sieve_segments: usize,
+    /// Segment length for the sieve workload.
+    pub sieve_segment_len: u64,
+    /// Elements in the labeled document.
+    pub doc_nodes: usize,
+    /// SC chunk capacity for the ordered build.
+    pub chunk_capacity: usize,
+    /// Harness samples per measurement.
+    pub samples: usize,
+}
+
+impl ParScalingConfig {
+    /// The full sweep behind `results/bench_par_scaling.json`.
+    pub fn full() -> Self {
+        ParScalingConfig {
+            prodtree_factors: 4000,
+            sieve_segments: 8,
+            sieve_segment_len: 1 << 18,
+            doc_nodes: 4000,
+            chunk_capacity: 50,
+            samples: 10,
+        }
+    }
+
+    /// The CI smoke gate: small enough to run in seconds anywhere.
+    pub fn smoke() -> Self {
+        ParScalingConfig {
+            prodtree_factors: 1200,
+            sieve_segments: 4,
+            sieve_segment_len: 1 << 16,
+            doc_nodes: 800,
+            chunk_capacity: 20,
+            samples: 5,
+        }
+    }
+}
+
+/// What one run produced.
+#[derive(Debug, Clone)]
+pub struct ParScalingStats {
+    /// `available_parallelism()` on the measuring host.
+    pub hardware_threads: usize,
+    /// `(workload, threads, median ns)` for every measured cell.
+    pub medians: Vec<(&'static str, usize, f64)>,
+    /// `true` iff every workload's output matched the single-thread run
+    /// bit-for-bit at every thread count.
+    pub outputs_identical: bool,
+}
+
+impl ParScalingStats {
+    /// Median for one cell, `NaN` when missing.
+    pub fn median(&self, workload: &str, threads: usize) -> f64 {
+        self.medians
+            .iter()
+            .find(|&&(w, t, _)| w == workload && t == threads)
+            .map(|&(_, _, ns)| ns)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Sequential-to-parallel speedup for one cell (`> 1` is faster).
+    pub fn speedup(&self, workload: &str, threads: usize) -> f64 {
+        self.median(workload, 1) / self.median(workload, threads)
+    }
+}
+
+fn doc(nodes: usize) -> XmlTree {
+    xp_datagen::builders::random_tree(
+        SEED,
+        &xp_datagen::builders::RandomTreeParams {
+            nodes,
+            max_depth: 8,
+            max_fanout: 8,
+            tag_variety: 6,
+        },
+    )
+}
+
+/// Everything observable about one ordered build, for cross-thread-count
+/// comparison: node enumeration, label bytes, orders, and table rows.
+fn build_fingerprint(tree: &XmlTree, chunk_capacity: usize) -> String {
+    let built = OrderedPrimeDoc::build(tree, chunk_capacity).expect("bench doc builds");
+    let labels = built.labels();
+    let table = LabelTable::build(tree, labels);
+    let mut out = String::new();
+    for &node in labels.nodes() {
+        out.push_str(&format!(
+            "{node}:{:?}:{};",
+            labels.label(node),
+            built.order_of(node)
+        ));
+    }
+    for row in table.rows() {
+        out.push_str(&format!("{}:{}:{:?};", row.node, row.tag, row.text));
+    }
+    out
+}
+
+/// Runs the experiment. Writes `results/bench_par_scaling.json` only when
+/// `write_json` is set (the CI smoke run measures without clobbering the
+/// checked-in numbers).
+pub fn par_scaling(cfg: &ParScalingConfig, write_json: bool) -> ParScalingStats {
+    let factors: Vec<u64> =
+        (0..cfg.prodtree_factors as u64).map(|i| 0x8000_0000_0000_0001 | (i << 1)).collect();
+    let tree = doc(cfg.doc_nodes);
+
+    let mut group = Harness::new("par_scaling");
+    group.sample_size(cfg.samples);
+    let mut medians = Vec::new();
+    let mut outputs_identical = true;
+
+    let mut reference: Option<(UBig, Vec<u64>, String)> = None;
+    for &threads in &THREAD_COUNTS {
+        let (product, primes, build) = xp_par::with_threads(threads, || {
+            group.bench(&format!("prodtree/t{threads}"), || prodtree::product_par(&factors));
+            group.bench(&format!("sieve/t{threads}"), || {
+                SegmentedSieve::with_segment_len(cfg.sieve_segment_len)
+                    .next_segments(cfg.sieve_segments)
+            });
+            group.bench(&format!("sc_build/t{threads}"), || {
+                OrderedPrimeDoc::build(&tree, cfg.chunk_capacity).expect("bench doc builds")
+            });
+            (
+                prodtree::product_par(&factors),
+                SegmentedSieve::with_segment_len(cfg.sieve_segment_len)
+                    .next_segments(cfg.sieve_segments),
+                build_fingerprint(&tree, cfg.chunk_capacity),
+            )
+        });
+        match &reference {
+            None => reference = Some((product, primes, build)),
+            Some(r) => {
+                if (&product, &primes, &build) != (&r.0, &r.1, &r.2) {
+                    eprintln!("FAIL: outputs at {threads} threads differ from sequential");
+                    outputs_identical = false;
+                }
+            }
+        }
+    }
+
+    for r in group.results() {
+        if let Some((workload, t)) = r.name.rsplit_once("/t") {
+            if let Ok(threads) = t.parse::<usize>() {
+                // `name` borrows from the harness; map back to the static
+                // workload labels so the stats own their strings.
+                let label = match workload {
+                    "prodtree" => "prodtree",
+                    "sieve" => "sieve",
+                    _ => "sc_build",
+                };
+                medians.push((label, threads, r.median_ns));
+            }
+        }
+    }
+    if write_json {
+        group.finish();
+    }
+    ParScalingStats {
+        hardware_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        medians,
+        outputs_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_deterministic_across_thread_counts() {
+        let mut cfg = ParScalingConfig::smoke();
+        cfg.samples = 2;
+        cfg.prodtree_factors = 300;
+        cfg.doc_nodes = 200;
+        let stats = par_scaling(&cfg, false);
+        assert!(stats.outputs_identical);
+        assert_eq!(stats.medians.len(), 3 * THREAD_COUNTS.len());
+        assert!(stats.median("prodtree", 1).is_finite());
+        assert!(stats.speedup("sc_build", 4).is_finite());
+    }
+}

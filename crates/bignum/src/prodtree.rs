@@ -29,6 +29,39 @@ pub fn product(factors: &[u64]) -> UBig {
     }
 }
 
+/// Factor count below which [`product_par`] doesn't bother spawning: the
+/// whole product fits in a few hundred limb operations, far below the cost
+/// of a thread handoff.
+const PAR_THRESHOLD: usize = 64;
+
+/// [`product`] with the tree levels evaluated on the `xp_par` pool.
+///
+/// Leaf chunks multiply concurrently, then each pairwise combine level runs
+/// as a parallel map over adjacent pairs. Exact integer multiplication is
+/// associative, so the result is the same `UBig` — canonical representation,
+/// byte-identical — as [`product`] at any thread count; under an ambient
+/// budget of 1 thread this *is* [`product`].
+pub fn product_par(factors: &[u64]) -> UBig {
+    let threads = xp_par::threads();
+    if threads <= 1 || factors.len() < PAR_THRESHOLD {
+        return product(factors);
+    }
+    // Leaf level: near-equal chunks, a few per worker so stragglers even out.
+    let chunk = factors.len().div_ceil(threads * 4).max(2);
+    let mut level: Vec<UBig> = xp_par::par_chunks(factors, chunk, product);
+    // Combine level by level; the top levels hold the Karatsuba-sized
+    // multiplications, and each level's pairs are independent.
+    while level.len() > 1 {
+        level = xp_par::par_map_indexed(level.len().div_ceil(2), |i| {
+            match level.get(2 * i + 1) {
+                Some(b) => level[2 * i].clone() * b.clone(),
+                None => level[2 * i].clone(),
+            }
+        });
+    }
+    level.pop().unwrap_or_else(UBig::one)
+}
+
 /// Budgeted [`product`]: refuses — before multiplying anything — if the
 /// result could exceed `max_bits` bits, using the conservative bound
 /// `Σ bit_len(fᵢ)` (an overshoot of at most `k-1` bits). Each internal
@@ -91,6 +124,19 @@ mod tests {
     fn large_batch_matches_sequential() {
         let factors: Vec<u64> = (0..500).map(|i| 0x9e37_79b9u64.wrapping_mul(i + 1) | 1).collect();
         assert_eq!(product(&factors), sequential(&factors));
+    }
+
+    #[test]
+    fn parallel_product_is_byte_identical() {
+        let factors: Vec<u64> = (0..700).map(|i| 0x9e37_79b9u64.wrapping_mul(i + 1) | 1).collect();
+        let expected = product(&factors);
+        for threads in [1, 2, 8] {
+            for k in [0, 1, 2, 63, 64, 65, 700] {
+                let got = xp_par::with_threads(threads, || product_par(&factors[..k]));
+                assert_eq!(got, product(&factors[..k]), "threads={threads} k={k}");
+            }
+            assert_eq!(xp_par::with_threads(threads, || product_par(&factors)), expected);
+        }
     }
 
     #[test]

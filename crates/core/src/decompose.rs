@@ -105,30 +105,41 @@ impl DecomposedPrimeDoc {
         // "descendants until the next cut"; we label by walking from each
         // root with a fresh scheme, mirroring the top-down assignment but
         // stopping at subtree boundaries. Easiest correct route: build a
-        // shadow XmlTree per subtree, then map labels back.
-        let mut labels: HashMap<NodeId, DecomposedLabel> = HashMap::new();
+        // shadow XmlTree per subtree, then map labels back. Every subtree
+        // draws from its own fresh pool (that reuse of the small primes IS
+        // the size saving), so subtrees are fully independent and label
+        // concurrently on the xp_par pool; results merge in subtree order,
+        // making the map's contents thread-count-independent.
         let mut anchors: Vec<Option<PrimeLabel>> = vec![None; roots.len()];
         let mut parent_subtree: Vec<Option<SubtreeId>> = vec![None; roots.len()];
-        for (idx, &root) in roots.iter().enumerate() {
-            let id = SubtreeId(idx as u32);
-            // Collect this subtree's nodes (preorder) and build the shadow.
-            let mut shadow = XmlTree::new("s");
-            let mut map: Vec<(NodeId, NodeId)> = vec![(root, shadow.root())];
-            let mut walk: Vec<(NodeId, NodeId)> = vec![(root, shadow.root())];
-            while let Some((orig, copy)) = walk.pop() {
-                for child in tree.element_children(orig) {
-                    if subtree_of[&child] != id {
-                        continue; // next cut: child starts its own subtree
+        let per_subtree: Vec<Vec<(NodeId, DecomposedLabel)>> =
+            xp_par::par_map_indexed(roots.len(), |idx| {
+                let root = roots[idx];
+                let id = SubtreeId(idx as u32);
+                // Collect this subtree's nodes (preorder) and build the shadow.
+                let mut shadow = XmlTree::new("s");
+                let mut map: Vec<(NodeId, NodeId)> = vec![(root, shadow.root())];
+                let mut walk: Vec<(NodeId, NodeId)> = vec![(root, shadow.root())];
+                while let Some((orig, copy)) = walk.pop() {
+                    for child in tree.element_children(orig) {
+                        if subtree_of[&child] != id {
+                            continue; // next cut: child starts its own subtree
+                        }
+                        let c = shadow.append_element(copy, "s");
+                        map.push((child, c));
+                        walk.push((child, c));
                     }
-                    let c = shadow.append_element(copy, "s");
-                    map.push((child, c));
-                    walk.push((child, c));
                 }
-            }
-            let local = TopDownPrime::unoptimized().label(&shadow);
-            for (orig, copy) in map {
-                labels.insert(orig, DecomposedLabel { subtree: id, local: local.label(copy).clone() });
-            }
+                let local = TopDownPrime::unoptimized().label(&shadow);
+                map.into_iter()
+                    .map(|(orig, copy)| {
+                        (orig, DecomposedLabel { subtree: id, local: local.label(copy).clone() })
+                    })
+                    .collect()
+            });
+        let mut labels: HashMap<NodeId, DecomposedLabel> = HashMap::new();
+        for subtree_labels in per_subtree {
+            labels.extend(subtree_labels);
         }
 
         // Pass 3: anchors + the global tree.

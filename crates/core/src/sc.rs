@@ -369,26 +369,46 @@ impl ScTable {
             product_bit_budget: DEFAULT_PRODUCT_BIT_BUDGET,
             journal: Journal::default(),
         };
-        for chunk in items.chunks(chunk_capacity) {
+        // Each chunk's record — the product tree, CRT basis, and SC fold —
+        // depends only on that chunk, so records solve concurrently on the
+        // xp_par pool. Merging in chunk order afterwards reproduces the
+        // sequential error precedence exactly: chunk i's solve error
+        // surfaces before chunk i's duplicate-label check, which surfaces
+        // before anything about chunk i+1. Fault-injection state (hit
+        // counters, PRNG) is per-thread, so when any site is armed the
+        // chunks solve sequentially on this thread instead — an Nth trigger
+        // must count `bignum.mul` hits in document order.
+        let budget = table.product_bit_budget;
+        let solve = |chunk: &[(u64, u64)]| -> Result<ScRecord, ScError> {
             let members: Vec<u64> = chunk.iter().map(|&(m, _)| m).collect();
             let orders: Vec<u64> = chunk.iter().map(|&(_, o)| o).collect();
-            let product = prodtree::product_within(&members, table.product_bit_budget)?;
+            let product = prodtree::product_within(&members, budget)?;
             let basis = build_basis(&members, &product)?;
             let sc = sc_from_basis(&basis, &orders, &product);
-            let idx = table.records.len();
-            for &m in &members {
-                if table.locator.insert(m, idx).is_some() {
-                    return Err(ScError::DuplicateSelfLabel(m));
-                }
-            }
-            table.records.push(ScRecord {
+            Ok(ScRecord {
                 max_self: members.iter().copied().max().unwrap_or(0),
                 members,
                 orders,
                 product,
                 sc,
                 basis,
-            });
+            })
+        };
+        let chunks: Vec<&[(u64, u64)]> = items.chunks(chunk_capacity).collect();
+        let solved: Vec<Result<ScRecord, ScError>> = if xp_testkit::fault::active() {
+            chunks.iter().map(|chunk| solve(chunk)).collect()
+        } else {
+            xp_par::par_map(&chunks, |chunk| solve(chunk))
+        };
+        for record in solved {
+            let record = record?;
+            let idx = table.records.len();
+            for &m in &record.members {
+                if table.locator.insert(m, idx).is_some() {
+                    return Err(ScError::DuplicateSelfLabel(m));
+                }
+            }
+            table.records.push(record);
         }
         Ok(table)
     }

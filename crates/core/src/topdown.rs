@@ -104,7 +104,22 @@ impl TopDownPrime {
 
     /// Labels the tree and returns the full dynamic document (labels + the
     /// allocator state needed for incremental updates).
+    ///
+    /// Runs the two-phase parallel pipeline (classify prime draws
+    /// sequentially, materialize label products on the `xp_par` pool) for
+    /// every configuration except Opt3, whose label sharing is inherently
+    /// cross-subtree and stays on the recursive path. Both paths produce
+    /// bit-identical labels and allocator state.
     pub fn label_document(&self, tree: &XmlTree) -> PrimeDoc {
+        if self.opts.combine_repeated_paths {
+            return self.label_document_sequential(tree);
+        }
+        self.label_document_parallel(tree)
+    }
+
+    /// The original recursive labeling walk: one node at a time, drawing
+    /// from the pool at the moment each node is visited.
+    fn label_document_sequential(&self, tree: &XmlTree) -> PrimeDoc {
         let odd_mode = self.opts.leaf_powers_of_two;
         // Opt1: reserving more primes than the root has children would only
         // take small primes away from the rest of the tree, so clamp the
@@ -132,6 +147,147 @@ impl TopDownPrime {
             &mut leaf_counters,
             signatures.as_ref(),
         );
+        PrimeDoc { labels, pool, opts: self.opts.clone(), leaf_counters, odd_mode }
+    }
+
+    /// Parallel labeling in two phases, bit-identical to
+    /// [`label_document_sequential`](Self::label_document_sequential):
+    ///
+    /// 1. **Classify + pre-allocate** (sequential, no bignum work): walk the
+    ///    tree in the exact DFS preorder of the recursive path and record
+    ///    *which kind* of self-label each node gets — `2^n` (Opt2), the
+    ///    i-th reserved prime (Opt1, modeling the fallback to the general
+    ///    pool when the reservation runs dry), or the g-th general prime.
+    ///    Then draw all general primes in one [`PrimePool::take_general`]
+    ///    batch (itself parallel sieving). Because the classification order
+    ///    equals the recursive draw order, node→prime assignment — and the
+    ///    pool's final state, which incremental updates resume from — is
+    ///    identical at any thread count.
+    /// 2. **Materialize** (parallel): each label is `parent_label × self`,
+    ///    so labels compute level by level, every node of a wave in a
+    ///    `par_map` — the bignum multiplications dominate the runtime.
+    ///    The result per node is a pure function of its path, independent
+    ///    of scheduling.
+    ///
+    /// Finally labels commit into the [`LabeledDoc`] in preorder, matching
+    /// the recursive path's insertion order record for record.
+    fn label_document_parallel(&self, tree: &XmlTree) -> PrimeDoc {
+        let odd_mode = self.opts.leaf_powers_of_two;
+        let root = tree.root();
+        let reserve = self.opts.reserved_top_primes.min(tree.element_children(root).count());
+        let mut leaf_counters: HashMap<NodeId, u32> = HashMap::new();
+
+        // Phase 1a: classify every non-root element in DFS preorder.
+        enum Kind {
+            Power2(u32),
+            Reserved(usize),
+            General(usize),
+        }
+        let mut kinds: Vec<(NodeId, Kind)> = Vec::new();
+        let mut reserved_left = reserve;
+        let mut reserved_next = 0usize;
+        let mut general_next = 0usize;
+        // Stack of (node, parent, node's depth); children are pushed in
+        // reverse so each node pops — and draws its prime index — at the
+        // moment the recursive walk would visit it: c₁, c₁'s whole subtree,
+        // then c₂. Draw order IS the prime assignment, so this order must
+        // match the recursion exactly.
+        let mut stack: Vec<(NodeId, NodeId, usize)> = Vec::new();
+        for child in tree.element_children(root).collect::<Vec<_>>().into_iter().rev() {
+            stack.push((child, root, 1));
+        }
+        while let Some((node, parent, depth)) = stack.pop() {
+            let kind = if self.opts.leaf_powers_of_two && tree.is_leaf_element(node) {
+                let counter = leaf_counters.entry(parent).or_insert(0);
+                if *counter < self.opts.leaf_power_threshold {
+                    *counter += 1;
+                    Kind::Power2(*counter)
+                } else {
+                    general_next += 1;
+                    Kind::General(general_next - 1)
+                }
+            } else if depth == 1 && self.opts.reserved_top_primes > 0 {
+                if reserved_left > 0 {
+                    reserved_left -= 1;
+                    reserved_next += 1;
+                    Kind::Reserved(reserved_next - 1)
+                } else {
+                    // The pool's reserved() falls back to the general
+                    // stream once the reservation is spent.
+                    general_next += 1;
+                    Kind::General(general_next - 1)
+                }
+            } else {
+                general_next += 1;
+                Kind::General(general_next - 1)
+            };
+            kinds.push((node, kind));
+            for child in tree.element_children(node).collect::<Vec<_>>().into_iter().rev() {
+                stack.push((child, node, depth + 1));
+            }
+        }
+
+        // Phase 1b: draw the pre-allocated prime ranges.
+        let mut pool = PrimePool::new(reserve, odd_mode);
+        let reserved_drawn: Vec<u64> = (0..reserved_next).map(|_| pool.reserved()).collect();
+        let generals = pool.take_general(general_next);
+        assert_eq!(generals.len(), general_next, "prime stream is unbounded");
+
+        let cap = tree
+            .elements()
+            .map(|n| n.index())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut self_vals: Vec<Option<UBig>> = vec![None; cap];
+        for (node, kind) in kinds {
+            let value = match kind {
+                Kind::Power2(n) => UBig::power_of_two(u64::from(n)),
+                Kind::Reserved(i) => UBig::from(reserved_drawn[i]),
+                Kind::General(g) => UBig::from(generals[g]),
+            };
+            self_vals[node.index()] = Some(value);
+        }
+
+        // Phase 2: materialize label products wave by wave.
+        let root_label = PrimeLabel::root(odd_mode);
+        let mut label_of: Vec<Option<PrimeLabel>> = vec![None; cap];
+        label_of[root.index()] = Some(root_label);
+        let mut frontier: Vec<NodeId> = vec![root];
+        while !frontier.is_empty() {
+            let wave: Vec<(NodeId, NodeId)> = frontier
+                .iter()
+                .flat_map(|&n| tree.element_children(n).map(move |c| (c, n)))
+                .collect();
+            if wave.is_empty() {
+                break;
+            }
+            let computed: Vec<PrimeLabel> = xp_par::par_map(&wave, |&(child, parent)| {
+                let parent_label = match &label_of[parent.index()] {
+                    Some(l) => l,
+                    None => unreachable!("parent labeled in an earlier wave"),
+                };
+                let self_label = match &self_vals[child.index()] {
+                    Some(s) => s.clone(),
+                    None => unreachable!("every non-root element was classified"),
+                };
+                PrimeLabel::child_of(parent_label, self_label)
+            });
+            for (&(child, _), label) in wave.iter().zip(computed) {
+                label_of[child.index()] = Some(label);
+            }
+            frontier = wave.into_iter().map(|(c, _)| c).collect();
+        }
+
+        // Commit in document order — LabeledDoc records insertion order, and
+        // downstream consumers (CSV writers, the SC table) iterate it.
+        let mut labels = LabeledDoc::new(tree);
+        for node in tree.elements() {
+            match label_of[node.index()].take() {
+                Some(l) => labels.set(node, l),
+                None => unreachable!("every element was labeled"),
+            }
+        }
         PrimeDoc { labels, pool, opts: self.opts.clone(), leaf_counters, odd_mode }
     }
 
@@ -613,6 +769,59 @@ mod tests {
         .size_stats()
         .max_bits;
         assert!(opt3 < plain / 2, "opt3 {opt3} vs plain {plain}");
+    }
+
+    #[test]
+    fn parallel_labeling_is_bit_identical_to_recursive() {
+        // Mixed shape: wide fan-out, a deep chain, leafy clusters, and more
+        // top-level nodes than the Opt1 reservation covers (exercising the
+        // reserved→general fallback the classifier models).
+        let mut src = String::from("<r>");
+        for i in 0..20 {
+            src.push_str(&format!("<s{i}><m><x/><y/><z/></m><n/></s{i}>"));
+        }
+        src.push_str("<deep><d1><d2><d3><d4><d5/></d4></d3></d2></d1></deep></r>");
+        let tree = parse(&src).unwrap();
+        let schemes = [
+            TopDownPrime::unoptimized(),
+            TopDownPrime::with_reserved(4), // fewer than the 21 top nodes
+            TopDownPrime::optimized(),
+            TopDownPrime::with_options(PrimeOptions {
+                leaf_powers_of_two: true,
+                leaf_power_threshold: 2, // forces the Opt2 prime fallback
+                reserved_top_primes: 8,
+                ..Default::default()
+            })
+            .unwrap(),
+        ];
+        for (i, scheme) in schemes.iter().enumerate() {
+            let seq = scheme.label_document_sequential(&tree);
+            for threads in [1, 2, 8] {
+                let par =
+                    xp_par::with_threads(threads, || scheme.label_document_parallel(&tree));
+                assert_eq!(
+                    par.labels.nodes(),
+                    seq.labels.nodes(),
+                    "scheme {i} threads {threads}: insertion order"
+                );
+                for node in tree.elements() {
+                    assert_eq!(
+                        par.labels.label(node),
+                        seq.labels.label(node),
+                        "scheme {i} threads {threads} node {node}"
+                    );
+                }
+                assert_eq!(par.leaf_counters, seq.leaf_counters, "scheme {i}");
+                // The allocator must resume incremental updates from the
+                // same position: the next primes drawn must agree.
+                let (mut par, mut seq2) = (par, seq.clone());
+                for _ in 0..4 {
+                    assert_eq!(par.next_prime(), seq2.next_prime(), "scheme {i}");
+                }
+                assert_eq!(par.pool.handed_out(), seq2.pool.handed_out());
+                assert_eq!(par.pool.reserved_remaining(), seq2.pool.reserved_remaining());
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,13 @@ use xp_xmltree::XmlTree;
 /// the defining property of a labeling scheme (§1: "the relationships between
 /// two nodes can be uniquely and quickly determined simply by examining their
 /// labels").
-pub trait LabelOps: Clone + Eq + std::fmt::Debug {
+///
+/// Labels are plain values (`Send + Sync`): table builds and structural
+/// joins fan label comparisons out across the `xp-par` worker pool, so a
+/// label type must be safe to share and move across threads. Every label in
+/// this workspace is an owned integer/string structure, and instrumentation
+/// wrappers use atomics, so the bounds cost nothing.
+pub trait LabelOps: Clone + Eq + std::fmt::Debug + Send + Sync {
     /// `true` iff the node labeled `self` is a **proper ancestor** of the
     /// node labeled `other`.
     fn is_ancestor_of(&self, other: &Self) -> bool;

@@ -38,9 +38,32 @@ impl PrimeIterator {
     }
 
     fn refill_if_empty(&mut self) {
-        while self.buf.as_slice().is_empty() {
+        while self.buf.as_slice().is_empty() && !self.sieve.is_exhausted() {
             self.buf = self.sieve.next_segment().into_iter();
         }
+    }
+
+    /// Takes the next `n` primes in one call, pulling several sieve windows
+    /// at a time so the sieving can run on the `xp_par` pool. The returned
+    /// primes — and the stream position afterwards — are identical to `n`
+    /// successive [`next`](Iterator::next) calls at any thread count;
+    /// surplus primes from the last batch stay buffered.
+    pub fn take_many(&mut self, n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            if self.buf.as_slice().is_empty() {
+                let k = xp_par::threads().clamp(1, 64);
+                let batch = self.sieve.next_segments(k);
+                if batch.is_empty() && self.sieve.is_exhausted() {
+                    break; // the u64 primes have genuinely run out
+                }
+                self.buf = batch.into_iter();
+                continue;
+            }
+            let take = (n - out.len()).min(self.buf.as_slice().len());
+            out.extend(self.buf.by_ref().take(take));
+        }
+        out
     }
 }
 
@@ -85,6 +108,21 @@ mod tests {
         // Enough primes to consume several 2^16-wide segments.
         let nth_20000 = PrimeIterator::new().nth(19_999).unwrap();
         assert_eq!(nth_20000, 224_737);
+    }
+
+    #[test]
+    fn take_many_matches_single_steps() {
+        for threads in [1, 4] {
+            let bulk = xp_par::with_threads(threads, || {
+                let mut it = PrimeIterator::new();
+                let mut head = it.take_many(1000);
+                head.extend(it.take_many(500)); // continues from the buffer
+                head.push(it.next().unwrap()); // and interleaves with next()
+                head
+            });
+            let stepped: Vec<u64> = PrimeIterator::new().take(1501).collect();
+            assert_eq!(bulk, stepped, "threads={threads}");
+        }
     }
 
     #[test]

@@ -78,6 +78,17 @@ impl PrimePool {
         self.general.next().expect("prime stream is unbounded")
     }
 
+    /// Draws the next `n` general-pool primes in one call — the bulk form
+    /// of [`general_prime`](Self::general_prime), identical to `n` single
+    /// draws but sieved in batches (and in parallel under `xp_par`). The
+    /// parallel labeling path uses this to pre-allocate per-subtree prime
+    /// ranges so assignment order stays deterministic.
+    pub fn take_general(&mut self, n: usize) -> Vec<u64> {
+        let primes = self.general.take_many(n);
+        self.handed_out += primes.len() as u64;
+        primes
+    }
+
     /// Remaining reserved primes (for diagnostics and tests).
     pub fn reserved_remaining(&self) -> &[u64] {
         &self.reserved[self.reserved_next..]

@@ -77,15 +77,81 @@ impl Sieve {
     }
 }
 
+/// Sieves one window `[lo, hi]` (both inclusive) against a sorted slice of
+/// base primes, returning the surviving numbers in increasing order.
+///
+/// A number `n` in the window is excluded iff some base prime `p` divides
+/// it with `n >= p²` — i.e. multiples of each base prime are marked starting
+/// at its square, so base primes that fall inside the window survive. When
+/// `base` contains every prime `<= isqrt(hi)`, the survivors `>= 2` are
+/// exactly the primes in the window.
+///
+/// All arithmetic is overflow-checked: windows with `hi` at `u64::MAX` and
+/// base primes above `2³²` (whose squares exceed `u64::MAX`) are handled —
+/// a stride or square that would wrap simply falls outside the window.
+///
+/// # Panics
+/// Panics if the window is wider than the address space (`hi - lo` must fit
+/// in `usize`); practical windows are a few KiB to MiB.
+pub fn sieve_window(base: &[u64], lo: u64, hi: u64) -> Vec<u64> {
+    if hi < lo {
+        return Vec::new();
+    }
+    let width = usize::try_from(hi - lo).unwrap_or_else(|_| {
+        panic!("window [{lo}, {hi}] is wider than the address space")
+    });
+    let mut composite = vec![false; width + 1];
+    for &p in base {
+        // `base` is sorted, so once p² clears the window (or overflows u64,
+        // which implies it clears any window) every later prime does too.
+        let Some(sq) = p.checked_mul(p) else { break };
+        if sq > hi {
+            break;
+        }
+        // First marked multiple: p² itself, or the first multiple of p at or
+        // above `lo`. The rounding `ceil(lo / p) · p` can exceed u64::MAX
+        // when `lo` sits within p of the top — then nothing to mark.
+        let start = if sq >= lo {
+            sq
+        } else {
+            match lo.div_ceil(p).checked_mul(p) {
+                Some(s) => s,
+                None => continue,
+            }
+        };
+        let mut m = start;
+        while m <= hi {
+            composite[(m - lo) as usize] = true;
+            match m.checked_add(p) {
+                Some(next) => m = next,
+                None => break, // the next stride would wrap past u64::MAX
+            }
+        }
+    }
+    composite
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| !c)
+        .map(|(i, _)| lo + i as u64)
+        .filter(|&n| n >= 2)
+        .collect()
+}
+
 /// A segmented sieve: produces primes window by window without materializing
 /// a bit per integer up to the high-water mark. Backs [`crate::PrimeIterator`].
 #[derive(Debug, Clone)]
 pub struct SegmentedSieve {
-    /// Primes up to the square root of the current frontier.
+    /// Primes up to `base_limit`, grown append-only as the frontier advances.
     base: Vec<u64>,
+    /// The base is complete through this bound: every prime `<= base_limit`
+    /// is in `base`.
+    base_limit: u64,
     /// Next unsieved number (inclusive).
     frontier: u64,
     segment_len: u64,
+    /// Set once the frontier has passed `u64::MAX`; every later window is
+    /// empty (rather than re-sieving a saturated frontier forever).
+    exhausted: bool,
 }
 
 impl SegmentedSieve {
@@ -94,49 +160,120 @@ impl SegmentedSieve {
 
     /// Creates a segmented sieve starting at 2.
     pub fn new() -> Self {
-        SegmentedSieve { base: Vec::new(), frontier: 2, segment_len: Self::DEFAULT_SEGMENT }
+        Self::with_segment_len(Self::DEFAULT_SEGMENT)
     }
 
     /// Creates a segmented sieve with a custom window width (min 2).
     pub fn with_segment_len(segment_len: u64) -> Self {
-        SegmentedSieve { base: Vec::new(), frontier: 2, segment_len: segment_len.max(2) }
+        SegmentedSieve {
+            base: Vec::new(),
+            base_limit: 0,
+            frontier: 2,
+            segment_len: segment_len.max(2),
+            exhausted: false,
+        }
+    }
+
+    /// `true` once the sieve has emitted every window up to `u64::MAX`;
+    /// all subsequent [`next_segment`](Self::next_segment) calls return
+    /// empty vectors.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The base primes accumulated so far (complete through the square root
+    /// of the highest window sieved). Exposed so tests can assert the base
+    /// is only ever appended to, never rebuilt.
+    pub fn base(&self) -> &[u64] {
+        &self.base
+    }
+
+    /// Extends the base so it contains every prime `<= need`, by sieving
+    /// only the new range `(base_limit, need]` against the existing base —
+    /// never rebuilding from scratch. Each round can certify primality up
+    /// to `base_limit²`, so very large jumps take a few doubling rounds.
+    fn ensure_base(&mut self, need: u64) {
+        if need <= self.base_limit {
+            return;
+        }
+        if self.base.is_empty() {
+            let sieve = Sieve::new(need);
+            self.base = sieve.primes().collect();
+            self.base_limit = need;
+            return;
+        }
+        while self.base_limit < need {
+            let reach = self.base_limit.saturating_mul(self.base_limit);
+            let next = need.min(reach);
+            let fresh = sieve_window(&self.base, self.base_limit + 1, next);
+            self.base.extend(fresh);
+            self.base_limit = next;
+        }
+    }
+
+    /// Computes the bounds of the next window without sieving it: returns
+    /// `(lo, hi)` inclusive and advances the frontier, flipping
+    /// `exhausted` when the window reaches `u64::MAX`.
+    fn advance_window(&mut self) -> Option<(u64, u64)> {
+        if self.exhausted {
+            return None;
+        }
+        let lo = self.frontier;
+        let hi = lo.saturating_add(self.segment_len - 1);
+        match hi.checked_add(1) {
+            Some(next) => self.frontier = next,
+            None => self.exhausted = true,
+        }
+        Some((lo, hi))
     }
 
     /// Sieves the next window and returns its primes in increasing order.
+    /// Returns an empty vector once the sieve is [exhausted](Self::is_exhausted).
     pub fn next_segment(&mut self) -> Vec<u64> {
-        let lo = self.frontier;
-        let hi = lo.saturating_add(self.segment_len); // exclusive
-        self.frontier = hi;
+        let Some((lo, hi)) = self.advance_window() else {
+            return Vec::new();
+        };
+        self.ensure_base(hi.isqrt());
+        sieve_window(&self.base, lo, hi)
+    }
 
-        // Extend the base primes to cover sqrt(hi).
-        let need = hi.isqrt() + 1;
-        if self.base.last().copied().unwrap_or(0) < need {
-            let sieve = Sieve::new(need);
-            self.base = sieve.primes().collect();
-        }
-
-        let mut composite = vec![false; (hi - lo) as usize];
-        for &p in &self.base {
-            if p * p >= hi {
-                break;
-            }
-            let mut start = p * p;
-            if start < lo {
-                start = lo.div_ceil(p) * p;
-            }
-            let mut m = start;
-            while m < hi {
-                composite[(m - lo) as usize] = true;
-                m += p;
+    /// Sieves the next `k` windows — concurrently when the ambient
+    /// `xp_par` thread budget allows — and returns their primes merged in
+    /// increasing order. The result is byte-identical to concatenating `k`
+    /// successive [`next_segment`](Self::next_segment) calls at any thread
+    /// count: window bounds and the base extension are computed up front,
+    /// and each window is a pure function of `(base, lo, hi)`.
+    pub fn next_segments(&mut self, k: usize) -> Vec<u64> {
+        let mut windows = Vec::with_capacity(k);
+        while windows.len() < k {
+            match self.advance_window() {
+                Some(w) => windows.push(w),
+                None => break,
             }
         }
-        composite
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| !c)
-            .map(|(i, _)| lo + i as u64)
-            .filter(|&n| n >= 2)
-            .collect()
+        let Some(&(_, max_hi)) = windows.last() else {
+            return Vec::new();
+        };
+        self.ensure_base(max_hi.isqrt());
+        let base = &self.base;
+        let per_window: Vec<Vec<u64>> =
+            xp_par::par_map(&windows, |&(lo, hi)| sieve_window(base, lo, hi));
+        per_window.into_iter().flatten().collect()
+    }
+
+    #[cfg(test)]
+    /// Test-only: a sieve positioned at an arbitrary frontier with a
+    /// synthetic, already-"complete" base — lets regression tests exercise
+    /// windows near `u64::MAX` without materializing the 2³²-entry base a
+    /// real walk to that frontier would need.
+    fn with_synthetic_base(frontier: u64, segment_len: u64, base: Vec<u64>) -> Self {
+        SegmentedSieve {
+            base,
+            base_limit: u64::MAX,
+            frontier,
+            segment_len: segment_len.max(2),
+            exhausted: false,
+        }
     }
 }
 
@@ -209,5 +346,149 @@ mod tests {
             got.extend(seg.next_segment());
         }
         assert_eq!(&got[..8], &[2, 3, 5, 7, 11, 13, 17, 19]);
+    }
+
+    /// The exclusion rule of [`sieve_window`] by trial division: `n` is out
+    /// iff some base prime divides it with `n >= p²`.
+    fn trial_oracle(base: &[u64], lo: u64, hi: u64) -> Vec<u64> {
+        (lo..=hi)
+            .filter(|&n| n >= 2)
+            .filter(|&n| {
+                !base.iter().any(|&p| {
+                    n % p == 0 && p.checked_mul(p).map_or(false, |sq| n >= sq)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_at_top_of_u64_terminates_and_is_correct() {
+        // Regression: `m += p` and `ceil(lo/p)·p` both used to wrap in u64
+        // near the top of the range (debug builds panic, release corrupts
+        // the marking index). Checked arithmetic must terminate cleanly.
+        let base = [2u64, 3, 5, 7, 11, 13];
+        let lo = u64::MAX - 1000;
+        let hi = u64::MAX;
+        assert_eq!(sieve_window(&base, lo, hi), trial_oracle(&base, lo, hi));
+    }
+
+    #[test]
+    fn base_primes_above_2_32_do_not_overflow() {
+        // 4_294_967_311 is the first prime above 2³²; its square exceeds
+        // u64::MAX, so `p * p` used to wrap. The checked square must treat
+        // it as "past any window" and stop there (base is sorted).
+        let big = 4_294_967_311u64;
+        let base = [2u64, 3, 5, big];
+        // A window containing multiples of `big`: none may be marked by it
+        // (their cofactor is < big, so a smaller factor covers them), and
+        // nothing may panic.
+        let lo = big * 2 - 10;
+        let hi = big * 2 + 10;
+        assert_eq!(sieve_window(&base, lo, hi), trial_oracle(&base, lo, hi));
+        // And directly at the top of the range.
+        assert_eq!(
+            sieve_window(&base, u64::MAX - 50, u64::MAX),
+            trial_oracle(&base, u64::MAX - 50, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn windows_near_top_of_range_terminate() {
+        // Regression: the exclusive-`hi` frontier used to saturate at
+        // u64::MAX and re-sieve an empty window forever. The sieve must
+        // emit the final (possibly short) window once, then report
+        // exhaustion with empty results.
+        let base = vec![2u64, 3, 5, 7];
+        let mut seg = SegmentedSieve::with_synthetic_base(u64::MAX - 100, 64, base);
+        let w1 = seg.next_segment();
+        assert!(!seg.is_exhausted());
+        assert!(!w1.is_empty());
+        let w2 = seg.next_segment(); // reaches u64::MAX: short final window
+        assert!(seg.is_exhausted());
+        assert!(!w2.is_empty());
+        let mut all = w1;
+        all.extend(w2);
+        assert_eq!(all, trial_oracle(&[2, 3, 5, 7], u64::MAX - 100, u64::MAX));
+        for _ in 0..3 {
+            assert!(seg.next_segment().is_empty());
+            assert!(seg.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn exhaustion_with_window_ending_exactly_at_max() {
+        // frontier + segment_len lands exactly on u64::MAX inclusive.
+        let mut seg = SegmentedSieve::with_synthetic_base(u64::MAX - 63, 64, vec![2, 3]);
+        let w = seg.next_segment();
+        assert!(seg.is_exhausted());
+        assert_eq!(w, trial_oracle(&[2, 3], u64::MAX - 63, u64::MAX));
+        assert!(seg.next_segment().is_empty());
+    }
+
+    #[test]
+    fn base_is_only_ever_appended_to() {
+        // Regression: every base growth used to rebuild the full prime list
+        // via `Sieve::new`. The incremental path must strictly append.
+        let mut seg = SegmentedSieve::with_segment_len(1000);
+        let mut prev: Vec<u64> = Vec::new();
+        let mut streamed = Vec::new();
+        for _ in 0..300 {
+            streamed.extend(seg.next_segment());
+            let cur = seg.base();
+            assert!(cur.len() >= prev.len(), "base shrank: {} -> {}", prev.len(), cur.len());
+            assert_eq!(&cur[..prev.len()], &prev[..], "base was rewritten, not appended");
+            prev = cur.to_vec();
+        }
+        // The incrementally-extended base is still correct: it matches a
+        // bounded sieve over the same range, and the stream is unchanged.
+        let bounded: Vec<u64> = Sieve::new(*prev.last().unwrap()).primes().collect();
+        assert_eq!(prev, bounded);
+        let expected: Vec<u64> = Sieve::new(299_999).primes().collect();
+        assert_eq!(&streamed[..expected.len()], &expected[..]);
+    }
+
+    #[test]
+    fn ensure_base_survives_large_jump() {
+        // A first window far from 2 forces the base to grow through several
+        // doubling rounds in one call.
+        let mut seg = SegmentedSieve::with_segment_len(1 << 14);
+        seg.frontier = 1 << 40;
+        let w = seg.next_segment();
+        assert!(!w.is_empty());
+        for &p in w.iter().take(16) {
+            assert!(crate::miller_rabin::is_prime(p), "{p} is not prime");
+        }
+        // Base must cover isqrt of the window top, ~2^20 (the largest prime
+        // at or below it is 1048573).
+        assert!(seg.base().last().copied().unwrap_or(0) >= (1 << 20) - 16);
+    }
+
+    #[test]
+    fn next_segments_matches_sequential_at_any_thread_count() {
+        for threads in [1, 2, 8] {
+            let mut par = SegmentedSieve::with_segment_len(5_000);
+            let mut seq = par.clone();
+            // First batch crosses several base growths; second batch starts
+            // from a warm frontier.
+            for k in [7usize, 5] {
+                let expected: Vec<u64> = (0..k).flat_map(|_| seq.next_segment()).collect();
+                let got = xp_par::with_threads(threads, || par.next_segments(k));
+                assert_eq!(got, expected, "threads={threads} k={k}");
+            }
+            assert_eq!(par.frontier, seq.frontier);
+            assert_eq!(par.base(), seq.base());
+        }
+    }
+
+    #[test]
+    fn next_segments_zero_and_past_exhaustion() {
+        let mut seg = SegmentedSieve::with_segment_len(100);
+        assert!(seg.next_segments(0).is_empty());
+        let mut top = SegmentedSieve::with_synthetic_base(u64::MAX - 10, 4, vec![2, 3]);
+        // 3 windows of width 4 pass u64::MAX: the batch stops at the top.
+        let got = top.next_segments(5);
+        assert!(top.is_exhausted());
+        assert_eq!(got, trial_oracle(&[2, 3], u64::MAX - 10, u64::MAX));
+        assert!(top.next_segments(3).is_empty());
     }
 }

@@ -451,7 +451,7 @@ fn select_batch<L: LabelOps>(
     let joined = |a: &[(u64, NodeId, &L)], t: &[(u64, NodeId, &L)]| {
         let a_view: Vec<(u64, &L)> = a.iter().map(|&(r, _, l)| (r, l)).collect();
         let t_view: Vec<(u64, &L)> = t.iter().map(|&(r, _, l)| (r, l)).collect();
-        crate::join::ancestor_descendant_counts(&a_view, &t_view)
+        crate::join::ancestor_descendant_counts_par(&a_view, &t_view)
     };
 
     let keep: Vec<NodeId> = match step.axis {

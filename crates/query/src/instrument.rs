@@ -10,15 +10,11 @@
 
 use crate::engine::{eval_path, OrderOracle, Path, QueryError};
 use crate::relstore::LabelTable;
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use xp_labelkit::LabelOps;
 use xp_xmltree::NodeId;
-
-thread_local! {
-    static ANCESTOR_TESTS: Cell<u64> = const { Cell::new(0) };
-    static BITS_TOUCHED: Cell<u64> = const { Cell::new(0) };
-}
 
 /// What a query's structural predicates cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,29 +27,67 @@ pub struct PredicateStats {
     pub label_bits_touched: u64,
 }
 
-/// A label wrapper that counts every ancestor test through it.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CountingLabel<L>(pub L);
+/// Shared counters behind one measurement run.
+///
+/// These used to be `thread_local!` `Cell`s, which silently dropped every
+/// increment performed on an `xp-par` pool thread (the partitioned join
+/// compares labels on workers) and leaked counts between tests sharing a
+/// thread. One atomic pair per measurement, shared by `Arc` across every
+/// label clone, makes the stats exact at any thread count and isolates
+/// concurrent measurements from each other.
+#[derive(Debug, Default)]
+struct Counters {
+    tests: AtomicU64,
+    bits: AtomicU64,
+}
+
+impl Counters {
+    fn record(&self, bits: u64) {
+        // Relaxed suffices: the totals are read only after the pool joins,
+        // which is already a synchronization point, and the counters carry
+        // no ordering relationship with any other data.
+        self.tests.fetch_add(1, Ordering::Relaxed);
+        self.bits.fetch_add(bits, Ordering::Relaxed);
+    }
+}
+
+/// A label wrapper that counts every ancestor test through it. All clones
+/// made from one [`measure_predicates`] call share one counter block.
+///
+/// Equality ignores the counter handle — two counting labels are equal iff
+/// the wrapped labels are, which is what `LabelOps: Eq` means for the
+/// engine.
+#[derive(Debug, Clone)]
+pub struct CountingLabel<L> {
+    inner: L,
+    counters: Arc<Counters>,
+}
+
+impl<L: PartialEq> PartialEq for CountingLabel<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<L: Eq> Eq for CountingLabel<L> {}
 
 impl<L: LabelOps> LabelOps for CountingLabel<L> {
     fn is_ancestor_of(&self, other: &Self) -> bool {
-        ANCESTOR_TESTS.with(|c| c.set(c.get() + 1));
-        BITS_TOUCHED.with(|c| c.set(c.get() + self.0.size_bits() + other.0.size_bits()));
-        self.0.is_ancestor_of(&other.0)
+        self.counters.record(self.inner.size_bits() + other.inner.size_bits());
+        self.inner.is_ancestor_of(&other.inner)
     }
 
     fn is_parent_of(&self, other: &Self) -> bool {
-        ANCESTOR_TESTS.with(|c| c.set(c.get() + 1));
-        BITS_TOUCHED.with(|c| c.set(c.get() + self.0.size_bits() + other.0.size_bits()));
-        self.0.is_parent_of(&other.0)
+        self.counters.record(self.inner.size_bits() + other.inner.size_bits());
+        self.inner.is_parent_of(&other.inner)
     }
 
     fn size_bits(&self) -> u64 {
-        self.0.size_bits()
+        self.inner.size_bits()
     }
 
     fn level_hint(&self) -> Option<usize> {
-        self.0.level_hint()
+        self.inner.level_hint()
     }
 }
 
@@ -73,15 +107,15 @@ pub fn measure_predicates<L: LabelOps>(
     oracle: &dyn OrderOracle,
     path: &Path,
 ) -> Result<(Vec<NodeId>, PredicateStats), QueryError> {
-    let counting = table.map_labels(|l| CountingLabel(l.clone()));
+    let counters = Arc::new(Counters::default());
+    let counting =
+        table.map_labels(|l| CountingLabel { inner: l.clone(), counters: Arc::clone(&counters) });
     let ranks: HashMap<NodeId, u64> =
         table.rows().iter().map(|r| (r.node, oracle.rank(r.node))).collect();
-    ANCESTOR_TESTS.with(|c| c.set(0));
-    BITS_TOUCHED.with(|c| c.set(0));
     let result = eval_path(&counting, &MapOracle(ranks), path)?;
     let stats = PredicateStats {
-        ancestor_tests: ANCESTOR_TESTS.with(Cell::get),
-        label_bits_touched: BITS_TOUCHED.with(Cell::get),
+        ancestor_tests: counters.tests.load(Ordering::Relaxed),
+        label_bits_touched: counters.bits.load(Ordering::Relaxed),
     };
     Ok((result, stats))
 }
@@ -169,6 +203,41 @@ mod tests {
             s_prime.label_bits_touched,
             s_prefix.label_bits_touched
         );
+    }
+
+    /// The counting adapter must see every predicate evaluated on `xp-par`
+    /// pool threads. The corpus is big enough that `//SCENE//LINE` goes
+    /// through the partitioned join, so at 4 threads the comparisons run on
+    /// workers — with the old `thread_local!` `Cell` counters their
+    /// increments vanished and the stats under-counted. Chunk boundaries
+    /// depend only on the target count, so the exact same comparisons
+    /// happen at every thread count and the stats must match to the bit.
+    #[test]
+    fn counters_are_exact_on_pool_threads() {
+        let tree = xp_datagen::shakespeare::generate_play(
+            "x",
+            3,
+            &xp_datagen::shakespeare::PlayParams::hamlet_like(),
+        );
+        let ev = IntervalEvaluator::build(&tree);
+        assert!(ev.table().scan_tag("LINE").len() > 1024, "need a partitioned join");
+        let path = Path::parse("//SCENE//LINE").unwrap();
+        let ranks: HashMap<NodeId, u64> =
+            ev.table().rows().iter().map(|r| (r.node, r.label.order)).collect();
+        let measure = |threads: usize| {
+            let oracle = MapOracle(ranks.clone());
+            xp_par::with_threads(threads, || {
+                measure_predicates(ev.table(), &oracle, &path).unwrap()
+            })
+        };
+        let (r1, s1) = measure(1);
+        assert!(s1.ancestor_tests > 0);
+        assert!(s1.label_bits_touched > 0);
+        for threads in [2, 4] {
+            let (r, s) = measure(threads);
+            assert_eq!(r, r1, "results at {threads} threads");
+            assert_eq!(s, s1, "stats at {threads} threads");
+        }
     }
 
     #[test]

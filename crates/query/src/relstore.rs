@@ -57,6 +57,18 @@ pub struct LabelTable<L> {
 
 impl<L: LabelOps> LabelTable<L> {
     /// Builds the table from a tree and its labels, rows in document order.
+    ///
+    /// Three passes. Pass 1 (sequential) walks the elements once to intern
+    /// tags — ids are assigned in first-occurrence document order, so the
+    /// interning result is independent of how pass 2 is scheduled. Pass 2
+    /// (parallel over the `xp-par` pool) constructs the rows: text
+    /// concatenation and label clones dominate build time for big labels
+    /// and are independent per node; `par_map` places each row at its input
+    /// index, so `rows` comes back in document order at any thread count.
+    /// Pass 3 (sequential) wires the tag buckets and the node → row map in
+    /// row order, exactly as the incremental [`push_row`] path would.
+    ///
+    /// [`push_row`]: LabelTable::push_row
     pub fn build(tree: &XmlTree, labels: &LabeledDoc<L>) -> Self {
         let mut table = LabelTable {
             rows: Vec::new(),
@@ -66,12 +78,30 @@ impl<L: LabelOps> LabelTable<L> {
             row_of_node: Vec::new(),
             root: tree.root(),
         };
+        let mut nodes: Vec<(NodeId, u32)> = Vec::new();
         for node in tree.elements() {
             // Only element nodes reach this point, and elements always
             // carry a tag; skip (rather than panic on) anything else.
             let Some(tag) = tree.tag(node) else { continue };
-            table.push_row(tree, labels, node, tag);
+            let tag_id = table.intern(tag);
+            nodes.push((node, tag_id));
         }
+        let rows: Vec<Row<L>> = xp_par::par_map(&nodes, |&(node, tag)| {
+            let text: String =
+                tree.children(node).filter_map(|c| tree.text(c)).collect::<Vec<_>>().join("");
+            Row {
+                node,
+                tag,
+                parent: tree.parent(node),
+                text: if text.is_empty() { None } else { Some(text) },
+                label: labels.label(node).clone(),
+            }
+        });
+        for (idx, row) in rows.iter().enumerate() {
+            table.by_tag[row.tag as usize].push(idx);
+            table.set_row_index(row.node, idx);
+        }
+        table.rows = rows;
         table
     }
 
@@ -314,7 +344,7 @@ mod tests {
 
     #[test]
     fn apply_report_patches_incrementally() {
-        use xp_labelkit::{DynamicScheme, InsertPos, LabeledStore};
+        use xp_labelkit::{InsertPos, LabeledStore};
 
         let tree = parse("<play><act><scene/></act><act/></play>").unwrap();
         let mut store = LabeledStore::build(IntervalScheme::with_gap(32), tree).unwrap();

@@ -1,0 +1,234 @@
+//! Thread-count differentials: every parallelized stage of the pipeline —
+//! labeling, `ScTable::build`, `LabelTable::build`, and all nine query
+//! axes — must produce byte-identical output at `XP_THREADS ∈ {1, 2, 8}`,
+//! on clean runs and under every armed fault site.
+//!
+//! The contract under test is the one DESIGN.md §9 states: parallelism is
+//! an execution detail, never an observable. Anything a caller can extract
+//! from a build — label values, document orders, row layouts, query
+//! answers, even the *error* a programmed fault surfaces as — must not
+//! depend on the worker count.
+
+use std::collections::BTreeSet;
+use xp_prime::{OrderedPrimeDoc, PrimeLabel};
+use xp_query::engine::Path;
+use xp_query::evaluators::{Evaluator, IntervalEvaluator, PrimeEvaluator};
+use xp_query::queries::TEST_QUERIES;
+use xp_query::relstore::LabelTable;
+use xp_testkit::fault;
+use xp_testkit::propcheck::{u64s, usizes};
+use xp_testkit::{prop_assert, propcheck};
+use xp_xmltree::{parse, NodeId, XmlTree};
+
+/// Everything observable about a prime build of `tree`: node enumeration
+/// order, every label, every document order, and the full relational
+/// projection of the label table. Byte-identical fingerprints mean
+/// byte-identical builds.
+type Fingerprint = (
+    Vec<NodeId>,
+    Vec<PrimeLabel>,
+    Vec<u64>,
+    Vec<(u32, Option<NodeId>, Option<String>)>,
+);
+
+fn prime_fingerprint(tree: &XmlTree, chunk_capacity: usize) -> Fingerprint {
+    #[allow(clippy::unwrap_used)]
+    let doc = OrderedPrimeDoc::build(tree, chunk_capacity).unwrap();
+    let labels = doc.labels();
+    let nodes: Vec<NodeId> = labels.nodes().to_vec();
+    let labs: Vec<PrimeLabel> = nodes.iter().map(|&n| labels.label(n).clone()).collect();
+    let orders: Vec<u64> = nodes.iter().map(|&n| doc.order_of(n)).collect();
+    let table = LabelTable::build(tree, labels);
+    let rows = table.rows().iter().map(|r| (r.tag, r.parent, r.text.clone())).collect();
+    (nodes, labs, orders, rows)
+}
+
+propcheck! {
+    #![config(cases = 12)]
+
+    /// Labeling, the SC table behind `order_of`, and the label table must
+    /// be record-for-record identical at every thread count on random
+    /// document shapes.
+    #[test]
+    fn builds_are_byte_identical_across_thread_counts(
+        seed in u64s(0..1_000_000),
+        nodes in usizes(30..220),
+        cap in usizes(2..9),
+    ) {
+        let tree = xp_datagen::builders::random_tree(
+            seed,
+            &xp_datagen::builders::RandomTreeParams {
+                nodes,
+                max_depth: 7,
+                max_fanout: 6,
+                tag_variety: 5,
+            },
+        );
+        let reference = xp_par::with_threads(1, || prime_fingerprint(&tree, cap));
+        for threads in [2, 8] {
+            let got = xp_par::with_threads(threads, || prime_fingerprint(&tree, cap));
+            prop_assert!(
+                got == reference,
+                "prime build diverged at {} threads (seed {}, {} nodes)",
+                threads, seed, nodes
+            );
+        }
+    }
+}
+
+/// All nine Table 2 queries return the identical node vectors (not just
+/// counts) at every thread count, for both the prime evaluator (order
+/// oracle = SC table) and the interval evaluator on a corpus big enough to
+/// engage the partitioned structural join.
+#[test]
+fn nine_query_axes_are_thread_invariant() {
+    let small = xp_datagen::shakespeare::ShakespeareCorpus::generate_with(
+        2,
+        7,
+        &xp_datagen::shakespeare::PlayParams::miniature(),
+    )
+    .tree;
+    let big = xp_datagen::shakespeare::generate_play(
+        "x",
+        3,
+        &xp_datagen::shakespeare::PlayParams::hamlet_like(),
+    );
+
+    let answers = |threads: usize| -> Vec<Vec<NodeId>> {
+        xp_par::with_threads(threads, || {
+            let prime = PrimeEvaluator::build(&small, 5);
+            let interval = IntervalEvaluator::build(&big);
+            let mut out = Vec::new();
+            for q in &TEST_QUERIES {
+                out.push(prime.eval_str(q.path));
+                out.push(interval.eval_str(q.path));
+            }
+            out
+        })
+    };
+
+    let reference = answers(1);
+    assert!(reference.iter().any(|r| !r.is_empty()), "queries did real work");
+    for threads in [2, 8] {
+        assert_eq!(answers(threads), reference, "answers diverged at {threads} threads");
+    }
+}
+
+/// A 20-item flat list, as in `fault_injection.rs`: small enough to build
+/// under any fault, structured enough that inserts touch several SC
+/// records.
+fn list_src() -> String {
+    let mut s = String::from("<list>");
+    for _ in 0..20 {
+        s.push_str("<item/>");
+    }
+    s.push_str("</list>");
+    s
+}
+
+/// Drives parse → ordered build → insert → insert-parent → delete → query
+/// and records every stage outcome (success shape or exact error text) plus
+/// the final order assignment. Under an armed fault the interesting
+/// property is that the fault fires at the same operation and leaves the
+/// same state regardless of thread count; the trace captures both.
+fn pipeline_trace() -> Vec<String> {
+    let mut trace = Vec::new();
+    let src = list_src();
+    let mut tree = match parse(&src) {
+        Ok(t) => t,
+        Err(e) => {
+            trace.push(format!("parse: {e}"));
+            return trace;
+        }
+    };
+    let mut doc = match OrderedPrimeDoc::build(&tree, 5) {
+        Ok(d) => d,
+        Err(e) => {
+            trace.push(format!("build: {e}"));
+            return trace;
+        }
+    };
+    trace.push("built".to_string());
+
+    let anchor = match tree.element_children(tree.root()).nth(1) {
+        Some(n) => n,
+        None => {
+            trace.push("no anchor".to_string());
+            return trace;
+        }
+    };
+    match doc.insert_sibling_before(&mut tree, anchor, "item") {
+        Ok(rep) => trace.push(format!("insert: order {}", doc.order_of(rep.node))),
+        Err(e) => trace.push(format!("insert: {e}")),
+    }
+    match doc.insert_parent(&mut tree, anchor, "wrap") {
+        Ok(rep) => trace.push(format!("wrap: order {}", doc.order_of(rep.node))),
+        Err(e) => trace.push(format!("wrap: {e}")),
+    }
+    if let Some(victim) = tree.last_child(tree.root()) {
+        match doc.delete(&mut tree, victim) {
+            Ok(n) => trace.push(format!("delete: {n} relabeled")),
+            Err(e) => trace.push(format!("delete: {e}")),
+        }
+    }
+
+    // Orders of every surviving element, normalized by tag.
+    let orders: BTreeSet<(String, u64)> = tree
+        .elements()
+        .filter_map(|n| {
+            let tag = tree.tag(n)?.to_string();
+            doc.try_order_of(n).ok().map(|o| (tag, o))
+        })
+        .collect();
+    trace.push(format!("orders: {orders:?}"));
+
+    match PrimeEvaluator::try_build(&tree, 5) {
+        Ok(ev) => match Path::parse("//list/item") {
+            Ok(path) => match ev.try_eval(&path) {
+                Ok(nodes) => trace.push(format!("query: {} rows", nodes.len())),
+                Err(e) => trace.push(format!("query: {e}")),
+            },
+            Err(e) => trace.push(format!("path: {e}")),
+        },
+        Err(e) => trace.push(format!("evaluator: {e}")),
+    }
+    trace
+}
+
+/// Under each armed fault site, the whole pipeline must behave identically
+/// at every thread count: same stages succeed, the same stage fails with
+/// the same error, and the surviving document carries the same orders.
+/// Fault hit-counters are per thread, which is exactly why the parallel
+/// paths that contain (or call through) fault points fall back to
+/// sequential execution while a spec is armed — this test is the proof.
+#[test]
+fn fault_outcomes_are_thread_invariant() {
+    let sites = [
+        "parse.read:2",
+        "bignum.mul:3",
+        "sc.insert:1",
+        "sc.insert.record:2",
+        "sc.relabel:1",
+        "sc.remove:1",
+        "query.join:1",
+    ];
+    for spec in sites {
+        let run = |threads: usize| {
+            fault::arm(spec);
+            let trace = xp_par::with_threads(threads, pipeline_trace);
+            fault::reset();
+            trace
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "{spec} diverged at {threads} threads");
+        }
+    }
+    // Sanity: the unfaulted pipeline is also thread-invariant and reaches
+    // the query stage.
+    let clean = xp_par::with_threads(1, pipeline_trace);
+    assert!(clean.iter().any(|s| s.starts_with("query:")), "clean run reached the query");
+    for threads in [2, 8] {
+        assert_eq!(xp_par::with_threads(threads, pipeline_trace), clean);
+    }
+}

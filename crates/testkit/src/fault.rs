@@ -139,6 +139,22 @@ pub fn reset() {
     });
 }
 
+/// `true` iff any fault site is armed on the current thread (consulting the
+/// environment on first call, exactly like a fault point would).
+///
+/// Parallel code paths use this as a sequential-fallback guard: fault state
+/// is per-thread (hit counters, PRNG), so an `Nth`-triggered site would lose
+/// its deterministic firing order if its hits were spread across pool
+/// threads. When faults are armed, parallel regions run sequentially on the
+/// calling thread so injection behaves exactly as in the sequential scheme.
+pub fn active() -> bool {
+    FAULTS.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let faults = slot.get_or_insert_with(from_env);
+        !faults.sites.is_empty()
+    })
+}
+
 /// How many times `site` has been passed on this thread since it was armed.
 /// Returns 0 for unarmed sites.
 pub fn hits(site: &str) -> u64 {
@@ -257,6 +273,16 @@ mod tests {
         arm("t.r:1");
         reset();
         assert_eq!(check("t.r"), Ok(()));
+    }
+
+    #[test]
+    fn active_reflects_armed_state() {
+        reset();
+        assert!(!active());
+        arm("t.active:5");
+        assert!(active());
+        reset();
+        assert!(!active());
     }
 
     #[test]

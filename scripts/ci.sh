@@ -15,6 +15,13 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> cargo test -q --offline (XP_THREADS=1, exact sequential fallback)"
+# The xp-par layer promises byte-identical behaviour at any thread count,
+# and XP_THREADS=1 must be the plain serial code path — run the whole tier-1
+# suite under it so a parallelism regression cannot hide behind the default
+# thread count (see DESIGN.md #9).
+XP_THREADS=1 cargo test -q --offline
+
 echo "==> dependency hermeticity check (cargo tree)"
 # Every line of `cargo tree` must be a workspace crate: xp-* or the xmlprime
 # facade. Anything else means an external dependency crept back in.
@@ -38,7 +45,7 @@ echo "==> clippy panic-policy gate (deny unwrap/expect in library crates)"
 # has no clippy component.
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -q --offline --lib \
-        -p xp-prime -p xp-query -p xp-xmltree -p xp-bignum -p xp-labelkit
+        -p xp-prime -p xp-query -p xp-xmltree -p xp-bignum -p xp-labelkit -p xp-par
     echo "OK: library crates are clippy-clean under the panic policy."
 else
     echo "WARNING: clippy not installed; skipping panic-policy gate." >&2
@@ -86,3 +93,12 @@ echo "==> SC-maintenance bench smoke (incremental insert vs rebuild)"
 XP_BENCH_SAMPLES=8 XP_BENCH_MIN_WINDOW_MS=5 \
     cargo run -q --release --offline -p xp-bench --bin sc_maintenance -- --smoke
 echo "OK: incremental SC maintenance beats rebuild-from-scratch."
+
+echo "==> parallel-scaling bench smoke (xp-par determinism + no-lose gate)"
+# Product tree, segmented sieve, and the prodtree-backed ordered build at
+# 1/2/4/8 worker threads. Fails if any output differs from the sequential
+# run (checked on every host), or — on hosts with >= 4 hardware threads —
+# if the parallel product tree is slower than sequential. Does not touch
+# the checked-in results/bench_par_scaling.json.
+cargo run -q --release --offline -p xp-bench --bin par_scaling -- --smoke
+echo "OK: xp-par outputs are byte-identical across thread counts."
