@@ -1,0 +1,197 @@
+//! Arithmetic-kernel benchmarks: the multiply ladder (schoolbook →
+//! Karatsuba → Toom-3) across operand widths, and the reduction contexts
+//! (Barrett, Möller–Granlund, Montgomery) against their plain-division
+//! baselines on a Figure 15-shaped predicate loop.
+//!
+//! Default mode writes `results/bench_bignum_kernels.json` and asserts the
+//! claims DESIGN.md §10 makes; `--smoke` runs the same assertions with small
+//! sample counts and no JSON — the `scripts/ci.sh` gate:
+//!
+//! * the auto dispatch (Toom-3 at the top) beats forced Karatsuba by
+//!   2¹⁴-bit operands (within the host drift allowance; strictly at 2¹⁶
+//!   in the full run), and
+//! * the dispatch adds no small-size regression (within noise of forced
+//!   schoolbook at 2¹⁰ bits), and
+//! * the Barrett-prepared predicate loop beats per-candidate division.
+
+use xp_bignum::kernels;
+use xp_bignum::modular;
+use xp_bignum::reduce::{Montgomery, Reducer, Reducer64};
+use xp_bignum::UBig;
+use xp_testkit::bench::{BenchStats, Harness};
+
+/// Deterministic operand limbs (splitmix-style) — dense, carry-prone.
+fn pseudo_limbs(n: usize, salt: u64) -> Vec<u64> {
+    let mut v = Vec::with_capacity(n);
+    let mut x = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xd1b5);
+    for _ in 0..n {
+        x = x.wrapping_mul(0xaf25_1af3_b0f0_25b5).wrapping_add(0xb564_9897_7fea_dd11);
+        v.push(x ^ (x >> 29));
+    }
+    if let Some(last) = v.last_mut() {
+        *last |= 1 << 63; // pin the width
+    }
+    v
+}
+
+fn operand(limbs: usize, salt: u64) -> UBig {
+    UBig::from_limbs(pseudo_limbs(limbs, salt))
+}
+
+/// Best observed time across all rounds of a benchmark (`name` plus any
+/// `name#round` repeats) — the gate estimator. Medians at smoke sample
+/// counts jitter ~30% under background load, and a load spike spanning one
+/// kernel's whole window inverts a thin comparison; the minimum over
+/// temporally-spread rounds needs only one quiet window per kernel.
+fn minimum(results: &[BenchStats], name: &str) -> f64 {
+    let mut best = f64::INFINITY;
+    for r in results {
+        if r.name == name || r.name.strip_prefix(name).is_some_and(|rest| rest.starts_with('#')) {
+            best = best.min(r.min_ns);
+        }
+    }
+    assert!(best.is_finite(), "no benchmark named {name}");
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut h = Harness::new("bignum_kernels");
+    if smoke {
+        h.sample_size(8);
+    }
+
+    // ---- the multiply ladder, 2^10 .. 2^16 bit operands -----------------
+    // (64-bit limbs: 16, 64, 256, 1024 limbs.)
+    let mul_bits: &[u64] = if smoke { &[1 << 10, 1 << 14] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16] };
+    // The gates compare thin margins (the Toom-3 crossover win is ~10%
+    // at 2^14 bits), so each kernel runs three temporally-spread rounds
+    // and the gate takes the best — one quiet window per kernel is enough.
+    // The JSON records every round (`name#round`).
+    let rounds = 3;
+    for round in 0..rounds {
+        let tag = if round == 0 { String::new() } else { format!("#{round}") };
+        for &bits in mul_bits {
+            let limbs = (bits / 64) as usize;
+            let a = operand(limbs, 1);
+            let b = operand(limbs, 2);
+            h.bench(&format!("mul/auto/{bits}{tag}"), || kernels::mul_auto(&a, &b));
+            h.bench(&format!("mul/karatsuba/{bits}{tag}"), || kernels::mul_karatsuba(&a, &b));
+            // Forced schoolbook is O(n²): past 2^14 bits it only slows the
+            // run down without informing the crossover table.
+            if bits <= 1 << 14 {
+                h.bench(&format!("mul/schoolbook/{bits}{tag}"), || kernels::mul_schoolbook(&a, &b));
+            }
+        }
+    }
+
+    // ---- the Figure 15 predicate loop: one ancestor vs many nodes -------
+    // An ancestor label a few levels deep (≈ 6 limbs) against descendant
+    // labels up to ≈ 48 limbs: plain division re-normalizes the divisor per
+    // candidate; the Barrett context front-loads it.
+    let divisor = operand(6, 7);
+    let candidates: Vec<UBig> =
+        (0..64).map(|i| operand(8 + (i % 6) * 8, 100 + i as u64)).collect();
+    h.bench("predicate/plain_division", || {
+        candidates.iter().filter(|c| (*c % &divisor).is_zero()).count()
+    });
+    // Constructed once per ancestor, probed per candidate — the same
+    // amortization `PrimeLabel::ancestor_tester` gets in the engine.
+    let red = Reducer::new(divisor.clone());
+    h.bench("predicate/barrett", || candidates.iter().filter(|c| red.is_multiple_of(c)).count());
+
+    // ---- word-size reduction: SC residues --------------------------------
+    let sc = operand(40, 11);
+    let m: u64 = 0xffff_fffb; // near-2^32 prime-ish modulus, realistic self-label
+    h.bench("rem_u64/plain", || sc.rem_u64(m));
+    let red64 = Reducer64::new(m);
+    h.bench("rem_u64/reducer64", || red64.rem(&sc));
+
+    // ---- modular exponentiation: Montgomery vs plain for the CRT loop ---
+    let modulus = {
+        let mut limbs = pseudo_limbs(8, 13);
+        limbs[0] |= 1; // odd: Montgomery's domain
+        UBig::from_limbs(limbs)
+    };
+    let base = operand(8, 17);
+    let exp = UBig::from(0xfedc_ba98u64);
+    h.bench("mod_pow/plain", || modular::mod_pow_plain(&base, &exp, &modulus));
+    h.bench("mod_pow/montgomery", || match Montgomery::new(&modulus) {
+        Some(ctx) => ctx.pow(&base, &exp),
+        None => unreachable!("modulus is odd"),
+    });
+
+    // ---- gates ----------------------------------------------------------
+    let results = h.results().to_vec();
+    let mut failed = false;
+
+    let hi_bits = 1u64 << 14;
+    let auto_hi = minimum(&results, &format!("mul/auto/{hi_bits}"));
+    let kara_hi = minimum(&results, &format!("mul/karatsuba/{hi_bits}"));
+    // The Toom-3 win at 2^14 bits is ~10% (5·T(86) vs 3·T(128) in Karatsuba
+    // cost), the same magnitude as per-process frequency and placement
+    // drift, so this gate allows that drift even on the best-of-three — a
+    // structural mis-dispatch (e.g. a broken threshold sending 2^14 to
+    // schoolbook) shows as a ≥1.3x loss. The full run adds a strict gate at
+    // 2^16 bits below, where the margin clears the noise floor.
+    if auto_hi >= kara_hi * 1.10 {
+        eprintln!(
+            "FAIL: auto dispatch ({auto_hi:.0} ns) does not beat forced Karatsuba \
+             ({kara_hi:.0} ns) at 2^14 bits"
+        );
+        failed = true;
+    }
+
+    if !smoke {
+        let top_bits = 1u64 << 16;
+        let auto_top = minimum(&results, &format!("mul/auto/{top_bits}"));
+        let kara_top = minimum(&results, &format!("mul/karatsuba/{top_bits}"));
+        if auto_top >= kara_top {
+            eprintln!(
+                "FAIL: auto dispatch ({auto_top:.0} ns) does not beat forced \
+                 Karatsuba ({kara_top:.0} ns) at 2^16 bits"
+            );
+            failed = true;
+        }
+    }
+
+    let lo_bits = 1u64 << 10;
+    let auto_lo = minimum(&results, &format!("mul/auto/{lo_bits}"));
+    let school_lo = minimum(&results, &format!("mul/schoolbook/{lo_bits}"));
+    let kara_lo = minimum(&results, &format!("mul/karatsuba/{lo_bits}"));
+    // At 2^10 bits the dispatch is one predictable branch in front of the
+    // same schoolbook kernel, so a real regression would be structural and
+    // large; 1.5x absorbs per-run machine state (core placement, frequency)
+    // on a ~300 ns workload.
+    if auto_lo > school_lo.min(kara_lo) * 1.5 {
+        eprintln!(
+            "FAIL: auto dispatch ({auto_lo:.0} ns) regresses at 2^10 bits \
+             (schoolbook {school_lo:.0} ns, karatsuba {kara_lo:.0} ns)"
+        );
+        failed = true;
+    }
+
+    let plain = minimum(&results, "predicate/plain_division");
+    let barrett = minimum(&results, "predicate/barrett");
+    if barrett >= plain {
+        eprintln!(
+            "FAIL: Barrett predicate loop ({barrett:.0} ns) does not beat plain \
+             division ({plain:.0} ns)"
+        );
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "bignum-kernel checks passed: Toom-3 vs Karatsuba at 2^14 bits {:.2}x, \
+         no small-size regression, Barrett beats plain division on the \
+         predicate loop ({:.2}x)",
+        kara_hi / auto_hi,
+        plain / barrett,
+    );
+    if !smoke {
+        h.finish();
+    }
+}

@@ -52,6 +52,16 @@ impl From<Injected> for BudgetError {
 /// the true width by at most one bit — a budget is a ceiling, not an exact
 /// accounting, so the cheap conservative test is the right one (and it runs
 /// *before* the multiplication allocates anything).
+///
+/// The budget decision is therefore independent of which multiply kernel
+/// (schoolbook, Karatsuba, or Toom-3 — see [`crate::kernels`]) the size
+/// dispatch later picks: the same inputs pass or fail identically at every
+/// size tier. Kernel *temporaries* are not separately budgeted — Toom-3's
+/// five pointwise products and signed interpolation terms each stay within
+/// a small constant factor (< 2×) of the final product's width, so a budget
+/// that admits the result also bounds the kernel's peak transient
+/// allocation; this invariant is pinned by
+/// `budget_error_is_kernel_independent` below.
 pub fn mul_within(a: &UBig, b: &UBig, max_bits: u64) -> Result<UBig, BudgetError> {
     xp_testkit::faultpoint!("bignum.mul")?;
     let bits = a.bit_len() + b.bit_len();
@@ -87,6 +97,28 @@ mod tests {
         let two = UBig::from(2u64);
         assert!(mul_within(&two, &two, 4).is_ok());
         assert!(mul_within(&two, &two, 3).is_err(), "conservative refusal");
+    }
+
+    #[test]
+    fn budget_error_is_kernel_independent() {
+        // Operand sizes landing in the schoolbook, Karatsuba, and Toom-3
+        // tiers of the size dispatch (thresholds: 32 and 96 limbs per the
+        // shorter operand). At every tier the same inputs must produce the
+        // same BudgetError one bit under the product width, and the same
+        // product at the exact budget.
+        for limbs in [4usize, 48, 160] {
+            let a = UBig::from_limbs(vec![u64::MAX; limbs]);
+            let b = UBig::from_limbs(vec![0xdead_beef_dead_beefu64; limbs]);
+            let bits = a.bit_len() + b.bit_len();
+            let err = mul_within(&a, &b, bits - 1).unwrap_err();
+            assert_eq!(
+                err,
+                BudgetError::BitsExceeded { bits, max_bits: bits - 1 },
+                "refusal differs at {limbs} limbs"
+            );
+            let ok = mul_within(&a, &b, bits).unwrap();
+            assert_eq!(ok, crate::kernels::mul_schoolbook(&a, &b), "product differs at {limbs} limbs");
+        }
     }
 
     #[test]

@@ -10,12 +10,16 @@
 //! The crate provides:
 //!
 //! * [`UBig`] — an unsigned integer of unbounded size (little-endian `u64`
-//!   limbs) with schoolbook + Karatsuba multiplication, Knuth Algorithm D
-//!   division, bit operations, and decimal/hex I/O.
+//!   limbs) with schoolbook + Karatsuba + Toom-3 multiplication (tuned
+//!   crossovers in [`kernels`]), Knuth Algorithm D division, bit operations,
+//!   and decimal/hex I/O.
 //! * [`IBig`] — a signed wrapper (sign + magnitude) used by the extended
-//!   Euclidean algorithm.
+//!   Euclidean algorithm and Toom-3 interpolation.
 //! * [`modular`] — gcd, extended gcd, modular inverse, and modular
 //!   exponentiation, the building blocks of the CRT solvers in `xp-prime`.
+//! * [`reduce`] — precomputed-divisor contexts: Barrett reduction for the
+//!   repeated ancestor test, a Möller–Granlund word reducer for SC moduli,
+//!   and Montgomery arithmetic for modular-exponentiation chains.
 //! * [`prodtree`] — balanced product trees for batch products of machine
 //!   words (SC chunk moduli, label denominators).
 //!
@@ -43,9 +47,11 @@ pub mod checked;
 mod div;
 mod fmt;
 mod ibig;
+pub mod kernels;
 pub mod modular;
 mod mul;
 pub mod prodtree;
+pub mod reduce;
 mod ubig;
 
 pub use ibig::{IBig, Sign};

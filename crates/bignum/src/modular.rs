@@ -108,11 +108,33 @@ pub fn mod_inverse_u64(a: u64, m: u64) -> Option<u64> {
     Some(old_s.rem_euclid(m as i128) as u64)
 }
 
-/// Modular exponentiation `base^exp mod m` by square-and-multiply.
+/// Modular exponentiation `base^exp mod m`.
+///
+/// Odd moduli (every CRT modulus in the paper's Euler-totient formulation —
+/// self-labels are odd primes) go through Montgomery arithmetic
+/// ([`crate::reduce::Montgomery`]), which replaces the per-step division of
+/// square-and-multiply with REDC folds; even moduli fall back to
+/// [`mod_pow_plain`]. Both paths return identical values — the differential
+/// suite pins them against each other and the oracle.
 ///
 /// # Panics
 /// Panics if `m` is zero.
 pub fn mod_pow(base: &UBig, exp: &UBig, m: &UBig) -> UBig {
+    assert!(!m.is_zero(), "modulo by zero");
+    match crate::reduce::Montgomery::new(m) {
+        Some(ctx) => ctx.pow(base, exp),
+        None => mod_pow_plain(base, exp, m),
+    }
+}
+
+/// Modular exponentiation by square-and-multiply with a full reduction per
+/// step — the division-based baseline `mod_pow` dispatches away from for odd
+/// moduli. Kept public so the kernel bench and differential tests can
+/// compare the two paths.
+///
+/// # Panics
+/// Panics if `m` is zero.
+pub fn mod_pow_plain(base: &UBig, exp: &UBig, m: &UBig) -> UBig {
     assert!(!m.is_zero(), "modulo by zero");
     if m.is_one() {
         return UBig::zero();
@@ -248,6 +270,22 @@ mod tests {
             assert_eq!(mod_pow(&u(b), &u(e), &u(m)).to_u64(), Some(naive as u64), "{b}^{e} mod {m}");
         }
         assert_eq!(mod_pow(&u(5), &u(100), &u(1)), u(0));
+    }
+
+    #[test]
+    fn mod_pow_dispatch_matches_plain_for_all_moduli() {
+        // Odd moduli take the Montgomery path, even ones the plain path;
+        // both must agree with the division-based baseline bit for bit.
+        let base = UBig::from(0xfedc_ba98_7654_3210u64);
+        for m in [2u64, 3, 4, 17, 1 << 20, (1 << 20) + 1, 4294967311, u64::MAX] {
+            for e in [0u64, 1, 2, 63, 64, 65, 1017] {
+                assert_eq!(
+                    mod_pow(&base, &u(e), &u(m)),
+                    mod_pow_plain(&base, &u(e), &u(m)),
+                    "base^{e} mod {m}"
+                );
+            }
+        }
     }
 
     #[test]

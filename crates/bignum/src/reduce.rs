@@ -1,0 +1,564 @@
+//! Precomputed-divisor reduction contexts: a Barrett-style invariant-divisor
+//! remainder for big divisors ([`Reducer`]), a Möller–Granlund word reducer
+//! for `u64` divisors ([`Reducer64`]), and Montgomery arithmetic for odd
+//! moduli ([`Montgomery`]).
+//!
+//! The ancestor test of the prime labeling scheme is `label(y) mod label(x)
+//! == 0` and the ordered variant's order lookup is `SC mod self-label`; both
+//! divide by the *same* divisor once per candidate node. A full
+//! [`crate::UBig::divrem`] re-normalizes the divisor, allocates quotient
+//! space, and software-divides a 128-bit window per quotient digit on each
+//! call, so a fixed-divisor context that front-loads that work (the
+//! normalization and a reciprocal) turns the per-node cost into multiplies
+//! only. See DESIGN.md §10 for the Barrett-vs-Montgomery tradeoff.
+
+use crate::UBig;
+
+/// Invariant-divisor remainder context for a fixed multi-word divisor.
+///
+/// Construction normalizes the divisor (top bit set, Knuth D1) and
+/// precomputes the Möller–Granlund 2-by-1 reciprocal of its top limb —
+/// Barrett's idea of trading per-call division for a stored reciprocal,
+/// applied per quotient digit. Each [`Reducer::rem`] then runs Knuth's D2–D7
+/// recurrence quotient-free in a single scratch buffer: the reciprocal turns
+/// every digit estimate into two widening multiplies (where the generic
+/// [`crate::UBig::divrem`] performs a software 128-by-64 division), no
+/// quotient is materialized, and the divisor is never re-normalized. The
+/// predicate loop's shape — one shallow ancestor label probed by many much
+/// larger descendant labels — amortizes the setup across all candidates.
+///
+/// A textbook Barrett fold (`mu = ⌊B²ᵏ/d⌋` with a base-`Bᵏ` Horner loop) was
+/// measured 2–3× *slower* than plain division on that loop: each fold spends
+/// several temporary allocations to save multiplies that the mul-sub
+/// recurrence performs in place.
+#[derive(Debug, Clone)]
+pub struct Reducer {
+    d: UBig,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    /// Single-limb divisors stream through the word reducer.
+    Word(Reducer64),
+    /// `d << shift` with the top bit set, and the 2-by-1 reciprocal of its
+    /// top limb; `dnorm.len() >= 2`.
+    Wide { shift: u32, dnorm: Vec<u64>, v: u64 },
+}
+
+impl Reducer {
+    /// Builds the context for divisor `d`.
+    ///
+    /// # Panics
+    /// Panics if `d` is zero (same contract as [`crate::UBig::divrem`]).
+    pub fn new(d: UBig) -> Reducer {
+        assert!(!d.is_zero(), "division by zero");
+        let limbs = d.limbs();
+        let n = limbs.len();
+        let kind = if n == 1 {
+            Kind::Word(Reducer64::new(limbs[0]))
+        } else {
+            let shift = limbs[n - 1].leading_zeros();
+            let mut dnorm = vec![0u64; n];
+            if shift > 0 {
+                for i in (1..n).rev() {
+                    dnorm[i] = (limbs[i] << shift) | (limbs[i - 1] >> (64 - shift));
+                }
+                dnorm[0] = limbs[0] << shift;
+            } else {
+                dnorm.copy_from_slice(limbs);
+            }
+            let v = (u128::MAX / dnorm[n - 1] as u128) as u64;
+            Kind::Wide { shift, dnorm, v }
+        };
+        Reducer { d, kind }
+    }
+
+    /// The divisor this context reduces by.
+    pub fn divisor(&self) -> &UBig {
+        &self.d
+    }
+
+    /// `x mod d`, reusing the precomputed normalization and reciprocal.
+    pub fn rem(&self, x: &UBig) -> UBig {
+        match &self.kind {
+            Kind::Word(word) => UBig::from(word.rem(x)),
+            Kind::Wide { shift, dnorm, v } => {
+                if x < &self.d {
+                    return x.clone();
+                }
+                let s = *shift;
+                let n = dnorm.len();
+                let un = rem_norm(x.limbs(), s, dnorm, *v);
+                // Denormalize the remainder out of the scratch buffer (D8).
+                let mut r = vec![0u64; n];
+                if s > 0 {
+                    for i in 0..n - 1 {
+                        r[i] = (un[i] >> s) | (un[i + 1] << (64 - s));
+                    }
+                    r[n - 1] = un[n - 1] >> s;
+                } else {
+                    r.copy_from_slice(&un[..n]);
+                }
+                UBig::from_limbs(r)
+            }
+        }
+    }
+
+    /// `true` iff `x` is an exact multiple of the divisor — the labeling
+    /// scheme's ancestor test with the division front-loaded. Skips the
+    /// remainder denormalization: `r << shift` is zero iff `r` is.
+    pub fn is_multiple_of(&self, x: &UBig) -> bool {
+        match &self.kind {
+            Kind::Word(word) => word.is_multiple_of(x),
+            Kind::Wide { shift, dnorm, v } => {
+                if x < &self.d {
+                    return x.is_zero();
+                }
+                rem_norm(x.limbs(), *shift, dnorm, *v)[..dnorm.len()].iter().all(|&l| l == 0)
+            }
+        }
+    }
+}
+
+/// The quotient-free core of [`Reducer::rem`]: Knuth's D2–D7 recurrence for
+/// `x mod d` against the pre-normalized divisor `dn` (top bit set, `v` its
+/// top limb's 2-by-1 reciprocal), for `x >= d`. Returns the scratch buffer
+/// holding the *normalized* remainder `(x mod d) << s` in its low
+/// `dn.len()` limbs.
+fn rem_norm(x: &[u64], s: u32, dn: &[u64], v: u64) -> Vec<u64> {
+    let n = dn.len();
+    let d1 = dn[n - 1];
+    let d0 = dn[n - 2];
+    // D1 for the dividend only: shift into a buffer with one extra top limb.
+    let mut un = vec![0u64; x.len() + 1];
+    if s > 0 {
+        un[x.len()] = x[x.len() - 1] >> (64 - s);
+        for i in (1..x.len()).rev() {
+            un[i] = (x[i] << s) | (x[i - 1] >> (64 - s));
+        }
+        un[0] = x[0] << s;
+    } else {
+        un[..x.len()].copy_from_slice(x);
+    }
+
+    const B: u128 = 1u128 << 64;
+    for j in (0..=x.len() - n).rev() {
+        // D3: estimate the quotient digit from the top two window limbs via
+        // the reciprocal. The window invariant (the running remainder stays
+        // below the normalized divisor) bounds the top limb by d1; on the
+        // equal-top degenerate case clamp to B − 1 as Knuth does.
+        let u2 = un[j + n];
+        let u1 = un[j + n - 1];
+        let (mut qhat, mut rhat) = if u2 >= d1 {
+            (B - 1, u1 as u128 + d1 as u128)
+        } else {
+            let (q, r) = div2by1(u2, u1, d1, v);
+            (q as u128, r as u128)
+        };
+        while rhat < B && qhat * d0 as u128 > (rhat << 64) + un[j + n - 2] as u128 {
+            qhat -= 1;
+            rhat += d1 as u128;
+        }
+
+        // D4: multiply and subtract qhat·dn from the window; the digit
+        // itself is dropped — only the remainder matters.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * dn[i] as u128 + carry;
+            carry = p >> 64;
+            let t = un[i + j] as i128 - (p as u64) as i128 - borrow;
+            un[i + j] = t as u64;
+            borrow = i128::from(t < 0);
+        }
+        let t = un[j + n] as i128 - carry as i128 - borrow;
+        un[j + n] = t as u64;
+
+        // D5-D6: qhat was one too large (probability ~2/B); add back.
+        if t < 0 {
+            let mut c = 0u128;
+            for i in 0..n {
+                let sum = un[i + j] as u128 + dn[i] as u128 + c;
+                un[i + j] = sum as u64;
+                c = sum >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(c as u64);
+        }
+    }
+    un
+}
+
+/// Divides `⟨u1, u0⟩` (a two-word value, `u1 < d`) by the normalized divisor
+/// word `d` using its precomputed reciprocal `v`: returns
+/// `(quotient_word, remainder)`. Algorithm 4 of Möller & Granlund, 2011.
+#[inline]
+fn div2by1(u1: u64, u0: u64, d: u64, v: u64) -> (u64, u64) {
+    debug_assert!(d >= 1 << 63);
+    debug_assert!(u1 < d);
+    // q ≈ ⟨u1,u0⟩ · (B + v) / B², computed as v·u1 + ⟨u1,u0⟩; u1 ≤ d−1
+    // keeps the sum below 2¹²⁸.
+    let q = (v as u128) * (u1 as u128) + (((u1 as u128) << 64) | u0 as u128);
+    let q0 = q as u64;
+    let mut q1 = ((q >> 64) as u64).wrapping_add(1);
+    let mut r = u0.wrapping_sub(q1.wrapping_mul(d));
+    if r > q0 {
+        q1 = q1.wrapping_sub(1);
+        r = r.wrapping_add(d);
+    }
+    if r >= d {
+        q1 = q1.wrapping_add(1);
+        r -= d;
+    }
+    (q1, r)
+}
+
+/// Möller–Granlund reduction context for a fixed non-zero `u64` divisor.
+///
+/// Precomputes the normalized divisor's 2-by-1 reciprocal
+/// `v = ⌊(2¹²⁸ − 1) / d̂⌋ − 2⁶⁴` ("Improved division by invariant integers",
+/// Möller & Granlund, 2011); each limb of the dividend then costs one
+/// widening multiply and a couple of correction branches instead of the
+/// software 128-by-64 division the generic [`crate::UBig::rem_u64`] performs
+/// per limb. Used by the SC table, whose moduli are `u64` self-labels hit
+/// once per member per operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Reducer64 {
+    d: u64,
+    shift: u32,
+    dnorm: u64,
+    v: u64,
+}
+
+impl Reducer64 {
+    /// Builds the context for divisor `d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` (same contract as [`crate::UBig::rem_u64`]).
+    pub fn new(d: u64) -> Reducer64 {
+        assert!(d != 0, "division by zero");
+        let shift = d.leading_zeros();
+        let dnorm = d << shift;
+        let v = (u128::MAX / dnorm as u128) as u64;
+        Reducer64 { d, shift, dnorm, v }
+    }
+
+    /// The divisor this context reduces by.
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+
+    /// Divides `⟨u1, u0⟩` (a two-word value, `u1 < d̂`) by the normalized
+    /// divisor: returns `(quotient_word, remainder)`.
+    #[inline]
+    fn div2by1(&self, u1: u64, u0: u64) -> (u64, u64) {
+        div2by1(u1, u0, self.dnorm, self.v)
+    }
+
+    /// `x mod d`, streaming the limbs of `x << shift` without materializing
+    /// the shifted dividend.
+    pub fn rem(&self, x: &UBig) -> u64 {
+        let limbs = x.limbs();
+        let n = limbs.len();
+        if n == 0 {
+            return 0;
+        }
+        let s = self.shift;
+        let mut r = 0u64;
+        if s == 0 {
+            for &limb in limbs.iter().rev() {
+                r = self.div2by1(r, limb).1;
+            }
+            r
+        } else {
+            r = self.div2by1(0, limbs[n - 1] >> (64 - s)).1;
+            for i in (0..n).rev() {
+                let lo = if i > 0 { limbs[i - 1] >> (64 - s) } else { 0 };
+                r = self.div2by1(r, (limbs[i] << s) | lo).1;
+            }
+            r >> s
+        }
+    }
+
+    /// `(x / d, x mod d)`, same result as [`crate::UBig::divrem_u64`].
+    pub fn divrem(&self, x: &UBig) -> (UBig, u64) {
+        let limbs = x.limbs();
+        let n = limbs.len();
+        if n == 0 {
+            return (UBig::zero(), 0);
+        }
+        let s = self.shift;
+        let mut q = vec![0u64; n];
+        let mut r = 0u64;
+        if s == 0 {
+            for i in (0..n).rev() {
+                let (qi, ri) = self.div2by1(r, limbs[i]);
+                q[i] = qi;
+                r = ri;
+            }
+            (UBig::from_limbs(q), r)
+        } else {
+            // The shifted dividend x·2ˢ has one extra (short) top digit.
+            // Dividing it by d·2ˢ digit-by-digit yields exactly the base-2⁶⁴
+            // digits of ⌊x/d⌋ (the extra top quotient digit is always zero
+            // since ⌊x/d⌋ fits n limbs) and remainder (x mod d)·2ˢ.
+            let (qtop, ri) = self.div2by1(0, limbs[n - 1] >> (64 - s));
+            debug_assert_eq!(qtop, 0);
+            r = ri;
+            for i in (0..n).rev() {
+                let lo = if i > 0 { limbs[i - 1] >> (64 - s) } else { 0 };
+                let (qi, ri) = self.div2by1(r, (limbs[i] << s) | lo);
+                q[i] = qi;
+                r = ri;
+            }
+            (UBig::from_limbs(q), r >> s)
+        }
+    }
+
+    /// `true` iff `x mod d == 0`.
+    pub fn is_multiple_of(&self, x: &UBig) -> bool {
+        self.rem(x) == 0
+    }
+}
+
+/// Montgomery arithmetic context for an odd modulus `m > 1`.
+///
+/// Maps operands into the residue ring scaled by `R = Bⁿ` (for `n` = modulus
+/// limb count); multiplication then reduces with word-wise REDC — shifts and
+/// adds only, no division at all. The transform in/out costs two extra
+/// reductions, so Montgomery pays off for *chains* of multiplications
+/// (modular exponentiation, the CRT inner loop) while Barrett wins for
+/// one-shot remainders. See DESIGN.md §10.
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    m: UBig,
+    n: usize,
+    /// `−m⁻¹ mod 2⁶⁴` (of the low limb), the REDC folding multiplier.
+    minv: u64,
+    /// `R² mod m`, for mapping into the Montgomery domain.
+    r2: UBig,
+}
+
+impl Montgomery {
+    /// Builds the context, or `None` if `m` is even or `< 2` (REDC requires
+    /// `gcd(m, B) = 1`).
+    pub fn new(m: &UBig) -> Option<Montgomery> {
+        if !m.is_odd() || m.is_one() {
+            return None;
+        }
+        let n = m.limbs().len();
+        let m0 = m.limbs()[0];
+        // Newton iteration for m0⁻¹ mod 2⁶⁴: x ← x·(2 − m0·x) doubles the
+        // number of correct low bits; m0·m0 ≡ 1 (mod 8) seeds three bits,
+        // five iterations reach 96 ≥ 64.
+        let mut inv = m0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let r2 = &UBig::one().shl_limbs(2 * n) % m;
+        Some(Montgomery { m: m.clone(), n, minv: inv.wrapping_neg(), r2 })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &UBig {
+        &self.m
+    }
+
+    /// REDC: returns `t · R⁻¹ mod m` for `t < m·R`.
+    fn redc(&self, t: &UBig) -> UBig {
+        let n = self.n;
+        let mlimbs = self.m.limbs();
+        let mut tl = t.limbs().to_vec();
+        tl.resize(2 * n + 1, 0);
+        for i in 0..n {
+            // Choose u so that limb i of (t + u·m·Bⁱ) becomes zero.
+            let u = tl[i].wrapping_mul(self.minv);
+            let mut carry = 0u128;
+            for (j, &mj) in mlimbs.iter().enumerate() {
+                let s = tl[i + j] as u128 + (u as u128) * (mj as u128) + carry;
+                tl[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            let mut k = i + n;
+            while carry != 0 {
+                let s = tl[k] as u128 + carry;
+                tl[k] = s as u64;
+                carry = s >> 64;
+                k += 1;
+            }
+        }
+        // (t + Σ uᵢ·m·Bⁱ) / Bⁿ < 2m: one conditional subtraction suffices.
+        let mut out = UBig::from_limbs(tl[n..].to_vec());
+        if out >= self.m {
+            out.sub_assign_ref(&self.m);
+        }
+        out
+    }
+
+    /// Maps `x` into the Montgomery domain: `x · R mod m`.
+    pub fn to_mont(&self, x: &UBig) -> UBig {
+        self.redc(&((x % &self.m) * &self.r2))
+    }
+
+    /// Maps back out of the Montgomery domain.
+    pub fn from_mont(&self, x: &UBig) -> UBig {
+        self.redc(x)
+    }
+
+    /// Montgomery product of two in-domain values.
+    pub fn mul(&self, a: &UBig, b: &UBig) -> UBig {
+        self.redc(&(a * b))
+    }
+
+    /// `base^exp mod m` by left-to-right binary exponentiation entirely in
+    /// the Montgomery domain.
+    pub fn pow(&self, base: &UBig, exp: &UBig) -> UBig {
+        let base_m = self.to_mont(base);
+        let mut acc = self.to_mont(&UBig::one());
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, salt: u64) -> UBig {
+        UBig::from_limbs(
+            (0..n as u64)
+                .map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i.wrapping_add(salt)) | 1)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn barrett_matches_divrem_across_widths() {
+        for dk in [1usize, 2, 3, 5, 8] {
+            let d = pseudo(dk, 17);
+            let red = Reducer::new(d.clone());
+            for xk in [0usize, 1, dk, 2 * dk, 2 * dk + 1, 4 * dk + 3] {
+                let x = pseudo(xk, 23);
+                assert_eq!(red.rem(&x), &x % &d, "dk={dk} xk={xk}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_detects_exact_multiples() {
+        let d = pseudo(3, 5);
+        let red = Reducer::new(d.clone());
+        let q = pseudo(9, 7);
+        let exact = &q * &d;
+        assert!(red.is_multiple_of(&exact));
+        assert!(!red.is_multiple_of(&(exact + UBig::one())));
+        assert!(red.is_multiple_of(&UBig::zero()));
+    }
+
+    #[test]
+    fn barrett_one_divides_everything() {
+        let red = Reducer::new(UBig::one());
+        assert_eq!(red.rem(&pseudo(10, 3)), UBig::zero());
+    }
+
+    #[test]
+    fn wide_add_back_branch_is_exercised() {
+        // Same shape as div.rs's add-back case: maximal divisor top limb,
+        // dividend window one short of it, so the first qhat estimate is one
+        // too large and D6 must fire inside the quotient-free loop.
+        let u = UBig::from_limbs(vec![0, 0, 0x8000_0000_0000_0000, 0x7fff_ffff_ffff_ffff]);
+        let d = UBig::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let red = Reducer::new(d.clone());
+        assert_eq!(red.rem(&u), &u % &d);
+        assert!(!red.is_multiple_of(&u));
+    }
+
+    #[test]
+    fn wide_divisor_already_normalized() {
+        // Top bit set means shift = 0: no dividend shifting, no extra top
+        // bits, and the degenerate equal-top qhat clamp is reachable.
+        let d = UBig::from_limbs(vec![5, 1 << 63]);
+        let red = Reducer::new(d.clone());
+        for xk in [2usize, 3, 5, 9] {
+            let x = pseudo(xk, 29);
+            assert_eq!(red.rem(&x), &x % &d, "xk={xk}");
+        }
+        let exact = &pseudo(7, 31) * &d;
+        assert!(red.is_multiple_of(&exact));
+        assert!(!red.is_multiple_of(&(exact + UBig::one())));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn barrett_rejects_zero_divisor() {
+        let _ = Reducer::new(UBig::zero());
+    }
+
+    #[test]
+    fn reducer64_matches_rem_u64() {
+        for d in [1u64, 2, 3, 97, 1 << 32, u64::MAX, u64::MAX - 1, (1 << 63) + 1] {
+            let red = Reducer64::new(d);
+            for xk in [0usize, 1, 2, 7, 40] {
+                let x = pseudo(xk, d | 1);
+                assert_eq!(red.rem(&x), x.rem_u64(d), "d={d} xk={xk}");
+                let (q, r) = red.divrem(&x);
+                let (qq, rr) = x.divrem_u64(d);
+                assert_eq!((q, r), (qq, rr), "divrem d={d} xk={xk}");
+            }
+        }
+    }
+
+    #[test]
+    fn reducer64_all_ones_dividend() {
+        let x = UBig::from_limbs(vec![u64::MAX; 6]);
+        for d in [3u64, (1 << 63) | 5, u64::MAX] {
+            assert_eq!(Reducer64::new(d).rem(&x), x.rem_u64(d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn reducer64_rejects_zero_divisor() {
+        let _ = Reducer64::new(0);
+    }
+
+    #[test]
+    fn montgomery_round_trip_and_mul() {
+        let m = pseudo(4, 9); // odd by construction (| 1 on limb 0)
+        let ctx = Montgomery::new(&m).unwrap_or_else(|| panic!("odd modulus"));
+        let a = pseudo(6, 21);
+        let b = pseudo(3, 33);
+        let am = ctx.to_mont(&a);
+        assert_eq!(ctx.from_mont(&am), &a % &m);
+        let prod = ctx.from_mont(&ctx.mul(&am, &ctx.to_mont(&b)));
+        assert_eq!(prod, &(&a * &b) % &m);
+    }
+
+    #[test]
+    fn montgomery_pow_matches_plain() {
+        let m = pseudo(3, 41);
+        let ctx = Montgomery::new(&m).unwrap_or_else(|| panic!("odd modulus"));
+        let base = pseudo(4, 51);
+        for e in [0u64, 1, 2, 3, 64, 1000] {
+            let exp = UBig::from(e);
+            assert_eq!(
+                ctx.pow(&base, &exp),
+                crate::modular::mod_pow_plain(&base, &exp, &m),
+                "e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn montgomery_rejects_even_and_trivial_moduli() {
+        assert!(Montgomery::new(&UBig::from(10u64)).is_none());
+        assert!(Montgomery::new(&UBig::one()).is_none());
+        assert!(Montgomery::new(&UBig::zero()).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Kernel-oracle differential suite: every multiply kernel and every
+//! reduction context vs the naive `RefUint` oracle, with generators pinned
+//! to sizes straddling both dispatch crossovers ([`KARATSUBA_THRESHOLD`]
+//! and [`TOOM3_THRESHOLD`]) and to carry-heavy limb patterns. Shrinking and seed
+//! reporting come from propcheck; rerun a failure with the printed
+//! `PROPCHECK_SEED`. See DESIGN.md §10.
+
+use xp_bignum::kernels::{self, KARATSUBA_THRESHOLD, TOOM3_THRESHOLD};
+use xp_bignum::modular;
+use xp_bignum::reduce::{Montgomery, Reducer, Reducer64};
+use xp_bignum::UBig;
+use xp_testkit::kernel_oracle::{check_binary_kernel, kernel_operand, ref_from_limbs};
+use xp_testkit::propcheck::{u64s, Gen};
+use xp_testkit::{prop_assert, prop_assert_eq, prop_assume, propcheck, RefUint};
+
+/// Case count per kernel (the acceptance floor is 512).
+const CASES: u32 = 512;
+
+fn thresholds() -> Vec<usize> {
+    vec![KARATSUBA_THRESHOLD, TOOM3_THRESHOLD]
+}
+
+fn ubig(limbs: &[u64]) -> UBig {
+    UBig::from_limbs(limbs.to_vec())
+}
+
+#[test]
+fn mul_schoolbook_vs_oracle() {
+    check_binary_kernel(
+        "kernel_differential::mul_schoolbook",
+        CASES,
+        thresholds(),
+        |a, b| a.mul(b),
+        |a, b| format!("{:x}", kernels::mul_schoolbook(&ubig(a), &ubig(b))),
+    );
+}
+
+#[test]
+fn mul_karatsuba_vs_oracle() {
+    check_binary_kernel(
+        "kernel_differential::mul_karatsuba",
+        CASES,
+        thresholds(),
+        |a, b| a.mul(b),
+        |a, b| format!("{:x}", kernels::mul_karatsuba(&ubig(a), &ubig(b))),
+    );
+}
+
+#[test]
+fn mul_toom3_vs_oracle() {
+    check_binary_kernel(
+        "kernel_differential::mul_toom3",
+        CASES,
+        thresholds(),
+        |a, b| a.mul(b),
+        |a, b| format!("{:x}", kernels::mul_toom3(&ubig(a), &ubig(b))),
+    );
+}
+
+#[test]
+fn mul_auto_dispatch_vs_oracle() {
+    check_binary_kernel(
+        "kernel_differential::mul_auto",
+        CASES,
+        thresholds(),
+        |a, b| a.mul(b),
+        |a, b| format!("{:x}", kernels::mul_auto(&ubig(a), &ubig(b))),
+    );
+}
+
+/// Divisor generator for the reduction contexts: non-zero, with limb counts
+/// biased small (the predicate loop divides huge descendant labels by
+/// shallow ancestor labels) but carry-heavy in content.
+fn divisor_limbs() -> Gen<Vec<u64>> {
+    kernel_operand(vec![1, 2, 4]).map(|mut v| {
+        v.truncate(9);
+        if v.iter().all(|&l| l == 0) {
+            v = vec![1];
+        }
+        v
+    })
+}
+
+propcheck! {
+    #![config(cases = 512)]
+
+    #[test]
+    fn barrett_rem_vs_oracle(
+        d_limbs in divisor_limbs(),
+        x_limbs in kernel_operand(vec![KARATSUBA_THRESHOLD, TOOM3_THRESHOLD]),
+    ) {
+        let d = ubig(&d_limbs);
+        let x = ubig(&x_limbs);
+        let red = Reducer::new(d.clone());
+        let (_, want) = ref_from_limbs(&x_limbs).divrem(&ref_from_limbs(&d_limbs));
+        prop_assert_eq!(red.rem(&x).to_decimal(), want.to_string());
+        // And against the production Knuth division directly.
+        prop_assert_eq!(red.rem(&x), &x % &d);
+    }
+
+    #[test]
+    fn barrett_flags_exact_multiples(
+        d_limbs in divisor_limbs(),
+        q_limbs in kernel_operand(vec![8, 32]),
+    ) {
+        let d = ubig(&d_limbs);
+        let exact = &ubig(&q_limbs) * &d;
+        let red = Reducer::new(d.clone());
+        prop_assert!(red.is_multiple_of(&exact));
+        prop_assert_eq!(red.is_multiple_of(&(&exact + &UBig::one())), d.is_one());
+    }
+
+    #[test]
+    fn reducer64_vs_oracle(
+        d in u64s(1..=u64::MAX),
+        x_limbs in kernel_operand(vec![KARATSUBA_THRESHOLD, TOOM3_THRESHOLD]),
+    ) {
+        let x = ubig(&x_limbs);
+        let red = Reducer64::new(d);
+        let (oq, orr) = ref_from_limbs(&x_limbs).divrem(&RefUint::from(d));
+        let (q, r) = red.divrem(&x);
+        prop_assert_eq!(format!("{q:x}"), oq.to_hex());
+        prop_assert_eq!(r.to_string(), orr.to_string());
+        prop_assert_eq!(red.rem(&x), x.rem_u64(d));
+        prop_assert_eq!((q, UBig::from(r)), {
+            let (qq, rr) = x.divrem_u64(d);
+            (qq, UBig::from(rr))
+        });
+    }
+
+    #[test]
+    fn montgomery_pow_vs_oracle(
+        m_limbs in divisor_limbs(),
+        base_limbs in kernel_operand(vec![4, 8]),
+        exp in u64s(0..=4096),
+    ) {
+        // Force the modulus odd and > 1 (Montgomery's domain).
+        let mut m_limbs = m_limbs;
+        m_limbs[0] |= 1;
+        let m = ubig(&m_limbs);
+        prop_assume!(!m.is_one());
+        let base = ubig(&base_limbs);
+        let exp_big = UBig::from(exp);
+        let ctx = match Montgomery::new(&m) {
+            Some(ctx) => ctx,
+            None => return Err(xp_testkit::propcheck::CaseError::fail("odd modulus rejected")),
+        };
+        let got = ctx.pow(&base, &exp_big);
+        let want = ref_from_limbs(&base_limbs)
+            .modpow(&RefUint::from(exp), &ref_from_limbs(&m_limbs));
+        prop_assert_eq!(got.to_decimal(), want.to_string());
+        // The plain square-and-multiply path must agree limb for limb.
+        prop_assert_eq!(got, modular::mod_pow_plain(&base, &exp_big, &m));
+    }
+
+    #[test]
+    fn montgomery_mul_round_trip_vs_oracle(
+        m_limbs in divisor_limbs(),
+        a_limbs in kernel_operand(vec![4, 8]),
+        b_limbs in kernel_operand(vec![4, 8]),
+    ) {
+        let mut m_limbs = m_limbs;
+        m_limbs[0] |= 1;
+        let m = ubig(&m_limbs);
+        prop_assume!(!m.is_one());
+        let (a, b) = (ubig(&a_limbs), ubig(&b_limbs));
+        let ctx = match Montgomery::new(&m) {
+            Some(ctx) => ctx,
+            None => return Err(xp_testkit::propcheck::CaseError::fail("odd modulus rejected")),
+        };
+        let got = ctx.from_mont(&ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        let (_, want) = ref_from_limbs(&a_limbs)
+            .mul(&ref_from_limbs(&b_limbs))
+            .divrem(&ref_from_limbs(&m_limbs));
+        prop_assert_eq!(got.to_decimal(), want.to_string());
+    }
+}

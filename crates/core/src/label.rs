@@ -1,8 +1,9 @@
 //! [`PrimeLabel`]: the label type of the top-down prime scheme.
 
+use xp_bignum::reduce::Reducer;
 use xp_bignum::UBig;
 use xp_labelkit::codec::{read_bytes, read_varint, write_bytes, write_varint, CodecError};
-use xp_labelkit::{LabelCodec, LabelOps};
+use xp_labelkit::{AncestorTester, LabelCodec, LabelOps};
 
 /// A top-down prime label.
 ///
@@ -97,6 +98,28 @@ impl LabelOps for PrimeLabel {
 
     fn size_bits(&self) -> u64 {
         self.value.bit_len()
+    }
+
+    /// Fixed-ancestor test with the division front-loaded: one Barrett
+    /// context ([`Reducer`]) is built for `self.value`, so each candidate
+    /// costs two multiplications instead of a full Knuth division — the
+    /// hot path of the descendant axis and the structural join, where one
+    /// ancestor label is tested against many node labels.
+    ///
+    /// Answers are identical to [`LabelOps::is_ancestor_of`] (the
+    /// `predicate_differential` suite pins this end to end).
+    fn ancestor_tester(&self) -> AncestorTester<'_, Self> {
+        if self.odd_internal_mode && !self.value.is_odd() {
+            // Property 3's odd-guard rejects this label as an ancestor of
+            // anything; no division will ever run.
+            return Box::new(|_| false);
+        }
+        if self.value.is_zero() {
+            // Degenerate hand-built label; keep the plain path's semantics.
+            return Box::new(move |other| self.is_ancestor_of(other));
+        }
+        let reducer = Reducer::new(self.value.clone());
+        Box::new(move |other| self.value != other.value && reducer.is_multiple_of(&other.value))
     }
 }
 
@@ -217,6 +240,35 @@ mod tests {
         let mut buf = Vec::new();
         lbl(30, 7, false).encode(&mut buf); // 7 does not divide 30
         assert!(PrimeLabel::decode(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn ancestor_tester_matches_plain_test_everywhere() {
+        // A small forest of labels covering both modes, the odd-guard, huge
+        // values, and self-comparison; the Barrett-backed tester must agree
+        // with the division-based test on every ordered pair.
+        let labels = [
+            PrimeLabel::root(false),
+            PrimeLabel::root(true),
+            lbl(2, 2, false),
+            lbl(6, 3, false),
+            lbl(30, 5, false),
+            lbl(6, 2, true),
+            lbl(12, 4, true),
+            lbl(3, 3, true),
+            PrimeLabel::from_parts(UBig::from(3u64).pow(200), UBig::from(3u64), false),
+            PrimeLabel::from_parts(UBig::from(3u64).pow(100), UBig::from(3u64), false),
+        ];
+        for a in &labels {
+            let tester = a.ancestor_tester();
+            for b in &labels {
+                assert_eq!(
+                    tester(b),
+                    a.is_ancestor_of(b),
+                    "tester disagrees for {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::crt::{self, CrtError};
 use std::collections::HashMap;
 use xp_bignum::checked::{mul_within, BudgetError};
+use xp_bignum::reduce::Reducer64;
 use xp_bignum::{modular, prodtree, UBig};
 use xp_testkit::fault::Injected;
 use xp_testkit::faultpoint;
@@ -61,8 +62,12 @@ fn build_basis(members: &[u64], product: &UBig) -> Result<Vec<UBig>, CrtError> {
                 // though useless as a self-label).
                 return Ok(UBig::zero());
             }
-            let (cofactor, _) = product.divrem_u64(m);
-            let inv = modular::mod_inverse_u64(cofactor.rem_u64(m), m)
+            // One Möller–Granlund context per member covers both the
+            // cofactor division and its residue — the basis build is all
+            // divisions by the same small m.
+            let red = Reducer64::new(m);
+            let (cofactor, _) = red.divrem(product);
+            let inv = modular::mod_inverse_u64(red.rem(&cofactor), m)
                 .ok_or_else(|| basis_conflict(members, m))?;
             Ok(cofactor.mul_u64(inv) % product)
         })
@@ -193,7 +198,7 @@ impl ScRecord {
             // ≡ 0 (mod 1) holds for any SC: zero element, solution unchanged.
             self.basis.push(UBig::zero());
         } else {
-            let inv = modular::mod_inverse_u64(self.product.rem_u64(m), m)
+            let inv = modular::mod_inverse_u64(Reducer64::new(m).rem(&self.product), m)
                 .ok_or_else(|| basis_conflict(&self.members, m))?;
             self.basis.push(self.product.mul_u64(inv));
             self.sc = crt::extend(&self.sc, &self.product, m, order)?;
@@ -537,9 +542,13 @@ impl ScTable {
             if r.max_self != r.members.iter().copied().max().unwrap_or(0) {
                 return Err(format!("record {idx}: stale max_self key"));
             }
+            // One reducer per member, reused across the SC check and the
+            // i×j basis sweep below — the check is O(k²) residues by the
+            // same k divisors.
+            let reducers: Vec<Reducer64> = r.members.iter().map(|&m| Reducer64::new(m)).collect();
             for (i, (&m, &o)) in r.members.iter().zip(&r.orders).enumerate() {
-                if r.sc.rem_u64(m) != o {
-                    return Err(format!("record {idx}: cached order of member {m} is {o}, SC says {}", r.sc.rem_u64(m)));
+                if reducers[i].rem(&r.sc) != o {
+                    return Err(format!("record {idx}: cached order of member {m} is {o}, SC says {}", reducers[i].rem(&r.sc)));
                 }
                 if o > self.max_order {
                     return Err(format!("member {m}: order {o} above the max_order bound {}", self.max_order));
@@ -549,7 +558,7 @@ impl ScTable {
                 }
                 for (j, &mj) in r.members.iter().enumerate() {
                     let want = u64::from(i == j);
-                    if r.basis[i].rem_u64(mj) != want % mj {
+                    if reducers[j].rem(&r.basis[i]) != want % mj {
                         return Err(format!("record {idx}: basis[{i}] mod {mj} != {want}"));
                     }
                 }
@@ -771,7 +780,7 @@ impl ScTable {
             if !members.is_empty() && sc >= product {
                 return Err(CodecError::Corrupt("SC value outside its modulus"));
             }
-            let orders: Vec<u64> = members.iter().map(|&m| sc.rem_u64(m)).collect();
+            let orders: Vec<u64> = members.iter().map(|&m| Reducer64::new(m).rem(&sc)).collect();
             let basis = build_basis(&members, &product)
                 .map_err(|_| CodecError::Corrupt("members are not pairwise coprime"))?;
             records.push(ScRecord {

@@ -38,4 +38,4 @@ pub use dynamic::{
     copy_fragment, full_relabel, graft_fragment, DynamicError, DynamicScheme, InsertPos,
     LabeledStore, Mutation, RelabelReport,
 };
-pub use scheme::{assert_parent_contract, LabelOps, OrderedLabel, Scheme};
+pub use scheme::{assert_parent_contract, AncestorTester, LabelOps, OrderedLabel, Scheme};

@@ -59,7 +59,31 @@ pub trait LabelOps: Clone + Eq + std::fmt::Debug + Send + Sync {
     fn level_hint(&self) -> Option<usize> {
         None
     }
+
+    /// Returns a reusable predicate answering "is `self` a proper ancestor
+    /// of the argument?" — for call sites that test **one fixed ancestor
+    /// candidate against many nodes** (the descendant axis of the query
+    /// engine, the stack tops of the structural join).
+    ///
+    /// The default just delegates to [`LabelOps::is_ancestor_of`], so every
+    /// scheme gets it for free. Schemes whose ancestor test repeats
+    /// per-`self` setup work may override it to front-load that work: the
+    /// prime scheme's test divides by `self`'s label, so its override
+    /// captures a Barrett reduction context (precomputed reciprocal) and
+    /// answers each call with multiplications only.
+    ///
+    /// # Contract
+    /// For all `x`: `tester(&x) == self.is_ancestor_of(&x)`, bit for bit —
+    /// an override changes cost, never answers. The end-to-end differential
+    /// suites (`predicate_differential`) pin this across whole documents.
+    fn ancestor_tester(&self) -> AncestorTester<'_, Self> {
+        Box::new(move |other| self.is_ancestor_of(other))
+    }
 }
+
+/// A boxed fixed-ancestor predicate borrowed from the ancestor's label; see
+/// [`LabelOps::ancestor_tester`].
+pub type AncestorTester<'a, L> = Box<dyn Fn(&L) -> bool + Send + Sync + 'a>;
 
 /// Debug-checks the [`LabelOps::is_parent_of`] contract on one label pair:
 ///
@@ -168,6 +192,17 @@ mod tests {
         }
         fn size_bits(&self) -> u64 {
             128
+        }
+    }
+
+    #[test]
+    fn default_ancestor_tester_delegates_exactly() {
+        let root = Toy { start: 1, end: 10, level: 0 };
+        let child = Toy { start: 2, end: 9, level: 1 };
+        let sibling = Toy { start: 11, end: 12, level: 1 };
+        let tester = root.ancestor_tester();
+        for other in [&root, &child, &sibling] {
+            assert_eq!(tester(other), root.is_ancestor_of(other));
         }
     }
 

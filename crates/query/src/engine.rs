@@ -586,6 +586,12 @@ fn select<L: LabelOps>(
     let ctx_row = table.row_of(context);
     let ctx_rank = oracle.rank(context);
     let mut out: Vec<NodeId> = Vec::new();
+    // The descendant and following axes test the *fixed* context label
+    // against every candidate — exactly the shape `ancestor_tester` exists
+    // for. Built once per step, so the prime scheme's Barrett context is
+    // amortized across the whole candidate scan.
+    let ctx_is_ancestor = matches!(step.axis, Axis::Descendant | Axis::Following)
+        .then(|| ctx_row.label.ancestor_tester());
     // `*` matches every element (XPath wildcard).
     let candidates: Vec<usize> = if step.tag == "*" {
         (0..table.rows().len()).collect()
@@ -599,9 +605,12 @@ fn select<L: LabelOps>(
         }
         let keep = match step.axis {
             Axis::Child => row.parent == Some(context),
-            Axis::Descendant => ctx_row.label.is_ancestor_of(&row.label),
+            Axis::Descendant => {
+                ctx_is_ancestor.as_ref().is_some_and(|tester| tester(&row.label))
+            }
             Axis::Following => {
-                oracle.rank(row.node) > ctx_rank && !ctx_row.label.is_ancestor_of(&row.label)
+                oracle.rank(row.node) > ctx_rank
+                    && !ctx_is_ancestor.as_ref().is_some_and(|tester| tester(&row.label))
             }
             Axis::Preceding => {
                 oracle.rank(row.node) < ctx_rank && !row.label.is_ancestor_of(&ctx_row.label)

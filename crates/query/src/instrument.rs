@@ -13,7 +13,7 @@ use crate::relstore::LabelTable;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use xp_labelkit::LabelOps;
+use xp_labelkit::{AncestorTester, LabelOps};
 use xp_xmltree::NodeId;
 
 /// What a query's structural predicates cost.
@@ -88,6 +88,18 @@ impl<L: LabelOps> LabelOps for CountingLabel<L> {
 
     fn level_hint(&self) -> Option<usize> {
         self.inner.level_hint()
+    }
+
+    /// Counts exactly like [`LabelOps::is_ancestor_of`] while delegating to
+    /// the wrapped scheme's own (possibly precomputed) tester — the stats
+    /// stay identical whether the engine tests labels directly or through a
+    /// hoisted tester, and the optimized path stays under measurement.
+    fn ancestor_tester(&self) -> AncestorTester<'_, Self> {
+        let inner_tester = self.inner.ancestor_tester();
+        Box::new(move |other: &Self| {
+            self.counters.record(self.inner.size_bits() + other.inner.size_bits());
+            inner_tester(&other.inner)
+        })
     }
 }
 

@@ -16,10 +16,24 @@
 //! ancestors, and for every `A`-element, how many targets lie in its
 //! subtree. Every position-free axis of the engine reduces to it.
 
-use xp_labelkit::LabelOps;
+use xp_labelkit::{AncestorTester, LabelOps};
 
 /// One element of a join input: `(document-order rank, label)`.
 pub type Ranked<'a, L> = (u64, &'a L);
+
+/// Tests `ancestors[idx]` against `target` through a per-ancestor memoized
+/// [`AncestorTester`]: the stack-tree join probes each stacked ancestor many
+/// times (once per incoming element while it sits on the chain), so the
+/// per-ancestor setup — the prime scheme's Barrett context — is paid at most
+/// once per join input element. Never-stacked ancestors pay nothing.
+fn test_ancestor<'a, L: LabelOps>(
+    testers: &mut [Option<AncestorTester<'a, L>>],
+    ancestors: &[Ranked<'a, L>],
+    idx: usize,
+    target: &L,
+) -> bool {
+    testers[idx].get_or_insert_with(|| ancestors[idx].1.ancestor_tester())(target)
+}
 
 /// Output of [`ancestor_descendant_counts`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +64,10 @@ pub fn ancestor_descendant_counts<L: LabelOps>(
 
     let mut ancestors_of_target = vec![0usize; targets.len()];
     let mut targets_under_ancestor = vec![0usize; ancestors.len()];
+    // Lazily-built fixed-ancestor predicates, one slot per ancestor (see
+    // [`test_ancestor`]).
+    let mut testers: Vec<Option<AncestorTester<'_, L>>> =
+        (0..ancestors.len()).map(|_| None).collect();
     // Stack of indices into `ancestors`, always a nested ancestor chain.
     let mut stack: Vec<usize> = Vec::new();
     let mut next_a = 0usize;
@@ -61,7 +79,7 @@ pub fn ancestor_descendant_counts<L: LabelOps>(
             // Maintain the chain invariant: pop everything that does not
             // enclose the incoming element.
             while let Some(&top) = stack.last() {
-                if ancestors[top].1.is_ancestor_of(a_label) {
+                if test_ancestor(&mut testers, ancestors, top, a_label) {
                     break;
                 }
                 stack.pop();
@@ -71,7 +89,7 @@ pub fn ancestor_descendant_counts<L: LabelOps>(
         }
         // Pop chain elements whose subtrees ended before this target.
         while let Some(&top) = stack.last() {
-            if ancestors[top].1.is_ancestor_of(t_label) {
+            if test_ancestor(&mut testers, ancestors, top, t_label) {
                 break;
             }
             stack.pop();

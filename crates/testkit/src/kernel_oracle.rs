@@ -1,0 +1,205 @@
+//! Kernel-oracle layer: [`RefUint`]-backed differential testing for
+//! arithmetic kernels.
+//!
+//! `xp-bignum` grows multiply kernels (schoolbook / Karatsuba / Toom-3) and
+//! reduction contexts (Barrett / Montgomery) whose bugs hide in exactly two
+//! places: the *crossover sizes* where the dispatch switches kernels, and
+//! the *carry chains* that only dense limb patterns exercise. This module
+//! supplies propcheck generators biased toward both — limb counts straddling
+//! the dispatch thresholds, all-ones limbs, and values one step from
+//! `u64::MAX` — plus a differential runner that compares any limb-level
+//! binary kernel against the deliberately naive [`RefUint`] oracle (which
+//! shares no algorithmic structure with `xp-bignum`).
+//!
+//! The crate cannot depend on `xp-bignum` (the dependency points the other
+//! way), so everything here speaks little-endian `u64` limb slices; the
+//! kernel under test converts on its side of the boundary. See
+//! `crates/bignum/tests/kernel_differential.rs` for the consuming suite and
+//! DESIGN.md §10 for the layer's place in the kernel workflow.
+
+use crate::propcheck::{self, constant, one_of, u64s, usizes, CaseError, CaseRun, Config, Gen};
+use crate::refint::RefUint;
+
+/// Builds the oracle integer from little-endian `u64` limbs — the exact
+/// in-memory layout of `xp_bignum::UBig`. Trailing zero limbs are fine (the
+/// oracle normalizes), so generators don't need to maintain the no-trailing-
+/// zero invariant the production type enforces.
+pub fn ref_from_limbs(limbs: &[u64]) -> RefUint {
+    let mut bytes = Vec::with_capacity(limbs.len() * 8);
+    for &limb in limbs.iter().rev() {
+        bytes.extend_from_slice(&limb.to_be_bytes());
+    }
+    RefUint::from_bytes_be(&bytes)
+}
+
+/// Limb values biased toward carry-propagation hazards: all-ones, values a
+/// step or two below `u64::MAX`, the sign-bit boundary, and tiny values that
+/// create zero runs — with enough uniform draws mixed in to keep coverage
+/// broad.
+pub fn carry_heavy_limbs() -> Gen<u64> {
+    one_of(vec![
+        constant(u64::MAX),
+        constant(u64::MAX - 1),
+        constant(1u64 << 63),
+        constant((1u64 << 63) - 1),
+        constant(0u64),
+        constant(1u64),
+        u64s(u64::MAX - 16..=u64::MAX),
+        u64s(0..=u64::MAX),
+        u64s(0..=u64::MAX),
+    ])
+}
+
+/// Limb counts pinned to the interesting sizes: for every dispatch
+/// threshold `t`, lengths in `[t−2, t+2]` (where the kernel switch happens)
+/// and around `2t` (the first recursion level that re-crosses it), plus
+/// small lengths `0..8` for the degenerate splits.
+pub fn straddling_lens(thresholds: Vec<usize>) -> Gen<usize> {
+    let mut choices: Vec<Gen<usize>> = vec![usizes(0..8usize)];
+    for &t in &thresholds {
+        choices.push(usizes(t.saturating_sub(2)..=t + 2));
+        choices.push(usizes((2 * t).saturating_sub(2)..=2 * t + 2));
+    }
+    one_of(choices)
+}
+
+/// Operand generator for multiply/reduce kernels: carry-heavy limbs at
+/// threshold-straddling lengths, with occasional solid all-ones and
+/// near-`u64::MAX` runs (the worst case for every carry chain at once).
+pub fn kernel_operand(thresholds: Vec<usize>) -> Gen<Vec<u64>> {
+    let lens = straddling_lens(thresholds);
+    let limb = carry_heavy_limbs();
+    Gen::new(move |s| {
+        let n = lens.generate(s);
+        match s.below(4) {
+            // Solid all-ones run: (B^n − 1), the maximal-carry operand.
+            0 => vec![u64::MAX; n],
+            // Near-max run with a single perturbed limb.
+            1 => {
+                let mut v = vec![u64::MAX; n];
+                if n > 0 {
+                    let at = s.below(n as u64) as usize;
+                    v[at] = s.next_u64();
+                }
+                v
+            }
+            // Mixed carry-heavy limbs.
+            _ => (0..n).map(|_| limb.generate(s)).collect(),
+        }
+    })
+}
+
+/// Differentially checks a binary limb-level kernel against the oracle.
+///
+/// Draws `cases` operand pairs from [`kernel_operand`] (biased to
+/// `thresholds`), computes `oracle(a, b)` on [`RefUint`] and `ours(a, b)` in
+/// the kernel under test (returned as a lowercase hex string so this module
+/// never sees the production type, and so the comparison stays linear in
+/// the operand size), and fails — with propcheck's shrinking and seed
+/// reporting — on the first mismatch.
+///
+/// `name` should identify the kernel uniquely (it seeds the PRNG), e.g.
+/// `"kernel_differential::mul_toom3"`.
+pub fn check_binary_kernel(
+    name: &str,
+    cases: u32,
+    thresholds: Vec<usize>,
+    oracle: impl Fn(&RefUint, &RefUint) -> RefUint,
+    ours: impl Fn(&[u64], &[u64]) -> String,
+) {
+    let operand = kernel_operand(thresholds);
+    propcheck::run(name, Config::default().with_cases(cases), move |src| {
+        let a = operand.generate(src);
+        let b = operand.generate(src);
+        let desc = format!("a = {a:x?}\n  b = {b:x?}");
+        propcheck::note_args(&desc);
+        let want = oracle(&ref_from_limbs(&a), &ref_from_limbs(&b)).to_hex();
+        let got = ours(&a, &b);
+        let result = if got == want {
+            Ok(())
+        } else {
+            Err(CaseError::fail(format!(
+                "kernel disagrees with oracle\n  ours:   {got}\n  oracle: {want}"
+            )))
+        };
+        CaseRun { desc, result }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{SeedableRng, StdRng};
+
+    #[test]
+    fn ref_from_limbs_matches_manual_value() {
+        assert!(ref_from_limbs(&[]).is_zero());
+        assert_eq!(ref_from_limbs(&[7]).to_string(), "7");
+        // [low, high] = high·2⁶⁴ + low.
+        assert_eq!(
+            ref_from_limbs(&[3, 2]).to_string(),
+            (2u128 * (1u128 << 64) + 3).to_string()
+        );
+        // Trailing zero limbs normalize away.
+        assert_eq!(ref_from_limbs(&[5, 0, 0]).to_string(), "5");
+    }
+
+    #[test]
+    fn straddling_lens_hit_every_threshold_window() {
+        let gen = straddling_lens(vec![32, 96]);
+        let mut src = crate::propcheck::Source::recording(StdRng::seed_from_u64(11));
+        let mut near32 = false;
+        let mut near96 = false;
+        let mut near192 = false;
+        for _ in 0..2000 {
+            let n = gen.generate(&mut src);
+            near32 |= (30..=34).contains(&n);
+            near96 |= (94..=98).contains(&n);
+            near192 |= (190..=194).contains(&n);
+        }
+        assert!(near32 && near96 && near192, "windows missed: {near32} {near96} {near192}");
+    }
+
+    #[test]
+    fn kernel_operand_produces_all_ones_runs() {
+        let gen = kernel_operand(vec![8]);
+        let mut src = crate::propcheck::Source::recording(StdRng::seed_from_u64(5));
+        let mut saw_all_ones = false;
+        for _ in 0..500 {
+            let v = gen.generate(&mut src);
+            saw_all_ones |= v.len() >= 4 && v.iter().all(|&l| l == u64::MAX);
+        }
+        assert!(saw_all_ones, "all-ones bias missing");
+    }
+
+    #[test]
+    fn check_binary_kernel_accepts_a_correct_kernel() {
+        check_binary_kernel(
+            "kernel_oracle::selftest::add",
+            64,
+            vec![4],
+            |a, b| a.add(b),
+            |a, b| ref_from_limbs(a).add(&ref_from_limbs(b)).to_hex(),
+        );
+    }
+
+    #[test]
+    fn check_binary_kernel_catches_an_off_by_one() {
+        let outcome = std::panic::catch_unwind(|| {
+            check_binary_kernel(
+                "kernel_oracle::selftest::broken",
+                64,
+                vec![4],
+                |a, b| a.add(b),
+                // A "kernel" that drops the carry... by adding one instead.
+                |a, b| {
+                    ref_from_limbs(a)
+                        .add(&ref_from_limbs(b))
+                        .add(&RefUint::from(1u64))
+                        .to_hex()
+                },
+            );
+        });
+        assert!(outcome.is_err(), "broken kernel must be flagged");
+    }
+}

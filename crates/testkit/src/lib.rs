@@ -14,6 +14,10 @@
 //!   warmup + calibrated samples, min/median/p95, JSON into `results/`.
 //! * [`refint`] — a schoolbook reference big-integer (replaced `num-bigint`
 //!   as the differential-test oracle for `xp-bignum`).
+//! * [`kernel_oracle`] — the differential layer over [`refint`]: propcheck
+//!   generators biased to multiply-kernel crossover sizes and carry-heavy
+//!   limb patterns, plus a runner that pins any limb-level kernel against
+//!   the oracle.
 //!
 //! It also hosts the workspace's fault-injection facility:
 //!
@@ -26,6 +30,7 @@
 
 pub mod bench;
 pub mod fault;
+pub mod kernel_oracle;
 pub mod propcheck;
 pub mod refint;
 pub mod rng;

@@ -25,13 +25,19 @@ impl RefUint {
     }
 
     /// Parses big-endian bytes (the `num-bigint` constructor the
-    /// differential tests used).
+    /// differential tests used). Bytes group into base-2³² limbs directly —
+    /// a representation change, not arithmetic, so a linear constructor
+    /// keeps the oracle naive where it counts.
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
-        let mut v = RefUint::zero();
-        for &b in bytes {
-            v = v.shl_bits(8).add(&RefUint::from(b as u64));
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        for chunk in bytes.rchunks(4) {
+            let mut limb = 0u32;
+            for &b in chunk {
+                limb = (limb << 8) | b as u32;
+            }
+            limbs.push(limb);
         }
-        v
+        RefUint::trim(limbs)
     }
 
     /// `true` iff the value is zero.
@@ -227,6 +233,24 @@ impl Ord for RefUint {
     }
 }
 
+impl RefUint {
+    /// Lowercase hex rendering — linear in the limb count, unlike the
+    /// decimal [`fmt::Display`], so differential runners can compare large
+    /// values without an O(n²) conversion dominating the test budget.
+    pub fn to_hex(&self) -> String {
+        match self.limbs.split_last() {
+            None => "0".to_string(),
+            Some((top, rest)) => {
+                let mut out = format!("{top:x}");
+                for limb in rest.iter().rev() {
+                    out.push_str(&format!("{limb:08x}"));
+                }
+                out
+            }
+        }
+    }
+}
+
 impl fmt::Display for RefUint {
     /// Decimal rendering by repeated division by 10⁹ (naive but exact).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -312,6 +336,16 @@ mod tests {
 
     fn r(v: u64) -> RefUint {
         RefUint::from(v)
+    }
+
+    #[test]
+    fn to_hex_matches_formatting() {
+        for v in [0u64, 1, 0xf, 0x10, 0xdead_beef, u64::MAX] {
+            assert_eq!(r(v).to_hex(), format!("{v:x}"));
+        }
+        // Crosses the base-2³² limb boundary: inner limbs must zero-pad.
+        let wide = r(u64::MAX).mul(&r(0x1_0000_0001));
+        assert_eq!(wide.to_hex(), format!("{:x}", u64::MAX as u128 * 0x1_0000_0001));
     }
 
     #[test]

@@ -64,6 +64,9 @@ for site in sc.insert sc.insert.record sc.relabel sc.remove \
     XP_FAULT="$site:1" \
         cargo test -q --offline -p xp-query --test dynamic_differential dynamic_env_matrix \
         > /dev/null
+    XP_FAULT="$site:1" \
+        cargo test -q --offline -p xp-query --test predicate_differential predicate_env_matrix \
+        > /dev/null
     echo "OK: pipeline survives injected fault at $site"
 done
 
@@ -93,6 +96,16 @@ echo "==> SC-maintenance bench smoke (incremental insert vs rebuild)"
 XP_BENCH_SAMPLES=8 XP_BENCH_MIN_WINDOW_MS=5 \
     cargo run -q --release --offline -p xp-bench --bin sc_maintenance -- --smoke
 echo "OK: incremental SC maintenance beats rebuild-from-scratch."
+
+echo "==> bignum-kernel bench smoke (multiply ladder + reduction contexts)"
+# Wall-clock gates for the arithmetic kernels (see DESIGN.md §10): the
+# schoolbook -> Karatsuba -> Toom-3 dispatch must show its asymptotic win by
+# 2^14-bit operands and add no small-size regression, and the precomputed
+# Barrett/reciprocal predicate loop must beat per-candidate plain division.
+# Does not touch the checked-in results/bench_bignum_kernels.json.
+XP_BENCH_SAMPLES=8 XP_BENCH_MIN_WINDOW_MS=5 \
+    cargo run -q --release --offline -p xp-bench --bin bench_bignum_kernels -- --smoke
+echo "OK: kernel dispatch and reduction contexts hold their bench gates."
 
 echo "==> parallel-scaling bench smoke (xp-par determinism + no-lose gate)"
 # Product tree, segmented sieve, and the prodtree-backed ordered build at
