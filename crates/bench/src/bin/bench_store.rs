@@ -1,0 +1,45 @@
+//! Bench gate for the crash-safe disk store: the durability tax per
+//! mutation (WAL append + fsync vs the same apply in memory), checkpoint
+//! cost, and recovery time with a 100-frame replay tail.
+//!
+//! Default mode regenerates `results/bench_store.json` at sizes
+//! 1000..100000. `--smoke` runs the 1000-node point only, without touching
+//! the checked-in JSON — the `scripts/ci.sh` bench gate. Either way the run
+//! fails if a reopened store diverges from its live twin or a full
+//! checkpoint leaves WAL frames behind.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[1_000] } else { &[1_000, 10_000, 100_000] };
+    let stats = xp_bench::experiments::store::store_bench(sizes, !smoke);
+
+    println!();
+    for (((&(n, durable), &(_, checkpoint)), &(_, recover)), &(_, overhead)) in stats
+        .apply_durable_ns
+        .iter()
+        .zip(&stats.checkpoint_ns)
+        .zip(&stats.recover_ns)
+        .zip(&stats.wal_overhead())
+    {
+        println!(
+            "n={n:>6}: durable apply {durable:>10.0} ns ({overhead:.1}x memory)  \
+             checkpoint {:>8.2} ms  recover {:>8.2} ms",
+            checkpoint / 1e6,
+            recover / 1e6,
+        );
+    }
+
+    let mut failed = false;
+    if !stats.recovery_consistent {
+        eprintln!("FAIL: a reopened store diverged from its live twin");
+        failed = true;
+    }
+    if !stats.wal_truncated {
+        eprintln!("FAIL: checkpoint_all left frames in the WAL");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("store checks passed: recovery is exact and checkpoints fold the WAL");
+}

@@ -271,6 +271,10 @@ impl DynamicScheme for DynamicPrime {
         let ob = state.try_order_of(b).unwrap_or(u64::MAX);
         oa.cmp(&ob)
     }
+
+    fn needs_recovery(&self, state: &Self::State) -> bool {
+        state.needs_recovery()
+    }
 }
 
 /// Self-label of `node` (for probing the SC table during recovery).

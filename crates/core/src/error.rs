@@ -122,7 +122,7 @@ mod tests {
         assert!(e.to_string().contains("order 3"));
         let e: Error = CrtError::ZeroModulus.into();
         assert_eq!(e, Error::Crt(CrtError::ZeroModulus));
-        let e: Error = Injected { site: "x" }.into();
+        let e: Error = Injected { site: "x", mode: xp_testkit::FaultMode::Error }.into();
         assert_eq!(e, Error::FaultInjected("x"));
         assert!(Error::NotUpdatable.to_string().contains("Opt3"));
     }

@@ -90,6 +90,63 @@ impl OrderedPrimeDoc {
         Ok(OrderedPrimeDoc { doc, sc, node_of_self })
     }
 
+    /// Reassembles an ordered document from persisted parts: the tree it
+    /// labels, its per-node labels, a decoded SC table, and the prime-pool
+    /// high-water mark ([`OrderedPrimeDoc::primes_handed_out`]).
+    ///
+    /// Validates that labels and table agree — every labeled non-root
+    /// element's self-label must be covered by the table and vice versa —
+    /// so a mismatched (labels, SC) pair from a corrupt checkpoint is
+    /// rejected here instead of mis-answering order queries later.
+    pub fn from_parts(
+        tree: &XmlTree,
+        labels: LabeledDoc<PrimeLabel>,
+        sc: ScTable,
+        primes_handed_out: u64,
+    ) -> Result<Self, Error> {
+        let mut node_of_self = HashMap::new();
+        let mut covered = 0usize;
+        for node in tree.elements() {
+            if node == tree.root() {
+                continue;
+            }
+            let label = labels.get(node).ok_or(Error::UnknownNode(node))?;
+            let self_label = label.self_label_u64();
+            if sc.order_of(self_label).is_none() {
+                return Err(Error::Sc(ScError::UnknownSelfLabel(self_label)));
+            }
+            if node_of_self.insert(self_label, node).is_some() {
+                return Err(Error::Sc(ScError::DuplicateSelfLabel(self_label)));
+            }
+            covered += 1;
+        }
+        if sc.len() != covered {
+            // The table covers self-labels no reachable node carries.
+            return Err(Error::Sc(ScError::NeedsRecovery));
+        }
+        let doc = PrimeDoc::from_persisted(labels, primes_handed_out);
+        Ok(OrderedPrimeDoc { doc, sc, node_of_self })
+    }
+
+    /// The allocator high-water mark: how many general primes the document
+    /// has drawn. Persisted alongside the labels so
+    /// [`OrderedPrimeDoc::from_parts`] resumes the same sequence.
+    pub fn primes_handed_out(&self) -> u64 {
+        self.doc.primes_handed_out()
+    }
+
+    /// `true` iff the SC table's last mutation failed partway and its
+    /// journal is still open (see [`ScTable::needs_recovery`]).
+    pub fn needs_recovery(&self) -> bool {
+        self.sc.needs_recovery()
+    }
+
+    /// Rolls back a half-applied SC mutation, if any. Returns `true` when
+    /// something was rolled back.
+    pub fn recover(&mut self) -> bool {
+        self.sc.recover()
+    }
+
     /// The labels.
     pub fn labels(&self) -> &LabeledDoc<PrimeLabel> {
         &self.doc.labels
@@ -114,7 +171,9 @@ impl OrderedPrimeDoc {
     }
 
     /// Global order number of a node (root = 0), or a typed error when the
-    /// node carries no label or its self-label left the SC table.
+    /// node carries no label, its self-label left the SC table, or the
+    /// table has an open journal from a failed mutation
+    /// ([`ScError::NeedsRecovery`] — run [`OrderedPrimeDoc::recover`]).
     pub fn try_order_of(&self, node: NodeId) -> Result<u64, Error> {
         let label = self.doc.labels.get(node).ok_or(Error::UnknownNode(node))?;
         let self_label = label.self_label_u64();
@@ -122,7 +181,7 @@ impl OrderedPrimeDoc {
             return Ok(0); // the root
         }
         self.sc
-            .order_of(self_label)
+            .try_order_of(self_label)?
             .ok_or(Error::Sc(ScError::UnknownSelfLabel(self_label)))
     }
 

@@ -254,6 +254,10 @@ pub enum ScError {
     /// [`ScTable::needs_recovery`] is `true` and [`ScTable::recover`] rolls
     /// the table back.
     FaultInjected(&'static str),
+    /// A previous mutation failed partway and its journal is still open:
+    /// reads through checked paths ([`ScTable::try_order_of`]) refuse to
+    /// answer until [`ScTable::recover`] rolls the table back.
+    NeedsRecovery,
 }
 
 impl From<CrtError> for ScError {
@@ -289,6 +293,9 @@ impl std::fmt::Display for ScError {
             ScError::InvalidChunkCapacity => write!(f, "chunks must hold at least one node"),
             ScError::Budget(e) => write!(f, "{e}"),
             ScError::FaultInjected(site) => write!(f, "injected fault at {site}"),
+            ScError::NeedsRecovery => {
+                write!(f, "table has an open journal; call recover() before reading")
+            }
         }
     }
 }
@@ -427,8 +434,11 @@ impl ScTable {
     }
 
     /// `true` iff a mutation failed partway and its journal is still open;
-    /// reads are undefined until [`ScTable::recover`] runs (the next
-    /// mutation also recovers automatically).
+    /// unchecked reads ([`ScTable::order_of`]) are undefined until
+    /// [`ScTable::recover`] runs (the next mutation also recovers
+    /// automatically). Checked read paths ([`ScTable::try_order_of`]) refuse
+    /// with [`ScError::NeedsRecovery`] instead of answering from the
+    /// half-mutated table.
     pub fn needs_recovery(&self) -> bool {
         self.journal.active
     }
@@ -505,9 +515,23 @@ impl ScTable {
 
     /// The order number of the node with this self-label, or `None` if the
     /// label is not covered. A pure `u64` read off the cached order column.
+    ///
+    /// Answers are undefined while [`ScTable::needs_recovery`] is `true`;
+    /// use [`ScTable::try_order_of`] on paths that may read a table whose
+    /// last mutation failed.
     pub fn order_of(&self, self_label: u64) -> Option<u64> {
         let &idx = self.locator.get(&self_label)?;
         self.records[idx].order_of(self_label)
+    }
+
+    /// Checked variant of [`ScTable::order_of`]: refuses with
+    /// [`ScError::NeedsRecovery`] while the journal of a failed mutation is
+    /// still open, instead of reading the half-mutated table.
+    pub fn try_order_of(&self, self_label: u64) -> Result<Option<u64>, ScError> {
+        if self.needs_recovery() {
+            return Err(ScError::NeedsRecovery);
+        }
+        Ok(self.order_of(self_label))
     }
 
     /// The index of the record covering this self-label, if any.

@@ -580,6 +580,35 @@ impl PrimeDoc {
         self.pool.general_prime()
     }
 
+    /// Number of general-pool primes this document has handed out — the
+    /// allocator high-water mark a persistent store records so a reloaded
+    /// document continues the exact same prime sequence.
+    pub fn primes_handed_out(&self) -> u64 {
+        self.pool.handed_out()
+    }
+
+    /// Reassembles a dynamic document from persisted parts: a label table
+    /// and the pool high-water mark. Only valid for the configuration the
+    /// ordered layer builds (no reserved primes, no Opt2/Opt3): those are
+    /// the only documents a [`crate::OrderedPrimeDoc`] ever persists.
+    pub(crate) fn from_persisted(labels: LabeledDoc<PrimeLabel>, primes_handed_out: u64) -> Self {
+        let mut pool = PrimePool::new(0, false);
+        // Fast-forward the allocator past every prime the document consumed.
+        let n = usize::try_from(primes_handed_out).unwrap_or(usize::MAX);
+        let _ = pool.take_general(n);
+        PrimeDoc {
+            labels,
+            pool,
+            opts: PrimeOptions {
+                reserved_top_primes: 0,
+                leaf_powers_of_two: false,
+                ..Default::default()
+            },
+            leaf_counters: HashMap::new(),
+            odd_mode: false,
+        }
+    }
+
     fn fresh_self_label_for(&mut self, tree: &XmlTree, parent: NodeId, node: NodeId) -> UBig {
         if self.opts.leaf_powers_of_two && tree.is_leaf_element(node) {
             let counter = self.leaf_counters.entry(parent).or_insert(0);

@@ -20,6 +20,7 @@
 //! half the document after an insertion reports every one of those nodes,
 //! which is precisely the measurement Figures 16–18 are built on.
 
+use crate::codec::CodecError;
 use crate::doc::LabeledDoc;
 use crate::scheme::Scheme;
 use std::cmp::Ordering;
@@ -143,6 +144,11 @@ pub enum DynamicError {
     },
     /// A subtree fragment failed to parse.
     Fragment(String),
+    /// A previous mutation failed partway and left scheme state with an
+    /// open recovery journal: checked read paths
+    /// ([`LabeledStore::try_ordered_nodes`]) refuse to answer until
+    /// recovery runs, instead of returning undefined orders.
+    NeedsRecovery,
     /// The scheme's own mutation machinery failed.
     Scheme(Box<dyn std::error::Error + Send + Sync + 'static>),
 }
@@ -158,6 +164,9 @@ impl std::fmt::Display for DynamicError {
                 write!(f, "cannot move {subject} to {dest}: destination lies inside the subtree")
             }
             DynamicError::Fragment(msg) => write!(f, "bad subtree fragment: {msg}"),
+            DynamicError::NeedsRecovery => {
+                write!(f, "store state has an open recovery journal; recover before reading")
+            }
             DynamicError::Scheme(e) => write!(f, "scheme mutation failed: {e}"),
         }
     }
@@ -227,6 +236,118 @@ pub enum Mutation {
         /// Where it goes.
         pos: InsertPos,
     },
+}
+
+// Wire tags of the mutation codec (WAL frame payloads — see DESIGN.md §11).
+const MUT_INSERT_BEFORE: u64 = 0;
+const MUT_INSERT_SUBTREE: u64 = 1;
+const MUT_INSERT_PARENT: u64 = 2;
+const MUT_DELETE: u64 = 3;
+const MUT_MOVE_SUBTREE: u64 = 4;
+
+const POS_BEFORE: u64 = 0;
+const POS_LAST_CHILD_OF: u64 = 1;
+
+fn write_node(out: &mut Vec<u8>, node: NodeId) {
+    crate::codec::write_varint(out, node.index() as u64);
+}
+
+fn read_node(input: &mut &[u8], tree: &XmlTree) -> Result<NodeId, CodecError> {
+    let idx = crate::codec::read_varint(input)?;
+    usize::try_from(idx)
+        .ok()
+        .and_then(|i| tree.node_at(i))
+        .ok_or(CodecError::Corrupt("mutation names a node outside the arena"))
+}
+
+fn write_pos(out: &mut Vec<u8>, pos: InsertPos) {
+    match pos {
+        InsertPos::Before(n) => {
+            crate::codec::write_varint(out, POS_BEFORE);
+            write_node(out, n);
+        }
+        InsertPos::LastChildOf(n) => {
+            crate::codec::write_varint(out, POS_LAST_CHILD_OF);
+            write_node(out, n);
+        }
+    }
+}
+
+fn read_pos(input: &mut &[u8], tree: &XmlTree) -> Result<InsertPos, CodecError> {
+    match crate::codec::read_varint(input)? {
+        POS_BEFORE => Ok(InsertPos::Before(read_node(input, tree)?)),
+        POS_LAST_CHILD_OF => Ok(InsertPos::LastChildOf(read_node(input, tree)?)),
+        _ => Err(CodecError::Corrupt("unknown insert position tag")),
+    }
+}
+
+fn read_string(input: &mut &[u8]) -> Result<String, CodecError> {
+    let bytes = crate::codec::read_bytes(input)?;
+    std::str::from_utf8(bytes)
+        .map(str::to_owned)
+        .map_err(|_| CodecError::Corrupt("mutation string is not UTF-8"))
+}
+
+impl Mutation {
+    /// Appends the wire form of this mutation to `out`. Node references are
+    /// stored as arena slot indices — valid across process restarts because
+    /// slots are never reused and checkpoints preserve arena layout exactly
+    /// ([`xp_xmltree::TreeSnapshot`]).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Mutation::InsertBefore { anchor, tag } => {
+                crate::codec::write_varint(out, MUT_INSERT_BEFORE);
+                write_node(out, *anchor);
+                crate::codec::write_bytes(out, tag.as_bytes());
+            }
+            Mutation::InsertSubtree { pos, xml } => {
+                crate::codec::write_varint(out, MUT_INSERT_SUBTREE);
+                write_pos(out, *pos);
+                crate::codec::write_bytes(out, xml.as_bytes());
+            }
+            Mutation::InsertParent { target, tag } => {
+                crate::codec::write_varint(out, MUT_INSERT_PARENT);
+                write_node(out, *target);
+                crate::codec::write_bytes(out, tag.as_bytes());
+            }
+            Mutation::Delete { target } => {
+                crate::codec::write_varint(out, MUT_DELETE);
+                write_node(out, *target);
+            }
+            Mutation::MoveSubtree { target, pos } => {
+                crate::codec::write_varint(out, MUT_MOVE_SUBTREE);
+                write_node(out, *target);
+                write_pos(out, *pos);
+            }
+        }
+    }
+
+    /// Decodes one mutation from the front of `input`, resolving node
+    /// references against `tree`'s arena. Fails with a typed
+    /// [`CodecError`] on unknown tags, non-UTF-8 strings, or node indices
+    /// the arena does not (yet) contain.
+    pub fn decode(input: &mut &[u8], tree: &XmlTree) -> Result<Mutation, CodecError> {
+        match crate::codec::read_varint(input)? {
+            MUT_INSERT_BEFORE => Ok(Mutation::InsertBefore {
+                anchor: read_node(input, tree)?,
+                tag: read_string(input)?,
+            }),
+            MUT_INSERT_SUBTREE => Ok(Mutation::InsertSubtree {
+                pos: read_pos(input, tree)?,
+                xml: read_string(input)?,
+            }),
+            MUT_INSERT_PARENT => Ok(Mutation::InsertParent {
+                target: read_node(input, tree)?,
+                tag: read_string(input)?,
+            }),
+            MUT_DELETE => Ok(Mutation::Delete { target: read_node(input, tree)? }),
+            MUT_MOVE_SUBTREE => Ok(Mutation::MoveSubtree {
+                target: read_node(input, tree)?,
+                pos: read_pos(input, tree)?,
+            }),
+            _ => Err(CodecError::Corrupt("unknown mutation tag")),
+        }
+    }
 }
 
 /// A [`Scheme`] that additionally supports incremental mutations.
@@ -325,6 +446,15 @@ pub trait DynamicScheme: Scheme {
         a: NodeId,
         b: NodeId,
     ) -> Ordering;
+
+    /// `true` iff `state` carries an open recovery journal from a mutation
+    /// that failed partway — reads are undefined until recovery runs.
+    /// Schemes whose state lives entirely in the labels have nothing to
+    /// recover; the prime scheme consults its SC table's journal.
+    fn needs_recovery(&self, state: &Self::State) -> bool {
+        let _ = state;
+        false
+    }
 }
 
 /// Shared validation for [`DynamicScheme::move_subtree`]: the subject must
@@ -471,6 +601,14 @@ impl<S: DynamicScheme> LabeledStore<S> {
         Ok(LabeledStore { scheme, tree, doc, state })
     }
 
+    /// Reassembles a store from previously captured parts (a persistence
+    /// layer's checkpoint). The caller asserts the parts are mutually
+    /// consistent — scheme-side validation (e.g. the prime scheme's
+    /// label/SC cross-check) happens while constructing `state`.
+    pub fn from_parts(scheme: S, tree: XmlTree, doc: LabeledDoc<S::Label>, state: S::State) -> Self {
+        LabeledStore { scheme, tree, doc, state }
+    }
+
     /// The scheme.
     pub fn scheme(&self) -> &S {
         &self.scheme
@@ -584,10 +722,30 @@ impl<S: DynamicScheme> LabeledStore<S> {
 
     /// Every labeled node, sorted into document order by the scheme's own
     /// order machinery — the basis for an order oracle over the store.
+    ///
+    /// Answers are undefined while [`LabeledStore::needs_recovery`] is
+    /// `true`; use [`LabeledStore::try_ordered_nodes`] on paths that may
+    /// read a store whose last mutation failed.
     pub fn ordered_nodes(&self) -> Vec<NodeId> {
         let mut nodes: Vec<NodeId> = self.doc.nodes().to_vec();
         nodes.sort_by(|&a, &b| self.scheme.doc_cmp(&self.doc, &self.state, a, b));
         nodes
+    }
+
+    /// `true` iff the scheme state carries an open recovery journal from a
+    /// mutation that failed partway (see [`DynamicScheme::needs_recovery`]).
+    pub fn needs_recovery(&self) -> bool {
+        self.scheme.needs_recovery(&self.state)
+    }
+
+    /// Checked variant of [`LabeledStore::ordered_nodes`]: refuses with
+    /// [`DynamicError::NeedsRecovery`] instead of sorting by orders read
+    /// from half-mutated scheme state.
+    pub fn try_ordered_nodes(&self) -> Result<Vec<NodeId>, DynamicError> {
+        if self.needs_recovery() {
+            return Err(DynamicError::NeedsRecovery);
+        }
+        Ok(self.ordered_nodes())
     }
 
     /// Throws the labels and state away and relabels from scratch,

@@ -1,0 +1,176 @@
+//! Checksummed length-prefixed frames — the atom of every on-disk file.
+//!
+//! Layout (DESIGN.md §11): `[len: u32 le][crc: u32 le][payload: len bytes]`,
+//! where `crc` is the CRC-32 (IEEE/ISO-HDLC polynomial, the zlib/PNG one)
+//! of the payload. A file is a concatenation of frames; any suffix that
+//! fails the length or checksum check is a *torn tail* — the signature a
+//! crash mid-write leaves — and decoding reports exactly where the valid
+//! prefix ends so recovery can discard the rest.
+
+/// Bytes of frame header preceding each payload.
+pub const FRAME_HEADER: usize = 8;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected: 0xEDB88320), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: [u32; 256] = build_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Wraps `payload` in one frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of scanning a byte stream as consecutive frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan<'a> {
+    /// Every frame payload whose length and checksum verified, in order.
+    pub frames: Vec<&'a [u8]>,
+    /// Length of the valid prefix (offset where the torn tail, if any,
+    /// begins). Equal to the input length iff the stream is clean.
+    pub valid_len: usize,
+}
+
+impl FrameScan<'_> {
+    /// `true` iff the stream ended exactly on a frame boundary.
+    pub fn is_clean(&self, total_len: usize) -> bool {
+        self.valid_len == total_len
+    }
+}
+
+/// Scans `bytes` as consecutive frames, stopping at the first frame whose
+/// header is incomplete, whose declared payload runs past the end, or whose
+/// checksum fails — the three shapes a torn write can leave.
+pub fn decode_frames(bytes: &[u8]) -> FrameScan<'_> {
+    let mut frames = Vec::new();
+    let mut off = 0usize;
+    while bytes.len() - off >= FRAME_HEADER {
+        let len = u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+            as usize;
+        let crc =
+            u32::from_le_bytes([bytes[off + 4], bytes[off + 5], bytes[off + 6], bytes[off + 7]]);
+        let start = off + FRAME_HEADER;
+        let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+            break; // truncated payload
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break; // torn or corrupted mid-frame
+        }
+        frames.push(payload);
+        off = end;
+    }
+    FrameScan { frames, valid_len: off }
+}
+
+/// Decodes a file that must consist of exactly one clean frame (manifests
+/// and segments), returning its payload.
+pub fn decode_single_frame(bytes: &[u8]) -> Result<&[u8], &'static str> {
+    let scan = decode_frames(bytes);
+    if !scan.is_clean(bytes.len()) {
+        return Err("torn or corrupt frame");
+    }
+    match scan.frames.as_slice() {
+        [one] => Ok(one),
+        [] => Err("empty file"),
+        _ => Err("expected exactly one frame"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut stream = Vec::new();
+        let payloads: &[&[u8]] = &[b"first", b"", b"third frame with more bytes"];
+        for p in payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let scan = decode_frames(&stream);
+        assert!(scan.is_clean(stream.len()));
+        assert_eq!(scan.frames, payloads);
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_valid_prefix() {
+        let mut stream = Vec::new();
+        for p in [&b"alpha"[..], b"beta", b"gamma-gamma"] {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        for cut in 0..=stream.len() {
+            let scan = decode_frames(&stream[..cut]);
+            // The valid prefix must itself rescan cleanly to the same frames.
+            let again = decode_frames(&stream[..scan.valid_len]);
+            assert!(again.is_clean(scan.valid_len));
+            assert_eq!(again.frames, scan.frames);
+            assert!(scan.valid_len <= cut);
+        }
+        // Full stream decodes all three.
+        assert_eq!(decode_frames(&stream).frames.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_byte_stops_the_scan() {
+        let mut stream = encode_frame(b"good");
+        let tail_at = stream.len();
+        stream.extend_from_slice(&encode_frame(b"bad"));
+        stream[tail_at + FRAME_HEADER] ^= 0x40; // flip a payload bit
+        let scan = decode_frames(&stream);
+        assert_eq!(scan.frames, vec![&b"good"[..]]);
+        assert_eq!(scan.valid_len, tail_at);
+    }
+
+    #[test]
+    fn absurd_length_is_a_torn_tail_not_a_panic() {
+        let mut stream = encode_frame(b"ok");
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.extend_from_slice(&[0u8; 20]);
+        let scan = decode_frames(&stream);
+        assert_eq!(scan.frames.len(), 1);
+    }
+
+    #[test]
+    fn single_frame_decoder() {
+        let f = encode_frame(b"payload");
+        assert_eq!(decode_single_frame(&f), Ok(&b"payload"[..]));
+        assert!(decode_single_frame(&f[..f.len() - 1]).is_err());
+        let mut two = f.clone();
+        two.extend_from_slice(&encode_frame(b"second"));
+        assert!(decode_single_frame(&two).is_err());
+        assert!(decode_single_frame(b"").is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! The checkpoint manifest: the single source of truth for which segment of
+//! each document is current.
+//!
+//! One file, `MANIFEST`, holding one checksummed frame. Each document entry
+//! carries its URI, numeric id, checkpoint **epoch** (bumped every time a
+//! fresh segment is written; the segment file name embeds it) and durable
+//! **seq** (how many WAL frames for that document the segment already
+//! folds in — replay skips frames at or below it).
+//!
+//! Updates use the classic atomic-swap protocol: write `MANIFEST.tmp`,
+//! fsync it, `rename` over `MANIFEST`, fsync the directory. A crash at any
+//! point leaves either the old or the new manifest intact — never a mix —
+//! because rename is atomic on POSIX filesystems. Stale `.tmp` files and
+//! segments no manifest entry references are garbage-collected on open
+//! (but **not** by read-only fsck).
+//!
+//! Fault site `store.manifest.swap` fires at the head of the swap: `torn`
+//! and `abort` modes persist half of the tmp file (exercising tmp GC; the
+//! live manifest is untouched), `error` writes nothing.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::{io_err, StoreError};
+use crate::frame::{decode_single_frame, encode_frame};
+use xp_labelkit::codec::{read_bytes, read_varint, write_bytes, write_varint};
+use xp_testkit::FaultMode;
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Name of the swap staging file.
+pub const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+const MAGIC: &[u8; 8] = b"XPMAN01\n";
+
+/// One document's checkpoint coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Document URI — the user-facing key.
+    pub uri: String,
+    /// Stable numeric id; embeds into segment file names and WAL frames.
+    pub doc_id: u64,
+    /// Checkpoint epoch: which `seg-{doc_id}-e{epoch}.dat` is current.
+    pub epoch: u64,
+    /// WAL sequence folded into that segment; frames with `seq` at or
+    /// below this are already durable in the segment and replay skips them.
+    pub seq: u64,
+}
+
+/// The decoded manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Next document id `add_document` will assign.
+    pub next_doc_id: u64,
+    /// One entry per document, in id order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Serializes to the single-frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, self.next_doc_id);
+        write_varint(&mut out, self.entries.len() as u64);
+        for e in &self.entries {
+            write_bytes(&mut out, e.uri.as_bytes());
+            write_varint(&mut out, e.doc_id);
+            write_varint(&mut out, e.epoch);
+            write_varint(&mut out, e.seq);
+        }
+        out
+    }
+
+    /// Parses a single-frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Manifest, StoreError> {
+        let path = PathBuf::from(MANIFEST_FILE);
+        if payload.len() < MAGIC.len() || &payload[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::Corrupt { path, what: "bad manifest magic".into() });
+        }
+        let mut input = &payload[MAGIC.len()..];
+        let next_doc_id = read_varint(&mut input)?;
+        let count = read_varint(&mut input)?;
+        let mut entries = Vec::new();
+        for _ in 0..count {
+            let uri = std::str::from_utf8(read_bytes(&mut input)?)
+                .map_err(|_| StoreError::Corrupt {
+                    path: path.clone(),
+                    what: "manifest URI is not UTF-8".into(),
+                })?
+                .to_owned();
+            let doc_id = read_varint(&mut input)?;
+            let epoch = read_varint(&mut input)?;
+            let seq = read_varint(&mut input)?;
+            entries.push(ManifestEntry { uri, doc_id, epoch, seq });
+        }
+        if !input.is_empty() {
+            return Err(StoreError::Corrupt { path, what: "trailing manifest bytes".into() });
+        }
+        Ok(Manifest { next_doc_id, entries })
+    }
+
+    /// Loads and verifies the manifest from a store directory. A missing
+    /// file yields `NotAStore` — it is what distinguishes a store from an
+    /// arbitrary directory.
+    pub fn load(dir: &Path) -> Result<Manifest, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotAStore(dir.to_path_buf()));
+            }
+            Err(e) => return Err(io_err("read", &path, e)),
+        };
+        let payload = decode_single_frame(&bytes)
+            .map_err(|what| StoreError::Corrupt { path: path.clone(), what: what.into() })?;
+        Manifest::decode(payload)
+    }
+
+    /// Atomically replaces the on-disk manifest with `self` (tmp + fsync +
+    /// rename + directory fsync).
+    pub fn swap(&self, dir: &Path) -> Result<(), StoreError> {
+        let tmp = dir.join(MANIFEST_TMP);
+        let dst = dir.join(MANIFEST_FILE);
+        let frame = encode_frame(&self.encode());
+        if let Err(inj) = xp_testkit::faultpoint!("store.manifest.swap") {
+            match inj.mode {
+                FaultMode::Torn | FaultMode::Abort => {
+                    // Half-written tmp: the live manifest is untouched and
+                    // open() garbage-collects the staging file.
+                    let half = frame.len() / 2;
+                    let _ = std::fs::write(&tmp, &frame[..half]);
+                    if inj.mode == FaultMode::Abort {
+                        std::process::abort();
+                    }
+                }
+                FaultMode::Error | FaultMode::Short => {}
+            }
+            return Err(StoreError::Io {
+                op: "rename",
+                path: dst,
+                msg: format!("{inj}"),
+            });
+        }
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        f.write_all(&frame).map_err(|e| io_err("write", &tmp, e))?;
+        f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, &dst).map_err(|e| io_err("rename", &dst, e))?;
+        sync_dir(dir)
+    }
+
+    /// The entry for `doc_id`, if present.
+    pub fn entry(&self, doc_id: u64) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.doc_id == doc_id)
+    }
+
+    /// Inserts or replaces the entry for `entry.doc_id`, keeping id order.
+    pub fn upsert(&mut self, entry: ManifestEntry) {
+        match self.entries.iter_mut().find(|e| e.doc_id == entry.doc_id) {
+            Some(slot) => *slot = entry,
+            None => {
+                self.entries.push(entry);
+                self.entries.sort_by_key(|e| e.doc_id);
+            }
+        }
+    }
+}
+
+/// Fsyncs a directory so a rename within it is durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    let d = std::fs::File::open(dir).map_err(|e| io_err("open", dir, e))?;
+    d.sync_all().map_err(|e| io_err("fsync", dir, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_testkit::fault;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("xp-store-man-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            next_doc_id: 3,
+            entries: vec![
+                ManifestEntry { uri: "a.xml".into(), doc_id: 1, epoch: 4, seq: 17 },
+                ManifestEntry { uri: "b.xml".into(), doc_id: 2, epoch: 1, seq: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn swap_then_load() {
+        let dir = tmpdir("swap");
+        let m = sample();
+        m.swap(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        // A second swap replaces atomically.
+        let mut m2 = m.clone();
+        m2.upsert(ManifestEntry { uri: "a.xml".into(), doc_id: 1, epoch: 5, seq: 30 });
+        m2.swap(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().entry(1).unwrap().epoch, 5);
+        assert!(!dir.join(MANIFEST_TMP).exists(), "tmp cleaned by rename");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_not_a_store() {
+        let dir = tmpdir("missing");
+        assert!(matches!(Manifest::load(&dir), Err(StoreError::NotAStore(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_reported() {
+        let dir = tmpdir("corrupt");
+        sample().swap(&dir).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Manifest::load(&dir), Err(StoreError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_swap_preserves_old_manifest() {
+        let dir = tmpdir("torn");
+        fault::reset();
+        let m = sample();
+        m.swap(&dir).unwrap();
+        let mut m2 = m.clone();
+        m2.next_doc_id = 99;
+        fault::arm("store.manifest.swap:1:torn");
+        assert!(m2.swap(&dir).is_err());
+        fault::reset();
+        // Old manifest intact, half-written tmp present for GC.
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        assert!(dir.join(MANIFEST_TMP).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_swap_writes_nothing() {
+        let dir = tmpdir("noop");
+        fault::reset();
+        let m = sample();
+        m.swap(&dir).unwrap();
+        fault::arm("store.manifest.swap:1");
+        assert!(m.swap(&dir).is_err());
+        fault::reset();
+        assert!(!dir.join(MANIFEST_TMP).exists());
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn upsert_keeps_id_order() {
+        let mut m = Manifest::default();
+        m.upsert(ManifestEntry { uri: "b".into(), doc_id: 2, epoch: 1, seq: 0 });
+        m.upsert(ManifestEntry { uri: "a".into(), doc_id: 1, epoch: 1, seq: 0 });
+        assert_eq!(m.entries[0].doc_id, 1);
+        assert_eq!(m.entries[1].doc_id, 2);
+    }
+}

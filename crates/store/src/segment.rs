@@ -1,0 +1,516 @@
+//! Checkpoint segments: one file per (document, epoch) holding the full
+//! label-table state in columnar form.
+//!
+//! A segment is a single checksummed frame whose payload lays the document
+//! out column-wise (DESIGN.md §11): the exact tree arena (slot payloads,
+//! then five link columns), an interned tag dictionary, then per labeled
+//! row — in **labeling order**, so the reassembled [`LabeledDoc`] iterates
+//! identically to the one that was checkpointed — a node-index column, a
+//! tag-id column, a level column, a label-length column, and finally the
+//! concatenated label bytes as one arena blob. The SC table's own encoding
+//! closes the payload.
+//!
+//! The tag-id and level columns are *redundant* with the tree section: the
+//! loader recomputes both and rejects the segment on any mismatch, so a
+//! checkpoint whose columns drifted (bit rot the frame checksum happened to
+//! miss, or a writer bug) is refused instead of mis-answering queries.
+//!
+//! Fault site `store.checkpoint.write` fires before the file write; `torn`
+//! persists half the frame (an unreferenced, checksum-invalid file the next
+//! open garbage-collects), `abort` does the same then kills the process.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::{io_err, StoreError};
+use crate::frame::{decode_single_frame, encode_frame};
+use xp_labelkit::codec::{read_bytes, read_varint, write_bytes, write_varint};
+use xp_labelkit::{CodecError, LabelCodec, LabeledDoc};
+use xp_prime::{PrimeLabel, ScTable};
+use xp_testkit::FaultMode;
+use xp_xmltree::{NodeKind, SlotSnapshot, TreeSnapshot, XmlTree};
+
+const MAGIC: &[u8; 8] = b"XPSEG01\n";
+
+const KIND_ELEMENT: u64 = 0;
+const KIND_TEXT: u64 = 1;
+
+/// A fully decoded checkpoint segment.
+#[derive(Debug)]
+pub struct Segment {
+    /// Document URI (cross-checked against the manifest entry).
+    pub uri: String,
+    /// Document id (cross-checked against the file name and manifest).
+    pub doc_id: u64,
+    /// Checkpoint epoch this segment belongs to.
+    pub epoch: u64,
+    /// WAL sequence folded into this segment.
+    pub seq: u64,
+    /// SC chunk capacity the document was built with.
+    pub chunk_capacity: u64,
+    /// Prime-allocator high-water mark at checkpoint time.
+    pub primes_handed_out: u64,
+    /// The reassembled tree, arena-identical to the checkpointed one.
+    pub tree: XmlTree,
+    /// Per-node labels in the original labeling order.
+    pub labels: LabeledDoc<PrimeLabel>,
+    /// The decoded SC table.
+    pub sc: ScTable,
+}
+
+/// The file name a (document, epoch) pair checkpoints to.
+pub fn segment_file(doc_id: u64, epoch: u64) -> String {
+    format!("seg-{doc_id}-e{epoch}.dat")
+}
+
+/// Parses `seg-{doc_id}-e{epoch}.dat` back into its coordinates.
+pub fn parse_segment_file(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".dat")?;
+    let (doc, epoch) = rest.split_once("-e")?;
+    Some((doc.parse().ok()?, epoch.parse().ok()?))
+}
+
+fn write_opt(out: &mut Vec<u8>, link: Option<u32>) {
+    write_varint(out, link.map_or(0, |n| u64::from(n) + 1));
+}
+
+fn read_opt(input: &mut &[u8]) -> Result<Option<u32>, CodecError> {
+    match read_varint(input)? {
+        0 => Ok(None),
+        n => u32::try_from(n - 1)
+            .map(Some)
+            .map_err(|_| CodecError::Corrupt("arena link overflows u32")),
+    }
+}
+
+fn read_str(input: &mut &[u8]) -> Result<String, CodecError> {
+    std::str::from_utf8(read_bytes(input)?)
+        .map(str::to_owned)
+        .map_err(|_| CodecError::Corrupt("segment string is not UTF-8"))
+}
+
+/// Serializes the columnar payload (no frame, no I/O).
+#[allow(clippy::too_many_arguments)]
+pub fn encode_segment(
+    uri: &str,
+    doc_id: u64,
+    epoch: u64,
+    seq: u64,
+    chunk_capacity: u64,
+    primes_handed_out: u64,
+    tree: &XmlTree,
+    labels: &LabeledDoc<PrimeLabel>,
+    sc: &ScTable,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    write_bytes(&mut out, uri.as_bytes());
+    for v in [doc_id, epoch, seq, chunk_capacity, primes_handed_out] {
+        write_varint(&mut out, v);
+    }
+
+    // Tree section: slot payloads, then the five link columns.
+    let snap = tree.snapshot();
+    write_varint(&mut out, snap.slots.len() as u64);
+    write_varint(&mut out, u64::from(snap.root));
+    for slot in &snap.slots {
+        match &slot.kind {
+            NodeKind::Element { tag, attrs } => {
+                write_varint(&mut out, KIND_ELEMENT);
+                write_bytes(&mut out, tag.as_bytes());
+                write_varint(&mut out, attrs.len() as u64);
+                for (k, v) in attrs {
+                    write_bytes(&mut out, k.as_bytes());
+                    write_bytes(&mut out, v.as_bytes());
+                }
+            }
+            NodeKind::Text(text) => {
+                write_varint(&mut out, KIND_TEXT);
+                write_bytes(&mut out, text.as_bytes());
+            }
+        }
+    }
+    for column in [
+        |s: &SlotSnapshot| s.parent,
+        |s: &SlotSnapshot| s.first_child,
+        |s: &SlotSnapshot| s.last_child,
+        |s: &SlotSnapshot| s.prev_sibling,
+        |s: &SlotSnapshot| s.next_sibling,
+    ] {
+        for slot in &snap.slots {
+            write_opt(&mut out, column(slot));
+        }
+    }
+
+    // Label section. Tag dictionary first.
+    let mut tag_ids = std::collections::HashMap::new();
+    let mut tag_names: Vec<&str> = Vec::new();
+    for &node in labels.nodes() {
+        if let Some(tag) = tree.tag(node) {
+            tag_ids.entry(tag).or_insert_with(|| {
+                tag_names.push(tag);
+                tag_names.len() - 1
+            });
+        }
+    }
+    write_varint(&mut out, tag_names.len() as u64);
+    for tag in &tag_names {
+        write_bytes(&mut out, tag.as_bytes());
+    }
+
+    // Row columns, all in labeling order: node index, tag id, level,
+    // label byte-length, then the label blob.
+    let rows = labels.nodes();
+    write_varint(&mut out, rows.len() as u64);
+    for &node in rows {
+        write_varint(&mut out, node.index() as u64);
+    }
+    for &node in rows {
+        let tag = tree.tag(node).unwrap_or_default();
+        write_varint(&mut out, *tag_ids.get(tag).unwrap_or(&0) as u64);
+    }
+    for &node in rows {
+        write_varint(&mut out, tree.depth(node) as u64);
+    }
+    let mut blob = Vec::new();
+    for &node in rows {
+        let at = blob.len();
+        if let Some(label) = labels.get(node) {
+            label.encode(&mut blob);
+        }
+        write_varint(&mut out, (blob.len() - at) as u64);
+    }
+    out.extend_from_slice(&blob);
+
+    // SC section.
+    write_bytes(&mut out, &sc.encode());
+    out
+}
+
+/// Parses and validates a segment payload.
+pub fn decode_segment(payload: &[u8], path: &Path) -> Result<Segment, StoreError> {
+    let corrupt = |what: &str| StoreError::Corrupt { path: path.to_path_buf(), what: what.into() };
+    if payload.len() < MAGIC.len() || &payload[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("bad segment magic"));
+    }
+    let mut input = &payload[MAGIC.len()..];
+    let uri = read_str(&mut input)?;
+    let doc_id = read_varint(&mut input)?;
+    let epoch = read_varint(&mut input)?;
+    let seq = read_varint(&mut input)?;
+    let chunk_capacity = read_varint(&mut input)?;
+    let primes_handed_out = read_varint(&mut input)?;
+
+    // Tree section.
+    let nslots = usize::try_from(read_varint(&mut input)?)
+        .map_err(|_| corrupt("slot count overflows"))?;
+    let root = u32::try_from(read_varint(&mut input)?)
+        .map_err(|_| corrupt("root index overflows u32"))?;
+    let mut slots = Vec::with_capacity(nslots.min(1 << 20));
+    for _ in 0..nslots {
+        let kind = match read_varint(&mut input)? {
+            KIND_ELEMENT => {
+                let tag = read_str(&mut input)?;
+                let nattrs = read_varint(&mut input)?;
+                let mut attrs = Vec::new();
+                for _ in 0..nattrs {
+                    let k = read_str(&mut input)?;
+                    let v = read_str(&mut input)?;
+                    attrs.push((k, v));
+                }
+                NodeKind::Element { tag, attrs }
+            }
+            KIND_TEXT => NodeKind::Text(read_str(&mut input)?),
+            _ => return Err(corrupt("unknown node kind tag")),
+        };
+        slots.push(SlotSnapshot {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+        });
+    }
+    for column in 0..5usize {
+        for slot in slots.iter_mut() {
+            let link = read_opt(&mut input)?;
+            match column {
+                0 => slot.parent = link,
+                1 => slot.first_child = link,
+                2 => slot.last_child = link,
+                3 => slot.prev_sibling = link,
+                _ => slot.next_sibling = link,
+            }
+        }
+    }
+    let tree = XmlTree::from_snapshot(&TreeSnapshot { root, slots })?;
+
+    // Label section.
+    let ntags = read_varint(&mut input)?;
+    let mut tag_names = Vec::new();
+    for _ in 0..ntags {
+        tag_names.push(read_str(&mut input)?);
+    }
+    let nrows = usize::try_from(read_varint(&mut input)?)
+        .map_err(|_| corrupt("row count overflows"))?;
+    let mut node_idx = Vec::with_capacity(nrows.min(1 << 20));
+    for _ in 0..nrows {
+        node_idx.push(read_varint(&mut input)?);
+    }
+    let mut tag_id = Vec::with_capacity(node_idx.len());
+    for _ in 0..nrows {
+        tag_id.push(read_varint(&mut input)?);
+    }
+    let mut level = Vec::with_capacity(node_idx.len());
+    for _ in 0..nrows {
+        level.push(read_varint(&mut input)?);
+    }
+    let mut lens = Vec::with_capacity(node_idx.len());
+    let mut total = 0u64;
+    for _ in 0..nrows {
+        let len = read_varint(&mut input)?;
+        total += len;
+        lens.push(len);
+    }
+    let total = usize::try_from(total).map_err(|_| corrupt("label blob overflows"))?;
+    if input.len() < total {
+        return Err(StoreError::Codec(CodecError::UnexpectedEnd));
+    }
+    let (blob, rest) = input.split_at(total);
+    input = rest;
+
+    // Reassemble the labeled doc row by row, validating the redundant
+    // columns against the tree as we go.
+    let mut labels = LabeledDoc::new(&tree);
+    let mut off = 0usize;
+    for row in 0..nrows {
+        let idx = usize::try_from(node_idx[row]).map_err(|_| corrupt("node index overflows"))?;
+        let node = tree.node_at(idx).ok_or_else(|| corrupt("row names a node outside the arena"))?;
+        let tag = tree
+            .tag(node)
+            .ok_or_else(|| corrupt("labeled row is not an element"))?;
+        let claimed_tag = usize::try_from(tag_id[row]).ok().and_then(|t| tag_names.get(t));
+        if claimed_tag.map(String::as_str) != Some(tag) {
+            return Err(corrupt("tag column disagrees with the tree"));
+        }
+        if level[row] != tree.depth(node) as u64 {
+            return Err(corrupt("level column disagrees with the tree"));
+        }
+        let len = usize::try_from(lens[row]).map_err(|_| corrupt("label length overflows"))?;
+        let mut label_bytes = &blob[off..off + len];
+        off += len;
+        let label = PrimeLabel::decode(&mut label_bytes)?;
+        if !label_bytes.is_empty() {
+            return Err(corrupt("trailing bytes after a label"));
+        }
+        labels.set(node, label);
+    }
+
+    // SC section.
+    let sc_bytes = read_bytes(&mut input)?;
+    let sc = ScTable::decode(sc_bytes)?;
+    if !input.is_empty() {
+        return Err(corrupt("trailing segment bytes"));
+    }
+
+    Ok(Segment {
+        uri,
+        doc_id,
+        epoch,
+        seq,
+        chunk_capacity,
+        primes_handed_out,
+        tree,
+        labels,
+        sc,
+    })
+}
+
+/// Frames and writes a segment payload to `seg-{doc_id}-e{epoch}.dat`,
+/// fsyncing the file and the directory. The old epoch's file is left in
+/// place — it stays the live checkpoint until the manifest swap commits.
+pub fn write_segment(
+    dir: &Path,
+    doc_id: u64,
+    epoch: u64,
+    payload: &[u8],
+) -> Result<PathBuf, StoreError> {
+    let path = dir.join(segment_file(doc_id, epoch));
+    let frame = encode_frame(payload);
+    if let Err(inj) = xp_testkit::faultpoint!("store.checkpoint.write") {
+        match inj.mode {
+            FaultMode::Torn | FaultMode::Abort => {
+                let half = frame.len() / 2;
+                let _ = std::fs::write(&path, &frame[..half]);
+                if inj.mode == FaultMode::Abort {
+                    std::process::abort();
+                }
+            }
+            FaultMode::Error | FaultMode::Short => {}
+        }
+        return Err(StoreError::Io { op: "write", path, msg: format!("{inj}") });
+    }
+    let mut f = std::fs::File::create(&path).map_err(|e| io_err("create", &path, e))?;
+    f.write_all(&frame).map_err(|e| io_err("write", &path, e))?;
+    f.sync_all().map_err(|e| io_err("fsync", &path, e))?;
+    drop(f);
+    crate::manifest::sync_dir(dir)?;
+    Ok(path)
+}
+
+/// Reads, checksum-verifies, and decodes `seg-{doc_id}-e{epoch}.dat`.
+pub fn load_segment(dir: &Path, doc_id: u64, epoch: u64) -> Result<Segment, StoreError> {
+    let path = dir.join(segment_file(doc_id, epoch));
+    let bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+    let payload = decode_single_frame(&bytes)
+        .map_err(|what| StoreError::Corrupt { path: path.clone(), what: what.into() })?;
+    let seg = decode_segment(payload, &path)?;
+    if seg.doc_id != doc_id || seg.epoch != epoch {
+        return Err(StoreError::Corrupt {
+            path,
+            what: "segment header disagrees with its file name".into(),
+        });
+    }
+    Ok(seg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_labelkit::dynamic::LabeledStore;
+    use xp_prime::DynamicPrime;
+
+    fn sample_store() -> LabeledStore<DynamicPrime> {
+        let tree = xp_xmltree::parse(
+            "<lib><shelf genre=\"old\"><book>alpha</book><book>beta</book></shelf><shelf/></lib>",
+        )
+        .unwrap();
+        LabeledStore::build(DynamicPrime::new(8), tree).unwrap()
+    }
+
+    #[test]
+    fn segment_file_names_round_trip() {
+        assert_eq!(segment_file(7, 42), "seg-7-e42.dat");
+        assert_eq!(parse_segment_file("seg-7-e42.dat"), Some((7, 42)));
+        assert_eq!(parse_segment_file("seg-7.dat"), None);
+        assert_eq!(parse_segment_file("wal.log"), None);
+        assert_eq!(parse_segment_file("seg-x-e1.dat"), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_preserves_everything() {
+        let store = sample_store();
+        let payload = encode_segment(
+            "doc.xml",
+            3,
+            2,
+            11,
+            8,
+            store.state().primes_handed_out(),
+            store.tree(),
+            store.doc(),
+            store.state().sc_table(),
+        );
+        let seg = decode_segment(&payload, Path::new("t")).unwrap();
+        assert_eq!(seg.uri, "doc.xml");
+        assert_eq!((seg.doc_id, seg.epoch, seg.seq), (3, 2, 11));
+        assert_eq!(seg.chunk_capacity, 8);
+        assert_eq!(seg.primes_handed_out, store.state().primes_handed_out());
+        // Arena-identical tree.
+        assert_eq!(seg.tree.snapshot(), store.tree().snapshot());
+        // Labels in the identical labeling order, byte-identical values.
+        let orig: Vec<_> = store.doc().iter().collect();
+        let back: Vec<_> = seg.labels.iter().collect();
+        assert_eq!(orig, back);
+        // SC table byte-identical.
+        assert_eq!(seg.sc.encode(), store.state().sc_table().encode());
+    }
+
+    #[test]
+    fn tag_column_mismatch_is_rejected() {
+        let store = sample_store();
+        let payload = encode_segment(
+            "d",
+            1,
+            1,
+            0,
+            8,
+            store.state().primes_handed_out(),
+            store.tree(),
+            store.doc(),
+            store.state().sc_table(),
+        );
+        // Corrupt a tag-dictionary byte: change "lib" so the redundant tag
+        // column no longer matches the tree (checksum is not in play here —
+        // decode_segment validates structure, the frame guards bits).
+        let needle = b"shelf";
+        let pos = payload.windows(needle.len()).position(|w| w == needle).unwrap();
+        let mut bad = payload.clone();
+        bad[pos] = b'X';
+        let err = decode_segment(&bad, Path::new("t")).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("disagrees") || msg.contains("corrupt") || msg.contains("decode"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("xp-store-seg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = sample_store();
+        let payload = encode_segment(
+            "w.xml",
+            5,
+            1,
+            0,
+            8,
+            store.state().primes_handed_out(),
+            store.tree(),
+            store.doc(),
+            store.state().sc_table(),
+        );
+        write_segment(&dir, 5, 1, &payload).unwrap();
+        let seg = load_segment(&dir, 5, 1).unwrap();
+        assert_eq!(seg.uri, "w.xml");
+        assert_eq!(seg.tree.snapshot(), store.tree().snapshot());
+        // Bit-flip anywhere in the file → checksum refuses it.
+        let path = dir.join(segment_file(5, 1));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_segment(&dir, 5, 1), Err(StoreError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_write_is_detectable() {
+        let dir = std::env::temp_dir().join(format!("xp-store-segt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        xp_testkit::fault::reset();
+        let store = sample_store();
+        let payload = encode_segment(
+            "t.xml",
+            9,
+            2,
+            0,
+            8,
+            store.state().primes_handed_out(),
+            store.tree(),
+            store.doc(),
+            store.state().sc_table(),
+        );
+        xp_testkit::fault::arm("store.checkpoint.write:1:torn");
+        assert!(write_segment(&dir, 9, 2, &payload).is_err());
+        xp_testkit::fault::reset();
+        // Half a frame on disk: the checksum rejects it.
+        assert!(dir.join(segment_file(9, 2)).exists());
+        assert!(matches!(load_segment(&dir, 9, 2), Err(StoreError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

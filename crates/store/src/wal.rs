@@ -1,0 +1,362 @@
+//! The write-ahead log: one frame per durable mutation, append-only.
+//!
+//! Every [`Mutation`](xp_labelkit::Mutation) a [`Store`](crate::Store)
+//! applies is framed ([`crate::frame`]) and appended here *before* any
+//! in-memory state changes — write-ahead in the classic sense. A crash can
+//! therefore leave at most one torn frame at the tail, which recovery
+//! detects by checksum and discards; every complete frame prefix replays to
+//! a consistent store.
+//!
+//! Fault sites (see `xp_testkit::fault`):
+//!
+//! * `store.wal.append` — fires before/during the frame write. `torn` mode
+//!   persists half the frame then errors; `abort` persists half then kills
+//!   the process; `error` leaves the file untouched.
+//! * `store.wal.fsync` — fires after the frame is fully written. The frame
+//!   may already be durable, so the caller's in-memory state legitimately
+//!   lags the disk by one mutation; recovery tests accept either prefix.
+//! * `store.wal.read` — fires on the recovery read path. `short` mode
+//!   models a read that returned fewer bytes than the file holds; it is a
+//!   typed error, **not** a silent tail truncation — truncating on a short
+//!   read would discard durable frames.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{io_err, StoreError};
+use crate::frame::{decode_frames, encode_frame};
+use xp_testkit::FaultMode;
+
+/// Name of the log file inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// An open append handle on the log.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+}
+
+/// What a (recovery-time) scan of the log found.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every complete, checksum-verified frame payload, in append order.
+    pub frames: Vec<Vec<u8>>,
+    /// Length of the valid prefix.
+    pub valid_len: u64,
+    /// Total file length; `> valid_len` iff the tail is torn.
+    pub total_len: u64,
+}
+
+impl WalScan {
+    /// Bytes of torn tail after the last complete frame.
+    pub fn torn_bytes(&self) -> u64 {
+        self.total_len - self.valid_len
+    }
+}
+
+/// Reads and scans the log without modifying it (the fsck path — a missing
+/// file scans as empty, matching a store that never logged a mutation).
+pub fn scan(dir: &Path) -> Result<WalScan, StoreError> {
+    let path = dir.join(WAL_FILE);
+    let bytes = read_all(&path)?;
+    let scanned = decode_frames(&bytes);
+    Ok(WalScan {
+        frames: scanned.frames.iter().map(|f| f.to_vec()).collect(),
+        valid_len: scanned.valid_len as u64,
+        total_len: bytes.len() as u64,
+    })
+}
+
+fn read_all(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err("read", path, e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(|e| io_err("read", path, e))?;
+    // A short read delivers fewer bytes than the file holds; surfacing it as
+    // a typed error (rather than scanning the partial buffer) is what keeps
+    // durable frames from being mistaken for a torn tail and truncated.
+    if let Err(inj) = xp_testkit::faultpoint!("store.wal.read") {
+        let what = match inj.mode {
+            FaultMode::Short => "short read (fewer bytes than the file holds)",
+            _ => "injected read failure",
+        };
+        return Err(StoreError::Io { op: "read", path: path.to_path_buf(), msg: what.into() });
+    }
+    Ok(bytes)
+}
+
+impl Wal {
+    /// Opens the log for recovery + append: scans it, truncates any torn
+    /// tail (the only bytes recovery ever discards), and returns the handle
+    /// together with every complete frame.
+    pub fn open(dir: &Path) -> Result<(Wal, WalScan), StoreError> {
+        let path = dir.join(WAL_FILE);
+        let bytes = read_all(&path)?;
+        let scanned = decode_frames(&bytes);
+        let scan = WalScan {
+            frames: scanned.frames.iter().map(|f| f.to_vec()).collect(),
+            valid_len: scanned.valid_len as u64,
+            total_len: bytes.len() as u64,
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open", &path, e))?;
+        if scan.torn_bytes() > 0 {
+            file.set_len(scan.valid_len).map_err(|e| io_err("truncate", &path, e))?;
+            file.sync_data().map_err(|e| io_err("fsync", &path, e))?;
+        }
+        let mut wal = Wal { path, file };
+        wal.seek_end()?;
+        Ok((wal, scan))
+    }
+
+    fn seek_end(&mut self) -> Result<(), StoreError> {
+        use std::io::Seek;
+        self.file
+            .seek(std::io::SeekFrom::End(0))
+            .map(|_| ())
+            .map_err(|e| io_err("seek", &self.path, e))
+    }
+
+    /// Appends one frame and syncs it to disk. On success the payload is
+    /// durable. On an append-site fault the file holds either nothing new
+    /// (`error`) or a torn tail (`torn`/`abort`); on an fsync-site fault the
+    /// frame is fully written but possibly unsynced — the reopened store may
+    /// contain this mutation even though the caller saw an error.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let frame = encode_frame(payload);
+        if let Err(inj) = xp_testkit::faultpoint!("store.wal.append") {
+            return self.fail_write(&frame, inj, "store.wal.append");
+        }
+        self.file.write_all(&frame).map_err(|e| io_err("write", &self.path, e))?;
+        if let Err(inj) = xp_testkit::faultpoint!("store.wal.fsync") {
+            if inj.mode == FaultMode::Abort {
+                let _ = self.file.sync_data();
+                std::process::abort();
+            }
+            return Err(StoreError::Io {
+                op: "fsync",
+                path: self.path.clone(),
+                msg: format!("{inj}"),
+            });
+        }
+        self.file.sync_data().map_err(|e| io_err("fsync", &self.path, e))?;
+        Ok(())
+    }
+
+    /// The injected-failure half of [`Wal::append`]: leave the disk in the
+    /// state the fault mode dictates, then error or die.
+    fn fail_write(
+        &mut self,
+        frame: &[u8],
+        inj: xp_testkit::Injected,
+        site: &str,
+    ) -> Result<(), StoreError> {
+        match inj.mode {
+            FaultMode::Torn | FaultMode::Abort => {
+                // A torn write persists a strict prefix of the frame — the
+                // checksum over the partial payload cannot verify, so
+                // recovery sees it as the torn tail.
+                let half = frame.len() / 2;
+                let _ = self.file.write_all(&frame[..half]);
+                let _ = self.file.sync_data();
+                if inj.mode == FaultMode::Abort {
+                    std::process::abort();
+                }
+                Err(StoreError::Io {
+                    op: "write",
+                    path: self.path.clone(),
+                    msg: format!("injected torn write at {site}"),
+                })
+            }
+            FaultMode::Error | FaultMode::Short => Err(StoreError::Io {
+                op: "write",
+                path: self.path.clone(),
+                msg: format!("{inj}"),
+            }),
+        }
+    }
+
+    /// Discards the entire log. Only called once every document's durable
+    /// checkpoint has caught up with the in-memory sequence — at that point
+    /// no frame is needed for recovery.
+    pub fn truncate(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(0).map_err(|e| io_err("truncate", &self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err("fsync", &self.path, e))?;
+        self.seek_end()
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> Result<u64, StoreError> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| io_err("stat", &self.path, e))
+    }
+
+    /// `true` iff the log holds no frames.
+    pub fn is_empty(&self) -> Result<bool, StoreError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FRAME_HEADER;
+    use xp_testkit::fault;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xp-store-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_then_reopen_reads_back() {
+        let dir = tmpdir("roundtrip");
+        {
+            let (mut wal, scan) = Wal::open(&dir).unwrap();
+            assert!(scan.frames.is_empty());
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+        }
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(scan.frames, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(scan.torn_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_leaves_recoverable_prefix() {
+        let dir = tmpdir("torn");
+        fault::reset();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append(b"durable").unwrap();
+            fault::arm("store.wal.append:1:torn");
+            let err = wal.append(b"lost-to-the-crash").unwrap_err();
+            fault::reset();
+            assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        }
+        // The file now has a torn tail; reopening truncates it away.
+        let before = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(scan.frames, vec![b"durable".to_vec()]);
+        assert!(scan.torn_bytes() > 0, "tail was torn");
+        let after = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert!(after < before);
+        assert_eq!(after, scan.valid_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_append_leaves_file_untouched() {
+        let dir = tmpdir("error");
+        fault::reset();
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.append(b"kept").unwrap();
+        let len = wal.len().unwrap();
+        fault::arm("store.wal.append:1");
+        assert!(wal.append(b"never-written").is_err());
+        fault::reset();
+        assert_eq!(wal.len().unwrap(), len, "error mode writes nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_fault_leaves_frame_durable() {
+        let dir = tmpdir("fsync");
+        fault::reset();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            fault::arm("store.wal.fsync:1");
+            let err = wal.append(b"maybe-durable").unwrap_err();
+            fault::reset();
+            assert!(matches!(err, StoreError::Io { op: "fsync", .. }));
+        }
+        // The frame was fully written before the (failed) sync: recovery
+        // legitimately sees it.
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(scan.frames, vec![b"maybe-durable".to_vec()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_read_is_a_typed_error_not_truncation() {
+        let dir = tmpdir("short");
+        fault::reset();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append(b"durable-frame").unwrap();
+        }
+        let len_before = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        fault::arm("store.wal.read:1:short");
+        let err = Wal::open(&dir).unwrap_err();
+        fault::reset();
+        assert!(matches!(err, StoreError::Io { op: "read", .. }), "{err}");
+        // Crucially the durable frame was NOT truncated away.
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), len_before);
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let dir = tmpdir("truncate");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.append(b"a").unwrap();
+        wal.truncate().unwrap();
+        assert!(wal.is_empty().unwrap());
+        wal.append(b"b").unwrap();
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(scan.frames, vec![b"b".to_vec()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_byte_prefix_of_a_log_recovers() {
+        let dir = tmpdir("prefix");
+        let mut payloads = Vec::new();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            for i in 0..5u32 {
+                let p = format!("frame-{i}-{}", "x".repeat(i as usize * 3)).into_bytes();
+                wal.append(&p).unwrap();
+                payloads.push(p);
+            }
+        }
+        let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let pdir = tmpdir("prefix-scratch");
+        for cut in 0..=bytes.len() {
+            std::fs::write(pdir.join(WAL_FILE), &bytes[..cut]).unwrap();
+            let (_, scan) = Wal::open(&pdir).unwrap();
+            // Frames recovered must be a prefix of the appended payloads.
+            assert!(scan.frames.len() <= payloads.len());
+            assert_eq!(scan.frames[..], payloads[..scan.frames.len()]);
+            // And the number recovered only drops at frame boundaries.
+            let mut complete = 0usize;
+            let mut off = 0usize;
+            for p in &payloads {
+                off += FRAME_HEADER + p.len();
+                if off <= cut {
+                    complete += 1;
+                }
+            }
+            assert_eq!(scan.frames.len(), complete, "cut at byte {cut}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&pdir);
+    }
+}

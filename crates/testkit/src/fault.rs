@@ -35,15 +35,62 @@ use std::fmt;
 pub struct Injected {
     /// Name of the site that fired.
     pub site: &'static str,
+    /// The injected failure mode (see [`FaultMode`]).
+    pub mode: FaultMode,
 }
 
 impl fmt::Display for Injected {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "injected fault at {}", self.site)
+        write!(f, "injected fault at {} ({})", self.site, self.mode)
     }
 }
 
 impl std::error::Error for Injected {}
+
+/// *How* an armed site fails, the third spec component:
+/// `<site>:<trigger>[:<mode>]`.
+///
+/// Plain in-memory sites only ever observe [`FaultMode::Error`]; the I/O
+/// sites of the persistence layer interpret the richer modes — a torn write
+/// leaves a partial frame on disk before erroring, a short read truncates
+/// what recovery sees, and abort kills the process mid-write like a real
+/// `kill -9`. Sites that don't understand a mode treat it as `Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Return a typed error, leaving no partial effects (the classic mode).
+    #[default]
+    Error,
+    /// I/O write sites: persist a prefix of the intended bytes, then error.
+    Torn,
+    /// I/O read sites: deliver fewer bytes than were asked for.
+    Short,
+    /// I/O write sites: persist a prefix of the intended bytes, then
+    /// `std::process::abort()` — a hard kill with no unwinding.
+    Abort,
+}
+
+impl fmt::Display for FaultMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultMode::Error => "error",
+            FaultMode::Torn => "torn",
+            FaultMode::Short => "short",
+            FaultMode::Abort => "abort",
+        })
+    }
+}
+
+impl FaultMode {
+    fn parse(s: &str) -> Option<FaultMode> {
+        match s {
+            "error" => Some(FaultMode::Error),
+            "torn" => Some(FaultMode::Torn),
+            "short" => Some(FaultMode::Short),
+            "abort" => Some(FaultMode::Abort),
+            _ => None,
+        }
+    }
+}
 
 /// When an armed site fires.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +104,7 @@ enum Trigger {
 #[derive(Debug)]
 struct SiteState {
     trigger: Trigger,
+    mode: FaultMode,
     hits: u64,
     fired: bool,
 }
@@ -77,8 +125,18 @@ const DEFAULT_SEED: u64 = 0xF417;
 fn parse_spec(spec: &str, seed: u64) -> Result<ThreadFaults, String> {
     let mut sites = HashMap::new();
     for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
-        let Some((site, trigger)) = entry.rsplit_once(':') else {
+        let Some((head, tail)) = entry.rsplit_once(':') else {
             return Err(format!("fault spec `{entry}` is missing `:<trigger>`"));
+        };
+        // `<site>:<trigger>` or `<site>:<trigger>:<mode>` — the mode word
+        // never parses as a trigger, so peel it off the tail first.
+        let (site, trigger, mode) = if let Some(mode) = FaultMode::parse(tail) {
+            let Some((site, trigger)) = head.rsplit_once(':') else {
+                return Err(format!("fault spec `{entry}` is missing `:<trigger>` before mode"));
+            };
+            (site, trigger, mode)
+        } else {
+            (head, tail, FaultMode::Error)
         };
         let trigger = if let Some(p) = trigger.strip_prefix("p=") {
             match p.parse::<f64>() {
@@ -91,7 +149,7 @@ fn parse_spec(spec: &str, seed: u64) -> Result<ThreadFaults, String> {
                 _ => return Err(format!("fault spec `{entry}`: bad hit count `{trigger}`")),
             }
         };
-        sites.insert(site.to_string(), SiteState { trigger, hits: 0, fired: false });
+        sites.insert(site.to_string(), SiteState { trigger, mode, hits: 0, fired: false });
     }
     Ok(ThreadFaults { sites, rng: StdRng::seed_from_u64(seed) })
 }
@@ -189,7 +247,7 @@ pub fn check(site: &'static str) -> Result<(), Injected> {
             Trigger::Prob(p) => faults.rng.random_bool(p),
         };
         if fire {
-            Err(Injected { site })
+            Err(Injected { site, mode: state.mode })
         } else {
             Ok(())
         }
@@ -223,7 +281,7 @@ mod tests {
         arm("t.nth:3");
         assert_eq!(check("t.nth"), Ok(()));
         assert_eq!(check("t.nth"), Ok(()));
-        assert_eq!(check("t.nth"), Err(Injected { site: "t.nth" }));
+        assert_eq!(check("t.nth"), Err(Injected { site: "t.nth", mode: FaultMode::Error }));
         for _ in 0..10 {
             assert_eq!(check("t.nth"), Ok(()), "nth fires once");
         }
@@ -266,6 +324,27 @@ mod tests {
     #[should_panic(expected = "fault::arm")]
     fn malformed_spec_panics() {
         arm("no-trigger");
+    }
+
+    #[test]
+    fn mode_suffix_parses_and_propagates() {
+        arm("io.write:1:torn");
+        assert_eq!(
+            check("io.write"),
+            Err(Injected { site: "io.write", mode: FaultMode::Torn })
+        );
+        arm("io.read:2:short, io.sync:1:abort, plain:1");
+        assert_eq!(check("io.read"), Ok(()));
+        assert_eq!(check("io.read"), Err(Injected { site: "io.read", mode: FaultMode::Short }));
+        assert_eq!(check("io.sync"), Err(Injected { site: "io.sync", mode: FaultMode::Abort }));
+        assert_eq!(check("plain"), Err(Injected { site: "plain", mode: FaultMode::Error }));
+        reset();
+    }
+
+    #[test]
+    #[should_panic(expected = "fault::arm")]
+    fn mode_without_trigger_panics() {
+        arm("site:torn");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod propcheck;
 pub mod refint;
 pub mod rng;
 
-pub use fault::Injected;
+pub use fault::{FaultMode, Injected};
 pub use propcheck::{Config, Gen, Index, Source};
 pub use refint::RefUint;
 pub use rng::{RngExt, SeedableRng, StdRng};

@@ -8,6 +8,9 @@
 //! xmlprime update <file.xml> <node#> (--tag T | --xml F) [--scheme S]
 //! xmlprime delete <file.xml> <node#> [--scheme S]
 //! xmlprime move   <file.xml> <node#> (before|child-of) <node#> [--scheme S]
+//! xmlprime save   <file.xml> --store <dir> [--uri U] [--chunk N]
+//! xmlprime load   --store <dir> [--uri U]
+//! xmlprime fsck   --store <dir>
 //! ```
 //!
 //! `<file.xml>` may be `-` for stdin. Schemes: `prime` (default),
@@ -37,6 +40,9 @@ USAGE:
     xmlprime delete <file.xml> <node#> [--scheme S] [--chunk N] [--gap G]
     xmlprime move   <file.xml> <node#> (before|child-of) <node#>
                     [--scheme S] [--chunk N] [--gap G]
+    xmlprime save   <file.xml> --store <dir> [--uri U] [--chunk N]
+    xmlprime load   --store <dir> [--uri U]
+    xmlprime fsck   --store <dir>
 
     <file.xml> may be '-' to read from stdin.
     <node#> is the 1-based document-order element index (see `label`).
@@ -55,6 +61,16 @@ MUTATIONS:
     labels the interval scheme with spare room between ranks (default dense).
     The exit report shows inserted/relabeled/removed label counts plus SC
     side updates — the scheme's true update cost.
+
+PERSISTENCE:
+    save    label a document with the prime scheme and add it to a
+            crash-safe on-disk store (created on first use); the URI
+            defaults to the file name
+    load    without --uri, list the store's documents; with --uri,
+            serialize the stored (possibly mutated) document to stdout
+    fsck    read-only integrity check of a store directory: manifest,
+            checkpoint segments, WAL replay, and the full labeling
+            consistency suite; exits 6 on corruption, repairs nothing
 
 SCHEMES (for `label`):
     prime       top-down prime scheme, no optimizations (default)
@@ -87,6 +103,9 @@ enum CliError {
     Label(String),
     /// Exit 5: query evaluation failed.
     Query(String),
+    /// Exit 6: an on-disk store is corrupt (bad magic, failed checksum,
+    /// sequence gap, or a recovered document failing consistency checks).
+    Corrupt(String),
 }
 
 impl CliError {
@@ -97,6 +116,7 @@ impl CliError {
             CliError::Limit(_) => 3,
             CliError::Label(_) => 4,
             CliError::Query(_) => 5,
+            CliError::Corrupt(_) => 6,
         })
     }
 
@@ -106,7 +126,8 @@ impl CliError {
             | CliError::Input(m)
             | CliError::Limit(m)
             | CliError::Label(m)
-            | CliError::Query(m) => m,
+            | CliError::Query(m)
+            | CliError::Corrupt(m) => m,
         }
     }
 }
@@ -168,6 +189,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "update" => cmd_update(&args[1..]),
         "delete" => cmd_delete(&args[1..]),
         "move" => cmd_move(&args[1..]),
+        "save" => cmd_save(&args[1..]),
+        "load" => cmd_load(&args[1..]),
+        "fsck" => cmd_fsck(&args[1..]),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -418,6 +442,7 @@ fn classify_dynamic(e: DynamicError) -> CliError {
         | DynamicError::RootTarget(_)
         | DynamicError::MoveIntoSelf { .. } => CliError::Usage(e.to_string()),
         DynamicError::Fragment(m) => CliError::Input(format!("fragment: {m}")),
+        DynamicError::NeedsRecovery => CliError::Label(e.to_string()),
         DynamicError::Scheme(inner) => match inner.downcast::<xmlprime::prime::Error>() {
             Ok(prime_err) => classify_label(*prime_err),
             Err(other) => CliError::Label(other.to_string()),
@@ -563,4 +588,120 @@ fn cmd_move(args: &[String]) -> Result<(), CliError> {
     };
     let opts = mutation_opts(args)?;
     dispatch_mutation(&opts, tree, &Mutation::MoveSubtree { target, pos: insert_pos })
+}
+
+/// Store failures: anything the recovery layer flags as on-disk damage
+/// gets the dedicated corruption exit code; URI clashes are usage errors
+/// (the URI came from the command line); plain I/O failures are input
+/// errors; scheme-side failures reuse the labeling classification.
+fn classify_store(e: xmlprime::store::StoreError) -> CliError {
+    use xmlprime::store::StoreError;
+    match e {
+        StoreError::Corrupt { .. }
+        | StoreError::Codec(_)
+        | StoreError::Snapshot(_)
+        | StoreError::NotAStore(_) => CliError::Corrupt(e.to_string()),
+        StoreError::DuplicateUri(_) | StoreError::UnknownUri(_) => CliError::Usage(e.to_string()),
+        StoreError::Io { .. } | StoreError::FaultInjected(_) => CliError::Input(e.to_string()),
+        StoreError::Scheme(inner) => classify_label(inner),
+        StoreError::Dynamic(inner) => classify_dynamic(inner),
+    }
+}
+
+/// The mandatory `--store <dir>` flag of the persistence commands.
+fn store_dir(args: &[String]) -> Result<std::path::PathBuf, CliError> {
+    flag_value(args, "--store")
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| usage("missing --store <dir>"))
+}
+
+/// Reads the document argument (`-` = stdin) as raw text.
+fn read_text(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| CliError::Input(format!("stdin: {e}")))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))
+    }
+}
+
+fn cmd_save(args: &[String]) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [file] = pos[..] else {
+        return Err(usage("save takes exactly one file"));
+    };
+    let dir = store_dir(args)?;
+    let uri = flag_value(args, "--uri").unwrap_or(file);
+    if uri == "-" {
+        return Err(usage("reading from stdin requires an explicit --uri"));
+    }
+    let chunk: usize = match flag_value(args, "--chunk") {
+        Some(v) => v.parse().map_err(|_| usage(format!("bad --chunk {v:?}")))?,
+        None => 5,
+    };
+    let xml = read_text(file)?;
+    // Parse locally first so malformed input gets the parse-error exit
+    // code (and message) instead of surfacing through the store.
+    parse(&xml).map_err(|e| classify_parse(file, e))?;
+    let mut store = if dir.join(xmlprime::store::MANIFEST_FILE).exists() {
+        xmlprime::store::Store::open(&dir).map_err(classify_store)?
+    } else {
+        xmlprime::store::Store::create(&dir).map_err(classify_store)?
+    };
+    let doc_id = store.add_document(uri, &xml, chunk).map_err(classify_store)?;
+    let doc = store.doc(uri).expect("document was just added");
+    println!(
+        "saved {uri:?} as doc {doc_id} ({} elements, chunk {chunk}) in {}",
+        doc.tree().elements().count(),
+        dir.display(),
+    );
+    Ok(())
+}
+
+fn cmd_load(args: &[String]) -> Result<(), CliError> {
+    let pos = positional(args);
+    if !pos.is_empty() {
+        return Err(usage("load takes no positional arguments"));
+    }
+    let dir = store_dir(args)?;
+    let store = xmlprime::store::Store::open(&dir).map_err(classify_store)?;
+    match flag_value(args, "--uri") {
+        Some(uri) => {
+            let doc = store
+                .doc(uri)
+                .ok_or_else(|| usage(format!("store has no document {uri:?}")))?;
+            print!("{}", xmlprime::xmltree::serialize::to_string_pretty(doc.tree(), 2));
+        }
+        None => {
+            for doc in store.docs() {
+                println!(
+                    "{:40} doc {} epoch {} seq {} ({} elements)",
+                    doc.uri(),
+                    doc.doc_id(),
+                    doc.epoch(),
+                    doc.seq(),
+                    doc.tree().elements().count(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
+    let pos = positional(args);
+    if !pos.is_empty() {
+        return Err(usage("fsck takes no positional arguments"));
+    }
+    let dir = store_dir(args)?;
+    let report = xmlprime::store::fsck(&dir).map_err(classify_store)?;
+    println!("store {} is consistent", dir.display());
+    println!("documents:      {}", report.docs);
+    println!("WAL frames:     {}", report.wal_frames);
+    println!("  replayable:   {}", report.replayed);
+    println!("torn tail:      {} byte(s)", report.torn_tail_bytes);
+    Ok(())
 }

@@ -39,6 +39,7 @@
 //! | [`prime`] | `xp-prime` | **the paper's scheme**: top-down/bottom-up, Opt1–3, CRT, SC table |
 //! | [`baselines`] | `xp-baselines` | Interval/XISS, Prefix-1, Prefix-2, Dewey |
 //! | [`query`] | `xp-query` | label-predicate XPath-subset engine |
+//! | [`store`] | `xp-store` | crash-safe disk store: WAL + checkpoint manifest |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +51,7 @@ pub use xp_labelkit as labelkit;
 pub use xp_prime as prime;
 pub use xp_primes as primes;
 pub use xp_query as query;
+pub use xp_store as store;
 pub use xp_xmltree as xmltree;
 
 /// The most common imports in one place.

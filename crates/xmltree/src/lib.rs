@@ -36,9 +36,11 @@
 pub mod parse;
 pub mod sax;
 pub mod serialize;
+pub mod snapshot;
 pub mod stats;
 mod tree;
 
 pub use parse::{parse, parse_with, ParseError, ParseErrorKind, ParseLimit, ParseOptions};
+pub use snapshot::{SlotSnapshot, SnapshotError, TreeSnapshot};
 pub use stats::TreeStats;
 pub use tree::{NodeId, NodeKind, XmlTree};

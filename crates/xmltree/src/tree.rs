@@ -41,13 +41,13 @@ pub enum NodeKind {
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    kind: NodeKind,
-    parent: Option<NodeId>,
-    first_child: Option<NodeId>,
-    last_child: Option<NodeId>,
-    prev_sibling: Option<NodeId>,
-    next_sibling: Option<NodeId>,
+pub(crate) struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) prev_sibling: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
 }
 
 /// An ordered XML tree backed by an arena of nodes.
@@ -91,6 +91,32 @@ impl XmlTree {
     /// Total number of arena slots ever allocated (including detached nodes).
     pub fn arena_len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The [`NodeId`] occupying arena slot `index`, if the slot exists.
+    ///
+    /// Slots are never reused, so an index recorded externally (e.g. in a
+    /// persisted mutation log) resolves to the same node for the lifetime of
+    /// the tree. The node may be detached.
+    pub fn node_at(&self, index: usize) -> Option<NodeId> {
+        if index < self.nodes.len() {
+            // Arena indices always fit: alloc() refuses to grow past u32.
+            u32::try_from(index).ok().map(NodeId)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn raw_node(&self, id: NodeId) -> &Node {
+        self.node(id)
+    }
+
+    pub(crate) fn node_id_unchecked(index: u32) -> NodeId {
+        NodeId(index)
+    }
+
+    pub(crate) fn from_raw_parts(nodes: Vec<Node>, root: NodeId) -> Self {
+        XmlTree { nodes, root }
     }
 
     /// Number of nodes reachable from the root.

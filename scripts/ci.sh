@@ -45,7 +45,8 @@ echo "==> clippy panic-policy gate (deny unwrap/expect in library crates)"
 # has no clippy component.
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -q --offline --lib \
-        -p xp-prime -p xp-query -p xp-xmltree -p xp-bignum -p xp-labelkit -p xp-par
+        -p xp-prime -p xp-query -p xp-xmltree -p xp-bignum -p xp-labelkit -p xp-par \
+        -p xp-store
     echo "OK: library crates are clippy-clean under the panic policy."
 else
     echo "WARNING: clippy not installed; skipping panic-policy gate." >&2
@@ -106,6 +107,38 @@ echo "==> bignum-kernel bench smoke (multiply ladder + reduction contexts)"
 XP_BENCH_SAMPLES=8 XP_BENCH_MIN_WINDOW_MS=5 \
     cargo run -q --release --offline -p xp-bench --bin bench_bignum_kernels -- --smoke
 echo "OK: kernel dispatch and reduction contexts hold their bench gates."
+
+echo "==> store crash matrix (fault sites x failure modes, in-process)"
+# Every store I/O fault site (wal.append, wal.fsync, wal.read,
+# checkpoint.write, manifest.swap) fired in error/torn/short mode at every
+# hit the driver scenario reaches; the reopened store must match one of the
+# legitimate mutation-prefix oracles and pass fsck. See
+# crates/store/tests/crash_matrix.rs and DESIGN.md §11.
+cargo test -q --offline -p xp-store --test crash_matrix > /dev/null
+echo "OK: every injected I/O failure recovers to a consistent prefix."
+
+echo "==> store prefix-replay property (every WAL byte prefix recovers)"
+# Random documents and mutation scripts; every byte-length prefix of the
+# resulting WAL (plus torn-tail garbage) must reopen to the exact
+# mutation-prefix oracle, consistent on all nine query axes.
+cargo test -q --offline -p xp-store --test prefix_replay > /dev/null
+echo "OK: every WAL prefix replays to a consistent prefix oracle."
+
+echo "==> store kill harness (real process abort at every fault site)"
+# The test binary re-executes itself and dies via std::process::abort() at
+# each armed site (the in-tree kill -9); the parent reopens the dead
+# child's directory and checks it against the prefix oracles.
+cargo test -q --offline -p xp-store --test kill_harness > /dev/null
+echo "OK: a process killed at any fault site reopens byte-identical."
+
+echo "==> store bench smoke (durability tax + checkpoint/recovery round trip)"
+# Wall-clock gate for the disk store: measures WAL-append overhead vs the
+# same apply in memory, checkpoint cost, and recovery time, and fails if a
+# reopened store diverges from its live twin or a full checkpoint leaves
+# WAL frames behind. Does not touch the checked-in results/bench_store.json.
+XP_BENCH_SAMPLES=8 XP_BENCH_MIN_WINDOW_MS=5 \
+    cargo run -q --release --offline -p xp-bench --bin bench_store -- --smoke
+echo "OK: store recovery is exact and checkpoints fold the WAL."
 
 echo "==> parallel-scaling bench smoke (xp-par determinism + no-lose gate)"
 # Product tree, segmented sieve, and the prodtree-backed ordered build at
