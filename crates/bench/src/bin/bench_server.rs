@@ -1,0 +1,76 @@
+//! Bench gate for the concurrent label server: many TCP clients run a
+//! 95% read / 5% mutation workload against one served document, then an
+//! all-mutation burst that exercises group commit.
+//!
+//! Default mode runs 64 clients against a 10⁶-element document and
+//! regenerates `results/bench_server.json`. `--smoke` runs 8 clients
+//! against a 2 000-element document without touching the checked-in JSON —
+//! the `scripts/ci.sh` bench gate. Either way the run fails if
+//!
+//! * any client observes a torn labeling (a same-epoch `//x`/`//y`
+//!   response pair with different counts),
+//! * the quiesced document or the shut-down store diverge from the
+//!   acknowledged mutations, or
+//! * the burst phase spends 1.0 or more WAL fsyncs per mutation — group
+//!   commit must amortize the durability tax across a batch.
+
+use xp_bench::experiments::server::{server_bench, ServerWorkload, BURST_BATCH};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workload = if smoke {
+        ServerWorkload { nodes: 2_000, clients: 8, ops_per_client: 40, burst_applies_per_client: 4 }
+    } else {
+        ServerWorkload {
+            nodes: 1_000_000,
+            clients: 64,
+            ops_per_client: 64,
+            burst_applies_per_client: 4,
+        }
+    };
+    let stats = server_bench(&workload, !smoke);
+
+    println!();
+    println!(
+        "{} clients on a {}-element document: {} reads, {} mutations",
+        workload.clients, workload.nodes, stats.reads, stats.mutations
+    );
+    println!(
+        "read latency    p50 {:>10.1} µs   p99 {:>10.1} µs",
+        stats.read_p50_us, stats.read_p99_us
+    );
+    println!(
+        "mutate latency  p50 {:>10.1} µs   p99 {:>10.1} µs",
+        stats.mutate_p50_us, stats.mutate_p99_us
+    );
+    println!(
+        "WAL fsyncs/mutation: mixed {:.3}  burst {:.3} (batch of {BURST_BATCH})",
+        stats.mixed_fsyncs_per_mutation, stats.burst_fsyncs_per_mutation
+    );
+    println!("same-epoch isolation pairs checked: {}", stats.same_epoch_pairs);
+
+    let mut failed = false;
+    if !stats.isolation_consistent {
+        eprintln!("FAIL: a client observed a torn labeling");
+        failed = true;
+    }
+    if !stats.final_consistent {
+        eprintln!("FAIL: quiesced document or shut-down store diverged from acknowledged mutations");
+        failed = true;
+    }
+    if stats.same_epoch_pairs == 0 {
+        eprintln!("FAIL: the isolation check never got a same-epoch pair — no coverage");
+        failed = true;
+    }
+    if stats.burst_fsyncs_per_mutation >= 1.0 {
+        eprintln!(
+            "FAIL: burst phase spent {:.3} fsyncs per mutation — group commit is not batching",
+            stats.burst_fsyncs_per_mutation
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("server checks passed: no torn labelings, group commit amortizes fsyncs");
+}

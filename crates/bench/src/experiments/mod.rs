@@ -2,6 +2,7 @@
 
 pub mod dynamic_api;
 pub mod par_scaling;
+pub mod server;
 pub mod sizes;
 pub mod store;
 pub mod timing;

@@ -1,0 +1,354 @@
+//! Wall-clock experiment for the concurrent label server: many clients
+//! hammer one served document over TCP with a read-heavy mixed workload
+//! (95% queries / 5% mutations), then an all-mutation burst that shows
+//! group commit amortizing WAL fsyncs across client batches.
+//!
+//! Alongside the latency percentiles the run proves isolation from the
+//! *client's* side: the only mutation ever applied inserts `<p><x/><y/></p>`
+//! as one atomic subtree, so any consistent labeling has `count(//x) ==
+//! count(//y)`. Every response is epoch-stamped; whenever a client sees an
+//! `//x` and an `//y` answer from the same epoch, the counts must match —
+//! a torn labeling breaks the pair. The final quiesced counts must equal
+//! the number of acknowledged inserts, and the store must pass its full
+//! consistency suite after shutdown.
+
+use super::SEED;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+use xp_datagen::builders::{random_tree, RandomTreeParams};
+use xp_server::{serve, BatchPolicy, Client, ListenConfig, WireMutation, WirePos};
+use xp_store::Store;
+use xp_xmltree::serialize;
+
+/// Workload shape for [`server_bench`].
+#[derive(Debug, Clone)]
+pub struct ServerWorkload {
+    /// Elements in the served document.
+    pub nodes: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Mixed-phase operations per client (95% reads / 5% mutations).
+    pub ops_per_client: usize,
+    /// Burst-phase Apply requests per client, each carrying
+    /// [`BURST_BATCH`] mutations.
+    pub burst_applies_per_client: usize,
+}
+
+/// Mutations per burst-phase Apply request; the WAL group-commits each
+/// request under one fsync, so the burst ratio is at most `1/BURST_BATCH`
+/// before cross-client batching lowers it further.
+pub const BURST_BATCH: usize = 4;
+
+/// Every `HEAVY_EVERY`-th read is a dense tag scan (`//t<k>` touches
+/// roughly `nodes / tag_variety` rows) instead of a cheap `//x`//`//y`
+/// isolation probe.
+const HEAVY_EVERY: usize = 16;
+
+/// Latencies and invariant-check outcomes from [`server_bench`].
+#[derive(Debug, Clone)]
+pub struct ServerBenchStats {
+    /// The workload that produced these numbers.
+    pub workload: ServerWorkload,
+    /// Completed read operations (mixed phase).
+    pub reads: u64,
+    /// Acknowledged mutations, mixed + burst phases.
+    pub mutations: u64,
+    /// Read latency percentiles, microseconds (mixed phase).
+    pub read_p50_us: f64,
+    /// 99th-percentile read latency, microseconds.
+    pub read_p99_us: f64,
+    /// Mutation (Apply round-trip) latency percentiles, microseconds
+    /// (mixed phase, single-mutation requests).
+    pub mutate_p50_us: f64,
+    /// 99th-percentile mutation latency, microseconds.
+    pub mutate_p99_us: f64,
+    /// WAL fsyncs ÷ mutations over the mixed phase (single-mutation
+    /// requests; batching only happens when clients collide).
+    pub mixed_fsyncs_per_mutation: f64,
+    /// WAL fsyncs ÷ mutations over the burst phase (multi-mutation
+    /// requests; must stay below 1.0 — the group-commit acceptance gate).
+    pub burst_fsyncs_per_mutation: f64,
+    /// Same-epoch `//x`/`//y` response pairs that were checked; zero
+    /// means the isolation check had no coverage.
+    pub same_epoch_pairs: u64,
+    /// No same-epoch pair ever disagreed.
+    pub isolation_consistent: bool,
+    /// Quiesced `count(//x)`/`count(//y)` equal the acknowledged inserts
+    /// and the store passed `verify()` after shutdown.
+    pub final_consistent: bool,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-bench-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)] as f64 / 1e3
+}
+
+/// One client's mixed-phase work: `(read_ns, mutate_ns, pairs, acked)`.
+struct ClientRun {
+    read_ns: Vec<u64>,
+    mutate_ns: Vec<u64>,
+    same_epoch_pairs: u64,
+    acked_inserts: u64,
+    torn: bool,
+}
+
+fn mixed_phase(addr: &str, client: usize, ops: usize) -> ClientRun {
+    let mut c = Client::connect_tcp(addr).expect("bench client connect");
+    let mut run = ClientRun {
+        read_ns: Vec::with_capacity(ops),
+        mutate_ns: Vec::new(),
+        same_epoch_pairs: 0,
+        acked_inserts: 0,
+        torn: false,
+    };
+    let mut last_x: Option<(u64, usize)> = None;
+    for i in 0..ops {
+        // 5% mutations, staggered so clients do not mutate in lockstep.
+        if i % 20 == client % 20 {
+            let start = Instant::now();
+            let applied = c
+                .apply(
+                    "bench.xml",
+                    &[WireMutation::InsertSubtree {
+                        pos: WirePos::LastChildOf(0),
+                        xml: "<p><x/><y/></p>".into(),
+                    }],
+                )
+                .expect("bench apply");
+            run.mutate_ns.push(start.elapsed().as_nanos() as u64);
+            assert!(applied.results[0].is_ok(), "bench insert rejected");
+            run.acked_inserts += 1;
+            continue;
+        }
+        // Reads: mostly the cheap //x|//y isolation probe, every
+        // HEAVY_EVERY-th a dense tag scan.
+        let path = if i % HEAVY_EVERY == HEAVY_EVERY - 1 {
+            "//t5"
+        } else if i % 2 == 0 {
+            "//x"
+        } else {
+            "//y"
+        };
+        let start = Instant::now();
+        let hits = c.query("bench.xml", path).expect("bench query");
+        run.read_ns.push(start.elapsed().as_nanos() as u64);
+        match path {
+            "//x" => last_x = Some((hits.epoch, hits.nodes.len())),
+            "//y" => {
+                if let Some((epoch, xs)) = last_x {
+                    if epoch == hits.epoch {
+                        run.same_epoch_pairs += 1;
+                        if xs != hits.nodes.len() {
+                            run.torn = true;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    run
+}
+
+fn burst_phase(addr: &str, applies: usize) -> u64 {
+    let mut c = Client::connect_tcp(addr).expect("bench burst connect");
+    let batch: Vec<WireMutation> = (0..BURST_BATCH)
+        .map(|_| WireMutation::InsertSubtree {
+            pos: WirePos::LastChildOf(0),
+            xml: "<p><x/><y/></p>".into(),
+        })
+        .collect();
+    let mut acked = 0u64;
+    for _ in 0..applies {
+        let applied = c.apply("bench.xml", &batch).expect("bench burst apply");
+        acked += applied.results.iter().filter(|r| r.is_ok()).count() as u64;
+    }
+    acked
+}
+
+/// Runs the server workload and (optionally) writes
+/// `results/bench_server.json`.
+pub fn server_bench(workload: &ServerWorkload, write_json: bool) -> ServerBenchStats {
+    let tree = random_tree(
+        SEED,
+        &RandomTreeParams {
+            nodes: workload.nodes,
+            max_depth: 8,
+            max_fanout: 40,
+            tag_variety: 10,
+        },
+    );
+    let xml = serialize::to_string(&tree);
+    let dir = scratch_dir(&workload.nodes.to_string());
+
+    let t = Instant::now();
+    let mut store = Store::create(&dir).expect("bench store create");
+    store.add_document("bench.xml", &xml, 5).expect("bench document");
+    eprintln!(
+        "[bench_server] labeled + stored {} elements in {:.1}s",
+        workload.nodes,
+        t.elapsed().as_secs_f64()
+    );
+
+    let handle = serve(
+        store,
+        ListenConfig { tcp: Some("127.0.0.1:0".into()), unix: None },
+        BatchPolicy::default(),
+    )
+    .expect("bench serve");
+    let addr = handle.tcp_addr().expect("bench tcp addr").to_string();
+
+    let mut probe = Client::connect_tcp(&addr).expect("bench probe connect");
+    let base = probe.stats().expect("bench stats");
+
+    // Mixed phase: every client runs the 95/5 workload concurrently.
+    let t = Instant::now();
+    let runs: Vec<ClientRun> = std::thread::scope(|s| {
+        let hs: Vec<_> = (0..workload.clients)
+            .map(|client| {
+                let addr = &addr;
+                s.spawn(move || mixed_phase(addr, client, workload.ops_per_client))
+            })
+            .collect();
+        hs.into_iter().map(|h| h.join().expect("bench client thread")).collect()
+    });
+    let mixed_secs = t.elapsed().as_secs_f64();
+    let after_mixed = probe.stats().expect("bench stats");
+
+    // Burst phase: all clients push multi-mutation applies at once.
+    let t = Instant::now();
+    let burst_acked: u64 = std::thread::scope(|s| {
+        let hs: Vec<_> = (0..workload.clients)
+            .map(|_| {
+                let addr = &addr;
+                s.spawn(move || burst_phase(addr, workload.burst_applies_per_client))
+            })
+            .collect();
+        hs.into_iter().map(|h| h.join().expect("bench burst thread")).sum()
+    });
+    let burst_secs = t.elapsed().as_secs_f64();
+    let after_burst = probe.stats().expect("bench stats");
+
+    // Quiesced check, then shut the server down and verify the store.
+    let mixed_acked: u64 = runs.iter().map(|r| r.acked_inserts).sum();
+    let total_inserts = mixed_acked + burst_acked;
+    let xs = probe.query("bench.xml", "//x").expect("final //x");
+    let ys = probe.query("bench.xml", "//y").expect("final //y");
+    let mut final_consistent =
+        xs.nodes.len() as u64 == total_inserts && ys.nodes.len() as u64 == total_inserts;
+    probe.shutdown().expect("bench shutdown");
+    match handle.wait() {
+        Some(store) => final_consistent &= store.verify().is_ok(),
+        None => final_consistent = false,
+    }
+
+    let mut read_ns: Vec<u64> = runs.iter().flat_map(|r| r.read_ns.iter().copied()).collect();
+    let mut mutate_ns: Vec<u64> = runs.iter().flat_map(|r| r.mutate_ns.iter().copied()).collect();
+    read_ns.sort_unstable();
+    mutate_ns.sort_unstable();
+
+    let mixed_fsyncs = after_mixed.wal_fsyncs - base.wal_fsyncs;
+    let mixed_muts = after_mixed.applied - base.applied;
+    let burst_fsyncs = after_burst.wal_fsyncs - after_mixed.wal_fsyncs;
+    let burst_muts = after_burst.applied - after_mixed.applied;
+
+    let stats = ServerBenchStats {
+        workload: workload.clone(),
+        reads: read_ns.len() as u64,
+        mutations: total_inserts,
+        read_p50_us: percentile(&read_ns, 50),
+        read_p99_us: percentile(&read_ns, 99),
+        mutate_p50_us: percentile(&mutate_ns, 50),
+        mutate_p99_us: percentile(&mutate_ns, 99),
+        mixed_fsyncs_per_mutation: mixed_fsyncs as f64 / mixed_muts.max(1) as f64,
+        burst_fsyncs_per_mutation: burst_fsyncs as f64 / burst_muts.max(1) as f64,
+        same_epoch_pairs: runs.iter().map(|r| r.same_epoch_pairs).sum(),
+        isolation_consistent: !runs.iter().any(|r| r.torn),
+        final_consistent,
+    };
+    eprintln!(
+        "[bench_server] mixed {mixed_secs:.1}s ({} reads, {mixed_muts} mutations), \
+         burst {burst_secs:.1}s ({burst_muts} mutations)",
+        stats.reads,
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if write_json {
+        write_results(&stats);
+    }
+    stats
+}
+
+/// Handwritten JSON in the same spirit as the harness's
+/// `results/bench_<group>.json` files (no serde in the workspace).
+fn write_results(stats: &ServerBenchStats) {
+    let mut out = String::new();
+    let w = &stats.workload;
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"group\": \"server\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"nodes\": {}, \"clients\": {}, \"ops_per_client\": {}, \
+         \"read_percent\": 95, \"burst_applies_per_client\": {}, \"burst_batch\": {}}},",
+        w.nodes, w.clients, w.ops_per_client, w.burst_applies_per_client, BURST_BATCH,
+    );
+    let _ = writeln!(
+        out,
+        "  \"reads\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
+        stats.reads, stats.read_p50_us, stats.read_p99_us,
+    );
+    let _ = writeln!(
+        out,
+        "  \"mutations\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
+        stats.mutations, stats.mutate_p50_us, stats.mutate_p99_us,
+    );
+    let _ = writeln!(
+        out,
+        "  \"wal\": {{\"mixed_fsyncs_per_mutation\": {:.3}, \"burst_fsyncs_per_mutation\": {:.3}}},",
+        stats.mixed_fsyncs_per_mutation, stats.burst_fsyncs_per_mutation,
+    );
+    let _ = writeln!(
+        out,
+        "  \"isolation\": {{\"same_epoch_pairs\": {}, \"torn\": {}, \"final_consistent\": {}}}",
+        stats.same_epoch_pairs, !stats.isolation_consistent, stats.final_consistent,
+    );
+    let _ = write!(out, "}}");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::write(dir.join("bench_server.json"), out).is_ok()
+    {
+        println!("[written results/bench_server.json]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_bench_round_trips_a_small_workload() {
+        let stats = server_bench(
+            &ServerWorkload {
+                nodes: 300,
+                clients: 4,
+                ops_per_client: 24,
+                burst_applies_per_client: 2,
+            },
+            false,
+        );
+        assert!(stats.isolation_consistent);
+        assert!(stats.final_consistent);
+        assert!(stats.same_epoch_pairs > 0, "isolation probe had no coverage");
+        assert!(stats.burst_fsyncs_per_mutation <= 1.0 / BURST_BATCH as f64 + 1e-9);
+        assert!(stats.read_p99_us.is_finite() && stats.mutate_p99_us.is_finite());
+    }
+}

@@ -594,6 +594,15 @@ pub struct LabeledStore<S: DynamicScheme> {
     state: S::State,
 }
 
+impl<S: DynamicScheme + Clone> Clone for LabeledStore<S>
+where
+    S::State: Clone,
+{
+    fn clone(&self) -> Self {
+        self.fork()
+    }
+}
+
 impl<S: DynamicScheme> LabeledStore<S> {
     /// Labels `tree` with `scheme` and takes ownership of everything.
     pub fn build(scheme: S, tree: XmlTree) -> Result<Self, DynamicError> {
@@ -628,6 +637,25 @@ impl<S: DynamicScheme> LabeledStore<S> {
     /// and all — lives here).
     pub fn state(&self) -> &S::State {
         &self.state
+    }
+
+    /// The snapshot API: a deep, fully independent copy of the store —
+    /// tree, labels, and scheme state. A fork cut at epoch *e* answers
+    /// every query exactly as the original did at *e*, no matter what is
+    /// applied to either side afterwards; this is what gives a concurrent
+    /// reader an isolated, consistent labeling while the single writer
+    /// applies the next epoch (see `xp-server`).
+    pub fn fork(&self) -> Self
+    where
+        S: Clone,
+        S::State: Clone,
+    {
+        LabeledStore {
+            scheme: self.scheme.clone(),
+            tree: self.tree.clone(),
+            doc: self.doc.clone(),
+            state: self.state.clone(),
+        }
     }
 
     /// Inserts a new element named `tag` immediately before `anchor`.

@@ -1,0 +1,418 @@
+//! The single-writer epoch loop: batching, group commit, publish.
+//!
+//! One thread owns the [`Store`] and therefore every document's
+//! authoritative tree, labels, and SC table. Connection handlers never
+//! touch it — they enqueue [`ApplyJob`]s and read published
+//! [`EpochSnapshot`]s. That single-writer discipline is what makes the
+//! concurrency story trivially torn-read-free: there is exactly one
+//! mutator, and everything readers see is immutable.
+//!
+//! # Epoch lifecycle
+//!
+//! 1. **Gather.** The loop blocks for one job, then drains whatever else
+//!    has queued, up to [`BatchPolicy::max_mutations`] per document.
+//! 2. **Decode.** Each job's mutation bytes are decoded against the live
+//!    tree. A job that fails to decode is rejected whole, before anything
+//!    is logged — it consumes no sequence numbers.
+//! 3. **Commit.** All of a document's decoded mutations go through
+//!    [`Store::apply_batch`]: every frame is written to the WAL, then one
+//!    `fdatasync` covers the batch (group commit). A mutation the scheme
+//!    rejects still consumed its sequence number and will re-fail
+//!    identically on replay; its error is reported to the submitting
+//!    client only.
+//! 4. **Publish.** The document's [`Publisher`] stamps a new epoch and
+//!    swaps the shared snapshot pointer. Readers that already hold the
+//!    previous `Arc` keep a consistent pre-batch view; new queries see the
+//!    new epoch.
+//! 5. **Reply.** Every job in the batch gets its per-mutation outcomes and
+//!    the epoch that covers them.
+//!
+//! Durability before visibility: the fsync in step 3 happens before the
+//! publish in step 4, so no client can observe (or build on) labels that
+//! a crash could un-happen.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
+
+use xp_labelkit::Mutation;
+use xp_store::{Store, StoreError};
+
+use crate::protocol::{ErrCode, ServerStats, WireApply};
+use crate::snapshot::{EpochSnapshot, Publisher};
+
+/// Group-commit policy for the epoch loop.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Most mutations folded into one epoch (and one fsync) per document.
+    /// `1` disables group commit: every mutation pays its own sync — the
+    /// knob the `bench_server` fsync gate flips.
+    pub max_mutations: usize,
+    /// Checkpoint a document once its WAL tail exceeds this many
+    /// mutations. `None` leaves checkpointing to the operator.
+    pub checkpoint_after: Option<u64>,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_mutations: 256, checkpoint_after: Some(4096) }
+    }
+}
+
+/// Outcome of one [`ApplyJob`].
+#[derive(Debug, Clone)]
+pub enum ApplyOutcome {
+    /// The batch committed; per-mutation results in submission order.
+    Applied {
+        /// Label epoch whose snapshot reflects this job.
+        epoch: u64,
+        /// Document sequence after the job's mutations.
+        seq: u64,
+        /// One entry per submitted mutation.
+        results: Vec<WireApply>,
+    },
+    /// The job was rejected before consuming any sequence numbers.
+    Rejected {
+        /// Failure classification for the wire.
+        code: ErrCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// A mutation batch from one client, awaiting the writer.
+pub struct ApplyJob {
+    /// Target document URI.
+    pub uri: String,
+    /// Encoded mutations ([`crate::protocol::WireMutation`] bytes).
+    pub mutations: Vec<Vec<u8>>,
+    /// Where the outcome goes. A dropped receiver just discards the
+    /// reply.
+    pub reply: mpsc::SyncSender<ApplyOutcome>,
+}
+
+enum Job {
+    Apply(ApplyJob),
+    Stop,
+}
+
+/// A cloneable handle for submitting jobs to the writer thread.
+#[derive(Clone)]
+pub struct JobSender(mpsc::Sender<Job>);
+
+impl JobSender {
+    /// Enqueues a job; gives it back if the writer has stopped.
+    pub fn submit(&self, job: ApplyJob) -> Result<(), ApplyJob> {
+        self.0.send(Job::Apply(job)).map_err(|e| match e.0 {
+            Job::Apply(j) => j,
+            Job::Stop => unreachable!("JobSender only sends Apply"),
+        })
+    }
+}
+
+/// Atomic counters mirrored into [`ServerStats`].
+#[derive(Debug, Default)]
+pub struct Counters {
+    epochs: AtomicU64,
+    applied: AtomicU64,
+    failed: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    reclaimed: AtomicU64,
+    cloned: AtomicU64,
+}
+
+impl Counters {
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            epochs: self.epochs.load(Ordering::Relaxed),
+            applied: self.applied.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            snapshots_reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            snapshots_cloned: self.cloned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The reader-facing side of the epoch loop: the published snapshot per
+/// document, swapped atomically at each epoch boundary.
+pub type PublishedDocs = Arc<RwLock<HashMap<String, Arc<EpochSnapshot>>>>;
+
+/// Handle to a running epoch loop.
+pub struct EpochLoop {
+    jobs: mpsc::Sender<Job>,
+    docs: PublishedDocs,
+    counters: Arc<Counters>,
+    writer: Option<std::thread::JoinHandle<Store>>,
+}
+
+impl EpochLoop {
+    /// Takes ownership of `store` and starts the writer thread. Every
+    /// document already in the store is published as its initial epoch.
+    pub fn start(store: Store, policy: BatchPolicy) -> EpochLoop {
+        let docs: PublishedDocs = Arc::new(RwLock::new(HashMap::new()));
+        let counters = Arc::new(Counters::default());
+        let (tx, rx) = mpsc::channel::<Job>();
+        // Publish every document's initial epoch *before* the writer
+        // thread exists, so callers see a complete map the moment this
+        // returns.
+        let mut publishers = HashMap::new();
+        publish_initial(&store, &docs, &mut publishers);
+        let writer_docs = Arc::clone(&docs);
+        let writer_counters = Arc::clone(&counters);
+        let writer = std::thread::Builder::new()
+            .name("xp-epoch-writer".into())
+            .spawn(move || writer_loop(store, policy, rx, publishers, writer_docs, writer_counters))
+            .unwrap_or_else(|e| panic!("spawning the epoch writer failed: {e}"));
+        EpochLoop { jobs: tx, docs, counters, writer: Some(writer) }
+    }
+
+    /// The published-snapshot map readers query against.
+    pub fn docs(&self) -> PublishedDocs {
+        Arc::clone(&self.docs)
+    }
+
+    /// A cloneable submitter for connection handlers.
+    pub fn sender(&self) -> JobSender {
+        JobSender(self.jobs.clone())
+    }
+
+    /// Shared counters.
+    pub fn counters(&self) -> Arc<Counters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Enqueues a job. Fails only if the writer has already stopped.
+    pub fn submit(&self, job: ApplyJob) -> Result<(), ApplyJob> {
+        self.jobs.send(Job::Apply(job)).map_err(|e| match e.0 {
+            Job::Apply(j) => j,
+            Job::Stop => unreachable!("we only send Apply here"),
+        })
+    }
+
+    /// Stops the writer after it drains queued jobs, returning the store.
+    pub fn shutdown(mut self) -> Option<Store> {
+        let _ = self.jobs.send(Job::Stop);
+        self.writer.take().and_then(|w| w.join().ok())
+    }
+}
+
+fn writer_loop(
+    mut store: Store,
+    policy: BatchPolicy,
+    jobs: mpsc::Receiver<Job>,
+    mut publishers: HashMap<String, Publisher>,
+    docs: PublishedDocs,
+    counters: Arc<Counters>,
+) -> Store {
+    loop {
+        let first = match jobs.recv() {
+            Ok(Job::Apply(j)) => j,
+            Ok(Job::Stop) | Err(_) => break,
+        };
+        let mut batch = vec![first];
+        let mut queued_mutations = batch[0].mutations.len();
+        let mut stop_after = false;
+        while queued_mutations < policy.max_mutations {
+            match jobs.try_recv() {
+                Ok(Job::Apply(j)) => {
+                    queued_mutations += j.mutations.len();
+                    batch.push(j);
+                }
+                Ok(Job::Stop) => {
+                    stop_after = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        run_batch(&mut store, &policy, batch, &docs, &mut publishers, &counters);
+        if stop_after {
+            break;
+        }
+    }
+    store
+}
+
+/// Publishes epoch 0 of every document the store already holds.
+fn publish_initial(
+    store: &Store,
+    docs: &PublishedDocs,
+    publishers: &mut HashMap<String, Publisher>,
+) {
+    let mut map = match docs.write() {
+        Ok(m) => m,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    for doc in store.docs() {
+        let labeled = doc.labeled().fork();
+        let table = doc.table().clone();
+        let snap = EpochSnapshot::new(0, doc.seq(), labeled, table);
+        let publisher = Publisher::new(snap);
+        map.insert(doc.uri().to_owned(), publisher.current());
+        publishers.insert(doc.uri().to_owned(), publisher);
+    }
+}
+
+/// Applies one gathered batch: group jobs by URI (preserving submission
+/// order), decode, commit, publish, reply.
+fn run_batch(
+    store: &mut Store,
+    policy: &BatchPolicy,
+    batch: Vec<ApplyJob>,
+    docs: &PublishedDocs,
+    publishers: &mut HashMap<String, Publisher>,
+    counters: &Arc<Counters>,
+) {
+    // (uri -> job indices), in first-seen order.
+    let mut by_uri: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, job) in batch.iter().enumerate() {
+        match by_uri.iter_mut().find(|(u, _)| *u == job.uri) {
+            Some((_, idxs)) => idxs.push(i),
+            None => by_uri.push((job.uri.clone(), vec![i])),
+        }
+    }
+    let mut replies: Vec<Option<ApplyOutcome>> = batch.iter().map(|_| None).collect();
+
+    for (uri, job_idxs) in by_uri {
+        let Some(publisher) = publishers.get_mut(&uri) else {
+            for &i in &job_idxs {
+                replies[i] = Some(ApplyOutcome::Rejected {
+                    code: ErrCode::UnknownDoc,
+                    msg: format!("no document at uri {uri:?}"),
+                });
+            }
+            continue;
+        };
+
+        // Decode every job against the live tree; reject bad jobs whole.
+        let mut decoded: Vec<(usize, Vec<Mutation>)> = Vec::new();
+        {
+            let Some(doc) = store.doc(&uri) else { continue };
+            let tree = doc.tree();
+            for &i in &job_idxs {
+                let mut muts = Vec::with_capacity(batch[i].mutations.len());
+                let mut bad = None;
+                for bytes in &batch[i].mutations {
+                    let mut input = bytes.as_slice();
+                    match Mutation::decode(&mut input, tree) {
+                        Ok(m) if input.is_empty() => muts.push(m),
+                        Ok(_) => {
+                            bad = Some("trailing mutation bytes".to_owned());
+                            break;
+                        }
+                        Err(e) => {
+                            bad = Some(e.to_string());
+                            break;
+                        }
+                    }
+                }
+                match bad {
+                    Some(msg) => {
+                        replies[i] = Some(ApplyOutcome::Rejected {
+                            code: ErrCode::BadRequest,
+                            msg,
+                        })
+                    }
+                    None => decoded.push((i, muts)),
+                }
+            }
+        }
+        let flat: Vec<Mutation> =
+            decoded.iter().flat_map(|(_, ms)| ms.iter().cloned()).collect();
+        if flat.is_empty() {
+            // Nothing to log: empty jobs still get a (trivial) reply
+            // stamped with the current epoch.
+            let epoch = publisher.current().epoch();
+            let seq = publisher.current().seq();
+            for (i, _) in decoded {
+                replies[i] = Some(ApplyOutcome::Applied { epoch, seq, results: Vec::new() });
+            }
+            continue;
+        }
+
+        // One WAL append_batch = one fsync for the whole epoch.
+        let results = match store.apply_batch(&uri, &flat) {
+            Ok(r) => r,
+            Err(e) => {
+                let code = match &e {
+                    StoreError::UnknownUri(_) => ErrCode::UnknownDoc,
+                    _ => ErrCode::Internal,
+                };
+                for (i, _) in decoded {
+                    replies[i] = Some(ApplyOutcome::Rejected {
+                        code,
+                        msg: format!("apply failed: {e}"),
+                    });
+                }
+                continue;
+            }
+        };
+
+        let (epoch, seq) = {
+            let doc = match store.doc(&uri) {
+                Some(d) => d,
+                None => continue,
+            };
+            let epoch = publisher.current().epoch() + 1;
+            counters.epochs.fetch_add(1, Ordering::Relaxed);
+            publisher.publish(epoch, doc.seq(), &flat);
+            (epoch, doc.seq())
+        };
+        let stats = publisher.stats();
+        counters.reclaimed.store(stats.reclaimed, Ordering::Relaxed);
+        counters.cloned.store(stats.cloned, Ordering::Relaxed);
+        counters.wal_fsyncs.store(store.wal_fsyncs(), Ordering::Relaxed);
+        {
+            let mut map = match docs.write() {
+                Ok(m) => m,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            map.insert(uri.clone(), publisher.current());
+        }
+
+        // Slice per-mutation results back out to their jobs.
+        let mut cursor = 0usize;
+        let mut seq_cursor = seq - flat.len() as u64;
+        for (i, muts) in decoded {
+            let slice = &results[cursor..cursor + muts.len()];
+            cursor += muts.len();
+            seq_cursor += muts.len() as u64;
+            let wire: Vec<WireApply> = slice
+                .iter()
+                .map(|r| match r {
+                    Ok(report) => {
+                        counters.applied.fetch_add(1, Ordering::Relaxed);
+                        Ok(report.labels_touched() as u64)
+                    }
+                    Err(e) => {
+                        counters.failed.fetch_add(1, Ordering::Relaxed);
+                        Err(e.to_string())
+                    }
+                })
+                .collect();
+            replies[i] = Some(ApplyOutcome::Applied { epoch, seq: seq_cursor, results: wire });
+        }
+
+        // Checkpoint policy: fold the WAL tail once it is long enough.
+        if let Some(limit) = policy.checkpoint_after {
+            let tail = store
+                .doc(&uri)
+                .map(|d| d.seq().saturating_sub(d.durable_seq()))
+                .unwrap_or(0);
+            if tail >= limit {
+                let _ = store.checkpoint(&uri);
+            }
+        }
+    }
+
+    for (job, outcome) in batch.into_iter().zip(replies) {
+        let outcome = outcome.unwrap_or(ApplyOutcome::Rejected {
+            code: ErrCode::Internal,
+            msg: "job was never scheduled".into(),
+        });
+        let _ = job.reply.try_send(outcome);
+    }
+}

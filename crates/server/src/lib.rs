@@ -1,0 +1,42 @@
+//! `xp-server` — a concurrent label server over the crash-safe store.
+//!
+//! The paper's labeling scheme is a database technique: labels live in a
+//! relational table and queries never walk the tree. This crate supplies
+//! the missing server half of that story. A single writer thread owns the
+//! durable [`xp_store::Store`]; clients connect over TCP or Unix-domain
+//! sockets with a length-prefixed binary protocol and either
+//!
+//! * **query** — evaluated against an immutable, epoch-stamped
+//!   [`snapshot::EpochSnapshot`] published by the writer, so reads are
+//!   wait-free with respect to mutations and can never observe a torn
+//!   labeling; or
+//! * **apply** — mutation batches queued to the [`epoch::EpochLoop`],
+//!   which WALs a whole batch under one `fdatasync` (group commit),
+//!   applies it, publishes the next epoch, and acknowledges each client
+//!   with the epoch its mutations committed under.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — frames, requests/responses, client-side
+//!   [`protocol::WireMutation`]s (byte-compatible with the WAL codec).
+//! * [`snapshot`] — epoch snapshots and the reclaim-or-clone
+//!   [`snapshot::Publisher`].
+//! * [`epoch`] — the single-writer apply loop and its group-commit
+//!   policy.
+//! * [`server`] — listeners, connection handlers, shutdown.
+//! * [`client`] — a blocking client used by the CLI, tests, and bench.
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod client;
+pub mod epoch;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use client::{Client, ClientError};
+pub use epoch::{BatchPolicy, EpochLoop};
+pub use protocol::{Request, Response, ServerStats, WireMutation, WirePos};
+pub use server::{serve, Handle, ListenConfig};
+pub use snapshot::{EpochSnapshot, Publisher};

@@ -1,0 +1,701 @@
+//! The wire protocol: length-prefixed, checksummed message frames carrying
+//! varint-encoded requests and responses.
+//!
+//! # Framing
+//!
+//! Every message — both directions — is one store frame
+//! (`[len: u32 le][crc: u32 le][payload]`, CRC-32/IEEE over the payload;
+//! see [`xp_store::frame`]). Reusing the WAL's frame codec means a message
+//! that survives the socket is bit-identical in shape to one that survives
+//! the disk, and the same corruption checks guard both. Messages are
+//! additionally capped at [`MAX_MESSAGE`] bytes so a garbage length prefix
+//! cannot make the server allocate gigabytes.
+//!
+//! # Requests and responses
+//!
+//! Payloads are a varint tag followed by tag-specific fields, encoded with
+//! the same varint/length-prefixed-bytes primitives as the store's
+//! manifest ([`xp_labelkit::codec`]). Strings are UTF-8. Node references
+//! cross the wire as arena slot indices (`NodeId::index()`), which are
+//! stable for the lifetime of a document because slots are never reused —
+//! the same representation the WAL itself uses.
+//!
+//! Client-side mutations are [`WireMutation`]s: structurally identical to
+//! [`xp_labelkit::Mutation`] but holding raw `u64` node indices, because
+//! the client has no arena to resolve them against. `WireMutation::encode`
+//! produces bytes that [`Mutation::decode`] accepts — the server decodes
+//! against the live tree, which also validates that every referenced slot
+//! exists. This byte compatibility is pinned by a test.
+
+use std::io::{Read, Write};
+
+use xp_labelkit::codec::{read_bytes, read_varint, write_bytes, write_varint, CodecError};
+use xp_store::frame::{crc32, encode_frame, FRAME_HEADER};
+
+/// Hard cap on one protocol message (16 MiB). Mutation batches and query
+/// results both fit comfortably; anything larger is a corrupt or hostile
+/// length prefix.
+pub const MAX_MESSAGE: usize = 16 << 20;
+
+/// Wire error codes carried by [`Response::Err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Internal server failure (I/O, store corruption, …).
+    Internal,
+    /// The request referenced a document URI the store does not hold.
+    UnknownDoc,
+    /// The query path failed to parse.
+    BadPath,
+    /// The query ran past an evaluation limit.
+    QueryLimit,
+    /// A request or mutation payload failed to decode.
+    BadRequest,
+    /// The document needs recovery before it can serve reads.
+    NeedsRecovery,
+}
+
+impl ErrCode {
+    fn to_u64(self) -> u64 {
+        match self {
+            ErrCode::Internal => 0,
+            ErrCode::UnknownDoc => 1,
+            ErrCode::BadPath => 2,
+            ErrCode::QueryLimit => 3,
+            ErrCode::BadRequest => 4,
+            ErrCode::NeedsRecovery => 5,
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<ErrCode> {
+        Some(match v {
+            0 => ErrCode::Internal,
+            1 => ErrCode::UnknownDoc,
+            2 => ErrCode::BadPath,
+            3 => ErrCode::QueryLimit,
+            4 => ErrCode::BadRequest,
+            5 => ErrCode::NeedsRecovery,
+            _ => return None,
+        })
+    }
+}
+
+/// Where a client-side insertion lands (wire form of
+/// [`xp_labelkit::InsertPos`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WirePos {
+    /// Immediately before the node at this arena index.
+    Before(u64),
+    /// As the last child of the node at this arena index.
+    LastChildOf(u64),
+}
+
+/// A client-side mutation over raw node indices. Byte-compatible with
+/// [`xp_labelkit::Mutation`]'s codec: the server decodes these bytes with
+/// `Mutation::decode`, resolving indices against the live tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMutation {
+    /// New element named `tag` immediately before the anchor node.
+    InsertBefore {
+        /// Arena index of the anchor.
+        anchor: u64,
+        /// Tag for the new element.
+        tag: String,
+    },
+    /// A parsed XML fragment grafted at `pos`.
+    InsertSubtree {
+        /// Where the fragment root lands.
+        pos: WirePos,
+        /// The fragment, as XML text.
+        xml: String,
+    },
+    /// Wrap the target node in a new parent named `tag`.
+    InsertParent {
+        /// Arena index of the node to wrap.
+        target: u64,
+        /// Tag for the new parent.
+        tag: String,
+    },
+    /// Delete the target node's subtree.
+    Delete {
+        /// Arena index of the subtree root.
+        target: u64,
+    },
+    /// Move the target subtree to `pos`.
+    MoveSubtree {
+        /// Arena index of the subtree root.
+        target: u64,
+        /// Destination.
+        pos: WirePos,
+    },
+}
+
+// Tags mirror xp-labelkit's private MUT_*/POS_* constants; the byte-compat
+// test in this module breaks if either side drifts.
+const MUT_INSERT_BEFORE: u64 = 0;
+const MUT_INSERT_SUBTREE: u64 = 1;
+const MUT_INSERT_PARENT: u64 = 2;
+const MUT_DELETE: u64 = 3;
+const MUT_MOVE_SUBTREE: u64 = 4;
+const POS_BEFORE: u64 = 0;
+const POS_LAST_CHILD_OF: u64 = 1;
+
+fn write_wire_pos(out: &mut Vec<u8>, pos: WirePos) {
+    match pos {
+        WirePos::Before(n) => {
+            write_varint(out, POS_BEFORE);
+            write_varint(out, n);
+        }
+        WirePos::LastChildOf(n) => {
+            write_varint(out, POS_LAST_CHILD_OF);
+            write_varint(out, n);
+        }
+    }
+}
+
+impl WireMutation {
+    /// Appends the mutation in [`xp_labelkit::Mutation`] wire form.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WireMutation::InsertBefore { anchor, tag } => {
+                write_varint(out, MUT_INSERT_BEFORE);
+                write_varint(out, *anchor);
+                write_bytes(out, tag.as_bytes());
+            }
+            WireMutation::InsertSubtree { pos, xml } => {
+                write_varint(out, MUT_INSERT_SUBTREE);
+                write_wire_pos(out, *pos);
+                write_bytes(out, xml.as_bytes());
+            }
+            WireMutation::InsertParent { target, tag } => {
+                write_varint(out, MUT_INSERT_PARENT);
+                write_varint(out, *target);
+                write_bytes(out, tag.as_bytes());
+            }
+            WireMutation::Delete { target } => {
+                write_varint(out, MUT_DELETE);
+                write_varint(out, *target);
+            }
+            WireMutation::MoveSubtree { target, pos } => {
+                write_varint(out, MUT_MOVE_SUBTREE);
+                write_varint(out, *target);
+                write_wire_pos(out, *pos);
+            }
+        }
+    }
+
+    /// The encoded bytes as an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// A summary of one document the server holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocInfo {
+    /// Document URI.
+    pub uri: String,
+    /// Published label epoch (number of applied batches).
+    pub epoch: u64,
+    /// Mutations folded into the published snapshot.
+    pub seq: u64,
+    /// Attached elements at that epoch.
+    pub elements: u64,
+}
+
+/// Per-mutation apply outcome carried by [`Response::Applied`]. A failed
+/// mutation still consumed a WAL sequence number — the error is the
+/// scheme's message, and replay re-fails it identically.
+pub type WireApply = Result<u64, String>;
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Enumerate documents.
+    ListDocs,
+    /// Evaluate a query path against the latest published snapshot.
+    Query {
+        /// Document URI.
+        uri: String,
+        /// Path expression (the engine's XPath subset).
+        path: String,
+    },
+    /// Apply a batch of mutations through the epoch loop.
+    Apply {
+        /// Document URI.
+        uri: String,
+        /// Encoded [`WireMutation`]s (or [`xp_labelkit::Mutation`]s —
+        /// same bytes), one length-prefixed blob each.
+        mutations: Vec<Vec<u8>>,
+    },
+    /// Server counters.
+    Stats,
+    /// Stop the server once in-flight work drains.
+    Shutdown,
+}
+
+const REQ_PING: u64 = 0;
+const REQ_LIST: u64 = 1;
+const REQ_QUERY: u64 = 2;
+const REQ_APPLY: u64 = 3;
+const REQ_STATS: u64 = 4;
+const REQ_SHUTDOWN: u64 = 5;
+
+/// Server counters reported by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Label epochs published (batches applied).
+    pub epochs: u64,
+    /// Mutations applied successfully.
+    pub applied: u64,
+    /// Mutations that consumed a sequence number but failed in the scheme.
+    pub failed: u64,
+    /// WAL data syncs issued.
+    pub wal_fsyncs: u64,
+    /// Snapshots published by catching up a retired buffer (cheap path).
+    pub snapshots_reclaimed: u64,
+    /// Snapshots published by deep-copying the current one (slow path).
+    pub snapshots_cloned: u64,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// [`Request::Ping`] reply.
+    Pong,
+    /// Document listing.
+    Docs(Vec<DocInfo>),
+    /// Query hits, stamped with the snapshot they were computed against.
+    Hits {
+        /// Label epoch of the snapshot.
+        epoch: u64,
+        /// Mutation sequence folded into it.
+        seq: u64,
+        /// Matching nodes, as arena indices in document order.
+        nodes: Vec<u64>,
+    },
+    /// Apply outcome, stamped with the epoch the batch produced.
+    Applied {
+        /// Label epoch that published this batch.
+        epoch: u64,
+        /// Document sequence after the batch.
+        seq: u64,
+        /// Per-mutation outcome: labels touched, or the scheme error.
+        results: Vec<WireApply>,
+    },
+    /// Counter snapshot.
+    Stats(ServerStats),
+    /// The server acknowledged shutdown.
+    Bye,
+    /// A typed failure.
+    Err {
+        /// What kind of failure.
+        code: ErrCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+const RESP_PONG: u64 = 0;
+const RESP_DOCS: u64 = 1;
+const RESP_HITS: u64 = 2;
+const RESP_APPLIED: u64 = 3;
+const RESP_STATS: u64 = 4;
+const RESP_BYE: u64 = 5;
+const RESP_ERR: u64 = 6;
+
+fn read_string(input: &mut &[u8]) -> Result<String, CodecError> {
+    std::str::from_utf8(read_bytes(input)?)
+        .map(str::to_owned)
+        .map_err(|_| CodecError::Corrupt("protocol string is not UTF-8"))
+}
+
+impl Request {
+    /// Serializes the request payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => write_varint(&mut out, REQ_PING),
+            Request::ListDocs => write_varint(&mut out, REQ_LIST),
+            Request::Query { uri, path } => {
+                write_varint(&mut out, REQ_QUERY);
+                write_bytes(&mut out, uri.as_bytes());
+                write_bytes(&mut out, path.as_bytes());
+            }
+            Request::Apply { uri, mutations } => {
+                write_varint(&mut out, REQ_APPLY);
+                write_bytes(&mut out, uri.as_bytes());
+                write_varint(&mut out, mutations.len() as u64);
+                for m in mutations {
+                    write_bytes(&mut out, m);
+                }
+            }
+            Request::Stats => write_varint(&mut out, REQ_STATS),
+            Request::Shutdown => write_varint(&mut out, REQ_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Parses a request payload.
+    pub fn decode(mut input: &[u8]) -> Result<Request, CodecError> {
+        let input = &mut input;
+        let req = match read_varint(input)? {
+            REQ_PING => Request::Ping,
+            REQ_LIST => Request::ListDocs,
+            REQ_QUERY => Request::Query {
+                uri: read_string(input)?,
+                path: read_string(input)?,
+            },
+            REQ_APPLY => {
+                let uri = read_string(input)?;
+                let count = read_varint(input)?;
+                let mut mutations = Vec::new();
+                for _ in 0..count {
+                    mutations.push(read_bytes(input)?.to_vec());
+                }
+                Request::Apply { uri, mutations }
+            }
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            _ => return Err(CodecError::Corrupt("unknown request tag")),
+        };
+        if !input.is_empty() {
+            return Err(CodecError::Corrupt("trailing request bytes"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => write_varint(&mut out, RESP_PONG),
+            Response::Docs(docs) => {
+                write_varint(&mut out, RESP_DOCS);
+                write_varint(&mut out, docs.len() as u64);
+                for d in docs {
+                    write_bytes(&mut out, d.uri.as_bytes());
+                    write_varint(&mut out, d.epoch);
+                    write_varint(&mut out, d.seq);
+                    write_varint(&mut out, d.elements);
+                }
+            }
+            Response::Hits { epoch, seq, nodes } => {
+                write_varint(&mut out, RESP_HITS);
+                write_varint(&mut out, *epoch);
+                write_varint(&mut out, *seq);
+                write_varint(&mut out, nodes.len() as u64);
+                for &n in nodes {
+                    write_varint(&mut out, n);
+                }
+            }
+            Response::Applied { epoch, seq, results } => {
+                write_varint(&mut out, RESP_APPLIED);
+                write_varint(&mut out, *epoch);
+                write_varint(&mut out, *seq);
+                write_varint(&mut out, results.len() as u64);
+                for r in results {
+                    match r {
+                        Ok(touched) => {
+                            write_varint(&mut out, 0);
+                            write_varint(&mut out, *touched);
+                        }
+                        Err(msg) => {
+                            write_varint(&mut out, 1);
+                            write_bytes(&mut out, msg.as_bytes());
+                        }
+                    }
+                }
+            }
+            Response::Stats(s) => {
+                write_varint(&mut out, RESP_STATS);
+                for v in [
+                    s.epochs,
+                    s.applied,
+                    s.failed,
+                    s.wal_fsyncs,
+                    s.snapshots_reclaimed,
+                    s.snapshots_cloned,
+                ] {
+                    write_varint(&mut out, v);
+                }
+            }
+            Response::Bye => write_varint(&mut out, RESP_BYE),
+            Response::Err { code, msg } => {
+                write_varint(&mut out, RESP_ERR);
+                write_varint(&mut out, code.to_u64());
+                write_bytes(&mut out, msg.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a response payload.
+    pub fn decode(mut input: &[u8]) -> Result<Response, CodecError> {
+        let input = &mut input;
+        let resp = match read_varint(input)? {
+            RESP_PONG => Response::Pong,
+            RESP_DOCS => {
+                let count = read_varint(input)?;
+                let mut docs = Vec::new();
+                for _ in 0..count {
+                    docs.push(DocInfo {
+                        uri: read_string(input)?,
+                        epoch: read_varint(input)?,
+                        seq: read_varint(input)?,
+                        elements: read_varint(input)?,
+                    });
+                }
+                Response::Docs(docs)
+            }
+            RESP_HITS => {
+                let epoch = read_varint(input)?;
+                let seq = read_varint(input)?;
+                let count = read_varint(input)?;
+                let mut nodes = Vec::with_capacity(count.min(1 << 20) as usize);
+                for _ in 0..count {
+                    nodes.push(read_varint(input)?);
+                }
+                Response::Hits { epoch, seq, nodes }
+            }
+            RESP_APPLIED => {
+                let epoch = read_varint(input)?;
+                let seq = read_varint(input)?;
+                let count = read_varint(input)?;
+                let mut results = Vec::new();
+                for _ in 0..count {
+                    results.push(match read_varint(input)? {
+                        0 => Ok(read_varint(input)?),
+                        1 => Err(read_string(input)?),
+                        _ => return Err(CodecError::Corrupt("unknown apply outcome tag")),
+                    });
+                }
+                Response::Applied { epoch, seq, results }
+            }
+            RESP_STATS => Response::Stats(ServerStats {
+                epochs: read_varint(input)?,
+                applied: read_varint(input)?,
+                failed: read_varint(input)?,
+                wal_fsyncs: read_varint(input)?,
+                snapshots_reclaimed: read_varint(input)?,
+                snapshots_cloned: read_varint(input)?,
+            }),
+            RESP_BYE => Response::Bye,
+            RESP_ERR => {
+                let code = ErrCode::from_u64(read_varint(input)?)
+                    .ok_or(CodecError::Corrupt("unknown error code"))?;
+                Response::Err { code, msg: read_string(input)? }
+            }
+            _ => return Err(CodecError::Corrupt("unknown response tag")),
+        };
+        if !input.is_empty() {
+            return Err(CodecError::Corrupt("trailing response bytes"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Writes one framed message.
+pub fn write_message(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()
+}
+
+/// Reads one framed message. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary; corruption (bad CRC, oversized
+/// length, torn frame) is an [`std::io::ErrorKind::InvalidData`] error.
+pub fn read_message(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER];
+    match read_full(r, &mut header)? {
+        0 => return Ok(None),
+        n if n < FRAME_HEADER => {
+            return Err(bad_data("torn frame header"));
+        }
+        _ => {}
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let want_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_MESSAGE {
+        return Err(bad_data("message exceeds MAX_MESSAGE"));
+    }
+    let mut payload = vec![0u8; len];
+    if read_full(r, &mut payload)? < len {
+        return Err(bad_data("torn frame payload"));
+    }
+    if crc32(&payload) != want_crc {
+        return Err(bad_data("frame checksum mismatch"));
+    }
+    Ok(Some(payload))
+}
+
+/// Reads until `buf` is full or EOF; returns bytes read. A read timeout
+/// (used by the server to poll its stop flag) only propagates when it
+/// strikes at a frame boundary — once any byte of a frame has arrived,
+/// the rest is waited for, so timeouts never tear messages.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if filled > 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+fn bad_data(msg: &'static str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_labelkit::{InsertPos, Mutation};
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Ping,
+            Request::ListDocs,
+            Request::Query { uri: "a.xml".into(), path: "//act/scene".into() },
+            Request::Apply {
+                uri: "a.xml".into(),
+                mutations: vec![vec![1, 2, 3], vec![]],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Pong,
+            Response::Docs(vec![DocInfo {
+                uri: "a.xml".into(),
+                epoch: 3,
+                seq: 17,
+                elements: 42,
+            }]),
+            Response::Hits { epoch: 9, seq: 40, nodes: vec![0, 5, 1 << 40] },
+            Response::Applied {
+                epoch: 10,
+                seq: 41,
+                results: vec![Ok(7), Err("nope".into())],
+            },
+            Response::Stats(ServerStats {
+                epochs: 1,
+                applied: 2,
+                failed: 3,
+                wal_fsyncs: 4,
+                snapshots_reclaimed: 5,
+                snapshots_cloned: 6,
+            }),
+            Response::Bye,
+            Response::Err { code: ErrCode::BadPath, msg: "unparsable".into() },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn wire_mutation_bytes_match_the_labelkit_codec() {
+        let tree = xp_xmltree::parse("<r><a><b/></a><c/></r>").unwrap();
+        let a = tree.elements().nth(1).unwrap();
+        let c = tree.elements().nth(3).unwrap();
+        let pairs: Vec<(WireMutation, Mutation)> = vec![
+            (
+                WireMutation::InsertBefore { anchor: a.index() as u64, tag: "x".into() },
+                Mutation::InsertBefore { anchor: a, tag: "x".into() },
+            ),
+            (
+                WireMutation::InsertSubtree {
+                    pos: WirePos::LastChildOf(c.index() as u64),
+                    xml: "<s/>".into(),
+                },
+                Mutation::InsertSubtree { pos: InsertPos::LastChildOf(c), xml: "<s/>".into() },
+            ),
+            (
+                WireMutation::InsertParent { target: a.index() as u64, tag: "w".into() },
+                Mutation::InsertParent { target: a, tag: "w".into() },
+            ),
+            (
+                WireMutation::Delete { target: c.index() as u64 },
+                Mutation::Delete { target: c },
+            ),
+            (
+                WireMutation::MoveSubtree {
+                    target: c.index() as u64,
+                    pos: WirePos::Before(a.index() as u64),
+                },
+                Mutation::MoveSubtree { target: c, pos: InsertPos::Before(a) },
+            ),
+        ];
+        for (wire, real) in pairs {
+            let mut expected = Vec::new();
+            real.encode(&mut expected);
+            assert_eq!(wire.to_bytes(), expected, "{wire:?}");
+            // And the server-side decode resolves back to the original.
+            let bytes = wire.to_bytes();
+            let mut input = bytes.as_slice();
+            assert_eq!(Mutation::decode(&mut input, &tree).unwrap(), real);
+            assert!(input.is_empty());
+        }
+    }
+
+    #[test]
+    fn framed_stream_round_trips_and_rejects_corruption() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Ping.encode()).unwrap();
+        write_message(&mut buf, &Request::Stats.encode()).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            Request::decode(&read_message(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Ping
+        );
+        assert_eq!(
+            Request::decode(&read_message(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Stats
+        );
+        assert!(read_message(&mut r).unwrap().is_none(), "clean EOF");
+
+        // Flip a payload bit: the checksum catches it.
+        let mut corrupt = buf.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        let mut r = corrupt.as_slice();
+        assert!(read_message(&mut r).is_ok(), "first frame untouched");
+        assert_eq!(
+            read_message(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+
+        // An absurd length prefix is rejected before allocation.
+        let mut huge = ((MAX_MESSAGE + 1) as u32).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0; 4]);
+        assert_eq!(
+            read_message(&mut huge.as_slice()).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Epoch-stamped snapshots and their reclamation.
+//!
+//! The apply loop owns the authoritative document state (inside the
+//! [`xp_store::Store`]). After each batch it *publishes* an immutable
+//! [`EpochSnapshot`] behind an `Arc`; readers clone the `Arc` and evaluate
+//! queries against a labeling that never changes underneath them — the
+//! paper's query machinery (structural joins over the label table, order
+//! from `SC mod self-label`) runs with zero coordination against the
+//! writer.
+//!
+//! # Reclamation
+//!
+//! Deep-copying a million-row label table plus SC state per epoch would
+//! dominate the apply path, so the [`Publisher`] recycles buffers with a
+//! simple epoch-based scheme:
+//!
+//! * Retired snapshots (previous epochs) are kept on a short list together
+//!   with the mutation history of every batch since the oldest of them.
+//! * To publish epoch `e`, the publisher looks for a retired buffer no
+//!   reader holds (`Arc` strong count of exactly one — the list's own).
+//!   Such a buffer is *caught up* by replaying the batches it missed:
+//!   mutations are deterministic (the WAL-replay guarantee — a mutation
+//!   that failed in the writer re-fails identically here), so the result
+//!   is bit-equal to the writer's state without any copying.
+//! * If every retired buffer is still referenced by some reader, or the
+//!   needed history has been pruned, the publisher falls back to a deep
+//!   copy of the current snapshot. Slow readers therefore cost memory and
+//!   one clone, never writer stalls or torn reads.
+//!
+//! The interleaving and isolation tests pin the invariant that matters:
+//! every published snapshot is indistinguishable from a
+//! relabel-from-scratch document at that epoch, on all nine query axes.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use xp_labelkit::{LabeledStore, Mutation};
+use xp_prime::dynamic::DynamicPrime;
+use xp_prime::PrimeLabel;
+use xp_query::engine::{eval_path, OrderOracle, Path, QueryError};
+use xp_query::relstore::LabelTable;
+use xp_xmltree::NodeId;
+
+/// How many retired snapshots the publisher keeps as reclaim candidates.
+/// Two suffices for the steady state (current + one being drained);
+/// anything older is dropped outright, freeing memory instead of hoarding
+/// catch-up work.
+const RETIRED_CAP: usize = 2;
+
+/// Batches of history retained for catch-up. Once a retired buffer lags
+/// further than this, reclaiming it would replay more work than it saves;
+/// the publisher clones instead and lets the laggard drop.
+const HISTORY_CAP: usize = 64;
+
+/// An immutable, epoch-stamped view of one document.
+///
+/// Holds everything a query needs — the label table for structural joins
+/// and the scheme state for document order — so readers never touch the
+/// store or the writer's tree.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    seq: u64,
+    labeled: LabeledStore<DynamicPrime>,
+    table: LabelTable<PrimeLabel>,
+}
+
+/// Order oracle over the snapshot's SC table (`order = SC mod self-label`).
+struct SnapOracle<'a>(&'a EpochSnapshot);
+
+impl OrderOracle for SnapOracle<'_> {
+    fn rank(&self, node: NodeId) -> u64 {
+        self.0.labeled.state().order_of(node)
+    }
+}
+
+impl EpochSnapshot {
+    /// Wraps a labeled document as the snapshot for `epoch`/`seq`.
+    pub fn new(
+        epoch: u64,
+        seq: u64,
+        labeled: LabeledStore<DynamicPrime>,
+        table: LabelTable<PrimeLabel>,
+    ) -> Self {
+        EpochSnapshot { epoch, seq, labeled, table }
+    }
+
+    /// Label epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Mutations folded in (the document's WAL sequence).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The labeled document (tree + labels + SC state).
+    pub fn labeled(&self) -> &LabeledStore<DynamicPrime> {
+        &self.labeled
+    }
+
+    /// The relational label table queries join over.
+    pub fn table(&self) -> &LabelTable<PrimeLabel> {
+        &self.table
+    }
+
+    /// Attached element count at this epoch.
+    pub fn elements(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    /// Evaluates a parsed path against this snapshot.
+    pub fn query(&self, path: &Path) -> Result<Vec<NodeId>, QueryError> {
+        eval_path(&self.table, &SnapOracle(self), path)
+    }
+
+    /// Document-order rank of a node (for tests and order-sensitive
+    /// callers).
+    pub fn rank(&self, node: NodeId) -> u64 {
+        self.labeled.state().order_of(node)
+    }
+}
+
+/// Counters describing how snapshots were produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishStats {
+    /// Published by catching up a retired buffer (no copy).
+    pub reclaimed: u64,
+    /// Published by deep-copying the current snapshot.
+    pub cloned: u64,
+}
+
+/// Owns the publish/retire/reclaim cycle for one document. Driven only by
+/// the single writer thread; readers interact through the `Arc`s it hands
+/// out.
+#[derive(Debug)]
+pub struct Publisher {
+    current: Arc<EpochSnapshot>,
+    retired: Vec<Arc<EpochSnapshot>>,
+    /// `(epoch, batch)` for every batch newer than the oldest retired
+    /// buffer, oldest first.
+    history: VecDeque<(u64, Vec<Mutation>)>,
+    stats: PublishStats,
+}
+
+impl Publisher {
+    /// Starts publishing with `base` as the initial epoch.
+    pub fn new(base: EpochSnapshot) -> Self {
+        Publisher {
+            current: Arc::new(base),
+            retired: Vec::new(),
+            history: VecDeque::new(),
+            stats: PublishStats::default(),
+        }
+    }
+
+    /// The latest published snapshot. Cheap; readers hold the `Arc` for as
+    /// long as they need a consistent view.
+    pub fn current(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.current)
+    }
+
+    /// How snapshots have been produced so far.
+    pub fn stats(&self) -> PublishStats {
+        self.stats
+    }
+
+    /// Publishes the state after `batch` was applied, as epoch `epoch`
+    /// with document sequence `seq`. Must be called once per applied
+    /// batch, in order, with exactly the mutations handed to
+    /// [`xp_store::Store::apply_batch`].
+    pub fn publish(&mut self, epoch: u64, seq: u64, batch: &[Mutation]) -> Arc<EpochSnapshot> {
+        self.history.push_back((epoch, batch.to_vec()));
+        let mut snapshot = match self.take_reclaimable() {
+            Some(snap) => {
+                self.stats.reclaimed += 1;
+                snap
+            }
+            None => {
+                // Copy the pre-batch state; the catch-up below replays the
+                // new batch onto it (and is what makes the two paths
+                // produce identical bytes).
+                self.stats.cloned += 1;
+                EpochSnapshot {
+                    epoch: self.current.epoch,
+                    seq: self.current.seq,
+                    labeled: self.current.labeled.fork(),
+                    table: self.current.table.clone(),
+                }
+            }
+        };
+        self.catch_up(&mut snapshot, epoch, seq);
+        let fresh = Arc::new(snapshot);
+        let old = std::mem::replace(&mut self.current, Arc::clone(&fresh));
+        self.retired.push(old);
+        if self.retired.len() > RETIRED_CAP {
+            // Oldest first: keep the most recently retired buffers, which
+            // need the least catch-up.
+            self.retired.remove(0);
+        }
+        self.prune_history();
+        fresh
+    }
+
+    /// Pops a retired buffer that (a) no reader still references and
+    /// (b) the retained history can catch up.
+    fn take_reclaimable(&mut self) -> Option<EpochSnapshot> {
+        let oldest_replayable = self.history.front().map(|&(e, _)| e)?;
+        for i in (0..self.retired.len()).rev() {
+            let lagging = self.retired[i].epoch;
+            // Every batch with epoch > lagging must still be retained,
+            // i.e. the history must reach back to lagging + 1.
+            if Arc::strong_count(&self.retired[i]) == 1 && oldest_replayable <= lagging + 1 {
+                let arc = self.retired.swap_remove(i);
+                // The count was checked an instant ago and only this
+                // thread mints clones, so the unwrap cannot race.
+                return Arc::try_unwrap(arc).ok();
+            }
+        }
+        None
+    }
+
+    /// Replays the batches `snap` missed, bringing it to `epoch`/`seq`.
+    fn catch_up(&mut self, snap: &mut EpochSnapshot, epoch: u64, seq: u64) {
+        for (batch_epoch, batch) in &self.history {
+            if *batch_epoch <= snap.epoch {
+                continue;
+            }
+            for mutation in batch {
+                // Mirrors Store::apply_batch: a mutation that failed in
+                // the writer fails identically here (deterministic
+                // schemes are the WAL-replay contract) and changes
+                // nothing.
+                if let Ok(report) = snap.labeled.apply(mutation) {
+                    snap.table.apply_report(snap.labeled.tree(), snap.labeled.doc(), &report);
+                }
+            }
+        }
+        snap.epoch = epoch;
+        snap.seq = seq;
+    }
+
+    /// Drops history no retired buffer needs any more.
+    fn prune_history(&mut self) {
+        let floor = self.retired.iter().map(|s| s.epoch).min().unwrap_or(u64::MAX);
+        while let Some(&(e, _)) = self.history.front() {
+            if e <= floor && self.history.len() > 1 {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+        while self.history.len() > HISTORY_CAP {
+            self.history.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_labelkit::InsertPos;
+    use xp_query::relstore::LabelTable;
+
+    fn base() -> EpochSnapshot {
+        let tree = xp_xmltree::parse("<r><a/><b><c/></b></r>").unwrap();
+        let labeled = LabeledStore::build(DynamicPrime::new(8), tree).unwrap();
+        let table = LabelTable::build(labeled.tree(), labeled.doc());
+        EpochSnapshot::new(0, 0, labeled, table)
+    }
+
+    fn mutation_for(snap: &EpochSnapshot, i: u64) -> Mutation {
+        let anchor = snap.labeled.tree().elements().nth(1).unwrap();
+        if i % 2 == 0 {
+            Mutation::InsertBefore { anchor, tag: "x".into() }
+        } else {
+            Mutation::InsertSubtree {
+                pos: InsertPos::LastChildOf(snap.labeled.tree().root()),
+                xml: "<y><z/></y>".into(),
+            }
+        }
+    }
+
+    /// Applies `m` the way the writer does, returning the post state.
+    fn writer_apply(snap: &EpochSnapshot, m: &Mutation, epoch: u64, seq: u64) -> EpochSnapshot {
+        let mut labeled = snap.labeled.fork();
+        let mut table = snap.table.clone();
+        let report = labeled.apply(m).unwrap();
+        table.apply_report(labeled.tree(), labeled.doc(), &report);
+        EpochSnapshot::new(epoch, seq, labeled, table)
+    }
+
+    #[test]
+    fn steady_state_reclaims_instead_of_cloning() {
+        let mut publisher = Publisher::new(base());
+        let mut writer = publisher.current();
+        for epoch in 1..=10u64 {
+            let m = mutation_for(&writer, epoch);
+            writer = {
+                let next = writer_apply(&writer, &m, epoch, epoch);
+                publisher.publish(epoch, epoch, std::slice::from_ref(&m));
+                Arc::new(next)
+            };
+            let published = publisher.current();
+            assert_eq!(published.epoch(), epoch);
+            assert_eq!(
+                published.labeled().tree().snapshot(),
+                writer.labeled().tree().snapshot(),
+                "published tree equals writer tree at epoch {epoch}"
+            );
+        }
+        let stats = publisher.stats();
+        assert!(
+            stats.reclaimed >= 7,
+            "with no readers, almost every publish reclaims: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn held_snapshots_force_clones_but_stay_immutable() {
+        let mut publisher = Publisher::new(base());
+        let pinned = publisher.current();
+        let elements_at_0 = pinned.elements();
+        for epoch in 1..=4u64 {
+            let m = mutation_for(&publisher.current(), epoch);
+            publisher.publish(epoch, epoch, std::slice::from_ref(&m));
+        }
+        // The reader's view never moved.
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(pinned.elements(), elements_at_0);
+        assert!(publisher.stats().cloned >= 1, "a held buffer forces the copy path");
+        // Once released, the buffer becomes reclaimable again.
+        drop(pinned);
+        let before = publisher.stats().reclaimed;
+        for epoch in 5..=8u64 {
+            let m = mutation_for(&publisher.current(), epoch);
+            publisher.publish(epoch, epoch, std::slice::from_ref(&m));
+        }
+        assert!(publisher.stats().reclaimed > before);
+    }
+
+    #[test]
+    fn queries_run_against_the_published_epoch() {
+        let mut publisher = Publisher::new(base());
+        let path = Path::parse("//x").unwrap();
+        assert_eq!(publisher.current().query(&path).unwrap().len(), 0);
+        let m = mutation_for(&publisher.current(), 0);
+        publisher.publish(1, 1, std::slice::from_ref(&m));
+        assert_eq!(publisher.current().query(&path).unwrap().len(), 1);
+    }
+}

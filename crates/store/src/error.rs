@@ -29,6 +29,17 @@ pub enum StoreError {
         /// What about it is wrong.
         what: String,
     },
+    /// A payload was too large to frame: the frame length field is a `u32`,
+    /// and encoding anything longer would silently truncate the length and
+    /// checksum the wrong byte span. Writers reject this before touching
+    /// the disk, so the on-disk state is unchanged.
+    FrameTooLarge {
+        /// The oversized payload's length in bytes.
+        len: u64,
+        /// The largest frameable payload
+        /// ([`crate::frame::MAX_FRAME_PAYLOAD`]).
+        max: u64,
+    },
     /// A frame payload failed to decode (varint/label/mutation codec).
     Codec(CodecError),
     /// A persisted tree snapshot failed arena validation.
@@ -57,6 +68,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::Corrupt { path, what } => {
                 write!(f, "{} is corrupt: {what}", path.display())
+            }
+            StoreError::FrameTooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the frame limit of {max} bytes")
             }
             StoreError::Codec(e) => write!(f, "frame payload failed to decode: {e}"),
             StoreError::Snapshot(e) => write!(f, "persisted tree snapshot is invalid: {e}"),
@@ -112,6 +126,20 @@ impl From<DynamicError> for StoreError {
 impl From<Injected> for StoreError {
     fn from(i: Injected) -> Self {
         StoreError::FaultInjected(i)
+    }
+}
+
+/// The guard every frame-writing path runs before encoding: payloads the
+/// `u32` length field cannot express are rejected with a typed error while
+/// the disk is still untouched.
+pub(crate) fn ensure_frameable(len: usize) -> Result<(), StoreError> {
+    if crate::frame::payload_fits(len) {
+        Ok(())
+    } else {
+        Err(StoreError::FrameTooLarge {
+            len: len as u64,
+            max: crate::frame::MAX_FRAME_PAYLOAD as u64,
+        })
     }
 }
 

@@ -10,6 +10,19 @@
 /// Bytes of frame header preceding each payload.
 pub const FRAME_HEADER: usize = 8;
 
+/// Largest payload a frame can carry: the length field is a `u32`, so
+/// anything longer cannot be framed. Writers must reject oversized payloads
+/// *before* encoding — a silent `as u32` truncation would emit a frame whose
+/// CRC covers the wrong byte span, which recovery would then misread as a
+/// torn tail followed by garbage.
+pub const MAX_FRAME_PAYLOAD: usize = u32::MAX as usize;
+
+/// `true` iff a payload of `len` bytes fits the frame length field. This is
+/// the guard every write path checks before calling [`encode_frame`].
+pub const fn payload_fits(len: usize) -> bool {
+    len <= MAX_FRAME_PAYLOAD
+}
+
 /// CRC-32 (IEEE 802.3 polynomial, reflected: 0xEDB88320), table-driven.
 pub fn crc32(bytes: &[u8]) -> u32 {
     static TABLE: [u32; 256] = build_table();
@@ -37,8 +50,11 @@ const fn build_table() -> [u32; 256] {
     table
 }
 
-/// Wraps `payload` in one frame.
+/// Wraps `payload` in one frame. The payload must satisfy
+/// [`payload_fits`]; callers (WAL append, segment write, manifest swap)
+/// reject oversized payloads with a typed error before reaching this point.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload_fits(payload.len()), "oversized payload must be rejected upstream");
     let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -161,6 +177,22 @@ mod tests {
         stream.extend_from_slice(&[0u8; 20]);
         let scan = decode_frames(&stream);
         assert_eq!(scan.frames.len(), 1);
+    }
+
+    #[test]
+    fn payload_size_boundary() {
+        // The exact boundary: u32::MAX bytes is the largest frameable
+        // payload; one more byte cannot be expressed by the length field.
+        assert!(payload_fits(MAX_FRAME_PAYLOAD));
+        assert!(payload_fits(0));
+        // On 64-bit targets the +1 case is representable as a usize and
+        // must be rejected — this is the silent-`as u32`-truncation bug.
+        if let Some(over) = MAX_FRAME_PAYLOAD.checked_add(1) {
+            assert!(!payload_fits(over));
+        }
+        // And the frame a truncating cast *would* have produced really does
+        // describe the wrong byte span: (u32::MAX as u64 + 1) as u32 == 0.
+        assert_eq!((MAX_FRAME_PAYLOAD as u64 + 1) as u32, 0);
     }
 
     #[test]

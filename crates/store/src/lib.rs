@@ -50,19 +50,118 @@ pub mod verify;
 pub mod wal;
 
 pub use error::StoreError;
+pub use frame::MAX_FRAME_PAYLOAD;
 pub use manifest::{Manifest, ManifestEntry, MANIFEST_FILE, MANIFEST_TMP};
 pub use segment::{segment_file, Segment};
 pub use wal::{WalScan, WAL_FILE};
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use xp_labelkit::codec::{read_varint, write_varint};
-use xp_labelkit::dynamic::LabeledStore;
+use xp_labelkit::dynamic::{DynamicError, LabeledStore};
 use xp_labelkit::{Mutation, RelabelReport};
 use xp_prime::{DynamicPrime, PrimeLabel};
 use xp_query::LabelTable;
 use xp_xmltree::XmlTree;
+
+/// Shared (doc id, checkpoint epoch) → pin-count registry. Pins keep a
+/// checkpoint segment's file on disk while a snapshot handle that was cut
+/// against that epoch is still alive — [`Store::checkpoint`] defers the old
+/// segment's deletion instead of unlinking the recovery baseline out from
+/// under an open reader.
+type PinRegistry = Arc<Mutex<BTreeMap<(u64, u64), usize>>>;
+
+/// An epoch refcount held on one checkpoint segment. While any clone of
+/// this pin is alive, the segment file `seg-{doc}-e{epoch}.dat` survives
+/// checkpoints; the deferred deletion runs once the last pin drops.
+#[derive(Debug)]
+pub struct SegmentPin {
+    doc_id: u64,
+    epoch: u64,
+    registry: PinRegistry,
+}
+
+impl SegmentPin {
+    fn acquire(registry: &PinRegistry, doc_id: u64, epoch: u64) -> Arc<SegmentPin> {
+        if let Ok(mut pins) = registry.lock() {
+            *pins.entry((doc_id, epoch)).or_insert(0) += 1;
+        }
+        Arc::new(SegmentPin { doc_id, epoch, registry: Arc::clone(registry) })
+    }
+
+    /// The pinned document id.
+    pub fn doc_id(&self) -> u64 {
+        self.doc_id
+    }
+
+    /// The pinned checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for SegmentPin {
+    fn drop(&mut self) {
+        if let Ok(mut pins) = self.registry.lock() {
+            if let Some(count) = pins.get_mut(&(self.doc_id, self.epoch)) {
+                *count -= 1;
+                if *count == 0 {
+                    pins.remove(&(self.doc_id, self.epoch));
+                }
+            }
+        }
+    }
+}
+
+/// A consistent, epoch-stamped read view of one document, decoupled from
+/// the live store: the label quadruple is deep-copied at cut time, and the
+/// checkpoint segment the snapshot's recovery story depends on is pinned
+/// (see [`SegmentPin`]) so a concurrent checkpoint cannot garbage-collect
+/// it while this handle is alive.
+#[derive(Debug, Clone)]
+pub struct DocSnapshot {
+    uri: String,
+    doc_id: u64,
+    epoch: u64,
+    seq: u64,
+    labeled: Arc<LabeledStore<DynamicPrime>>,
+    table: Arc<LabelTable<PrimeLabel>>,
+    _pin: Arc<SegmentPin>,
+}
+
+impl DocSnapshot {
+    /// The document's URI key.
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    /// The document id.
+    pub fn doc_id(&self) -> u64 {
+        self.doc_id
+    }
+
+    /// Checkpoint epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// WAL sequence the snapshot reflects.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The snapshot's labeled store (tree + labels + scheme state).
+    pub fn labeled(&self) -> &LabeledStore<DynamicPrime> {
+        &self.labeled
+    }
+
+    /// The snapshot's label table.
+    pub fn table(&self) -> &LabelTable<PrimeLabel> {
+        &self.table
+    }
+}
 
 /// One open document: the live quadruple plus its durability coordinates.
 #[derive(Debug)]
@@ -146,6 +245,10 @@ pub struct Store {
     wal: wal::Wal,
     next_doc_id: u64,
     docs: BTreeMap<u64, OpenDoc>,
+    /// Live snapshot pins by (doc id, checkpoint epoch).
+    pins: PinRegistry,
+    /// Superseded segments whose deletion waits for their pins to drop.
+    deferred: Vec<(u64, u64)>,
 }
 
 /// What a read-only [`fsck`] pass established.
@@ -177,7 +280,14 @@ impl Store {
         let manifest = Manifest { next_doc_id: 1, entries: Vec::new() };
         manifest.swap(dir)?;
         let (wal, _) = wal::Wal::open(dir)?;
-        Ok(Store { dir: dir.to_path_buf(), wal, next_doc_id: 1, docs: BTreeMap::new() })
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            wal,
+            next_doc_id: 1,
+            docs: BTreeMap::new(),
+            pins: PinRegistry::default(),
+            deferred: Vec::new(),
+        })
     }
 
     /// Opens (= recovers) the store in `dir`. See the crate docs: manifest
@@ -225,7 +335,14 @@ impl Store {
         }
 
         let (wal, scan) = wal::Wal::open(dir)?;
-        let mut store = Store { dir: dir.to_path_buf(), wal, next_doc_id: manifest.next_doc_id, docs };
+        let mut store = Store {
+            dir: dir.to_path_buf(),
+            wal,
+            next_doc_id: manifest.next_doc_id,
+            docs,
+            pins: PinRegistry::default(),
+            deferred: Vec::new(),
+        };
         for frame in &scan.frames {
             store.replay_frame(frame)?;
         }
@@ -355,30 +472,129 @@ impl Store {
     /// and the failed apply still consumed a sequence number; replay fails
     /// it identically.
     pub fn apply(&mut self, uri: &str, mutation: &Mutation) -> Result<RelabelReport, StoreError> {
+        match self.apply_batch(uri, std::slice::from_ref(mutation))?.pop() {
+            Some(Ok(report)) => Ok(report),
+            Some(Err(e)) => Err(StoreError::Dynamic(e)),
+            None => Err(StoreError::Io {
+                op: "apply",
+                path: self.dir.clone(),
+                msg: "single-mutation batch returned no result".into(),
+            }),
+        }
+    }
+
+    /// Group commit: frames every mutation, appends them all to the WAL with
+    /// **one** fsync, then applies them in memory in order. Per-mutation
+    /// scheme failures come back in the result vector (each failed apply
+    /// still consumed a sequence number and re-fails identically on replay);
+    /// a WAL-level error aborts the whole batch before any in-memory change.
+    ///
+    /// This is the server's epoch-apply primitive: an epoch of `k` batched
+    /// mutations costs `1/k` fsyncs per mutation instead of 1.
+    pub fn apply_batch(
+        &mut self,
+        uri: &str,
+        mutations: &[Mutation],
+    ) -> Result<Vec<Result<RelabelReport, DynamicError>>, StoreError> {
+        if mutations.is_empty() {
+            return Ok(Vec::new());
+        }
         let doc_id = self.doc_id_of(uri)?;
-        let (payload, next_seq) = {
+        let payloads: Vec<Vec<u8>> = {
             let doc = self
                 .docs
                 .get(&doc_id)
                 .ok_or_else(|| StoreError::UnknownUri(uri.to_owned()))?;
-            let mut payload = Vec::new();
-            write_varint(&mut payload, doc_id);
-            write_varint(&mut payload, doc.seq + 1);
-            mutation.encode(&mut payload);
-            (payload, doc.seq + 1)
+            mutations
+                .iter()
+                .enumerate()
+                .map(|(i, mutation)| {
+                    let mut payload = Vec::new();
+                    write_varint(&mut payload, doc_id);
+                    write_varint(&mut payload, doc.seq + 1 + i as u64);
+                    mutation.encode(&mut payload);
+                    payload
+                })
+                .collect()
         };
-        self.wal.append(&payload)?;
+        self.wal.append_batch(&payloads)?;
         let doc = self
             .docs
             .get_mut(&doc_id)
             .ok_or_else(|| StoreError::UnknownUri(uri.to_owned()))?;
-        doc.seq = next_seq;
-        match doc.labeled.apply(mutation) {
-            Ok(report) => {
-                doc.table.apply_report(doc.labeled.tree(), doc.labeled.doc(), &report);
-                Ok(report)
+        let mut results = Vec::with_capacity(mutations.len());
+        for mutation in mutations {
+            doc.seq += 1;
+            match doc.labeled.apply(mutation) {
+                Ok(report) => {
+                    doc.table.apply_report(doc.labeled.tree(), doc.labeled.doc(), &report);
+                    results.push(Ok(report));
+                }
+                Err(e) => results.push(Err(e)),
             }
-            Err(e) => Err(StoreError::Dynamic(e)),
+        }
+        Ok(results)
+    }
+
+    /// Data syncs the WAL has issued since this store was opened. With
+    /// group commit ([`Store::apply_batch`]) this grows by 1 per batch, not
+    /// per mutation — the `bench_server` gate divides it by mutations.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
+    /// Pins the current checkpoint segment of `uri` (see [`SegmentPin`]):
+    /// while the returned pin is alive, [`Store::checkpoint`] defers the
+    /// segment file's deletion instead of unlinking it.
+    pub fn pin_segment(&self, uri: &str) -> Result<Arc<SegmentPin>, StoreError> {
+        let doc = self.doc(uri).ok_or_else(|| StoreError::UnknownUri(uri.to_owned()))?;
+        Ok(SegmentPin::acquire(&self.pins, doc.doc_id, doc.epoch))
+    }
+
+    /// Cuts an epoch-stamped consistent snapshot of `uri`: a deep copy of
+    /// the label quadruple plus a pin on the checkpoint segment it was cut
+    /// against. The handle stays valid — and answers queries identically —
+    /// regardless of later mutations, checkpoints, or GC on the live store.
+    pub fn snapshot(&self, uri: &str) -> Result<DocSnapshot, StoreError> {
+        let doc = self.doc(uri).ok_or_else(|| StoreError::UnknownUri(uri.to_owned()))?;
+        Ok(DocSnapshot {
+            uri: doc.uri.clone(),
+            doc_id: doc.doc_id,
+            epoch: doc.epoch,
+            seq: doc.seq,
+            labeled: Arc::new(doc.labeled.fork()),
+            table: Arc::new(doc.table.clone()),
+            _pin: SegmentPin::acquire(&self.pins, doc.doc_id, doc.epoch),
+        })
+    }
+
+    /// `true` iff some live pin references (doc, epoch).
+    fn is_pinned(&self, doc_id: u64, epoch: u64) -> bool {
+        self.pins.lock().map(|p| p.contains_key(&(doc_id, epoch))).unwrap_or(false)
+    }
+
+    /// Deletes a superseded segment now, or defers it while pinned.
+    fn retire_segment(&mut self, doc_id: u64, epoch: u64) {
+        if self.is_pinned(doc_id, epoch) {
+            self.deferred.push((doc_id, epoch));
+        } else {
+            // Best-effort: an undeleted old segment is unreferenced and the
+            // next open garbage-collects it.
+            let _ = std::fs::remove_file(self.dir.join(segment_file(doc_id, epoch)));
+        }
+    }
+
+    /// Sweeps the deferred-deletion list: every entry whose pins have all
+    /// dropped is unlinked. Runs after each checkpoint; callers holding
+    /// snapshots for a long time can invoke it directly once they drop them.
+    pub fn sweep_unpinned(&mut self) {
+        let deferred = std::mem::take(&mut self.deferred);
+        for (doc_id, epoch) in deferred {
+            if self.is_pinned(doc_id, epoch) {
+                self.deferred.push((doc_id, epoch));
+            } else {
+                let _ = std::fs::remove_file(self.dir.join(segment_file(doc_id, epoch)));
+            }
         }
     }
 
@@ -404,14 +620,20 @@ impl Store {
             seq,
         });
         manifest.swap(&self.dir)?;
-        if let Some(doc) = self.docs.get_mut(&doc_id) {
-            let old = segment_file(doc.doc_id, doc.epoch);
+        let old_epoch = if let Some(doc) = self.docs.get_mut(&doc_id) {
+            let old = doc.epoch;
             doc.epoch = next_epoch;
             doc.durable_seq = seq;
-            // Best-effort: an undeleted old segment is unreferenced and the
-            // next open garbage-collects it.
-            let _ = std::fs::remove_file(self.dir.join(old));
+            Some(old)
+        } else {
+            None
+        };
+        if let Some(epoch) = old_epoch {
+            // An open snapshot handle may still reference the superseded
+            // checkpoint — deletion waits for its pins (GC-during-read).
+            self.retire_segment(doc_id, epoch);
         }
+        self.sweep_unpinned();
         Ok(())
     }
 
@@ -766,6 +988,106 @@ mod tests {
             reopened.doc("d.xml").unwrap().labeled(),
         )
         .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn apply_batch_is_one_fsync_and_matches_sequential_applies() {
+        let dir = tmpdir("batch");
+        let dir2 = tmpdir("batch-seq");
+        let mut batched = Store::create(&dir).unwrap();
+        let mut sequential = Store::create(&dir2).unwrap();
+        for store in [&mut batched, &mut sequential] {
+            store.add_document("d.xml", "<r><a/><b/><c/></r>", 8).unwrap();
+        }
+        let fsyncs_before = batched.wal_fsyncs();
+        let muts: Vec<Mutation> = {
+            let t = batched.doc("d.xml").unwrap().tree();
+            vec![
+                Mutation::InsertBefore { anchor: nth_element(t, 1), tag: "x".into() },
+                Mutation::InsertSubtree {
+                    pos: InsertPos::LastChildOf(t.root()),
+                    xml: "<s><t/></s>".into(),
+                },
+                Mutation::Delete { target: nth_element(t, 2) },
+            ]
+        };
+        let results = batched.apply_batch("d.xml", &muts).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(batched.wal_fsyncs() - fsyncs_before, 1, "group commit: one sync per batch");
+        for m in &muts {
+            sequential.apply("d.xml", m).unwrap();
+        }
+        assert_eq!(batched.doc("d.xml").unwrap().seq(), 3);
+        verify::equivalent(
+            batched.doc("d.xml").unwrap().labeled(),
+            sequential.doc("d.xml").unwrap().labeled(),
+        )
+        .unwrap();
+        // And the batch replays from the WAL like any other frames.
+        let reopened = Store::open(&dir).unwrap();
+        reopened.verify().unwrap();
+        verify::equivalent(
+            reopened.doc("d.xml").unwrap().labeled(),
+            batched.doc("d.xml").unwrap().labeled(),
+        )
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn snapshot_pins_its_checkpoint_segment_through_gc() {
+        let dir = tmpdir("pin");
+        let mut store = Store::create(&dir).unwrap();
+        store.add_document("d.xml", "<r><a/><b/></r>", 8).unwrap();
+        let snap = store.snapshot("d.xml").unwrap();
+        assert_eq!(snap.epoch(), 1);
+        let elements_at_cut = snap.labeled().tree().elements().count();
+
+        // Mutate and checkpoint: the store moves to epoch 2, but the pinned
+        // epoch-1 segment must survive the checkpoint's GC.
+        let anchor = nth_element(store.doc("d.xml").unwrap().tree(), 1);
+        store.apply("d.xml", &Mutation::InsertBefore { anchor, tag: "z".into() }).unwrap();
+        store.checkpoint("d.xml").unwrap();
+        assert_eq!(store.doc("d.xml").unwrap().epoch(), 2);
+        assert!(dir.join(segment_file(1, 1)).exists(), "pinned segment survives");
+        assert!(dir.join(segment_file(1, 2)).exists());
+
+        // The snapshot still answers from its own consistent copy.
+        assert_eq!(snap.labeled().tree().elements().count(), elements_at_cut);
+        assert_eq!(snap.seq(), 0);
+        verify::check_doc(snap.labeled(), snap.table()).unwrap();
+
+        // A clone of the handle keeps the pin alive after the original drops.
+        let clone = snap.clone();
+        drop(snap);
+        store.sweep_unpinned();
+        assert!(dir.join(segment_file(1, 1)).exists(), "cloned handle still pins");
+        drop(clone);
+        store.sweep_unpinned();
+        assert!(!dir.join(segment_file(1, 1)).exists(), "unpinned segment swept");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_then_checkpointed_again_sweeps_on_later_checkpoint() {
+        let dir = tmpdir("pin-sweep");
+        let mut store = Store::create(&dir).unwrap();
+        store.add_document("d.xml", "<r><a/></r>", 8).unwrap();
+        let snap = store.snapshot("d.xml").unwrap();
+        let a = nth_element(store.doc("d.xml").unwrap().tree(), 1);
+        store.apply("d.xml", &Mutation::InsertBefore { anchor: a, tag: "x".into() }).unwrap();
+        store.checkpoint("d.xml").unwrap();
+        assert!(dir.join(segment_file(1, 1)).exists());
+        drop(snap);
+        // The next checkpoint's sweep collects the now-unpinned deferral.
+        store.apply("d.xml", &Mutation::InsertBefore { anchor: a, tag: "y".into() }).unwrap();
+        store.checkpoint("d.xml").unwrap();
+        assert!(!dir.join(segment_file(1, 1)).exists(), "deferred segment swept");
+        assert!(!dir.join(segment_file(1, 2)).exists(), "unpinned old epoch dropped eagerly");
+        assert!(dir.join(segment_file(1, 3)).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

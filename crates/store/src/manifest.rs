@@ -122,7 +122,9 @@ impl Manifest {
     pub fn swap(&self, dir: &Path) -> Result<(), StoreError> {
         let tmp = dir.join(MANIFEST_TMP);
         let dst = dir.join(MANIFEST_FILE);
-        let frame = encode_frame(&self.encode());
+        let payload = self.encode();
+        crate::error::ensure_frameable(payload.len())?;
+        let frame = encode_frame(&payload);
         if let Err(inj) = xp_testkit::faultpoint!("store.manifest.swap") {
             match inj.mode {
                 FaultMode::Torn | FaultMode::Abort => {

@@ -337,6 +337,7 @@ pub fn write_segment(
     payload: &[u8],
 ) -> Result<PathBuf, StoreError> {
     let path = dir.join(segment_file(doc_id, epoch));
+    crate::error::ensure_frameable(payload.len())?;
     let frame = encode_frame(payload);
     if let Err(inj) = xp_testkit::faultpoint!("store.checkpoint.write") {
         match inj.mode {

@@ -24,7 +24,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
-use crate::error::{io_err, StoreError};
+use crate::error::{ensure_frameable, io_err, StoreError};
 use crate::frame::{decode_frames, encode_frame};
 use xp_testkit::FaultMode;
 
@@ -36,6 +36,9 @@ pub const WAL_FILE: &str = "wal.log";
 pub struct Wal {
     path: PathBuf,
     file: File,
+    /// Data syncs issued since open — the group-commit bench gate divides
+    /// this by mutations applied to prove batching amortizes the fsync.
+    fsyncs: u64,
 }
 
 /// What a (recovery-time) scan of the log found.
@@ -114,7 +117,7 @@ impl Wal {
             file.set_len(scan.valid_len).map_err(|e| io_err("truncate", &path, e))?;
             file.sync_data().map_err(|e| io_err("fsync", &path, e))?;
         }
-        let mut wal = Wal { path, file };
+        let mut wal = Wal { path, file, fsyncs: 0 };
         wal.seek_end()?;
         Ok((wal, scan))
     }
@@ -133,11 +136,29 @@ impl Wal {
     /// frame is fully written but possibly unsynced — the reopened store may
     /// contain this mutation even though the caller saw an error.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
-        let frame = encode_frame(payload);
-        if let Err(inj) = xp_testkit::faultpoint!("store.wal.append") {
-            return self.fail_write(&frame, inj, "store.wal.append");
+        self.append_batch(&[payload])
+    }
+
+    /// Group commit: appends every payload as its own frame, then issues
+    /// **one** `fsync` for the whole batch. On success every payload is
+    /// durable. Failure semantics match [`Wal::append`], applied to the
+    /// batch as a unit: an append-site fault can leave a torn tail inside
+    /// the batch (recovery keeps the complete-frame prefix), and an
+    /// fsync-site fault leaves all frames written but possibly unsynced.
+    pub fn append_batch<P: AsRef<[u8]>>(&mut self, payloads: &[P]) -> Result<(), StoreError> {
+        if payloads.is_empty() {
+            return Ok(());
         }
-        self.file.write_all(&frame).map_err(|e| io_err("write", &self.path, e))?;
+        for payload in payloads {
+            ensure_frameable(payload.as_ref().len())?;
+        }
+        for payload in payloads {
+            let frame = encode_frame(payload.as_ref());
+            if let Err(inj) = xp_testkit::faultpoint!("store.wal.append") {
+                return self.fail_write(&frame, inj, "store.wal.append");
+            }
+            self.file.write_all(&frame).map_err(|e| io_err("write", &self.path, e))?;
+        }
         if let Err(inj) = xp_testkit::faultpoint!("store.wal.fsync") {
             if inj.mode == FaultMode::Abort {
                 let _ = self.file.sync_data();
@@ -149,8 +170,14 @@ impl Wal {
                 msg: format!("{inj}"),
             });
         }
+        self.fsyncs += 1;
         self.file.sync_data().map_err(|e| io_err("fsync", &self.path, e))?;
         Ok(())
+    }
+
+    /// Data syncs issued through this handle since it was opened.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// The injected-failure half of [`Wal::append`]: leave the disk in the
@@ -309,6 +336,44 @@ mod tests {
         assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), len_before);
         let (_, scan) = Wal::open(&dir).unwrap();
         assert_eq!(scan.frames.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_append_costs_one_fsync() {
+        let dir = tmpdir("batch");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append_batch(&[b"a".as_slice(), b"bb", b"ccc"]).unwrap();
+            assert_eq!(wal.fsyncs(), 1, "the whole batch shares one sync");
+            wal.append(b"d").unwrap();
+            assert_eq!(wal.fsyncs(), 2);
+            assert!(wal.append_batch::<&[u8]>(&[]).is_ok());
+            assert_eq!(wal.fsyncs(), 2, "an empty batch syncs nothing");
+        }
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(
+            scan.frames,
+            vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec(), b"d".to_vec()]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_batch_recovers_to_the_complete_frame_prefix() {
+        let dir = tmpdir("batch-torn");
+        fault::reset();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            fault::arm("store.wal.append:2:torn");
+            let err = wal
+                .append_batch(&[b"first-lands".as_slice(), b"second-tears", b"third-never"])
+                .unwrap_err();
+            fault::reset();
+            assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        }
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(scan.frames, vec![b"first-lands".to_vec()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

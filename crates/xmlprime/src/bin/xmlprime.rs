@@ -11,6 +11,8 @@
 //! xmlprime save   <file.xml> --store <dir> [--uri U] [--chunk N]
 //! xmlprime load   --store <dir> [--uri U]
 //! xmlprime fsck   --store <dir>
+//! xmlprime serve  --store <dir> [--tcp ADDR] [--unix PATH]
+//! xmlprime remote (--tcp ADDR | --unix PATH) <op> [...]
 //! ```
 //!
 //! `<file.xml>` may be `-` for stdin. Schemes: `prime` (default),
@@ -43,6 +45,12 @@ USAGE:
     xmlprime save   <file.xml> --store <dir> [--uri U] [--chunk N]
     xmlprime load   --store <dir> [--uri U]
     xmlprime fsck   --store <dir>
+    xmlprime serve  --store <dir> [--tcp ADDR] [--unix PATH]
+                    [--batch N] [--checkpoint-after N]
+    xmlprime remote (--tcp ADDR | --unix PATH) <op> [...]
+                    ops: ping | docs | stats | query <uri> <path> |
+                    insert <uri> <node@> --tag T [--child] |
+                    delete <uri> <node@> | shutdown
 
     <file.xml> may be '-' to read from stdin.
     <node#> is the 1-based document-order element index (see `label`).
@@ -71,6 +79,15 @@ PERSISTENCE:
     fsck    read-only integrity check of a store directory: manifest,
             checkpoint segments, WAL replay, and the full labeling
             consistency suite; exits 6 on corruption, repairs nothing
+    serve   open (or create) a store and serve it over TCP and/or a
+            Unix socket until a client sends shutdown; --batch caps the
+            group-commit window (mutations per fsync, default 256)
+    remote  one-shot client operations against a running server;
+            <node@> is the arena index reported by `remote query`
+
+EXIT CODES:
+    0 ok · 1 usage · 2 input · 3 limit · 4 label · 5 query ·
+    6 corrupt store · 7 store needs recovery (re-open to replay the WAL)
 
 SCHEMES (for `label`):
     prime       top-down prime scheme, no optimizations (default)
@@ -106,6 +123,11 @@ enum CliError {
     /// Exit 6: an on-disk store is corrupt (bad magic, failed checksum,
     /// sequence gap, or a recovered document failing consistency checks).
     Corrupt(String),
+    /// Exit 7: a document is in a recoverable interrupted state — a
+    /// mutation's SC journal survived a crash and must be replayed before
+    /// order queries can answer. Unlike exit 6, nothing is lost: re-open
+    /// the store (or run recovery) and retry.
+    NeedsRecovery(String),
 }
 
 impl CliError {
@@ -117,6 +139,7 @@ impl CliError {
             CliError::Label(_) => 4,
             CliError::Query(_) => 5,
             CliError::Corrupt(_) => 6,
+            CliError::NeedsRecovery(_) => 7,
         })
     }
 
@@ -127,7 +150,8 @@ impl CliError {
             | CliError::Limit(m)
             | CliError::Label(m)
             | CliError::Query(m)
-            | CliError::Corrupt(m) => m,
+            | CliError::Corrupt(m)
+            | CliError::NeedsRecovery(m) => m,
         }
     }
 }
@@ -145,12 +169,16 @@ fn classify_parse(file: &str, e: ParseError) -> CliError {
     }
 }
 
-/// Labeling failures: budget violations get the limit exit code.
+/// Labeling failures: budget violations get the limit exit code, an
+/// interrupted-but-replayable SC journal gets the recoverable exit code.
 fn classify_label(e: xmlprime::prime::Error) -> CliError {
     use xmlprime::prime::sc::ScError;
     match &e {
         xmlprime::prime::Error::Budget(_)
         | xmlprime::prime::Error::Sc(ScError::Budget(_)) => CliError::Limit(e.to_string()),
+        xmlprime::prime::Error::Sc(ScError::NeedsRecovery) => {
+            CliError::NeedsRecovery(e.to_string())
+        }
         _ => CliError::Label(e.to_string()),
     }
 }
@@ -192,6 +220,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "save" => cmd_save(&args[1..]),
         "load" => cmd_load(&args[1..]),
         "fsck" => cmd_fsck(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "remote" => cmd_remote(&args[1..]),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -442,7 +472,7 @@ fn classify_dynamic(e: DynamicError) -> CliError {
         | DynamicError::RootTarget(_)
         | DynamicError::MoveIntoSelf { .. } => CliError::Usage(e.to_string()),
         DynamicError::Fragment(m) => CliError::Input(format!("fragment: {m}")),
-        DynamicError::NeedsRecovery => CliError::Label(e.to_string()),
+        DynamicError::NeedsRecovery => CliError::NeedsRecovery(e.to_string()),
         DynamicError::Scheme(inner) => match inner.downcast::<xmlprime::prime::Error>() {
             Ok(prime_err) => classify_label(*prime_err),
             Err(other) => CliError::Label(other.to_string()),
@@ -602,6 +632,7 @@ fn classify_store(e: xmlprime::store::StoreError) -> CliError {
         | StoreError::Snapshot(_)
         | StoreError::NotAStore(_) => CliError::Corrupt(e.to_string()),
         StoreError::DuplicateUri(_) | StoreError::UnknownUri(_) => CliError::Usage(e.to_string()),
+        StoreError::FrameTooLarge { .. } => CliError::Limit(e.to_string()),
         StoreError::Io { .. } | StoreError::FaultInjected(_) => CliError::Input(e.to_string()),
         StoreError::Scheme(inner) => classify_label(inner),
         StoreError::Dynamic(inner) => classify_dynamic(inner),
@@ -703,5 +734,183 @@ fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
     println!("WAL frames:     {}", report.wal_frames);
     println!("  replayable:   {}", report.replayed);
     println!("torn tail:      {} byte(s)", report.torn_tail_bytes);
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let pos = positional(args);
+    if !pos.is_empty() {
+        return Err(usage("serve takes no positional arguments"));
+    }
+    let dir = store_dir(args)?;
+    let store = if dir.join(xmlprime::store::MANIFEST_FILE).exists() {
+        xmlprime::store::Store::open(&dir).map_err(classify_store)?
+    } else {
+        xmlprime::store::Store::create(&dir).map_err(classify_store)?
+    };
+    let doc_count = store.docs().count();
+
+    let tcp = flag_value(args, "--tcp").map(String::from);
+    let unix = flag_value(args, "--unix").map(std::path::PathBuf::from);
+    let listen = xmlprime::server::ListenConfig {
+        // With no listener flags at all, bind an ephemeral local TCP port
+        // (printed below) rather than refusing to start.
+        tcp: if tcp.is_none() && unix.is_none() { Some("127.0.0.1:0".into()) } else { tcp },
+        unix,
+    };
+
+    let mut policy = xmlprime::server::BatchPolicy::default();
+    if let Some(v) = flag_value(args, "--batch") {
+        policy.max_mutations = v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| usage(format!("bad --batch {v:?} (integer >= 1)")))?;
+    }
+    if let Some(v) = flag_value(args, "--checkpoint-after") {
+        policy.checkpoint_after =
+            Some(v.parse().map_err(|_| usage(format!("bad --checkpoint-after {v:?}")))?);
+    }
+
+    let handle = xmlprime::server::serve(store, listen, policy)
+        .map_err(|e| CliError::Input(format!("serve: {e}")))?;
+    if let Some(addr) = handle.tcp_addr() {
+        println!("listening on tcp://{addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("listening on unix:{}", path.display());
+    }
+    println!("serving {doc_count} document(s) from {}", dir.display());
+    println!("stop with: xmlprime remote --tcp <addr> shutdown");
+
+    // Blocks until a client sends Shutdown; the store comes back so a
+    // final checkpoint folds the WAL tail into segments before exit.
+    if let Some(mut store) = handle.wait() {
+        store.checkpoint_all().map_err(classify_store)?;
+        println!("server stopped; store checkpointed");
+    }
+    Ok(())
+}
+
+/// Client-side failures: typed server errors keep their CLI exit class
+/// (a bad path is still a query error, a budget refusal still a limit,
+/// a needs-recovery still exit 7); transport problems are input errors.
+fn classify_client(e: xmlprime::server::ClientError) -> CliError {
+    use xmlprime::server::protocol::ErrCode;
+    use xmlprime::server::ClientError as Ce;
+    match e {
+        Ce::Server { code, msg } => {
+            let msg = format!("server: {msg}");
+            match code {
+                ErrCode::BadPath => CliError::Query(msg),
+                ErrCode::QueryLimit => CliError::Limit(msg),
+                ErrCode::UnknownDoc | ErrCode::BadRequest => CliError::Usage(msg),
+                ErrCode::NeedsRecovery => CliError::NeedsRecovery(msg),
+                ErrCode::Internal => CliError::Input(msg),
+            }
+        }
+        other => CliError::Input(other.to_string()),
+    }
+}
+
+/// The `--tcp`/`--unix` connection flags of `remote`.
+fn remote_connect(args: &[String]) -> Result<xmlprime::server::Client, CliError> {
+    match (flag_value(args, "--tcp"), flag_value(args, "--unix")) {
+        (Some(addr), None) => xmlprime::server::Client::connect_tcp(addr).map_err(classify_client),
+        (None, Some(path)) => {
+            xmlprime::server::Client::connect_unix(std::path::Path::new(path))
+                .map_err(classify_client)
+        }
+        _ => Err(usage("remote needs exactly one of --tcp ADDR or --unix PATH")),
+    }
+}
+
+/// Parses the `<node@>` operand of `remote insert`/`remote delete`: an
+/// arena slot index as reported by `remote query`.
+fn arena_slot(spec: &str) -> Result<u64, CliError> {
+    spec.parse().map_err(|_| usage(format!("bad node {spec:?} (arena index from `remote query`)")))
+}
+
+fn print_apply(applied: &xmlprime::server::client::Applied) -> Result<(), CliError> {
+    for result in &applied.results {
+        match result {
+            Ok(cost) => println!("applied ({cost} label(s) touched)"),
+            Err(msg) => return Err(CliError::Label(format!("server rejected mutation: {msg}"))),
+        }
+    }
+    println!("epoch {} seq {}", applied.epoch, applied.seq);
+    Ok(())
+}
+
+fn cmd_remote(args: &[String]) -> Result<(), CliError> {
+    use xmlprime::server::{WireMutation, WirePos};
+    let pos = positional(args);
+    let Some((&op, rest)) = pos.split_first() else {
+        return Err(usage("remote needs an operation"));
+    };
+    let mut client = remote_connect(args)?;
+    match (op, rest) {
+        ("ping", []) => {
+            client.ping().map_err(classify_client)?;
+            println!("pong");
+        }
+        ("docs", []) => {
+            for d in client.docs().map_err(classify_client)? {
+                println!(
+                    "{:40} epoch {} seq {} ({} elements)",
+                    d.uri, d.epoch, d.seq, d.elements
+                );
+            }
+        }
+        ("stats", []) => {
+            let s = client.stats().map_err(classify_client)?;
+            println!("epochs published:     {}", s.epochs);
+            println!("mutations applied:    {}", s.applied);
+            println!("mutations failed:     {}", s.failed);
+            println!("WAL fsyncs:           {}", s.wal_fsyncs);
+            println!("snapshots reclaimed:  {}", s.snapshots_reclaimed);
+            println!("snapshots cloned:     {}", s.snapshots_cloned);
+        }
+        ("query", [uri, path]) => {
+            let hits = client.query(uri, path).map_err(classify_client)?;
+            for n in &hits.nodes {
+                println!("node@{n}");
+            }
+            println!("{} node(s) matched at epoch {} seq {}", hits.nodes.len(), hits.epoch, hits.seq);
+        }
+        ("insert", [uri, node]) => {
+            let slot = arena_slot(node)?;
+            let tag = flag_value(args, "--tag")
+                .ok_or_else(|| usage("remote insert needs --tag T"))?;
+            let mutation = if args.iter().any(|a| a == "--child") {
+                WireMutation::InsertSubtree {
+                    pos: WirePos::LastChildOf(slot),
+                    xml: format!("<{tag}/>"),
+                }
+            } else {
+                WireMutation::InsertBefore { anchor: slot, tag: tag.to_string() }
+            };
+            let applied = client.apply(uri, &[mutation]).map_err(classify_client)?;
+            print_apply(&applied)?;
+        }
+        ("delete", [uri, node]) => {
+            let slot = arena_slot(node)?;
+            let applied = client
+                .apply(uri, &[WireMutation::Delete { target: slot }])
+                .map_err(classify_client)?;
+            print_apply(&applied)?;
+        }
+        ("shutdown", []) => {
+            client.shutdown().map_err(classify_client)?;
+            println!("server shutting down");
+        }
+        (other, _) => {
+            return Err(usage(format!(
+                "bad remote op {other:?} (or wrong operands): ping | docs | stats | \
+                 query <uri> <path> | insert <uri> <node@> --tag T [--child] | \
+                 delete <uri> <node@> | shutdown"
+            )))
+        }
+    }
     Ok(())
 }

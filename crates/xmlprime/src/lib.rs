@@ -40,6 +40,7 @@
 //! | [`baselines`] | `xp-baselines` | Interval/XISS, Prefix-1, Prefix-2, Dewey |
 //! | [`query`] | `xp-query` | label-predicate XPath-subset engine |
 //! | [`store`] | `xp-store` | crash-safe disk store: WAL + checkpoint manifest |
+//! | [`server`] | `xp-server` | concurrent label server with epoch-snapshot isolation |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +52,7 @@ pub use xp_labelkit as labelkit;
 pub use xp_prime as prime;
 pub use xp_primes as primes;
 pub use xp_query as query;
+pub use xp_server as server;
 pub use xp_store as store;
 pub use xp_xmltree as xmltree;
 

@@ -46,7 +46,7 @@ echo "==> clippy panic-policy gate (deny unwrap/expect in library crates)"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -q --offline --lib \
         -p xp-prime -p xp-query -p xp-xmltree -p xp-bignum -p xp-labelkit -p xp-par \
-        -p xp-store
+        -p xp-store -p xp-server
     echo "OK: library crates are clippy-clean under the panic policy."
 else
     echo "WARNING: clippy not installed; skipping panic-policy gate." >&2
@@ -139,6 +139,37 @@ echo "==> store bench smoke (durability tax + checkpoint/recovery round trip)"
 XP_BENCH_SAMPLES=8 XP_BENCH_MIN_WINDOW_MS=5 \
     cargo run -q --release --offline -p xp-bench --bin bench_store -- --smoke
 echo "OK: store recovery is exact and checkpoints fold the WAL."
+
+echo "==> server interleaving differential (every serialized order vs oracle)"
+# Concurrent client scripts submitted to the epoch loop in every
+# order-preserving interleaving; each published epoch must answer all nine
+# query axes exactly like a relabel-from-scratch oracle, converge to the
+# oracle's final document, and survive a reopen. A second pass proves
+# group-commit batching is semantically invisible. See
+# crates/server/tests/interleaving.rs and DESIGN.md §12.
+cargo test -q --offline -p xp-server --test interleaving > /dev/null
+echo "OK: every interleaving converges and answers like the oracle."
+
+echo "==> server socket suite at XP_THREADS in {1,8}"
+# End-to-end TCP/Unix protocol round trips, shutdown-and-recover, and the
+# client-side torn-labeling check (same-epoch //x'//y counts must agree)
+# under both the serial fallback and a parallel pool — snapshot isolation
+# may not depend on the worker thread count.
+for threads in 1 8; do
+    XP_THREADS=$threads \
+        cargo test -q --offline -p xp-server > /dev/null
+    echo "OK: server suite green at XP_THREADS=$threads"
+done
+
+echo "==> server bench smoke (concurrent 95/5 workload + group commit)"
+# Wall-clock gate for the label server: concurrent TCP clients at 95%
+# reads / 5% mutations plus an all-mutation burst. Fails on any same-epoch
+# //x'//y disagreement (torn labeling), on a quiesced document diverging
+# from the acknowledged mutations, or if the burst spends >= 1.0 WAL
+# fsyncs per mutation (group commit must batch). Does not touch the
+# checked-in results/bench_server.json.
+cargo run -q --release --offline -p xp-bench --bin bench_server -- --smoke
+echo "OK: no torn labelings and group commit amortizes fsyncs."
 
 echo "==> parallel-scaling bench smoke (xp-par determinism + no-lose gate)"
 # Product tree, segmented sieve, and the prodtree-backed ordered build at
