@@ -54,6 +54,21 @@ fn minimum(results: &[BenchStats], name: &str) -> f64 {
     best
 }
 
+/// Reference product tree with 2-factor leaves — the shape `prodtree` used
+/// before leaf widths were tied to the measured Karatsuba crossover. The
+/// build-cost gate asserts the tuned leaf sizing never loses to this.
+fn product_pair_leaves(factors: &[u64]) -> UBig {
+    match factors.len() {
+        0 => UBig::one(),
+        1 => UBig::from(factors[0]),
+        2 => UBig::from(factors[0] as u128 * factors[1] as u128),
+        n => {
+            let (lo, hi) = factors.split_at(n / 2);
+            product_pair_leaves(lo) * product_pair_leaves(hi)
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut h = Harness::new("bignum_kernels");
@@ -83,6 +98,25 @@ fn main() {
                 h.bench(&format!("mul/schoolbook/{bits}{tag}"), || kernels::mul_schoolbook(&a, &b));
             }
         }
+    }
+
+    // ---- product-tree leaf sizing: ScTable::build's batch kernel --------
+    // A shard-sized batch of word factors (an SC chunk product is exactly
+    // this shape). The tuned tree folds crossover-width leaves through the
+    // word loop; the pair-leaf reference allocates a tree node per 2
+    // factors. Same integer either way — gated on build cost.
+    let batch: Vec<u64> = pseudo_limbs(4096, 23).into_iter().map(|x| x | 1).collect();
+    assert_eq!(
+        xp_bignum::prodtree::product(&batch),
+        product_pair_leaves(&batch),
+        "leaf sizing changed the product value"
+    );
+    for round in 0..rounds {
+        let tag = if round == 0 { String::new() } else { format!("#{round}") };
+        h.bench(&format!("prodtree/tuned_leaves/4096{tag}"), || {
+            xp_bignum::prodtree::product(&batch)
+        });
+        h.bench(&format!("prodtree/pair_leaves/4096{tag}"), || product_pair_leaves(&batch));
     }
 
     // ---- the Figure 15 predicate loop: one ancestor vs many nodes -------
@@ -171,6 +205,20 @@ fn main() {
         failed = true;
     }
 
+    let tuned = minimum(&results, "prodtree/tuned_leaves/4096");
+    let pair = minimum(&results, "prodtree/pair_leaves/4096");
+    // Crossover-width leaves must not cost more than the 2-factor-leaf
+    // shape they replaced; 1.10x absorbs scheduler noise on the best-of-
+    // three (the expected direction is a win — fewer tree allocations and
+    // every sub-crossover multiply through the word loop).
+    if tuned >= pair * 1.10 {
+        eprintln!(
+            "FAIL: tuned prodtree leaves ({tuned:.0} ns) regress vs pair leaves \
+             ({pair:.0} ns) on a 4096-factor batch"
+        );
+        failed = true;
+    }
+
     let plain = minimum(&results, "predicate/plain_division");
     let barrett = minimum(&results, "predicate/barrett");
     if barrett >= plain {
@@ -186,9 +234,10 @@ fn main() {
     }
     println!(
         "bignum-kernel checks passed: Toom-3 vs Karatsuba at 2^14 bits {:.2}x, \
-         no small-size regression, Barrett beats plain division on the \
-         predicate loop ({:.2}x)",
+         no small-size regression, tuned prodtree leaves vs pair leaves {:.2}x, \
+         Barrett beats plain division on the predicate loop ({:.2}x)",
         kara_hi / auto_hi,
+        pair / tuned,
         plain / barrett,
     );
     if !smoke {

@@ -1,0 +1,120 @@
+//! Bench gate for sharded documents: front-insert cost must be O(shard),
+//! the fanned batch apply must parallelize, and sharded outputs must stay
+//! byte-identical to the unsharded oracle at every thread count.
+//!
+//! Default mode runs the full 10⁷-node / 256-shard corpus and regenerates
+//! `results/bench_sharding.json`. `--smoke` runs a 20k-node / 16-shard
+//! corpus without touching the checked-in JSON — the `scripts/ci.sh`
+//! bench gate. Either way the run fails if outputs diverge or the
+//! front-insert cost ratio falls under the mode's floor; the parallel
+//! speedup is additionally gated on hosts with ≥ 4 hardware threads
+//! (timing claims mean nothing on one core — the JSON records
+//! `host_threads` so checked-in numbers stay honest).
+
+use std::fmt::Write as _;
+use xp_bench::experiments::sharding::{sharding_bench, ShardingConfig, ShardingStats};
+
+fn to_json(stats: &ShardingStats, samples: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"group\": \"sharding\",");
+    let _ = writeln!(out, "  \"nodes\": {},", stats.nodes);
+    let _ = writeln!(out, "  \"shards\": {},", stats.shards);
+    let _ = writeln!(out, "  \"cut_depth\": {},", stats.cut_depth);
+    let _ = writeln!(out, "  \"front_insert\": {{");
+    for (key, cost) in
+        [("unsharded", &stats.front_unsharded), ("sharded", &stats.front_sharded)]
+    {
+        let _ = writeln!(
+            out,
+            "    \"{key}\": {{\"labels_touched\": {}, \"side_updates\": {}, \"total_cost\": {}}},",
+            cost.labels_touched, cost.side_updates, cost.total_cost,
+        );
+    }
+    let _ = writeln!(out, "    \"cost_ratio\": {:.1}", stats.front_cost_ratio());
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"parallel_apply\": {{");
+    let _ = writeln!(out, "    \"batch_mutations\": {},", stats.batch_mutations);
+    let _ = writeln!(out, "    \"samples\": {samples},");
+    let _ = writeln!(out, "    \"wall_ms\": [");
+    for (i, &(threads, ms)) in stats.batch_wall_ms.iter().enumerate() {
+        let comma = if i + 1 == stats.batch_wall_ms.len() { "" } else { "," };
+        let _ = writeln!(out, "      {{\"threads\": {threads}, \"median_ms\": {ms:.2}}}{comma}");
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(out, "    \"speedup_8v1\": {:.2},", stats.speedup(8));
+    let _ = writeln!(out, "    \"host_threads\": {}", stats.hardware_threads);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"outputs_identical\": {}", stats.outputs_identical);
+    let _ = write!(out, "}}");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke { ShardingConfig::smoke() } else { ShardingConfig::full() };
+    let stats = sharding_bench(&cfg);
+
+    println!();
+    println!(
+        "corpus: {} nodes, {} shards (cut depth {})",
+        stats.nodes, stats.shards, stats.cut_depth
+    );
+    println!(
+        "front insert: unsharded cost {} ({} SC records), sharded cost {} ({} SC records) — {:.0}x",
+        stats.front_unsharded.total_cost,
+        stats.front_unsharded.side_updates,
+        stats.front_sharded.total_cost,
+        stats.front_sharded.side_updates,
+        stats.front_cost_ratio(),
+    );
+    for &(threads, ms) in &stats.batch_wall_ms {
+        println!(
+            "batch apply ({} mutations) at {threads} threads: {ms:>8.2} ms  ({:.2}x vs 1)",
+            stats.batch_mutations,
+            stats.speedup(threads),
+        );
+    }
+    println!("host threads: {}", stats.hardware_threads);
+
+    let mut failed = false;
+    if !stats.outputs_identical {
+        eprintln!("FAIL: sharded outputs diverged from the unsharded oracle");
+        failed = true;
+    }
+    // The O(shard) gate: the full 256-shard corpus must clear 10x; the
+    // smoke corpus has far fewer shards, so its floor is proportionally
+    // lower while still ruling out O(document) behaviour.
+    let floor = if smoke { 4.0 } else { 10.0 };
+    if stats.front_cost_ratio() < floor {
+        eprintln!(
+            "FAIL: front-insert cost ratio {:.1} under the {floor}x floor — not O(shard)",
+            stats.front_cost_ratio()
+        );
+        failed = true;
+    }
+    if stats.hardware_threads >= 4 && stats.speedup(8) < 1.05 {
+        eprintln!(
+            "FAIL: batch apply speedup {:.2}x at 8 threads on a {}-thread host",
+            stats.speedup(8),
+            stats.hardware_threads
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    if !smoke {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join("bench_sharding.json");
+            if std::fs::write(&path, to_json(&stats, cfg.samples)).is_ok() {
+                println!("[written results/bench_sharding.json]");
+            }
+        }
+    }
+    println!(
+        "sharding checks passed: front insert is O(shard) and outputs match the oracle everywhere"
+    );
+}

@@ -3,6 +3,7 @@
 pub mod dynamic_api;
 pub mod par_scaling;
 pub mod server;
+pub mod sharding;
 pub mod sizes;
 pub mod store;
 pub mod timing;

@@ -1,0 +1,328 @@
+//! Sharded-document experiment: the §3.2 decomposition as the unit of
+//! scale.
+//!
+//! Scales the Table-1 synthetic idiom (a topic vocabulary over a fixed
+//! shape profile, exact node counts) by ~100× to a corpus whose depth-2
+//! subtrees become the shards, then measures what the shard facade buys:
+//!
+//! * **Front-insert cost** — inserting before the document's first
+//!   section forces the SC order table to shift every following record.
+//!   Unsharded, that is `O(document)` side updates; under the facade each
+//!   shard owns its SC slice and only the routed shard (plus the shard
+//!   boundary chains) moves, so the cost is `O(shard)`. The gate requires
+//!   the sharded total cost (Figure 18's metric: labels written + SC
+//!   records re-solved) to sit ≥10× below the unsharded baseline at the
+//!   full shard count.
+//! * **Parallel batch apply** — one batch fanning one insert into every
+//!   shard, applied via `xp-par` at 1/2/4/8 worker threads. Speedups are
+//!   only meaningful on multi-core hosts (the JSON records
+//!   `host_threads` so checked-in numbers are honest); output identity is
+//!   meaningful everywhere and is asserted unconditionally:
+//! * **Byte-identity** — at every thread count the sharded store's tree,
+//!   document order, and per-mutation outcomes must equal the unsharded
+//!   oracle's, and its labels must equal the single-threaded sharded
+//!   run's.
+
+use xp_datagen::CountingBuilder;
+use xp_labelkit::{
+    apply_batch_sharded, InsertPos, LabeledStore, Mutation, RelabelReport, ShardPolicy,
+    ShardedScheme,
+};
+use xp_prime::DynamicPrime;
+use xp_xmltree::{serialize, NodeId, XmlTree};
+
+/// Thread counts the batch apply is measured at.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One run's sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardingConfig {
+    /// Total element count of the corpus.
+    pub nodes: usize,
+    /// Depth-1 children of the root.
+    pub sections: usize,
+    /// Depth-2 children per section; `sections * groups_per_section` is
+    /// the shard count (plus the root shard) at cut depth 2.
+    pub groups_per_section: usize,
+    /// SC chunk capacity for both stores.
+    pub chunk_capacity: usize,
+    /// Batch applications per thread-count sample.
+    pub samples: usize,
+}
+
+impl ShardingConfig {
+    /// The full run behind `results/bench_sharding.json`: a 10⁷-node
+    /// corpus cut into 256 shards.
+    pub fn full() -> Self {
+        ShardingConfig {
+            nodes: 10_000_000,
+            sections: 16,
+            groups_per_section: 16,
+            chunk_capacity: 5,
+            samples: 3,
+        }
+    }
+
+    /// The CI smoke gate: small enough to run in seconds anywhere.
+    pub fn smoke() -> Self {
+        ShardingConfig {
+            nodes: 20_000,
+            sections: 4,
+            groups_per_section: 4,
+            chunk_capacity: 5,
+            samples: 2,
+        }
+    }
+}
+
+/// Cost triple of one mutation under the paper's accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationCost {
+    /// Labels written (inserted + relabeled).
+    pub labels_touched: usize,
+    /// SC records re-solved.
+    pub side_updates: usize,
+    /// [`RelabelReport::total_cost`].
+    pub total_cost: usize,
+}
+
+impl From<&RelabelReport> for MutationCost {
+    fn from(r: &RelabelReport) -> Self {
+        MutationCost {
+            labels_touched: r.labels_touched(),
+            side_updates: r.side_updates,
+            total_cost: r.total_cost(),
+        }
+    }
+}
+
+/// Everything one [`sharding_bench`] run measured.
+#[derive(Debug, Clone)]
+pub struct ShardingStats {
+    /// Corpus element count.
+    pub nodes: usize,
+    /// Live shards in the sharded store.
+    pub shards: usize,
+    /// Cut depth used.
+    pub cut_depth: usize,
+    /// Front-insert cost through the flat `DynamicPrime` store.
+    pub front_unsharded: MutationCost,
+    /// The same front insert through the shard facade.
+    pub front_sharded: MutationCost,
+    /// `(threads, median wall ms)` for one whole-corpus batch apply.
+    pub batch_wall_ms: Vec<(usize, f64)>,
+    /// Mutations per batch.
+    pub batch_mutations: usize,
+    /// `available_parallelism()` on the measuring host — timing claims
+    /// are only meaningful when this is > 1.
+    pub hardware_threads: usize,
+    /// Tree, document order, outcomes, and labels agreed at every thread
+    /// count (see the module docs).
+    pub outputs_identical: bool,
+}
+
+impl ShardingStats {
+    /// Unsharded ÷ sharded front-insert total cost.
+    pub fn front_cost_ratio(&self) -> f64 {
+        self.front_unsharded.total_cost as f64 / self.front_sharded.total_cost.max(1) as f64
+    }
+
+    /// Median batch wall at 1 thread ÷ wall at `threads`.
+    pub fn speedup(&self, threads: usize) -> f64 {
+        let wall = |t: usize| {
+            self.batch_wall_ms
+                .iter()
+                .find(|&&(n, _)| n == t)
+                .map(|&(_, ms)| ms)
+                .unwrap_or(f64::NAN)
+        };
+        wall(1) / wall(threads).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Builds the sharding corpus: `sections` depth-1 sections, each holding
+/// `groups_per_section` depth-2 groups (the shard roots at cut depth 2),
+/// padded with 5-element item blocks to exactly `nodes` elements — the
+/// Table-1 generator idiom (fixed shape, exact count) at ~100× scale.
+pub fn sharding_corpus(cfg: &ShardingConfig) -> XmlTree {
+    let mut b = CountingBuilder::new("corpus");
+    let root = b.tree.root();
+    let mut groups = Vec::new();
+    for _ in 0..cfg.sections {
+        let section = b.child(root, "section");
+        for _ in 0..cfg.groups_per_section {
+            groups.push(b.child(section, "group"));
+        }
+    }
+    assert!(b.elements <= cfg.nodes, "corpus skeleton exceeds the node budget");
+    // Round-robin leaf items so every group gets the same share. Content
+    // stays at depth 3: at cut depth 2 every depth that is a multiple of 2
+    // starts a shard, so a deeper corpus would shatter into per-node
+    // shards instead of one shard per group.
+    let mut g = 0;
+    while b.elements < cfg.nodes {
+        b.child(groups[g], "item");
+        g = (g + 1) % groups.len();
+    }
+    debug_assert_eq!(b.elements, cfg.nodes);
+    b.tree
+}
+
+/// The depth-2 group nodes of a [`sharding_corpus`] tree, document order.
+fn group_nodes(tree: &XmlTree) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for section in tree.element_children(tree.root()) {
+        out.extend(tree.element_children(section));
+    }
+    out
+}
+
+/// Runs the experiment; pure measurement, no file I/O (the binary owns
+/// the JSON).
+pub fn sharding_bench(cfg: &ShardingConfig) -> ShardingStats {
+    let cut_depth = 2;
+    let tree = sharding_corpus(cfg);
+    let groups = group_nodes(&tree);
+    // The document-front leaf: every following node's order shifts when
+    // something lands before it. A leaf anchor keeps the label cost of the
+    // insert itself O(1) (insert-before relabels the anchor's subtree), so
+    // the measured cost is the SC maintenance the decomposition bounds.
+    let first_item = tree
+        .element_children(groups[0])
+        .next()
+        .unwrap_or_else(|| panic!("corpus has no items"));
+
+    let mut flat = LabeledStore::build(DynamicPrime::new(cfg.chunk_capacity), tree.clone())
+        .unwrap_or_else(|e| panic!("unsharded build failed: {e}"));
+    // Front insert: before the first content leaf, so the whole
+    // document's order shifts behind it.
+    let front = Mutation::InsertBefore { anchor: first_item, tag: "preface".into() };
+    // Builds are deterministic, so rebuilding per thread count (instead of
+    // cloning one store) still yields byte-identical starting states.
+    let make_sharded = || {
+        let scheme = ShardedScheme::new(
+            DynamicPrime::new(cfg.chunk_capacity),
+            ShardPolicy::at_depth(cut_depth),
+        );
+        let mut store = LabeledStore::build(scheme, tree.clone())
+            .unwrap_or_else(|e| panic!("sharded build failed: {e}"));
+        let report = store
+            .apply(&front)
+            .unwrap_or_else(|e| panic!("sharded front insert failed: {e}"));
+        (store, report)
+    };
+    let (probe, sharded_report) = make_sharded();
+    let shards = probe.state().live_count();
+    let mut prebuilt = Some(probe);
+
+    let front_unsharded: MutationCost = (&flat
+        .apply(&front)
+        .unwrap_or_else(|e| panic!("unsharded front insert failed: {e}")))
+        .into();
+    let front_sharded: MutationCost = (&sharded_report).into();
+
+    // One batch fanning one subtree insert into every shard.
+    let batch: Vec<Mutation> = groups
+        .iter()
+        .map(|&g| Mutation::InsertSubtree { pos: InsertPos::LastChildOf(g), xml: "<item/>".into() })
+        .collect();
+
+    // The unsharded oracle applies the same batch sequentially, the same
+    // number of times every sharded clone will.
+    let mut oracle_outcomes: Vec<bool> = Vec::new();
+    for round in 0..cfg.samples {
+        for m in &batch {
+            let ok = flat.apply(m).is_ok();
+            if round == 0 {
+                oracle_outcomes.push(ok);
+            }
+        }
+    }
+    let oracle_xml = serialize::to_string(flat.tree());
+    let oracle_order = flat.ordered_nodes();
+
+    let mut outputs_identical = true;
+    let mut batch_wall_ms = Vec::new();
+    let mut reference_labels: Option<Vec<_>> = None;
+    for &threads in &THREAD_COUNTS {
+        let mut clone = prebuilt.take().unwrap_or_else(|| make_sharded().0);
+        let mut walls = Vec::with_capacity(cfg.samples);
+        let mut first_outcomes: Vec<bool> = Vec::new();
+        for round in 0..cfg.samples {
+            let start = std::time::Instant::now();
+            let results = xp_par::with_threads(threads, || apply_batch_sharded(&mut clone, &batch));
+            walls.push(start.elapsed().as_secs_f64() * 1e3);
+            if round == 0 {
+                first_outcomes = results.iter().map(Result::is_ok).collect();
+            }
+        }
+        walls.sort_by(f64::total_cmp);
+        batch_wall_ms.push((threads, walls[walls.len() / 2]));
+
+        if first_outcomes != oracle_outcomes
+            || serialize::to_string(clone.tree()) != oracle_xml
+            || clone.ordered_nodes() != oracle_order
+        {
+            outputs_identical = false;
+        }
+        let labels: Vec<_> = clone.ordered_nodes().iter().map(|&n| clone.doc().label(n).clone()).collect();
+        match &reference_labels {
+            None => reference_labels = Some(labels),
+            Some(reference) => {
+                if *reference != labels {
+                    outputs_identical = false;
+                }
+            }
+        }
+    }
+
+    ShardingStats {
+        nodes: cfg.nodes,
+        shards,
+        cut_depth,
+        front_unsharded,
+        front_sharded,
+        batch_wall_ms,
+        batch_mutations: batch.len(),
+        hardware_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        outputs_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_config_round_trips_and_holds_the_gates() {
+        let mut cfg = ShardingConfig::smoke();
+        cfg.nodes = 4_000;
+        cfg.samples = 1;
+        let stats = sharding_bench(&cfg);
+        assert_eq!(stats.nodes, 4_000);
+        assert_eq!(stats.shards, cfg.sections * cfg.groups_per_section + 1);
+        assert!(stats.outputs_identical, "sharded outputs diverged from the oracle");
+        assert!(
+            stats.front_cost_ratio() >= 2.0,
+            "front insert not O(shard): ratio {:.1}",
+            stats.front_cost_ratio()
+        );
+    }
+
+    #[test]
+    fn corpus_hits_its_node_count_exactly() {
+        let cfg = ShardingConfig::smoke();
+        let tree = sharding_corpus(&cfg);
+        let elements = {
+            let mut n = 0usize;
+            let mut stack = vec![tree.root()];
+            while let Some(node) = stack.pop() {
+                n += 1;
+                stack.extend(tree.element_children(node));
+            }
+            n
+        };
+        assert_eq!(elements, cfg.nodes);
+        assert_eq!(group_nodes(&tree).len(), cfg.sections * cfg.groups_per_section);
+    }
+}

@@ -71,6 +71,20 @@ pub fn mul_within(a: &UBig, b: &UBig, max_bits: u64) -> Result<UBig, BudgetError
     Ok(a * b)
 }
 
+/// [`mul_within`] for a machine-word factor: same budget check and same
+/// `bignum.mul` fault point, but the multiply runs through the word carry
+/// loop instead of the general kernel dispatch. The balanced product tree
+/// folds its sub-crossover leaf chunks through here (see
+/// [`crate::prodtree`]).
+pub fn mul_u64_within(a: &UBig, f: u64, max_bits: u64) -> Result<UBig, BudgetError> {
+    xp_testkit::faultpoint!("bignum.mul")?;
+    let bits = a.bit_len() + UBig::from(f).bit_len();
+    if bits > max_bits {
+        return Err(BudgetError::BitsExceeded { bits, max_bits });
+    }
+    Ok(a.mul_u64(f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

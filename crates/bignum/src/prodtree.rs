@@ -10,10 +10,33 @@
 //! `ScTable::build` and the SC basis constructor batch their chunk products
 //! through here.
 
-use crate::checked::{mul_within, BudgetError};
+use crate::checked::{mul_u64_within, mul_within, BudgetError};
 use crate::UBig;
 
-/// Product of `factors` by balanced pairwise multiplication.
+/// Factors per leaf of the balanced tree, set from the measured Karatsuba
+/// crossover: a u64 factor contributes at most one limb, so folding this
+/// many words into one accumulator with the word carry loop stays entirely
+/// below the crossover where tree-shaping starts to pay. The pairwise
+/// combines above the leaves then meet the Karatsuba and Toom-3 layers at
+/// operand widths the `bench_bignum_kernels` ladder measured as wins,
+/// instead of spending an allocation per tree node on multiplies the
+/// schoolbook kernel handles in a single pass.
+const LEAF_FACTORS: usize = crate::mul::KARATSUBA_THRESHOLD;
+
+/// Folds a sub-crossover chunk into one accumulator via the word loop.
+fn leaf_product(factors: &[u64]) -> UBig {
+    let mut acc = match factors.first() {
+        Some(&f) => UBig::from(f),
+        None => return UBig::one(),
+    };
+    for &f in &factors[1..] {
+        acc.mul_u64_assign(f);
+    }
+    acc
+}
+
+/// Product of `factors` by balanced pairwise multiplication over
+/// word-folded leaves of [`LEAF_FACTORS`] factors.
 ///
 /// An empty slice yields 1 (the multiplicative identity), matching the
 /// accumulator idiom it replaces.
@@ -22,6 +45,7 @@ pub fn product(factors: &[u64]) -> UBig {
         0 => UBig::one(),
         1 => UBig::from(factors[0]),
         2 => UBig::from(factors[0] as u128 * factors[1] as u128),
+        n if n <= LEAF_FACTORS => leaf_product(factors),
         n => {
             let (lo, hi) = factors.split_at(n / 2);
             product(lo) * product(hi)
@@ -80,6 +104,15 @@ fn product_within_unchecked(factors: &[u64], max_bits: u64) -> Result<UBig, Budg
     match factors.len() {
         0 => Ok(UBig::one()),
         1 => Ok(UBig::from(factors[0])),
+        n if n <= LEAF_FACTORS => {
+            // Same leaf fold as `product`, with every step under the
+            // budget check and the `bignum.mul` fault point.
+            let mut acc = UBig::from(factors[0]);
+            for &f in &factors[1..] {
+                acc = mul_u64_within(&acc, f, max_bits)?;
+            }
+            Ok(acc)
+        }
         n => {
             let (lo, hi) = factors.split_at(n / 2);
             let lo = product_within_unchecked(lo, max_bits)?;
@@ -124,6 +157,19 @@ mod tests {
     fn large_batch_matches_sequential() {
         let factors: Vec<u64> = (0..500).map(|i| 0x9e37_79b9u64.wrapping_mul(i + 1) | 1).collect();
         assert_eq!(product(&factors), sequential(&factors));
+    }
+
+    #[test]
+    fn leaf_boundary_matches_sequential() {
+        let factors: Vec<u64> =
+            (0..200).map(|i| 0x9e37_79b9u64.wrapping_mul(i + 1) | 1).collect();
+        for k in
+            [LEAF_FACTORS - 1, LEAF_FACTORS, LEAF_FACTORS + 1, 2 * LEAF_FACTORS, 2 * LEAF_FACTORS + 1]
+        {
+            let expect = sequential(&factors[..k]);
+            assert_eq!(product(&factors[..k]), expect, "k={k}");
+            assert_eq!(product_within(&factors[..k], u64::MAX).unwrap(), expect, "k={k}");
+        }
     }
 
     #[test]

@@ -24,12 +24,22 @@
 use crate::label::PrimeLabel;
 use crate::topdown::TopDownPrime;
 use std::collections::HashMap;
-use xp_labelkit::{LabelOps, Scheme};
+use xp_labelkit::{shard_capacity_check, DynamicError, LabelOps, Scheme, SHARD_ID_CAPACITY};
 use xp_xmltree::{NodeId, XmlTree};
 
 /// Identifier of one subtree in a decomposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubtreeId(u32);
+
+/// Allocates the next [`SubtreeId`], failing with a typed error instead of
+/// silently truncating once the decomposition exceeds `capacity` subtrees
+/// (or the hard `u32` id space, whichever is smaller).
+fn alloc_subtree_id(next_index: usize, capacity: usize) -> Result<SubtreeId, DynamicError> {
+    match shard_capacity_check(next_index, capacity) {
+        Ok(raw) => Ok(SubtreeId(raw)),
+        Err(e) => Err(DynamicError::Scheme(Box::new(e))),
+    }
+}
 
 /// A node's address under decomposition: which subtree, plus the local
 /// prime label inside it.
@@ -73,7 +83,34 @@ impl DecomposedPrimeDoc {
     /// Decomposes at every depth multiple of `cut_depth` (≥ 1) and labels
     /// each subtree and the global tree with the unoptimized top-down
     /// scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition would exceed the `u32` subtree-id space
+    /// (see [`DecomposedPrimeDoc::try_build`] for the fallible form).
     pub fn build(tree: &XmlTree, cut_depth: usize) -> Self {
+        match Self::try_build(tree, cut_depth) {
+            Ok(doc) => doc,
+            Err(e) => panic!("decomposition failed: {e}"),
+        }
+    }
+
+    /// Fallible [`DecomposedPrimeDoc::build`]: returns a typed
+    /// [`DynamicError`] instead of truncating subtree ids when the
+    /// decomposition exceeds the `u32` id space.
+    pub fn try_build(tree: &XmlTree, cut_depth: usize) -> Result<Self, DynamicError> {
+        Self::try_build_with_capacity(tree, cut_depth, SHARD_ID_CAPACITY)
+    }
+
+    /// [`DecomposedPrimeDoc::try_build`] with an explicit subtree-count
+    /// ceiling (never more than the hard `u32` id space). The boundary is
+    /// exercised in tests through this hook; production callers use
+    /// [`DecomposedPrimeDoc::try_build`].
+    pub fn try_build_with_capacity(
+        tree: &XmlTree,
+        cut_depth: usize,
+        capacity: usize,
+    ) -> Result<Self, DynamicError> {
         assert!(cut_depth >= 1, "cut depth must be positive");
 
         // Pass 1: assign every node to a subtree; collect subtree roots in
@@ -85,7 +122,7 @@ impl DecomposedPrimeDoc {
         while let Some((node, depth)) = stack.pop() {
             depth_of.insert(node, depth);
             let id = if depth % cut_depth == 0 {
-                let id = SubtreeId(roots.len() as u32);
+                let id = alloc_subtree_id(roots.len(), capacity)?;
                 roots.push(node);
                 id
             } else {
@@ -115,7 +152,8 @@ impl DecomposedPrimeDoc {
         let per_subtree: Vec<Vec<(NodeId, DecomposedLabel)>> =
             xp_par::par_map_indexed(roots.len(), |idx| {
                 let root = roots[idx];
-                let id = SubtreeId(idx as u32);
+                // Allocated (and range-checked) in pass 1.
+                let id = subtree_of[&root];
                 // Collect this subtree's nodes (preorder) and build the shadow.
                 let mut shadow = XmlTree::new("s");
                 let mut map: Vec<(NodeId, NodeId)> = vec![(root, shadow.root())];
@@ -148,7 +186,7 @@ impl DecomposedPrimeDoc {
         let mut global_node_of: HashMap<SubtreeId, NodeId> = HashMap::new();
         // Roots are in document order, so parents precede children.
         for (idx, &root) in roots.iter().enumerate() {
-            let id = SubtreeId(idx as u32);
+            let id = subtree_of[&root];
             let gnode = if let Some(parent) = tree.parent(root) {
                 let pid = subtree_of[&parent];
                 parent_subtree[idx] = Some(pid);
@@ -171,7 +209,7 @@ impl DecomposedPrimeDoc {
             })
             .collect();
 
-        DecomposedPrimeDoc { labels, subtrees, cut_depth }
+        Ok(DecomposedPrimeDoc { labels, subtrees, cut_depth })
     }
 
     /// The cut depth the decomposition was built with.
@@ -302,6 +340,23 @@ mod tests {
         let doc = DecomposedPrimeDoc::build(&tree, 10);
         assert_eq!(doc.subtree_count(), 1, "no cut is ever reached");
         check_against_tree(&tree, 10);
+    }
+
+    #[test]
+    fn subtree_capacity_overflow_is_a_typed_error_not_truncation() {
+        // Four elements at cut 1 → four subtrees. A capacity of 3 must
+        // surface as a typed DynamicError; 4 exactly fits.
+        let tree = parse("<a><b/><c><d/></c></a>").unwrap();
+        match DecomposedPrimeDoc::try_build_with_capacity(&tree, 1, 3) {
+            Err(DynamicError::Scheme(e)) => {
+                assert!(e.to_string().contains("capacity"), "got: {e}");
+            }
+            other => panic!("expected capacity error, got {other:?}"),
+        }
+        let doc = DecomposedPrimeDoc::try_build_with_capacity(&tree, 1, 4).unwrap();
+        assert_eq!(doc.subtree_count(), 4);
+        // The public fallible form uses the full u32 id space.
+        assert!(DecomposedPrimeDoc::try_build(&tree, 1).is_ok());
     }
 
     #[test]

@@ -303,26 +303,30 @@ fn insert_subtree_inner(
         removed: Vec::new(),
         side_updates: first.sc_records_updated,
     };
-    // Walk the fragment depth-first, mapping each fragment element to the
-    // node just created for it.
-    let mut stack = vec![(frag_root, first.node)];
+    // Walk the fragment in strict preorder, allocating each node at pop
+    // time under its already-created parent. Children are pushed reversed
+    // so siblings pop — and therefore append — in document order; the old
+    // variant appended inside the reversed loop, which flipped sibling
+    // order at every level.
+    let mut stack: Vec<(NodeId, NodeId)> = {
+        let kids: Vec<NodeId> = fragment.children(frag_root).collect();
+        kids.into_iter().rev().map(|c| (c, first.node)).collect()
+    };
     while let Some((src, dst)) = stack.pop() {
-        let kids: Vec<NodeId> = fragment.children(src).collect();
-        // Reverse so pops come out in document order (append-child is
-        // order-sensitive through the SC table).
-        for child in kids.into_iter().rev() {
-            if let Some(tag) = fragment.tag(child) {
-                let rep = state.append_child(tree, dst, tag)?;
-                report.merge(RelabelReport {
-                    inserted: vec![rep.node],
-                    relabeled: rep.relabeled_nodes,
-                    removed: Vec::new(),
-                    side_updates: rep.sc_records_updated,
-                });
+        if let Some(tag) = fragment.tag(src) {
+            let rep = state.append_child(tree, dst, tag)?;
+            report.merge(RelabelReport {
+                inserted: vec![rep.node],
+                relabeled: rep.relabeled_nodes,
+                removed: Vec::new(),
+                side_updates: rep.sc_records_updated,
+            });
+            let kids: Vec<NodeId> = fragment.children(src).collect();
+            for child in kids.into_iter().rev() {
                 stack.push((child, rep.node));
-            } else if let Some(text) = fragment.text(child) {
-                tree.append_text(dst, text);
             }
+        } else if let Some(text) = fragment.text(src) {
+            tree.append_text(dst, text);
         }
     }
     Ok(report)
@@ -365,6 +369,36 @@ mod tests {
             prev_order = Some(o);
         }
         assert_eq!(s.doc().len(), nodes.len(), "mirror holds exactly the attached elements");
+    }
+
+    #[test]
+    fn sharded_prime_facade_matches_unsharded_oracle() {
+        // Smoke check that `ShardedPrime` satisfies the facade bounds and
+        // stays lockstep with an unsharded DynamicPrime store; the heavy
+        // differential lives in xp-query's shard_differential test.
+        let tree = parse("<r><a><x/><y/></a><b><x><z/></x></b><c/></r>").unwrap();
+        let scheme =
+            crate::ShardedPrime::new(DynamicPrime::default(), xp_labelkit::ShardPolicy::at_depth(1));
+        let mut s = LabeledStore::build(scheme, tree.clone()).unwrap();
+        let mut o = LabeledStore::build(DynamicPrime::default(), tree).unwrap();
+        assert!(s.state().live_count() > 1, "cut 1 must shard");
+        let first = s.tree().element_children(s.tree().root()).next().unwrap();
+        let rs = s.insert_before(first, "n").unwrap();
+        let ro = o.insert_before(first, "n").unwrap();
+        assert_eq!(rs.inserted, ro.inserted);
+        let victim = s.tree().elements().nth(4).unwrap();
+        assert_eq!(s.delete(victim).unwrap().removed, o.delete(victim).unwrap().removed);
+        assert_eq!(s.ordered_nodes(), o.ordered_nodes(), "document order lockstep");
+        let nodes: Vec<NodeId> = s.tree().elements().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(
+                    s.doc().label(x).is_ancestor_of(s.doc().label(y)),
+                    s.tree().is_ancestor(x, y),
+                    "{x} anc {y}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -411,6 +445,30 @@ mod tests {
         assert_eq!(s.tree().tag(x), Some("x"));
         assert_eq!(s.tree().next_sibling(x), Some(c));
         assert_eq!(s.tree().element_descendants(x).count(), 4);
+    }
+
+    #[test]
+    fn insert_subtree_preserves_fragment_sibling_order() {
+        let mut s = store("<a><b/></a>");
+        let root = s.tree().root();
+        let frag = parse("<t1>hi<t2/><t3/><t4><t5/>mid<t6/></t4></t1>").unwrap();
+        let rep = s.insert_subtree(InsertPos::LastChildOf(root), &frag).unwrap();
+        check_invariants(&s);
+        let t1 = rep.inserted[0];
+        let tags: Vec<&str> = s
+            .tree()
+            .element_descendants(t1)
+            .filter_map(|n| s.tree().tag(n))
+            .collect();
+        assert_eq!(tags, ["t1", "t2", "t3", "t4", "t5", "t6"],
+            "grafted fragment keeps its document order at every level");
+        let t4 = s.tree().last_child(t1).unwrap();
+        let texts: Vec<&str> = s
+            .tree()
+            .children(t4)
+            .filter_map(|n| s.tree().text(n))
+            .collect();
+        assert_eq!(texts, ["mid"], "text children land under the right parent");
     }
 
     #[test]

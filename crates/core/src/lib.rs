@@ -64,6 +64,12 @@ pub mod topdown;
 
 pub use dynamic::DynamicPrime;
 pub use error::Error;
+
+/// The dynamic prime scheme promoted to the shard facade (§3.2 subtree
+/// decomposition as the unit of scale): each shard labels its subtree with
+/// an independent `DynamicPrime` instance, so the small primes are reused
+/// per shard and mutations relabel at most one shard.
+pub type ShardedPrime = xp_labelkit::ShardedScheme<DynamicPrime>;
 pub use label::PrimeLabel;
 pub use ordered::OrderedPrimeDoc;
 pub use sc::ScTable;

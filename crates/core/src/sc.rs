@@ -350,6 +350,11 @@ struct Journal {
     record_count: usize,
     /// `(index, pre-image)` of each pre-existing record touched.
     records: Vec<(usize, ScRecord)>,
+    /// Indices already captured in `records` — membership is checked once
+    /// per touched record, and a linear scan of `records` would make a
+    /// document-order shift (which touches every following record)
+    /// quadratic in the table size.
+    journaled: std::collections::HashSet<usize>,
     /// `(self-label, pre-image)` of each locator entry touched; `None`
     /// means the key was absent.
     locator: Vec<(u64, Option<usize>)>,
@@ -470,6 +475,7 @@ impl ScTable {
         self.journal.active = true;
         self.journal.record_count = self.records.len();
         self.journal.records.clear();
+        self.journal.journaled.clear();
         self.journal.locator.clear();
     }
 
@@ -480,7 +486,7 @@ impl ScTable {
     /// Captures the pre-image of record `idx` (first touch only; appended
     /// records are handled by truncation).
     fn journal_record(&mut self, idx: usize) {
-        if idx < self.journal.record_count && !self.journal.records.iter().any(|&(i, _)| i == idx) {
+        if idx < self.journal.record_count && self.journal.journaled.insert(idx) {
             self.journal.records.push((idx, self.records[idx].clone()));
         }
     }

@@ -31,24 +31,30 @@ pub mod shakespeare;
 pub use datasets::{Dataset, DATASETS};
 pub use shakespeare::{PlayParams, ShakespeareCorpus};
 
-/// Internal helper: an [`xp_xmltree::XmlTree`] under construction together
-/// with a running element count, so generators can hit a node-count target
-/// without repeatedly re-counting.
-pub(crate) struct CountingBuilder {
+/// An [`xp_xmltree::XmlTree`] under construction together with a running
+/// element count, so generators can hit a node-count target without
+/// repeatedly re-counting. Used by every Table-1 generator and by
+/// downstream synthetic corpora that scale the same idiom.
+pub struct CountingBuilder {
+    /// The tree being built.
     pub tree: xp_xmltree::XmlTree,
+    /// Elements appended so far (the root counts).
     pub elements: usize,
 }
 
 impl CountingBuilder {
+    /// A one-element tree holding just the root.
     pub fn new(root_tag: &str) -> Self {
         CountingBuilder { tree: xp_xmltree::XmlTree::new(root_tag), elements: 1 }
     }
 
+    /// Appends an element child and counts it.
     pub fn child(&mut self, parent: xp_xmltree::NodeId, tag: &str) -> xp_xmltree::NodeId {
         self.elements += 1;
         self.tree.append_element(parent, tag)
     }
 
+    /// Appends an element child carrying a text node.
     pub fn leaf_with_text(
         &mut self,
         parent: xp_xmltree::NodeId,

@@ -639,6 +639,16 @@ impl<S: DynamicScheme> LabeledStore<S> {
         &self.state
     }
 
+    /// Simultaneous mutable access to every part of the store, for
+    /// crate-internal maintenance paths (the shard layer's split / merge /
+    /// relabel operations and its batch applier) that must coordinate tree,
+    /// labels, and scheme state in one motion.
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (&S, &mut XmlTree, &mut LabeledDoc<S::Label>, &mut S::State) {
+        (&self.scheme, &mut self.tree, &mut self.doc, &mut self.state)
+    }
+
     /// The snapshot API: a deep, fully independent copy of the store —
     /// tree, labels, and scheme state. A fork cut at epoch *e* answers
     /// every query exactly as the original did at *e*, no matter what is

@@ -30,6 +30,7 @@ pub mod codec;
 pub mod doc;
 pub mod dynamic;
 pub mod scheme;
+pub mod shard;
 
 pub use bitstring::BitString;
 pub use codec::{CodecError, LabelCodec};
@@ -39,3 +40,8 @@ pub use dynamic::{
     LabeledStore, Mutation, RelabelReport,
 };
 pub use scheme::{assert_parent_contract, AncestorTester, LabelOps, OrderedLabel, Scheme};
+pub use shard::{
+    apply_batch_sharded, maintain_shards, merge_shard, relabel_shard, shard_capacity_check,
+    split_shard, take_dirty_shards, ChainLink, ShardCapacityError, ShardCell, ShardId, ShardPart,
+    ShardPolicy, ShardedLabel, ShardedScheme, ShardedState, SHARD_ID_CAPACITY,
+};

@@ -170,6 +170,40 @@ where
     par_map_indexed(chunks.len(), |i| f(chunks[i]))
 }
 
+/// Maps `f` over mutable references to `items`, in parallel when the
+/// ambient budget allows, returning results in input order. Each item is
+/// visited exactly once, so the closure gets genuinely exclusive `&mut`
+/// access — the enabling primitive for per-shard batch mutation, where
+/// every shard owns disjoint state but all shards live in one `Vec`.
+///
+/// Safety is purely library-level (this crate forbids `unsafe`): each
+/// `&mut T` is parked in its own `Mutex<Option<&mut T>>` cell and taken by
+/// the single worker that claims that index from the dispatch cursor.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    use std::sync::Mutex;
+    let cells: Vec<Mutex<Option<&mut T>>> =
+        items.iter_mut().map(|r| Mutex::new(Some(r))).collect();
+    par_map_indexed(cells.len(), |i| {
+        // A poisoned cell can only arise from another worker panicking on
+        // this very index, which the dispatch cursor rules out; recover the
+        // guard rather than propagate a bogus secondary panic.
+        let mut guard = match cells[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match guard.take() {
+            Some(item) => f(i, item),
+            // Unreachable: par_map_indexed claims each index exactly once.
+            None => unreachable!("par_map_mut cell {i} taken twice"),
+        }
+    })
+}
+
 /// Parallel ordered reduction: maps `f` over `items`, then folds the
 /// results left-to-right with `combine`, returning `None` on empty input.
 /// The fold order is exactly `combine(combine(f(x0), f(x1)), f(x2))…` —
@@ -218,6 +252,30 @@ mod tests {
             let got = with_threads(n, || par_chunks(&items, 10, <[u32]>::to_vec));
             assert_eq!(got, expected, "thread count {n}");
         }
+    }
+
+    #[test]
+    fn par_map_mut_gives_exclusive_access() {
+        let mut items: Vec<Vec<u32>> = (0..64).map(|i| vec![i]).collect();
+        for n in [1, 2, 8] {
+            let lens = with_threads(n, || {
+                par_map_mut(&mut items, |i, v| {
+                    v.push(i as u32);
+                    v.len()
+                })
+            });
+            assert_eq!(lens.len(), 64, "thread count {n}");
+        }
+        // Three passes ran (1, 2, 8 threads): every item grew by three.
+        assert!(items.iter().enumerate().all(|(i, v)| v.len() == 4 && v[0] == i as u32));
+    }
+
+    #[test]
+    fn par_map_mut_results_in_input_order() {
+        let mut items: Vec<usize> = (0..100).collect();
+        let got = with_threads(8, || par_map_mut(&mut items, |i, x| i * 1000 + *x));
+        let expected: Vec<usize> = (0..100).map(|i| i * 1000 + i).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -37,8 +37,10 @@ pub mod join;
 pub mod plan;
 pub mod queries;
 pub mod relstore;
+pub mod sharded;
 pub mod sql;
 
 pub use engine::{Path, QueryError, QueryLimits};
 pub use evaluators::{Evaluator, IntervalEvaluator, Prefix2Evaluator, PrimeEvaluator};
 pub use relstore::LabelTable;
+pub use sharded::ShardedTables;

@@ -105,6 +105,68 @@ impl<L: LabelOps> LabelTable<L> {
         table
     }
 
+    /// [`LabelTable::build`] restricted to the elements `keep` admits and
+    /// that carry a label — the per-shard partition constructor (see
+    /// [`crate::sharded`]). Unlabeled elements are skipped rather than an
+    /// error: a partition by definition sees only its own slice of the
+    /// document.
+    pub fn build_where(
+        tree: &XmlTree,
+        labels: &LabeledDoc<L>,
+        keep: impl Fn(NodeId) -> bool,
+    ) -> Self {
+        let mut table = LabelTable {
+            rows: Vec::new(),
+            tag_names: Vec::new(),
+            tag_ids: HashMap::new(),
+            by_tag: Vec::new(),
+            row_of_node: Vec::new(),
+            root: tree.root(),
+        };
+        for node in tree.elements() {
+            if !keep(node) || labels.get(node).is_none() {
+                continue;
+            }
+            let Some(tag) = tree.tag(node) else { continue };
+            table.push_row(tree, labels, node, tag);
+        }
+        table
+    }
+
+    /// One table over the union of several disjoint tables' rows (tags
+    /// re-interned) — how per-shard partitions compose into the table
+    /// cross-shard queries run against. Row order is concatenation order;
+    /// the engine orders results by the document-order oracle, never by row
+    /// position, so any order is correct.
+    pub fn concat<'a>(root: NodeId, parts: impl IntoIterator<Item = &'a Self>) -> Self
+    where
+        L: 'a,
+    {
+        let mut out = LabelTable {
+            rows: Vec::new(),
+            tag_names: Vec::new(),
+            tag_ids: HashMap::new(),
+            by_tag: Vec::new(),
+            row_of_node: Vec::new(),
+            root,
+        };
+        for part in parts {
+            for row in &part.rows {
+                let tag_id = out.intern(&part.tag_names[row.tag as usize]);
+                let idx = out.rows.len();
+                out.rows.push(Row { tag: tag_id, ..row.clone() });
+                out.by_tag[tag_id as usize].push(idx);
+                out.set_row_index(row.node, idx);
+            }
+        }
+        out
+    }
+
+    /// Whether the table holds a row for `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.row_index(node).is_some()
+    }
+
     /// Appends a row for `node` and wires it into the tag index and the
     /// node → row map.
     fn push_row(&mut self, tree: &XmlTree, labels: &LabeledDoc<L>, node: NodeId, tag: &str) {

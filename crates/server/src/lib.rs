@@ -23,6 +23,8 @@
 //!   [`snapshot::Publisher`].
 //! * [`epoch`] — the single-writer apply loop and its group-commit
 //!   policy.
+//! * [`shardloop`] — the sharded sibling of the epoch loop: one batch
+//!   fans across shards in parallel, one snapshot publishes per epoch.
 //! * [`server`] — listeners, connection handlers, shutdown.
 //! * [`client`] — a blocking client used by the CLI, tests, and bench.
 
@@ -33,10 +35,12 @@ pub mod client;
 pub mod epoch;
 pub mod protocol;
 pub mod server;
+pub mod shardloop;
 pub mod snapshot;
 
 pub use client::{Client, ClientError};
 pub use epoch::{BatchPolicy, EpochLoop};
+pub use shardloop::{ShardedApplyJob, ShardedEpochLoop, ShardedEpochSnapshot, ShardedOutcome};
 pub use protocol::{Request, Response, ServerStats, WireMutation, WirePos};
 pub use server::{serve, Handle, ListenConfig};
 pub use snapshot::{EpochSnapshot, Publisher};

@@ -1,0 +1,501 @@
+//! The sharded epoch loop: one batch fans across shards, one snapshot
+//! publishes per epoch.
+//!
+//! This is the sharded sibling of [`crate::epoch::EpochLoop`], built over
+//! [`xp_store::ShardedDocStore`] (one document whose unit of scale is the
+//! §3.2 decomposition subtree). The single-writer discipline is identical
+//! — one thread owns the store; readers only ever see immutable published
+//! snapshots — but the work inside an epoch is shard-grained:
+//!
+//! 1. **Gather** jobs up to [`crate::epoch::BatchPolicy::max_mutations`].
+//! 2. **Commit** the whole batch through
+//!    [`xp_store::ShardedDocStore::apply_batch`]: one WAL `fdatasync`,
+//!    then the applies fan out across the touched shards in parallel
+//!    (`xp-par`), then the split/merge maintenance pass runs.
+//! 3. **Refresh** the per-shard [`ShardedTables`] partitions of exactly
+//!    the shards the batch dirtied — `O(touched shards)`, never the
+//!    document — and prune partitions of shards that merged away.
+//! 4. **Publish** a single [`ShardedEpochSnapshot`] covering all shards:
+//!    the composed label table (a row concat of the partitions — the
+//!    [`xp_labelkit::ShardedLabel`]s answer every axis across shard
+//!    boundaries by themselves) plus the document-order rank map. Label
+//!    and table *maintenance* stay `O(touched shards)`; the publish step
+//!    pays an `O(n)` row concat, which involves no label arithmetic.
+//! 5. **Reply** to each job with its per-mutation outcomes and the epoch.
+//!
+//! Durability before visibility, as in the flat loop: the WAL fsync in
+//! step 2 precedes the publish in step 4.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
+
+use xp_labelkit::{Mutation, ShardId, ShardedLabel};
+use xp_prime::PrimeLabel;
+use xp_query::engine::{eval_path, OrderOracle, Path, QueryError};
+use xp_query::relstore::LabelTable;
+use xp_query::ShardedTables;
+use xp_store::{ShardedDocStore, StoreError};
+use xp_xmltree::NodeId;
+
+use crate::epoch::BatchPolicy;
+
+/// An immutable, epoch-stamped view of the whole sharded document: one
+/// snapshot per epoch, no matter how many shards the batch touched.
+#[derive(Debug)]
+pub struct ShardedEpochSnapshot {
+    epoch: u64,
+    seq: u64,
+    shards: Vec<ShardId>,
+    table: LabelTable<ShardedLabel<PrimeLabel>>,
+    ranks: HashMap<NodeId, u64>,
+}
+
+struct RankOracle<'a>(&'a HashMap<NodeId, u64>);
+
+impl OrderOracle for RankOracle<'_> {
+    fn rank(&self, node: NodeId) -> u64 {
+        self.0.get(&node).copied().unwrap_or(u64::MAX)
+    }
+}
+
+impl ShardedEpochSnapshot {
+    /// Label epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Mutations folded in (the document's WAL sequence).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Live shards at this epoch, ascending.
+    pub fn shards(&self) -> &[ShardId] {
+        &self.shards
+    }
+
+    /// Attached element count at this epoch.
+    pub fn elements(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    /// The composed cross-shard label table queries join over.
+    pub fn table(&self) -> &LabelTable<ShardedLabel<PrimeLabel>> {
+        &self.table
+    }
+
+    /// Evaluates a parsed path against this snapshot — all nine axes,
+    /// across shard boundaries.
+    pub fn query(&self, path: &Path) -> Result<Vec<NodeId>, QueryError> {
+        eval_path(&self.table, &RankOracle(&self.ranks), path)
+    }
+
+    /// Document-order rank of a node at this epoch.
+    pub fn rank(&self, node: NodeId) -> u64 {
+        self.ranks.get(&node).copied().unwrap_or(u64::MAX)
+    }
+}
+
+/// Outcome of one [`ShardedApplyJob`].
+#[derive(Debug, Clone)]
+pub enum ShardedOutcome {
+    /// The batch committed; per-mutation results in submission order
+    /// (`Ok(labels touched)` or the scheme's error message).
+    Applied {
+        /// Epoch whose snapshot reflects this job.
+        epoch: u64,
+        /// Document sequence after the job's mutations.
+        seq: u64,
+        /// One entry per submitted mutation.
+        results: Vec<Result<u64, String>>,
+    },
+    /// The job was rejected whole (WAL-level failure) before consuming
+    /// any sequence numbers.
+    Rejected {
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// A typed mutation batch awaiting the sharded writer.
+pub struct ShardedApplyJob {
+    /// Mutations against the live tree, in order.
+    pub mutations: Vec<Mutation>,
+    /// Where the outcome goes; a dropped receiver discards the reply.
+    pub reply: mpsc::SyncSender<ShardedOutcome>,
+}
+
+enum Job {
+    Apply(ShardedApplyJob),
+    Checkpoint,
+    Stop,
+}
+
+/// The reader-facing side: the latest published snapshot, swapped
+/// atomically at each epoch boundary.
+pub type PublishedShardedDoc = Arc<RwLock<Arc<ShardedEpochSnapshot>>>;
+
+/// Handle to a running sharded epoch loop.
+pub struct ShardedEpochLoop {
+    jobs: mpsc::Sender<Job>,
+    published: PublishedShardedDoc,
+    writer: Option<std::thread::JoinHandle<ShardedDocStore>>,
+}
+
+impl ShardedEpochLoop {
+    /// Takes ownership of `store` and starts the writer thread, publishing
+    /// the store's current state as the initial snapshot.
+    pub fn start(store: ShardedDocStore, policy: BatchPolicy) -> ShardedEpochLoop {
+        let tables = ShardedTables::build(store.labeled());
+        let initial = publish_state(&store, &tables, store.epoch(), store.seq());
+        let published: PublishedShardedDoc = Arc::new(RwLock::new(Arc::new(initial)));
+        let (tx, rx) = mpsc::channel::<Job>();
+        let writer_published = Arc::clone(&published);
+        let writer = std::thread::Builder::new()
+            .name("xp-shard-writer".into())
+            .spawn(move || writer_loop(store, tables, policy, rx, writer_published))
+            .unwrap_or_else(|e| panic!("spawning the sharded writer failed: {e}"));
+        ShardedEpochLoop { jobs: tx, published, writer: Some(writer) }
+    }
+
+    /// The latest published snapshot. Readers clone the `Arc` and keep a
+    /// consistent view for as long as they hold it.
+    pub fn snapshot(&self) -> Arc<ShardedEpochSnapshot> {
+        match self.published.read() {
+            Ok(s) => Arc::clone(&s),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Enqueues a job. Fails only if the writer has already stopped.
+    pub fn submit(&self, job: ShardedApplyJob) -> Result<(), ShardedApplyJob> {
+        self.jobs.send(Job::Apply(job)).map_err(|e| match e.0 {
+            Job::Apply(j) => j,
+            _ => unreachable!("we only send Apply here"),
+        })
+    }
+
+    /// Asks the writer to checkpoint (rewriting only dirty shards' files)
+    /// after the currently queued jobs drain.
+    pub fn request_checkpoint(&self) {
+        let _ = self.jobs.send(Job::Checkpoint);
+    }
+
+    /// Stops the writer after it drains queued jobs, returning the store.
+    pub fn shutdown(mut self) -> Option<ShardedDocStore> {
+        let _ = self.jobs.send(Job::Stop);
+        self.writer.take().and_then(|w| w.join().ok())
+    }
+}
+
+/// Builds the epoch's snapshot from the store's current state: composed
+/// table plus the document-order rank map (derived from the sharded
+/// scheme's own cross-shard order, i.e. per-shard SC composed through the
+/// boundary chains).
+fn publish_state(
+    store: &ShardedDocStore,
+    tables: &ShardedTables<PrimeLabel>,
+    epoch: u64,
+    seq: u64,
+) -> ShardedEpochSnapshot {
+    let ranks: HashMap<NodeId, u64> = store
+        .labeled()
+        .ordered_nodes()
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| (n, i as u64))
+        .collect();
+    ShardedEpochSnapshot {
+        epoch,
+        seq,
+        shards: store.live_shards(),
+        table: tables.compose(),
+        ranks,
+    }
+}
+
+fn writer_loop(
+    mut store: ShardedDocStore,
+    mut tables: ShardedTables<PrimeLabel>,
+    policy: BatchPolicy,
+    jobs: mpsc::Receiver<Job>,
+    published: PublishedShardedDoc,
+) -> ShardedDocStore {
+    let mut epoch = store.epoch();
+    loop {
+        let first = match jobs.recv() {
+            Ok(Job::Apply(j)) => j,
+            Ok(Job::Checkpoint) => {
+                let _ = store.checkpoint();
+                continue;
+            }
+            Ok(Job::Stop) | Err(_) => break,
+        };
+        let mut batch = vec![first];
+        let mut queued = batch[0].mutations.len();
+        let mut stop_after = false;
+        while queued < policy.max_mutations {
+            match jobs.try_recv() {
+                Ok(Job::Apply(j)) => {
+                    queued += j.mutations.len();
+                    batch.push(j);
+                }
+                Ok(Job::Checkpoint) => {
+                    let _ = store.checkpoint();
+                }
+                Ok(Job::Stop) => {
+                    stop_after = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        epoch += 1;
+        run_batch(&mut store, &mut tables, batch, epoch, &published);
+        if let Some(limit) = policy.checkpoint_after {
+            if store.seq().saturating_sub(store.durable_seq()) >= limit {
+                let _ = store.checkpoint();
+            }
+        }
+        if stop_after {
+            break;
+        }
+    }
+    store
+}
+
+/// Commits one gathered batch, refreshes the dirtied partitions, publishes
+/// the epoch's snapshot, and replies to every job.
+fn run_batch(
+    store: &mut ShardedDocStore,
+    tables: &mut ShardedTables<PrimeLabel>,
+    batch: Vec<ShardedApplyJob>,
+    epoch: u64,
+    published: &PublishedShardedDoc,
+) {
+    let flat: Vec<Mutation> = batch.iter().flat_map(|j| j.mutations.iter().cloned()).collect();
+    if flat.is_empty() {
+        let (e, seq) = {
+            let snap = match published.read() {
+                Ok(s) => Arc::clone(&s),
+                Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+            };
+            (snap.epoch(), snap.seq())
+        };
+        for job in batch {
+            let _ = job
+                .reply
+                .try_send(ShardedOutcome::Applied { epoch: e, seq, results: Vec::new() });
+        }
+        return;
+    }
+
+    let outcome = match store.apply_batch(&flat) {
+        Ok(o) => o,
+        Err(e) => {
+            let msg = match &e {
+                StoreError::Io { .. } => format!("commit failed: {e}"),
+                _ => format!("apply failed: {e}"),
+            };
+            for job in batch {
+                let _ = job.reply.try_send(ShardedOutcome::Rejected { msg: clone_msg(&msg) });
+            }
+            return;
+        }
+    };
+
+    // O(touched shards): refresh exactly the dirtied partitions, then
+    // prune partitions whose shard merged away.
+    for &sid in &outcome.dirty {
+        tables.rebuild_partition(store.labeled(), sid);
+    }
+    let dead: Vec<ShardId> = tables
+        .partitions()
+        .map(|(sid, _)| sid)
+        .filter(|&sid| store.labeled().state().cell(sid).is_none())
+        .collect();
+    for sid in dead {
+        tables.rebuild_partition(store.labeled(), sid);
+    }
+
+    // Durability already holds (the WAL fsync happened inside
+    // apply_batch); now publish the single epoch snapshot.
+    let snap = Arc::new(publish_state(store, tables, epoch, store.seq()));
+    match published.write() {
+        Ok(mut slot) => *slot = Arc::clone(&snap),
+        Err(poisoned) => *poisoned.into_inner() = Arc::clone(&snap),
+    }
+
+    // Slice per-mutation results back out to their jobs.
+    let mut cursor = 0usize;
+    let mut seq_cursor = store.seq() - flat.len() as u64;
+    for job in batch {
+        let n = job.mutations.len();
+        let slice = &outcome.results[cursor..cursor + n];
+        cursor += n;
+        seq_cursor += n as u64;
+        let results: Vec<Result<u64, String>> = slice
+            .iter()
+            .map(|r| match r {
+                Ok(report) => Ok(report.labels_touched() as u64),
+                Err(e) => Err(e.to_string()),
+            })
+            .collect();
+        let _ = job.reply.try_send(ShardedOutcome::Applied {
+            epoch,
+            seq: seq_cursor,
+            results,
+        });
+    }
+}
+
+fn clone_msg(msg: &str) -> String {
+    msg.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xp_labelkit::{InsertPos, LabeledStore, ShardPolicy};
+    use xp_prime::DynamicPrime;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("xp-shardloop-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_tree() -> xp_xmltree::XmlTree {
+        xp_xmltree::parse(
+            "<lib><shelf><book><title>a</title><title>b</title></book><book/></shelf>\
+             <shelf><case><book/><book/></case></shelf><attic><box/></attic></lib>",
+        )
+        .unwrap()
+    }
+
+    fn start(name: &str) -> (ShardedEpochLoop, PathBuf) {
+        let dir = tmpdir(name);
+        let store =
+            ShardedDocStore::create(&dir, "doc", sample_tree(), 8, ShardPolicy::at_depth(2))
+                .unwrap();
+        (ShardedEpochLoop::start(store, BatchPolicy::default()), dir)
+    }
+
+    fn apply(
+        lp: &ShardedEpochLoop,
+        mutations: Vec<Mutation>,
+    ) -> (u64, u64, Vec<Result<u64, String>>) {
+        let (tx, rx) = mpsc::sync_channel(1);
+        lp.submit(ShardedApplyJob { mutations, reply: tx }).ok().unwrap();
+        match rx.recv().unwrap() {
+            ShardedOutcome::Applied { epoch, seq, results } => (epoch, seq, results),
+            ShardedOutcome::Rejected { msg } => panic!("rejected: {msg}"),
+        }
+    }
+
+    #[test]
+    fn one_batch_fans_across_shards_into_one_snapshot() {
+        let (lp, dir) = start("fan");
+        let snap0 = lp.snapshot();
+        assert!(snap0.shards().len() > 2);
+        assert_eq!(snap0.table().len() as u64, snap0.elements());
+
+        // Three mutations in three different shards, one job. Anchors are
+        // resolved against the published snapshot — the writer's tree is
+        // identical (single writer, no batch in flight yet).
+        let title = snap0.query(&Path::parse("//title").unwrap()).unwrap()[0];
+        let case = snap0.query(&Path::parse("//case").unwrap()).unwrap()[0];
+        let bx = snap0.query(&Path::parse("//box").unwrap()).unwrap()[0];
+        let muts = vec![
+            Mutation::InsertBefore { anchor: title, tag: "neu".into() },
+            Mutation::InsertSubtree {
+                pos: InsertPos::LastChildOf(case),
+                xml: "<disc><trk/></disc>".into(),
+            },
+            Mutation::InsertBefore { anchor: bx, tag: "crate".into() },
+        ];
+        let (epoch, seq, results) = apply(&lp, muts.clone());
+        assert_eq!(epoch, snap0.epoch() + 1, "one batch publishes exactly one epoch");
+        assert_eq!(seq, 3);
+        assert!(results.iter().all(Result::is_ok));
+
+        // The published snapshot answers cross-shard queries identically
+        // to an unsharded oracle over the same mutations.
+        let snap = lp.snapshot();
+        assert_eq!(snap.epoch(), epoch);
+        let mut oracle = LabeledStore::build(DynamicPrime::new(8), sample_tree()).unwrap();
+        for m in &muts {
+            oracle.apply(m).unwrap();
+        }
+        let otable = LabelTable::build(oracle.tree(), oracle.doc());
+        struct O<'a>(&'a LabeledStore<DynamicPrime>);
+        impl OrderOracle for O<'_> {
+            fn rank(&self, n: NodeId) -> u64 {
+                self.0.state().order_of(n)
+            }
+        }
+        for q in ["//book", "//title", "/lib/shelf", "//book/following-sibling::*", "//neu"] {
+            let path = Path::parse(q).unwrap();
+            let got = snap.query(&path).unwrap();
+            let want = eval_path(&otable, &O(&oracle), &path).unwrap();
+            assert_eq!(got, want, "query {q}");
+        }
+
+        // Old snapshot still answers the pre-batch state.
+        assert_eq!(snap0.elements() + 4, snap.elements());
+        let store = lp.shutdown().unwrap();
+        assert_eq!(store.seq(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_request_folds_the_wal_and_survives_restart() {
+        let (lp, dir) = start("ckpt");
+        let title = lp.snapshot().query(&Path::parse("//title").unwrap()).unwrap()[0];
+        let (_, seq, _) =
+            apply(&lp, vec![Mutation::InsertBefore { anchor: title, tag: "neu".into() }]);
+        lp.request_checkpoint();
+        let store = lp.shutdown().unwrap();
+        assert_eq!(store.durable_seq(), seq, "checkpoint folded the batch");
+        let elements = store.labeled().doc().nodes().len();
+        drop(store);
+
+        let back = ShardedDocStore::open(&dir).unwrap();
+        assert_eq!(back.durable_seq(), seq);
+        assert_eq!(back.labeled().doc().nodes().len(), elements);
+        // Restarting the loop over the recovered store publishes a
+        // snapshot that sees the mutation.
+        let lp2 = ShardedEpochLoop::start(back, BatchPolicy::default());
+        assert_eq!(lp2.snapshot().query(&Path::parse("//neu").unwrap()).unwrap().len(), 1);
+        drop(lp2.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_mutations_report_per_mutation_not_per_batch() {
+        let (lp, dir) = start("mixed");
+        let snap = lp.snapshot();
+        let title = snap.query(&Path::parse("//title").unwrap()).unwrap()[0];
+        let root_target = snap.query(&Path::parse("/lib").unwrap()).unwrap()[0];
+        let (_, _, results) = apply(
+            &lp,
+            vec![
+                Mutation::InsertBefore { anchor: title, tag: "ok".into() },
+                Mutation::Delete { target: root_target }, // root delete must fail
+                Mutation::InsertBefore { anchor: title, tag: "ok2".into() },
+            ],
+        );
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        let after = lp.snapshot();
+        assert_eq!(after.query(&Path::parse("//ok").unwrap()).unwrap().len(), 1);
+        assert_eq!(after.query(&Path::parse("//ok2").unwrap()).unwrap().len(), 1);
+        drop(lp.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

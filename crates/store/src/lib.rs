@@ -46,6 +46,7 @@ pub mod error;
 pub mod frame;
 pub mod manifest;
 pub mod segment;
+pub mod shard;
 pub mod verify;
 pub mod wal;
 
@@ -53,6 +54,7 @@ pub use error::StoreError;
 pub use frame::MAX_FRAME_PAYLOAD;
 pub use manifest::{Manifest, ManifestEntry, MANIFEST_FILE, MANIFEST_TMP};
 pub use segment::{segment_file, Segment};
+pub use shard::{ShardedBatch, ShardedDocStore};
 pub use wal::{WalScan, WAL_FILE};
 
 use std::collections::BTreeMap;

@@ -89,6 +89,91 @@ fn read_str(input: &mut &[u8]) -> Result<String, CodecError> {
         .map_err(|_| CodecError::Corrupt("segment string is not UTF-8"))
 }
 
+/// Appends the columnar tree section (slot payloads, then the five link
+/// columns) — the exact-arena encoding both whole-document segments and
+/// the sharded store's skeleton / shadow records share.
+pub(crate) fn encode_tree(out: &mut Vec<u8>, tree: &XmlTree) {
+    let snap = tree.snapshot();
+    write_varint(out, snap.slots.len() as u64);
+    write_varint(out, u64::from(snap.root));
+    for slot in &snap.slots {
+        match &slot.kind {
+            NodeKind::Element { tag, attrs } => {
+                write_varint(out, KIND_ELEMENT);
+                write_bytes(out, tag.as_bytes());
+                write_varint(out, attrs.len() as u64);
+                for (k, v) in attrs {
+                    write_bytes(out, k.as_bytes());
+                    write_bytes(out, v.as_bytes());
+                }
+            }
+            NodeKind::Text(text) => {
+                write_varint(out, KIND_TEXT);
+                write_bytes(out, text.as_bytes());
+            }
+        }
+    }
+    for column in [
+        |s: &SlotSnapshot| s.parent,
+        |s: &SlotSnapshot| s.first_child,
+        |s: &SlotSnapshot| s.last_child,
+        |s: &SlotSnapshot| s.prev_sibling,
+        |s: &SlotSnapshot| s.next_sibling,
+    ] {
+        for slot in &snap.slots {
+            write_opt(out, column(slot));
+        }
+    }
+}
+
+/// Parses a tree section back into an arena-identical [`XmlTree`].
+pub(crate) fn decode_tree(input: &mut &[u8], path: &Path) -> Result<XmlTree, StoreError> {
+    let corrupt = |what: &str| StoreError::Corrupt { path: path.to_path_buf(), what: what.into() };
+    let nslots = usize::try_from(read_varint(input)?)
+        .map_err(|_| corrupt("slot count overflows"))?;
+    let root = u32::try_from(read_varint(input)?)
+        .map_err(|_| corrupt("root index overflows u32"))?;
+    let mut slots = Vec::with_capacity(nslots.min(1 << 20));
+    for _ in 0..nslots {
+        let kind = match read_varint(input)? {
+            KIND_ELEMENT => {
+                let tag = read_str(input)?;
+                let nattrs = read_varint(input)?;
+                let mut attrs = Vec::new();
+                for _ in 0..nattrs {
+                    let k = read_str(input)?;
+                    let v = read_str(input)?;
+                    attrs.push((k, v));
+                }
+                NodeKind::Element { tag, attrs }
+            }
+            KIND_TEXT => NodeKind::Text(read_str(input)?),
+            _ => return Err(corrupt("unknown node kind tag")),
+        };
+        slots.push(SlotSnapshot {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+        });
+    }
+    for column in 0..5usize {
+        for slot in slots.iter_mut() {
+            let link = read_opt(input)?;
+            match column {
+                0 => slot.parent = link,
+                1 => slot.first_child = link,
+                2 => slot.last_child = link,
+                3 => slot.prev_sibling = link,
+                _ => slot.next_sibling = link,
+            }
+        }
+    }
+    Ok(XmlTree::from_snapshot(&TreeSnapshot { root, slots })?)
+}
+
 /// Serializes the columnar payload (no frame, no I/O).
 #[allow(clippy::too_many_arguments)]
 pub fn encode_segment(
@@ -108,39 +193,7 @@ pub fn encode_segment(
     for v in [doc_id, epoch, seq, chunk_capacity, primes_handed_out] {
         write_varint(&mut out, v);
     }
-
-    // Tree section: slot payloads, then the five link columns.
-    let snap = tree.snapshot();
-    write_varint(&mut out, snap.slots.len() as u64);
-    write_varint(&mut out, u64::from(snap.root));
-    for slot in &snap.slots {
-        match &slot.kind {
-            NodeKind::Element { tag, attrs } => {
-                write_varint(&mut out, KIND_ELEMENT);
-                write_bytes(&mut out, tag.as_bytes());
-                write_varint(&mut out, attrs.len() as u64);
-                for (k, v) in attrs {
-                    write_bytes(&mut out, k.as_bytes());
-                    write_bytes(&mut out, v.as_bytes());
-                }
-            }
-            NodeKind::Text(text) => {
-                write_varint(&mut out, KIND_TEXT);
-                write_bytes(&mut out, text.as_bytes());
-            }
-        }
-    }
-    for column in [
-        |s: &SlotSnapshot| s.parent,
-        |s: &SlotSnapshot| s.first_child,
-        |s: &SlotSnapshot| s.last_child,
-        |s: &SlotSnapshot| s.prev_sibling,
-        |s: &SlotSnapshot| s.next_sibling,
-    ] {
-        for slot in &snap.slots {
-            write_opt(&mut out, column(slot));
-        }
-    }
+    encode_tree(&mut out, tree);
 
     // Label section. Tag dictionary first.
     let mut tag_ids = std::collections::HashMap::new();
@@ -200,51 +253,7 @@ pub fn decode_segment(payload: &[u8], path: &Path) -> Result<Segment, StoreError
     let seq = read_varint(&mut input)?;
     let chunk_capacity = read_varint(&mut input)?;
     let primes_handed_out = read_varint(&mut input)?;
-
-    // Tree section.
-    let nslots = usize::try_from(read_varint(&mut input)?)
-        .map_err(|_| corrupt("slot count overflows"))?;
-    let root = u32::try_from(read_varint(&mut input)?)
-        .map_err(|_| corrupt("root index overflows u32"))?;
-    let mut slots = Vec::with_capacity(nslots.min(1 << 20));
-    for _ in 0..nslots {
-        let kind = match read_varint(&mut input)? {
-            KIND_ELEMENT => {
-                let tag = read_str(&mut input)?;
-                let nattrs = read_varint(&mut input)?;
-                let mut attrs = Vec::new();
-                for _ in 0..nattrs {
-                    let k = read_str(&mut input)?;
-                    let v = read_str(&mut input)?;
-                    attrs.push((k, v));
-                }
-                NodeKind::Element { tag, attrs }
-            }
-            KIND_TEXT => NodeKind::Text(read_str(&mut input)?),
-            _ => return Err(corrupt("unknown node kind tag")),
-        };
-        slots.push(SlotSnapshot {
-            kind,
-            parent: None,
-            first_child: None,
-            last_child: None,
-            prev_sibling: None,
-            next_sibling: None,
-        });
-    }
-    for column in 0..5usize {
-        for slot in slots.iter_mut() {
-            let link = read_opt(&mut input)?;
-            match column {
-                0 => slot.parent = link,
-                1 => slot.first_child = link,
-                2 => slot.last_child = link,
-                3 => slot.prev_sibling = link,
-                _ => slot.next_sibling = link,
-            }
-        }
-    }
-    let tree = XmlTree::from_snapshot(&TreeSnapshot { root, slots })?;
+    let tree = decode_tree(&mut input, path)?;
 
     // Label section.
     let ntags = read_varint(&mut input)?;
@@ -336,7 +345,19 @@ pub fn write_segment(
     epoch: u64,
     payload: &[u8],
 ) -> Result<PathBuf, StoreError> {
-    let path = dir.join(segment_file(doc_id, epoch));
+    write_framed_file(dir, &segment_file(doc_id, epoch), payload)
+}
+
+/// Frames and durably writes any checkpoint-class payload to `dir/name`
+/// (file fsync + directory fsync), passing through the
+/// `store.checkpoint.write` fault site. Shared by whole-document segments
+/// and the sharded store's skeleton / per-shard files.
+pub(crate) fn write_framed_file(
+    dir: &Path,
+    name: &str,
+    payload: &[u8],
+) -> Result<PathBuf, StoreError> {
+    let path = dir.join(name);
     crate::error::ensure_frameable(payload.len())?;
     let frame = encode_frame(payload);
     if let Err(inj) = xp_testkit::faultpoint!("store.checkpoint.write") {
@@ -358,6 +379,16 @@ pub fn write_segment(
     drop(f);
     crate::manifest::sync_dir(dir)?;
     Ok(path)
+}
+
+/// Reads and checksum-verifies any framed checkpoint-class file, returning
+/// its raw payload.
+pub(crate) fn read_framed_file(dir: &Path, name: &str) -> Result<Vec<u8>, StoreError> {
+    let path = dir.join(name);
+    let bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+    let payload = decode_single_frame(&bytes)
+        .map_err(|what| StoreError::Corrupt { path, what: what.into() })?;
+    Ok(payload.to_vec())
 }
 
 /// Reads, checksum-verifies, and decodes `seg-{doc_id}-e{epoch}.dat`.

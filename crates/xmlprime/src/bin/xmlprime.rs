@@ -37,11 +37,13 @@ USAGE:
                     [--sql]      print the paper's SQL translation instead
     xmlprime order  <file.xml> [--chunk N]
     xmlprime update <file.xml> <node#> [--scheme S] [--chunk N] [--gap G]
+                    [--shards auto|D]
                     --tag T [--before | --child | --parent]
                     --xml '<frag/>' [--before | --child]
     xmlprime delete <file.xml> <node#> [--scheme S] [--chunk N] [--gap G]
+                    [--shards auto|D]
     xmlprime move   <file.xml> <node#> (before|child-of) <node#>
-                    [--scheme S] [--chunk N] [--gap G]
+                    [--scheme S] [--chunk N] [--gap G] [--shards auto|D]
     xmlprime save   <file.xml> --store <dir> [--uri U] [--chunk N]
     xmlprime load   --store <dir> [--uri U]
     xmlprime fsck   --store <dir>
@@ -69,6 +71,12 @@ MUTATIONS:
     labels the interval scheme with spare room between ranks (default dense).
     The exit report shows inserted/relabeled/removed label counts plus SC
     side updates — the scheme's true update cost.
+
+    `--shards auto|D` (prime only) routes the mutation through the §3.2
+    shard facade: the document is cut into decomposition subtrees every D
+    levels (auto picks D from the document size; small documents stay
+    unsharded) and only the touched shard's labels move. The report adds a
+    line showing live shard count and how many shards the mutation dirtied.
 
 PERSISTENCE:
     save    label a document with the prime scheme and add it to a
@@ -497,6 +505,22 @@ struct MutationOpts {
     scheme: String,
     chunk: usize,
     gap: Option<u64>,
+    shards: Option<ShardsFlag>,
+}
+
+/// Value of `--shards`: an explicit cut depth or size-based auto-pick.
+enum ShardsFlag {
+    Auto,
+    CutDepth(usize),
+}
+
+impl ShardsFlag {
+    fn policy(&self, node_count: usize) -> ShardPolicy {
+        match self {
+            ShardsFlag::Auto => ShardPolicy::auto(node_count),
+            ShardsFlag::CutDepth(d) => ShardPolicy::at_depth(*d),
+        }
+    }
 }
 
 fn mutation_opts(args: &[String]) -> Result<MutationOpts, CliError> {
@@ -509,7 +533,18 @@ fn mutation_opts(args: &[String]) -> Result<MutationOpts, CliError> {
         Some(v) => Some(v.parse().map_err(|_| usage(format!("bad --gap {v:?}")))?),
         None => None,
     };
-    Ok(MutationOpts { scheme, chunk, gap })
+    let shards = match flag_value(args, "--shards") {
+        Some("auto") => Some(ShardsFlag::Auto),
+        Some(v) => match v.parse::<usize>() {
+            Ok(d) if d >= 1 => Some(ShardsFlag::CutDepth(d)),
+            _ => return Err(usage(format!("bad --shards {v:?} (want 'auto' or a depth >= 1)"))),
+        },
+        None => None,
+    };
+    if shards.is_some() && scheme != "prime" {
+        return Err(usage("--shards only applies to the prime scheme"));
+    }
+    Ok(MutationOpts { scheme, chunk, gap, shards })
 }
 
 /// Builds a store for one dynamic scheme, applies the mutation, and
@@ -525,11 +560,48 @@ fn apply_mutation<S: DynamicScheme>(
     Ok((report, labels))
 }
 
+/// The `--shards` path: the same mutation, routed through the shard
+/// facade so only the touched shard's labels move; reports which shards
+/// the mutation (plus any split/merge maintenance) dirtied.
+fn apply_mutation_sharded(
+    opts: &MutationOpts,
+    flag: &ShardsFlag,
+    tree: XmlTree,
+    mutation: &Mutation,
+) -> Result<(), CliError> {
+    let policy = flag.policy(tree.len());
+    let scheme = ShardedScheme::new(DynamicPrime::new(opts.chunk), policy);
+    let mut store = LabeledStore::build(scheme, tree).map_err(classify_dynamic)?;
+    let report = store.apply(mutation).map_err(classify_dynamic)?;
+    let labels = store.doc().len();
+    let dirty = take_dirty_shards(&mut store);
+    print_report(&report, labels);
+    println!(
+        "shards:       {} live (cut depth {}), {} dirtied by this mutation",
+        store.state().live_count(),
+        policy.cut_depth,
+        dirty.len(),
+    );
+    Ok(())
+}
+
+fn print_report(report: &RelabelReport, labels: usize) {
+    println!("inserted:     {}", report.inserted.len());
+    println!("relabeled:    {}", report.relabeled.len());
+    println!("removed:      {}", report.removed.len());
+    println!("side updates: {} (SC records)", report.side_updates);
+    println!("total cost:   {}", report.total_cost());
+    println!("labels now:   {labels}");
+}
+
 fn dispatch_mutation(
     opts: &MutationOpts,
     tree: XmlTree,
     mutation: &Mutation,
 ) -> Result<(), CliError> {
+    if let Some(flag) = &opts.shards {
+        return apply_mutation_sharded(opts, flag, tree, mutation);
+    }
     let (report, labels) = match opts.scheme.as_str() {
         "prime" => apply_mutation(DynamicPrime::new(opts.chunk), tree, mutation)?,
         "interval" => match opts.gap {
@@ -547,12 +619,7 @@ fn dispatch_mutation(
             )))
         }
     };
-    println!("inserted:     {}", report.inserted.len());
-    println!("relabeled:    {}", report.relabeled.len());
-    println!("removed:      {}", report.removed.len());
-    println!("side updates: {} (SC records)", report.side_updates);
-    println!("total cost:   {}", report.total_cost());
-    println!("labels now:   {labels}");
+    print_report(&report, labels);
     Ok(())
 }
 

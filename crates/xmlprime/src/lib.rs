@@ -63,8 +63,9 @@ pub mod prelude {
     };
     pub use xp_bignum::UBig;
     pub use xp_labelkit::{
-        DynamicError, DynamicScheme, InsertPos, LabelOps, LabeledDoc, LabeledStore, Mutation,
-        OrderedLabel, RelabelReport, Scheme,
+        take_dirty_shards, DynamicError, DynamicScheme, InsertPos, LabelOps, LabeledDoc,
+        LabeledStore, Mutation, OrderedLabel, RelabelReport, Scheme, ShardId, ShardPolicy,
+        ShardedLabel, ShardedScheme,
     };
     pub use xp_prime::{
         DynamicPrime, OrderedPrimeDoc, PrimeLabel, PrimeOptions, ScTable, TopDownPrime,

@@ -71,6 +71,31 @@ for site in sc.insert sc.insert.record sc.relabel sc.remove \
     echo "OK: pipeline survives injected fault at $site"
 done
 
+echo "==> shard-differential gate (shard facade vs unsharded oracle + fault matrix)"
+# Propcheck differential: random documents and mutation scripts through the
+# ShardedScheme facade must answer all nine axes exactly like the unsharded
+# scheme, per-op and batched, at every thread count; then the same pipeline
+# with each core fault site armed must fail typed, never torn. See
+# crates/query/tests/shard_differential.rs and DESIGN.md §13.
+cargo test -q --offline -p xp-query --test shard_differential > /dev/null
+for site in sc.insert sc.insert.record sc.relabel sc.remove bignum.mul; do
+    XP_FAULT="$site:1" \
+        cargo test -q --offline -p xp-query --test shard_differential shard_env_matrix \
+        > /dev/null
+done
+echo "OK: sharded documents agree with the unsharded oracle on every axis."
+
+echo "==> sharding bench smoke (O(shard) front insert + output identity)"
+# Wall-clock-independent gate for the shard facade: a front insert's total
+# cost (labels + SC records) must sit well under the unsharded baseline
+# (O(shard), not O(document)), and a batch fanned across every shard must
+# leave tree, order, outcomes, and labels byte-identical to the unsharded
+# oracle at 1/2/4/8 worker threads. Parallel speedup is additionally gated
+# on hosts with >= 4 hardware threads. Does not touch the checked-in
+# results/bench_sharding.json.
+cargo run -q --release --offline -p xp-bench --bin bench_sharding -- --smoke
+echo "OK: front inserts are O(shard) and sharded outputs match the oracle."
+
 echo "==> dynamic-differential gate (every scheme vs relabel-from-scratch oracle)"
 # Random mutation sequences through LabeledStore for all six schemes; after
 # each step the incrementally patched LabelTable must answer queries on all
