@@ -1,0 +1,98 @@
+//! Bench gate for the multi-writer relabel storm: N writer threads push
+//! their disjoint-region scripts through one epoch loop concurrently
+//! while readers query every region through the result cache.
+//!
+//! Default mode runs 8 writers × 120 steps and regenerates
+//! `results/bench_multiwriter.json`. `--smoke` runs a small storm without
+//! touching the checked-in JSON — the `scripts/ci.sh` bench gate. Either
+//! way the run fails if
+//!
+//! * any scripted mutation is rejected (region scripts are always
+//!   applicable — a rejection means anchors went stale across epochs),
+//! * the quiesced document does not serialize byte-identically to the
+//!   sequential writer-major oracle (the storm failed to converge),
+//! * any sampled cached answer differs from a same-epoch cold
+//!   evaluation, or
+//! * the shut-down store fails its consistency suite.
+
+use xp_bench::experiments::multiwriter::{multiwriter_bench, StormWorkload};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workload = if smoke {
+        StormWorkload {
+            writers: 3,
+            steps_per_writer: 12,
+            region_breadth: 12,
+            readers: 2,
+            reads_per_reader: 80,
+        }
+    } else {
+        StormWorkload {
+            writers: 8,
+            steps_per_writer: 120,
+            region_breadth: 2_500,
+            readers: 4,
+            reads_per_reader: 1_000,
+        }
+    };
+    let stats = multiwriter_bench(&workload, !smoke);
+
+    println!();
+    println!(
+        "{} writers × {} steps (regions of {}): {} mutations over {} epochs, {} labels touched",
+        workload.writers,
+        workload.steps_per_writer,
+        workload.region_breadth,
+        stats.mutations,
+        stats.epochs,
+        stats.labels_touched
+    );
+    println!(
+        "apply latency  p50 {:>10.1} µs   p99 {:>10.1} µs   ({:.0} mutations/s)",
+        stats.apply_p50_us, stats.apply_p99_us, stats.mutations_per_sec
+    );
+    println!(
+        "read latency   p50 {:>10.1} µs   p99 {:>10.1} µs   (hit rate {:.1}% under storm)",
+        stats.read_p50_us,
+        stats.read_p99_us,
+        stats.hit_rate * 100.0
+    );
+    println!(
+        "differential: {} same-epoch comparisons, {} mismatches",
+        stats.differential_checked, stats.differential_mismatches
+    );
+
+    let mut failed = false;
+    if stats.rejected > 0 {
+        eprintln!("FAIL: {} scripted mutations were rejected", stats.rejected);
+        failed = true;
+    }
+    if stats.mutations != (workload.writers * workload.steps_per_writer) as u64 {
+        eprintln!(
+            "FAIL: {} mutations acknowledged, expected {}",
+            stats.mutations,
+            workload.writers * workload.steps_per_writer
+        );
+        failed = true;
+    }
+    if !stats.converged {
+        eprintln!("FAIL: the storm did not converge to the writer-major oracle document");
+        failed = true;
+    }
+    if stats.differential_mismatches > 0 {
+        eprintln!(
+            "FAIL: {} cached answers differed from cold evaluation",
+            stats.differential_mismatches
+        );
+        failed = true;
+    }
+    if !stats.final_consistent {
+        eprintln!("FAIL: the shut-down store failed its consistency suite");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("multiwriter checks passed: every interleaving converges, no stale answers");
+}

@@ -1,0 +1,95 @@
+//! Bench gate for the epoch-stamped query-result cache: reader threads
+//! run a 95% read / 5% mutation mix over a region-partitioned document,
+//! with every mutation confined to the last region, twice — cache on and
+//! cache off — plus an exact per-label-invalidation survivor probe.
+//!
+//! Default mode runs 8 readers against a ~10⁶-element document and
+//! regenerates `results/bench_query_cache.json`. `--smoke` runs a small
+//! configuration without touching the checked-in JSON — the
+//! `scripts/ci.sh` bench gate. Either way the run fails if
+//!
+//! * the hit rate is 50% or less — precise invalidation must keep the
+//!   untouched regions' entries alive across epochs,
+//! * any sampled cached answer differs from a same-epoch cold
+//!   evaluation (a stale answer), or the differential got no coverage,
+//! * any other region's warmed entry went cold after a mutation to the
+//!   churned region (invalidation was not per-label), or
+//! * either pass's final document diverges from the direct-apply oracle
+//!   or fails the store's consistency suite.
+
+use xp_bench::experiments::query_cache::{query_cache_bench, CacheWorkload};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workload = if smoke {
+        CacheWorkload { nodes: 3_000, regions: 4, readers: 4, ops_per_reader: 120 }
+    } else {
+        CacheWorkload { nodes: 1_000_000, regions: 8, readers: 8, ops_per_reader: 1_000 }
+    };
+    let stats = query_cache_bench(&workload, !smoke);
+
+    println!();
+    println!(
+        "{} readers over {} regions (~{} elements): {} reads, {} mutations per pass",
+        workload.readers, workload.regions, workload.nodes, stats.reads, stats.mutations
+    );
+    println!(
+        "cache: {:.1}% hit rate ({} hits, {} misses, {} invalidated)",
+        stats.hit_rate * 100.0,
+        stats.hits,
+        stats.misses,
+        stats.invalidated
+    );
+    println!(
+        "read latency   cached p50 {:>9.1} µs  p99 {:>9.1} µs",
+        stats.cached_p50_us, stats.cached_p99_us
+    );
+    println!(
+        "             uncached p50 {:>9.1} µs  p99 {:>9.1} µs",
+        stats.uncached_p50_us, stats.uncached_p99_us
+    );
+    println!(
+        "differential: {} same-epoch comparisons, {} mismatches",
+        stats.differential_checked, stats.differential_mismatches
+    );
+    println!(
+        "survivor probe: {}/{} disjoint-region entries still hot after a mutation",
+        stats.survivors_hot, stats.survivors_expected
+    );
+
+    let mut failed = false;
+    if stats.hit_rate <= 0.5 {
+        eprintln!("FAIL: hit rate {:.3} is not above 0.5", stats.hit_rate);
+        failed = true;
+    }
+    if stats.differential_checked == 0 {
+        eprintln!("FAIL: the hot-vs-cold differential never got a same-epoch pair — no coverage");
+        failed = true;
+    }
+    if stats.differential_mismatches > 0 {
+        eprintln!(
+            "FAIL: {} cached answers differed from cold evaluation",
+            stats.differential_mismatches
+        );
+        failed = true;
+    }
+    if stats.survivors_hot != stats.survivors_expected {
+        eprintln!(
+            "FAIL: only {}/{} disjoint-region entries survived — invalidation is not per-label",
+            stats.survivors_hot, stats.survivors_expected
+        );
+        failed = true;
+    }
+    if !stats.converged {
+        eprintln!("FAIL: a pass's final document diverged from the direct-apply oracle");
+        failed = true;
+    }
+    if !stats.final_consistent {
+        eprintln!("FAIL: a shut-down store failed its consistency suite");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("query-cache checks passed: no stale answers, invalidation is per-label");
+}

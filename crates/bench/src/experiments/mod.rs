@@ -1,7 +1,10 @@
 //! All experiments, one function per table/figure.
 
 pub mod dynamic_api;
+pub(crate) mod inproc;
+pub mod multiwriter;
 pub mod par_scaling;
+pub mod query_cache;
 pub mod server;
 pub mod sharding;
 pub mod sizes;

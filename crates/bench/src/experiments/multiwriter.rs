@@ -1,0 +1,350 @@
+//! The multi-writer relabel storm: `N` writer threads push their seeded
+//! region scripts (`xp_datagen::multiwriter`) through one epoch loop
+//! concurrently — every apply can relabel — while reader threads query
+//! all regions through the result cache.
+//!
+//! Because the regions are disjoint and each writer derives its step-`k`
+//! mutation deterministically from its own region's state, *any*
+//! interleaving converges: after quiescing, the served document must
+//! serialize byte-identically to a sequential writer-major oracle. That
+//! — not throughput — is the acceptance gate; latency percentiles,
+//! epochs-per-mutation (group-commit batching across writers), labels
+//! touched, and the cache hit rate under storm conditions are the
+//! measurements.
+
+use super::inproc::InprocServer;
+use super::query_cache::bench_paths;
+use super::SEED;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+use xp_datagen::multiwriter::{initial_tree, scripted, TraceParams};
+use xp_labelkit::LabeledStore;
+use xp_prime::DynamicPrime;
+use xp_query::engine::Path;
+use xp_testkit::rng::{RngExt, SeedableRng, StdRng};
+use xp_xmltree::serialize;
+
+/// Workload shape for [`multiwriter_bench`].
+#[derive(Debug, Clone)]
+pub struct StormWorkload {
+    /// Concurrent writer threads (one disjoint region each).
+    pub writers: usize,
+    /// Mutations per writer.
+    pub steps_per_writer: usize,
+    /// Initial elements per region.
+    pub region_breadth: usize,
+    /// Concurrent reader threads querying during the storm.
+    pub readers: usize,
+    /// Queries per reader.
+    pub reads_per_reader: usize,
+}
+
+/// Measurements and invariant-check outcomes from [`multiwriter_bench`].
+#[derive(Debug, Clone)]
+pub struct StormBenchStats {
+    /// The workload that produced these numbers.
+    pub workload: StormWorkload,
+    /// Acknowledged mutations (must equal writers × steps).
+    pub mutations: u64,
+    /// Per-mutation apply results that came back as errors.
+    pub rejected: u64,
+    /// Labels the schemes reported touching, summed over every apply —
+    /// the storm's actual relabel volume.
+    pub labels_touched: u64,
+    /// Epochs published during the storm; below `mutations` means group
+    /// commit batched concurrent writers under one epoch.
+    pub epochs: u64,
+    /// Apply round-trip percentiles, microseconds.
+    pub apply_p50_us: f64,
+    /// 99th percentile apply round-trip.
+    pub apply_p99_us: f64,
+    /// Acknowledged mutations per wall-clock second.
+    pub mutations_per_sec: f64,
+    /// Read latency percentiles under the storm, microseconds.
+    pub read_p50_us: f64,
+    /// 99th percentile read latency.
+    pub read_p99_us: f64,
+    /// Cache hit rate under the storm (every epoch invalidates one
+    /// region's entries, so this sits well below the 95/5 bench's rate).
+    pub hit_rate: f64,
+    /// Same-epoch hot-vs-cold comparisons performed.
+    pub differential_checked: u64,
+    /// Comparisons that disagreed — any nonzero is a stale answer.
+    pub differential_mismatches: u64,
+    /// The quiesced document serializes identically to the sequential
+    /// writer-major oracle.
+    pub converged: bool,
+    /// The store passed `verify()` after shutdown.
+    pub final_consistent: bool,
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)] as f64 / 1e3
+}
+
+struct WriterRun {
+    apply_ns: Vec<u64>,
+    acked: u64,
+    rejected: u64,
+    labels_touched: u64,
+}
+
+/// One writer's storm: derive each step from the latest published
+/// snapshot (which already contains this writer's previous step — the
+/// apply blocked until its epoch was published) and push it through the
+/// server's request handler.
+fn writer_storm(server: &InprocServer, params: &TraceParams, w: usize) -> WriterRun {
+    let mut run =
+        WriterRun { apply_ns: Vec::new(), acked: 0, rejected: 0, labels_touched: 0 };
+    for step in 0..params.steps_per_writer {
+        let snap = server.snapshot();
+        let mutation = scripted(params, w, step, snap.labeled().tree());
+        drop(snap);
+        let t = Instant::now();
+        let outcome = server.apply(&mutation);
+        run.apply_ns.push(t.elapsed().as_nanos() as u64);
+        match outcome {
+            Ok(labels) => {
+                run.acked += 1;
+                run.labels_touched += labels;
+            }
+            Err(_) => run.rejected += 1,
+        }
+    }
+    run
+}
+
+struct ReaderRun {
+    read_ns: Vec<u64>,
+    checked: u64,
+    mismatches: u64,
+}
+
+fn reader_storm(
+    server: &InprocServer,
+    paths: &[Vec<String>],
+    reader: usize,
+    reads: usize,
+    writers_done: &AtomicBool,
+) -> ReaderRun {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5702_17AB ^ ((reader as u64 + 1) << 40));
+    let mut run = ReaderRun { read_ns: Vec::with_capacity(reads), checked: 0, mismatches: 0 };
+    let mut i = 0usize;
+    // Keep reading until the personal quota is met *and* the writers are
+    // done, so the cache is observed across the whole storm.
+    while i < reads || !writers_done.load(Ordering::Relaxed) {
+        let region = rng.gen_range(0..paths.len());
+        let mix = &paths[region];
+        let path = &mix[rng.gen_range(0..mix.len())];
+        let t = Instant::now();
+        let (epoch, nodes) = server.query(path);
+        if i < reads {
+            run.read_ns.push(t.elapsed().as_nanos() as u64);
+        }
+        if i % 8 == reader % 8 {
+            let snap = server.snapshot();
+            if snap.epoch() == epoch {
+                let parsed = Path::parse(path).expect("bench path parses");
+                let cold: Vec<u64> = snap
+                    .query(&parsed)
+                    .expect("cold evaluation")
+                    .iter()
+                    .map(|n| n.index() as u64)
+                    .collect();
+                run.checked += 1;
+                if cold != nodes {
+                    run.mismatches += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    run
+}
+
+/// The sequential oracle: each writer's full script applied writer-major
+/// to a direct [`LabeledStore`]. Region scripts depend only on their own
+/// region's state, so this is the document every interleaving must
+/// converge to.
+fn sequential_oracle(params: &TraceParams, xml: &str) -> LabeledStore<DynamicPrime> {
+    let mut oracle =
+        LabeledStore::build(DynamicPrime::new(4), xp_xmltree::parse(xml).expect("xml"))
+            .expect("oracle build");
+    for w in 0..params.writers {
+        for step in 0..params.steps_per_writer {
+            let mutation = scripted(params, w, step, oracle.tree());
+            // Region scripts never target the region root or escape the
+            // region, so they apply cleanly; a failure here would also
+            // fail (and be counted) in the live run.
+            let _ = oracle.apply(&mutation);
+        }
+    }
+    oracle
+}
+
+/// Runs the storm and checks convergence. Writes
+/// `results/bench_multiwriter.json` when asked.
+pub fn multiwriter_bench(workload: &StormWorkload, write_json: bool) -> StormBenchStats {
+    let params = TraceParams {
+        writers: workload.writers,
+        steps_per_writer: workload.steps_per_writer,
+        region_breadth: workload.region_breadth,
+        seed: SEED,
+    };
+    let xml = serialize::to_string(&initial_tree(&params));
+    let server = InprocServer::start("storm", &xml, Some(4096));
+    let paths: Vec<Vec<String>> = (0..workload.writers).map(bench_paths).collect();
+    let base = server.counters().stats();
+    let writers_done = AtomicBool::new(false);
+
+    let t = Instant::now();
+    let (writer_runs, reader_runs) = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..workload.readers)
+            .map(|r| {
+                let server = &server;
+                let paths = &paths;
+                let done = &writers_done;
+                let reads = workload.reads_per_reader;
+                s.spawn(move || reader_storm(server, paths, r, reads, done))
+            })
+            .collect();
+        let writers: Vec<_> = (0..workload.writers)
+            .map(|w| {
+                let server = &server;
+                let params = &params;
+                s.spawn(move || writer_storm(server, params, w))
+            })
+            .collect();
+        let writer_runs: Vec<WriterRun> =
+            writers.into_iter().map(|h| h.join().expect("bench writer thread")).collect();
+        writers_done.store(true, Ordering::Relaxed);
+        let reader_runs: Vec<ReaderRun> =
+            readers.into_iter().map(|h| h.join().expect("bench reader thread")).collect();
+        (writer_runs, reader_runs)
+    });
+    let storm_secs = t.elapsed().as_secs_f64();
+    let after = server.counters().stats();
+
+    // Convergence: the storm's interleaving is whatever the scheduler
+    // produced; the result must still be the writer-major document.
+    let oracle = sequential_oracle(&params, &xml);
+    let snap = server.snapshot();
+    let converged =
+        serialize::to_string(snap.labeled().tree()) == serialize::to_string(oracle.tree());
+    drop(snap);
+    let final_consistent = server.shutdown_and_verify();
+
+    let mut apply_ns: Vec<u64> =
+        writer_runs.iter().flat_map(|r| r.apply_ns.iter().copied()).collect();
+    apply_ns.sort_unstable();
+    let mut read_ns: Vec<u64> =
+        reader_runs.iter().flat_map(|r| r.read_ns.iter().copied()).collect();
+    read_ns.sort_unstable();
+    let acked: u64 = writer_runs.iter().map(|r| r.acked).sum();
+    let hits = after.cache_hits - base.cache_hits;
+    let misses = after.cache_misses - base.cache_misses;
+
+    let stats = StormBenchStats {
+        workload: workload.clone(),
+        mutations: acked,
+        rejected: writer_runs.iter().map(|r| r.rejected).sum(),
+        labels_touched: writer_runs.iter().map(|r| r.labels_touched).sum(),
+        epochs: after.epochs - base.epochs,
+        apply_p50_us: percentile(&apply_ns, 50),
+        apply_p99_us: percentile(&apply_ns, 99),
+        mutations_per_sec: acked as f64 / storm_secs.max(1e-9),
+        read_p50_us: percentile(&read_ns, 50),
+        read_p99_us: percentile(&read_ns, 99),
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        differential_checked: reader_runs.iter().map(|r| r.checked).sum(),
+        differential_mismatches: reader_runs.iter().map(|r| r.mismatches).sum(),
+        converged,
+        final_consistent,
+    };
+    eprintln!(
+        "[bench_multiwriter] storm {:.1}s: {} mutations over {} epochs, {} labels touched",
+        storm_secs, stats.mutations, stats.epochs, stats.labels_touched,
+    );
+    if write_json {
+        write_results(&stats);
+    }
+    stats
+}
+
+/// Handwritten JSON, same shape family as `results/bench_server.json`.
+fn write_results(stats: &StormBenchStats) {
+    let mut out = String::new();
+    let w = &stats.workload;
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"group\": \"multiwriter\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"writers\": {}, \"steps_per_writer\": {}, \"region_breadth\": {}, \
+         \"readers\": {}, \"reads_per_reader\": {}}},",
+        w.writers, w.steps_per_writer, w.region_breadth, w.readers, w.reads_per_reader,
+    );
+    let _ = writeln!(
+        out,
+        "  \"mutations\": {{\"count\": {}, \"rejected\": {}, \"labels_touched\": {}, \
+         \"epochs\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"per_sec\": {:.0}}},",
+        stats.mutations,
+        stats.rejected,
+        stats.labels_touched,
+        stats.epochs,
+        stats.apply_p50_us,
+        stats.apply_p99_us,
+        stats.mutations_per_sec,
+    );
+    let _ = writeln!(
+        out,
+        "  \"reads\": {{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"hit_rate\": {:.3}}},",
+        stats.read_p50_us, stats.read_p99_us, stats.hit_rate,
+    );
+    let _ = writeln!(
+        out,
+        "  \"differential\": {{\"checked\": {}, \"mismatches\": {}}},",
+        stats.differential_checked, stats.differential_mismatches,
+    );
+    let _ = writeln!(
+        out,
+        "  \"converged\": {}, \"final_consistent\": {}",
+        stats.converged, stats.final_consistent,
+    );
+    let _ = write!(out, "}}");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::write(dir.join("bench_multiwriter.json"), out).is_ok()
+    {
+        println!("[written results/bench_multiwriter.json]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiwriter_bench_round_trips_a_small_storm() {
+        let stats = multiwriter_bench(
+            &StormWorkload {
+                writers: 3,
+                steps_per_writer: 8,
+                region_breadth: 8,
+                readers: 2,
+                reads_per_reader: 40,
+            },
+            false,
+        );
+        assert_eq!(stats.mutations, 24, "every scripted step must be acknowledged");
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.labels_touched > 0);
+        assert_eq!(stats.differential_mismatches, 0, "stale cached answer under storm");
+        assert!(stats.converged, "interleaving failed to converge to the oracle");
+        assert!(stats.final_consistent);
+    }
+}

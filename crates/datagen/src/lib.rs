@@ -16,6 +16,9 @@
 //!   corpus for the query experiments (Table 2, Figure 15).
 //! * [`builders`] — parametric perfect/random/chain trees for analytic
 //!   figures and property tests.
+//! * [`multiwriter`] — seeded N-writer relabel-storm traces: disjoint
+//!   per-writer regions with distinct tag vocabularies, for the server's
+//!   convergence tests and the query-cache experiments.
 //!
 //! Everything is deterministic given a seed, so every figure regenerates
 //! bit-identically.
@@ -26,9 +29,11 @@
 pub mod auction;
 pub mod builders;
 pub mod datasets;
+pub mod multiwriter;
 pub mod shakespeare;
 
 pub use datasets::{Dataset, DATASETS};
+pub use multiwriter::TraceParams;
 pub use shakespeare::{PlayParams, ShakespeareCorpus};
 
 /// An [`xp_xmltree::XmlTree`] under construction together with a running

@@ -1,0 +1,286 @@
+//! Seeded multi-writer "relabel storm" traces.
+//!
+//! The query-cache and multi-writer experiments need a workload with two
+//! properties the Table-1 corpora do not give them:
+//!
+//! 1. **Disjoint writer regions.** Each of `N` writers owns one subtree
+//!    under the document root and every mutation it emits stays inside
+//!    that subtree, so any interleaving of the per-writer scripts is
+//!    conflict-free and converges to the same document.
+//! 2. **Distinct tag vocabularies.** Writer `w`'s region uses tags only
+//!    that writer uses (`w3a`, `w3b`, `w3c` under `region3`), so a cached
+//!    query over writer `w`'s tags is provably untouched by any other
+//!    writer's mutations — the workload that demonstrates *per-label*
+//!    cache invalidation rather than flush-on-every-epoch.
+//!
+//! Scripts are not pre-materialized mutation lists: a mutation references
+//! live [`NodeId`]s, which depend on every mutation applied before it.
+//! Instead [`scripted`] derives writer `w`'s step-`s` mutation
+//! deterministically from `(params.seed, w, s)` *and the current tree*,
+//! the same contract the server interleaving tests use. Two runs that
+//! apply the same interleaving therefore replay bit-identical mutation
+//! sequences, and different interleavings of the same scripts still
+//! converge because regions never overlap.
+
+use xp_labelkit::{InsertPos, Mutation};
+use xp_testkit::rng::{RngExt, SeedableRng, StdRng};
+use xp_xmltree::{NodeId, XmlTree};
+
+/// Shape and seed of one multi-writer trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceParams {
+    /// Number of concurrent writers (and disjoint regions).
+    pub writers: usize,
+    /// Mutations each writer performs.
+    pub steps_per_writer: usize,
+    /// Initial elements per region (before any mutation).
+    pub region_breadth: usize,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams { writers: 4, steps_per_writer: 64, region_breadth: 16, seed: 0xD0C5 }
+    }
+}
+
+/// Tag of writer `w`'s region root.
+pub fn region_tag(w: usize) -> String {
+    format!("region{w}")
+}
+
+/// The three element tags writer `w`'s region is built from.
+pub fn writer_tags(w: usize) -> [String; 3] {
+    [format!("w{w}a"), format!("w{w}b"), format!("w{w}c")]
+}
+
+/// The initial document: a root with one region subtree per writer, each
+/// populated with `region_breadth` elements over that writer's private
+/// vocabulary (with some nesting, so every axis has work to do).
+pub fn initial_tree(params: &TraceParams) -> XmlTree {
+    let mut tree = XmlTree::new("db");
+    let root = tree.root();
+    for w in 0..params.writers {
+        let region = tree.append_element(root, region_tag(w));
+        let tags = writer_tags(w);
+        let mut cursor = region;
+        for i in 0..params.region_breadth.max(1) {
+            let tag = &tags[i % tags.len()];
+            let node = tree.append_element(cursor, tag.clone());
+            // Every third element starts a nested chain; the rest stay
+            // siblings of the chain head — mixed depth, bounded by breadth.
+            cursor = if i % 3 == 2 { region } else { node };
+            if i % 3 == 2 {
+                tree.append_text(node, format!("v{w}_{i}"));
+            }
+        }
+    }
+    tree
+}
+
+/// Per-writer query mix: one path per axis family, all phrased over the
+/// writer's private vocabulary so hits can survive other writers' epochs.
+pub fn query_paths(w: usize) -> Vec<String> {
+    let [a, b, c] = writer_tags(w);
+    let region = region_tag(w);
+    vec![
+        format!("//{region}/{a}"),
+        format!("//{b}"),
+        format!("/db//{c}"),
+        format!("//{c}/parent::*"),
+        format!("//{c}/ancestor::{a}"),
+        format!("//{b}/ancestor-or-self::*"),
+        format!("//{a}/following::{b}"),
+        format!("//{b}/preceding::{a}"),
+        format!("//{a}/following-sibling::{b}"),
+        format!("//{b}/preceding-sibling::{a}"),
+        format!("//{a}[1]"),
+    ]
+}
+
+/// Writer `w`'s region root in the current tree, if still present (region
+/// roots are never mutation targets, so it always is).
+pub fn region_root(tree: &XmlTree, w: usize) -> Option<NodeId> {
+    let tag = region_tag(w);
+    tree.elements().find(|&n| tree.tag(n) == Some(tag.as_str()))
+}
+
+/// Elements strictly inside writer `w`'s region, document order.
+fn region_members(tree: &XmlTree, region: NodeId) -> Vec<NodeId> {
+    tree.elements()
+        .filter(|&n| n != region && tree.ancestors(n).any(|a| a == region))
+        .collect()
+}
+
+/// Derives writer `w`'s step-`step` mutation against the current tree.
+///
+/// The mutation targets only nodes inside the writer's region (the region
+/// root itself is only ever an insertion *parent*, never a target), so
+/// concurrent writers' scripts commute. The dispatch is insert-heavy
+/// (grow ~2 of 3 steps) so regions expand into a relabel storm rather
+/// than draining.
+pub fn scripted(params: &TraceParams, w: usize, step: usize, tree: &XmlTree) -> Mutation {
+    let mut rng = StdRng::seed_from_u64(
+        params.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (step as u64) << 20,
+    );
+    let tags = writer_tags(w);
+    let Some(region) = region_root(tree, w) else {
+        // Unreachable for trees built by `initial_tree`; keep the script
+        // total anyway.
+        return Mutation::InsertSubtree {
+            pos: InsertPos::LastChildOf(tree.root()),
+            xml: format!("<{0}/>", tags[0]),
+        };
+    };
+    let members = region_members(tree, region);
+    let pick = |rng: &mut StdRng, members: &[NodeId]| -> Option<NodeId> {
+        rng.choose(members).copied()
+    };
+    let tag = tags[rng.gen_range(0..tags.len())].clone();
+    match rng.gen_range(0..8u32) {
+        0 | 1 => match pick(&mut rng, &members) {
+            Some(anchor) => Mutation::InsertBefore { anchor, tag },
+            None => Mutation::InsertSubtree {
+                pos: InsertPos::LastChildOf(region),
+                xml: format!("<{tag}/>"),
+            },
+        },
+        2 | 3 => {
+            let pos = match pick(&mut rng, &members) {
+                Some(anchor) if rng.random_bool(0.5) => InsertPos::Before(anchor),
+                Some(parent) => InsertPos::LastChildOf(parent),
+                None => InsertPos::LastChildOf(region),
+            };
+            Mutation::InsertSubtree {
+                pos,
+                xml: format!("<{tag}><{0}/><{1}/></{tag}>", tags[1], tags[2]),
+            }
+        }
+        4 => match pick(&mut rng, &members) {
+            Some(target) => Mutation::InsertParent { target, tag },
+            None => Mutation::InsertSubtree {
+                pos: InsertPos::LastChildOf(region),
+                xml: format!("<{tag}/>"),
+            },
+        },
+        5 if members.len() >= 4 => match pick(&mut rng, &members) {
+            Some(target) => Mutation::Delete { target },
+            None => Mutation::InsertBefore { anchor: members[0], tag },
+        },
+        6 if members.len() >= 2 => {
+            // A move that cannot land inside its own subtree: the
+            // destination must not be a descendant-or-self of the target.
+            let target = members[rng.gen_range(0..members.len())];
+            let outside: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|&d| d != target && !tree.ancestors(d).any(|a| a == target))
+                .collect();
+            match rng.choose(&outside).copied() {
+                Some(dest) => {
+                    let pos = if rng.random_bool(0.5) {
+                        InsertPos::Before(dest)
+                    } else {
+                        InsertPos::LastChildOf(dest)
+                    };
+                    Mutation::MoveSubtree { target, pos }
+                }
+                None => Mutation::InsertBefore { anchor: target, tag },
+            }
+        }
+        _ => Mutation::InsertSubtree {
+            pos: InsertPos::LastChildOf(region),
+            xml: format!("<{tag}/>"),
+        },
+    }
+}
+
+/// A seeded order-preserving interleaving of the writers' scripts: a
+/// sequence of writer indices in which writer `w` appears exactly
+/// `steps_per_writer` times, merge order drawn from the seed. Within each
+/// writer the step order is preserved (position `k` of writer `w` is its
+/// step `k`), which is the only ordering a real concurrent submission
+/// respects.
+pub fn interleave(params: &TraceParams) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x1EAF_5EED);
+    let mut remaining = vec![params.steps_per_writer; params.writers];
+    let mut order = Vec::with_capacity(params.writers * params.steps_per_writer);
+    let mut total: usize = remaining.iter().sum();
+    while total > 0 {
+        // Weighted by remaining steps: uniform over the outstanding slots,
+        // so no writer starves or dominates the tail.
+        let mut slot = rng.gen_range(0..total);
+        for (w, r) in remaining.iter_mut().enumerate() {
+            if slot < *r {
+                *r -= 1;
+                total -= 1;
+                order.push(w);
+                break;
+            }
+            slot -= *r;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_use_disjoint_tag_vocabularies() {
+        let params = TraceParams { writers: 3, region_breadth: 9, ..Default::default() };
+        let tree = initial_tree(&params);
+        for w in 0..params.writers {
+            let region = region_root(&tree, w).unwrap();
+            let tags = writer_tags(w);
+            for n in region_members(&tree, region) {
+                let tag = tree.tag(n).unwrap();
+                assert!(tags.iter().any(|t| t == tag), "tag {tag} leaked into region {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_stay_inside_their_region() {
+        let params = TraceParams { writers: 2, steps_per_writer: 8, ..Default::default() };
+        let tree = initial_tree(&params);
+        for w in 0..params.writers {
+            let region = region_root(&tree, w).unwrap();
+            for step in 0..params.steps_per_writer {
+                let a = scripted(&params, w, step, &tree);
+                let b = scripted(&params, w, step, &tree);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "w{w} step {step} not deterministic");
+                let inside = |n: NodeId| n == region || tree.ancestors(n).any(|x| x == region);
+                let pos_inside = |pos: &InsertPos| match pos {
+                    InsertPos::Before(n) => inside(*n),
+                    InsertPos::LastChildOf(n) => inside(*n),
+                };
+                let ok = match &a {
+                    Mutation::InsertBefore { anchor, .. } => inside(*anchor) && *anchor != region,
+                    Mutation::InsertSubtree { pos, .. } => pos_inside(pos),
+                    Mutation::InsertParent { target, .. } => inside(*target) && *target != region,
+                    Mutation::Delete { target } => inside(*target) && *target != region,
+                    Mutation::MoveSubtree { target, pos } => {
+                        inside(*target) && *target != region && pos_inside(pos)
+                    }
+                };
+                assert!(ok, "w{w} step {step} escaped its region: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleavings_are_order_preserving_and_seeded() {
+        let params = TraceParams { writers: 3, steps_per_writer: 5, ..Default::default() };
+        let order = interleave(&params);
+        assert_eq!(order.len(), 15);
+        for w in 0..3 {
+            assert_eq!(order.iter().filter(|&&x| x == w).count(), 5);
+        }
+        assert_eq!(order, interleave(&params), "same seed, same interleaving");
+        let other = interleave(&TraceParams { seed: params.seed + 1, ..params });
+        assert_ne!(order, other, "different seeds should differ (3^15 orders)");
+    }
+}

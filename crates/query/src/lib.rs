@@ -21,6 +21,8 @@
 //! * [`evaluators`] — one evaluator per scheme: Interval, Prefix-2, and
 //!   Prime (whose order oracle *is* the SC table).
 //! * [`queries`] — the nine test queries of Table 2.
+//! * [`cache`] — an epoch-stamped query-result cache invalidated precisely
+//!   from `RelabelReport`s (see DESIGN.md §14).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@
 // `panic!`, not `unwrap`.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod cache;
 pub mod engine;
 pub mod evaluators;
 pub mod instrument;
@@ -40,6 +43,7 @@ pub mod relstore;
 pub mod sharded;
 pub mod sql;
 
+pub use cache::{CacheStats, QueryCache, TagFootprint, TouchedTags};
 pub use engine::{Path, QueryError, QueryLimits};
 pub use evaluators::{Evaluator, IntervalEvaluator, Prefix2Evaluator, PrimeEvaluator};
 pub use relstore::LabelTable;

@@ -34,9 +34,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use xp_labelkit::Mutation;
+use xp_query::{QueryCache, TouchedTags};
 use xp_store::{Store, StoreError};
 
 use crate::protocol::{ErrCode, ServerStats, WireApply};
@@ -120,6 +121,9 @@ pub struct Counters {
     wal_fsyncs: AtomicU64,
     reclaimed: AtomicU64,
     cloned: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_invalidated: AtomicU64,
 }
 
 impl Counters {
@@ -132,7 +136,25 @@ impl Counters {
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             snapshots_reclaimed: self.reclaimed.load(Ordering::Relaxed),
             snapshots_cloned: self.cloned.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_invalidated: self.cache_invalidated.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts one query answered from the result cache.
+    pub fn count_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query that fell through to cold evaluation.
+    pub fn count_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` cache entries dropped by invalidation.
+    pub fn count_cache_invalidated(&self, n: u64) {
+        self.cache_invalidated.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -140,10 +162,16 @@ impl Counters {
 /// document, swapped atomically at each epoch boundary.
 pub type PublishedDocs = Arc<RwLock<HashMap<String, Arc<EpochSnapshot>>>>;
 
+/// Per-document query-result caches (present only when caching is on).
+/// Connection handlers consult these; the writer invalidates them right
+/// before each epoch swap.
+pub type DocCaches = Arc<RwLock<HashMap<String, Arc<Mutex<QueryCache>>>>>;
+
 /// Handle to a running epoch loop.
 pub struct EpochLoop {
     jobs: mpsc::Sender<Job>,
     docs: PublishedDocs,
+    caches: Option<DocCaches>,
     counters: Arc<Counters>,
     writer: Option<std::thread::JoinHandle<Store>>,
 }
@@ -152,6 +180,16 @@ impl EpochLoop {
     /// Takes ownership of `store` and starts the writer thread. Every
     /// document already in the store is published as its initial epoch.
     pub fn start(store: Store, policy: BatchPolicy) -> EpochLoop {
+        EpochLoop::launch(store, policy, None)
+    }
+
+    /// Like [`EpochLoop::start`], with a query-result cache of
+    /// `cache_capacity` entries per document (see `xp_query::cache`).
+    pub fn start_with_cache(store: Store, policy: BatchPolicy, cache_capacity: usize) -> EpochLoop {
+        EpochLoop::launch(store, policy, Some(cache_capacity))
+    }
+
+    fn launch(store: Store, policy: BatchPolicy, cache_capacity: Option<usize>) -> EpochLoop {
         let docs: PublishedDocs = Arc::new(RwLock::new(HashMap::new()));
         let counters = Arc::new(Counters::default());
         let (tx, rx) = mpsc::channel::<Job>();
@@ -160,18 +198,36 @@ impl EpochLoop {
         // returns.
         let mut publishers = HashMap::new();
         publish_initial(&store, &docs, &mut publishers);
+        let caches = cache_capacity.map(|cap| {
+            let mut map = HashMap::new();
+            for doc in store.docs() {
+                map.insert(
+                    doc.uri().to_owned(),
+                    Arc::new(Mutex::new(QueryCache::new(cap, 0))),
+                );
+            }
+            Arc::new(RwLock::new(map))
+        });
         let writer_docs = Arc::clone(&docs);
+        let writer_caches = caches.clone();
         let writer_counters = Arc::clone(&counters);
         let writer = std::thread::Builder::new()
             .name("xp-epoch-writer".into())
-            .spawn(move || writer_loop(store, policy, rx, publishers, writer_docs, writer_counters))
+            .spawn(move || {
+                writer_loop(store, policy, rx, publishers, writer_docs, writer_caches, writer_counters)
+            })
             .unwrap_or_else(|e| panic!("spawning the epoch writer failed: {e}"));
-        EpochLoop { jobs: tx, docs, counters, writer: Some(writer) }
+        EpochLoop { jobs: tx, docs, caches, counters, writer: Some(writer) }
     }
 
     /// The published-snapshot map readers query against.
     pub fn docs(&self) -> PublishedDocs {
         Arc::clone(&self.docs)
+    }
+
+    /// The per-document query caches, when caching is enabled.
+    pub fn caches(&self) -> Option<DocCaches> {
+        self.caches.clone()
     }
 
     /// A cloneable submitter for connection handlers.
@@ -205,6 +261,7 @@ fn writer_loop(
     jobs: mpsc::Receiver<Job>,
     mut publishers: HashMap<String, Publisher>,
     docs: PublishedDocs,
+    caches: Option<DocCaches>,
     counters: Arc<Counters>,
 ) -> Store {
     loop {
@@ -228,7 +285,7 @@ fn writer_loop(
                 Err(_) => break,
             }
         }
-        run_batch(&mut store, &policy, batch, &docs, &mut publishers, &counters);
+        run_batch(&mut store, &policy, batch, &docs, &caches, &mut publishers, &counters);
         if stop_after {
             break;
         }
@@ -263,6 +320,7 @@ fn run_batch(
     policy: &BatchPolicy,
     batch: Vec<ApplyJob>,
     docs: &PublishedDocs,
+    caches: &Option<DocCaches>,
     publishers: &mut HashMap<String, Publisher>,
     counters: &Arc<Counters>,
 ) {
@@ -361,10 +419,45 @@ fn run_batch(
             publisher.publish(epoch, doc.seq(), &flat);
             (epoch, doc.seq())
         };
-        let stats = publisher.stats();
-        counters.reclaimed.store(stats.reclaimed, Ordering::Relaxed);
-        counters.cloned.store(stats.cloned, Ordering::Relaxed);
         counters.wal_fsyncs.store(store.wal_fsyncs(), Ordering::Relaxed);
+
+        // Invalidate the document's query cache *before* the epoch swap:
+        // by the time a reader can hold the new epoch, every entry this
+        // batch could have stalled is gone. Tag attribution comes from the
+        // RelabelReports, resolved against the post-apply tree (removed
+        // subtrees keep their arena tags); a failed mutation's effects
+        // cannot be attributed, so it flushes the cache wholesale.
+        if let Some(caches) = caches {
+            let cache = {
+                let map = match caches.read() {
+                    Ok(m) => m,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                map.get(&uri).cloned()
+            };
+            if let Some(cache) = cache {
+                let mut touched = TouchedTags::new();
+                match store.doc(&uri) {
+                    Some(doc) => {
+                        let tree = doc.tree();
+                        for r in &results {
+                            match r {
+                                Ok(report) => touched.add_report(report, tree),
+                                Err(_) => touched.mark_unknown(),
+                            }
+                        }
+                    }
+                    None => touched.mark_unknown(),
+                }
+                let mut cache = match cache.lock() {
+                    Ok(c) => c,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let dropped = cache.advance(epoch, &touched);
+                counters.count_cache_invalidated(dropped);
+            }
+        }
+
         {
             let mut map = match docs.write() {
                 Ok(m) => m,
@@ -407,6 +500,19 @@ fn run_batch(
             }
         }
     }
+
+    // Snapshot-lifecycle counters sum over *every* document's publisher.
+    // (Storing the last-published document's stats here used to clobber the
+    // other documents' counts, breaking `reclaimed + cloned == published -
+    // live` whenever a store served more than one URI.)
+    let (mut reclaimed, mut cloned) = (0u64, 0u64);
+    for publisher in publishers.values() {
+        let stats = publisher.stats();
+        reclaimed += stats.reclaimed;
+        cloned += stats.cloned;
+    }
+    counters.reclaimed.store(reclaimed, Ordering::Relaxed);
+    counters.cloned.store(cloned, Ordering::Relaxed);
 
     for (job, outcome) in batch.into_iter().zip(replies) {
         let outcome = outcome.unwrap_or(ApplyOutcome::Rejected {

@@ -39,8 +39,8 @@ pub mod shardloop;
 pub mod snapshot;
 
 pub use client::{Client, ClientError};
-pub use epoch::{BatchPolicy, EpochLoop};
+pub use epoch::{BatchPolicy, DocCaches, EpochLoop};
 pub use shardloop::{ShardedApplyJob, ShardedEpochLoop, ShardedEpochSnapshot, ShardedOutcome};
 pub use protocol::{Request, Response, ServerStats, WireMutation, WirePos};
-pub use server::{serve, Handle, ListenConfig};
+pub use server::{serve, serve_with_cache, Handle, ListenConfig};
 pub use snapshot::{EpochSnapshot, Publisher};

@@ -259,6 +259,13 @@ pub struct ServerStats {
     pub snapshots_reclaimed: u64,
     /// Snapshots published by deep-copying the current one (slow path).
     pub snapshots_cloned: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that fell through to cold evaluation (0 when caching is
+    /// off — every query then skips the cache entirely).
+    pub cache_misses: u64,
+    /// Cached results dropped by relabel-driven invalidation.
+    pub cache_invalidated: u64,
 }
 
 /// One server response.
@@ -421,6 +428,9 @@ impl Response {
                     s.wal_fsyncs,
                     s.snapshots_reclaimed,
                     s.snapshots_cloned,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_invalidated,
                 ] {
                     write_varint(&mut out, v);
                 }
@@ -484,6 +494,9 @@ impl Response {
                 wal_fsyncs: read_varint(input)?,
                 snapshots_reclaimed: read_varint(input)?,
                 snapshots_cloned: read_varint(input)?,
+                cache_hits: read_varint(input)?,
+                cache_misses: read_varint(input)?,
+                cache_invalidated: read_varint(input)?,
             }),
             RESP_BYE => Response::Bye,
             RESP_ERR => {
@@ -609,6 +622,9 @@ mod tests {
                 wal_fsyncs: 4,
                 snapshots_reclaimed: 5,
                 snapshots_cloned: 6,
+                cache_hits: 7,
+                cache_misses: 8,
+                cache_invalidated: 9,
             }),
             Response::Bye,
             Response::Err { code: ErrCode::BadPath, msg: "unparsable".into() },

@@ -27,7 +27,9 @@ use std::time::Duration;
 use xp_query::engine::{Path, QueryError};
 use xp_store::Store;
 
-use crate::epoch::{ApplyJob, ApplyOutcome, BatchPolicy, Counters, EpochLoop, PublishedDocs};
+use crate::epoch::{
+    ApplyJob, ApplyOutcome, BatchPolicy, Counters, DocCaches, EpochLoop, PublishedDocs,
+};
 use crate::protocol::{
     read_message, write_message, DocInfo, ErrCode, Request, Response,
 };
@@ -96,8 +98,33 @@ impl Handle {
 
 /// Starts serving `store` on the configured listeners.
 pub fn serve(store: Store, listen: ListenConfig, policy: BatchPolicy) -> std::io::Result<Handle> {
-    let epoch = EpochLoop::start(store, policy);
+    serve_inner(store, listen, policy, None)
+}
+
+/// Like [`serve`], with a per-document query-result cache of
+/// `cache_capacity` entries (`xmlprime serve --cache`). Hits, misses, and
+/// invalidations show up in [`crate::protocol::ServerStats`].
+pub fn serve_with_cache(
+    store: Store,
+    listen: ListenConfig,
+    policy: BatchPolicy,
+    cache_capacity: usize,
+) -> std::io::Result<Handle> {
+    serve_inner(store, listen, policy, Some(cache_capacity))
+}
+
+fn serve_inner(
+    store: Store,
+    listen: ListenConfig,
+    policy: BatchPolicy,
+    cache_capacity: Option<usize>,
+) -> std::io::Result<Handle> {
+    let epoch = match cache_capacity {
+        Some(cap) => EpochLoop::start_with_cache(store, policy, cap),
+        None => EpochLoop::start(store, policy),
+    };
     let docs = epoch.docs();
+    let caches = epoch.caches();
     let counters = epoch.counters();
     let stop = Arc::new(AtomicBool::new(false));
     let mut accepters = Vec::new();
@@ -113,6 +140,7 @@ pub fn serve(store: Store, listen: ListenConfig, policy: BatchPolicy) -> std::io
             Arc::clone(&stop),
             move |stop| accept_tcp(&listener, stop),
             Arc::clone(&docs),
+            caches.clone(),
             epoch_sender(&epoch),
             Arc::clone(&counters),
         ));
@@ -127,6 +155,7 @@ pub fn serve(store: Store, listen: ListenConfig, policy: BatchPolicy) -> std::io
             Arc::clone(&stop),
             move |stop| accept_unix(&listener, stop),
             Arc::clone(&docs),
+            caches.clone(),
             epoch_sender(&epoch),
             Arc::clone(&counters),
         ));
@@ -201,6 +230,7 @@ fn spawn_acceptor(
     stop: Arc<AtomicBool>,
     mut next_conn: impl FnMut(&AtomicBool) -> Option<Conn> + Send + 'static,
     docs: PublishedDocs,
+    caches: Option<DocCaches>,
     submit: Submitter,
     counters: Arc<Counters>,
 ) -> std::thread::JoinHandle<()> {
@@ -210,12 +240,13 @@ fn spawn_acceptor(
             let mut handlers = Vec::new();
             while let Some(conn) = next_conn(&stop) {
                 let docs = Arc::clone(&docs);
+                let caches = caches.clone();
                 let submit = Arc::clone(&submit);
                 let counters = Arc::clone(&counters);
                 let stop = Arc::clone(&stop);
                 if let Ok(h) = std::thread::Builder::new()
                     .name("xp-conn".into())
-                    .spawn(move || handle_connection(conn, docs, submit, counters, stop))
+                    .spawn(move || handle_connection(conn, docs, caches, submit, counters, stop))
                 {
                     handlers.push(h);
                 }
@@ -230,6 +261,7 @@ fn spawn_acceptor(
 fn handle_connection(
     mut conn: Conn,
     docs: PublishedDocs,
+    caches: Option<DocCaches>,
     submit: Submitter,
     counters: Arc<Counters>,
     stop: Arc<AtomicBool>,
@@ -255,7 +287,7 @@ fn handle_connection(
         let response = match Request::decode(&payload) {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                let resp = handle_request(req, &docs, &submit, &counters);
+                let resp = handle_request(req, &docs, caches.as_ref(), &submit, &counters);
                 if is_shutdown {
                     let _ = write_message(&mut conn, &resp.encode());
                     stop.store(true, Ordering::SeqCst);
@@ -271,11 +303,13 @@ fn handle_connection(
     }
 }
 
-/// Serves one request. Reads go straight to published snapshots; writes
-/// round-trip through the epoch loop.
+/// Serves one request. Reads go straight to published snapshots (through
+/// the per-document query cache when one is configured); writes round-trip
+/// through the epoch loop.
 pub fn handle_request(
     req: Request,
     docs: &PublishedDocs,
+    caches: Option<&DocCaches>,
     submit: &Submitter,
     counters: &Counters,
 ) -> Response {
@@ -320,12 +354,52 @@ pub fn handle_request(
                     return Response::Err { code: ErrCode::BadPath, msg: e.to_string() }
                 }
             };
+            // Consult the document's cache, keyed by path text and gated
+            // on the reader's epoch stamp. The lock covers only the map
+            // probe — cold evaluation runs without it, so a slow query
+            // never blocks the writer's invalidation step.
+            let cache = caches.and_then(|c| {
+                let map = match c.read() {
+                    Ok(m) => m,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                map.get(&uri).cloned()
+            });
+            if let Some(cache) = &cache {
+                let cached = {
+                    let mut guard = match cache.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.lookup(&path, snap.epoch())
+                };
+                match cached {
+                    Some(nodes) => {
+                        counters.count_cache_hit();
+                        return Response::Hits {
+                            epoch: snap.epoch(),
+                            seq: snap.seq(),
+                            nodes: nodes.iter().map(|n| n.index() as u64).collect(),
+                        };
+                    }
+                    None => counters.count_cache_miss(),
+                }
+            }
             match snap.query(&parsed) {
-                Ok(nodes) => Response::Hits {
-                    epoch: snap.epoch(),
-                    seq: snap.seq(),
-                    nodes: nodes.iter().map(|n| n.index() as u64).collect(),
-                },
+                Ok(nodes) => {
+                    if let Some(cache) = &cache {
+                        let mut guard = match cache.lock() {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        guard.insert(&path, &parsed, snap.epoch(), nodes.clone());
+                    }
+                    Response::Hits {
+                        epoch: snap.epoch(),
+                        seq: snap.seq(),
+                        nodes: nodes.iter().map(|n| n.index() as u64).collect(),
+                    }
+                }
                 Err(e @ QueryError::LimitExceeded(_)) => {
                     Response::Err { code: ErrCode::QueryLimit, msg: e.to_string() }
                 }

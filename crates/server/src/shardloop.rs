@@ -28,13 +28,13 @@
 
 use std::collections::HashMap;
 use std::sync::mpsc;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use xp_labelkit::{Mutation, ShardId, ShardedLabel};
 use xp_prime::PrimeLabel;
 use xp_query::engine::{eval_path, OrderOracle, Path, QueryError};
 use xp_query::relstore::LabelTable;
-use xp_query::ShardedTables;
+use xp_query::{QueryCache, ShardedTables, TouchedTags};
 use xp_store::{ShardedDocStore, StoreError};
 use xp_xmltree::NodeId;
 
@@ -140,6 +140,7 @@ pub type PublishedShardedDoc = Arc<RwLock<Arc<ShardedEpochSnapshot>>>;
 pub struct ShardedEpochLoop {
     jobs: mpsc::Sender<Job>,
     published: PublishedShardedDoc,
+    cache: Option<Arc<Mutex<QueryCache>>>,
     writer: Option<std::thread::JoinHandle<ShardedDocStore>>,
 }
 
@@ -147,16 +148,40 @@ impl ShardedEpochLoop {
     /// Takes ownership of `store` and starts the writer thread, publishing
     /// the store's current state as the initial snapshot.
     pub fn start(store: ShardedDocStore, policy: BatchPolicy) -> ShardedEpochLoop {
+        ShardedEpochLoop::launch(store, policy, None)
+    }
+
+    /// Like [`ShardedEpochLoop::start`], with a query-result cache of
+    /// `cache_capacity` entries. Invalidation is shard-granular: a batch
+    /// drops exactly the entries whose tag footprint intersects the tag
+    /// vocabulary of the partitions it dirtied (before and after refresh).
+    pub fn start_with_cache(
+        store: ShardedDocStore,
+        policy: BatchPolicy,
+        cache_capacity: usize,
+    ) -> ShardedEpochLoop {
+        ShardedEpochLoop::launch(store, policy, Some(cache_capacity))
+    }
+
+    fn launch(
+        store: ShardedDocStore,
+        policy: BatchPolicy,
+        cache_capacity: Option<usize>,
+    ) -> ShardedEpochLoop {
         let tables = ShardedTables::build(store.labeled());
         let initial = publish_state(&store, &tables, store.epoch(), store.seq());
+        let epoch0 = initial.epoch();
         let published: PublishedShardedDoc = Arc::new(RwLock::new(Arc::new(initial)));
+        let cache =
+            cache_capacity.map(|cap| Arc::new(Mutex::new(QueryCache::new(cap, epoch0))));
         let (tx, rx) = mpsc::channel::<Job>();
         let writer_published = Arc::clone(&published);
+        let writer_cache = cache.clone();
         let writer = std::thread::Builder::new()
             .name("xp-shard-writer".into())
-            .spawn(move || writer_loop(store, tables, policy, rx, writer_published))
+            .spawn(move || writer_loop(store, tables, policy, rx, writer_published, writer_cache))
             .unwrap_or_else(|e| panic!("spawning the sharded writer failed: {e}"));
-        ShardedEpochLoop { jobs: tx, published, writer: Some(writer) }
+        ShardedEpochLoop { jobs: tx, published, cache, writer: Some(writer) }
     }
 
     /// The latest published snapshot. Readers clone the `Arc` and keep a
@@ -166,6 +191,41 @@ impl ShardedEpochLoop {
             Ok(s) => Arc::clone(&s),
             Err(poisoned) => Arc::clone(&poisoned.into_inner()),
         }
+    }
+
+    /// The query-result cache, when one was configured.
+    pub fn cache(&self) -> Option<Arc<Mutex<QueryCache>>> {
+        self.cache.clone()
+    }
+
+    /// Evaluates `path_text` against the latest published snapshot, going
+    /// through the result cache when one is configured. Answers are
+    /// byte-identical to [`ShardedEpochSnapshot::query`] on the same
+    /// snapshot — the cache can only short-circuit the evaluation.
+    pub fn query_cached(&self, path_text: &str) -> Result<Vec<NodeId>, QueryError> {
+        let snap = self.snapshot();
+        if let Some(cache) = &self.cache {
+            let cached = {
+                let mut guard = match cache.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard.lookup(path_text, snap.epoch())
+            };
+            if let Some(nodes) = cached {
+                return Ok(nodes);
+            }
+        }
+        let parsed = Path::parse(path_text).map_err(QueryError::Path)?;
+        let nodes = snap.query(&parsed)?;
+        if let Some(cache) = &self.cache {
+            let mut guard = match cache.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.insert(path_text, &parsed, snap.epoch(), nodes.clone());
+        }
+        Ok(nodes)
     }
 
     /// Enqueues a job. Fails only if the writer has already stopped.
@@ -221,6 +281,7 @@ fn writer_loop(
     policy: BatchPolicy,
     jobs: mpsc::Receiver<Job>,
     published: PublishedShardedDoc,
+    cache: Option<Arc<Mutex<QueryCache>>>,
 ) -> ShardedDocStore {
     let mut epoch = store.epoch();
     loop {
@@ -252,7 +313,7 @@ fn writer_loop(
             }
         }
         epoch += 1;
-        run_batch(&mut store, &mut tables, batch, epoch, &published);
+        run_batch(&mut store, &mut tables, batch, epoch, &published, &cache);
         if let Some(limit) = policy.checkpoint_after {
             if store.seq().saturating_sub(store.durable_seq()) >= limit {
                 let _ = store.checkpoint();
@@ -273,6 +334,7 @@ fn run_batch(
     batch: Vec<ShardedApplyJob>,
     epoch: u64,
     published: &PublishedShardedDoc,
+    cache: &Option<Arc<Mutex<QueryCache>>>,
 ) {
     let flat: Vec<Mutation> = batch.iter().flat_map(|j| j.mutations.iter().cloned()).collect();
     if flat.is_empty() {
@@ -306,17 +368,45 @@ fn run_batch(
     };
 
     // O(touched shards): refresh exactly the dirtied partitions, then
-    // prune partitions whose shard merged away.
-    for &sid in &outcome.dirty {
-        tables.rebuild_partition(store.labeled(), sid);
-    }
+    // prune partitions whose shard merged away. When caching, the batch's
+    // touched tags are exactly the tag vocabulary of those partitions:
+    // *before* refresh to cover removed rows, *after* to cover inserts —
+    // shard-granular invalidation, never the whole document.
     let dead: Vec<ShardId> = tables
         .partitions()
         .map(|(sid, _)| sid)
         .filter(|&sid| store.labeled().state().cell(sid).is_none())
         .collect();
+    let mut touched = TouchedTags::new();
+    if cache.is_some() {
+        if outcome.results.iter().any(Result::is_err) {
+            // A failed mutation's partial effects cannot be attributed.
+            touched.mark_unknown();
+        }
+        for sid in outcome.dirty.iter().copied().chain(dead.iter().copied()) {
+            collect_partition_tags(tables, sid, &mut touched);
+        }
+    }
+    for &sid in &outcome.dirty {
+        tables.rebuild_partition(store.labeled(), sid);
+    }
     for sid in dead {
         tables.rebuild_partition(store.labeled(), sid);
+    }
+    if cache.is_some() {
+        for &sid in &outcome.dirty {
+            collect_partition_tags(tables, sid, &mut touched);
+        }
+    }
+
+    // Invalidate before the epoch swap: by the time a reader can hold the
+    // new epoch, every entry this batch could have stalled is gone.
+    if let Some(cache) = cache {
+        let mut guard = match cache.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.advance(epoch, &touched);
     }
 
     // Durability already holds (the WAL fsync happened inside
@@ -352,6 +442,19 @@ fn run_batch(
 
 fn clone_msg(msg: &str) -> String {
     msg.to_owned()
+}
+
+/// Folds every tag that appears in shard `sid`'s partition into `touched`.
+fn collect_partition_tags(
+    tables: &ShardedTables<PrimeLabel>,
+    sid: ShardId,
+    touched: &mut TouchedTags,
+) {
+    if let Some(part) = tables.partition(sid) {
+        for row in part.rows() {
+            touched.add(part.tag_name(row.tag));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +575,60 @@ mod tests {
         let lp2 = ShardedEpochLoop::start(back, BatchPolicy::default());
         assert_eq!(lp2.snapshot().query(&Path::parse("//neu").unwrap()).unwrap().len(), 1);
         drop(lp2.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_answers_match_cold_evaluation_and_survive_disjoint_shards() {
+        let dir = tmpdir("cache");
+        let store =
+            ShardedDocStore::create(&dir, "doc", sample_tree(), 8, ShardPolicy::at_depth(2))
+                .unwrap();
+        let lp = ShardedEpochLoop::start_with_cache(store, BatchPolicy::default(), 64);
+        let stats = |lp: &ShardedEpochLoop| {
+            let cache = lp.cache().unwrap();
+            let guard = cache.lock().unwrap();
+            guard.stats()
+        };
+        let cold = |lp: &ShardedEpochLoop, p: &str| {
+            lp.snapshot().query(&Path::parse(p).unwrap()).unwrap()
+        };
+
+        // Warm three entries (all misses), then re-query (all hits); every
+        // answer must be byte-identical to cold evaluation on the snapshot.
+        let warm = ["//attic/box", "//case", "//book"];
+        for pass in 0..2 {
+            for p in warm {
+                assert_eq!(lp.query_cached(p).unwrap(), cold(&lp, p), "pass {pass} path {p}");
+            }
+        }
+        let s0 = stats(&lp);
+        assert_eq!((s0.misses, s0.hits), (3, 3));
+
+        // A batch inside a book-under-shelf shard touches tags {book,
+        // title} only. `//book` must die; `//attic/box` and `//case` have
+        // disjoint footprints (the *case* partition contains books, but
+        // the batch never dirtied it) and must keep hitting.
+        let title = cold(&lp, "//title")[0];
+        apply(&lp, vec![Mutation::InsertBefore { anchor: title, tag: "title".into() }]);
+        for p in warm {
+            assert_eq!(lp.query_cached(p).unwrap(), cold(&lp, p), "post-batch path {p}");
+        }
+        let s1 = stats(&lp);
+        assert_eq!(s1.hits, s0.hits + 2, "disjoint-shard entries survive the epoch");
+        assert_eq!(s1.misses, s0.misses + 1, "only the touched tag re-evaluates");
+
+        // A failing mutation cannot attribute its partial effects, so the
+        // whole cache flushes: everything re-misses, still byte-identical.
+        let root_target = cold(&lp, "/lib")[0];
+        let (_, _, results) = apply(&lp, vec![Mutation::Delete { target: root_target }]);
+        assert!(results[0].is_err());
+        for p in warm {
+            assert_eq!(lp.query_cached(p).unwrap(), cold(&lp, p), "post-flush path {p}");
+        }
+        let s2 = stats(&lp);
+        assert_eq!(s2.misses, s1.misses + 3, "a rejected mutation flushes the cache");
+        drop(lp.shutdown());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -340,6 +340,87 @@ mod tests {
         assert!(publisher.stats().reclaimed > before);
     }
 
+    /// Replay-debt bound: the reclaim guard at `take_reclaimable` admits a
+    /// lagging buffer only when the retained history reaches back to
+    /// `lagging + 1` — one batch per missed epoch, never a gap. Driven
+    /// well past `HISTORY_CAP` with a seeded pin/release pattern, every
+    /// published snapshot must stay byte-identical to the writer's state:
+    /// an off-by-one in the guard would let `catch_up` skip a pruned batch
+    /// and publish a silently wrong document.
+    #[test]
+    fn reclaimed_buffers_never_replay_past_the_retained_history() {
+        let mut publisher = Publisher::new(base());
+        let mut writer = publisher.current();
+        let mut pinned: Vec<(u64, Arc<EpochSnapshot>)> = Vec::new();
+        for epoch in 1..=(HISTORY_CAP as u64 + 16) {
+            // Seeded pin/release pattern: pin every 3rd epoch, hold each
+            // pin for a pseudo-random 1..=13 epochs.
+            pinned.retain(|&(release_at, _)| release_at > epoch);
+            if epoch % 3 == 0 {
+                let hold = 1 + (epoch * 7 + 3) % 13;
+                pinned.push((epoch + hold, publisher.current()));
+            }
+            let m = mutation_for(&writer, epoch);
+            writer = {
+                let next = writer_apply(&writer, &m, epoch, epoch);
+                publisher.publish(epoch, epoch, std::slice::from_ref(&m));
+                Arc::new(next)
+            };
+            let published = publisher.current();
+            assert_eq!(published.epoch(), epoch);
+            assert_eq!(
+                published.labeled().tree().snapshot(),
+                writer.labeled().tree().snapshot(),
+                "published tree diverged from the writer at epoch {epoch}"
+            );
+            assert_eq!(
+                published.labeled().ordered_nodes(),
+                writer.labeled().ordered_nodes(),
+                "published document order diverged at epoch {epoch}"
+            );
+            assert!(
+                publisher.history.len() <= HISTORY_CAP,
+                "history must stay bounded, holds {}",
+                publisher.history.len()
+            );
+        }
+        // History must stay a contiguous epoch suffix — the structural
+        // fact the `lagging + 1` guard arithmetic rests on.
+        for pair in publisher.history.make_contiguous().windows(2) {
+            assert_eq!(pair[1].0, pair[0].0 + 1, "history epochs must be gap-free");
+        }
+        let stats = publisher.stats();
+        assert!(stats.reclaimed > 0, "the pattern must exercise the reclaim path");
+        assert!(stats.cloned > 0, "the pattern must exercise the clone path");
+    }
+
+    /// Counter consistency: every publish is accounted exactly once, as
+    /// either a reclaim or a clone — `reclaimed + cloned` equals the
+    /// number of publishes regardless of how readers pin buffers.
+    #[test]
+    fn every_publish_is_counted_as_reclaim_or_clone() {
+        let mut publisher = Publisher::new(base());
+        let mut held = Vec::new();
+        let mut publishes = 0u64;
+        for epoch in 1..=20u64 {
+            if epoch % 4 == 0 {
+                held.push(publisher.current());
+            }
+            if epoch % 7 == 0 {
+                held.clear();
+            }
+            let m = mutation_for(&publisher.current(), epoch);
+            publisher.publish(epoch, epoch, std::slice::from_ref(&m));
+            publishes += 1;
+            let stats = publisher.stats();
+            assert_eq!(
+                stats.reclaimed + stats.cloned,
+                publishes,
+                "epoch {epoch}: a publish went uncounted or double-counted"
+            );
+        }
+    }
+
     #[test]
     fn queries_run_against_the_published_epoch() {
         let mut publisher = Publisher::new(base());

@@ -34,9 +34,17 @@
 //! during replay may differ from the crashed process, which changes only
 //! shard topology, never document content or query answers).
 //!
-//! [`relabel_shard`] is deliberately **not** WAL-logged: a relabel changes
-//! labels, not the document, so a crash before the next checkpoint merely
-//! recovers the pre-relabel labels of the same document.
+//! [`relabel_shard`] is **not** WAL-logged — a relabel changes labels, not
+//! the document — so it checkpoints *immediately* instead: the relabeled
+//! shard's file (plus the skeleton) is rewritten and the manifest swapped
+//! before the call returns. Deferring that to the next scheduled
+//! checkpoint would open a durability hole: mutations WAL-logged *after*
+//! the relabel would replay on recovery against the pre-relabel labels,
+//! where an insert that succeeded live can fail (or label differently)
+//! against the unrelabeled, gap-exhausted shard. With the immediate swap,
+//! recovery always starts from the post-relabel labels; a crash *during*
+//! the swap leaves the old checkpoint fully live (pre-relabel labels, same
+//! document), which is the other byte-identical fixed point.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -472,13 +480,17 @@ impl ShardedDocStore {
     }
 
     /// Relabels one hot shard from scratch without touching its siblings
-    /// and marks it for the next checkpoint. Deliberately not WAL-logged —
-    /// see the module docs.
+    /// and checkpoints **immediately** — the relabel is not WAL-logged, so
+    /// it must be durable before any later WAL frame can depend on the new
+    /// labels (see the module docs for the replay divergence a deferred
+    /// checkpoint would allow). The write is `O(dirty shards)`, normally
+    /// just `sid` plus the skeleton.
     pub fn relabel_shard(&mut self, sid: ShardId) -> Result<RelabelReport, StoreError> {
         let report = xp_labelkit::relabel_shard(&mut self.labeled, sid)?;
         let drained = take_dirty_shards(&mut self.labeled);
         self.pending_dirty.extend(drained);
         self.pending_dirty.insert(sid);
+        self.persist(self.epoch + 1)?;
         Ok(report)
     }
 
@@ -837,6 +849,133 @@ mod tests {
         assert_eq!(back.labeled().tree().snapshot(), snap);
         assert_consistent(&back);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn element_labels(
+        store: &ShardedDocStore,
+    ) -> Vec<Option<xp_labelkit::ShardedLabel<xp_prime::PrimeLabel>>> {
+        store
+            .labeled()
+            .tree()
+            .elements()
+            .map(|n| store.labeled().doc().get(n).cloned())
+            .collect()
+    }
+
+    /// The durability hole the immediate relabel checkpoint closes:
+    /// mutations WAL-logged *after* a relabel replay on recovery against
+    /// whatever labels are durable. The relabel must therefore be durable
+    /// before `relabel_shard` returns, so a crash at any later point
+    /// recovers labels byte-identical to the live process.
+    #[test]
+    fn wal_frames_after_a_relabel_replay_against_the_relabeled_labels() {
+        let dir = tmpdir("relabel-replay");
+        let mut store =
+            ShardedDocStore::create(&dir, "d", sample_tree(), 8, ShardPolicy::at_depth(1)).unwrap();
+        // Chew through the hot shard's label gaps so the relabel actually
+        // reassigns, then relabel (durable immediately, not WAL-logged).
+        let anchor = nth_element(store.labeled().tree(), 3);
+        for _ in 0..6 {
+            store.apply_batch(&[Mutation::InsertBefore { anchor, tag: "pad".into() }]).unwrap();
+        }
+        let hot = store.labeled().state().shard_of_node(anchor).unwrap();
+        store.relabel_shard(hot).unwrap();
+        assert_eq!(
+            store.durable_seq(),
+            store.seq(),
+            "the relabel checkpoint must fold the WAL into the manifest"
+        );
+
+        // Mutations *after* the relabel hand out labels that depend on the
+        // relabeled state; they stay WAL-only (no further checkpoint).
+        store
+            .apply_batch(&[
+                Mutation::InsertBefore { anchor, tag: "neu".into() },
+                Mutation::InsertSubtree {
+                    pos: InsertPos::LastChildOf(anchor),
+                    xml: "<x><y/></x>".into(),
+                },
+            ])
+            .unwrap();
+        let live_labels = element_labels(&store);
+        let live_snap = store.labeled().tree().snapshot();
+        drop(store);
+
+        let back = ShardedDocStore::open(&dir).unwrap();
+        assert_eq!(back.labeled().tree().snapshot(), live_snap);
+        assert_eq!(
+            element_labels(&back),
+            live_labels,
+            "replayed labels must be byte-identical to the live process"
+        );
+        assert_consistent(&back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A crash *during* the relabel's immediate checkpoint must land on a
+    /// byte-identical fixed point: either the pre-relabel labels (manifest
+    /// swap never committed) or the post-relabel labels (it did).
+    #[test]
+    fn a_crash_during_the_relabel_checkpoint_reopens_byte_identical() {
+        use xp_testkit::fault;
+        // The deterministic post-relabel oracle: the same store, same
+        // history, relabeled without a fault.
+        let post_labels = {
+            let dir = tmpdir("relabel-crash-oracle");
+            let mut store =
+                ShardedDocStore::create(&dir, "d", sample_tree(), 8, ShardPolicy::at_depth(1))
+                    .unwrap();
+            let anchor = nth_element(store.labeled().tree(), 3);
+            for _ in 0..6 {
+                store.apply_batch(&[Mutation::InsertBefore { anchor, tag: "pad".into() }]).unwrap();
+            }
+            let hot = store.labeled().state().shard_of_node(anchor).unwrap();
+            store.relabel_shard(hot).unwrap();
+            let labels = element_labels(&store);
+            let _ = std::fs::remove_dir_all(&dir);
+            labels
+        };
+
+        let sites = [
+            "store.checkpoint.write:1",
+            "store.checkpoint.write:1:torn",
+            "store.checkpoint.write:2",
+            "store.checkpoint.write:2:torn",
+            "store.manifest.swap:1",
+            "store.manifest.swap:1:torn",
+        ];
+        for (i, site) in sites.iter().enumerate() {
+            let dir = tmpdir(&format!("relabel-crash{i}"));
+            fault::reset();
+            let mut store =
+                ShardedDocStore::create(&dir, "d", sample_tree(), 8, ShardPolicy::at_depth(1))
+                    .unwrap();
+            let anchor = nth_element(store.labeled().tree(), 3);
+            for _ in 0..6 {
+                store.apply_batch(&[Mutation::InsertBefore { anchor, tag: "pad".into() }]).unwrap();
+            }
+            store.checkpoint().unwrap();
+            let pre_labels = element_labels(&store);
+            let pre_snap = store.labeled().tree().snapshot();
+            let hot = store.labeled().state().shard_of_node(anchor).unwrap();
+
+            fault::arm(site);
+            let res = store.relabel_shard(hot);
+            fault::reset();
+            assert!(res.is_err(), "{site}: the armed fault must surface");
+            drop(store);
+
+            let back = ShardedDocStore::open(&dir)
+                .unwrap_or_else(|e| panic!("{site}: reopen failed: {e}"));
+            assert_eq!(back.labeled().tree().snapshot(), pre_snap, "{site}: document changed");
+            let got = element_labels(&back);
+            assert!(
+                got == pre_labels || got == post_labels,
+                "{site}: recovered labels are neither the pre- nor the post-relabel fixed point"
+            );
+            assert_consistent(&back);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

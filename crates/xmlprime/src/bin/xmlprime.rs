@@ -49,6 +49,7 @@ USAGE:
     xmlprime fsck   --store <dir>
     xmlprime serve  --store <dir> [--tcp ADDR] [--unix PATH]
                     [--batch N] [--checkpoint-after N]
+                    [--cache] [--cache-capacity N]
     xmlprime remote (--tcp ADDR | --unix PATH) <op> [...]
                     ops: ping | docs | stats | query <uri> <path> |
                     insert <uri> <node@> --tag T [--child] |
@@ -258,7 +259,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--explain", "--sql", "--before", "--child", "--parent"];
+const BOOL_FLAGS: &[&str] = &["--explain", "--sql", "--before", "--child", "--parent", "--cache"];
 
 fn positional(args: &[String]) -> Vec<&str> {
     let mut out = Vec::new();
@@ -839,8 +840,27 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             Some(v.parse().map_err(|_| usage(format!("bad --checkpoint-after {v:?}")))?);
     }
 
-    let handle = xmlprime::server::serve(store, listen, policy)
-        .map_err(|e| CliError::Input(format!("serve: {e}")))?;
+    let cache_capacity = match flag_value(args, "--cache-capacity") {
+        Some(v) => Some(
+            v.parse()
+                .ok()
+                .filter(|&n: &usize| n >= 1)
+                .ok_or_else(|| usage(format!("bad --cache-capacity {v:?} (integer >= 1)")))?,
+        ),
+        None if args.iter().any(|a| a == "--cache") => {
+            Some(xmlprime::query::cache::DEFAULT_CACHE_CAPACITY)
+        }
+        None => None,
+    };
+
+    let handle = match cache_capacity {
+        Some(cap) => xmlprime::server::serve_with_cache(store, listen, policy, cap),
+        None => xmlprime::server::serve(store, listen, policy),
+    }
+    .map_err(|e| CliError::Input(format!("serve: {e}")))?;
+    if cache_capacity.is_some() {
+        println!("query-result cache enabled");
+    }
     if let Some(addr) = handle.tcp_addr() {
         println!("listening on tcp://{addr}");
     }
@@ -937,6 +957,9 @@ fn cmd_remote(args: &[String]) -> Result<(), CliError> {
             println!("WAL fsyncs:           {}", s.wal_fsyncs);
             println!("snapshots reclaimed:  {}", s.snapshots_reclaimed);
             println!("snapshots cloned:     {}", s.snapshots_cloned);
+            println!("cache hits:           {}", s.cache_hits);
+            println!("cache misses:         {}", s.cache_misses);
+            println!("cache invalidated:    {}", s.cache_invalidated);
         }
         ("query", [uri, path]) => {
             let hits = client.query(uri, path).map_err(classify_client)?;

@@ -196,6 +196,27 @@ echo "==> server bench smoke (concurrent 95/5 workload + group commit)"
 cargo run -q --release --offline -p xp-bench --bin bench_server -- --smoke
 echo "OK: no torn labelings and group commit amortizes fsyncs."
 
+echo "==> query-cache bench smoke (hit rate + zero stale answers + per-label invalidation)"
+# The epoch-stamped result cache under a 95/5 mix with mutations confined
+# to one region: fails if the hit rate is <= 50%, if any sampled cached
+# answer differs from a same-epoch cold evaluation, if a disjoint-region
+# entry goes cold after a region-0 mutation (invalidation must be
+# per-label, not flush-on-epoch), or if either pass diverges from the
+# direct-apply oracle. Does not touch the checked-in
+# results/bench_query_cache.json.
+cargo run -q --release --offline -p xp-bench --bin bench_query_cache -- --smoke
+echo "OK: cache answers stay byte-identical and invalidation is per-label."
+
+echo "==> multi-writer storm bench smoke (convergence under concurrent writers)"
+# N writer threads push disjoint-region scripts through one epoch loop
+# concurrently while readers query through the cache. Fails if any
+# scripted mutation is rejected, if the quiesced document does not
+# serialize byte-identically to the sequential writer-major oracle, or if
+# any cached answer mismatches cold evaluation. Does not touch the
+# checked-in results/bench_multiwriter.json.
+cargo run -q --release --offline -p xp-bench --bin bench_multiwriter -- --smoke
+echo "OK: the relabel storm converges and the cache stays transparent."
+
 echo "==> parallel-scaling bench smoke (xp-par determinism + no-lose gate)"
 # Product tree, segmented sieve, and the prodtree-backed ordered build at
 # 1/2/4/8 worker threads. Fails if any output differs from the sequential
